@@ -1,0 +1,278 @@
+// Figure 5 reproduction: NVMe driver performance (IOPS) — sequential 4 KiB
+// reads and writes at batch sizes 1 and 32 across the paper's
+// configurations: linux (fio/libaio-like block layer), spdk (polled direct
+// queue pair), atmo-driver (same data path, kernel set it up), atmo-c2
+// (driver on its own core via shared rings), atmo-c1-bN (batched IPC
+// through the verified kernel on one core).
+//
+// Expected shape (paper, P3700): linux-b1 13K / linux-b32 141K IOPS reads;
+// spdk ≈ atmo-* reach device max; writes cap near the device's ~256K IOPS.
+// The simulated SSD has no internal cap, so the fast paths report what the
+// host sustains; relative ordering is the reproduced result.
+
+#include <thread>
+
+#include "bench/pipeline.h"
+#include "src/baseline/linux_block.h"
+
+namespace atmo {
+namespace bench {
+namespace {
+
+constexpr std::uint32_t kQueueDepth = 64;
+constexpr std::uint64_t kSpanBlocks = 8192;  // 32 MiB working set
+
+struct NvmeEnv {
+  Machine machine;
+  NvmeDriver driver;
+  VAddr buffer;
+
+  explicit NvmeEnv()
+      : machine(), driver(&machine.arena, &machine.nvme, kQueueDepth) {
+    driver.Init();
+    buffer = driver.AllocBuffer(64);
+  }
+
+  // Pre-allocates every flash block in the working set so the timed region
+  // measures steady-state I/O, not first-touch allocation.
+  void WarmFlash() {
+    std::uint8_t byte = 1;
+    for (std::uint64_t lba = 0; lba < kSpanBlocks; ++lba) {
+      machine.nvme.BackdoorWrite(lba, &byte, 1);
+    }
+  }
+};
+
+// Direct path (spdk / atmo-driver): submit B, doorbell once, reap.
+std::uint64_t RunDirect(std::uint64_t target, std::uint32_t batch, bool write) {
+  NvmeEnv env;
+  if (write) {
+    env.WarmFlash();
+  }
+  std::uint64_t done = 0;
+  std::uint64_t lba = 0;
+  NvmeCompletion completions[kQueueDepth];
+  while (done < target) {
+    std::uint32_t submitted = 0;
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      bool ok = write ? env.driver.SubmitWrite(lba, 1, env.buffer + (i % 64) * kNvmeBlockBytes,
+                                               static_cast<std::uint32_t>(done + i))
+                      : env.driver.SubmitRead(lba, 1, env.buffer + (i % 64) * kNvmeBlockBytes,
+                                              static_cast<std::uint32_t>(done + i));
+      if (!ok) {
+        break;
+      }
+      lba = (lba + 1) % kSpanBlocks;
+      ++submitted;
+    }
+    env.driver.RingDoorbell();
+    env.machine.nvme.ProcessCommands(submitted);
+    std::uint32_t reaped = 0;
+    while (reaped < submitted) {
+      reaped += env.driver.PollCompletions(completions, kQueueDepth);
+    }
+    done += submitted;
+  }
+  return done;
+}
+
+// linux: io_submit/io_getevents through the block layer.
+std::uint64_t RunLinux(std::uint64_t target, std::uint32_t batch, bool write) {
+  NvmeEnv env;
+  if (write) {
+    env.WarmFlash();
+  }
+  LinuxBlockLayer block(&env.driver);
+  std::uint64_t done = 0;
+  std::uint64_t lba = 0;
+  std::vector<AioRequest> reqs(batch);
+  std::vector<AioEvent> events(kQueueDepth);
+  while (done < target) {
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      reqs[i] = AioRequest{.write = write,
+                           .lba = lba,
+                           .blocks = 1,
+                           .buffer = env.buffer + (i % 64) * kNvmeBlockBytes,
+                           .user_tag = static_cast<std::uint32_t>(done + i)};
+      lba = (lba + 1) % kSpanBlocks;
+    }
+    std::uint32_t submitted = block.SubmitBatch(reqs.data(), batch);
+    env.machine.nvme.ProcessCommands(submitted);
+    std::uint32_t reaped = 0;
+    while (reaped < submitted) {
+      reaped += block.GetEvents(events.data(), kQueueDepth);
+    }
+    done += submitted;
+  }
+  return done;
+}
+
+struct IoReq {
+  std::uint64_t lba = 0;
+  bool write = false;
+};
+
+// atmo-c2: application enqueues requests; the driver core submits/polls.
+std::uint64_t RunC2(std::uint64_t target, bool write) {
+  NvmeEnv env;
+  if (write) {
+    env.WarmFlash();
+  }
+  auto req_ring = std::make_unique<SpscRing<IoReq, 256>>();
+  auto cpl_ring = std::make_unique<SpscRing<std::uint32_t, 256>>();
+  std::atomic<bool> stop{false};
+
+  std::thread driver_core([&] {
+    IoReq req;
+    NvmeCompletion completions[kQueueDepth];
+    std::uint32_t cid = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::uint32_t submitted = 0;
+      while (submitted < 32 && req_ring->Pop(&req)) {
+        bool ok = req.write
+                      ? env.driver.SubmitWrite(req.lba, 1, env.buffer, cid)
+                      : env.driver.SubmitRead(req.lba, 1, env.buffer, cid);
+        if (!ok) {
+          break;
+        }
+        ++cid;
+        ++submitted;
+      }
+      if (submitted > 0) {
+        env.driver.RingDoorbell();
+        env.machine.nvme.ProcessCommands(submitted);
+      } else {
+        std::this_thread::yield();
+      }
+      std::uint32_t got = env.driver.PollCompletions(completions, kQueueDepth);
+      for (std::uint32_t i = 0; i < got; ++i) {
+        while (!cpl_ring->Push(completions[i].cid) &&
+               !stop.load(std::memory_order_relaxed)) {
+          std::this_thread::yield();
+        }
+      }
+    }
+  });
+
+  std::uint64_t done = 0;
+  std::uint64_t lba = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t idle = 0;
+  std::uint32_t cid;
+  while (done < target) {
+    while (inflight < 64 && req_ring->Push(IoReq{lba, write})) {
+      lba = (lba + 1) % kSpanBlocks;
+      ++inflight;
+    }
+    if (cpl_ring->Pop(&cid)) {
+      ++done;
+      --inflight;
+      idle = 0;
+    } else if (++idle % 64 == 0) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true);
+  driver_core.join();
+  return done;
+}
+
+// atmo-c1-bN: batch into the ring, one verified-kernel call/reply per batch.
+std::uint64_t RunC1(std::uint64_t target, std::uint32_t batch, bool write) {
+  NvmeEnv env;
+  if (write) {
+    env.WarmFlash();
+  }
+  C1Rendezvous ipc;
+  SpscRing<IoReq, 256> req_ring;
+  SpscRing<std::uint32_t, 256> cpl_ring;
+
+  std::uint64_t done = 0;
+  std::uint64_t lba = 0;
+  std::uint32_t cid = 0;
+  while (done < target) {
+    for (std::uint32_t i = 0; i < batch; ++i) {
+      req_ring.Push(IoReq{lba, write});
+      lba = (lba + 1) % kSpanBlocks;
+    }
+    ipc.InvokeDriver([&] {
+      IoReq req;
+      std::uint32_t submitted = 0;
+      while (req_ring.Pop(&req)) {
+        bool ok = req.write ? env.driver.SubmitWrite(req.lba, 1, env.buffer, cid)
+                            : env.driver.SubmitRead(req.lba, 1, env.buffer, cid);
+        if (!ok) {
+          break;
+        }
+        ++cid;
+        ++submitted;
+      }
+      env.driver.RingDoorbell();
+      env.machine.nvme.ProcessCommands(submitted);
+      NvmeCompletion completions[kQueueDepth];
+      std::uint32_t reaped = 0;
+      while (reaped < submitted) {
+        std::uint32_t got = env.driver.PollCompletions(completions, kQueueDepth);
+        for (std::uint32_t i = 0; i < got; ++i) {
+          cpl_ring.Push(completions[i].cid);
+        }
+        reaped += got;
+      }
+    });
+    std::uint32_t c;
+    while (cpl_ring.Pop(&c)) {
+      ++done;
+    }
+  }
+  return done;
+}
+
+void RunSeries(const char* title, bool write, std::uint64_t target) {
+  PrintHeader(title, "K IOPS");
+  PrintRow(RunTimed("linux-b1", target / 8,
+                    [&](std::uint64_t n) { return RunLinux(n, 1, write); }),
+           "K");
+  PrintRow(RunTimed("linux-b32", target,
+                    [&](std::uint64_t n) { return RunLinux(n, 32, write); }),
+           "K");
+  PrintRow(RunTimed("spdk-b1", target / 2,
+                    [&](std::uint64_t n) { return RunDirect(n, 1, write); }),
+           "K");
+  PrintRow(RunTimed("spdk-b32", target,
+                    [&](std::uint64_t n) { return RunDirect(n, 32, write); }),
+           "K");
+  PrintRow(RunTimed("atmo-driver-b1", target / 2,
+                    [&](std::uint64_t n) { return RunDirect(n, 1, write); }),
+           "K");
+  PrintRow(RunTimed("atmo-driver-b32", target,
+                    [&](std::uint64_t n) { return RunDirect(n, 32, write); }),
+           "K");
+  PrintRow(RunTimed("atmo-c1-b1", target / 8,
+                    [&](std::uint64_t n) { return RunC1(n, 1, write); }),
+           "K");
+  PrintRow(RunTimed("atmo-c1-b32", target,
+                    [&](std::uint64_t n) { return RunC1(n, 32, write); }),
+           "K");
+  PrintRow(RunTimed("atmo-c2", target, [&](std::uint64_t n) { return RunC2(n, write); }),
+           "K");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atmo
+
+int main() {
+  using namespace atmo::bench;
+  std::uint64_t target = ScaledOps(400000);
+
+  std::printf("=== Figure 5: NVMe driver performance (4 KiB sequential) ===\n");
+  std::printf("paper reference (P3700, d430): reads linux-b1 13K, linux-b32 141K,\n");
+  std::printf("spdk/atmo at device max; writes cap ~256K, atmo ~232K (-10%%)\n");
+
+  RunSeries("sequential read IOPS", /*write=*/false, target);
+  RunSeries("sequential write IOPS", /*write=*/true, target);
+
+  std::printf("\nnote: the simulated SSD has no internal IOPS cap; relative ordering is\n");
+  std::printf("the reproduced result (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Table 1 reproduction: proof effort across verified-kernel projects.
+//
+// The paper's Table 1 quotes published proof-to-code ratios; they are
+// reproduced verbatim. For this repository, the analog of the paper's
+// proof/spec code is measured by classifying the source tree:
+//
+//   executable kernel     — the microkernel implementation itself
+//   specification         — abstract state, per-syscall specs, invariants,
+//                           refinement checkers, isolation/noninterference
+//   harness ("proofs")    — the machinery that discharges the obligations
+//                           (refinement checker, registries, trace runners)
+//   framework (vstd)      — the permission/ghost framework (the analog of
+//                           Verus's vstd, which the paper does not count)
+//   unverified substrate  — simulated hardware, drivers, apps, baselines
+//
+// Lines are physical non-blank lines, counted at run time from the source
+// tree this binary was built from.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::size_t CountLines(const fs::path& file) {
+  std::ifstream in(file);
+  std::size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (!blank) {
+      ++lines;
+    }
+  }
+  return lines;
+}
+
+struct Category {
+  const char* name;
+  std::vector<std::string> prefixes;  // relative to src/
+  std::size_t lines = 0;
+};
+
+}  // namespace
+
+int main() {
+  fs::path root = ATMO_SOURCE_DIR;
+  fs::path src = root / "src";
+
+  Category categories[] = {
+      {"executable kernel",
+       {"pmem/", "pagetable/page_table", "proc/objects", "proc/process_manager", "core/",
+        "iommu/", "ipc/", "hw/phys_mem", "hw/mmu", "hw/cycles", "hw/mmio", "vstd/types"},
+       0},
+      {"specification",
+       {"spec/", "pagetable/refinement", "proc/invariants", "sec/"},
+       0},
+      {"verification harness",
+       {"verif/", "vstd/check"},
+       0},
+      {"framework (vstd analog)",
+       {"vstd/spec_map", "vstd/spec_set", "vstd/spec_seq", "vstd/points_to",
+        "vstd/permission_map", "vstd/static_list"},
+       0},
+      {"unverified substrate",
+       {"hw/sim_nic", "hw/sim_nvme", "drivers/", "net/", "apps/", "baseline/"},
+       0},
+  };
+
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) {
+      continue;
+    }
+    std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") {
+      continue;
+    }
+    std::string rel = fs::relative(entry.path(), src).generic_string();
+    for (Category& category : categories) {
+      bool match = false;
+      for (const std::string& prefix : category.prefixes) {
+        if (rel.rfind(prefix, 0) == 0) {
+          match = true;
+          break;
+        }
+      }
+      if (match) {
+        category.lines += CountLines(entry.path());
+        break;
+      }
+    }
+  }
+
+  std::printf("=== Table 1: proof effort for existing verification projects ===\n\n");
+  std::printf("%-12s %-10s %-14s %s\n", "Name", "Language", "Spec Lang.", "Proof-to-Code");
+  std::printf("%-12s %-10s %-14s %s\n", "----", "--------", "----------", "-------------");
+  std::printf("%-12s %-10s %-14s %s\n", "seL4", "C+Asm", "Isabelle/HOL", "20:1");
+  std::printf("%-12s %-10s %-14s %s\n", "CertiKOS", "C+Asm", "Coq", "14.9:1");
+  std::printf("%-12s %-10s %-14s %s\n", "SeKVM", "C+Asm", "Coq", "6.9:1");
+  std::printf("%-12s %-10s %-14s %s\n", "Ironclad", "Dafny", "Dafny", "4.8:1");
+  std::printf("%-12s %-10s %-14s %s\n", "NrOS", "Rust", "Verus", "10:1");
+  std::printf("%-12s %-10s %-14s %s\n", "VeriSMo", "Rust", "Verus", "2:1");
+  std::printf("%-12s %-10s %-14s %s  (paper: 6,048 exec / 20,098 proof+spec)\n",
+              "Atmosphere", "Rust", "Verus", "3.32:1");
+
+  std::printf("\n--- this reproduction (non-blank lines, measured from the tree) ---\n\n");
+  std::size_t exec = 0;
+  std::size_t spec = 0;
+  for (const Category& category : categories) {
+    std::printf("%-26s %8zu\n", category.name, category.lines);
+    if (std::string(category.name) == "executable kernel") {
+      exec = category.lines;
+    }
+    if (std::string(category.name) == "specification" ||
+        std::string(category.name) == "verification harness") {
+      spec += category.lines;
+    }
+  }
+  std::printf("\nspec+harness : executable kernel = %.2f:1  (paper: 3.32:1)\n",
+              exec > 0 ? static_cast<double>(spec) / static_cast<double>(exec) : 0.0);
+  return 0;
+}

@@ -1,0 +1,227 @@
+// Table 3 reproduction: latency of IPC call/reply and of mapping a page
+// (cycles) — Atmosphere vs the seL4-like capability kernel.
+//
+// Paper reference (c220g5, KVM): call/reply — Atmosphere 1,058 cycles vs
+// seL4 1,026; map a page — Atmosphere 1,984 vs seL4 2,650 (operations not
+// strictly equivalent). The comparison here runs both kernels' operations
+// on the same host and reports median cycles per operation; the reproduced
+// claim is the *shape*: IPC within the same ballpark, and the classical
+// capability-derivation map path carrying extra bookkeeping relative to
+// Atmosphere's map.
+
+// Two modelling notes (see EXPERIMENTS.md):
+//   1. A user-level syscall pays a hardware mode switch (sysenter/sysexit,
+//      swapgs, speculation barriers) that dominates real IPC latency and is
+//      identical for both kernels. The harness charges the same modelled
+//      trap cost per kernel crossing on both sides.
+//   2. This executable model maintains Atmosphere's ghost state (abstract
+//      maps) at runtime; Verus erases ghost code at compile time. The
+//      Atmosphere numbers therefore carry bookkeeping the paper's binary
+//      does not — reported as-is.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/baseline/cap_kernel.h"
+#include "src/baseline/linux_net.h"  // TrapCost
+#include "src/core/kernel.h"
+#include "src/hw/cycles.h"
+
+namespace atmo {
+namespace {
+
+constexpr int kWarmup = 2000;
+constexpr int kRounds = 20000;
+constexpr int kSamples = 200;  // measure in blocks, take the median block
+
+TrapCost g_trap;
+
+// One kernel crossing: enter + exit.
+inline void ModeSwitch() {
+  g_trap.Enter();
+  g_trap.Exit();
+}
+
+double MedianCyclesPerOp(const std::vector<double>& samples) {
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted[sorted.size() / 2];
+}
+
+// --- Atmosphere: call/reply round trip through the verified kernel ---
+double AtmoCallReply() {
+  BootConfig config;
+  config.frames = 4096;
+  config.reserved_frames = 16;
+  Kernel kernel = std::move(*Kernel::Boot(config));
+  auto ctnr = kernel.BootCreateContainer(kernel.root_container(), 1024, ~0ull);
+  auto proc = kernel.BootCreateProcess(ctnr.value);
+  auto client = kernel.BootCreateThread(proc.value);
+  auto server = kernel.BootCreateThread(proc.value);
+
+  Syscall ne;
+  ne.op = SysOp::kNewEndpoint;
+  ne.edpt_idx = 0;
+  SyscallRet e = kernel.Step(client.value, ne);
+  kernel.pm_mut().BindEndpoint(server.value, 0, e.value);
+  Syscall recv;
+  recv.op = SysOp::kRecv;
+  recv.edpt_idx = 0;
+  kernel.Step(server.value, recv);  // park the server
+
+  Syscall call;
+  call.op = SysOp::kCall;
+  call.edpt_idx = 0;
+  call.payload.scalars = {1, 2, 3, 4};
+  Syscall reply;
+  reply.op = SysOp::kReply;
+  reply.payload.scalars = {5, 6, 7, 8};
+
+  auto round = [&] {
+    ModeSwitch();  // client call trap
+    kernel.Step(client.value, call);
+    (void)kernel.TakeInbound(server.value);
+    ModeSwitch();  // server reply trap
+    kernel.Step(server.value, reply);
+    (void)kernel.TakeInbound(client.value);
+    // Server parks again for the next round (third crossing in this
+    // protocol; seL4's ReplyRecv folds it into the reply).
+    ModeSwitch();
+    kernel.Step(server.value, recv);
+  };
+
+  for (int i = 0; i < kWarmup; ++i) {
+    round();
+  }
+  std::vector<double> samples;
+  int per_block = kRounds / kSamples;
+  for (int s = 0; s < kSamples; ++s) {
+    std::uint64_t start = ReadCycles();
+    for (int i = 0; i < per_block; ++i) {
+      round();
+    }
+    samples.push_back(static_cast<double>(ReadCycles() - start) / per_block);
+  }
+  return MedianCyclesPerOp(samples);
+}
+
+// --- seL4-like: Call + ReplyRecv fastpath ---
+double CapKernelCallReply() {
+  CapKernel ck;
+  std::uint32_t client = ck.CreateTcb();
+  std::uint32_t server = ck.CreateTcb();
+  std::uint32_t ep = ck.CreateEndpoint();
+  std::uint32_t client_ep = ck.InstallCap(client, CapType::kEndpoint, ep, CapRights::kAll, 7);
+  std::uint32_t server_ep = ck.InstallCap(server, CapType::kEndpoint, ep, CapRights::kAll);
+  ck.Recv(server, server_ep);
+
+  auto round = [&] {
+    ModeSwitch();  // client call trap
+    ck.Call(client, client_ep, {1, 2, 3, 4});
+    ModeSwitch();  // server reply-recv trap
+    ck.ReplyRecv(server, server_ep, {5, 6, 7, 8});
+  };
+
+  for (int i = 0; i < kWarmup; ++i) {
+    round();
+  }
+  std::vector<double> samples;
+  int per_block = kRounds / kSamples;
+  for (int s = 0; s < kSamples; ++s) {
+    std::uint64_t start = ReadCycles();
+    for (int i = 0; i < per_block; ++i) {
+      round();
+    }
+    samples.push_back(static_cast<double>(ReadCycles() - start) / per_block);
+  }
+  return MedianCyclesPerOp(samples);
+}
+
+// --- Atmosphere: map one 4K page (syscall), unmap untimed ---
+double AtmoMapPage() {
+  BootConfig config;
+  config.frames = 8192;
+  config.reserved_frames = 16;
+  Kernel kernel = std::move(*Kernel::Boot(config));
+  auto ctnr = kernel.BootCreateContainer(kernel.root_container(), 4096, ~0ull);
+  auto proc = kernel.BootCreateProcess(ctnr.value);
+  auto thrd = kernel.BootCreateThread(proc.value);
+
+  Syscall mmap;
+  mmap.op = SysOp::kMmap;
+  mmap.va_range = VaRange{0x400000, 1, PageSize::k4K};
+  mmap.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = false};
+  Syscall munmap;
+  munmap.op = SysOp::kMunmap;
+  munmap.va_range = mmap.va_range;
+
+  // Warm the table chain so the steady-state op is "install a leaf".
+  for (int i = 0; i < kWarmup / 4; ++i) {
+    kernel.Step(thrd.value, mmap);
+    kernel.Step(thrd.value, munmap);
+  }
+  std::vector<double> samples;
+  int per_block = 20;
+  for (int s = 0; s < kSamples; ++s) {
+    std::uint64_t total = 0;
+    for (int i = 0; i < per_block; ++i) {
+      std::uint64_t start = ReadCycles();
+      ModeSwitch();
+      kernel.Step(thrd.value, mmap);
+      total += ReadCycles() - start;
+      kernel.Step(thrd.value, munmap);  // untimed
+    }
+    samples.push_back(static_cast<double>(total) / per_block);
+  }
+  return MedianCyclesPerOp(samples);
+}
+
+// --- seL4-like: Page_Map (derive + install), unmap untimed ---
+double CapKernelMapPage() {
+  CapKernel ck;
+  std::uint32_t tcb = ck.CreateTcb();
+  std::uint32_t vspace = ck.CreateVSpace();
+  std::uint32_t vcap = ck.InstallCap(tcb, CapType::kVSpace, vspace, CapRights::kAll);
+  std::uint32_t fcap = ck.InstallCap(tcb, CapType::kFrame, ck.CreateFrame(), CapRights::kAll);
+
+  for (int i = 0; i < kWarmup / 4; ++i) {
+    ck.MapPage(tcb, fcap, vcap, 0x400000, CapRights::kAll);
+    ck.UnmapPage(tcb, fcap);
+  }
+  std::vector<double> samples;
+  int per_block = 20;
+  for (int s = 0; s < kSamples; ++s) {
+    std::uint64_t total = 0;
+    for (int i = 0; i < per_block; ++i) {
+      std::uint64_t start = ReadCycles();
+      ModeSwitch();
+      ck.MapPage(tcb, fcap, vcap, 0x400000, CapRights::kAll);
+      total += ReadCycles() - start;
+      ck.UnmapPage(tcb, fcap);
+    }
+    samples.push_back(static_cast<double>(total) / per_block);
+  }
+  return MedianCyclesPerOp(samples);
+}
+
+}  // namespace
+}  // namespace atmo
+
+int main() {
+  std::printf("=== Table 3: syscall latency (cycles, median) ===\n");
+  std::printf("paper reference (c220g5): call/reply atmo 1058 vs seL4 1026;\n");
+  std::printf("map a page atmo 1984 vs seL4 2650\n\n");
+
+  double atmo_ipc = atmo::AtmoCallReply();
+  double ck_ipc = atmo::CapKernelCallReply();
+  double atmo_map = atmo::AtmoMapPage();
+  double ck_map = atmo::CapKernelMapPage();
+
+  std::printf("%-28s %14s %14s\n", "operation", "Atmosphere", "seL4-like");
+  std::printf("%-28s %14s %14s\n", "---------", "----------", "---------");
+  std::printf("%-28s %14.0f %14.0f\n", "call/reply (round trip)", atmo_ipc, ck_ipc);
+  std::printf("%-28s %14.0f %14.0f\n", "call/reply (one way)", atmo_ipc / 2, ck_ipc / 2);
+  std::printf("%-28s %14.0f %14.0f\n", "map a page", atmo_map, ck_map);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Packet pipeline: the user-level ixgbe driver behind the IOMMU, forwarding
+// traffic through the Maglev load balancer (§6.5-6.6). Shows the full
+// device stack — DMA arena, descriptor rings, IOMMU translation, polled
+// driver — and demonstrates that a detached device's DMA is blocked.
+//
+//   $ ./build/examples/packet_pipeline
+
+#include <cstdio>
+
+#include "src/apps/maglev.h"
+#include "src/drivers/dma_arena.h"
+#include "src/drivers/ixgbe_driver.h"
+#include "src/hw/sim_nic.h"
+
+using namespace atmo;
+
+int main() {
+  std::printf("== Packet pipeline: NIC -> IOMMU -> driver -> Maglev -> NIC ==\n\n");
+
+  // The machine: memory, allocator, IOMMU with one protection domain.
+  PhysMem mem(16384);
+  PageAllocator alloc(16384, 1);
+  IommuManager iommu(&mem);
+  IommuDomainId domain = iommu.CreateDomain(&alloc, kNullPtr);
+  constexpr DeviceId kNic = 1;
+  iommu.AttachDevice(domain, kNic);
+
+  DmaArena arena(&mem, &alloc, &iommu, domain, 0x1000000);
+  SimNic nic(&mem, &iommu, kNic);
+  IxgbeDriver driver(&arena, &nic, /*ring_entries=*/64);
+  driver.Init();
+  std::printf("driver initialized: %u-entry rings, arena %llu pages DMA-mapped\n",
+              driver.entries(), static_cast<unsigned long long>(arena.pages()));
+
+  // A Maglev instance with four backends.
+  Maglev lb(4099);
+  for (int i = 0; i < 4; ++i) {
+    lb.AddBackend(MaglevBackend{
+        .name = "backend-" + std::to_string(i),
+        .mac = MacAddr{0x02, 0, 0, 0, 0x10, static_cast<std::uint8_t>(i)},
+        .ip = 0x0a010000u + static_cast<std::uint32_t>(i),
+        .healthy = true});
+  }
+  lb.Populate();
+
+  // Ingress traffic: 12 flows hitting the virtual IP.
+  std::size_t produced = 0;
+  nic.SetPacketSource([&](std::uint8_t* buf) -> std::size_t {
+    if (produced >= 12) {
+      return 0;
+    }
+    FiveTuple flow{.src_ip = 0x0b000000u + static_cast<std::uint32_t>(produced),
+                   .dst_ip = 0x0a0000fe,
+                   .src_port = static_cast<std::uint16_t>(4000 + produced),
+                   .dst_port = 80};
+    ++produced;
+    return BuildUdpFrame(buf, MacAddr{2, 0, 0, 0, 0, 9}, MacAddr{2, 0, 0, 0, 0, 1}, flow,
+                         "req", 3);
+  });
+
+  int per_backend[4] = {0, 0, 0, 0};
+  nic.SetPacketSink([&](const std::uint8_t* frame, std::size_t len) {
+    auto parsed = ParseUdpFrame(frame, len);
+    if (parsed.has_value()) {
+      ++per_backend[parsed->flow.dst_ip & 0xff];
+    }
+  });
+
+  // Forwarding loop: receive, load-balance, transmit in place.
+  nic.DeliverRx(16);
+  std::uint8_t scratch[kMaxFrameLen];
+  std::uint32_t forwarded = driver.RxBurstInPlace(
+      [&](VAddr iova, std::uint16_t len) {
+        arena.Read(iova, scratch, len);
+        if (lb.ForwardPacket(scratch, len) >= 0) {
+          arena.Write(iova, scratch, len);
+          driver.TxInPlaceDeferred(iova, len);
+        }
+      },
+      16);
+  driver.TxFlush();
+  nic.ProcessTx(16);
+
+  std::printf("forwarded %u packets; backend distribution:", forwarded);
+  for (int i = 0; i < 4; ++i) {
+    std::printf(" b%d=%d", i, per_backend[i]);
+  }
+  std::printf("\n");
+
+  // The same flow always lands on the same backend (connection affinity).
+  FiveTuple probe{.src_ip = 0x0b000001, .dst_ip = 0x0a0000fe, .src_port = 4001,
+                  .dst_port = 80};
+  std::printf("flow affinity: lookup x3 -> backend %d, %d, %d\n", lb.Lookup(probe),
+              lb.Lookup(probe), lb.Lookup(probe));
+
+  // IOMMU protection: detach the NIC and show its DMA is now blocked.
+  iommu.DetachDevice(kNic);
+  produced = 0;  // re-arm the source
+  std::uint32_t delivered = nic.DeliverRx(4);
+  std::printf("\nafter iommu detach: DeliverRx delivered %u frames, %llu DMA faults\n",
+              delivered, static_cast<unsigned long long>(nic.dma_faults()));
+  return forwarded == 12 && delivered == 0 ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+#include "src/apps/httpd.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace atmo {
+
+namespace {
+
+std::string_view TrimCr(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') {
+    line.remove_suffix(1);
+  }
+  return line;
+}
+
+// Case-insensitive prefix match for header names.
+bool HeaderIs(std::string_view line, std::string_view name) {
+  if (line.size() < name.size() + 1) {
+    return false;
+  }
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    char a = line[i];
+    char b = name[i];
+    if (a >= 'A' && a <= 'Z') {
+      a = static_cast<char>(a - 'A' + 'a');
+    }
+    if (b >= 'A' && b <= 'Z') {
+      b = static_cast<char>(b - 'A' + 'a');
+    }
+    if (a != b) {
+      return false;
+    }
+  }
+  return line[name.size()] == ':';
+}
+
+std::string_view HeaderValue(std::string_view line) {
+  std::size_t colon = line.find(':');
+  std::string_view value = line.substr(colon + 1);
+  while (!value.empty() && value.front() == ' ') {
+    value.remove_prefix(1);
+  }
+  return value;
+}
+
+}  // namespace
+
+Httpd::Httpd() = default;
+
+void Httpd::AddPage(const std::string& path, const std::string& content_type,
+                    const std::string& body) {
+  pages_[path] = Page{content_type, body};
+}
+
+bool Httpd::ParseRequest(std::string_view text, HttpRequest* out) {
+  std::size_t line_end = text.find('\n');
+  if (line_end == std::string_view::npos) {
+    return false;
+  }
+  std::string_view request_line = TrimCr(text.substr(0, line_end));
+
+  std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return false;
+  }
+  std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) {
+    return false;
+  }
+  out->method = request_line.substr(0, sp1);
+  out->path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  out->version = request_line.substr(sp2 + 1);
+  if (out->method.empty() || out->path.empty() || out->path[0] != '/') {
+    return false;
+  }
+  if (out->version != "HTTP/1.1" && out->version != "HTTP/1.0") {
+    return false;
+  }
+  out->keep_alive = out->version == "HTTP/1.1";
+
+  // Headers until the blank line.
+  std::string_view rest = text.substr(line_end + 1);
+  while (!rest.empty()) {
+    std::size_t next = rest.find('\n');
+    std::string_view line = TrimCr(next == std::string_view::npos ? rest : rest.substr(0, next));
+    if (line.empty()) {
+      break;
+    }
+    if (HeaderIs(line, "host")) {
+      out->host = HeaderValue(line);
+    } else if (HeaderIs(line, "connection")) {
+      std::string_view value = HeaderValue(line);
+      out->keep_alive = value != "close";
+    }
+    if (next == std::string_view::npos) {
+      break;
+    }
+    rest = rest.substr(next + 1);
+  }
+  return true;
+}
+
+std::size_t Httpd::WriteResponse(std::uint8_t* resp, std::size_t cap, int status,
+                                 std::string_view reason, std::string_view content_type,
+                                 std::string_view body) {
+  char header[256];
+  int header_len = std::snprintf(header, sizeof(header),
+                                 "HTTP/1.1 %d %.*s\r\n"
+                                 "Server: atmo-httpd/1.0\r\n"
+                                 "Content-Type: %.*s\r\n"
+                                 "Content-Length: %zu\r\n"
+                                 "\r\n",
+                                 status, static_cast<int>(reason.size()), reason.data(),
+                                 static_cast<int>(content_type.size()), content_type.data(),
+                                 body.size());
+  std::size_t total = static_cast<std::size_t>(header_len) + body.size();
+  if (total > cap) {
+    return 0;
+  }
+  std::memcpy(resp, header, static_cast<std::size_t>(header_len));
+  std::memcpy(resp + header_len, body.data(), body.size());
+  return total;
+}
+
+std::size_t Httpd::HandleRequest(const std::uint8_t* req, std::size_t req_len,
+                                 std::uint8_t* resp, std::size_t cap) {
+  HttpRequest parsed;
+  std::string_view text(reinterpret_cast<const char*>(req), req_len);
+  if (!ParseRequest(text, &parsed)) {
+    ++errors_;
+    return WriteResponse(resp, cap, 400, "Bad Request", "text/plain", "bad request\n");
+  }
+  if (parsed.method != "GET" && parsed.method != "HEAD") {
+    ++errors_;
+    return WriteResponse(resp, cap, 405, "Method Not Allowed", "text/plain",
+                         "method not allowed\n");
+  }
+  auto it = pages_.find(parsed.path);
+  if (it == pages_.end()) {
+    ++errors_;
+    return WriteResponse(resp, cap, 404, "Not Found", "text/plain", "not found\n");
+  }
+  ++served_;
+  std::string_view body = parsed.method == "HEAD" ? std::string_view{} : it->second.body;
+  return WriteResponse(resp, cap, 200, "OK", it->second.content_type, body);
+}
+
+}  // namespace atmo

@@ -1,0 +1,63 @@
+// Tiny web server (§6.6 "httpd").
+//
+// Serves static content: parses HTTP/1.1 request lines and headers from
+// request payloads, looks the path up in an in-memory document table, and
+// produces a full response with status line, headers, and body. The
+// benchmark drives it with a wrk-like closed-loop generator.
+
+#ifndef ATMO_SRC_APPS_HTTPD_H_
+#define ATMO_SRC_APPS_HTTPD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace atmo {
+
+struct HttpRequest {
+  std::string_view method;
+  std::string_view path;
+  std::string_view version;
+  // Selected headers the server cares about.
+  std::string_view host;
+  bool keep_alive = true;
+};
+
+class Httpd {
+ public:
+  Httpd();
+
+  // Registers a static document.
+  void AddPage(const std::string& path, const std::string& content_type,
+               const std::string& body);
+
+  // Parses one request; false on malformed input.
+  static bool ParseRequest(std::string_view text, HttpRequest* out);
+
+  // Handles one request buffer; writes the response into `resp` (capacity
+  // `cap`). Returns the response length (always > 0: errors produce 4xx).
+  std::size_t HandleRequest(const std::uint8_t* req, std::size_t req_len, std::uint8_t* resp,
+                            std::size_t cap);
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t errors() const { return errors_; }
+
+ private:
+  struct Page {
+    std::string content_type;
+    std::string body;
+  };
+
+  std::size_t WriteResponse(std::uint8_t* resp, std::size_t cap, int status,
+                            std::string_view reason, std::string_view content_type,
+                            std::string_view body);
+
+  std::map<std::string, Page, std::less<>> pages_;
+  std::uint64_t served_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_APPS_HTTPD_H_

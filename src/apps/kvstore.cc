@@ -1,0 +1,162 @@
+#include "src/apps/kvstore.h"
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t v) {
+  std::size_t out = 1;
+  while (out < v) {
+    out <<= 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+KvStore::KvStore(std::size_t capacity)
+    : slots_(RoundUpPow2(capacity)), mask_(RoundUpPow2(capacity) - 1) {
+  ATMO_CHECK(capacity >= 2, "kv-store capacity too small");
+}
+
+std::size_t KvStore::Probe(std::string_view key, bool for_insert) const {
+  std::size_t index = Fnv1a(key.data(), key.size()) & mask_;
+  std::size_t first_tombstone = SIZE_MAX;
+  for (std::size_t step = 0; step <= mask_; ++step) {
+    const Entry& entry = slots_[index];
+    if (entry.state == 0) {
+      if (for_insert && first_tombstone != SIZE_MAX) {
+        return first_tombstone;
+      }
+      return index;  // empty: miss (or insertion point)
+    }
+    if (entry.state == 2) {
+      if (for_insert && first_tombstone == SIZE_MAX) {
+        first_tombstone = index;
+      }
+    } else if (entry.key_len == key.size() &&
+               std::memcmp(entry.key, key.data(), key.size()) == 0) {
+      return index;  // hit
+    }
+    index = (index + 1) & mask_;  // linear probing
+  }
+  return for_insert && first_tombstone != SIZE_MAX ? first_tombstone : SIZE_MAX;
+}
+
+bool KvStore::Set(std::string_view key, std::string_view value) {
+  if (key.empty() || key.size() > kKvMaxKey || value.size() > kKvMaxValue) {
+    return false;
+  }
+  if (size_ >= capacity() - 1) {
+    // Keep one slot free so probes terminate.
+    std::size_t existing = Probe(key, /*for_insert=*/false);
+    if (existing == SIZE_MAX || slots_[existing].state != 1) {
+      return false;
+    }
+  }
+  std::size_t index = Probe(key, /*for_insert=*/true);
+  if (index == SIZE_MAX) {
+    return false;
+  }
+  Entry& entry = slots_[index];
+  if (entry.state != 1) {
+    ++size_;
+  }
+  entry.state = 1;
+  entry.key_len = static_cast<std::uint8_t>(key.size());
+  entry.val_len = static_cast<std::uint8_t>(value.size());
+  std::memcpy(entry.key, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(entry.value, value.data(), value.size());
+  }
+  return true;
+}
+
+std::optional<std::string_view> KvStore::Get(std::string_view key) const {
+  if (key.empty() || key.size() > kKvMaxKey) {
+    return std::nullopt;
+  }
+  std::size_t index = Probe(key, /*for_insert=*/false);
+  if (index == SIZE_MAX || slots_[index].state != 1) {
+    return std::nullopt;
+  }
+  const Entry& entry = slots_[index];
+  return std::string_view(reinterpret_cast<const char*>(entry.value), entry.val_len);
+}
+
+bool KvStore::Del(std::string_view key) {
+  if (key.empty() || key.size() > kKvMaxKey) {
+    return false;
+  }
+  std::size_t index = Probe(key, /*for_insert=*/false);
+  if (index == SIZE_MAX || slots_[index].state != 1) {
+    return false;
+  }
+  slots_[index].state = 2;  // tombstone
+  --size_;
+  return true;
+}
+
+std::size_t KvStore::HandleRequest(const std::uint8_t* req, std::size_t req_len,
+                                   std::uint8_t* resp) {
+  auto bad = [&resp] {
+    resp[0] = kKvBadRequest;
+    resp[1] = 0;
+    return std::size_t{2};
+  };
+  if (req_len < 3) {
+    return bad();
+  }
+  std::uint8_t op = req[0];
+  std::size_t key_len = req[1];
+  std::size_t val_len = req[2];
+  if (key_len == 0 || key_len > kKvMaxKey || val_len > kKvMaxValue ||
+      3 + key_len + val_len > req_len) {
+    return bad();
+  }
+  std::string_view key(reinterpret_cast<const char*>(req + 3), key_len);
+  std::string_view value(reinterpret_cast<const char*>(req + 3 + key_len), val_len);
+
+  switch (op) {
+    case kKvGet: {
+      std::optional<std::string_view> hit = Get(key);
+      if (!hit.has_value()) {
+        resp[0] = kKvMiss;
+        resp[1] = 0;
+        return 2;
+      }
+      resp[0] = kKvOk;
+      resp[1] = static_cast<std::uint8_t>(hit->size());
+      std::memcpy(resp + 2, hit->data(), hit->size());
+      return 2 + hit->size();
+    }
+    case kKvSet: {
+      resp[0] = Set(key, value) ? kKvOk : kKvFull;
+      resp[1] = 0;
+      return 2;
+    }
+    case kKvDel: {
+      resp[0] = Del(key) ? kKvOk : kKvMiss;
+      resp[1] = 0;
+      return 2;
+    }
+    default:
+      return bad();
+  }
+}
+
+std::size_t KvStore::BuildRequest(std::uint8_t* buf, std::uint8_t op, std::string_view key,
+                                  std::string_view value) {
+  buf[0] = op;
+  buf[1] = static_cast<std::uint8_t>(key.size());
+  buf[2] = static_cast<std::uint8_t>(value.size());
+  std::memcpy(buf + 3, key.data(), key.size());
+  if (!value.empty()) {
+    std::memcpy(buf + 3 + key.size(), value.data(), value.size());
+  }
+  return 3 + key.size() + value.size();
+}
+
+}  // namespace atmo

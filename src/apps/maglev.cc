@@ -1,0 +1,101 @@
+#include "src/apps/maglev.h"
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+Maglev::Maglev(std::uint32_t table_size) : table_size_(table_size) {
+  ATMO_CHECK(table_size >= 3, "Maglev table too small");
+  table_.assign(table_size_, -1);
+}
+
+void Maglev::AddBackend(const MaglevBackend& backend) { backends_.push_back(backend); }
+
+void Maglev::SetHealthy(const std::string& name, bool healthy) {
+  for (MaglevBackend& backend : backends_) {
+    if (backend.name == name) {
+      backend.healthy = healthy;
+      return;
+    }
+  }
+  ATMO_FAIL("Maglev: unknown backend");
+}
+
+void Maglev::Populate() {
+  table_.assign(table_size_, -1);
+  std::vector<int> healthy;
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    if (backends_[i].healthy) {
+      healthy.push_back(static_cast<int>(i));
+    }
+  }
+  if (healthy.empty()) {
+    return;
+  }
+
+  // Per-backend permutation state: position j of backend i's preference
+  // list is (offset + j * skip) mod M.
+  struct Perm {
+    std::uint64_t offset;
+    std::uint64_t skip;
+    std::uint64_t next = 0;  // next preference index to try
+  };
+  std::vector<Perm> perms;
+  perms.reserve(healthy.size());
+  for (int idx : healthy) {
+    const std::string& name = backends_[idx].name;
+    std::uint64_t h1 = Fnv1a(name.data(), name.size(), 0xcbf29ce484222325ull);
+    std::uint64_t h2 = Fnv1a(name.data(), name.size(), 0x100001b3cafef00dull);
+    perms.push_back(Perm{h1 % table_size_, h2 % (table_size_ - 1) + 1, 0});
+  }
+
+  std::uint32_t filled = 0;
+  while (filled < table_size_) {
+    for (std::size_t i = 0; i < healthy.size() && filled < table_size_; ++i) {
+      Perm& perm = perms[i];
+      // Claim the backend's next unclaimed preferred position.
+      std::uint64_t position;
+      do {
+        position = (perm.offset + perm.next * perm.skip) % table_size_;
+        ++perm.next;
+      } while (table_[position] >= 0);
+      table_[position] = healthy[i];
+      ++filled;
+    }
+  }
+}
+
+int Maglev::Lookup(const FiveTuple& flow) const {
+  if (backends_.empty()) {
+    return -1;
+  }
+  std::uint64_t hash = Fnv1a(&flow, sizeof(flow));
+  int backend = table_[hash % table_size_];
+  return backend;
+}
+
+int Maglev::ForwardPacket(std::uint8_t* frame, std::size_t len) {
+  std::optional<ParsedFrame> parsed = ParseUdpFrame(frame, len);
+  if (!parsed.has_value()) {
+    return -1;
+  }
+  int index = Lookup(parsed->flow);
+  if (index < 0) {
+    return -1;
+  }
+  const MaglevBackend& backend = backends_[static_cast<std::size_t>(index)];
+  RewriteDestination(frame, len, backend.mac, backend.ip);
+  return index;
+}
+
+std::vector<std::uint32_t> Maglev::Shares() const {
+  std::vector<std::uint32_t> shares(backends_.size(), 0);
+  for (int entry : table_) {
+    if (entry >= 0) {
+      ++shares[static_cast<std::size_t>(entry)];
+    }
+  }
+  return shares;
+}
+
+}  // namespace atmo

@@ -1,0 +1,65 @@
+// Maglev consistent-hashing load balancer (§6.6, Eisenbud et al. NSDI'16).
+//
+// Implements the paper's lookup-table population algorithm: each backend
+// gets a permutation of table positions derived from two hashes of its name
+// (offset and skip); backends take turns claiming their next unclaimed
+// position until the table is full. Properties (checked by tests): the
+// table is completely filled, backend shares are balanced within the
+// algorithm's bound, and removing a backend only remaps entries that
+// pointed at it (minimal disruption).
+//
+// The packet path parses the 5-tuple, hashes it, consults the lookup table
+// and rewrites the destination to the chosen backend.
+
+#ifndef ATMO_SRC_APPS_MAGLEV_H_
+#define ATMO_SRC_APPS_MAGLEV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+
+namespace atmo {
+
+struct MaglevBackend {
+  std::string name;
+  MacAddr mac{};
+  std::uint32_t ip = 0;
+  bool healthy = true;
+};
+
+class Maglev {
+ public:
+  // `table_size` must be prime (the paper uses 65537 for its small table).
+  explicit Maglev(std::uint32_t table_size = 65537);
+
+  void AddBackend(const MaglevBackend& backend);
+  void SetHealthy(const std::string& name, bool healthy);
+  // (Re)builds the lookup table from the healthy backends.
+  void Populate();
+
+  std::size_t backend_count() const { return backends_.size(); }
+  std::uint32_t table_size() const { return table_size_; }
+
+  // Index of the backend serving `flow` (-1 if no healthy backend).
+  int Lookup(const FiveTuple& flow) const;
+  const MaglevBackend& backend(int index) const { return backends_[index]; }
+
+  // Full data-path step: parse the frame, pick a backend, rewrite the
+  // destination in place. Returns the backend index or -1 (drop).
+  int ForwardPacket(std::uint8_t* frame, std::size_t len);
+
+  // Table share per backend (for the balance property test).
+  std::vector<std::uint32_t> Shares() const;
+  const std::vector<int>& table() const { return table_; }
+
+ private:
+  std::uint32_t table_size_;
+  std::vector<MaglevBackend> backends_;
+  std::vector<int> table_;  // position -> backend index
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_APPS_MAGLEV_H_

@@ -1,0 +1,285 @@
+#include "src/baseline/cap_kernel.h"
+
+#include <cstring>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+CapKernel::CapKernel(std::uint32_t cnode_slots) : cnode_slots_(cnode_slots) {}
+
+std::uint32_t CapKernel::CreateTcb() {
+  Tcb tcb;
+  tcb.cspace_base = static_cast<std::uint32_t>(caps_.size());
+  caps_.resize(caps_.size() + cnode_slots_);
+  tcbs_.push_back(tcb);
+  return static_cast<std::uint32_t>(tcbs_.size() - 1);
+}
+
+std::uint32_t CapKernel::CreateEndpoint() {
+  endpoints_.push_back(Endpoint{});
+  return static_cast<std::uint32_t>(endpoints_.size() - 1);
+}
+
+std::uint32_t CapKernel::CreateVSpace() {
+  vnodes_.push_back(VSpaceNode{});
+  vspaces_.push_back(static_cast<std::uint32_t>(vnodes_.size() - 1));
+  return static_cast<std::uint32_t>(vspaces_.size() - 1);
+}
+
+std::uint32_t CapKernel::CreateFrame() { return frames_++; }
+
+std::uint32_t CapKernel::InstallCap(std::uint32_t tcb, CapType type, std::uint32_t obj,
+                                    CapRights rights, std::uint64_t badge) {
+  ATMO_CHECK(tcb < tcbs_.size(), "InstallCap: bad tcb");
+  std::uint32_t base = tcbs_[tcb].cspace_base;
+  for (std::uint32_t slot = 0; slot < cnode_slots_; ++slot) {
+    if (caps_[base + slot].type == CapType::kNull) {
+      caps_[base + slot] = Cap{.type = type, .object = obj, .rights = rights, .badge = badge};
+      return slot;
+    }
+  }
+  ATMO_FAIL("InstallCap: cspace full");
+}
+
+CapKernel::Cap* CapKernel::LookupCap(std::uint32_t tcb, std::uint32_t cptr, CapType type,
+                                     CkStatus* status) {
+  if (tcb >= tcbs_.size() || cptr >= cnode_slots_) {
+    *status = CkStatus::kInvalidCap;
+    return nullptr;
+  }
+  Cap* cap = &caps_[tcbs_[tcb].cspace_base + cptr];
+  if (cap->type == CapType::kNull) {
+    *status = CkStatus::kInvalidCap;
+    return nullptr;
+  }
+  if (cap->type != type) {
+    *status = CkStatus::kWrongType;
+    return nullptr;
+  }
+  *status = CkStatus::kOk;
+  return cap;
+}
+
+std::uint32_t CapKernel::AllocCapSlot() {
+  // Reply caps and derived caps live past the cspace slices.
+  caps_.push_back(Cap{});
+  return static_cast<std::uint32_t>(caps_.size() - 1);
+}
+
+std::uint32_t CapKernel::DeriveCap(std::uint32_t parent_index, CapType type,
+                                   std::uint32_t object, CapRights rights) {
+  std::uint32_t child = AllocCapSlot();
+  Cap& c = caps_[child];
+  c.type = type;
+  c.object = object;
+  c.rights = rights;
+  c.cdt_parent = parent_index;
+  c.cdt_next_sibling = caps_[parent_index].cdt_first_child;
+  caps_[parent_index].cdt_first_child = child;
+  return child;
+}
+
+void CapKernel::RevokeCap(std::uint32_t index) {
+  Cap& cap = caps_[index];
+  // Unlink from the parent's child list.
+  if (cap.cdt_parent != kCkNull) {
+    std::uint32_t* link = &caps_[cap.cdt_parent].cdt_first_child;
+    while (*link != kCkNull && *link != index) {
+      link = &caps_[*link].cdt_next_sibling;
+    }
+    if (*link == index) {
+      *link = cap.cdt_next_sibling;
+    }
+  }
+  cap = Cap{};
+}
+
+void CapKernel::ContextSwitch(std::uint32_t from, std::uint32_t to) {
+  // The real cost of a direct-switch IPC: both register files move.
+  std::array<std::uint64_t, kCkRegFile> scratch;
+  std::memcpy(scratch.data(), tcbs_[from].regs.data(), sizeof(scratch));
+  std::memcpy(tcbs_[from].regs.data(), tcbs_[to].regs.data(), sizeof(scratch));
+  std::memcpy(tcbs_[to].regs.data(), scratch.data(), sizeof(scratch));
+}
+
+void CapKernel::EnqueueWaiter(Endpoint* ep, std::uint32_t tcb, bool sender) {
+  if (ep->queue_head == kCkNull) {
+    ep->senders = sender;
+    ep->queue_head = tcb;
+    ep->queue_tail = tcb;
+  } else {
+    ATMO_CHECK(ep->senders == sender, "CapKernel: mixed endpoint queue");
+    tcbs_[ep->queue_tail].wait_next = tcb;
+    ep->queue_tail = tcb;
+  }
+  tcbs_[tcb].wait_next = kCkNull;
+  tcbs_[tcb].blocked = true;
+}
+
+std::uint32_t CapKernel::DequeueWaiter(Endpoint* ep) {
+  std::uint32_t tcb = ep->queue_head;
+  ATMO_CHECK(tcb != kCkNull, "CapKernel: dequeue from empty endpoint");
+  ep->queue_head = tcbs_[tcb].wait_next;
+  if (ep->queue_head == kCkNull) {
+    ep->queue_tail = kCkNull;
+  }
+  tcbs_[tcb].blocked = false;
+  return tcb;
+}
+
+CkStatus CapKernel::Call(std::uint32_t caller_tcb, std::uint32_t ep_cptr,
+                         const std::array<std::uint64_t, kCkMsgRegs>& mrs) {
+  CkStatus status;
+  Cap* cap = LookupCap(caller_tcb, ep_cptr, CapType::kEndpoint, &status);
+  if (cap == nullptr) {
+    return status;
+  }
+  if ((static_cast<std::uint8_t>(cap->rights) & static_cast<std::uint8_t>(CapRights::kWrite)) ==
+      0) {
+    return CkStatus::kNoRights;
+  }
+  Endpoint* ep = &endpoints_[cap->object];
+  tcbs_[caller_tcb].mrs = mrs;
+
+  if (ep->queue_head != kCkNull && !ep->senders) {
+    // Fastpath: a receiver is waiting — transfer MRs + badge, mint the
+    // reply cap, switch directly.
+    std::uint32_t receiver = DequeueWaiter(ep);
+    tcbs_[receiver].mrs = tcbs_[caller_tcb].mrs;
+    tcbs_[receiver].badge = cap->badge;
+    tcbs_[receiver].reply_slot = DeriveCap(
+        tcbs_[caller_tcb].cspace_base + ep_cptr, CapType::kReply, caller_tcb, CapRights::kAll);
+    tcbs_[caller_tcb].blocked = true;  // awaiting reply
+    ContextSwitch(caller_tcb, receiver);
+    return CkStatus::kDeliveredTo;
+  }
+  EnqueueWaiter(ep, caller_tcb, /*sender=*/true);
+  return CkStatus::kWouldBlock;
+}
+
+CkStatus CapKernel::Recv(std::uint32_t tcb, std::uint32_t ep_cptr) {
+  CkStatus status;
+  Cap* cap = LookupCap(tcb, ep_cptr, CapType::kEndpoint, &status);
+  if (cap == nullptr) {
+    return status;
+  }
+  if ((static_cast<std::uint8_t>(cap->rights) & static_cast<std::uint8_t>(CapRights::kRead)) ==
+      0) {
+    return CkStatus::kNoRights;
+  }
+  Endpoint* ep = &endpoints_[cap->object];
+  if (ep->queue_head != kCkNull && ep->senders) {
+    std::uint32_t sender = DequeueWaiter(ep);
+    tcbs_[tcb].mrs = tcbs_[sender].mrs;
+    tcbs_[tcb].reply_slot = DeriveCap(tcbs_[tcb].cspace_base + ep_cptr, CapType::kReply,
+                                      sender, CapRights::kAll);
+    // Sender stays blocked awaiting the reply.
+    tcbs_[sender].blocked = true;
+    return CkStatus::kOk;
+  }
+  EnqueueWaiter(ep, tcb, /*sender=*/false);
+  return CkStatus::kWouldBlock;
+}
+
+CkStatus CapKernel::ReplyRecv(std::uint32_t server_tcb, std::uint32_t ep_cptr,
+                              const std::array<std::uint64_t, kCkMsgRegs>& mrs) {
+  Tcb& server = tcbs_[server_tcb];
+  if (server.reply_slot == kCkNull || caps_[server.reply_slot].type != CapType::kReply) {
+    return CkStatus::kInvalidCap;
+  }
+  std::uint32_t caller = caps_[server.reply_slot].object;
+  // Consume the reply cap (CDT removal) and deliver.
+  RevokeCap(server.reply_slot);
+  server.reply_slot = kCkNull;
+  tcbs_[caller].mrs = mrs;
+  tcbs_[caller].blocked = false;
+  ContextSwitch(server_tcb, caller);
+  // Then wait on the endpoint again.
+  return Recv(server_tcb, ep_cptr);
+}
+
+CkStatus CapKernel::MapPage(std::uint32_t tcb, std::uint32_t frame_cptr,
+                            std::uint32_t vspace_cptr, std::uint64_t vaddr,
+                            CapRights rights) {
+  CkStatus status;
+  Cap* frame = LookupCap(tcb, frame_cptr, CapType::kFrame, &status);
+  if (frame == nullptr) {
+    return status;
+  }
+  Cap* vspace = LookupCap(tcb, vspace_cptr, CapType::kVSpace, &status);
+  if (vspace == nullptr) {
+    return status;
+  }
+  if (frame->mapped_vspace != kCkNull) {
+    return CkStatus::kAlreadyMapped;
+  }
+
+  // Walk/extend the 4-level table.
+  std::uint32_t node = vspaces_[vspace->object];
+  for (int level = 4; level > 1; --level) {
+    std::uint32_t index =
+        static_cast<std::uint32_t>((vaddr >> (12 + 9 * (level - 1))) & 0x1ff);
+    std::uint32_t next = vnodes_[node].entries[index];
+    if (next == 0) {
+      vnodes_.push_back(VSpaceNode{});
+      next = static_cast<std::uint32_t>(vnodes_.size() - 1);
+      vnodes_[node].entries[index] = next;
+    }
+    node = next;
+  }
+  std::uint32_t leaf_index = static_cast<std::uint32_t>((vaddr >> 12) & 0x1ff);
+  if (vnodes_[node].entries[leaf_index] != 0) {
+    return CkStatus::kAlreadyMapped;
+  }
+  // Derive the mapped-copy cap (the classical bookkeeping step) before
+  // installing the PTE. DeriveCap may grow the cap table, so re-address the
+  // frame cap by index afterwards.
+  std::uint32_t frame_index = tcbs_[tcb].cspace_base + frame_cptr;
+  std::uint32_t frame_obj = frame->object;
+  std::uint32_t vspace_obj = vspace->object;
+  std::uint32_t derived = DeriveCap(frame_index, CapType::kFrame, frame_obj, rights);
+  caps_[derived].mapped_vspace = vspace_obj;
+  caps_[derived].mapped_vaddr = vaddr;
+  caps_[frame_index].mapped_vspace = vspace_obj;
+  caps_[frame_index].mapped_vaddr = vaddr;
+  vnodes_[node].entries[leaf_index] = frame_obj + 1;
+  return CkStatus::kOk;
+}
+
+CkStatus CapKernel::UnmapPage(std::uint32_t tcb, std::uint32_t frame_cptr) {
+  CkStatus status;
+  Cap* frame = LookupCap(tcb, frame_cptr, CapType::kFrame, &status);
+  if (frame == nullptr) {
+    return status;
+  }
+  if (frame->mapped_vspace == kCkNull) {
+    return CkStatus::kInvalidCap;
+  }
+  std::uint64_t vaddr = frame->mapped_vaddr;
+  std::uint32_t node = vspaces_[frame->mapped_vspace];
+  for (int level = 4; level > 1; --level) {
+    std::uint32_t index =
+        static_cast<std::uint32_t>((vaddr >> (12 + 9 * (level - 1))) & 0x1ff);
+    node = vnodes_[node].entries[index];
+    if (node == 0) {
+      return CkStatus::kInvalidCap;
+    }
+  }
+  vnodes_[node].entries[(vaddr >> 12) & 0x1ff] = 0;
+  // Revoke the derived mapped-copy.
+  std::uint32_t child = caps_[tcbs_[tcb].cspace_base + frame_cptr].cdt_first_child;
+  if (child != kCkNull) {
+    RevokeCap(child);
+  }
+  frame->mapped_vspace = kCkNull;
+  return CkStatus::kOk;
+}
+
+const std::array<std::uint64_t, kCkMsgRegs>& CapKernel::MessageRegs(std::uint32_t tcb) const {
+  return tcbs_[tcb].mrs;
+}
+
+std::uint64_t CapKernel::Badge(std::uint32_t tcb) const { return tcbs_[tcb].badge; }
+
+}  // namespace atmo

@@ -1,0 +1,146 @@
+// CapKernel — a compact seL4-like capability microkernel (Table 3 baseline).
+//
+// Implements just enough of a classical capability kernel to compare IPC
+// and mapping latency against Atmosphere on equal terms:
+//   * capability spaces (CNodes) with typed, badged, rights-carrying caps
+//     organized in a capability derivation tree (CDT),
+//   * TCBs with register files that are really copied on context switch,
+//   * endpoints with a synchronous call/reply fastpath that transfers four
+//     message registers and mints a reply capability (a CDT insertion — the
+//     bookkeeping that makes classical map/derive paths heavier),
+//   * a 4-level page-table map operation that derives a mapped child cap
+//     from the frame cap before installing the PTE.
+
+#ifndef ATMO_SRC_BASELINE_CAP_KERNEL_H_
+#define ATMO_SRC_BASELINE_CAP_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace atmo {
+
+enum class CapType : std::uint8_t {
+  kNull = 0,
+  kEndpoint,
+  kTcb,
+  kFrame,
+  kVSpace,
+  kReply,
+};
+
+enum class CapRights : std::uint8_t {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kGrant = 4,
+  kAll = 7,
+};
+
+enum class CkStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidCap,
+  kWrongType,
+  kNoRights,
+  kWouldBlock,
+  kDeliveredTo,  // internal: message handed to a waiting receiver
+  kAlreadyMapped,
+  kNoMemory,
+};
+
+inline constexpr std::uint32_t kCkNull = 0xffffffffu;
+inline constexpr std::size_t kCkMsgRegs = 4;
+inline constexpr std::size_t kCkRegFile = 18;  // x86-64 GPRs + rip/rflags
+
+class CapKernel {
+ public:
+  explicit CapKernel(std::uint32_t cnode_slots = 256);
+
+  // --- Object creation (setup path, untimed) ---
+  std::uint32_t CreateTcb();
+  std::uint32_t CreateEndpoint();
+  std::uint32_t CreateVSpace();
+  std::uint32_t CreateFrame();  // one 4K frame object
+  // Installs a cap to `obj` of `type` into `tcb`'s cspace; returns the slot.
+  std::uint32_t InstallCap(std::uint32_t tcb, CapType type, std::uint32_t obj,
+                           CapRights rights, std::uint64_t badge = 0);
+
+  // --- Timed operations (the Table 3 surface) ---
+  // seL4_Call: transfer MRs through the endpoint; blocks the caller until
+  // the reply. Returns kDeliveredTo if a receiver was waiting (fastpath),
+  // kWouldBlock if the caller queued.
+  CkStatus Call(std::uint32_t caller_tcb, std::uint32_t ep_cptr,
+                const std::array<std::uint64_t, kCkMsgRegs>& mrs);
+  // seL4_Recv: dequeue a sender or block.
+  CkStatus Recv(std::uint32_t tcb, std::uint32_t ep_cptr);
+  // seL4_ReplyRecv: reply to the caller through the reply cap, then wait
+  // again on the endpoint (the server loop fastpath).
+  CkStatus ReplyRecv(std::uint32_t server_tcb, std::uint32_t ep_cptr,
+                     const std::array<std::uint64_t, kCkMsgRegs>& mrs);
+  // seL4_Page_Map: derive + install a frame mapping into a vspace.
+  CkStatus MapPage(std::uint32_t tcb, std::uint32_t frame_cptr, std::uint32_t vspace_cptr,
+                   std::uint64_t vaddr, CapRights rights);
+  CkStatus UnmapPage(std::uint32_t tcb, std::uint32_t frame_cptr);
+
+  const std::array<std::uint64_t, kCkMsgRegs>& MessageRegs(std::uint32_t tcb) const;
+  std::uint64_t Badge(std::uint32_t tcb) const;
+
+ private:
+  struct Cap {
+    CapType type = CapType::kNull;
+    std::uint32_t object = kCkNull;
+    CapRights rights = CapRights::kNone;
+    std::uint64_t badge = 0;
+    // Capability derivation tree links.
+    std::uint32_t cdt_parent = kCkNull;
+    std::uint32_t cdt_first_child = kCkNull;
+    std::uint32_t cdt_next_sibling = kCkNull;
+    // For kFrame mapped-copies: where it is mapped.
+    std::uint32_t mapped_vspace = kCkNull;
+    std::uint64_t mapped_vaddr = 0;
+  };
+
+  struct Tcb {
+    std::array<std::uint64_t, kCkRegFile> regs{};
+    std::array<std::uint64_t, kCkMsgRegs> mrs{};
+    std::uint64_t badge = 0;
+    std::uint32_t cspace_base = 0;  // slice of the global cap table
+    std::uint32_t wait_next = kCkNull;
+    std::uint32_t reply_slot = kCkNull;  // minted reply cap (global index)
+    bool blocked = false;
+  };
+
+  struct Endpoint {
+    std::uint32_t queue_head = kCkNull;
+    std::uint32_t queue_tail = kCkNull;
+    bool senders = false;  // queue holds senders (else receivers)
+  };
+
+  struct VSpaceNode {
+    std::array<std::uint32_t, 512> entries;  // index of next node / frame+1
+    VSpaceNode() { entries.fill(0); }
+  };
+
+  Cap* LookupCap(std::uint32_t tcb, std::uint32_t cptr, CapType type, CkStatus* status);
+  std::uint32_t AllocCapSlot();
+  // Derives a child cap under `parent_index` (CDT insertion).
+  std::uint32_t DeriveCap(std::uint32_t parent_index, CapType type, std::uint32_t object,
+                          CapRights rights);
+  void RevokeCap(std::uint32_t index);
+  void ContextSwitch(std::uint32_t from, std::uint32_t to);
+  void EnqueueWaiter(Endpoint* ep, std::uint32_t tcb, bool sender);
+  std::uint32_t DequeueWaiter(Endpoint* ep);
+
+  std::uint32_t cnode_slots_;
+  std::vector<Cap> caps_;         // global cap table; cspaces are slices
+  std::vector<Tcb> tcbs_;
+  std::vector<Endpoint> endpoints_;
+  std::vector<VSpaceNode> vnodes_;       // node 0 unused; roots recorded per vspace
+  std::vector<std::uint32_t> vspaces_;   // vspace id -> root node index
+  std::uint32_t frames_ = 0;             // frame objects are just ids
+  std::uint32_t free_cap_head_ = kCkNull;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_BASELINE_CAP_KERNEL_H_

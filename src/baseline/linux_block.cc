@@ -1,0 +1,56 @@
+#include "src/baseline/linux_block.h"
+
+namespace atmo {
+
+LinuxBlockLayer::LinuxBlockLayer(NvmeDriver* driver) : driver_(driver) {}
+
+std::uint32_t LinuxBlockLayer::SubmitBatch(const AioRequest* reqs, std::uint32_t n) {
+  trap_.Enter();
+  // Block-layer entry: allocate a bio per request and insert it into the
+  // elevator (ordered by LBA).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto bio = std::make_unique<Bio>();
+    bio->req = reqs[i];
+    bio->cid = next_cid_++;
+    elevator_.emplace(reqs[i].lba, std::move(bio));
+  }
+  // Unplug: dispatch in elevator order, doorbell per dispatched request
+  // (the mq path rings per hardware dispatch).
+  std::uint32_t accepted = 0;
+  for (auto it = elevator_.begin(); it != elevator_.end();) {
+    Bio* bio = it->second.get();
+    bool ok = bio->req.write
+                  ? driver_->SubmitWrite(bio->req.lba, bio->req.blocks, bio->req.buffer,
+                                         bio->cid)
+                  : driver_->SubmitRead(bio->req.lba, bio->req.blocks, bio->req.buffer,
+                                        bio->cid);
+    if (!ok) {
+      break;  // device queue full; remaining requests stay plugged
+    }
+    driver_->RingDoorbell();
+    inflight_[bio->cid] = bio->req.user_tag;
+    it = elevator_.erase(it);
+    ++accepted;
+  }
+  trap_.Exit();
+  return accepted;
+}
+
+std::uint32_t LinuxBlockLayer::GetEvents(AioEvent* out, std::uint32_t n) {
+  trap_.Enter();
+  NvmeCompletion completions[64];
+  std::uint32_t want = n > 64 ? 64 : n;
+  std::uint32_t got = driver_->PollCompletions(completions, want);
+  for (std::uint32_t i = 0; i < got; ++i) {
+    auto it = inflight_.find(completions[i].cid);
+    out[i].user_tag = it != inflight_.end() ? it->second : 0;
+    out[i].error = completions[i].error;
+    if (it != inflight_.end()) {
+      inflight_.erase(it);
+    }
+  }
+  trap_.Exit();
+  return got;
+}
+
+}  // namespace atmo

@@ -1,0 +1,67 @@
+// Linux-like block layer baseline (Fig 5 "linux (fio/libaio)" series).
+//
+// Models the fio + libaio + multi-queue block layer path of the paper's
+// NVMe comparison with real per-request work:
+//   * an io_submit trap per batch and an io_getevents trap per reap,
+//   * per-request bio allocation, block-layer request bookkeeping (an
+//     elevator-style ordered queue), and plug/unplug dispatch that rings
+//     the device doorbell per dispatched request,
+//   * completion reaping through the same layered bookkeeping.
+//
+// The device underneath is the same SimNvme/NvmeDriver as the fast paths.
+
+#ifndef ATMO_SRC_BASELINE_LINUX_BLOCK_H_
+#define ATMO_SRC_BASELINE_LINUX_BLOCK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/baseline/linux_net.h"  // TrapCost
+#include "src/drivers/nvme_driver.h"
+
+namespace atmo {
+
+struct AioRequest {
+  bool write = false;
+  std::uint64_t lba = 0;
+  std::uint64_t blocks = 0;
+  VAddr buffer = 0;
+  std::uint32_t user_tag = 0;
+};
+
+struct AioEvent {
+  std::uint32_t user_tag = 0;
+  bool error = false;
+};
+
+class LinuxBlockLayer {
+ public:
+  explicit LinuxBlockLayer(NvmeDriver* driver);
+
+  // io_submit(2)-like: queues `n` requests through the block layer and
+  // dispatches them to the device. Returns requests accepted.
+  std::uint32_t SubmitBatch(const AioRequest* reqs, std::uint32_t n);
+
+  // io_getevents(2)-like: reaps up to `n` completions.
+  std::uint32_t GetEvents(AioEvent* out, std::uint32_t n);
+
+ private:
+  struct Bio {
+    AioRequest req;
+    std::uint32_t cid = 0;
+  };
+
+  NvmeDriver* driver_;
+  TrapCost trap_;
+  std::uint32_t next_cid_ = 1;
+  // Elevator: requests ordered by LBA before dispatch.
+  std::multimap<std::uint64_t, std::unique_ptr<Bio>> elevator_;
+  // cid -> user tag for completion matching.
+  std::map<std::uint32_t, std::uint32_t> inflight_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_BASELINE_LINUX_BLOCK_H_

@@ -1,0 +1,96 @@
+// Linux-like synchronous network stack baseline (Fig 4/6 "linux" series).
+//
+// The paper's Linux baseline crosses the syscall boundary per packet and
+// walks a generic, layered stack. This model reproduces that cost structure
+// with real work, not sleeps:
+//   * a trap on every send/recv (register save/restore + kernel-entry
+//     pointer chase),
+//   * per-packet sk_buff heap allocation and a data copy into it,
+//   * virtual-dispatch layer traversal: ethernet -> IPv4 (checksum
+//     re-verification + longest-prefix route lookup) -> UDP (port-table
+//     lookup) -> socket backlog,
+//   * a second copy from the sk_buff to the user buffer.
+//
+// The NIC underneath is the same SimNic/IxgbeDriver as the fast paths, so
+// the measured difference is exactly the stack overhead.
+
+#ifndef ATMO_SRC_BASELINE_LINUX_NET_H_
+#define ATMO_SRC_BASELINE_LINUX_NET_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/drivers/ixgbe_driver.h"
+
+namespace atmo {
+
+// Kernel-entry cost model: saves/restores a register area and chases
+// pointers through a small "kernel entry" table — deterministic work that
+// the compiler cannot elide.
+class TrapCost {
+ public:
+  TrapCost();
+  void Enter();
+  void Exit();
+
+ private:
+  std::array<std::uint64_t, 32> user_regs_{};
+  std::array<std::uint64_t, 32> kernel_save_{};
+  std::array<std::uint32_t, 256> chase_;
+  volatile std::uint64_t sink_ = 0;
+};
+
+struct SkBuff {
+  std::vector<std::uint8_t> data;
+  std::size_t len = 0;
+  FiveTuple flow;
+};
+
+class LinuxNetStack {
+ public:
+  explicit LinuxNetStack(IxgbeDriver* driver);
+
+  // Adds a route (dst prefix -> interface metric) and an open UDP port.
+  void AddRoute(std::uint32_t prefix, int prefix_len);
+  void OpenPort(std::uint16_t port);
+
+  // recvmsg(2)-like: one packet per call, trap included. Returns bytes of
+  // UDP payload delivered, 0 if nothing pending.
+  std::size_t Recv(std::uint8_t* user_buf, std::size_t cap);
+
+  // sendmsg(2)-like: one packet per call, trap included.
+  bool Send(const FiveTuple& flow, const std::uint8_t* payload, std::size_t len);
+
+  // Raw-socket variants (packet sockets, as a Linux load balancer would
+  // use): full frames cross the boundary, still one trap + sk_buff +
+  // copies per packet.
+  std::size_t RecvRaw(std::uint8_t* user_buf, std::size_t cap);
+  bool SendRaw(const std::uint8_t* frame, std::size_t len);
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  // Bottom-half: pull a batch from the driver into the socket backlog,
+  // running the full input path per packet.
+  void SoftIrq();
+  bool IpInput(SkBuff* skb);
+  bool UdpInput(SkBuff* skb);
+  bool RouteLookup(std::uint32_t dst_ip) const;
+
+  IxgbeDriver* driver_;
+  TrapCost trap_;
+  std::map<std::uint32_t, int> routes_;  // masked prefix -> length
+  std::map<std::uint16_t, bool> ports_;
+  std::deque<std::unique_ptr<SkBuff>> backlog_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  MacAddr mac_{0x02, 0, 0, 0, 0, 1};
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_BASELINE_LINUX_NET_H_

@@ -1,0 +1,1093 @@
+#include "src/core/kernel.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "src/pagetable/refinement.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "yield";
+    case SysOp::kMmap:
+      return "mmap";
+    case SysOp::kMunmap:
+      return "munmap";
+    case SysOp::kNewContainer:
+      return "new_container";
+    case SysOp::kNewProcess:
+      return "new_process";
+    case SysOp::kNewThread:
+      return "new_thread";
+    case SysOp::kNewEndpoint:
+      return "new_endpoint";
+    case SysOp::kUnbindEndpoint:
+      return "unbind_endpoint";
+    case SysOp::kSend:
+      return "send";
+    case SysOp::kRecv:
+      return "recv";
+    case SysOp::kCall:
+      return "call";
+    case SysOp::kReply:
+      return "reply";
+    case SysOp::kExit:
+      return "exit";
+    case SysOp::kKillProcess:
+      return "kill_process";
+    case SysOp::kKillContainer:
+      return "kill_container";
+    case SysOp::kIommuCreateDomain:
+      return "iommu_create_domain";
+    case SysOp::kIommuAttachDevice:
+      return "iommu_attach_device";
+    case SysOp::kIommuDetachDevice:
+      return "iommu_detach_device";
+    case SysOp::kIommuMapDma:
+      return "iommu_map_dma";
+    case SysOp::kIommuUnmapDma:
+      return "iommu_unmap_dma";
+  }
+  return "?";
+}
+
+const char* SysErrorName(SysError error) {
+  switch (error) {
+    case SysError::kOk:
+      return "ok";
+    case SysError::kBlocked:
+      return "blocked";
+    case SysError::kNoMemory:
+      return "no-memory";
+    case SysError::kQuotaExceeded:
+      return "quota-exceeded";
+    case SysError::kCapacity:
+      return "capacity";
+    case SysError::kInvalid:
+      return "invalid";
+    case SysError::kDenied:
+      return "denied";
+    case SysError::kWouldFault:
+      return "would-fault";
+  }
+  return "?";
+}
+
+namespace {
+
+SysError FromProcError(ProcError error) {
+  switch (error) {
+    case ProcError::kOk:
+      return SysError::kOk;
+    case ProcError::kNoMemory:
+      return SysError::kNoMemory;
+    case ProcError::kQuotaExceeded:
+      return SysError::kQuotaExceeded;
+    case ProcError::kCapacity:
+      return SysError::kCapacity;
+    case ProcError::kInvalid:
+      return SysError::kInvalid;
+  }
+  return SysError::kInvalid;
+}
+
+SyscallRet Err(SysError error) { return SyscallRet{error, 0}; }
+SyscallRet Ok(std::uint64_t value = 0) { return SyscallRet{SysError::kOk, value}; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Boot
+// ---------------------------------------------------------------------------
+
+std::optional<Kernel> Kernel::Boot(const BootConfig& config) {
+  Kernel k;
+  k.mem_ = std::make_unique<PhysMem>(config.frames);
+  k.mmu_ = Mmu(k.mem_.get());
+  k.alloc_ = PageAllocator(config.frames, config.reserved_frames);
+  k.vm_ = VmManager(k.mem_.get());
+  k.iommu_ = IommuManager(k.mem_.get());
+
+  std::uint64_t root_quota = config.frames - config.reserved_frames;
+  std::optional<ProcessManager> pm = ProcessManager::Boot(&k.alloc_, root_quota);
+  if (!pm.has_value()) {
+    return std::nullopt;
+  }
+  k.pm_ = std::move(*pm);
+  return k;
+}
+
+PmResult<CtnrPtr> Kernel::BootCreateContainer(CtnrPtr parent, std::uint64_t quota,
+                                              std::uint64_t cpu_mask) {
+  return pm_.NewContainer(&alloc_, parent, quota, cpu_mask);
+}
+
+PmResult<ProcPtr> Kernel::BootCreateProcess(CtnrPtr ctnr) {
+  PmResult<ProcPtr> proc = pm_.NewProcess(&alloc_, ctnr, kNullPtr);
+  if (!proc.ok()) {
+    return proc;
+  }
+  if (!pm_.ChargePages(ctnr, 1)) {
+    pm_.RemoveProcess(&alloc_, proc.value);
+    return PmResult<ProcPtr>::Err(ProcError::kQuotaExceeded);
+  }
+  if (!vm_.CreateAddressSpace(&alloc_, proc.value, ctnr)) {
+    pm_.UnchargePages(ctnr, 1);
+    pm_.RemoveProcess(&alloc_, proc.value);
+    return PmResult<ProcPtr>::Err(ProcError::kNoMemory);
+  }
+  return proc;
+}
+
+PmResult<ThrdPtr> Kernel::BootCreateThread(ProcPtr proc) {
+  return pm_.NewThread(&alloc_, proc);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch / Step
+// ---------------------------------------------------------------------------
+
+void Kernel::Dispatch(ThrdPtr t) {
+  ATMO_CHECK(pm_.ThreadExists(t), "Dispatch of unknown thread");
+  if (pm_.current() == t) {
+    return;
+  }
+  ATMO_CHECK(pm_.GetThread(t).state == ThreadState::kRunnable,
+             "Dispatch of a thread that is neither current nor runnable");
+  if (pm_.current() != kNullPtr) {
+    pm_.PreemptCurrent();
+  }
+  pm_.DispatchSpecific(t);
+}
+
+SyscallRet Kernel::Step(ThrdPtr t, const Syscall& call) {
+  Dispatch(t);
+  return Exec(t, call);
+}
+
+SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
+  ATMO_CHECK(pm_.current() == t, "Exec caller is not the current thread");
+  switch (call.op) {
+    case SysOp::kYield:
+      return SysYield();
+    case SysOp::kMmap:
+      return SysMmap(t, call);
+    case SysOp::kMunmap:
+      return SysMunmap(t, call);
+    case SysOp::kNewContainer:
+      return SysNewContainer(t, call);
+    case SysOp::kNewProcess:
+      return SysNewProcess(t);
+    case SysOp::kNewThread:
+      return SysNewThread(t, call);
+    case SysOp::kNewEndpoint:
+      return SysNewEndpoint(t, call);
+    case SysOp::kUnbindEndpoint:
+      return SysUnbindEndpoint(t, call);
+    case SysOp::kSend:
+      return SysSend(t, call);
+    case SysOp::kRecv:
+      return SysRecv(t, call);
+    case SysOp::kCall:
+      return SysCall(t, call);
+    case SysOp::kReply:
+      return SysReply(t, call);
+    case SysOp::kExit:
+      return SysExit(t);
+    case SysOp::kKillProcess:
+      return SysKillProcess(t, call);
+    case SysOp::kKillContainer:
+      return SysKillContainer(t, call);
+    case SysOp::kIommuCreateDomain:
+      return SysIommuCreateDomain(t);
+    case SysOp::kIommuAttachDevice:
+      return SysIommuAttachDevice(t, call);
+    case SysOp::kIommuDetachDevice:
+      return SysIommuDetachDevice(t, call);
+    case SysOp::kIommuMapDma:
+      return SysIommuMapDma(t, call);
+    case SysOp::kIommuUnmapDma:
+      return SysIommuUnmapDma(t, call);
+  }
+  return Err(SysError::kInvalid);
+}
+
+std::optional<IpcPayload> Kernel::TakeInbound(ThrdPtr t) {
+  if (!pm_.ThreadExists(t)) {
+    return std::nullopt;
+  }
+  Thread& thread = pm_.MutableThread(t);
+  if (!thread.has_inbound) {
+    return std::nullopt;
+  }
+  thread.has_inbound = false;
+  return thread.ipc_buf;
+}
+
+bool Kernel::HasInbound(ThrdPtr t) const {
+  return pm_.ThreadExists(t) && pm_.GetThread(t).has_inbound;
+}
+
+// ---------------------------------------------------------------------------
+// Simple syscalls
+// ---------------------------------------------------------------------------
+
+SyscallRet Kernel::SysYield() {
+  pm_.Yield();
+  return Ok();
+}
+
+SyscallRet Kernel::SysMmap(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  ProcPtr proc = thread.owning_proc;
+  CtnrPtr ctnr = thread.owning_ctnr;
+  const VaRange& range = call.va_range;
+
+  if (range.count < 1 || range.count > kMaxMmapCount) {
+    return Err(SysError::kInvalid);
+  }
+  const PageTable& table = vm_.TableOf(proc);
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    if (table.CanMap(range.At(i), range.size) != MapError::kOk) {
+      return Err(SysError::kInvalid);
+    }
+  }
+
+  // Exact cost: data frames plus fresh table nodes (deduplicated across the
+  // batch), charged up front so the loop below cannot fail. Single-page
+  // calls (the hot path) skip the dedup set entirely.
+  std::uint64_t fresh_nodes = 0;
+  if (range.count == 1) {
+    fresh_nodes = table.FreshNodesFor(range.base, range.size, nullptr);
+  } else {
+    std::set<std::uint64_t> virtual_nodes;
+    for (std::uint64_t i = 0; i < range.count; ++i) {
+      fresh_nodes += table.FreshNodesFor(range.At(i), range.size, &virtual_nodes);
+    }
+  }
+  std::uint64_t data_frames = range.count * PageFrames4K(range.size);
+  if (!pm_.ChargePages(ctnr, data_frames + fresh_nodes)) {
+    return Err(SysError::kQuotaExceeded);
+  }
+
+  std::vector<PageAlloc> pages;
+  pages.reserve(range.count);
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    std::optional<PageAlloc> page = alloc_.AllocPage(range.size, ctnr);
+    if (!page.has_value()) {
+      for (PageAlloc& rollback : pages) {
+        alloc_.FreePage(rollback.ptr, std::move(rollback.perm));
+      }
+      pm_.UnchargePages(ctnr, data_frames + fresh_nodes);
+      return Err(SysError::kNoMemory);
+    }
+    pages.push_back(std::move(*page));
+  }
+  if (alloc_.FreeCount(PageSize::k4K) < fresh_nodes) {
+    for (PageAlloc& rollback : pages) {
+      alloc_.FreePage(rollback.ptr, std::move(rollback.perm));
+    }
+    pm_.UnchargePages(ctnr, data_frames + fresh_nodes);
+    return Err(SysError::kNoMemory);
+  }
+
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    vm_.MapFreshPage(&alloc_, proc, range.At(i), std::move(pages[i]), call.map_perm);
+  }
+  return Ok(range.count);
+}
+
+SyscallRet Kernel::SysMunmap(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  ProcPtr proc = thread.owning_proc;
+  const VaRange& range = call.va_range;
+
+  if (range.count < 1 || range.count > kMaxMmapCount) {
+    return Err(SysError::kInvalid);
+  }
+  const PageTable& table = vm_.TableOf(proc);
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    if (!table.mapping(range.size).contains(range.At(i))) {
+      return Err(SysError::kInvalid);
+    }
+  }
+
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    std::optional<VmManager::UnmapResult> result = vm_.Unmap(&alloc_, proc, range.At(i));
+    ATMO_CHECK(result.has_value(), "pre-validated munmap failed");
+    if (result->released) {
+      pm_.UnchargePages(result->released_owner, result->released_frames);
+    }
+  }
+  return Ok(range.count);
+}
+
+SyscallRet Kernel::SysNewContainer(ThrdPtr t, const Syscall& call) {
+  CtnrPtr parent = pm_.GetThread(t).owning_ctnr;
+  PmResult<CtnrPtr> result = pm_.NewContainer(&alloc_, parent, call.quota, call.cpu_mask);
+  if (!result.ok()) {
+    return Err(FromProcError(result.error));
+  }
+  return Ok(result.value);
+}
+
+SyscallRet Kernel::SysNewProcess(ThrdPtr t) {
+  const Thread& thread = pm_.GetThread(t);
+  PmResult<ProcPtr> proc = pm_.NewProcess(&alloc_, thread.owning_ctnr, thread.owning_proc);
+  if (!proc.ok()) {
+    return Err(FromProcError(proc.error));
+  }
+  CtnrPtr ctnr = thread.owning_ctnr;
+  if (!pm_.ChargePages(ctnr, 1)) {
+    pm_.RemoveProcess(&alloc_, proc.value);
+    return Err(SysError::kQuotaExceeded);
+  }
+  if (!vm_.CreateAddressSpace(&alloc_, proc.value, ctnr)) {
+    pm_.UnchargePages(ctnr, 1);
+    pm_.RemoveProcess(&alloc_, proc.value);
+    return Err(SysError::kNoMemory);
+  }
+  return Ok(proc.value);
+}
+
+SyscallRet Kernel::SysNewThread(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  ProcPtr target = call.target == kNullPtr ? thread.owning_proc : call.target;
+  if (!pm_.ProcessExists(target)) {
+    return Err(SysError::kInvalid);
+  }
+  if (pm_.GetProcess(target).owning_container != thread.owning_ctnr) {
+    return Err(SysError::kDenied);
+  }
+  PmResult<ThrdPtr> result = pm_.NewThread(&alloc_, target);
+  if (!result.ok()) {
+    return Err(FromProcError(result.error));
+  }
+  return Ok(result.value);
+}
+
+SyscallRet Kernel::SysNewEndpoint(ThrdPtr t, const Syscall& call) {
+  PmResult<EdptPtr> result = pm_.NewEndpoint(&alloc_, t, call.edpt_idx);
+  if (!result.ok()) {
+    return Err(FromProcError(result.error));
+  }
+  return Ok(result.value);
+}
+
+SyscallRet Kernel::SysUnbindEndpoint(ThrdPtr t, const Syscall& call) {
+  // Pre-validate so the failure path stays atomic: the slot must hold a
+  // live endpoint, and if this is the endpoint's last reference its wait
+  // queue must be empty (otherwise waiters would dangle — the caller must
+  // drain or let peers exit first).
+  const Thread& thread = pm_.GetThread(t);
+  if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
+    return Err(SysError::kInvalid);
+  }
+  EdptPtr edpt = thread.endpoints[call.edpt_idx];
+  const Endpoint& e = pm_.GetEndpoint(edpt);
+  if (e.rf_count == 1 && !e.queue.empty()) {
+    return Err(SysError::kInvalid);
+  }
+  ProcError err = pm_.UnbindEndpoint(&alloc_, t, call.edpt_idx);
+  ATMO_CHECK(err == ProcError::kOk, "pre-validated unbind failed");
+  return Ok();
+}
+
+// ---------------------------------------------------------------------------
+// IPC
+// ---------------------------------------------------------------------------
+
+std::optional<IpcPayload> Kernel::ResolveOutboundPayload(ThrdPtr sender,
+                                                         const IpcPayload& payload,
+                                                         SysError* error) {
+  const Thread& thread = pm_.GetThread(sender);
+  IpcPayload out = payload;
+
+  if (payload.page.has_value()) {
+    VAddr va = payload.page->page;  // sender virtual address on input
+    const PageTable& table = vm_.TableOf(thread.owning_proc);
+    if (!table.mapping(payload.page->size).contains(va)) {
+      *error = SysError::kInvalid;
+      return std::nullopt;
+    }
+    MapEntry entry = table.mapping(payload.page->size).at(va);
+    // Rights cannot be amplified through a grant.
+    if ((payload.page->perm.writable && !entry.perm.writable) ||
+        (!payload.page->perm.no_execute && entry.perm.no_execute)) {
+      *error = SysError::kDenied;
+      return std::nullopt;
+    }
+    out.page->page = entry.addr;  // physical from here on
+  }
+
+  if (payload.endpoint.has_value()) {
+    std::uint64_t src_idx = payload.endpoint->endpoint;  // descriptor index on input
+    if (src_idx >= kMaxEdptDescriptors || thread.endpoints[src_idx] == kNullPtr ||
+        payload.endpoint->dest_index >= kMaxEdptDescriptors) {
+      *error = SysError::kInvalid;
+      return std::nullopt;
+    }
+    out.endpoint->endpoint = thread.endpoints[src_idx];
+  }
+
+  if (payload.iommu.has_value()) {
+    IommuDomainId domain = payload.iommu->domain_id;
+    if (!iommu_.DomainExists(domain) || iommu_.DomainOwner(domain) != thread.owning_ctnr) {
+      *error = SysError::kDenied;
+      return std::nullopt;
+    }
+  }
+
+  *error = SysError::kOk;
+  return out;
+}
+
+bool Kernel::CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const {
+  const Thread& thread = pm_.GetThread(receiver);
+
+  if (payload.page.has_value()) {
+    const PageGrant& grant = *payload.page;
+    const PageTable& table = vm_.TableOf(thread.owning_proc);
+    if (table.CanMap(grant.dest_va, grant.size) != MapError::kOk) {
+      *error = SysError::kWouldFault;
+      return false;
+    }
+    std::uint64_t nodes = table.FreshNodesFor(grant.dest_va, grant.size, nullptr);
+    const Container& ctnr = pm_.GetContainer(thread.owning_ctnr);
+    if (ctnr.mem_used + nodes > ctnr.mem_quota || alloc_.FreeCount(PageSize::k4K) < nodes) {
+      *error = SysError::kWouldFault;
+      return false;
+    }
+  }
+
+  if (payload.endpoint.has_value()) {
+    if (thread.endpoints[payload.endpoint->dest_index] != kNullPtr) {
+      *error = SysError::kWouldFault;
+      return false;
+    }
+  }
+
+  if (payload.iommu.has_value()) {
+    IommuDomainId domain = payload.iommu->domain_id;
+    std::uint64_t pages = iommu_.DomainPageCount(domain);
+    const Container& ctnr = pm_.GetContainer(thread.owning_ctnr);
+    if (iommu_.DomainOwner(domain) != thread.owning_ctnr &&
+        ctnr.mem_used + pages > ctnr.mem_quota) {
+      *error = SysError::kWouldFault;
+      return false;
+    }
+  }
+
+  *error = SysError::kOk;
+  return true;
+}
+
+void Kernel::Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver) {
+  Thread& rthread = pm_.MutableThread(receiver);
+  CtnrPtr rctnr = rthread.owning_ctnr;
+  ProcPtr rproc = rthread.owning_proc;
+
+  if (payload.page.has_value()) {
+    const PageGrant& grant = *payload.page;
+    std::uint64_t nodes = vm_.TableOf(rproc).FreshNodesFor(grant.dest_va, grant.size, nullptr);
+    bool charged = pm_.ChargePages(rctnr, nodes);
+    ATMO_CHECK(charged, "pre-validated page grant charge failed");
+    MapError err = vm_.MapSharedPage(&alloc_, rproc, grant.dest_va, grant.page, grant.size,
+                                     grant.perm);
+    ATMO_CHECK(err == MapError::kOk, "pre-validated page grant map failed");
+  }
+
+  if (payload.endpoint.has_value()) {
+    ProcError err = pm_.BindEndpoint(receiver, payload.endpoint->dest_index,
+                                     payload.endpoint->endpoint);
+    ATMO_CHECK(err == ProcError::kOk, "pre-validated endpoint grant failed");
+  }
+
+  if (payload.iommu.has_value()) {
+    IommuDomainId domain = payload.iommu->domain_id;
+    CtnrPtr old_owner = iommu_.DomainOwner(domain);
+    if (old_owner != rctnr) {
+      std::uint64_t pages = iommu_.DomainPageCount(domain);
+      pm_.TransferCharge(old_owner, rctnr, pages);
+      for (PagePtr page : iommu_.DomainPageClosure(domain)) {
+        alloc_.SetOwner(page, rctnr);
+      }
+      iommu_.SetDomainOwner(domain, rctnr);
+    }
+  }
+
+  Thread& r = pm_.MutableThread(receiver);
+  r.ipc_buf = payload;
+  r.has_inbound = true;
+  (void)sender;
+}
+
+SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
+    return Err(SysError::kInvalid);
+  }
+  EdptPtr edpt = thread.endpoints[call.edpt_idx];
+
+  SysError error;
+  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
+  if (!resolved.has_value()) {
+    return Err(error);
+  }
+
+  const Endpoint& e = pm_.GetEndpoint(edpt);
+  if (e.queue_kind == EdptQueueKind::kReceivers) {
+    ThrdPtr receiver = e.queue.Front();
+    if (!CanDeliver(*resolved, receiver, &error)) {
+      return Err(error);
+    }
+    pm_.PopWaiter(edpt);
+    Deliver(*resolved, t, receiver);
+    pm_.MakeRunnable(receiver);
+    return Ok();
+  }
+
+  if (e.queue.full()) {
+    return Err(SysError::kCapacity);
+  }
+  pm_.MutableThread(t).ipc_buf = *resolved;  // staged, resolved form
+  pm_.BlockCurrentOn(edpt, ThreadState::kBlockedSend);
+  return Err(SysError::kBlocked);
+}
+
+SyscallRet Kernel::SysRecv(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
+    return Err(SysError::kInvalid);
+  }
+  EdptPtr edpt = thread.endpoints[call.edpt_idx];
+
+  const Endpoint& e = pm_.GetEndpoint(edpt);
+  if (e.queue_kind == EdptQueueKind::kSenders) {
+    ThrdPtr sender = e.queue.Front();
+    IpcPayload staged = pm_.GetThread(sender).ipc_buf;
+    SysError error;
+    if (!CanDeliver(staged, t, &error)) {
+      return Err(error);
+    }
+    pm_.PopWaiter(edpt);
+    Deliver(staged, sender, t);
+    if (pm_.GetThread(sender).state == ThreadState::kBlockedSend) {
+      pm_.MakeRunnable(sender);
+    } else {
+      // The sender used call(): it stays parked awaiting our reply.
+      ATMO_CHECK(pm_.GetThread(sender).state == ThreadState::kBlockedCall,
+                 "sender queue held a non-sender");
+      pm_.MutableThread(t).reply_to = sender;
+    }
+    return Ok();
+  }
+
+  if (e.queue.full()) {
+    return Err(SysError::kCapacity);
+  }
+  pm_.BlockCurrentOn(edpt, ThreadState::kBlockedRecv);
+  return Err(SysError::kBlocked);
+}
+
+SyscallRet Kernel::SysCall(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
+    return Err(SysError::kInvalid);
+  }
+  EdptPtr edpt = thread.endpoints[call.edpt_idx];
+
+  SysError error;
+  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
+  if (!resolved.has_value()) {
+    return Err(error);
+  }
+
+  const Endpoint& e = pm_.GetEndpoint(edpt);
+  if (e.queue_kind == EdptQueueKind::kReceivers) {
+    ThrdPtr receiver = e.queue.Front();
+    if (!CanDeliver(*resolved, receiver, &error)) {
+      return Err(error);
+    }
+    pm_.PopWaiter(edpt);
+    Deliver(*resolved, t, receiver);
+    pm_.MutableThread(receiver).reply_to = t;
+    pm_.MakeRunnable(receiver);
+    pm_.BlockCurrentForReply();
+    return Err(SysError::kBlocked);
+  }
+
+  if (e.queue.full()) {
+    return Err(SysError::kCapacity);
+  }
+  pm_.MutableThread(t).ipc_buf = *resolved;
+  pm_.BlockCurrentOn(edpt, ThreadState::kBlockedCall);
+  return Err(SysError::kBlocked);
+}
+
+SyscallRet Kernel::SysReply(ThrdPtr t, const Syscall& call) {
+  ThrdPtr caller = pm_.GetThread(t).reply_to;
+  if (caller == kNullPtr || !pm_.ThreadExists(caller)) {
+    return Err(SysError::kInvalid);
+  }
+  const Thread& cthread = pm_.GetThread(caller);
+  if (cthread.state != ThreadState::kBlockedCall || cthread.waiting_on != kNullPtr) {
+    return Err(SysError::kInvalid);
+  }
+
+  SysError error;
+  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
+  if (!resolved.has_value()) {
+    return Err(error);
+  }
+  if (!CanDeliver(*resolved, caller, &error)) {
+    return Err(error);
+  }
+  Deliver(*resolved, t, caller);
+  pm_.MutableThread(t).reply_to = kNullPtr;
+  pm_.MakeRunnable(caller);
+  return Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Exit / kill
+// ---------------------------------------------------------------------------
+
+void Kernel::ClearReplyRefs(ThrdPtr gone) {
+  for (const auto& [t_ptr, perm] : pm_.thrd_perms()) {
+    if (perm.value().reply_to == gone) {
+      pm_.MutableThread(t_ptr).reply_to = kNullPtr;
+    }
+  }
+}
+
+SyscallRet Kernel::SysExit(ThrdPtr t) {
+  ClearReplyRefs(t);
+  pm_.RemoveThread(&alloc_, t);
+  return Ok();
+}
+
+bool Kernel::ProcIsAncestorOf(ProcPtr ancestor, ProcPtr descendant) const {
+  ProcPtr cur = pm_.GetProcess(descendant).parent;
+  while (cur != kNullPtr) {
+    if (cur == ancestor) {
+      return true;
+    }
+    cur = pm_.GetProcess(cur).parent;
+  }
+  return false;
+}
+
+void Kernel::KillOneProcess(ProcPtr proc) {
+  // Threads first (copy the list; removal mutates it).
+  std::vector<ThrdPtr> threads;
+  for (ThrdPtr thrd : pm_.GetProcess(proc).threads) {
+    threads.push_back(thrd);
+  }
+  for (ThrdPtr thrd : threads) {
+    ClearReplyRefs(thrd);
+    pm_.RemoveThread(&alloc_, thrd);
+  }
+  // Address space: release every mapping, free the table.
+  CtnrPtr ctnr = pm_.GetProcess(proc).owning_container;
+  VmManager::DestroyStats stats = vm_.DestroyAddressSpace(&alloc_, proc);
+  for (const auto& [owner, frames] : stats.released_frames) {
+    pm_.UnchargePages(owner, frames);
+  }
+  pm_.UnchargePages(ctnr, stats.table_nodes);
+  pm_.RemoveProcess(&alloc_, proc);
+}
+
+void Kernel::KillProcessTree(ProcPtr root) {
+  // Depth-first collection, then destroy leaves-first.
+  std::vector<ProcPtr> order;
+  std::vector<ProcPtr> stack{root};
+  while (!stack.empty()) {
+    ProcPtr cur = stack.back();
+    stack.pop_back();
+    order.push_back(cur);
+    for (ProcPtr child : pm_.GetProcess(cur).children) {
+      stack.push_back(child);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    KillOneProcess(*it);
+  }
+}
+
+SyscallRet Kernel::SysKillProcess(ThrdPtr t, const Syscall& call) {
+  ProcPtr target = call.target;
+  const Thread& thread = pm_.GetThread(t);
+  if (!pm_.ProcessExists(target)) {
+    return Err(SysError::kInvalid);
+  }
+  // Authority (§3): the parent process can terminate its direct and
+  // indirect children within the same container.
+  if (pm_.GetProcess(target).owning_container != thread.owning_ctnr ||
+      !ProcIsAncestorOf(thread.owning_proc, target)) {
+    return Err(SysError::kDenied);
+  }
+  KillProcessTree(target);
+  return Ok();
+}
+
+SyscallRet Kernel::SysKillContainer(ThrdPtr t, const Syscall& call) {
+  CtnrPtr target = call.target;
+  const Thread& thread = pm_.GetThread(t);
+  if (!pm_.ContainerExists(target)) {
+    return Err(SysError::kInvalid);
+  }
+  // Authority (§3): parents can terminate direct and indirect children.
+  if (!pm_.GetContainer(target).path.contains(thread.owning_ctnr)) {
+    return Err(SysError::kDenied);
+  }
+
+  // Deepest-first over the doomed subtree so every container's parent is
+  // still alive when its leftovers are harvested.
+  std::vector<CtnrPtr> doomed;
+  for (CtnrPtr c : pm_.SubtreeContainers(target)) {
+    doomed.push_back(c);
+  }
+  std::sort(doomed.begin(), doomed.end(), [this](CtnrPtr a, CtnrPtr b) {
+    return pm_.GetContainer(a).depth > pm_.GetContainer(b).depth;
+  });
+
+  for (CtnrPtr c : doomed) {
+    // 1. Kill every process tree in this container.
+    while (!pm_.GetContainer(c).owned_procs.empty()) {
+      ProcPtr proc = pm_.GetContainer(c).owned_procs.Front();
+      while (pm_.GetProcess(proc).parent != kNullPtr) {
+        proc = pm_.GetProcess(proc).parent;
+      }
+      KillProcessTree(proc);
+    }
+    CtnrPtr parent = pm_.GetContainer(c).parent;
+
+    // 2. Endpoints that outlive the container (references held outside the
+    // doomed subtree) are re-attributed to the parent.
+    std::vector<EdptPtr> surviving;
+    for (const auto& [e_ptr, perm] : pm_.edpt_perms()) {
+      if (perm.value().owning_ctnr == c) {
+        surviving.push_back(e_ptr);
+      }
+    }
+    for (EdptPtr e : surviving) {
+      pm_.MutableEndpoint(e).owning_ctnr = parent;
+      alloc_.SetOwner(e, parent);
+      pm_.TransferCharge(c, parent, 1);
+    }
+
+    // 3. Shared pages still mapped elsewhere: ownership and charge move to
+    // the parent (the paper's "resources passed outside the container are
+    // not revoked").
+    for (PagePtr page : alloc_.MappedPages()) {
+      if (alloc_.OwnerOf(page) == c) {
+        alloc_.SetOwner(page, parent);
+        pm_.TransferCharge(c, parent, PageFrames4K(alloc_.SizeClassOf(page)));
+      }
+    }
+
+    // 4. IOMMU domains: detach devices, transfer ownership to the parent.
+    for (IommuDomainId domain : iommu_.DomainsOwnedBy(c)) {
+      std::vector<DeviceId> devices;
+      for (const auto& [device, dom] : iommu_.device_attachments()) {
+        if (dom == domain) {
+          devices.push_back(device);
+        }
+      }
+      for (DeviceId device : devices) {
+        iommu_.DetachDevice(device);
+      }
+      std::uint64_t pages = iommu_.DomainPageCount(domain);
+      pm_.TransferCharge(c, parent, pages);
+      for (PagePtr page : iommu_.DomainPageClosure(domain)) {
+        alloc_.SetOwner(page, parent);
+      }
+      iommu_.SetDomainOwner(domain, parent);
+    }
+
+    // 5. The container object itself; remaining quota returns to parent.
+    pm_.RemoveContainer(&alloc_, c);
+  }
+  return Ok();
+}
+
+// ---------------------------------------------------------------------------
+// IOMMU syscalls
+// ---------------------------------------------------------------------------
+
+SyscallRet Kernel::SysIommuCreateDomain(ThrdPtr t) {
+  CtnrPtr ctnr = pm_.GetThread(t).owning_ctnr;
+  if (!pm_.ChargePages(ctnr, 1)) {
+    return Err(SysError::kQuotaExceeded);
+  }
+  IommuDomainId domain = iommu_.CreateDomain(&alloc_, ctnr);
+  if (domain == kNoIommuDomain) {
+    pm_.UnchargePages(ctnr, 1);
+    return Err(SysError::kNoMemory);
+  }
+  return Ok(domain);
+}
+
+SyscallRet Kernel::SysIommuAttachDevice(ThrdPtr t, const Syscall& call) {
+  CtnrPtr ctnr = pm_.GetThread(t).owning_ctnr;
+  if (!iommu_.DomainExists(call.iommu_domain) ||
+      iommu_.DomainOwner(call.iommu_domain) != ctnr) {
+    return Err(SysError::kDenied);
+  }
+  if (!iommu_.AttachDevice(call.iommu_domain, call.device)) {
+    return Err(SysError::kInvalid);
+  }
+  return Ok();
+}
+
+SyscallRet Kernel::SysIommuDetachDevice(ThrdPtr t, const Syscall& call) {
+  CtnrPtr ctnr = pm_.GetThread(t).owning_ctnr;
+  IommuDomainId domain = iommu_.DomainOf(call.device);
+  if (domain == kNoIommuDomain || iommu_.DomainOwner(domain) != ctnr) {
+    return Err(SysError::kDenied);
+  }
+  iommu_.DetachDevice(call.device);
+  return Ok();
+}
+
+SyscallRet Kernel::SysIommuMapDma(ThrdPtr t, const Syscall& call) {
+  const Thread& thread = pm_.GetThread(t);
+  CtnrPtr ctnr = thread.owning_ctnr;
+  IommuDomainId domain = call.iommu_domain;
+  if (!iommu_.DomainExists(domain) || iommu_.DomainOwner(domain) != ctnr) {
+    return Err(SysError::kDenied);
+  }
+  // The DMA window exposes a page the caller itself has mapped.
+  std::optional<MapEntry> entry = vm_.Resolve(thread.owning_proc, call.dma_va);
+  if (!entry.has_value()) {
+    return Err(SysError::kInvalid);
+  }
+  const PageTable& table = vm_.TableOf(thread.owning_proc);
+  if (!table.mapping(entry->size).contains(call.dma_va)) {
+    return Err(SysError::kInvalid);  // must reference the mapping base
+  }
+  if (iommu_.CanMapDma(domain, call.iova, entry->size) != MapError::kOk) {
+    return Err(SysError::kInvalid);
+  }
+  std::uint64_t nodes = iommu_.FreshNodesForDma(domain, call.iova, entry->size);
+  if (!pm_.ChargePages(ctnr, nodes)) {
+    return Err(SysError::kQuotaExceeded);
+  }
+  if (alloc_.FreeCount(PageSize::k4K) < nodes) {
+    pm_.UnchargePages(ctnr, nodes);
+    return Err(SysError::kNoMemory);
+  }
+  MapError err = iommu_.MapDma(&alloc_, domain, call.iova, entry->addr, entry->size,
+                               MapEntryPerm{.writable = call.map_perm.writable &&
+                                                        entry->perm.writable,
+                                            .user = true,
+                                            .no_execute = true});
+  ATMO_CHECK(err == MapError::kOk, "pre-validated DMA map failed");
+  // Pin the frame: device visibility counts as a mapping.
+  alloc_.IncMapCount(entry->addr);
+  return Ok();
+}
+
+SyscallRet Kernel::SysIommuUnmapDma(ThrdPtr t, const Syscall& call) {
+  CtnrPtr ctnr = pm_.GetThread(t).owning_ctnr;
+  IommuDomainId domain = call.iommu_domain;
+  if (!iommu_.DomainExists(domain) || iommu_.DomainOwner(domain) != ctnr) {
+    return Err(SysError::kDenied);
+  }
+  // Peek first for atomic failure.
+  auto it = iommu_.domains().find(domain);
+  if (!it->second.Resolve(call.iova).has_value()) {
+    return Err(SysError::kInvalid);
+  }
+  std::optional<MapEntry> entry = iommu_.UnmapDma(domain, call.iova);
+  ATMO_CHECK(entry.has_value(), "pre-validated DMA unmap failed");
+  // Unpin; if the device held the last reference, release the frame through
+  // the VM subsystem's stored permission.
+  if (alloc_.DecMapCount(entry->addr) == 0) {
+    pm_.UnchargePages(alloc_.OwnerOf(entry->addr), PageFrames4K(entry->size));
+    vm_.ReclaimDevicePinnedFrame(&alloc_, entry->addr);
+  }
+  return Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Verification surface
+// ---------------------------------------------------------------------------
+
+AbstractKernel Kernel::Abstract() const {
+  AbstractKernel a;
+  a.root_container = pm_.root_container();
+
+  for (const auto& [c_ptr, perm] : pm_.cntr_perms()) {
+    const Container& c = perm.value();
+    AbsContainer ac;
+    ac.parent = c.parent;
+    ac.children = c.children.View();
+    ac.depth = c.depth;
+    ac.path = c.path;
+    ac.subtree = c.subtree;
+    ac.mem_quota = c.mem_quota;
+    ac.mem_used = c.mem_used;
+    ac.cpu_mask = c.cpu_mask;
+    ac.procs = c.owned_procs.View();
+    ac.threads = c.owned_threads;
+    a.containers.set(c_ptr, ac);
+  }
+
+  for (const auto& [p_ptr, perm] : pm_.proc_perms()) {
+    const Process& p = perm.value();
+    AbsProcess ap;
+    ap.ctnr = p.owning_container;
+    ap.parent = p.parent;
+    ap.children = p.children.View();
+    ap.threads = p.threads.View();
+    a.procs.set(p_ptr, ap);
+    if (vm_.HasAddressSpace(p_ptr)) {
+      a.address_spaces.set(p_ptr, vm_.AddressSpaceOf(p_ptr));
+    }
+  }
+
+  for (const auto& [t_ptr, perm] : pm_.thrd_perms()) {
+    const Thread& t = perm.value();
+    AbsThread at;
+    at.proc = t.owning_proc;
+    at.ctnr = t.owning_ctnr;
+    at.state = t.state;
+    at.endpoints = t.endpoints;
+    at.ipc_buf = t.ipc_buf;
+    at.has_inbound = t.has_inbound;
+    at.waiting_on = t.waiting_on;
+    at.reply_to = t.reply_to;
+    a.threads.set(t_ptr, at);
+  }
+
+  for (const auto& [e_ptr, perm] : pm_.edpt_perms()) {
+    const Endpoint& e = perm.value();
+    AbsEndpoint ae;
+    ae.queue = e.queue.View();
+    ae.queue_kind = e.queue_kind;
+    ae.rf_count = e.rf_count;
+    ae.owner = e.owning_ctnr;
+    a.endpoints.set(e_ptr, ae);
+  }
+
+  for (PagePtr page : alloc_.AllocatedPages()) {
+    a.pages.set(page, AbsPageInfo{PageState::kAllocated, alloc_.SizeClassOf(page),
+                                  alloc_.OwnerOf(page), 0});
+  }
+  for (PagePtr page : alloc_.MappedPages()) {
+    a.pages.set(page, AbsPageInfo{PageState::kMapped, alloc_.SizeClassOf(page),
+                                  alloc_.OwnerOf(page), alloc_.MapCount(page)});
+  }
+  a.free_pages_4k = alloc_.FreePages(PageSize::k4K);
+  a.free_pages_2m = alloc_.FreePages(PageSize::k2M);
+  a.free_pages_1g = alloc_.FreePages(PageSize::k1G);
+
+  for (const auto& [id, table] : iommu_.domains()) {
+    AbsIommuDomain ad;
+    ad.owner = iommu_.DomainOwner(id);
+    ad.mappings = table.AddressSpace();
+    for (const auto& [device, dom] : iommu_.device_attachments()) {
+      if (dom == id) {
+        ad.devices.add(device);
+      }
+    }
+    a.iommu_domains.set(id, ad);
+  }
+
+  for (ThrdPtr t : pm_.run_queue()) {
+    a.run_queue = a.run_queue.push(t);
+  }
+  a.current = pm_.current();
+  return a;
+}
+
+InvResult Kernel::MemorySafetyWf() const {
+  SpecSet<PagePtr> pm_closure = pm_.PageClosure();
+  SpecSet<PagePtr> vm_closure = vm_.PageClosure();
+  SpecSet<PagePtr> io_closure = iommu_.PageClosure();
+
+  // Pairwise disjointness (type safety: one owner per page).
+  if (!pm_closure.IsDisjointFrom(vm_closure) || !pm_closure.IsDisjointFrom(io_closure) ||
+      !vm_closure.IsDisjointFrom(io_closure)) {
+    return InvResult::Fail("subsystem page closures overlap");
+  }
+  // Leak freedom: the union of the closures is exactly the allocated set.
+  SpecSet<PagePtr> closures = pm_closure.Union(vm_closure).Union(io_closure);
+  if (!(closures == alloc_.AllocatedPages())) {
+    return InvResult::Fail("page closures differ from the allocator's allocated set");
+  }
+  // Mapped frames are exactly the VM subsystem's held permissions.
+  if (!(vm_.HeldFrames() == alloc_.MappedPages())) {
+    return InvResult::Fail("held frame permissions differ from the mapped set");
+  }
+  // Global map counts: CPU mappings + IOMMU mappings.
+  std::map<PagePtr, std::uint32_t> counts;
+  for (const auto& [proc, table] : vm_.tables()) {
+    for (const auto& [va, entry] : table.AddressSpace()) {
+      ++counts[entry.addr];
+    }
+  }
+  for (const auto& [id, table] : iommu_.domains()) {
+    for (const auto& [iova, entry] : table.AddressSpace()) {
+      ++counts[entry.addr];
+    }
+  }
+  for (PagePtr page : alloc_.MappedPages()) {
+    std::uint32_t expect = counts.count(page) ? counts[page] : 0;
+    if (alloc_.MapCount(page) != expect) {
+      return InvResult::Fail("map count disagrees with mapping tally");
+    }
+  }
+  return InvResult{};
+}
+
+InvResult Kernel::TotalWf() const {
+  InvResult r = ProcessManagerWf(pm_);
+  if (!r.ok) {
+    return r;
+  }
+  r = QuotaWf(pm_, alloc_);
+  if (!r.ok) {
+    return r;
+  }
+  if (!alloc_.Wf()) {
+    return InvResult::Fail("page allocator ill-formed");
+  }
+  if (!vm_.Wf(*mem_, alloc_)) {
+    return InvResult::Fail("virtual-memory subsystem ill-formed");
+  }
+  if (!iommu_.Wf()) {
+    return InvResult::Fail("IOMMU subsystem ill-formed");
+  }
+  // Page-table refinement for every address space.
+  for (const auto& [proc, table] : vm_.tables()) {
+    RefinementReport flat = FlatRefinementCheck(table, *mem_);
+    if (!flat.ok) {
+      return InvResult::Fail("page-table refinement: " + flat.detail);
+    }
+    RefinementReport cross = MmuCrossCheck(table, mmu_);
+    if (!cross.ok) {
+      return InvResult::Fail("MMU cross-check: " + cross.detail);
+    }
+  }
+  return MemorySafetyWf();
+}
+
+Kernel Kernel::CloneForVerification() const {
+  Kernel out;
+  out.mem_ = std::make_unique<PhysMem>(mem_->CloneForVerification());
+  out.mmu_ = Mmu(out.mem_.get());
+  out.alloc_ = alloc_.CloneForVerification();
+  out.pm_ = pm_.CloneForVerification();
+  out.vm_ = vm_.CloneForVerification(out.mem_.get());
+  out.iommu_ = iommu_.CloneForVerification(out.mem_.get());
+  return out;
+}
+
+}  // namespace atmo

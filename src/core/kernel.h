@@ -1,0 +1,149 @@
+// The Atmosphere microkernel facade (§3).
+//
+// Owns every subsystem and exposes the system-call interface. All kernel
+// entry runs under the (modelled) big lock: Step() is one atomic transition
+// of the kernel state machine. Step is split into Dispatch (the scheduler
+// puts the invoking thread on the CPU) and Exec (the call itself) so the
+// refinement harness can check each phase against its own specification.
+//
+// Failure atomicity: every return other than kOk/kBlocked leaves the
+// abstract state unchanged — syscalls pre-validate everything (including
+// exact quota/node costs) or roll back.
+
+#ifndef ATMO_SRC_CORE_KERNEL_H_
+#define ATMO_SRC_CORE_KERNEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/syscall.h"
+#include "src/core/vm_manager.h"
+#include "src/hw/mmu.h"
+#include "src/hw/phys_mem.h"
+#include "src/iommu/iommu_manager.h"
+#include "src/pmem/page_allocator.h"
+#include "src/proc/invariants.h"
+#include "src/proc/process_manager.h"
+#include "src/spec/abstract_state.h"
+
+namespace atmo {
+
+struct BootConfig {
+  std::uint64_t frames = 16384;        // 64 MiB machine by default
+  std::uint64_t reserved_frames = 16;  // kernel image / boot structures
+};
+
+class Kernel {
+ public:
+  static std::optional<Kernel> Boot(const BootConfig& config);
+
+  Kernel(Kernel&&) noexcept = default;
+  Kernel& operator=(Kernel&&) noexcept = default;
+
+  // --- Syscall interface (the verified surface) ---
+  // Puts `t` on the CPU: if another thread is current it is preempted to
+  // the run-queue tail; `t` must be current already or runnable.
+  void Dispatch(ThrdPtr t);
+  // Executes `call` on behalf of the current thread (must be `t`).
+  SyscallRet Exec(ThrdPtr t, const Syscall& call);
+  // Dispatch + Exec.
+  SyscallRet Step(ThrdPtr t, const Syscall& call);
+
+  // Message delivered to a blocked-then-woken thread, readable on resume
+  // (modelling the thread's registers/IPC buffer after the kernel returns).
+  // Clears the inbound flag.
+  std::optional<IpcPayload> TakeInbound(ThrdPtr t);
+  bool HasInbound(ThrdPtr t) const;
+
+  // --- Trusted boot environment (runs before user threads exist; §5
+  // items 8-9 — the unverified init path) ---
+  PmResult<CtnrPtr> BootCreateContainer(CtnrPtr parent, std::uint64_t quota,
+                                        std::uint64_t cpu_mask);
+  PmResult<ProcPtr> BootCreateProcess(CtnrPtr ctnr);
+  PmResult<ThrdPtr> BootCreateThread(ProcPtr proc);
+
+  // --- Subsystem access (read paths for invariants/spec; the harness and
+  // devices use these, user code goes through syscalls) ---
+  const PhysMem& mem() const { return *mem_; }
+  PhysMem& mem_mut() { return *mem_; }
+  const PageAllocator& alloc() const { return alloc_; }
+  const ProcessManager& pm() const { return pm_; }
+  const VmManager& vm() const { return vm_; }
+  const IommuManager& iommu() const { return iommu_; }
+  IommuManager& iommu_mut() { return iommu_; }
+  const Mmu& mmu() const { return mmu_; }
+  CtnrPtr root_container() const { return pm_.root_container(); }
+  // Mutable access for the verification harness and failure-injection
+  // tests; user code must go through syscalls.
+  ProcessManager& pm_mut() { return pm_; }
+  PageAllocator& alloc_mut() { return alloc_; }
+  VmManager& vm_mut() { return vm_; }
+
+  // --- Verification surface ---
+  // Abstraction function: concrete state -> Ψ.
+  AbstractKernel Abstract() const;
+  // total_wf(): conjunction of every subsystem invariant plus the global
+  // memory-safety and leak-freedom arguments (§4.2).
+  InvResult TotalWf() const;
+  // Global memory argument alone: subsystem page closures are pairwise
+  // disjoint and their union is exactly the allocator's allocated set;
+  // mapped frames are exactly the VM subsystem's held frames.
+  InvResult MemorySafetyWf() const;
+
+  Kernel CloneForVerification() const;
+
+ private:
+  Kernel() = default;
+
+  // Syscall implementations.
+  SyscallRet SysYield();
+  SyscallRet SysMmap(ThrdPtr t, const Syscall& call);
+  SyscallRet SysMunmap(ThrdPtr t, const Syscall& call);
+  SyscallRet SysNewContainer(ThrdPtr t, const Syscall& call);
+  SyscallRet SysNewProcess(ThrdPtr t);
+  SyscallRet SysNewThread(ThrdPtr t, const Syscall& call);
+  SyscallRet SysNewEndpoint(ThrdPtr t, const Syscall& call);
+  SyscallRet SysUnbindEndpoint(ThrdPtr t, const Syscall& call);
+  SyscallRet SysSend(ThrdPtr t, const Syscall& call);
+  SyscallRet SysRecv(ThrdPtr t, const Syscall& call);
+  SyscallRet SysCall(ThrdPtr t, const Syscall& call);
+  SyscallRet SysReply(ThrdPtr t, const Syscall& call);
+  SyscallRet SysExit(ThrdPtr t);
+  SyscallRet SysKillProcess(ThrdPtr t, const Syscall& call);
+  SyscallRet SysKillContainer(ThrdPtr t, const Syscall& call);
+  SyscallRet SysIommuCreateDomain(ThrdPtr t);
+  SyscallRet SysIommuAttachDevice(ThrdPtr t, const Syscall& call);
+  SyscallRet SysIommuDetachDevice(ThrdPtr t, const Syscall& call);
+  SyscallRet SysIommuMapDma(ThrdPtr t, const Syscall& call);
+  SyscallRet SysIommuUnmapDma(ThrdPtr t, const Syscall& call);
+
+  // Resolves sender-side grant references in `payload` into physical object
+  // pointers; validates authority. Returns nullopt + error on failure.
+  std::optional<IpcPayload> ResolveOutboundPayload(ThrdPtr sender, const IpcPayload& payload,
+                                                   SysError* error);
+  // Checks a resolved payload can be applied to `receiver` (dest slots
+  // free, quota available) without mutating anything.
+  bool CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const;
+  // Applies a resolved payload to `receiver` (maps grants, installs caps,
+  // moves domain ownership, fills the inbound buffer). Must follow a
+  // successful CanDeliver.
+  void Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver);
+
+  // Kill machinery.
+  bool ProcIsAncestorOf(ProcPtr ancestor, ProcPtr descendant) const;
+  void ClearReplyRefs(ThrdPtr gone);
+  void KillProcessTree(ProcPtr root);
+  void KillOneProcess(ProcPtr proc);
+
+  std::unique_ptr<PhysMem> mem_;
+  Mmu mmu_{nullptr};
+  PageAllocator alloc_{1, 1};
+  ProcessManager pm_;
+  VmManager vm_{nullptr};
+  IommuManager iommu_{nullptr};
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_CORE_KERNEL_H_

@@ -1,0 +1,211 @@
+#include "src/core/vm_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+namespace {
+
+constexpr int LeafLevel(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return 1;
+    case PageSize::k2M:
+      return 2;
+    case PageSize::k1G:
+      return 3;
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool VmManager::CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr owner) {
+  ATMO_CHECK(tables_.count(proc) == 0, "address space already exists for process");
+  std::optional<PageTable> table = PageTable::New(mem_, alloc, owner);
+  if (!table.has_value()) {
+    return false;
+  }
+  tables_.emplace(proc, std::move(*table));
+  return true;
+}
+
+VmManager::DestroyStats VmManager::DestroyAddressSpace(PageAllocator* alloc, ProcPtr proc) {
+  auto it = tables_.find(proc);
+  ATMO_CHECK(it != tables_.end(), "DestroyAddressSpace of unknown process");
+  DestroyStats stats;
+
+  std::vector<VAddr> vas;
+  for (const auto& [va, entry] : it->second.AddressSpace()) {
+    vas.push_back(va);
+  }
+  for (VAddr va : vas) {
+    std::optional<UnmapResult> result = Unmap(alloc, proc, va);
+    ATMO_CHECK(result.has_value(), "address-space teardown failed to unmap");
+    if (result->released) {
+      stats.released_frames[result->released_owner] += result->released_frames;
+    }
+  }
+  stats.table_nodes = it->second.PageClosure().size();
+  it->second.Destroy(alloc);
+  tables_.erase(it);
+  return stats;
+}
+
+const PageTable& VmManager::TableOf(ProcPtr proc) const {
+  auto it = tables_.find(proc);
+  ATMO_CHECK(it != tables_.end(), "TableOf unknown process");
+  return it->second;
+}
+
+SpecMap<VAddr, MapEntry> VmManager::AddressSpaceOf(ProcPtr proc) const {
+  return TableOf(proc).AddressSpace();
+}
+
+std::optional<MapEntry> VmManager::Resolve(ProcPtr proc, VAddr va) const {
+  auto it = tables_.find(proc);
+  if (it == tables_.end()) {
+    return std::nullopt;
+  }
+  return it->second.Resolve(va);
+}
+
+std::uint64_t VmManager::NodesNeededFor(ProcPtr proc, VAddr va, PageSize size) const {
+  const PageTable& table = TableOf(proc);
+  // Simulate the descent against hardware bits: count absent levels.
+  int leaf = LeafLevel(size);
+  PAddr node = table.cr3();
+  std::uint64_t needed = 0;
+  for (int level = 4; level > leaf; --level) {
+    if (needed > 0) {
+      // Everything below the first absent node is absent too.
+      ++needed;
+      continue;
+    }
+    std::uint64_t pte = mem_->HwReadU64(node + VaIndex(va, level) * 8);
+    if ((pte & kPtePresent) == 0) {
+      ++needed;
+    } else {
+      node = pte & kPteAddrMask;
+    }
+  }
+  return needed;
+}
+
+void VmManager::MapFreshPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PageAlloc page,
+                             MapEntryPerm perm) {
+  auto it = tables_.find(proc);
+  ATMO_CHECK(it != tables_.end(), "MapFreshPage into unknown process");
+  PageSize size = page.perm.size();
+  alloc->MarkMapped(page.ptr);
+  MapError err = it->second.Map(alloc, va, page.ptr, size, perm);
+  ATMO_CHECK(err == MapError::kOk, "pre-validated map failed");
+  frame_perms_.emplace(page.ptr, std::move(page.perm));
+}
+
+MapError VmManager::MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PagePtr page,
+                                  PageSize size, MapEntryPerm perm) {
+  auto it = tables_.find(proc);
+  if (it == tables_.end()) {
+    return MapError::kNotMapped;
+  }
+  ATMO_CHECK(alloc->StateOf(page) == PageState::kMapped,
+             "MapSharedPage of a page that is not mapped");
+  MapError err = it->second.Map(alloc, va, page, size, perm);
+  if (err != MapError::kOk) {
+    return err;
+  }
+  alloc->IncMapCount(page);
+  return MapError::kOk;
+}
+
+std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, ProcPtr proc,
+                                                       VAddr va) {
+  auto it = tables_.find(proc);
+  if (it == tables_.end()) {
+    return std::nullopt;
+  }
+  std::optional<MapEntry> entry = it->second.Unmap(va);
+  if (!entry.has_value()) {
+    return std::nullopt;
+  }
+  UnmapResult result;
+  result.entry = *entry;
+  PagePtr page = entry->addr;
+  if (alloc->DecMapCount(page) == 0) {
+    result.released = true;
+    result.released_owner = alloc->OwnerOf(page);
+    result.released_frames = PageFrames4K(entry->size);
+    auto perm_it = frame_perms_.find(page);
+    ATMO_CHECK(perm_it != frame_perms_.end(), "mapped frame permission missing");
+    FramePerm perm = std::move(perm_it->second);
+    frame_perms_.erase(perm_it);
+    alloc->ReclaimUnmapped(page, std::move(perm));
+  }
+  return result;
+}
+
+void VmManager::ReclaimDevicePinnedFrame(PageAllocator* alloc, PagePtr page) {
+  ATMO_CHECK(alloc->MapCount(page) == 0, "reclaim of a frame that is still referenced");
+  auto it = frame_perms_.find(page);
+  ATMO_CHECK(it != frame_perms_.end(), "device-pinned frame permission missing");
+  FramePerm perm = std::move(it->second);
+  frame_perms_.erase(it);
+  alloc->ReclaimUnmapped(page, std::move(perm));
+}
+
+SpecSet<PagePtr> VmManager::PageClosure() const {
+  SpecSet<PagePtr> out;
+  for (const auto& [proc, table] : tables_) {
+    out = out.Union(table.PageClosure());
+  }
+  return out;
+}
+
+SpecSet<PagePtr> VmManager::HeldFrames() const {
+  SpecSet<PagePtr> out;
+  for (const auto& [page, perm] : frame_perms_) {
+    out.add(page);
+  }
+  return out;
+}
+
+bool VmManager::Wf(const PhysMem& mem, const PageAllocator& alloc) const {
+  // Per-table structural invariants.
+  for (const auto& [proc, table] : tables_) {
+    if (!table.StructureWf(mem)) {
+      return false;
+    }
+  }
+  // Held frame permissions are exactly the allocator's mapped pages.
+  if (!(HeldFrames() == alloc.MappedPages())) {
+    return false;
+  }
+  // No address space maps a frame that is not in the mapped state. Exact
+  // map-count accounting (CPU + IOMMU references) is checked globally by
+  // Kernel::MemorySafetyWf, which sees both subsystems.
+  for (const auto& [proc, table] : tables_) {
+    for (const auto& [va, entry] : table.AddressSpace()) {
+      if (alloc.StateOf(entry.addr) != PageState::kMapped) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+VmManager VmManager::CloneForVerification(PhysMem* mem) const {
+  VmManager out(mem);
+  for (const auto& [proc, table] : tables_) {
+    out.tables_.emplace(proc, table.CloneForVerification(mem));
+  }
+  for (const auto& [page, perm] : frame_perms_) {
+    out.frame_perms_.emplace(page, perm.CloneForVerification());
+  }
+  return out;
+}
+
+}  // namespace atmo

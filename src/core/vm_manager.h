@@ -1,0 +1,106 @@
+// Virtual-memory management: per-process address spaces.
+//
+// The subsystem owns the memory of all page tables (§4.2) and, flatly, the
+// frame permissions of every *mapped* user page. The map-count bookkeeping
+// in the page allocator is the authority on sharing; this subsystem holds
+// each mapped frame's linear permission until the last unmapping returns it
+// to the allocator.
+
+#ifndef ATMO_SRC_CORE_VM_MANAGER_H_
+#define ATMO_SRC_CORE_VM_MANAGER_H_
+
+#include <map>
+#include <optional>
+
+#include "src/hw/mmu.h"
+#include "src/hw/phys_mem.h"
+#include "src/pagetable/page_table.h"
+#include "src/pmem/page_allocator.h"
+#include "src/vstd/spec_map.h"
+#include "src/vstd/spec_set.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+class VmManager {
+ public:
+  explicit VmManager(PhysMem* mem) : mem_(mem) {}
+
+  VmManager(VmManager&&) noexcept = default;
+  VmManager& operator=(VmManager&&) noexcept = default;
+
+  // Address-space lifecycle. Creation allocates the root table node
+  // (charged to `owner` at the allocator level; quota is the kernel's job).
+  bool CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr owner);
+  // Unmaps every remaining mapping (releasing frames whose map count drops
+  // to zero) and frees the table nodes. Returns the number of table node
+  // pages freed and, via `released`, the set of user frames freed with the
+  // 4K-frame count each released page uncharges from its owner.
+  struct DestroyStats {
+    std::uint64_t table_nodes = 0;
+    // (owner container at release time, frames released) aggregated.
+    std::map<CtnrPtr, std::uint64_t> released_frames;
+  };
+  DestroyStats DestroyAddressSpace(PageAllocator* alloc, ProcPtr proc);
+
+  bool HasAddressSpace(ProcPtr proc) const { return tables_.count(proc) != 0; }
+  const PageTable& TableOf(ProcPtr proc) const;
+  SpecMap<VAddr, MapEntry> AddressSpaceOf(ProcPtr proc) const;
+  std::optional<MapEntry> Resolve(ProcPtr proc, VAddr va) const;
+
+  // Number of fresh table nodes a Map of `va` would allocate (exact, by
+  // simulating the descent). Used for exact quota pre-charging.
+  std::uint64_t NodesNeededFor(ProcPtr proc, VAddr va, PageSize size) const;
+
+  // Maps a freshly allocated page (already in allocated state, permission
+  // passed in) at `va`; transitions it to mapped. The caller has verified
+  // va is free and nodes are available, so this cannot fail.
+  void MapFreshPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PageAlloc page,
+                    MapEntryPerm perm);
+  // Maps an already-mapped page into another (or the same) address space —
+  // sharing via IPC page grant. Increments the map count.
+  MapError MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PagePtr page,
+                         PageSize size, MapEntryPerm perm);
+  // Unmaps `va`. If the frame's map count drops to zero the frame is
+  // returned to the allocator and `released_owner`/`released_frames` are
+  // set so the kernel can uncharge the owning container.
+  struct UnmapResult {
+    MapEntry entry;
+    bool released = false;
+    CtnrPtr released_owner = kNullPtr;
+    std::uint64_t released_frames = 0;
+  };
+  std::optional<UnmapResult> Unmap(PageAllocator* alloc, ProcPtr proc, VAddr va);
+
+  // Releases a frame whose last reference was a device (IOMMU) pin: no CPU
+  // mapping remains and the map count has reached zero. Returns the held
+  // permission to the allocator.
+  void ReclaimDevicePinnedFrame(PageAllocator* alloc, PagePtr page);
+
+  // --- Ghost / invariants ---
+  // Pages used by the page tables themselves (page_closure of this
+  // subsystem; mapped user frames are owned by the address spaces and
+  // accounted separately).
+  SpecSet<PagePtr> PageClosure() const;
+  // Domain of held user-frame permissions (must equal the allocator's
+  // mapped set).
+  SpecSet<PagePtr> HeldFrames() const;
+  // Structural + refinement well-formedness of every table, plus
+  // frame-permission consistency: held frames are exactly the allocator's
+  // mapped pages and each map count equals the number of (proc, va)
+  // mappings of that frame.
+  bool Wf(const PhysMem& mem, const PageAllocator& alloc) const;
+
+  const std::map<ProcPtr, PageTable>& tables() const { return tables_; }
+
+  VmManager CloneForVerification(PhysMem* mem) const;
+
+ private:
+  PhysMem* mem_;
+  std::map<ProcPtr, PageTable> tables_;
+  std::map<PagePtr, FramePerm> frame_perms_;  // flat: all mapped user frames
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_CORE_VM_MANAGER_H_

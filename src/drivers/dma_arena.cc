@@ -1,0 +1,86 @@
+#include "src/drivers/dma_arena.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+DmaArena::DmaArena(PhysMem* mem, PageAllocator* alloc, IommuManager* iommu,
+                   IommuDomainId domain, VAddr iova_base, CtnrPtr owner)
+    : mem_(mem),
+      alloc_(alloc),
+      iommu_(iommu),
+      domain_(domain),
+      iova_base_(iova_base),
+      next_(iova_base),
+      owner_(owner) {
+  ATMO_CHECK(iova_base % kPageSize4K == 0, "arena IOVA base must be page aligned");
+}
+
+DmaArena::~DmaArena() {
+  // Unmap and free everything (leak freedom at teardown).
+  for (std::size_t i = 0; i < page_pa_.size(); ++i) {
+    VAddr iova = iova_base_ + i * kPageSize4K;
+    iommu_->UnmapDma(domain_, iova);
+    alloc_->FreePage(page_pa_[i], std::move(perms_[i]));
+  }
+}
+
+VAddr DmaArena::Alloc(std::uint64_t bytes) {
+  ATMO_CHECK(bytes > 0, "arena alloc of zero bytes");
+  std::uint64_t pages = (bytes + kPageSize4K - 1) / kPageSize4K;
+  VAddr iova = next_;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    std::optional<PageAlloc> page = alloc_->AllocPage4K(owner_);
+    ATMO_CHECK(page.has_value(), "DMA arena exhausted physical memory");
+    MapEntryPerm rw{.writable = true, .user = true, .no_execute = true};
+    MapError err = iommu_->MapDma(alloc_, domain_, next_, page->ptr, PageSize::k4K, rw);
+    ATMO_CHECK(err == MapError::kOk, "DMA arena IOVA mapping failed");
+    // Pre-touch so the backing frame exists before any cross-thread access
+    // (PhysMem allocates frames lazily on first write).
+    mem_->HwWriteU64(page->ptr, 0);
+    page_pa_.push_back(page->ptr);
+    perms_.push_back(std::move(page->perm));
+    next_ += kPageSize4K;
+  }
+  return iova;
+}
+
+PAddr DmaArena::Translate(VAddr iova) const {
+  ATMO_CHECK(iova >= iova_base_, "arena translate below base");
+  std::uint64_t index = (iova - iova_base_) / kPageSize4K;
+  ATMO_CHECK(index < page_pa_.size(), "arena translate beyond allocation");
+  return page_pa_[index] + (iova & (kPageSize4K - 1));
+}
+
+void DmaArena::Write(VAddr iova, const void* src, std::uint64_t len) {
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(src);
+  std::uint64_t done = 0;
+  while (done < len) {
+    std::uint64_t off = (iova + done) & (kPageSize4K - 1);
+    std::uint64_t chunk = std::min<std::uint64_t>(len - done, kPageSize4K - off);
+    mem_->HwWriteBytes(Translate(iova + done), bytes + done, chunk);
+    done += chunk;
+  }
+}
+
+void DmaArena::Read(VAddr iova, void* dst, std::uint64_t len) const {
+  std::uint8_t* bytes = static_cast<std::uint8_t*>(dst);
+  std::uint64_t done = 0;
+  while (done < len) {
+    std::uint64_t off = (iova + done) & (kPageSize4K - 1);
+    std::uint64_t chunk = std::min<std::uint64_t>(len - done, kPageSize4K - off);
+    mem_->HwReadBytes(Translate(iova + done), bytes + done, chunk);
+    done += chunk;
+  }
+}
+
+void DmaArena::WriteU64(VAddr iova, std::uint64_t value) {
+  mem_->HwWriteU64(Translate(iova), value);
+}
+
+std::uint64_t DmaArena::ReadU64(VAddr iova) const { return mem_->HwReadU64(Translate(iova)); }
+
+}  // namespace atmo

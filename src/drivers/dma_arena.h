@@ -1,0 +1,64 @@
+// DMA arena: device-visible memory for driver data structures.
+//
+// Drivers need regions that are (a) contiguous in device (IOVA) space for
+// rings and buffer pools, and (b) directly accessible from the driver
+// process. The arena allocates scattered physical pages, maps them at
+// consecutive IOVAs in the driver's IOMMU domain, and keeps the frame
+// permissions so CPU-side accesses stay within the linear-permission
+// discipline. The per-page IOVA→physical translation is cached — exactly
+// what a user-level driver gets from pinned, IOMMU-mapped hugepage pools in
+// DPDK/SPDK.
+
+#ifndef ATMO_SRC_DRIVERS_DMA_ARENA_H_
+#define ATMO_SRC_DRIVERS_DMA_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hw/phys_mem.h"
+#include "src/iommu/iommu_manager.h"
+#include "src/pmem/page_allocator.h"
+
+namespace atmo {
+
+class DmaArena {
+ public:
+  DmaArena(PhysMem* mem, PageAllocator* alloc, IommuManager* iommu, IommuDomainId domain,
+           VAddr iova_base, CtnrPtr owner = kNullPtr);
+  ~DmaArena();
+
+  DmaArena(const DmaArena&) = delete;
+  DmaArena& operator=(const DmaArena&) = delete;
+
+  // Allocates `bytes` (rounded up to whole pages) of IOVA-contiguous,
+  // device-mapped memory. Returns the IOVA. Aborts (verification failure)
+  // on OOM — arenas are sized at init time.
+  VAddr Alloc(std::uint64_t bytes);
+
+  // CPU-side access by IOVA (bounds- and mapping-checked).
+  void Write(VAddr iova, const void* src, std::uint64_t len);
+  void Read(VAddr iova, void* dst, std::uint64_t len) const;
+  void WriteU64(VAddr iova, std::uint64_t value);
+  std::uint64_t ReadU64(VAddr iova) const;
+
+  // Physical address backing `iova` (single-page spans only).
+  PAddr Translate(VAddr iova) const;
+
+  IommuDomainId domain() const { return domain_; }
+  std::uint64_t pages() const { return page_pa_.size(); }
+
+ private:
+  PhysMem* mem_;
+  PageAllocator* alloc_;
+  IommuManager* iommu_;
+  IommuDomainId domain_;
+  VAddr iova_base_;
+  VAddr next_;
+  CtnrPtr owner_;
+  std::vector<PAddr> page_pa_;       // page index -> physical base
+  std::vector<FramePerm> perms_;     // held linear permissions
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_DRIVERS_DMA_ARENA_H_

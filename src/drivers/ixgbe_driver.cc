@@ -1,0 +1,108 @@
+#include "src/drivers/ixgbe_driver.h"
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+IxgbeDriver::IxgbeDriver(DmaArena* arena, SimNic* nic, std::uint32_t ring_entries)
+    : arena_(arena), nic_(nic), entries_(ring_entries) {
+  ATMO_CHECK(ring_entries > 0 && (ring_entries & (ring_entries - 1)) == 0,
+             "ring entries must be a power of 2");
+}
+
+void IxgbeDriver::Init() {
+  rx_ring_ = arena_->Alloc(entries_ * kNicDescBytes);
+  tx_ring_ = arena_->Alloc(entries_ * kNicDescBytes);
+  rx_buf_base_ = arena_->Alloc(static_cast<std::uint64_t>(entries_) * kIxgbeBufBytes);
+  tx_buf_base_ = arena_->Alloc(static_cast<std::uint64_t>(entries_) * kIxgbeBufBytes);
+
+  nic_->ConfigureRxRing(rx_ring_, entries_);
+  nic_->ConfigureTxRing(tx_ring_, entries_);
+
+  // Post every RX buffer: descriptor i points at buffer slot i, DD clear.
+  for (std::uint32_t i = 0; i < entries_; ++i) {
+    arena_->WriteU64(rx_ring_ + i * kNicDescBytes, rx_buf_base_ + i * kIxgbeBufBytes);
+    arena_->WriteU64(rx_ring_ + i * kNicDescBytes + 8, 0);
+  }
+  rx_tail_ = entries_ - 1;  // leave one slot: full ring convention
+  nic_->SetRxTail(rx_tail_);
+}
+
+std::uint32_t IxgbeDriver::RxBurst(RxFrame* out, std::uint32_t n) {
+  std::uint32_t got = RxBurstInPlace(
+      [&](VAddr iova, std::uint16_t len) {
+        out->len = len;
+        arena_->Read(iova, out->data.data(), len);
+        ++out;
+      },
+      n);
+  rx_frames_ += got;
+  return got;
+}
+
+std::uint32_t IxgbeDriver::TxBurst(const TxFrame* frames, std::uint32_t n) {
+  std::uint32_t sent = 0;
+  while (sent < n) {
+    if (tx_next_ - tx_clean_ >= entries_) {
+      ReclaimTx();
+      if (tx_next_ - tx_clean_ >= entries_) {
+        break;  // ring genuinely full
+      }
+    }
+    std::uint32_t index = tx_next_ % entries_;
+    VAddr buf = tx_buf_base_ + index * kIxgbeBufBytes;
+    std::uint16_t len = frames[sent].len;
+    ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
+    arena_->Write(buf, frames[sent].data, len);
+    arena_->WriteU64(tx_ring_ + index * kNicDescBytes, buf);
+    arena_->WriteU64(tx_ring_ + index * kNicDescBytes + 8, len & kNicDescLenMask);
+    ++tx_next_;
+    ++sent;
+  }
+  if (sent > 0) {
+    nic_->SetTxTail(tx_next_);
+    tx_frames_ += sent;
+  }
+  return sent;
+}
+
+bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len) {
+  if (tx_next_ - tx_clean_ >= entries_) {
+    ReclaimTx();
+    if (tx_next_ - tx_clean_ >= entries_) {
+      return false;
+    }
+  }
+  std::uint32_t index = tx_next_ % entries_;
+  arena_->WriteU64(tx_ring_ + index * kNicDescBytes, iova);
+  arena_->WriteU64(tx_ring_ + index * kNicDescBytes + 8, len & kNicDescLenMask);
+  ++tx_next_;
+  ++tx_frames_;
+  return true;
+}
+
+void IxgbeDriver::TxFlush() { nic_->SetTxTail(tx_next_); }
+
+bool IxgbeDriver::TxInPlace(VAddr iova, std::uint16_t len) {
+  if (!TxInPlaceDeferred(iova, len)) {
+    return false;
+  }
+  TxFlush();
+  return true;
+}
+
+std::uint32_t IxgbeDriver::ReclaimTx() {
+  std::uint32_t reclaimed = 0;
+  while (tx_clean_ != tx_next_) {
+    std::uint32_t index = tx_clean_ % entries_;
+    std::uint64_t meta = arena_->ReadU64(tx_ring_ + index * kNicDescBytes + 8);
+    if ((meta & kNicDescDd) == 0) {
+      break;  // device has not sent it yet
+    }
+    ++tx_clean_;
+    ++reclaimed;
+  }
+  return reclaimed;
+}
+
+}  // namespace atmo

@@ -1,0 +1,112 @@
+// User-level ixgbe (Intel 82599) driver (§6.5.1).
+//
+// Polling-mode driver over the simulated NIC: descriptor rings and 2 KiB
+// packet buffers live in a DMA arena; the driver posts RX buffers, polls DD
+// bits, and transmits by filling TX descriptors and bumping the device tail
+// — the structure of the paper's driver (and of DPDK's ixgbe PMD, which is
+// the dpdk baseline when used without the kernel control path).
+
+#ifndef ATMO_SRC_DRIVERS_IXGBE_DRIVER_H_
+#define ATMO_SRC_DRIVERS_IXGBE_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/drivers/dma_arena.h"
+#include "src/hw/sim_nic.h"
+#include "src/net/packet.h"
+
+namespace atmo {
+
+inline constexpr std::uint32_t kIxgbeBufBytes = 2048;  // never straddles a 4K page
+
+// A received frame, copied out of the DMA buffer into caller storage.
+struct RxFrame {
+  std::array<std::uint8_t, kMaxFrameLen> data;
+  std::uint16_t len = 0;
+};
+
+// A frame to transmit.
+struct TxFrame {
+  const std::uint8_t* data = nullptr;
+  std::uint16_t len = 0;
+};
+
+class IxgbeDriver {
+ public:
+  IxgbeDriver(DmaArena* arena, SimNic* nic, std::uint32_t ring_entries);
+
+  // Allocates rings + buffer pools, programs the device, posts all RX
+  // buffers.
+  void Init();
+
+  // Polls completed RX descriptors; copies up to `n` frames into `out` and
+  // immediately re-posts the buffers. Returns frames received.
+  std::uint32_t RxBurst(RxFrame* out, std::uint32_t n);
+
+  // Zero-copy-ish processing variant: calls `fn(iova, len)` for each
+  // completed descriptor (the packet stays in the DMA buffer; `fn` may read
+  // or rewrite it through the arena), then re-posts. Used by forwarding
+  // apps (Maglev) to avoid the extra copy.
+  template <typename Fn>
+  std::uint32_t RxBurstInPlace(Fn&& fn, std::uint32_t n) {
+    std::uint32_t got = 0;
+    while (got < n) {
+      std::uint32_t index = rx_next_ % entries_;
+      std::uint64_t meta = arena_->ReadU64(rx_ring_ + index * kNicDescBytes + 8);
+      if ((meta & kNicDescDd) == 0) {
+        break;
+      }
+      fn(rx_buf_base_ + index * kIxgbeBufBytes,
+         static_cast<std::uint16_t>(meta & kNicDescLenMask));
+      arena_->WriteU64(rx_ring_ + index * kNicDescBytes + 8, 0);  // re-arm
+      ++rx_next_;
+      ++got;
+    }
+    if (got > 0) {
+      rx_tail_ += got;
+      nic_->SetRxTail(rx_tail_);
+    }
+    return got;
+  }
+
+  // Queues up to `n` frames for transmission (copies into TX buffers, bumps
+  // the device tail). Returns frames queued (ring-full limits it).
+  std::uint32_t TxBurst(const TxFrame* frames, std::uint32_t n);
+  // In-place transmit of a frame already residing in the arena (forwarding
+  // path): points the next TX descriptor at `iova` directly.
+  bool TxInPlace(VAddr iova, std::uint16_t len);
+  // Batched variant: queues the descriptor without ringing the doorbell;
+  // TxFlush() rings it once for the whole batch.
+  bool TxInPlaceDeferred(VAddr iova, std::uint16_t len);
+  void TxFlush();
+
+  // Reclaims completed TX descriptors; returns how many.
+  std::uint32_t ReclaimTx();
+
+  std::uint32_t entries() const { return entries_; }
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t tx_frames() const { return tx_frames_; }
+
+ private:
+  DmaArena* arena_;
+  SimNic* nic_;
+  std::uint32_t entries_;
+
+  VAddr rx_ring_ = 0;
+  VAddr tx_ring_ = 0;
+  VAddr rx_buf_base_ = 0;
+  VAddr tx_buf_base_ = 0;
+
+  std::uint32_t rx_next_ = 0;   // next descriptor to poll
+  std::uint32_t rx_tail_ = 0;   // free-running tail mirror
+  std::uint32_t tx_next_ = 0;   // next descriptor to fill (free-running)
+  std::uint32_t tx_clean_ = 0;  // next descriptor to reclaim
+
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t tx_frames_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_DRIVERS_IXGBE_DRIVER_H_

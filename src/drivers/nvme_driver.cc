@@ -1,0 +1,74 @@
+#include "src/drivers/nvme_driver.h"
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+NvmeDriver::NvmeDriver(DmaArena* arena, SimNvme* device, std::uint32_t queue_entries)
+    : arena_(arena), device_(device), entries_(queue_entries) {
+  ATMO_CHECK(queue_entries > 0 && (queue_entries & (queue_entries - 1)) == 0,
+             "queue entries must be a power of 2");
+}
+
+void NvmeDriver::Init() {
+  sq_ = arena_->Alloc(entries_ * kNvmeSqEntryBytes);
+  cq_ = arena_->Alloc(entries_ * kNvmeCqEntryBytes);
+  device_->ConfigureQueues(sq_, cq_, entries_);
+}
+
+VAddr NvmeDriver::AllocBuffer(std::uint64_t blocks) {
+  return arena_->Alloc(blocks * kNvmeBlockBytes);
+}
+
+bool NvmeDriver::Submit(std::uint8_t opcode, std::uint64_t lba, std::uint64_t blocks,
+                        VAddr buffer, std::uint32_t cid) {
+  if (sq_tail_ - completed_ >= entries_) {
+    return false;  // queue full (completions outstanding)
+  }
+  std::uint32_t index = sq_tail_ % entries_;
+  VAddr entry = sq_ + index * kNvmeSqEntryBytes;
+  arena_->WriteU64(entry, static_cast<std::uint64_t>(opcode) |
+                              (static_cast<std::uint64_t>(cid) << 32));
+  arena_->WriteU64(entry + 8, lba);
+  arena_->WriteU64(entry + 16, blocks);
+  arena_->WriteU64(entry + 24, buffer);
+  ++sq_tail_;
+  return true;
+}
+
+bool NvmeDriver::SubmitRead(std::uint64_t lba, std::uint64_t blocks, VAddr buffer,
+                            std::uint32_t cid) {
+  return Submit(kNvmeOpRead, lba, blocks, buffer, cid);
+}
+
+bool NvmeDriver::SubmitWrite(std::uint64_t lba, std::uint64_t blocks, VAddr buffer,
+                             std::uint32_t cid) {
+  return Submit(kNvmeOpWrite, lba, blocks, buffer, cid);
+}
+
+void NvmeDriver::RingDoorbell() {
+  if (rung_ != sq_tail_) {
+    device_->RingSqDoorbell(sq_tail_);
+    rung_ = sq_tail_;
+  }
+}
+
+std::uint32_t NvmeDriver::PollCompletions(NvmeCompletion* out, std::uint32_t n) {
+  std::uint32_t got = 0;
+  while (got < n) {
+    std::uint32_t index = cq_next_ % entries_;
+    std::uint64_t entry = arena_->ReadU64(cq_ + index * kNvmeCqEntryBytes);
+    std::uint64_t expect_phase = ((cq_next_ / entries_) & 1) ^ 1;
+    if ((entry >> 63) != expect_phase) {
+      break;  // not posted yet
+    }
+    out[got].cid = static_cast<std::uint32_t>(entry & 0xffffffff);
+    out[got].error = (entry & (1ull << 32)) != 0;
+    ++cq_next_;
+    ++completed_;
+    ++got;
+  }
+  return got;
+}
+
+}  // namespace atmo

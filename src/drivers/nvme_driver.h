@@ -1,0 +1,65 @@
+// User-level NVMe driver (§6.5.2).
+//
+// Polling-mode driver over the simulated SSD: one I/O queue pair in a DMA
+// arena, submission by filling SQ entries and ringing the doorbell,
+// completion by polling the CQ phase bit — the structure of the paper's
+// driver and of SPDK's NVMe driver (the spdk baseline when used without the
+// kernel control path).
+
+#ifndef ATMO_SRC_DRIVERS_NVME_DRIVER_H_
+#define ATMO_SRC_DRIVERS_NVME_DRIVER_H_
+
+#include <cstdint>
+
+#include "src/drivers/dma_arena.h"
+#include "src/hw/sim_nvme.h"
+
+namespace atmo {
+
+struct NvmeCompletion {
+  std::uint32_t cid = 0;
+  bool error = false;
+};
+
+class NvmeDriver {
+ public:
+  NvmeDriver(DmaArena* arena, SimNvme* device, std::uint32_t queue_entries);
+
+  void Init();
+
+  // Allocates an IOVA-contiguous data buffer of `blocks` 4 KiB blocks.
+  VAddr AllocBuffer(std::uint64_t blocks);
+
+  // Submits one command; false if the SQ is full. `cid` is echoed in the
+  // completion.
+  bool SubmitRead(std::uint64_t lba, std::uint64_t blocks, VAddr buffer, std::uint32_t cid);
+  bool SubmitWrite(std::uint64_t lba, std::uint64_t blocks, VAddr buffer, std::uint32_t cid);
+  // Rings the doorbell for everything submitted since the last ring.
+  void RingDoorbell();
+
+  // Polls up to `n` completions.
+  std::uint32_t PollCompletions(NvmeCompletion* out, std::uint32_t n);
+
+  std::uint32_t inflight() const { return sq_tail_ - completed_; }
+  std::uint32_t entries() const { return entries_; }
+  DmaArena* arena() { return arena_; }
+
+ private:
+  bool Submit(std::uint8_t opcode, std::uint64_t lba, std::uint64_t blocks, VAddr buffer,
+              std::uint32_t cid);
+
+  DmaArena* arena_;
+  SimNvme* device_;
+  std::uint32_t entries_;
+
+  VAddr sq_ = 0;
+  VAddr cq_ = 0;
+  std::uint32_t sq_tail_ = 0;    // free-running producer index
+  std::uint32_t cq_next_ = 0;    // free-running consumer index
+  std::uint32_t completed_ = 0;  // total completions consumed
+  std::uint32_t rung_ = 0;       // last doorbell value
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_DRIVERS_NVME_DRIVER_H_

@@ -1,0 +1,76 @@
+// Single-producer / single-consumer shared ring buffer.
+//
+// The asynchronous communication primitive of the paper's driver
+// configurations: the application and the driver process exchange request
+// and completion descriptors through shared memory — lock-free for the
+// atmo-c2 configuration (two cores), and plain (but identical code) for
+// atmo-c1 where both sides share one core and rendezvous over an IPC
+// endpoint per batch.
+
+#ifndef ATMO_SRC_DRIVERS_SPSC_RING_H_
+#define ATMO_SRC_DRIVERS_SPSC_RING_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace atmo {
+
+template <typename T, std::size_t N>
+class SpscRing {
+  static_assert((N & (N - 1)) == 0, "capacity must be a power of two");
+
+ public:
+  bool Push(const T& value) {
+    std::uint32_t head = head_.load(std::memory_order_relaxed);
+    std::uint32_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= N) {
+      return false;  // full
+    }
+    slots_[head & (N - 1)] = value;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool Pop(T* out) {
+    std::uint32_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint32_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return false;  // empty
+    }
+    *out = slots_[tail & (N - 1)];
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::uint32_t PushBurst(const T* values, std::uint32_t n) {
+    std::uint32_t pushed = 0;
+    while (pushed < n && Push(values[pushed])) {
+      ++pushed;
+    }
+    return pushed;
+  }
+
+  std::uint32_t PopBurst(T* out, std::uint32_t n) {
+    std::uint32_t popped = 0;
+    while (popped < n && Pop(&out[popped])) {
+      ++popped;
+    }
+    return popped;
+  }
+
+  std::uint32_t Size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  bool Empty() const { return Size() == 0; }
+  static constexpr std::size_t capacity() { return N; }
+
+ private:
+  alignas(64) std::atomic<std::uint32_t> head_{0};
+  alignas(64) std::atomic<std::uint32_t> tail_{0};
+  alignas(64) std::array<T, N> slots_{};
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_DRIVERS_SPSC_RING_H_

@@ -1,0 +1,30 @@
+// Cycle counter for latency microbenchmarks (Table 3).
+//
+// Uses rdtsc with serialization on x86-64 and a steady-clock fallback
+// elsewhere, matching how the paper reports IPC latency in cycles.
+
+#ifndef ATMO_SRC_HW_CYCLES_H_
+#define ATMO_SRC_HW_CYCLES_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace atmo {
+
+inline std::uint64_t ReadCycles() {
+#if defined(__x86_64__)
+  unsigned int aux = 0;
+  return __rdtscp(&aux);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_HW_CYCLES_H_

@@ -1,0 +1,30 @@
+// MMIO cost model.
+//
+// Device doorbells (NIC tail registers, NVMe submission doorbells) are PCIe
+// posted writes: cheap relative to a syscall but far from free (~100-300 ns
+// on real hardware, uncacheable and ordered). The simulated devices are
+// plain function calls, so without a cost model per-packet doorbells and
+// per-batch doorbells would measure identically and the b1/b32 batching
+// contrast of Figures 4-5 would vanish. MmioPostedWrite executes a short
+// serialized dependency chain the compiler cannot elide — deterministic
+// work standing in for the uncached write.
+
+#ifndef ATMO_SRC_HW_MMIO_H_
+#define ATMO_SRC_HW_MMIO_H_
+
+#include <cstdint>
+
+namespace atmo {
+
+inline void MmioPostedWrite() {
+  static volatile std::uint64_t chain[16] = {7, 3, 11, 5, 13, 2, 9, 6, 15, 1, 8, 4, 14, 10, 12, 0};
+  std::uint64_t p = 0;
+  for (int i = 0; i < 96; ++i) {
+    p = chain[p & 15] + static_cast<std::uint64_t>(i & 1);
+  }
+  chain[15] = p & 1 ? 0 : chain[15];
+}
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_HW_MMIO_H_

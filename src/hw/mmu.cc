@@ -1,0 +1,110 @@
+#include "src/hw/mmu.h"
+
+namespace atmo {
+
+std::uint64_t MakePte(PAddr target, MapEntryPerm perm, bool leaf_superpage) {
+  std::uint64_t pte = kPtePresent | (target & kPteAddrMask);
+  if (perm.writable) {
+    pte |= kPteWritable;
+  }
+  if (perm.user) {
+    pte |= kPteUser;
+  }
+  if (perm.no_execute) {
+    pte |= kPteNx;
+  }
+  if (leaf_superpage) {
+    pte |= kPtePageSize;
+  }
+  return pte;
+}
+
+MapEntryPerm PtePerm(std::uint64_t pte) {
+  MapEntryPerm perm;
+  perm.writable = (pte & kPteWritable) != 0;
+  perm.user = (pte & kPteUser) != 0;
+  perm.no_execute = (pte & kPteNx) != 0;
+  return perm;
+}
+
+namespace {
+
+// Rights are intersected down the walk: a mapping is writable/user only if
+// every level grants it; it is executable only if no level sets NX.
+MapEntryPerm Intersect(MapEntryPerm a, MapEntryPerm b) {
+  MapEntryPerm out;
+  out.writable = a.writable && b.writable;
+  out.user = a.user && b.user;
+  out.no_execute = a.no_execute || b.no_execute;
+  return out;
+}
+
+}  // namespace
+
+std::optional<WalkResult> Mmu::Walk(PAddr cr3, VAddr va) const {
+  if (!mem_->Valid(cr3) || cr3 % kPageSize4K != 0) {
+    return std::nullopt;
+  }
+
+  MapEntryPerm rights{.writable = true, .user = true, .no_execute = false};
+  PAddr table = cr3;
+  for (int level = 4; level >= 1; --level) {
+    std::uint64_t pte = mem_->HwReadU64(table + VaIndex(va, level) * 8);
+    if ((pte & kPtePresent) == 0) {
+      return std::nullopt;
+    }
+    rights = Intersect(rights, PtePerm(pte));
+    PAddr target = pte & kPteAddrMask;
+
+    bool leaf = level == 1;
+    PageSize size = PageSize::k4K;
+    if (level == 3 && (pte & kPtePageSize) != 0) {
+      leaf = true;
+      size = PageSize::k1G;
+    } else if (level == 2 && (pte & kPtePageSize) != 0) {
+      leaf = true;
+      size = PageSize::k2M;
+    } else if (level == 1) {
+      size = PageSize::k4K;
+    }
+
+    if (leaf) {
+      std::uint64_t page_bytes = PageBytes(size);
+      if (target % page_bytes != 0) {
+        return std::nullopt;  // malformed superpage base: hardware faults
+      }
+      WalkResult out;
+      out.page_base = target;
+      out.paddr = target + (va & (page_bytes - 1));
+      out.size = size;
+      out.perm = rights;
+      return out;
+    }
+    table = target;
+    if (!mem_->Valid(table) || table % kPageSize4K != 0) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Mmu::Permits(PAddr cr3, VAddr va, Access access, bool user_mode) const {
+  std::optional<WalkResult> walk = Walk(cr3, va);
+  if (!walk.has_value()) {
+    return false;
+  }
+  if (user_mode && !walk->perm.user) {
+    return false;
+  }
+  switch (access) {
+    case Access::kRead:
+      return true;
+    case Access::kWrite:
+      return walk->perm.writable;
+    case Access::kExecute:
+      return !walk->perm.no_execute;
+  }
+  return false;
+}
+
+}  // namespace atmo

@@ -1,0 +1,74 @@
+// MMU model — the hardware view of address translation.
+//
+// Walks real page-table bits in simulated physical memory exactly as an
+// x86-64 MMU would: CR3 → PML4 → PDPT → PD → PT, honouring the PS bit for
+// 2 MiB and 1 GiB superpages and intersecting access rights along the walk.
+// The page-table refinement theorem (§6.2) is checked against this walker:
+// for every entry of the abstract map, Walk() must resolve the same physical
+// address and permission; for every address outside the map, Walk() must
+// fault.
+
+#ifndef ATMO_SRC_HW_MMU_H_
+#define ATMO_SRC_HW_MMU_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/hw/phys_mem.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+// x86-64-style page-table entry bit layout.
+inline constexpr std::uint64_t kPtePresent = 1ull << 0;
+inline constexpr std::uint64_t kPteWritable = 1ull << 1;
+inline constexpr std::uint64_t kPteUser = 1ull << 2;
+inline constexpr std::uint64_t kPtePageSize = 1ull << 7;  // PS: leaf at PDPT/PD
+inline constexpr std::uint64_t kPteNx = 1ull << 63;
+inline constexpr std::uint64_t kPteAddrMask = 0x000ffffffffff000ull;
+
+// Composes an entry from a target physical address and permission bits.
+std::uint64_t MakePte(PAddr target, MapEntryPerm perm, bool leaf_superpage);
+
+// Extracts the permission bits of an entry.
+MapEntryPerm PtePerm(std::uint64_t pte);
+
+// Virtual-address index at each level (level 4 = PML4 ... level 1 = PT).
+constexpr std::uint64_t VaIndex(VAddr va, int level) {
+  return (va >> (12 + 9 * (level - 1))) & 0x1ff;
+}
+
+// Base virtual address composed from per-level indices (inverse of VaIndex).
+constexpr VAddr IndexToVa(std::uint64_t l4, std::uint64_t l3, std::uint64_t l2,
+                          std::uint64_t l1) {
+  return (l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << 12);
+}
+
+// Result of a successful page walk.
+struct WalkResult {
+  PAddr paddr = 0;            // physical address of the byte `va` points at
+  PAddr page_base = 0;        // base of the resolved page
+  PageSize size = PageSize::k4K;
+  MapEntryPerm perm;          // rights intersected over the walk
+
+  friend bool operator==(const WalkResult&, const WalkResult&) = default;
+};
+
+class Mmu {
+ public:
+  explicit Mmu(const PhysMem* mem) : mem_(mem) {}
+
+  // Resolves `va` through the table rooted at `cr3`. nullopt = page fault.
+  std::optional<WalkResult> Walk(PAddr cr3, VAddr va) const;
+
+  // Access check used by load/store/fetch emulation.
+  enum class Access { kRead, kWrite, kExecute };
+  bool Permits(PAddr cr3, VAddr va, Access access, bool user_mode) const;
+
+ private:
+  const PhysMem* mem_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_HW_MMU_H_

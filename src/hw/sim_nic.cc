@@ -1,0 +1,122 @@
+#include "src/hw/sim_nic.h"
+
+#include <array>
+
+#include "src/net/packet.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+SimNic::SimNic(PhysMem* mem, IommuManager* iommu, DeviceId device_id)
+    : mem_(mem), iommu_(iommu), device_id_(device_id) {}
+
+void SimNic::ConfigureRxRing(VAddr ring_iova, std::uint32_t entries) {
+  ATMO_CHECK(entries > 0 && (entries & (entries - 1)) == 0, "ring entries must be a power of 2");
+  rx_ring_ = ring_iova;
+  rx_entries_ = entries;
+  rx_head_ = 0;
+  rx_tail_ = 0;
+}
+
+void SimNic::ConfigureTxRing(VAddr ring_iova, std::uint32_t entries) {
+  ATMO_CHECK(entries > 0 && (entries & (entries - 1)) == 0, "ring entries must be a power of 2");
+  tx_ring_ = ring_iova;
+  tx_entries_ = entries;
+  tx_head_ = 0;
+  tx_tail_ = 0;
+}
+
+bool SimNic::ReadDesc(VAddr ring, std::uint32_t index, std::uint64_t* iova,
+                      std::uint64_t* meta) {
+  VAddr desc = ring + index * kNicDescBytes;
+  std::optional<PAddr> p0 = iommu_->Translate(device_id_, desc, /*write=*/false);
+  std::optional<PAddr> p1 = iommu_->Translate(device_id_, desc + 8, /*write=*/false);
+  if (!p0.has_value() || !p1.has_value()) {
+    ++dma_faults_;
+    return false;
+  }
+  *iova = mem_->HwReadU64(*p0);
+  *meta = mem_->HwReadU64(*p1);
+  return true;
+}
+
+bool SimNic::WriteDescMeta(VAddr ring, std::uint32_t index, std::uint64_t meta) {
+  VAddr desc = ring + index * kNicDescBytes;
+  std::optional<PAddr> p = iommu_->Translate(device_id_, desc + 8, /*write=*/true);
+  if (!p.has_value()) {
+    ++dma_faults_;
+    return false;
+  }
+  mem_->HwWriteU64(*p, meta);
+  return true;
+}
+
+std::uint32_t SimNic::DeliverRx(std::uint32_t budget) {
+  if (rx_entries_ == 0 || !source_) {
+    return 0;
+  }
+  std::uint32_t delivered = 0;
+  std::array<std::uint8_t, kMaxFrameLen> frame;
+  while (delivered < budget && rx_head_ != rx_tail_) {
+    std::size_t len = source_(frame.data());
+    if (len == 0) {
+      break;  // no traffic pending
+    }
+    std::uint32_t index = rx_head_ % rx_entries_;
+    std::uint64_t iova = 0;
+    std::uint64_t meta = 0;
+    if (!ReadDesc(rx_ring_, index, &iova, &meta)) {
+      break;  // ring unreachable: stall
+    }
+    // DMA the frame into the posted buffer (page-contiguous by driver
+    // contract; buffers are 2 KiB slots that never straddle a 4K page).
+    std::optional<PAddr> buf = iommu_->Translate(device_id_, iova, /*write=*/true);
+    if (!buf.has_value()) {
+      ++dma_faults_;
+      ++rx_head_;
+      continue;  // drop frame, consume descriptor
+    }
+    mem_->HwWriteBytes(*buf, frame.data(), len);
+    WriteDescMeta(rx_ring_, index, (len & kNicDescLenMask) | kNicDescDd);
+    ++rx_head_;
+    ++delivered;
+    ++rx_delivered_;
+  }
+  return delivered;
+}
+
+std::uint32_t SimNic::ProcessTx(std::uint32_t budget) {
+  if (tx_entries_ == 0) {
+    return 0;
+  }
+  std::uint32_t sent = 0;
+  std::array<std::uint8_t, kMaxFrameLen> frame;
+  while (sent < budget && tx_head_ != tx_tail_) {
+    std::uint32_t index = tx_head_ % tx_entries_;
+    std::uint64_t iova = 0;
+    std::uint64_t meta = 0;
+    if (!ReadDesc(tx_ring_, index, &iova, &meta)) {
+      break;
+    }
+    std::size_t len = meta & kNicDescLenMask;
+    if (len > kMaxFrameLen) {
+      len = kMaxFrameLen;
+    }
+    std::optional<PAddr> buf = iommu_->Translate(device_id_, iova, /*write=*/false);
+    if (buf.has_value()) {
+      mem_->HwReadBytes(*buf, frame.data(), len);
+      if (sink_) {
+        sink_(frame.data(), len);
+      }
+      ++tx_sent_;
+    } else {
+      ++dma_faults_;
+    }
+    WriteDescMeta(tx_ring_, index, meta | kNicDescDd);
+    ++tx_head_;
+    ++sent;
+  }
+  return sent;
+}
+
+}  // namespace atmo

@@ -1,0 +1,108 @@
+// Simulated 10 GbE NIC (Intel 82599 "ixgbe"-like).
+//
+// Models the device side of the paper's network experiments: descriptor
+// rings in simulated physical memory, head/tail registers, and DMA through
+// the IOMMU. The device does real work — it writes real frame bytes into RX
+// buffers and reads real bytes out of TX buffers — so driver-side costs
+// (polling, batching, copies) measure meaningfully.
+//
+// Descriptor layout (16 bytes, legacy-ring style):
+//   offset 0: u64 buffer IOVA
+//   offset 8: u64 meta — bits [15:0] length, bit 16 DD (descriptor done)
+//
+// RX: the driver posts empty buffers and bumps the tail; the device fills
+// descriptors from head to tail (frame bytes + length + DD). TX: the driver
+// writes frames, bumps the tail; the device consumes head to tail, handing
+// each frame to the sink and setting DD.
+
+#ifndef ATMO_SRC_HW_SIM_NIC_H_
+#define ATMO_SRC_HW_SIM_NIC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/hw/mmio.h"
+#include "src/hw/phys_mem.h"
+#include "src/iommu/iommu_manager.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+inline constexpr std::uint64_t kNicDescBytes = 16;
+inline constexpr std::uint64_t kNicDescDd = 1ull << 16;
+inline constexpr std::uint64_t kNicDescLenMask = 0xffff;
+
+// Fills `buf` (kMaxFrameLen capacity) with the next ingress frame; returns
+// its length, or 0 for "no traffic".
+using PacketSource = std::function<std::size_t(std::uint8_t* buf)>;
+// Consumes one egress frame.
+using PacketSink = std::function<void(const std::uint8_t* frame, std::size_t len)>;
+
+class SimNic {
+ public:
+  SimNic(PhysMem* mem, IommuManager* iommu, DeviceId device_id);
+
+  DeviceId device_id() const { return device_id_; }
+
+  // --- Device configuration registers (driver side) ---
+  void ConfigureRxRing(VAddr ring_iova, std::uint32_t entries);
+  void ConfigureTxRing(VAddr ring_iova, std::uint32_t entries);
+  // Tail registers are MMIO doorbells: each write pays the posted-write
+  // cost (see src/hw/mmio.h), which is what batching amortizes.
+  void SetRxTail(std::uint32_t tail) {
+    MmioPostedWrite();
+    rx_tail_ = tail;
+  }
+  void SetTxTail(std::uint32_t tail) {
+    MmioPostedWrite();
+    tx_tail_ = tail;
+  }
+  std::uint32_t rx_head() const { return rx_head_; }
+  std::uint32_t tx_head() const { return tx_head_; }
+
+  // --- Traffic endpoints ---
+  void SetPacketSource(PacketSource source) { source_ = std::move(source); }
+  void SetPacketSink(PacketSink sink) { sink_ = std::move(sink); }
+
+  // --- Device execution (the "hardware" runs when these are called) ---
+  // Receives up to `budget` frames into posted RX buffers. Returns frames
+  // delivered. DMA faults (IOMMU denials) drop the frame and count in
+  // dma_faults().
+  std::uint32_t DeliverRx(std::uint32_t budget);
+  // Transmits up to `budget` frames from the TX ring. Returns frames sent.
+  std::uint32_t ProcessTx(std::uint32_t budget);
+
+  std::uint64_t rx_delivered() const { return rx_delivered_; }
+  std::uint64_t tx_sent() const { return tx_sent_; }
+  std::uint64_t dma_faults() const { return dma_faults_; }
+
+ private:
+  // Reads one descriptor through the IOMMU; false on fault.
+  bool ReadDesc(VAddr ring, std::uint32_t index, std::uint64_t* iova, std::uint64_t* meta);
+  bool WriteDescMeta(VAddr ring, std::uint32_t index, std::uint64_t meta);
+
+  PhysMem* mem_;
+  IommuManager* iommu_;
+  DeviceId device_id_;
+
+  VAddr rx_ring_ = 0;
+  std::uint32_t rx_entries_ = 0;
+  std::uint32_t rx_head_ = 0;
+  std::uint32_t rx_tail_ = 0;
+
+  VAddr tx_ring_ = 0;
+  std::uint32_t tx_entries_ = 0;
+  std::uint32_t tx_head_ = 0;
+  std::uint32_t tx_tail_ = 0;
+
+  PacketSource source_;
+  PacketSink sink_;
+
+  std::uint64_t rx_delivered_ = 0;
+  std::uint64_t tx_sent_ = 0;
+  std::uint64_t dma_faults_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_HW_SIM_NIC_H_

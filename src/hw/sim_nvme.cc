@@ -1,0 +1,161 @@
+#include "src/hw/sim_nvme.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+SimNvme::SimNvme(PhysMem* mem, IommuManager* iommu, DeviceId device_id,
+                 std::uint64_t capacity_blocks)
+    : mem_(mem), iommu_(iommu), device_id_(device_id), capacity_blocks_(capacity_blocks) {}
+
+void SimNvme::ConfigureQueues(VAddr sq_iova, VAddr cq_iova, std::uint32_t entries) {
+  ATMO_CHECK(entries > 0 && (entries & (entries - 1)) == 0,
+             "queue entries must be a power of 2");
+  sq_ = sq_iova;
+  cq_ = cq_iova;
+  entries_ = entries;
+  sq_head_ = 0;
+  sq_tail_ = 0;
+  cq_tail_ = 0;
+}
+
+std::uint8_t* SimNvme::Block(std::uint64_t lba, bool create) {
+  auto it = flash_.find(lba);
+  if (it != flash_.end()) {
+    return it->second.get();
+  }
+  if (!create) {
+    return nullptr;
+  }
+  auto block = std::make_unique<std::uint8_t[]>(kNvmeBlockBytes);
+  std::memset(block.get(), 0, kNvmeBlockBytes);
+  std::uint8_t* raw = block.get();
+  flash_.emplace(lba, std::move(block));
+  return raw;
+}
+
+void SimNvme::PostCompletion(std::uint32_t cid, bool error) {
+  std::uint32_t index = cq_tail_ % entries_;
+  // Phase bit flips every pass over the CQ ring.
+  std::uint64_t phase = ((cq_tail_ / entries_) & 1) ^ 1;
+  std::uint64_t entry =
+      cid | (error ? (1ull << 32) : 0) | (phase << 63);
+  std::optional<PAddr> p = iommu_->Translate(device_id_, cq_ + index * kNvmeCqEntryBytes,
+                                             /*write=*/true);
+  if (!p.has_value()) {
+    ++errors_;
+    return;
+  }
+  mem_->HwWriteU64(*p, entry);
+  ++cq_tail_;
+}
+
+std::uint32_t SimNvme::ProcessCommands(std::uint32_t budget) {
+  if (entries_ == 0) {
+    return 0;
+  }
+  std::uint32_t done = 0;
+  while (done < budget && sq_head_ != sq_tail_) {
+    std::uint32_t index = sq_head_ % entries_;
+    VAddr entry_iova = sq_ + index * kNvmeSqEntryBytes;
+
+    std::uint64_t words[4];
+    bool fault = false;
+    for (int w = 0; w < 4; ++w) {
+      std::optional<PAddr> p =
+          iommu_->Translate(device_id_, entry_iova + w * 8, /*write=*/false);
+      if (!p.has_value()) {
+        fault = true;
+        break;
+      }
+      words[w] = mem_->HwReadU64(*p);
+    }
+    if (fault) {
+      ++errors_;
+      break;  // SQ unreachable: device stalls
+    }
+    std::uint8_t opcode = static_cast<std::uint8_t>(words[0] & 0xff);
+    std::uint32_t cid = static_cast<std::uint32_t>(words[0] >> 32);
+    std::uint64_t lba = words[1];
+    std::uint64_t nblocks = words[2];
+    VAddr buffer = words[3];
+    ++sq_head_;
+    ++done;
+
+    if (lba + nblocks > capacity_blocks_ || nblocks == 0 ||
+        (opcode != kNvmeOpRead && opcode != kNvmeOpWrite)) {
+      ++errors_;
+      PostCompletion(cid, /*error=*/true);
+      continue;
+    }
+
+    bool ok = true;
+    for (std::uint64_t b = 0; b < nblocks && ok; ++b) {
+      VAddr dst = buffer + b * kNvmeBlockBytes;
+      std::optional<PAddr> host =
+          iommu_->Translate(device_id_, dst, /*write=*/opcode == kNvmeOpRead);
+      if (!host.has_value()) {
+        ok = false;
+        break;
+      }
+      if (opcode == kNvmeOpRead) {
+        const std::uint8_t* block = Block(lba + b, /*create=*/false);
+        if (block == nullptr) {
+          // Unwritten flash reads as zero.
+          static const std::uint8_t kZeros[kNvmeBlockBytes] = {};
+          mem_->HwWriteBytes(*host, kZeros, kNvmeBlockBytes);
+        } else {
+          mem_->HwWriteBytes(*host, block, kNvmeBlockBytes);
+        }
+      } else {
+        std::uint8_t* block = Block(lba + b, /*create=*/true);
+        mem_->HwReadBytes(*host, block, kNvmeBlockBytes);
+      }
+    }
+    if (ok) {
+      if (opcode == kNvmeOpRead) {
+        ++reads_done_;
+      } else {
+        ++writes_done_;
+      }
+    } else {
+      ++errors_;
+    }
+    PostCompletion(cid, /*error=*/!ok);
+  }
+  return done;
+}
+
+void SimNvme::BackdoorWrite(std::uint64_t lba, const void* data, std::uint64_t len) {
+  const std::uint8_t* src = static_cast<const std::uint8_t*>(data);
+  std::uint64_t done = 0;
+  while (done < len) {
+    std::uint64_t block_lba = lba + done / kNvmeBlockBytes;
+    std::uint64_t off = done % kNvmeBlockBytes;
+    std::uint64_t chunk = std::min(len - done, kNvmeBlockBytes - off);
+    std::memcpy(Block(block_lba, true) + off, src + done, chunk);
+    done += chunk;
+  }
+}
+
+void SimNvme::BackdoorRead(std::uint64_t lba, void* data, std::uint64_t len) const {
+  std::uint8_t* dst = static_cast<std::uint8_t*>(data);
+  std::uint64_t done = 0;
+  while (done < len) {
+    std::uint64_t block_lba = lba + done / kNvmeBlockBytes;
+    std::uint64_t off = done % kNvmeBlockBytes;
+    std::uint64_t chunk = std::min(len - done, kNvmeBlockBytes - off);
+    auto it = flash_.find(block_lba);
+    if (it == flash_.end()) {
+      std::memset(dst + done, 0, chunk);
+    } else {
+      std::memcpy(dst + done, it->second.get() + off, chunk);
+    }
+    done += chunk;
+  }
+}
+
+}  // namespace atmo

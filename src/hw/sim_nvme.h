@@ -1,0 +1,89 @@
+// Simulated NVMe SSD (Intel P3700-like).
+//
+// One I/O queue pair in simulated physical memory: a submission queue of
+// 32-byte commands and a completion queue of 16-byte entries with a phase
+// bit, plus doorbells. The device executes commands by really copying 4 KiB
+// blocks between an internal (lazily allocated) flash store and host memory
+// through the IOMMU — read/write amplification, batching, and polling costs
+// on the driver side are therefore real.
+//
+// SQ entry layout:
+//   offset  0: u64 — bits [7:0] opcode (1=read, 2=write), bits [63:32] CID
+//   offset  8: u64 starting LBA (4 KiB blocks)
+//   offset 16: u64 block count
+//   offset 24: u64 buffer IOVA
+// CQ entry layout:
+//   offset  0: u64 — bits [31:0] CID, bit 32 status-error, bit 63 phase
+//   offset  8: u64 reserved
+
+#ifndef ATMO_SRC_HW_SIM_NVME_H_
+#define ATMO_SRC_HW_SIM_NVME_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/hw/mmio.h"
+#include "src/hw/phys_mem.h"
+#include "src/iommu/iommu_manager.h"
+
+namespace atmo {
+
+inline constexpr std::uint64_t kNvmeBlockBytes = 4096;
+inline constexpr std::uint64_t kNvmeSqEntryBytes = 32;
+inline constexpr std::uint64_t kNvmeCqEntryBytes = 16;
+inline constexpr std::uint8_t kNvmeOpRead = 1;
+inline constexpr std::uint8_t kNvmeOpWrite = 2;
+
+class SimNvme {
+ public:
+  SimNvme(PhysMem* mem, IommuManager* iommu, DeviceId device_id, std::uint64_t capacity_blocks);
+
+  DeviceId device_id() const { return device_id_; }
+  std::uint64_t capacity_blocks() const { return capacity_blocks_; }
+
+  // Queue-pair configuration (driver side).
+  void ConfigureQueues(VAddr sq_iova, VAddr cq_iova, std::uint32_t entries);
+  // Submission doorbell: new SQ tail (free-running counter). An MMIO
+  // posted write (see src/hw/mmio.h).
+  void RingSqDoorbell(std::uint32_t tail) {
+    MmioPostedWrite();
+    sq_tail_ = tail;
+  }
+
+  // Device execution: process up to `budget` commands, posting completions.
+  std::uint32_t ProcessCommands(std::uint32_t budget);
+
+  std::uint64_t reads_done() const { return reads_done_; }
+  std::uint64_t writes_done() const { return writes_done_; }
+  std::uint64_t errors() const { return errors_; }
+
+  // Debug/backdoor access to the flash store (tests).
+  void BackdoorWrite(std::uint64_t lba, const void* data, std::uint64_t len);
+  void BackdoorRead(std::uint64_t lba, void* data, std::uint64_t len) const;
+
+ private:
+  std::uint8_t* Block(std::uint64_t lba, bool create);
+  void PostCompletion(std::uint32_t cid, bool error);
+
+  PhysMem* mem_;
+  IommuManager* iommu_;
+  DeviceId device_id_;
+  std::uint64_t capacity_blocks_;
+
+  VAddr sq_ = 0;
+  VAddr cq_ = 0;
+  std::uint32_t entries_ = 0;
+  std::uint32_t sq_head_ = 0;
+  std::uint32_t sq_tail_ = 0;
+  std::uint32_t cq_tail_ = 0;  // free-running; phase = (cq_tail_/entries_)&1
+
+  std::map<std::uint64_t, std::unique_ptr<std::uint8_t[]>> flash_;
+  std::uint64_t reads_done_ = 0;
+  std::uint64_t writes_done_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_HW_SIM_NVME_H_

@@ -1,0 +1,182 @@
+#include "src/iommu/iommu_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
+  std::optional<PageTable> table = PageTable::New(mem_, alloc, ctnr);
+  if (!table.has_value()) {
+    return kNoIommuDomain;
+  }
+  IommuDomainId id = next_domain_++;
+  domains_.emplace(id, std::move(*table));
+  return id;
+}
+
+void IommuManager::DestroyDomain(PageAllocator* alloc, IommuDomainId domain) {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "DestroyDomain of unknown domain");
+  for (const auto& [device, dom] : device_domains_) {
+    ATMO_CHECK(dom != domain, "DestroyDomain with attached devices");
+  }
+  // Unmap all DMA windows, then release the tables.
+  std::vector<VAddr> iovas;
+  for (const auto& [iova, entry] : it->second.AddressSpace()) {
+    iovas.push_back(iova);
+  }
+  for (VAddr iova : iovas) {
+    it->second.Unmap(iova);
+  }
+  it->second.Destroy(alloc);
+  domains_.erase(it);
+  owner_overrides_.erase(domain);
+}
+
+CtnrPtr IommuManager::DomainOwner(IommuDomainId domain) const {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "DomainOwner of unknown domain");
+  auto ov = owner_overrides_.find(domain);
+  return ov != owner_overrides_.end() ? ov->second : it->second.owner();
+}
+
+void IommuManager::SetDomainOwner(IommuDomainId domain, CtnrPtr ctnr) {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "SetDomainOwner of unknown domain");
+  // PageTable keeps its owner immutable; rebuild ownership by re-tagging
+  // node pages at the allocator and replacing the table's owner via clone is
+  // overkill — the table owner field is advisory; quota attribution is the
+  // kernel's. We track the override here.
+  owner_overrides_[domain] = ctnr;
+}
+
+bool IommuManager::AttachDevice(IommuDomainId domain, DeviceId device) {
+  if (domains_.find(domain) == domains_.end()) {
+    return false;
+  }
+  if (device_domains_.count(device) != 0) {
+    return false;  // already attached elsewhere
+  }
+  device_domains_[device] = domain;
+  return true;
+}
+
+void IommuManager::DetachDevice(DeviceId device) {
+  ATMO_CHECK(device_domains_.count(device) != 0, "DetachDevice of unattached device");
+  device_domains_.erase(device);
+}
+
+IommuDomainId IommuManager::DomainOf(DeviceId device) const {
+  auto it = device_domains_.find(device);
+  return it == device_domains_.end() ? kNoIommuDomain : it->second;
+}
+
+MapError IommuManager::MapDma(PageAllocator* alloc, IommuDomainId domain, VAddr iova, PAddr pa,
+                              PageSize size, MapEntryPerm perm) {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return MapError::kNotMapped;
+  }
+  return it->second.Map(alloc, iova, pa, size, perm);
+}
+
+std::optional<MapEntry> IommuManager::UnmapDma(IommuDomainId domain, VAddr iova) {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "UnmapDma on unknown domain");
+  return it->second.Unmap(iova);
+}
+
+std::optional<PAddr> IommuManager::Translate(DeviceId device, VAddr iova, bool write) const {
+  auto dev = device_domains_.find(device);
+  if (dev == device_domains_.end()) {
+    return std::nullopt;  // unattached devices are blocked entirely
+  }
+  auto dom = domains_.find(dev->second);
+  ATMO_CHECK(dom != domains_.end(), "device attached to dead domain");
+  // Hardware path: walk the real table bits.
+  std::optional<WalkResult> walk = mmu_.Walk(dom->second.cr3(), iova);
+  if (!walk.has_value()) {
+    return std::nullopt;
+  }
+  if (write && !walk->perm.writable) {
+    return std::nullopt;
+  }
+  return walk->paddr;
+}
+
+std::uint64_t IommuManager::DomainPageCount(IommuDomainId domain) const {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "DomainPageCount of unknown domain");
+  return it->second.PageClosure().size();
+}
+
+SpecSet<PagePtr> IommuManager::PageClosure() const {
+  SpecSet<PagePtr> out;
+  for (const auto& [id, table] : domains_) {
+    out = out.Union(table.PageClosure());
+  }
+  return out;
+}
+
+SpecSet<IommuDomainId> IommuManager::DomainsOwnedBy(CtnrPtr ctnr) const {
+  SpecSet<IommuDomainId> out;
+  for (const auto& [id, table] : domains_) {
+    auto ov = owner_overrides_.find(id);
+    CtnrPtr owner = ov != owner_overrides_.end() ? ov->second : table.owner();
+    if (owner == ctnr) {
+      out.add(id);
+    }
+  }
+  return out;
+}
+
+SpecSet<PagePtr> IommuManager::DomainPageClosure(IommuDomainId domain) const {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "DomainPageClosure of unknown domain");
+  return it->second.PageClosure();
+}
+
+MapError IommuManager::CanMapDma(IommuDomainId domain, VAddr iova, PageSize size) const {
+  auto it = domains_.find(domain);
+  if (it == domains_.end()) {
+    return MapError::kNotMapped;
+  }
+  return it->second.CanMap(iova, size);
+}
+
+std::uint64_t IommuManager::FreshNodesForDma(IommuDomainId domain, VAddr iova,
+                                             PageSize size) const {
+  auto it = domains_.find(domain);
+  ATMO_CHECK(it != domains_.end(), "FreshNodesForDma of unknown domain");
+  return it->second.FreshNodesFor(iova, size, nullptr);
+}
+
+bool IommuManager::Wf() const {
+  for (const auto& [id, table] : domains_) {
+    if (!table.StructureWf(*mem_)) {
+      return false;
+    }
+  }
+  for (const auto& [device, domain] : device_domains_) {
+    if (domains_.find(domain) == domains_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
+  IommuManager out(mem);
+  out.next_domain_ = next_domain_;
+  for (const auto& [id, table] : domains_) {
+    out.domains_.emplace(id, table.CloneForVerification(mem));
+  }
+  out.device_domains_ = device_domains_;
+  out.owner_overrides_ = owner_overrides_;
+  return out;
+}
+
+}  // namespace atmo

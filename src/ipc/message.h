@@ -1,0 +1,61 @@
+// IPC message payloads (§3).
+//
+// A sender thread can pass scalar data, references to memory pages, IOMMU
+// identifiers, and references to other endpoints. The payload is staged in
+// the sending thread's IPC buffer (modelling the registers/UTCB of a real
+// kernel) and copied into the receiver's buffer when the rendezvous
+// completes.
+
+#ifndef ATMO_SRC_IPC_MESSAGE_H_
+#define ATMO_SRC_IPC_MESSAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+inline constexpr std::size_t kIpcScalarWords = 4;
+
+// A page reference travelling in a message. The receiver gets the page
+// mapped at `dest_va` in its address space with rights `perm` (capped by the
+// sender's own rights on the page).
+struct PageGrant {
+  PagePtr page = kNullPtr;
+  PageSize size = PageSize::k4K;
+  VAddr dest_va = 0;
+  MapEntryPerm perm;
+
+  friend bool operator==(const PageGrant&, const PageGrant&) = default;
+};
+
+// An endpoint capability travelling in a message: installed into the
+// receiver's descriptor table at `dest_index`.
+struct EndpointGrant {
+  EdptPtr endpoint = kNullPtr;
+  EdptIdx dest_index = 0;
+
+  friend bool operator==(const EndpointGrant&, const EndpointGrant&) = default;
+};
+
+// An IOMMU domain identifier travelling in a message (device delegation).
+struct IommuGrant {
+  std::uint64_t domain_id = 0;
+
+  friend bool operator==(const IommuGrant&, const IommuGrant&) = default;
+};
+
+struct IpcPayload {
+  std::array<std::uint64_t, kIpcScalarWords> scalars{};
+  std::optional<PageGrant> page;
+  std::optional<EndpointGrant> endpoint;
+  std::optional<IommuGrant> iommu;
+
+  friend bool operator==(const IpcPayload&, const IpcPayload&) = default;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_IPC_MESSAGE_H_

@@ -1,0 +1,104 @@
+#include "src/net/packet.h"
+
+namespace atmo {
+
+std::size_t BuildUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
+                          const FiveTuple& flow, const void* payload,
+                          std::size_t payload_len) {
+  std::size_t total = kHeadersLen + payload_len;
+  if (total < kMinFrameLen) {
+    total = kMinFrameLen;
+  }
+
+  // Ethernet.
+  std::memcpy(buf, dst_mac.data(), 6);
+  std::memcpy(buf + 6, src_mac.data(), 6);
+  PutU16(buf + 12, 0x0800);  // IPv4
+
+  // IPv4.
+  std::uint8_t* ip = buf + kEthHeaderLen;
+  std::uint16_t ip_len = static_cast<std::uint16_t>(total - kEthHeaderLen);
+  ip[0] = 0x45;  // version 4, IHL 5
+  ip[1] = 0;
+  PutU16(ip + 2, ip_len);
+  PutU16(ip + 4, 0);  // id
+  PutU16(ip + 6, 0);  // flags/frag
+  ip[8] = 64;         // TTL
+  ip[9] = flow.proto;
+  PutU16(ip + 10, 0);  // checksum placeholder
+  PutU32(ip + 12, flow.src_ip);
+  PutU32(ip + 16, flow.dst_ip);
+  PutU16(ip + 10, InternetChecksum(ip, kIpv4HeaderLen));
+
+  // UDP.
+  std::uint8_t* udp = ip + kIpv4HeaderLen;
+  PutU16(udp, flow.src_port);
+  PutU16(udp + 2, flow.dst_port);
+  PutU16(udp + 4, static_cast<std::uint16_t>(kUdpHeaderLen + payload_len));
+  PutU16(udp + 6, 0);  // checksum optional for IPv4
+
+  std::uint8_t* body = udp + kUdpHeaderLen;
+  if (payload_len > 0) {
+    std::memcpy(body, payload, payload_len);
+  }
+  std::size_t written = kHeadersLen + payload_len;
+  if (written < total) {
+    std::memset(buf + written, 0, total - written);  // pad
+  }
+  return total;
+}
+
+std::optional<ParsedFrame> ParseUdpFrame(const std::uint8_t* buf, std::size_t len) {
+  if (len < kHeadersLen) {
+    return std::nullopt;
+  }
+  if (GetU16(buf + 12) != 0x0800) {
+    return std::nullopt;  // not IPv4
+  }
+  const std::uint8_t* ip = buf + kEthHeaderLen;
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0x0f) != 5) {
+    return std::nullopt;
+  }
+  if (InternetChecksum(ip, kIpv4HeaderLen) != 0) {
+    return std::nullopt;  // corrupt header
+  }
+  std::uint16_t ip_len = GetU16(ip + 2);
+  if (ip_len < kIpv4HeaderLen + kUdpHeaderLen ||
+      kEthHeaderLen + ip_len > len) {
+    return std::nullopt;
+  }
+
+  ParsedFrame out;
+  std::memcpy(out.dst_mac.data(), buf, 6);
+  std::memcpy(out.src_mac.data(), buf + 6, 6);
+  out.flow.proto = ip[9];
+  out.flow.src_ip = GetU32(ip + 12);
+  out.flow.dst_ip = GetU32(ip + 16);
+  if (out.flow.proto != 17) {
+    return std::nullopt;
+  }
+  const std::uint8_t* udp = ip + kIpv4HeaderLen;
+  out.flow.src_port = GetU16(udp);
+  out.flow.dst_port = GetU16(udp + 2);
+  std::uint16_t udp_len = GetU16(udp + 4);
+  if (udp_len < kUdpHeaderLen || kIpv4HeaderLen + udp_len > ip_len) {
+    return std::nullopt;
+  }
+  out.payload = udp + kUdpHeaderLen;
+  out.payload_len = udp_len - kUdpHeaderLen;
+  return out;
+}
+
+void RewriteDestination(std::uint8_t* frame, std::size_t len, const MacAddr& new_dst_mac,
+                        std::uint32_t new_dst_ip) {
+  if (len < kHeadersLen) {
+    return;
+  }
+  std::memcpy(frame, new_dst_mac.data(), 6);
+  std::uint8_t* ip = frame + kEthHeaderLen;
+  PutU32(ip + 16, new_dst_ip);
+  PutU16(ip + 10, 0);
+  PutU16(ip + 10, InternetChecksum(ip, kIpv4HeaderLen));
+}
+
+}  // namespace atmo

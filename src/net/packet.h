@@ -1,0 +1,110 @@
+// Raw Ethernet/IPv4/UDP frame construction and parsing.
+//
+// Shared by the simulated NIC (which generates and validates real frame
+// bytes), the ixgbe driver, the baselines, and the packet applications
+// (Maglev, kv-store, httpd). Frames are real bytes — every layer does the
+// byte-level work a production data path does, which is what makes the
+// throughput benchmarks meaningful.
+
+#ifndef ATMO_SRC_NET_PACKET_H_
+#define ATMO_SRC_NET_PACKET_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+
+namespace atmo {
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kHeadersLen = kEthHeaderLen + kIpv4HeaderLen + kUdpHeaderLen;
+inline constexpr std::size_t kMinFrameLen = 60;  // 64 minus FCS
+inline constexpr std::size_t kMaxFrameLen = 1514;
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+struct FiveTuple {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 17;  // UDP
+
+  friend bool operator==(const FiveTuple&, const FiveTuple&) = default;
+};
+
+// FNV-1a — the hash function the paper's kv-store uses; also used for flow
+// hashing in Maglev.
+inline std::uint64_t Fnv1a(const void* data, std::size_t len,
+                           std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const std::uint8_t* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+inline void PutU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void PutU32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint16_t GetU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] << 8 | p[1]);
+}
+inline std::uint32_t GetU32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) << 24 | static_cast<std::uint32_t>(p[1]) << 16 |
+         static_cast<std::uint32_t>(p[2]) << 8 | static_cast<std::uint32_t>(p[3]);
+}
+
+// RFC 1071 internet checksum over `len` bytes.
+inline std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  while (len > 1) {
+    sum += GetU16(data);
+    data += 2;
+    len -= 2;
+  }
+  if (len == 1) {
+    sum += static_cast<std::uint32_t>(*data) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+// Builds an Ethernet+IPv4+UDP frame carrying `payload`. Returns total frame
+// length (padded to the 60-byte minimum). `buf` must hold kMaxFrameLen.
+std::size_t BuildUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
+                          const FiveTuple& flow, const void* payload, std::size_t payload_len);
+
+struct ParsedFrame {
+  FiveTuple flow;
+  MacAddr src_mac{};
+  MacAddr dst_mac{};
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+};
+
+// Parses and validates an Ethernet+IPv4+UDP frame (checks ethertype,
+// version, header length, IP checksum). nullopt = malformed / non-UDP.
+std::optional<ParsedFrame> ParseUdpFrame(const std::uint8_t* buf, std::size_t len);
+
+// Rewrites the destination MAC/IP in place and fixes the IP checksum
+// (Maglev forwarding path).
+void RewriteDestination(std::uint8_t* frame, std::size_t len, const MacAddr& new_dst_mac,
+                        std::uint32_t new_dst_ip);
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_NET_PACKET_H_

@@ -1,0 +1,55 @@
+// Typed kernel-object placement over 4 KiB pages.
+//
+// Kernel objects (containers, processes, threads, endpoints, ...) each
+// occupy one freshly allocated 4 KiB page. PlaceObject exchanges the page's
+// frame permission for a typed PointsTo permission — the executable analog
+// of initializing an object through a raw pointer and obtaining its tracked
+// permission. UnplaceObject reverses the exchange on deallocation: the typed
+// permission is consumed, the object destroyed, and the frame permission
+// reappears so the page can be freed.
+//
+// Type safety in the paper's sense (each allocated region is used by exactly
+// one data structure of one type) follows from the token exchange: a page
+// has either its FramePerm or exactly one typed PointsTo outstanding.
+
+#ifndef ATMO_SRC_PMEM_OBJECT_ALLOC_H_
+#define ATMO_SRC_PMEM_OBJECT_ALLOC_H_
+
+#include <utility>
+
+#include "src/hw/phys_mem.h"
+#include "src/vstd/check.h"
+#include "src/vstd/points_to.h"
+
+namespace atmo {
+
+template <typename T>
+struct PlacedObject {
+  PPtr<T> ptr;
+  PointsTo<T> perm;
+};
+
+// Consumes the frame permission of a 4 KiB page and mints the typed
+// permission holding `value`.
+template <typename T>
+PlacedObject<T> PlaceObject(FramePerm frame, T value) {
+  ATMO_CHECK(frame.size() == PageSize::k4K, "kernel objects are placed in 4K pages");
+  Ptr addr = frame.base();
+  // `frame` is consumed here; the typed permission takes over the page.
+  return PlacedObject<T>{PPtr<T>(addr), PointsTo<T>::Init(addr, std::move(value))};
+}
+
+// Consumes the typed permission (destroying the object) and returns the
+// page's frame permission so it can be freed.
+template <typename T>
+FramePerm UnplaceObject(PointsTo<T> perm) {
+  Ptr addr = perm.addr();
+  if (perm.is_init()) {
+    (void)perm.Take();  // destroy the object value
+  }
+  return FramePerm::Mint(addr, PageSize::k4K);
+}
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_PMEM_OBJECT_ALLOC_H_

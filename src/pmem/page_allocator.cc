@@ -1,0 +1,467 @@
+#include "src/pmem/page_allocator.h"
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+namespace {
+constexpr std::uint64_t kFramesPer2M = kPageSize2M / kPageSize4K;  // 512
+constexpr std::uint64_t kFramesPer1G = kPageSize1G / kPageSize4K;  // 262144
+}  // namespace
+
+const char* PageStateName(PageState state) {
+  switch (state) {
+    case PageState::kUnavailable:
+      return "unavailable";
+    case PageState::kFree:
+      return "free";
+    case PageState::kMapped:
+      return "mapped";
+    case PageState::kMerged:
+      return "merged";
+    case PageState::kAllocated:
+      return "allocated";
+  }
+  return "?";
+}
+
+PageAllocator::PageAllocator(std::uint64_t total_frames, std::uint64_t reserved_frames)
+    : reserved_frames_(reserved_frames), meta_(total_frames) {
+  ATMO_CHECK(reserved_frames >= 1, "frame 0 (null pointer) must be reserved");
+  ATMO_CHECK(reserved_frames <= total_frames, "reserved frames exceed total frames");
+  // All managed frames boot as free 4 KiB pages. Push back-to-front so the
+  // list pops low addresses first (deterministic allocation order).
+  for (std::uint64_t frame = total_frames; frame-- > reserved_frames;) {
+    PushFree(frame, PageSize::k4K);
+  }
+}
+
+std::uint64_t PageAllocator::FrameOf(PagePtr ptr) const {
+  ATMO_CHECK(ptr % kPageSize4K == 0, "page pointer not 4K aligned");
+  std::uint64_t frame = ptr / kPageSize4K;
+  ATMO_CHECK(frame < meta_.size(), "page pointer out of range");
+  return frame;
+}
+
+PageAllocator::FreeList& PageAllocator::ListFor(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return free_4k_;
+    case PageSize::k2M:
+      return free_2m_;
+    case PageSize::k1G:
+      return free_1g_;
+  }
+  return free_4k_;
+}
+
+const PageAllocator::FreeList& PageAllocator::ListFor(PageSize size) const {
+  return const_cast<PageAllocator*>(this)->ListFor(size);
+}
+
+void PageAllocator::PushFree(std::uint64_t frame, PageSize size) {
+  FreeList& list = ListFor(size);
+  PageMeta& meta = meta_[frame];
+  meta.state = PageState::kFree;
+  meta.size = size;
+  meta.owner = kNullPtr;
+  meta.map_count = 0;
+  meta.merged_head = kNilFrame;
+  meta.prev = kNilFrame;
+  meta.next = list.head;
+  if (list.head != kNilFrame) {
+    meta_[list.head].prev = frame;
+  }
+  list.head = frame;
+  ++list.count;
+}
+
+void PageAllocator::UnlinkFree(std::uint64_t frame) {
+  PageMeta& meta = meta_[frame];
+  ATMO_CHECK(meta.state == PageState::kFree, "UnlinkFree on non-free page");
+  FreeList& list = ListFor(meta.size);
+  if (meta.prev != kNilFrame) {
+    meta_[meta.prev].next = meta.next;
+  } else {
+    ATMO_CHECK(list.head == frame, "free-list head corruption");
+    list.head = meta.next;
+  }
+  if (meta.next != kNilFrame) {
+    meta_[meta.next].prev = meta.prev;
+  }
+  meta.prev = kNilFrame;
+  meta.next = kNilFrame;
+  ATMO_CHECK(list.count > 0, "free-list count underflow");
+  --list.count;
+}
+
+std::optional<std::uint64_t> PageAllocator::PopFree(PageSize size) {
+  FreeList& list = ListFor(size);
+  if (list.head == kNilFrame) {
+    return std::nullopt;
+  }
+  std::uint64_t frame = list.head;
+  UnlinkFree(frame);
+  return frame;
+}
+
+std::optional<PageAlloc> PageAllocator::AllocFrom(PageSize size, CtnrPtr owner) {
+  std::optional<std::uint64_t> frame = PopFree(size);
+  if (!frame.has_value()) {
+    return std::nullopt;
+  }
+  PageMeta& meta = meta_[*frame];
+  meta.state = PageState::kAllocated;
+  meta.size = size;
+  meta.owner = owner;
+  return PageAlloc{PtrOf(*frame), FramePerm::Mint(PtrOf(*frame), size)};
+}
+
+std::optional<PageAlloc> PageAllocator::AllocPage4K(CtnrPtr owner) {
+  return AllocFrom(PageSize::k4K, owner);
+}
+
+std::optional<PageAlloc> PageAllocator::AllocPage2M(CtnrPtr owner) {
+  std::optional<PageAlloc> out = AllocFrom(PageSize::k2M, owner);
+  if (!out.has_value() && Merge2MAnywhere().has_value()) {
+    out = AllocFrom(PageSize::k2M, owner);
+  }
+  return out;
+}
+
+std::optional<PageAlloc> PageAllocator::AllocPage1G(CtnrPtr owner) {
+  std::optional<PageAlloc> out = AllocFrom(PageSize::k1G, owner);
+  if (!out.has_value() && Merge1GAnywhere().has_value()) {
+    out = AllocFrom(PageSize::k1G, owner);
+  }
+  return out;
+}
+
+std::optional<PageAlloc> PageAllocator::AllocPage(PageSize size, CtnrPtr owner) {
+  switch (size) {
+    case PageSize::k4K:
+      return AllocPage4K(owner);
+    case PageSize::k2M:
+      return AllocPage2M(owner);
+    case PageSize::k1G:
+      return AllocPage1G(owner);
+  }
+  return std::nullopt;
+}
+
+void PageAllocator::FreePage(PagePtr ptr, FramePerm perm) {
+  std::uint64_t frame = FrameOf(ptr);
+  PageMeta& meta = meta_[frame];
+  ATMO_CHECK(meta.state == PageState::kAllocated, "FreePage on page not in allocated state");
+  ATMO_CHECK(perm.base() == ptr, "FreePage permission for a different page");
+  ATMO_CHECK(perm.size() == meta.size, "FreePage permission of wrong size class");
+  PushFree(frame, meta.size);
+  // `perm` is consumed here: the linear token returns to the allocator.
+}
+
+void PageAllocator::MarkMapped(PagePtr ptr) {
+  PageMeta& meta = meta_[FrameOf(ptr)];
+  ATMO_CHECK(meta.state == PageState::kAllocated, "MarkMapped on page not in allocated state");
+  meta.state = PageState::kMapped;
+  meta.map_count = 1;
+}
+
+std::uint32_t PageAllocator::IncMapCount(PagePtr ptr) {
+  PageMeta& meta = meta_[FrameOf(ptr)];
+  ATMO_CHECK(meta.state == PageState::kMapped, "IncMapCount on unmapped page");
+  return ++meta.map_count;
+}
+
+std::uint32_t PageAllocator::DecMapCount(PagePtr ptr) {
+  PageMeta& meta = meta_[FrameOf(ptr)];
+  ATMO_CHECK(meta.state == PageState::kMapped, "DecMapCount on unmapped page");
+  ATMO_CHECK(meta.map_count > 0, "map count underflow");
+  return --meta.map_count;
+}
+
+void PageAllocator::ReclaimUnmapped(PagePtr ptr, FramePerm perm) {
+  std::uint64_t frame = FrameOf(ptr);
+  PageMeta& meta = meta_[frame];
+  ATMO_CHECK(meta.state == PageState::kMapped && meta.map_count == 0,
+             "ReclaimUnmapped on page that is still mapped");
+  ATMO_CHECK(perm.base() == ptr && perm.size() == meta.size,
+             "ReclaimUnmapped permission mismatch");
+  PushFree(frame, meta.size);
+}
+
+std::uint32_t PageAllocator::MapCount(PagePtr ptr) const {
+  return meta_[FrameOf(ptr)].map_count;
+}
+
+bool PageAllocator::TryMerge2M(PagePtr base) {
+  std::uint64_t head = FrameOf(base);
+  if (head % kFramesPer2M != 0 || head + kFramesPer2M > meta_.size()) {
+    return false;
+  }
+  for (std::uint64_t i = 0; i < kFramesPer2M; ++i) {
+    const PageMeta& meta = meta_[head + i];
+    if (meta.state != PageState::kFree || meta.size != PageSize::k4K) {
+      return false;
+    }
+  }
+  // Constant-time removal of each constituent from the 4K free list via the
+  // back-pointers in the metadata array.
+  for (std::uint64_t i = 0; i < kFramesPer2M; ++i) {
+    UnlinkFree(head + i);
+  }
+  for (std::uint64_t i = 1; i < kFramesPer2M; ++i) {
+    PageMeta& meta = meta_[head + i];
+    meta.state = PageState::kMerged;
+    meta.merged_head = head;
+  }
+  PushFree(head, PageSize::k2M);
+  return true;
+}
+
+bool PageAllocator::TryMerge1G(PagePtr base) {
+  std::uint64_t head = FrameOf(base);
+  if (head % kFramesPer1G != 0 || head + kFramesPer1G > meta_.size()) {
+    return false;
+  }
+  for (std::uint64_t unit = 0; unit < kFramesPer1G; unit += kFramesPer2M) {
+    const PageMeta& meta = meta_[head + unit];
+    if (meta.state != PageState::kFree || meta.size != PageSize::k2M) {
+      return false;
+    }
+  }
+  for (std::uint64_t unit = 0; unit < kFramesPer1G; unit += kFramesPer2M) {
+    UnlinkFree(head + unit);
+  }
+  for (std::uint64_t i = 1; i < kFramesPer1G; ++i) {
+    PageMeta& meta = meta_[head + i];
+    meta.state = PageState::kMerged;
+    meta.merged_head = head;
+  }
+  PushFree(head, PageSize::k1G);
+  return true;
+}
+
+std::optional<PagePtr> PageAllocator::Merge2MAnywhere() {
+  // Scan the page array for an aligned run of 512 free 4K pages.
+  for (std::uint64_t head = 0; head + kFramesPer2M <= meta_.size(); head += kFramesPer2M) {
+    if (head < reserved_frames_) {
+      continue;
+    }
+    if (TryMerge2M(PtrOf(head))) {
+      return PtrOf(head);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PagePtr> PageAllocator::Merge1GAnywhere() {
+  for (std::uint64_t head = 0; head + kFramesPer1G <= meta_.size(); head += kFramesPer1G) {
+    if (head < reserved_frames_) {
+      continue;
+    }
+    // Opportunistically merge all constituent 2M units first.
+    for (std::uint64_t unit = 0; unit < kFramesPer1G; unit += kFramesPer2M) {
+      const PageMeta& meta = meta_[head + unit];
+      if (meta.state == PageState::kFree && meta.size == PageSize::k4K) {
+        TryMerge2M(PtrOf(head + unit));
+      }
+    }
+    if (TryMerge1G(PtrOf(head))) {
+      return PtrOf(head);
+    }
+  }
+  return std::nullopt;
+}
+
+void PageAllocator::Split2M(PagePtr base) {
+  std::uint64_t head = FrameOf(base);
+  PageMeta& meta = meta_[head];
+  ATMO_CHECK(meta.state == PageState::kFree && meta.size == PageSize::k2M,
+             "Split2M on page that is not a free 2M page");
+  UnlinkFree(head);
+  for (std::uint64_t i = 0; i < kFramesPer2M; ++i) {
+    PushFree(head + i, PageSize::k4K);
+  }
+}
+
+void PageAllocator::Split1G(PagePtr base) {
+  std::uint64_t head = FrameOf(base);
+  PageMeta& meta = meta_[head];
+  ATMO_CHECK(meta.state == PageState::kFree && meta.size == PageSize::k1G,
+             "Split1G on page that is not a free 1G page");
+  UnlinkFree(head);
+  for (std::uint64_t unit = 0; unit < kFramesPer1G; unit += kFramesPer2M) {
+    PushFree(head + unit, PageSize::k2M);
+    for (std::uint64_t i = 1; i < kFramesPer2M; ++i) {
+      PageMeta& tail = meta_[head + unit + i];
+      tail.state = PageState::kMerged;
+      tail.merged_head = head + unit;
+    }
+  }
+}
+
+PageState PageAllocator::StateOf(PagePtr ptr) const { return meta_[FrameOf(ptr)].state; }
+
+PageSize PageAllocator::SizeClassOf(PagePtr ptr) const { return meta_[FrameOf(ptr)].size; }
+
+CtnrPtr PageAllocator::OwnerOf(PagePtr ptr) const { return meta_[FrameOf(ptr)].owner; }
+
+void PageAllocator::SetOwner(PagePtr ptr, CtnrPtr owner) {
+  PageMeta& meta = meta_[FrameOf(ptr)];
+  ATMO_CHECK(meta.state == PageState::kAllocated || meta.state == PageState::kMapped,
+             "SetOwner on page that is not allocated or mapped");
+  meta.owner = owner;
+}
+
+std::uint64_t PageAllocator::FreeCount(PageSize size) const { return ListFor(size).count; }
+
+SpecSet<PagePtr> PageAllocator::FreePages(PageSize size) const {
+  SpecSet<PagePtr> out;
+  const FreeList& list = ListFor(size);
+  for (std::uint64_t cur = list.head; cur != kNilFrame; cur = meta_[cur].next) {
+    out.add(PtrOf(cur));
+  }
+  return out;
+}
+
+SpecSet<PagePtr> PageAllocator::AllocatedPages() const {
+  SpecSet<PagePtr> out;
+  for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
+    if (meta_[frame].state == PageState::kAllocated) {
+      out.add(PtrOf(frame));
+    }
+  }
+  return out;
+}
+
+SpecSet<PagePtr> PageAllocator::MappedPages() const {
+  SpecSet<PagePtr> out;
+  for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
+    if (meta_[frame].state == PageState::kMapped) {
+      out.add(PtrOf(frame));
+    }
+  }
+  return out;
+}
+
+SpecSet<PagePtr> PageAllocator::InUseFrames() const {
+  SpecSet<PagePtr> out;
+  for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
+    PageState state = meta_[frame].state;
+    if (state == PageState::kAllocated || state == PageState::kMapped ||
+        state == PageState::kMerged) {
+      out.add(PtrOf(frame));
+    }
+  }
+  return out;
+}
+
+bool PageAllocator::Wf() const {
+  // 1. Free lists: every node is a free page of the list's size class and
+  //    the doubly-linked structure is consistent.
+  for (PageSize size : {PageSize::k4K, PageSize::k2M, PageSize::k1G}) {
+    const FreeList& list = ListFor(size);
+    std::uint64_t count = 0;
+    std::uint64_t prev = kNilFrame;
+    for (std::uint64_t cur = list.head; cur != kNilFrame; cur = meta_[cur].next) {
+      if (cur >= meta_.size()) {
+        return false;
+      }
+      const PageMeta& meta = meta_[cur];
+      if (meta.state != PageState::kFree || meta.size != size || meta.prev != prev) {
+        return false;
+      }
+      prev = cur;
+      if (++count > meta_.size()) {
+        return false;  // cycle
+      }
+    }
+    if (count != list.count) {
+      return false;
+    }
+  }
+
+  // 2. Per-frame state checks.
+  for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
+    const PageMeta& meta = meta_[frame];
+    switch (meta.state) {
+      case PageState::kUnavailable:
+        if (frame >= reserved_frames_) {
+          return false;
+        }
+        break;
+      case PageState::kFree: {
+        // Unit heads must be aligned to their size class.
+        if (frame % PageFrames4K(meta.size) != 0) {
+          return false;
+        }
+        break;
+      }
+      case PageState::kAllocated:
+      case PageState::kMapped: {
+        if (frame % PageFrames4K(meta.size) != 0) {
+          return false;
+        }
+        // Superpage tails must be merged into this unit (also catches
+        // overlapping units).
+        for (std::uint64_t i = 1; i < PageFrames4K(meta.size); ++i) {
+          const PageMeta& tail = meta_[frame + i];
+          if (tail.state != PageState::kMerged || tail.merged_head != frame) {
+            return false;
+          }
+        }
+        if (meta.state == PageState::kMapped && meta.map_count == 0) {
+          // Transiently legal only inside munmap; as a quiescent state a
+          // mapped page must have at least one mapping... except the window
+          // between DecMapCount and ReclaimUnmapped, which never spans a
+          // Wf() check in the kernel. Treat as ill-formed here.
+          return false;
+        }
+        break;
+      }
+      case PageState::kMerged: {
+        std::uint64_t head = meta.merged_head;
+        if (head == kNilFrame || head >= meta_.size()) {
+          return false;
+        }
+        const PageMeta& head_meta = meta_[head];
+        if (head_meta.state == PageState::kMerged || head_meta.state == PageState::kUnavailable) {
+          return false;
+        }
+        // This frame must lie within the head's unit span.
+        std::uint64_t span = PageFrames4K(head_meta.size);
+        if (head_meta.size == PageSize::k4K || frame <= head || frame >= head + span) {
+          return false;
+        }
+        break;
+      }
+    }
+  }
+
+  // 3. Every free-list member of size S covers tails that are merged to it.
+  for (PageSize size : {PageSize::k2M, PageSize::k1G}) {
+    const FreeList& list = ListFor(size);
+    for (std::uint64_t cur = list.head; cur != kNilFrame; cur = meta_[cur].next) {
+      std::uint64_t span = PageFrames4K(size);
+      for (std::uint64_t i = 1; i < span; ++i) {
+        const PageMeta& tail = meta_[cur + i];
+        if (tail.state != PageState::kMerged || tail.merged_head != cur) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+PageAllocator PageAllocator::CloneForVerification() const {
+  PageAllocator out(1, 1);  // minimal shell, immediately overwritten
+  out.reserved_frames_ = reserved_frames_;
+  out.meta_ = meta_;
+  out.free_4k_ = free_4k_;
+  out.free_2m_ = free_2m_;
+  out.free_1g_ = free_1g_;
+  return out;
+}
+
+}  // namespace atmo

@@ -1,0 +1,178 @@
+// Page allocator (§4.2 "Memory allocation").
+//
+// Dynamic memory for kernel objects and user mappings is allocated at the
+// granularity of 4 KiB, 2 MiB and 1 GiB pages. A page-metadata array (like
+// Linux's struct page array) tracks the state of every physical 4 KiB frame;
+// free pages of each size class sit on doubly-linked lists threaded through
+// the metadata array, so a page can be unlinked in constant time when it is
+// merged into a superpage.
+//
+// Every page is in exactly one of the paper's four states (plus one model
+// state for frames the allocator does not manage):
+//   free      — on the free list of its size class
+//   mapped    — mapped by one or more processes (map-count tracked)
+//   merged    — a 4 KiB tail frame covered by a 2 MiB/1 GiB unit, or a 2 MiB
+//               tail unit covered by a 1 GiB unit
+//   allocated — backing a kernel object (container/process/thread/endpoint/
+//               page-table node/...)
+//   unavailable — reserved at boot (frame 0, kernel image); never handed out
+//
+// The allocator exposes its internal state as ghost sets (free / allocated /
+// mapped pages per size class) so that the explicit-allocator-state
+// reasoning of Listing 4 — and the global leak-freedom invariant
+// Σ page_closure(subsystem) == allocated pages — can be checked.
+
+#ifndef ATMO_SRC_PMEM_PAGE_ALLOCATOR_H_
+#define ATMO_SRC_PMEM_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/hw/phys_mem.h"
+#include "src/vstd/spec_set.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+enum class PageState : std::uint8_t {
+  kUnavailable = 0,
+  kFree,
+  kMapped,
+  kMerged,
+  kAllocated,
+};
+
+const char* PageStateName(PageState state);
+
+// Result of an allocation: the page's base address plus the linear frame
+// permission that authorizes access to its bytes.
+struct PageAlloc {
+  PagePtr ptr;
+  FramePerm perm;
+};
+
+class PageAllocator {
+ public:
+  // Manages frames [reserved_frames, total_frames) of a machine with
+  // `total_frames` 4 KiB frames. Frames below `reserved_frames` are
+  // kUnavailable (boot/kernel image; frame 0 doubles as the null pointer).
+  PageAllocator(std::uint64_t total_frames, std::uint64_t reserved_frames);
+
+  PageAllocator(PageAllocator&&) noexcept = default;
+  PageAllocator& operator=(PageAllocator&&) noexcept = default;
+
+  // --- Allocation / free (kernel-object pages, state kAllocated) ---
+
+  // Allocates one page of the given size class, charged to `owner`
+  // (kNullPtr for boot-time allocations). Returns nullopt when out of
+  // memory. For 2M/1G the allocator first tries its free list, then tries
+  // to merge smaller pages.
+  std::optional<PageAlloc> AllocPage4K(CtnrPtr owner);
+  std::optional<PageAlloc> AllocPage2M(CtnrPtr owner);
+  std::optional<PageAlloc> AllocPage1G(CtnrPtr owner);
+  std::optional<PageAlloc> AllocPage(PageSize size, CtnrPtr owner);
+
+  // Frees an allocated page, consuming its permission.
+  void FreePage(PagePtr ptr, FramePerm perm);
+
+  // --- Mapped-state transitions (user mappings) ---
+
+  // Converts a freshly allocated page into the mapped state (map-count 1).
+  // The frame permission migrates to the virtual-memory subsystem.
+  void MarkMapped(PagePtr ptr);
+  // Additional mapping of an already-mapped page (shared memory / IPC page
+  // grant). Returns the new map count.
+  std::uint32_t IncMapCount(PagePtr ptr);
+  // Removes one mapping. Returns the remaining count; at zero the caller
+  // must hand the frame permission back via ReclaimUnmapped().
+  std::uint32_t DecMapCount(PagePtr ptr);
+  // Returns a fully unmapped page (map count 0) to the free list.
+  void ReclaimUnmapped(PagePtr ptr, FramePerm perm);
+
+  std::uint32_t MapCount(PagePtr ptr) const;
+
+  // --- Superpage merge / split ---
+
+  // Merges 512 contiguous free 4 KiB pages at `base` (2 MiB aligned) into
+  // one free 2 MiB page. Constant-time list removal per constituent.
+  bool TryMerge2M(PagePtr base);
+  // Merges 512 contiguous free 2 MiB units at `base` (1 GiB aligned).
+  bool TryMerge1G(PagePtr base);
+  // Scans the page array for a mergeable run (paper: "we scan the page
+  // array"). Returns the merged page base or nullopt.
+  std::optional<PagePtr> Merge2MAnywhere();
+  std::optional<PagePtr> Merge1GAnywhere();
+  // Splits a free 2 MiB page back into 512 free 4 KiB pages.
+  void Split2M(PagePtr base);
+  void Split1G(PagePtr base);
+
+  // --- Introspection / ghost state ---
+
+  PageState StateOf(PagePtr ptr) const;
+  PageSize SizeClassOf(PagePtr ptr) const;
+  CtnrPtr OwnerOf(PagePtr ptr) const;
+  // Re-attributes a page to a different container (resource harvesting on
+  // container termination).
+  void SetOwner(PagePtr ptr, CtnrPtr owner);
+
+  std::uint64_t total_frames() const { return static_cast<std::uint64_t>(meta_.size()); }
+  std::uint64_t reserved_frames() const { return reserved_frames_; }
+  std::uint64_t FreeCount(PageSize size) const;
+
+  // Ghost views (Listing 4: free_pages_4k(), allocated_pages_4k(), ...).
+  SpecSet<PagePtr> FreePages(PageSize size) const;
+  SpecSet<PagePtr> AllocatedPages() const;  // unit bases, any size class
+  SpecSet<PagePtr> MappedPages() const;     // unit bases, any size class
+  // All 4 KiB frame base addresses covered by allocated+mapped+merged pages.
+  SpecSet<PagePtr> InUseFrames() const;
+
+  // Structural invariant of the allocator itself: list links are mutually
+  // consistent, states agree with list membership, merged tails point at a
+  // live superpage head, and every frame is in exactly one state.
+  bool Wf() const;
+
+  // Deep copy for the verification harness.
+  PageAllocator CloneForVerification() const;
+
+ private:
+  static constexpr std::uint64_t kNilFrame = ~0ull;
+
+  struct PageMeta {
+    PageState state = PageState::kUnavailable;
+    PageSize size = PageSize::k4K;     // size class of the unit this frame heads
+    std::uint64_t prev = kNilFrame;    // free-list links (frame indices)
+    std::uint64_t next = kNilFrame;
+    std::uint64_t merged_head = kNilFrame;  // for kMerged: head frame of the unit
+    std::uint32_t map_count = 0;
+    CtnrPtr owner = kNullPtr;
+  };
+
+  struct FreeList {
+    std::uint64_t head = kNilFrame;
+    std::uint64_t count = 0;
+  };
+
+  std::uint64_t FrameOf(PagePtr ptr) const;
+  PagePtr PtrOf(std::uint64_t frame) const { return frame * kPageSize4K; }
+  FreeList& ListFor(PageSize size);
+  const FreeList& ListFor(PageSize size) const;
+
+  void PushFree(std::uint64_t frame, PageSize size);
+  // Unlinks `frame` from its free list in constant time.
+  void UnlinkFree(std::uint64_t frame);
+  std::optional<std::uint64_t> PopFree(PageSize size);
+
+  std::optional<PageAlloc> AllocFrom(PageSize size, CtnrPtr owner);
+
+  std::uint64_t reserved_frames_;
+  std::vector<PageMeta> meta_;
+  FreeList free_4k_;
+  FreeList free_2m_;
+  FreeList free_1g_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_PMEM_PAGE_ALLOCATOR_H_

@@ -1,0 +1,59 @@
+// Well-formedness invariants of the process-management subsystem (§4.1).
+//
+// Each invariant is a separate "closed spec function" — callers establish
+// them through the lemmas encoded in ProcessManager's operations and the
+// harness re-checks them after every kernel step. The container-tree
+// invariant uses the paper's *non-recursive* formulations enabled by flat
+// permission storage: path prefix-closure (`resolve_path_wf`), bidirectional
+// subtree membership, and direct parent/child link consistency — no
+// recursive descent over the tree.
+
+#ifndef ATMO_SRC_PROC_INVARIANTS_H_
+#define ATMO_SRC_PROC_INVARIANTS_H_
+
+#include <string>
+
+#include "src/pmem/page_allocator.h"
+#include "src/proc/process_manager.h"
+
+namespace atmo {
+
+struct InvResult {
+  bool ok = true;
+  std::string detail;
+
+  static InvResult Fail(std::string d) { return InvResult{false, std::move(d)}; }
+};
+
+// container_tree_wf: root anchoring, parent/children mutual consistency,
+// depth/path/subtree ghost-state correctness, acyclicity.
+InvResult ContainerTreeWf(const ProcessManager& pm);
+
+// process_tree_wf: per-container process trees are well-formed.
+InvResult ProcessTreeWf(const ProcessManager& pm);
+
+// threads_wf: ownership links and the state/location exclusivity — every
+// thread is in exactly the place its state says (current / run queue /
+// endpoint wait queue).
+InvResult ThreadsWf(const ProcessManager& pm);
+
+// endpoints_wf: reference counts equal descriptor references; wait queues
+// hold matching blocked threads.
+InvResult EndpointsWf(const ProcessManager& pm);
+
+// scheduler_wf: the run queue holds exactly the runnable threads, no
+// duplicates; current is running.
+InvResult SchedulerWf(const ProcessManager& pm);
+
+// quota_wf: per-container page accounting matches the allocator's owner
+// attribution, usage respects quotas, and the total reservation is
+// conserved across the container tree.
+InvResult QuotaWf(const ProcessManager& pm, const PageAllocator& alloc);
+
+// Conjunction of all of the above (without quota, which needs the
+// allocator).
+InvResult ProcessManagerWf(const ProcessManager& pm);
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_PROC_INVARIANTS_H_

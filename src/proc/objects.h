@@ -1,0 +1,125 @@
+// Kernel object layouts: containers, processes, threads, endpoints
+// (Listing 2).
+//
+// Objects are pointer-centric, exactly as in the paper: links between
+// objects are raw physical addresses; embedded collections use internal
+// storage (StaticList) with reverse slot indices for O(1) unlinking. Each
+// object occupies one 4 KiB page; permissions to all objects of a kind live
+// in the ProcessManager's flat maps.
+//
+// Ghost fields (`path`, `subtree`, `owned_threads`) shadow the concrete
+// structure so the paper's non-recursive tree invariants can be stated
+// directly against the flat maps.
+
+#ifndef ATMO_SRC_PROC_OBJECTS_H_
+#define ATMO_SRC_PROC_OBJECTS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/ipc/message.h"
+#include "src/vstd/spec_seq.h"
+#include "src/vstd/spec_set.h"
+#include "src/vstd/static_list.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+// Capacity limits: kernel objects are page-sized, so embedded collections
+// are bounded (hierarchies themselves are unbounded — trees grow by
+// allocating more objects).
+inline constexpr std::size_t kMaxCtnrChildren = 64;
+inline constexpr std::size_t kMaxCtnrProcs = 64;
+inline constexpr std::size_t kMaxProcChildren = 64;
+inline constexpr std::size_t kMaxProcThreads = 16;
+inline constexpr std::size_t kMaxEdptDescriptors = 32;
+inline constexpr std::size_t kMaxEdptWaiters = 32;
+
+enum class ThreadState : std::uint8_t {
+  kRunning = 0,
+  kRunnable,
+  kBlockedSend,   // queued on an endpoint waiting for a receiver
+  kBlockedRecv,   // queued on an endpoint waiting for a sender
+  kBlockedCall,   // call() sent, waiting for the reply
+};
+
+const char* ThreadStateName(ThreadState state);
+
+// A container: a group of processes with guaranteed memory/CPU reservations
+// (§3). Containers form a tree; quota is carved out of the parent's
+// reservation at creation and returns on termination.
+struct Container {
+  CtnrPtr parent = kNullPtr;  // root has no parent
+  StaticList<CtnrPtr, kMaxCtnrChildren> children;
+  std::uint64_t depth = 0;
+  std::uint32_t slot_in_parent = kStaticListNil;  // reverse index for O(1) unlink
+
+  // Memory reservation, in 4 KiB pages. `mem_quota` is this container's own
+  // budget (child budgets are subtracted at creation); `mem_used` counts
+  // pages currently charged to this container.
+  std::uint64_t mem_quota = 0;
+  std::uint64_t mem_used = 0;
+  // CPU reservation: bitmask of cores this container may run on.
+  std::uint64_t cpu_mask = ~0ull;
+
+  StaticList<ProcPtr, kMaxCtnrProcs> owned_procs;
+
+  // Ghost state (Listing 2, lines 12-13).
+  SpecSeq<CtnrPtr> path;      // direct and indirect parents, root first
+  SpecSet<CtnrPtr> subtree;   // all reachable child containers
+  SpecSet<ThrdPtr> owned_threads;  // threads of processes owned by this container
+};
+
+// A process: a unit of isolation with its own address space (held by the
+// virtual-memory subsystem, keyed by ProcPtr). Processes form a tree inside
+// their container.
+struct Process {
+  CtnrPtr owning_container = kNullPtr;
+  ProcPtr parent = kNullPtr;  // kNullPtr for a container's initial process
+  StaticList<ProcPtr, kMaxProcChildren> children;
+  StaticList<ThrdPtr, kMaxProcThreads> threads;
+  std::uint32_t slot_in_container = kStaticListNil;
+  std::uint32_t slot_in_parent = kStaticListNil;
+};
+
+// A thread of execution.
+struct Thread {
+  ProcPtr owning_proc = kNullPtr;
+  CtnrPtr owning_ctnr = kNullPtr;
+  ThreadState state = ThreadState::kRunnable;
+  std::uint32_t slot_in_proc = kStaticListNil;
+
+  // Endpoint descriptor table (kNullPtr = empty slot).
+  std::array<EdptPtr, kMaxEdptDescriptors> endpoints{};
+
+  // IPC buffer: outbound payload while blocked sending / calling, inbound
+  // payload after a successful receive (readable on resume).
+  IpcPayload ipc_buf;
+  // True when ipc_buf holds a delivered inbound message.
+  bool has_inbound = false;
+  // The endpoint this thread is queued on while blocked, and its queue slot
+  // (reverse index for O(1) removal on kill).
+  EdptPtr waiting_on = kNullPtr;
+  std::uint32_t wait_slot = kStaticListNil;
+  // For kBlockedCall: reply is delivered directly to this thread.
+  ThrdPtr reply_to = kNullPtr;
+};
+
+enum class EdptQueueKind : std::uint8_t {
+  kEmpty = 0,
+  kSenders,    // queue holds blocked senders/callers
+  kReceivers,  // queue holds blocked receivers
+};
+
+// An IPC endpoint. Threads referencing it via descriptors are counted in
+// `rf_count`; the endpoint object is freed when the count drops to zero.
+struct Endpoint {
+  StaticList<ThrdPtr, kMaxEdptWaiters> queue;
+  EdptQueueKind queue_kind = EdptQueueKind::kEmpty;
+  std::uint64_t rf_count = 0;
+  CtnrPtr owning_ctnr = kNullPtr;  // quota attribution
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_PROC_OBJECTS_H_

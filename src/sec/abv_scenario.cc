@@ -1,0 +1,67 @@
+#include "src/sec/abv_scenario.h"
+
+#include <utility>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+AbvScenario AbvScenario::Build(const BootConfig& config, std::uint64_t quota_a,
+                               std::uint64_t quota_b, std::uint64_t quota_v) {
+  std::optional<Kernel> booted = Kernel::Boot(config);
+  ATMO_CHECK(booted.has_value(), "ABV scenario: kernel boot failed");
+  AbvScenario s{.kernel = std::move(*booted)};
+  Kernel& k = s.kernel;
+  CtnrPtr root = k.root_container();
+
+  auto a = k.BootCreateContainer(root, quota_a, ~0ull);
+  auto b = k.BootCreateContainer(root, quota_b, ~0ull);
+  auto v = k.BootCreateContainer(root, quota_v, ~0ull);
+  ATMO_CHECK(a.ok() && b.ok() && v.ok(), "ABV scenario: container creation failed");
+  s.a = a.value;
+  s.b = b.value;
+  s.v = v.value;
+
+  auto ap = k.BootCreateProcess(s.a);
+  auto bp = k.BootCreateProcess(s.b);
+  auto vp = k.BootCreateProcess(s.v);
+  ATMO_CHECK(ap.ok() && bp.ok() && vp.ok(), "ABV scenario: process creation failed");
+  s.a_proc = ap.value;
+  s.b_proc = bp.value;
+  s.v_proc = vp.value;
+
+  for (int i = 0; i < 2; ++i) {
+    auto at = k.BootCreateThread(s.a_proc);
+    auto bt = k.BootCreateThread(s.b_proc);
+    ATMO_CHECK(at.ok() && bt.ok(), "ABV scenario: thread creation failed");
+    s.a_threads.push_back(at.value);
+    s.b_threads.push_back(bt.value);
+  }
+  auto vt = k.BootCreateThread(s.v_proc);
+  ATMO_CHECK(vt.ok(), "ABV scenario: V thread creation failed");
+  s.v_thread = vt.value;
+
+  // V creates the two channels; trusted init hands the client ends out.
+  {
+    Syscall ne;
+    ne.op = SysOp::kNewEndpoint;
+    ne.edpt_idx = kVSlotA;
+    SyscallRet e1 = k.Step(s.v_thread, ne);
+    ne.edpt_idx = kVSlotB;
+    SyscallRet e2 = k.Step(s.v_thread, ne);
+    ATMO_CHECK(e1.ok() && e2.ok(), "ABV scenario: endpoint creation failed");
+    s.e_av = e1.value;
+    s.e_bv = e2.value;
+  }
+  for (ThrdPtr t : s.a_threads) {
+    ATMO_CHECK(k.pm_mut().BindEndpoint(t, kClientSlot, s.e_av) == ProcError::kOk,
+               "ABV scenario: binding A channel failed");
+  }
+  for (ThrdPtr t : s.b_threads) {
+    ATMO_CHECK(k.pm_mut().BindEndpoint(t, kClientSlot, s.e_bv) == ProcError::kOk,
+               "ABV scenario: binding B channel failed");
+  }
+  return s;
+}
+
+}  // namespace atmo

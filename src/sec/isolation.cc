@@ -1,0 +1,101 @@
+#include "src/sec/isolation.h"
+
+namespace atmo {
+
+SpecSet<CtnrPtr> DomainContainers(const AbstractKernel& psi, CtnrPtr a) {
+  return psi.get_cntr(a).subtree.insert(a);
+}
+
+SpecSet<ProcPtr> DomainProcs(const AbstractKernel& psi, CtnrPtr a) {
+  SpecSet<ProcPtr> out;
+  for (CtnrPtr c : DomainContainers(psi, a)) {
+    for (ProcPtr p : psi.get_cntr(c).procs) {
+      out.add(p);
+    }
+  }
+  return out;
+}
+
+SpecSet<ThrdPtr> DomainThreads(const AbstractKernel& psi, CtnrPtr a) {
+  SpecSet<ThrdPtr> out;
+  for (CtnrPtr c : DomainContainers(psi, a)) {
+    out = out.Union(psi.get_cntr(c).threads);
+  }
+  return out;
+}
+
+bool DomainThreadsWf(const AbstractKernel& psi, CtnrPtr a, const SpecSet<ThrdPtr>& t_a) {
+  // forall c, t: (c == A || A.subtree.contains(c)) && c.owned_thrds.contains(t)
+  //              ==> T_A.contains(t)
+  SpecSet<CtnrPtr> domain = DomainContainers(psi, a);
+  bool forward = psi.containers.ForAll([&](CtnrPtr c, const AbsContainer& ctnr) {
+    if (!domain.contains(c)) {
+      return true;
+    }
+    return ctnr.threads.ForAll([&](ThrdPtr t) { return t_a.contains(t); });
+  });
+  if (!forward) {
+    return false;
+  }
+  // forall t: T_A.contains(t) ==> t's owning container is A or in A's subtree
+  return t_a.ForAll([&](ThrdPtr t) {
+    return psi.threads.contains(t) && domain.contains(psi.get_thread(t).ctnr);
+  });
+}
+
+bool MemoryIso(const AbstractKernel& psi, const SpecSet<ProcPtr>& p_a,
+               const SpecSet<ProcPtr>& p_b) {
+  // forall a_p, a_va, b_p, b_va: mapped pages of P_A and P_B are disjoint.
+  SpecSet<PAddr> pages_a;
+  for (ProcPtr p : p_a) {
+    if (!psi.address_spaces.contains(p)) {
+      continue;
+    }
+    for (const auto& [va, entry] : psi.get_address_space(p)) {
+      pages_a.add(entry.addr);
+    }
+  }
+  for (ProcPtr p : p_b) {
+    if (!psi.address_spaces.contains(p)) {
+      continue;
+    }
+    for (const auto& [va, entry] : psi.get_address_space(p)) {
+      if (pages_a.contains(entry.addr)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool EndpointIso(const AbstractKernel& psi, const SpecSet<ThrdPtr>& t_a,
+                 const SpecSet<ThrdPtr>& t_b) {
+  SpecSet<EdptPtr> edpts_a;
+  bool ok_a = t_a.ForAll([&](ThrdPtr t) {
+    if (!psi.threads.contains(t)) {
+      return false;
+    }
+    for (EdptPtr e : psi.get_thread(t).endpoints) {
+      if (e != kNullPtr) {
+        edpts_a.add(e);
+      }
+    }
+    return true;
+  });
+  if (!ok_a) {
+    return false;
+  }
+  return t_b.ForAll([&](ThrdPtr t) {
+    if (!psi.threads.contains(t)) {
+      return false;
+    }
+    for (EdptPtr e : psi.get_thread(t).endpoints) {
+      if (e != kNullPtr && edpts_a.contains(e)) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+}  // namespace atmo

@@ -1,0 +1,38 @@
+// Isolation invariants between container subtrees (§4.3).
+//
+// Transliterations of the paper's memory_iso / endpoint_iso predicates plus
+// the T_A construction over the flat subtree ghost state, all expressed over
+// the abstract kernel state.
+
+#ifndef ATMO_SRC_SEC_ISOLATION_H_
+#define ATMO_SRC_SEC_ISOLATION_H_
+
+#include "src/spec/abstract_state.h"
+
+namespace atmo {
+
+// C_A: all containers recursively created from A (including A itself).
+SpecSet<CtnrPtr> DomainContainers(const AbstractKernel& psi, CtnrPtr a);
+// P_A: all processes from all containers in C_A.
+SpecSet<ProcPtr> DomainProcs(const AbstractKernel& psi, CtnrPtr a);
+// T_A: all threads from all containers in C_A (built from the flat
+// `subtree`/`threads` ghost sets — no recursion).
+SpecSet<ThrdPtr> DomainThreads(const AbstractKernel& psi, CtnrPtr a);
+
+// T_A_wf (§4.3): the bidirectional invariant that T_A contains exactly the
+// threads of A's container subtree.
+bool DomainThreadsWf(const AbstractKernel& psi, CtnrPtr a, const SpecSet<ThrdPtr>& t_a);
+
+// memory_iso: no physical page is mapped by an address space of P_A and an
+// address space of P_B.
+bool MemoryIso(const AbstractKernel& psi, const SpecSet<ProcPtr>& p_a,
+               const SpecSet<ProcPtr>& p_b);
+
+// endpoint_iso: no endpoint is referenced by a descriptor of a thread in
+// T_A and a descriptor of a thread in T_B.
+bool EndpointIso(const AbstractKernel& psi, const SpecSet<ThrdPtr>& t_a,
+                 const SpecSet<ThrdPtr>& t_b);
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_SEC_ISOLATION_H_

@@ -1,0 +1,75 @@
+// Noninterference harness (§4.3).
+//
+// Checks the unwinding conditions of Nelson et al. over randomized
+// adversarial traces of the A/B/V scenario:
+//
+//   OC (output consistency): identical states + identical syscall ==>
+//      identical return value and identical post state. Checked by cloning
+//      the kernel and replaying the step twice.
+//
+//   SC (step consistency): an arbitrary syscall with arbitrary arguments by
+//      a thread of A leaves B's observation unchanged, and B's next syscall
+//      returns the same value whether or not A's step happened (checked in
+//      two cloned worlds). Symmetrically for B against A.
+//
+//   LR (local respect): with only A and B isolated, LR is subsumed by SC
+//      (the paper makes the same argument).
+//
+//   Isolation preservation: after every step — adversarial or V's —
+//      memory_iso(P_A, P_B) and endpoint_iso(T_A, T_B) still hold, and the
+//      T_A/T_B constructions satisfy T_A_wf.
+//
+// The adversarial generator draws arbitrary syscalls with arbitrary
+// arguments — including attempts to kill foreign containers, grant pages on
+// foreign endpoints, and exhaust quotas — exactly the paper's "we make no
+// assumptions about A and B".
+
+#ifndef ATMO_SRC_SEC_NONINTERFERENCE_H_
+#define ATMO_SRC_SEC_NONINTERFERENCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/sec/abv_scenario.h"
+#include "src/sec/verified_proxy.h"
+
+namespace atmo {
+
+struct UnwindingReport {
+  std::uint64_t steps = 0;
+  std::uint64_t oc_checks = 0;
+  std::uint64_t sc_checks = 0;
+  std::uint64_t iso_checks = 0;
+  bool ok = true;
+  std::string detail;
+};
+
+struct NoninterferenceOptions {
+  int steps = 200;
+  bool check_oc = true;
+  bool check_sc = true;
+  // OC/SC involve kernel clones; check every Nth step to bound cost.
+  int oc_every = 4;
+  int sc_every = 2;
+  bool run_proxy = true;  // service V between adversarial steps
+};
+
+class NoninterferenceHarness {
+ public:
+  NoninterferenceHarness(AbvScenario* scenario, std::uint64_t seed);
+
+  UnwindingReport Run(const NoninterferenceOptions& options);
+
+ private:
+  Syscall RandomSyscall(ThrdPtr t, bool client_of_a);
+  ThrdPtr PickSchedulable(const std::vector<ThrdPtr>& candidates);
+  std::uint64_t Next();
+
+  AbvScenario* scenario_;
+  VerifiedProxy proxy_;
+  std::uint64_t rng_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_SEC_NONINTERFERENCE_H_

@@ -1,0 +1,115 @@
+#include "src/sec/observation.h"
+
+#include <map>
+#include <sstream>
+
+namespace atmo {
+
+namespace {
+
+// Canonical renamer: every kernel-object pointer the domain can name is
+// replaced by its order of first appearance in the (deterministic)
+// traversal. This makes the observation independent of allocator placement.
+class Canon {
+ public:
+  std::uint64_t Id(Ptr ptr) {
+    if (ptr == kNullPtr) {
+      return 0;
+    }
+    auto [it, inserted] = ids_.emplace(ptr, ids_.size() + 1);
+    return it->second;
+  }
+
+ private:
+  std::map<Ptr, std::uint64_t> ids_;
+};
+
+void EncodePerm(std::ostringstream& out, const MapEntryPerm& perm) {
+  out << (perm.writable ? 'w' : '-') << (perm.user ? 'u' : '-')
+      << (perm.no_execute ? 'n' : '-');
+}
+
+void EncodePayload(std::ostringstream& out, const IpcPayload& payload, Canon& canon) {
+  out << "[";
+  for (std::uint64_t s : payload.scalars) {
+    out << s << ",";
+  }
+  if (payload.page.has_value()) {
+    out << "pg(" << canon.Id(payload.page->page) << "," << payload.page->dest_va << ","
+        << static_cast<int>(payload.page->size) << ",";
+    EncodePerm(out, payload.page->perm);
+    out << ")";
+  }
+  if (payload.endpoint.has_value()) {
+    out << "ep(" << canon.Id(payload.endpoint->endpoint) << ","
+        << payload.endpoint->dest_index << ")";
+  }
+  if (payload.iommu.has_value()) {
+    out << "io(" << payload.iommu->domain_id << ")";
+  }
+  out << "]";
+}
+
+void EncodeThread(std::ostringstream& out, const AbstractKernel& psi, ThrdPtr t_ptr,
+                  Canon& canon) {
+  const AbsThread& t = psi.get_thread(t_ptr);
+  // Running and runnable are one observed state: which schedulable thread
+  // currently holds the (shared) CPU is a timing artifact of the global
+  // round-robin, not domain-visible state (see header note 2).
+  ThreadState observed = t.state == ThreadState::kRunning ? ThreadState::kRunnable : t.state;
+  out << "T" << canon.Id(t_ptr) << "{st=" << static_cast<int>(observed);
+  out << ",ep=";
+  for (EdptPtr e : t.endpoints) {
+    out << canon.Id(e) << ",";
+  }
+  out << "wait=" << canon.Id(t.waiting_on) << ",reply=" << canon.Id(t.reply_to)
+      << ",in=" << t.has_inbound << ",buf=";
+  EncodePayload(out, t.ipc_buf, canon);
+  out << "}";
+}
+
+void EncodeProc(std::ostringstream& out, const AbstractKernel& psi, ProcPtr p_ptr,
+                Canon& canon) {
+  const AbsProcess& p = psi.get_proc(p_ptr);
+  out << "P" << canon.Id(p_ptr) << "{parent=" << canon.Id(p.parent);
+  out << ",thrds=";
+  for (ThrdPtr t : p.threads) {
+    EncodeThread(out, psi, t, canon);
+  }
+  out << ",as=";
+  if (psi.address_spaces.contains(p_ptr)) {
+    for (const auto& [va, entry] : psi.get_address_space(p_ptr)) {
+      out << va << "->(" << canon.Id(entry.addr) << "," << static_cast<int>(entry.size)
+          << ",";
+      EncodePerm(out, entry.perm);
+      out << ");";
+    }
+  }
+  out << "}";
+}
+
+void EncodeContainer(std::ostringstream& out, const AbstractKernel& psi, CtnrPtr c_ptr,
+                     Canon& canon) {
+  const AbsContainer& c = psi.get_cntr(c_ptr);
+  out << "C" << canon.Id(c_ptr) << "{quota=" << c.mem_quota << ",used=" << c.mem_used
+      << ",cpus=" << c.cpu_mask << ",procs=";
+  for (ProcPtr p : c.procs) {
+    EncodeProc(out, psi, p, canon);
+  }
+  out << ",children=";
+  for (CtnrPtr child : c.children) {
+    EncodeContainer(out, psi, child, canon);  // creation order: canonical
+  }
+  out << "}";
+}
+
+}  // namespace
+
+DomainView ObserveDomain(const AbstractKernel& psi, CtnrPtr root) {
+  std::ostringstream out;
+  Canon canon;
+  EncodeContainer(out, psi, root, canon);
+  return DomainView{out.str()};
+}
+
+}  // namespace atmo

@@ -1,0 +1,43 @@
+// Domain observation function (§4.3, unwinding conditions).
+//
+// The observable state of a container subtree includes its memory quotas,
+// address spaces, endpoints, and the state of its processes and threads.
+// Two modelling choices, documented here because they define what "equal
+// observations" means for the step-consistency (SC) check:
+//
+//  1. Physical page addresses are canonicalized (renamed to their order of
+//     first appearance in the observation). A domain cannot read physical
+//     addresses — it observes its virtual layout and the *sharing
+//     structure* among its own pages. Canonicalization makes the
+//     observation invariant under allocator placement, which a foreign
+//     domain does influence (a recognized timing/placement channel the
+//     paper also excludes from its formal statement).
+//
+//  2. Global run-queue ordering is excluded; each thread's own scheduler
+//     state (running/runnable/blocked-on-which-of-my-endpoints) is
+//     included. Cross-domain CPU multiplexing is a timing channel, outside
+//     the state-based noninterference statement (paper §4.3 discussion).
+
+#ifndef ATMO_SRC_SEC_OBSERVATION_H_
+#define ATMO_SRC_SEC_OBSERVATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/spec/abstract_state.h"
+
+namespace atmo {
+
+// A canonical, order-stable textual encoding of everything the domain can
+// observe. Comparing DomainView equality == comparing observations.
+struct DomainView {
+  std::string encoding;
+
+  friend bool operator==(const DomainView&, const DomainView&) = default;
+};
+
+DomainView ObserveDomain(const AbstractKernel& psi, CtnrPtr root);
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_SEC_OBSERVATION_H_

@@ -1,0 +1,141 @@
+#include "src/sec/verified_proxy.h"
+
+#include <vector>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+VerifiedProxy::VerifiedProxy(Kernel* kernel, const AbvScenario& scenario)
+    : kernel_(kernel),
+      v_thread_(scenario.v_thread),
+      a_(scenario.a),
+      b_(scenario.b),
+      v_proc_(scenario.v_proc) {}
+
+SpecMap<VAddr, PageGrant>& VerifiedProxy::BookFor(CtnrPtr client) {
+  ATMO_CHECK(client == a_ || client == b_, "VerifiedProxy: unknown client");
+  return client == a_ ? from_a_ : from_b_;
+}
+
+bool VerifiedProxy::ServiceChannel(EdptIdx v_slot, CtnrPtr client) {
+  const Thread& v = kernel_->pm().GetThread(v_thread_);
+  EdptPtr edpt = v.endpoints[v_slot];
+  if (edpt == kNullPtr) {
+    return false;
+  }
+  if (kernel_->pm().GetEndpoint(edpt).queue_kind != EdptQueueKind::kSenders) {
+    return false;  // nothing pending: the event loop stays non-blocking
+  }
+
+  Syscall recv;
+  recv.op = SysOp::kRecv;
+  recv.edpt_idx = v_slot;
+  SyscallRet ret = kernel_->Step(v_thread_, recv);
+  if (ret.error == SysError::kWouldFault) {
+    // The head sender's transfer cannot be applied (e.g. it targets an
+    // occupied V address). V's policy: reject it by... the sender stays
+    // queued; nothing V can do without consuming it. Treat as idle.
+    return false;
+  }
+  ATMO_CHECK(ret.error == SysError::kOk, "VerifiedProxy: recv on pending channel failed");
+  std::optional<IpcPayload> msg = kernel_->TakeInbound(v_thread_);
+  ATMO_CHECK(msg.has_value(), "VerifiedProxy: no inbound payload after recv");
+
+  switch (msg->scalars[0]) {
+    case kOpShare: {
+      if (msg->page.has_value()) {
+        // Record the shared page; the kernel mapped it at dest_va already.
+        BookFor(client).set(msg->page->dest_va, *msg->page);
+      }
+      break;
+    }
+    case kOpRelease: {
+      ReleaseClient(client);
+      break;
+    }
+    case kOpEcho:
+    default:
+      break;
+  }
+
+  // If the client used call(), answer it. Replies carry scalars only — by
+  // construction V never forwards a page or endpoint across clients.
+  if (kernel_->pm().GetThread(v_thread_).reply_to != kNullPtr) {
+    Syscall reply;
+    reply.op = SysOp::kReply;
+    reply.payload.scalars = {msg->scalars[0] + 1, 0, 0, 0};
+    SyscallRet rret = kernel_->Step(v_thread_, reply);
+    ATMO_CHECK(rret.error == SysError::kOk, "VerifiedProxy: reply failed");
+  }
+  return true;
+}
+
+int VerifiedProxy::PollOnce() {
+  int handled = 0;
+  if (ServiceChannel(AbvScenario::kVSlotA, a_)) {
+    ++handled;
+  }
+  if (ServiceChannel(AbvScenario::kVSlotB, b_)) {
+    ++handled;
+  }
+  return handled;
+}
+
+int VerifiedProxy::DrainAll() {
+  int total = 0;
+  while (int handled = PollOnce()) {
+    total += handled;
+  }
+  return total;
+}
+
+void VerifiedProxy::ReleaseClient(CtnrPtr client) {
+  SpecMap<VAddr, PageGrant>& book = BookFor(client);
+  std::vector<VAddr> vas;
+  for (const auto& [va, grant] : book) {
+    vas.push_back(va);
+  }
+  for (VAddr va : vas) {
+    Syscall unmap;
+    unmap.op = SysOp::kMunmap;
+    unmap.va_range = VaRange{va, 1, book.at(va).size};
+    SyscallRet ret = kernel_->Step(v_thread_, unmap);
+    ATMO_CHECK(ret.error == SysError::kOk, "VerifiedProxy: release unmap failed");
+    book.erase(va);
+  }
+}
+
+void VerifiedProxy::OnClientCrash(CtnrPtr client) { ReleaseClient(client); }
+
+bool VerifiedProxy::SpecWf(std::string* detail) const {
+  auto fail = [&](const char* msg) {
+    if (detail != nullptr) {
+      *detail = msg;
+    }
+    return false;
+  };
+  // 1. Pages from A and from B are disjoint.
+  SpecSet<PagePtr> pages_a;
+  for (const auto& [va, grant] : from_a_) {
+    pages_a.add(grant.page);
+  }
+  for (const auto& [va, grant] : from_b_) {
+    if (pages_a.contains(grant.page)) {
+      return fail("a page is recorded as received from both clients");
+    }
+  }
+  // 2. Every recorded page is mapped in V's address space at its VA.
+  const SpecMap<VAddr, MapEntry> space = kernel_->vm().AddressSpaceOf(v_proc_);
+  for (const auto* book : {&from_a_, &from_b_}) {
+    bool ok = book->ForAll([&](VAddr va, const PageGrant& grant) {
+      return space.contains(va) && space.at(va).addr == grant.page;
+    });
+    if (!ok) {
+      return fail("a recorded page is not mapped in V's address space");
+    }
+  }
+  return true;
+}
+
+}  // namespace atmo

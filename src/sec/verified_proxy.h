@@ -1,0 +1,76 @@
+// V — the verified shared-service container (§3, §4.3).
+//
+// V is an event-driven state machine: it polls its two channels for
+// incoming IPC, reacts according to its specification, and never forwards a
+// resource from one client to the other. The paper proves V's functional
+// correctness; here V's specification is an executable predicate (SpecWf)
+// that the noninterference harness re-checks after every V step:
+//
+//   1. the sets of pages received from A and from B are disjoint;
+//   2. every recorded page is mapped in V's address space (no lost track);
+//   3. V never grants a page received from A on the B channel or vice
+//      versa (enforced structurally: replies carry scalars only);
+//   4. after a client's RELEASE request — or its crash — no page received
+//      from that client remains mapped in V (V always releases, §3).
+//
+// Protocol (scalars[0] = opcode):
+//   kOpEcho     — reply with scalars[0]+1 (availability probe, via call()).
+//   kOpShare    — message carries a page grant; V records it.
+//   kOpRelease  — V unmaps every page previously received from the sender's
+//                 client and forgets them.
+
+#ifndef ATMO_SRC_SEC_VERIFIED_PROXY_H_
+#define ATMO_SRC_SEC_VERIFIED_PROXY_H_
+
+#include <map>
+
+#include "src/core/kernel.h"
+#include "src/sec/abv_scenario.h"
+#include "src/vstd/spec_map.h"
+#include "src/vstd/spec_set.h"
+
+namespace atmo {
+
+inline constexpr std::uint64_t kOpEcho = 0;
+inline constexpr std::uint64_t kOpShare = 1;
+inline constexpr std::uint64_t kOpRelease = 2;
+
+class VerifiedProxy {
+ public:
+  VerifiedProxy(Kernel* kernel, const AbvScenario& scenario);
+
+  // Services at most one pending message per channel. Returns the number of
+  // messages handled (0 = both channels idle).
+  int PollOnce();
+  // Drains both channels.
+  int DrainAll();
+
+  // Called by trusted init when a client container was killed: release all
+  // resources received from it.
+  void OnClientCrash(CtnrPtr client);
+
+  // V's executable specification (see header comment).
+  bool SpecWf(std::string* detail = nullptr) const;
+
+  const SpecMap<VAddr, PageGrant>& pages_from_a() const { return from_a_; }
+  const SpecMap<VAddr, PageGrant>& pages_from_b() const { return from_b_; }
+
+ private:
+  // Handles one pending sender on `v_slot` whose client is `client`.
+  bool ServiceChannel(EdptIdx v_slot, CtnrPtr client);
+  SpecMap<VAddr, PageGrant>& BookFor(CtnrPtr client);
+  void ReleaseClient(CtnrPtr client);
+
+  Kernel* kernel_;
+  ThrdPtr v_thread_;
+  CtnrPtr a_;
+  CtnrPtr b_;
+  ProcPtr v_proc_;
+  // Bookkeeping: dest VA -> grant, per client.
+  SpecMap<VAddr, PageGrant> from_a_;
+  SpecMap<VAddr, PageGrant> from_b_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_SEC_VERIFIED_PROXY_H_

@@ -1,0 +1,147 @@
+// Abstract kernel state Ψ (§2, §4).
+//
+// The microkernel is modelled as a state machine over this structure: plain
+// functional maps and sets describing every kernel object, every address
+// space, and the allocator's page attribution. Kernel::Abstract() is the
+// abstraction function from the concrete, pointer-centric implementation to
+// this state; the per-syscall specifications (src/spec/syscall_specs.h)
+// relate Ψ before and Ψ' after each step.
+//
+// Everything here has value semantics and extensional equality, which is
+// what lets the harness state the paper's strongest frame condition
+// directly: `ret is an error ==> Ψ' == Ψ`.
+
+#ifndef ATMO_SRC_SPEC_ABSTRACT_STATE_H_
+#define ATMO_SRC_SPEC_ABSTRACT_STATE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/ipc/message.h"
+#include "src/pmem/page_allocator.h"
+#include "src/proc/objects.h"
+#include "src/vstd/spec_map.h"
+#include "src/vstd/spec_seq.h"
+#include "src/vstd/spec_set.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+struct AbsContainer {
+  CtnrPtr parent = kNullPtr;
+  SpecSeq<CtnrPtr> children;  // ordered as the concrete list
+  std::uint64_t depth = 0;
+  SpecSeq<CtnrPtr> path;
+  SpecSet<CtnrPtr> subtree;
+  std::uint64_t mem_quota = 0;
+  std::uint64_t mem_used = 0;
+  std::uint64_t cpu_mask = 0;
+  SpecSeq<ProcPtr> procs;
+  SpecSet<ThrdPtr> threads;
+
+  friend bool operator==(const AbsContainer&, const AbsContainer&) = default;
+};
+
+struct AbsProcess {
+  CtnrPtr ctnr = kNullPtr;
+  ProcPtr parent = kNullPtr;
+  SpecSeq<ProcPtr> children;
+  SpecSeq<ThrdPtr> threads;
+
+  friend bool operator==(const AbsProcess&, const AbsProcess&) = default;
+};
+
+struct AbsThread {
+  ProcPtr proc = kNullPtr;
+  CtnrPtr ctnr = kNullPtr;
+  ThreadState state = ThreadState::kRunnable;
+  std::array<EdptPtr, kMaxEdptDescriptors> endpoints{};
+  IpcPayload ipc_buf;
+  bool has_inbound = false;
+  EdptPtr waiting_on = kNullPtr;
+  ThrdPtr reply_to = kNullPtr;
+
+  friend bool operator==(const AbsThread&, const AbsThread&) = default;
+};
+
+struct AbsEndpoint {
+  SpecSeq<ThrdPtr> queue;
+  EdptQueueKind queue_kind = EdptQueueKind::kEmpty;
+  std::uint64_t rf_count = 0;
+  CtnrPtr owner = kNullPtr;
+
+  friend bool operator==(const AbsEndpoint&, const AbsEndpoint&) = default;
+};
+
+struct AbsPageInfo {
+  PageState state = PageState::kFree;
+  PageSize size = PageSize::k4K;
+  CtnrPtr owner = kNullPtr;
+  std::uint32_t map_count = 0;
+
+  friend bool operator==(const AbsPageInfo&, const AbsPageInfo&) = default;
+};
+
+struct AbsIommuDomain {
+  CtnrPtr owner = kNullPtr;
+  SpecMap<VAddr, MapEntry> mappings;
+  SpecSet<std::uint32_t> devices;
+
+  friend bool operator==(const AbsIommuDomain&, const AbsIommuDomain&) = default;
+};
+
+struct AbstractKernel {
+  CtnrPtr root_container = kNullPtr;
+  SpecMap<CtnrPtr, AbsContainer> containers;
+  SpecMap<ProcPtr, AbsProcess> procs;
+  SpecMap<ThrdPtr, AbsThread> threads;
+  SpecMap<EdptPtr, AbsEndpoint> endpoints;
+  // Per-process abstract address space (the union of the page-table ghost
+  // maps, proven equal to the MMU's view by the refinement checkers).
+  SpecMap<ProcPtr, SpecMap<VAddr, MapEntry>> address_spaces;
+  // Allocator view: in-use unit pages (allocated + mapped) and the free
+  // sets per size class.
+  SpecMap<PagePtr, AbsPageInfo> pages;
+  SpecSet<PagePtr> free_pages_4k;
+  SpecSet<PagePtr> free_pages_2m;
+  SpecSet<PagePtr> free_pages_1g;
+  // IOMMU view.
+  SpecMap<std::uint64_t, AbsIommuDomain> iommu_domains;
+  // Scheduler.
+  SpecSeq<ThrdPtr> run_queue;
+  ThrdPtr current = kNullPtr;
+
+  friend bool operator==(const AbstractKernel&, const AbstractKernel&) = default;
+
+  // --- Accessors mirroring the paper's notation ---
+  SpecSet<ThrdPtr> thread_dom() const { return KeySet(threads); }
+  SpecSet<ProcPtr> proc_dom() const { return KeySet(procs); }
+  SpecSet<CtnrPtr> cntr_dom() const { return KeySet(containers); }
+  SpecSet<EdptPtr> edpt_dom() const { return KeySet(endpoints); }
+
+  const AbsThread& get_thread(ThrdPtr t) const { return threads.at(t); }
+  const AbsProcess& get_proc(ProcPtr p) const { return procs.at(p); }
+  const AbsContainer& get_cntr(CtnrPtr c) const { return containers.at(c); }
+  const AbsEndpoint& get_endpoint(EdptPtr e) const { return endpoints.at(e); }
+  const SpecMap<VAddr, MapEntry>& get_address_space(ProcPtr p) const {
+    return address_spaces.at(p);
+  }
+  bool page_is_free(PagePtr p) const {
+    return free_pages_4k.contains(p) || free_pages_2m.contains(p) ||
+           free_pages_1g.contains(p);
+  }
+
+ private:
+  template <typename K, typename V>
+  static SpecSet<K> KeySet(const SpecMap<K, V>& map) {
+    SpecSet<K> out;
+    for (const auto& [k, v] : map) {
+      out.add(k);
+    }
+    return out;
+  }
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_SPEC_ABSTRACT_STATE_H_

@@ -1,0 +1,33 @@
+#include "src/verif/refinement_checker.h"
+
+#include <string>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
+  AbstractKernel pre = kernel_->Abstract();
+  kernel_->Dispatch(t);
+  AbstractKernel mid = kernel_->Abstract();
+
+  SpecResult dispatch = DispatchSpec(pre, mid, t);
+  ATMO_CHECK(dispatch.ok, "dispatch refinement failed: " + dispatch.detail);
+
+  SyscallRet ret = kernel_->Exec(t, call);
+  AbstractKernel post = kernel_->Abstract();
+
+  SpecResult spec = SyscallSpec(mid, post, t, call, ret);
+  ATMO_CHECK(spec.ok, std::string("syscall refinement failed (") + SysOpName(call.op) +
+                          ", ret " + SysErrorName(ret.error) + "): " + spec.detail);
+
+  ++steps_;
+  if (check_wf_every_ != 0 && steps_ % check_wf_every_ == 0) {
+    InvResult wf = kernel_->TotalWf();
+    ATMO_CHECK(wf.ok, std::string("total_wf failed after ") + SysOpName(call.op) + ": " +
+                          wf.detail);
+  }
+  return ret;
+}
+
+}  // namespace atmo

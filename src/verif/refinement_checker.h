@@ -1,0 +1,47 @@
+// Refinement checker — the executable analog of Verus's refinement theorem.
+//
+// Wraps a Kernel and re-proves, after every step, that the concrete
+// transition refines the abstract specification:
+//
+//   1. capture Ψ  = Abstract(kernel)          (abstraction function)
+//   2. run the concrete Dispatch / Exec
+//   3. capture Ψ' = Abstract(kernel)
+//   4. check DispatchSpec / SyscallSpec(Ψ, Ψ', t, call, ret)
+//   5. check total_wf(kernel)                  (well-formedness theorem)
+//
+// A spec or invariant failure is routed through ATMO_CHECK — the same
+// channel as permission violations — so tests can assert that deliberately
+// broken kernels are caught.
+
+#ifndef ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_
+#define ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_
+
+#include <cstdint>
+
+#include "src/core/kernel.h"
+#include "src/spec/syscall_specs.h"
+
+namespace atmo {
+
+class RefinementChecker {
+ public:
+  // `check_wf_every`: total_wf is O(state), so large trace runs may check it
+  // every N steps (specs are still checked on every step). 1 = always.
+  explicit RefinementChecker(Kernel* kernel, std::uint64_t check_wf_every = 1)
+      : kernel_(kernel), check_wf_every_(check_wf_every) {}
+
+  // Runs one kernel step under full refinement checking.
+  SyscallRet Step(ThrdPtr t, const Syscall& call);
+
+  std::uint64_t steps_checked() const { return steps_; }
+  Kernel* kernel() { return kernel_; }
+
+ private:
+  Kernel* kernel_;
+  std::uint64_t check_wf_every_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_

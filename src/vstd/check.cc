@@ -1,0 +1,61 @@
+#include "src/vstd/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace atmo {
+namespace {
+
+CheckHandler& CurrentHandler() {
+  static CheckHandler handler;  // empty => default abort behaviour
+  return handler;
+}
+
+}  // namespace
+
+std::string CheckEvent::Format() const {
+  std::string out = "verification failure at ";
+  out += file != nullptr ? file : "<unknown>";
+  out += ":" + std::to_string(line);
+  out += ": obligation `" + condition + "` failed";
+  if (!message.empty()) {
+    out += " — " + message;
+  }
+  return out;
+}
+
+CheckHandler SetCheckHandler(CheckHandler handler) {
+  return std::exchange(CurrentHandler(), std::move(handler));
+}
+
+void ReportCheckFailure(const CheckEvent& event) {
+  if (CurrentHandler()) {
+    CurrentHandler()(event);
+  }
+  // The handler is expected to throw; if it returned (or none is installed),
+  // a verification failure is fatal.
+  std::fprintf(stderr, "%s\n", event.Format().c_str());
+  std::abort();
+}
+
+ScopedThrowOnCheckFailure::ScopedThrowOnCheckFailure() {
+  previous_ = SetCheckHandler([](const CheckEvent& event) { throw CheckViolation(event); });
+}
+
+ScopedThrowOnCheckFailure::~ScopedThrowOnCheckFailure() { SetCheckHandler(previous_); }
+
+namespace check_internal {
+
+void Fail(const char* file, int line, const char* condition, const std::string& msg) {
+  CheckEvent event;
+  event.file = file;
+  event.line = line;
+  event.condition = condition;
+  event.message = msg;
+  ReportCheckFailure(event);
+  std::abort();  // not reached; ReportCheckFailure does not return
+}
+
+}  // namespace check_internal
+}  // namespace atmo

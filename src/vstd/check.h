@@ -1,0 +1,83 @@
+// Runtime check infrastructure — the failure channel of the verification
+// harness.
+//
+// Verus rejects a program at compile time when a proof obligation fails. The
+// C++ executable model instead evaluates the same obligations at runtime; a
+// failed obligation is routed through the handler installed here. The default
+// handler prints the obligation and aborts (a "verification failure"). Tests
+// install a throwing handler so that failure-injection cases can assert that
+// the harness catches deliberate violations.
+
+#ifndef ATMO_SRC_VSTD_CHECK_H_
+#define ATMO_SRC_VSTD_CHECK_H_
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace atmo {
+
+// Description of one failed proof obligation.
+struct CheckEvent {
+  const char* file = nullptr;
+  int line = 0;
+  std::string condition;
+  std::string message;
+
+  std::string Format() const;
+};
+
+// Exception type thrown by the throwing handler (used in tests).
+class CheckViolation : public std::runtime_error {
+ public:
+  explicit CheckViolation(const CheckEvent& event)
+      : std::runtime_error(event.Format()), event_(event) {}
+
+  const CheckEvent& event() const { return event_; }
+
+ private:
+  CheckEvent event_;
+};
+
+using CheckHandler = std::function<void(const CheckEvent&)>;
+
+// Installs `handler` as the process-wide failure handler and returns the
+// previous one. Passing a null handler restores the default abort handler.
+CheckHandler SetCheckHandler(CheckHandler handler);
+
+// Reports a failed obligation through the current handler. If the handler
+// returns (it should either abort or throw), this aborts.
+[[noreturn]] void ReportCheckFailure(const CheckEvent& event);
+
+// RAII guard that makes check failures throw CheckViolation for its lifetime.
+// Used by tests that deliberately violate permissions/invariants.
+class ScopedThrowOnCheckFailure {
+ public:
+  ScopedThrowOnCheckFailure();
+  ~ScopedThrowOnCheckFailure();
+
+  ScopedThrowOnCheckFailure(const ScopedThrowOnCheckFailure&) = delete;
+  ScopedThrowOnCheckFailure& operator=(const ScopedThrowOnCheckFailure&) = delete;
+
+ private:
+  CheckHandler previous_;
+};
+
+namespace check_internal {
+[[noreturn]] void Fail(const char* file, int line, const char* condition, const std::string& msg);
+}  // namespace check_internal
+
+}  // namespace atmo
+
+// Proof-obligation check. `cond` is the obligation; `msg` names it.
+#define ATMO_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::atmo::check_internal::Fail(__FILE__, __LINE__, #cond, (msg));     \
+    }                                                                     \
+  } while (false)
+
+// Obligation that always fails when reached.
+#define ATMO_FAIL(msg) ::atmo::check_internal::Fail(__FILE__, __LINE__, "unreachable", (msg))
+
+#endif  // ATMO_SRC_VSTD_CHECK_H_

@@ -1,0 +1,120 @@
+// SpecMap<K, V> — executable analog of Verus `Map<K, V>`.
+//
+// Abstract kernel state ("ghost" state) is expressed with functional maps.
+// SpecMap is value-semantic and ordered (deterministic iteration), supports
+// the operations used by the paper's specifications (dom, contains, index,
+// insert, remove, submap/union, extensional equality) and quantifier helpers
+// used to transliterate `forall` specs.
+
+#ifndef ATMO_SRC_VSTD_SPEC_MAP_H_
+#define ATMO_SRC_VSTD_SPEC_MAP_H_
+
+#include <map>
+#include <utility>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+template <typename K, typename V>
+class SpecMap {
+ public:
+  SpecMap() = default;
+  SpecMap(std::initializer_list<std::pair<const K, V>> init) : rep_(init) {}
+
+  bool contains(const K& k) const { return rep_.find(k) != rep_.end(); }
+
+  // Map index; the key must be in the domain (spec-level partiality).
+  const V& at(const K& k) const {
+    auto it = rep_.find(k);
+    ATMO_CHECK(it != rep_.end(), "SpecMap::at on key outside dom()");
+    return it->second;
+  }
+
+  std::size_t size() const { return rep_.size(); }
+  bool empty() const { return rep_.empty(); }
+
+  // Functional update: returns a copy with k -> v.
+  SpecMap insert(const K& k, const V& v) const {
+    SpecMap out = *this;
+    out.rep_[k] = v;
+    return out;
+  }
+
+  // Functional removal: returns a copy without k.
+  SpecMap remove(const K& k) const {
+    SpecMap out = *this;
+    out.rep_.erase(k);
+    return out;
+  }
+
+  // In-place variants (used when building abstract states incrementally).
+  void set(const K& k, const V& v) { rep_[k] = v; }
+  void erase(const K& k) { rep_.erase(k); }
+
+  // `forall |k| dom.contains(k) ==> p(k, self[k])`.
+  template <typename Pred>
+  bool ForAll(Pred p) const {
+    for (const auto& [k, v] : rep_) {
+      if (!p(k, v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // `exists |k| dom.contains(k) && p(k, self[k])`.
+  template <typename Pred>
+  bool Exists(Pred p) const {
+    for (const auto& [k, v] : rep_) {
+      if (p(k, v)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Extensional equality (`=~=`).
+  friend bool operator==(const SpecMap& a, const SpecMap& b) { return a.rep_ == b.rep_; }
+
+  // True if every binding of this map is also a binding of `other`.
+  bool IsSubmapOf(const SpecMap& other) const {
+    for (const auto& [k, v] : rep_) {
+      if (!other.contains(k) || !(other.at(k) == v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // True if `a` and `b` agree everywhere except possibly at `k`.
+  static bool AgreeExceptAt(const SpecMap& a, const SpecMap& b, const K& k) {
+    for (const auto& [key, v] : a.rep_) {
+      if (key == k) {
+        continue;
+      }
+      if (!b.contains(key) || !(b.at(key) == v)) {
+        return false;
+      }
+    }
+    for (const auto& [key, v] : b.rep_) {
+      if (key == k) {
+        continue;
+      }
+      if (!a.contains(key)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  auto begin() const { return rep_.begin(); }
+  auto end() const { return rep_.end(); }
+
+ private:
+  std::map<K, V> rep_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VSTD_SPEC_MAP_H_

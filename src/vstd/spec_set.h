@@ -1,0 +1,116 @@
+// SpecSet<T> — executable analog of Verus `Set<T>`.
+
+#ifndef ATMO_SRC_VSTD_SPEC_SET_H_
+#define ATMO_SRC_VSTD_SPEC_SET_H_
+
+#include <initializer_list>
+#include <set>
+
+namespace atmo {
+
+template <typename T>
+class SpecSet {
+ public:
+  SpecSet() = default;
+  SpecSet(std::initializer_list<T> init) : rep_(init) {}
+
+  bool contains(const T& t) const { return rep_.find(t) != rep_.end(); }
+  std::size_t size() const { return rep_.size(); }
+  bool empty() const { return rep_.empty(); }
+
+  SpecSet insert(const T& t) const {
+    SpecSet out = *this;
+    out.rep_.insert(t);
+    return out;
+  }
+
+  SpecSet remove(const T& t) const {
+    SpecSet out = *this;
+    out.rep_.erase(t);
+    return out;
+  }
+
+  // In-place variants.
+  void add(const T& t) { rep_.insert(t); }
+  void erase(const T& t) { rep_.erase(t); }
+
+  SpecSet Union(const SpecSet& other) const {
+    SpecSet out = *this;
+    out.rep_.insert(other.rep_.begin(), other.rep_.end());
+    return out;
+  }
+
+  SpecSet Intersect(const SpecSet& other) const {
+    SpecSet out;
+    for (const T& t : rep_) {
+      if (other.contains(t)) {
+        out.rep_.insert(t);
+      }
+    }
+    return out;
+  }
+
+  SpecSet Difference(const SpecSet& other) const {
+    SpecSet out;
+    for (const T& t : rep_) {
+      if (!other.contains(t)) {
+        out.rep_.insert(t);
+      }
+    }
+    return out;
+  }
+
+  bool IsSubsetOf(const SpecSet& other) const {
+    for (const T& t : rep_) {
+      if (!other.contains(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Pairwise disjointness: no element in common.
+  bool IsDisjointFrom(const SpecSet& other) const {
+    // Iterate the smaller side.
+    const SpecSet& small = size() <= other.size() ? *this : other;
+    const SpecSet& large = size() <= other.size() ? other : *this;
+    for (const T& t : small.rep_) {
+      if (large.contains(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  template <typename Pred>
+  bool ForAll(Pred p) const {
+    for (const T& t : rep_) {
+      if (!p(t)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  template <typename Pred>
+  bool Exists(Pred p) const {
+    for (const T& t : rep_) {
+      if (p(t)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  friend bool operator==(const SpecSet& a, const SpecSet& b) { return a.rep_ == b.rep_; }
+
+  auto begin() const { return rep_.begin(); }
+  auto end() const { return rep_.end(); }
+
+ private:
+  std::set<T> rep_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VSTD_SPEC_SET_H_

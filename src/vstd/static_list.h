@@ -1,0 +1,218 @@
+// StaticList<T, N> — a fixed-capacity doubly-linked list with internal
+// storage.
+//
+// Kernel objects in Atmosphere are page-sized, so their embedded collections
+// (a container's children, a process's threads, an endpoint's wait queue)
+// are bounded arrays threaded as doubly-linked lists — the paper's "internal
+// storage" design. Links are slot indices, not heap pointers, so the whole
+// structure is trivially copyable and lives inside the owning object.
+//
+// Push returns the slot index of the new node; holders may store it as a
+// reverse pointer for O(1) removal (the same trick the paper's page metadata
+// array uses to unlink pages from free lists in constant time).
+
+#ifndef ATMO_SRC_VSTD_STATIC_LIST_H_
+#define ATMO_SRC_VSTD_STATIC_LIST_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/vstd/check.h"
+#include "src/vstd/spec_seq.h"
+
+namespace atmo {
+
+inline constexpr std::uint32_t kStaticListNil = 0xffffffffu;
+
+template <typename T, std::size_t N>
+class StaticList {
+ public:
+  StaticList() {
+    // All slots start on the internal free chain (singly linked via next).
+    for (std::size_t i = 0; i < N; ++i) {
+      slots_[i].next = static_cast<std::uint32_t>(i + 1);
+      slots_[i].prev = kStaticListNil;
+      slots_[i].used = false;
+    }
+    if constexpr (N > 0) {
+      slots_[N - 1].next = kStaticListNil;
+    }
+    free_head_ = N > 0 ? 0 : kStaticListNil;
+  }
+
+  std::size_t len() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  bool full() const { return len_ == N; }
+  static constexpr std::size_t capacity() { return N; }
+
+  // Appends `value`; returns the slot index (stable until removal).
+  std::uint32_t PushBack(const T& value) {
+    std::uint32_t slot = AllocSlot();
+    slots_[slot].value = value;
+    slots_[slot].prev = tail_;
+    slots_[slot].next = kStaticListNil;
+    if (tail_ != kStaticListNil) {
+      slots_[tail_].next = slot;
+    } else {
+      head_ = slot;
+    }
+    tail_ = slot;
+    ++len_;
+    return slot;
+  }
+
+  // Prepends `value`; returns the slot index.
+  std::uint32_t PushFront(const T& value) {
+    std::uint32_t slot = AllocSlot();
+    slots_[slot].value = value;
+    slots_[slot].prev = kStaticListNil;
+    slots_[slot].next = head_;
+    if (head_ != kStaticListNil) {
+      slots_[head_].prev = slot;
+    } else {
+      tail_ = slot;
+    }
+    head_ = slot;
+    ++len_;
+    return slot;
+  }
+
+  T PopFront() {
+    ATMO_CHECK(head_ != kStaticListNil, "StaticList::PopFront on empty list");
+    std::uint32_t slot = head_;
+    T out = slots_[slot].value;
+    Remove(slot);
+    return out;
+  }
+
+  // O(1) removal by slot index (reverse-pointer removal).
+  void Remove(std::uint32_t slot) {
+    ATMO_CHECK(slot < N && slots_[slot].used, "StaticList::Remove of unused slot");
+    std::uint32_t prev = slots_[slot].prev;
+    std::uint32_t next = slots_[slot].next;
+    if (prev != kStaticListNil) {
+      slots_[prev].next = next;
+    } else {
+      head_ = next;
+    }
+    if (next != kStaticListNil) {
+      slots_[next].prev = prev;
+    } else {
+      tail_ = prev;
+    }
+    FreeSlot(slot);
+    --len_;
+  }
+
+  const T& Front() const {
+    ATMO_CHECK(head_ != kStaticListNil, "StaticList::Front on empty list");
+    return slots_[head_].value;
+  }
+
+  const T& At(std::uint32_t slot) const {
+    ATMO_CHECK(slot < N && slots_[slot].used, "StaticList::At of unused slot");
+    return slots_[slot].value;
+  }
+
+  // Linear search; returns the slot index or kStaticListNil.
+  std::uint32_t Find(const T& value) const {
+    for (std::uint32_t cur = head_; cur != kStaticListNil; cur = slots_[cur].next) {
+      if (slots_[cur].value == value) {
+        return cur;
+      }
+    }
+    return kStaticListNil;
+  }
+
+  bool Contains(const T& value) const { return Find(value) != kStaticListNil; }
+
+  // Removes the first node holding `value`; verification failure if absent.
+  void RemoveValue(const T& value) {
+    std::uint32_t slot = Find(value);
+    ATMO_CHECK(slot != kStaticListNil, "StaticList::RemoveValue of absent value");
+    Remove(slot);
+  }
+
+  // Ghost view: the list contents as a sequence, head to tail.
+  SpecSeq<T> View() const {
+    SpecSeq<T> out;
+    for (std::uint32_t cur = head_; cur != kStaticListNil; cur = slots_[cur].next) {
+      out = out.push(slots_[cur].value);
+    }
+    return out;
+  }
+
+  // Structural well-formedness of the link fields themselves: prev/next are
+  // mutually consistent and len matches the reachable chain. Invariant
+  // checks call this per object.
+  bool LinksWf() const {
+    std::size_t count = 0;
+    std::uint32_t prev = kStaticListNil;
+    for (std::uint32_t cur = head_; cur != kStaticListNil; cur = slots_[cur].next) {
+      if (cur >= N || !slots_[cur].used || slots_[cur].prev != prev) {
+        return false;
+      }
+      prev = cur;
+      if (++count > N) {
+        return false;  // cycle
+      }
+    }
+    return prev == tail_ && count == len_;
+  }
+
+  friend bool operator==(const StaticList& a, const StaticList& b) {
+    return a.View() == b.View();
+  }
+
+  // Iteration (values only, head to tail).
+  class ConstIter {
+   public:
+    ConstIter(const StaticList* list, std::uint32_t slot) : list_(list), slot_(slot) {}
+    const T& operator*() const { return list_->slots_[slot_].value; }
+    ConstIter& operator++() {
+      slot_ = list_->slots_[slot_].next;
+      return *this;
+    }
+    friend bool operator==(const ConstIter& a, const ConstIter& b) { return a.slot_ == b.slot_; }
+
+   private:
+    const StaticList* list_;
+    std::uint32_t slot_;
+  };
+
+  ConstIter begin() const { return ConstIter(this, head_); }
+  ConstIter end() const { return ConstIter(this, kStaticListNil); }
+
+ private:
+  struct Slot {
+    T value{};
+    std::uint32_t prev = kStaticListNil;
+    std::uint32_t next = kStaticListNil;
+    bool used = false;
+  };
+
+  std::uint32_t AllocSlot() {
+    ATMO_CHECK(free_head_ != kStaticListNil, "StaticList capacity exhausted");
+    std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next;
+    slots_[slot].used = true;
+    return slot;
+  }
+
+  void FreeSlot(std::uint32_t slot) {
+    slots_[slot].used = false;
+    slots_[slot].prev = kStaticListNil;
+    slots_[slot].next = free_head_;
+    free_head_ = slot;
+  }
+
+  std::array<Slot, N> slots_;
+  std::uint32_t head_ = kStaticListNil;
+  std::uint32_t tail_ = kStaticListNil;
+  std::uint32_t free_head_ = kStaticListNil;
+  std::size_t len_ = 0;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VSTD_STATIC_LIST_H_

@@ -1,0 +1,90 @@
+// Core scalar types shared by every Atmosphere subsystem.
+//
+// The paper's kernel is pointer-centric: kernel objects are identified by raw
+// physical addresses ("ThrdPtr", "CtnrPtr", ...). In this executable model a
+// pointer is a page-aligned address within the simulated physical memory
+// (see src/hw/phys_mem.h). Distinct alias names are kept so signatures read
+// like the paper's Listings.
+
+#ifndef ATMO_SRC_VSTD_TYPES_H_
+#define ATMO_SRC_VSTD_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atmo {
+
+// A simulated physical address. Page-aligned for kernel object pointers.
+using Ptr = std::uint64_t;
+
+// Physical / virtual addresses in the simulated machine.
+using PAddr = std::uint64_t;
+using VAddr = std::uint64_t;
+
+// Kernel object pointers (all page-aligned physical addresses).
+using CtnrPtr = Ptr;
+using ProcPtr = Ptr;
+using ThrdPtr = Ptr;
+using EdptPtr = Ptr;
+using PagePtr = Ptr;
+
+// Index of an endpoint descriptor within a thread's descriptor table.
+using EdptIdx = std::uint32_t;
+
+// The distinguished null pointer. Address 0 is never handed out by the
+// allocator, so 0 is safe as a sentinel everywhere.
+inline constexpr Ptr kNullPtr = 0;
+
+// Page geometry (x86-64).
+inline constexpr std::uint64_t kPageSize4K = 4096;
+inline constexpr std::uint64_t kPageSize2M = 2 * 1024 * 1024;
+inline constexpr std::uint64_t kPageSize1G = 1024 * 1024 * 1024;
+inline constexpr std::uint64_t kPtEntriesPerNode = 512;
+
+// Size class of a physical page / mapping.
+enum class PageSize : std::uint8_t {
+  k4K = 0,
+  k2M = 1,
+  k1G = 2,
+};
+
+// Number of bytes covered by a page of the given size class.
+constexpr std::uint64_t PageBytes(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return kPageSize4K;
+    case PageSize::k2M:
+      return kPageSize2M;
+    case PageSize::k1G:
+      return kPageSize1G;
+  }
+  return kPageSize4K;
+}
+
+// Number of 4K frames covered by a page of the given size class.
+constexpr std::uint64_t PageFrames4K(PageSize size) { return PageBytes(size) / kPageSize4K; }
+
+// Access permission bits attached to a virtual mapping (subset of x86 PTE
+// semantics: present is implicit, writable and user-accessible are tracked;
+// execute-disable is modelled as a bit too).
+struct MapEntryPerm {
+  bool writable = false;
+  bool user = true;
+  bool no_execute = false;
+
+  friend bool operator==(const MapEntryPerm&, const MapEntryPerm&) = default;
+};
+
+// One entry of the abstract address-space map: where a virtual page points
+// and with which rights (Listing 1: `Map<VAddr, MapEntry>`).
+struct MapEntry {
+  PAddr addr = 0;
+  PageSize size = PageSize::k4K;
+  MapEntryPerm perm;
+
+  friend bool operator==(const MapEntry&, const MapEntry&) = default;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VSTD_TYPES_H_

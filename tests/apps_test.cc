@@ -1,0 +1,310 @@
+// Application tests: Maglev hashing properties (full table, balance,
+// minimal disruption, consistency), kv-store semantics and probe behaviour,
+// httpd parsing and response generation.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/httpd.h"
+#include "src/apps/kvstore.h"
+#include "src/apps/maglev.h"
+
+namespace atmo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Maglev
+// ---------------------------------------------------------------------------
+
+Maglev MakeMaglev(int backends, std::uint32_t table_size = 4099) {
+  Maglev lb(table_size);
+  for (int i = 0; i < backends; ++i) {
+    MaglevBackend backend;
+    backend.name = "backend-" + std::to_string(i);
+    backend.mac = MacAddr{0x02, 0, 0, 0, 0, static_cast<std::uint8_t>(i + 1)};
+    backend.ip = 0x0a000100u + static_cast<std::uint32_t>(i);
+    lb.AddBackend(backend);
+  }
+  lb.Populate();
+  return lb;
+}
+
+TEST(MaglevTest, TableIsCompletelyFilled) {
+  Maglev lb = MakeMaglev(5);
+  for (int entry : lb.table()) {
+    EXPECT_GE(entry, 0);
+    EXPECT_LT(entry, 5);
+  }
+}
+
+TEST(MaglevTest, SharesAreBalanced) {
+  Maglev lb = MakeMaglev(7);
+  std::vector<std::uint32_t> shares = lb.Shares();
+  std::uint32_t lo = ~0u;
+  std::uint32_t hi = 0;
+  for (std::uint32_t share : shares) {
+    lo = std::min(lo, share);
+    hi = std::max(hi, share);
+  }
+  // The Maglev paper's guarantee: shares differ by at most ~1-2% of M/N.
+  double mean = static_cast<double>(lb.table_size()) / 7.0;
+  EXPECT_GT(lo, mean * 0.9);
+  EXPECT_LT(hi, mean * 1.1);
+}
+
+TEST(MaglevTest, LookupIsDeterministic) {
+  Maglev lb = MakeMaglev(4);
+  FiveTuple flow{.src_ip = 0x01020304, .dst_ip = 0x0a000001, .src_port = 4242,
+                 .dst_port = 80};
+  int first = lb.Lookup(flow);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(lb.Lookup(flow), first);
+  }
+}
+
+TEST(MaglevTest, RemovalCausesMinimalDisruption) {
+  Maglev lb = MakeMaglev(8, 65537);
+  std::vector<int> before(lb.table());
+  lb.SetHealthy("backend-3", false);
+  lb.Populate();
+  const std::vector<int>& after = lb.table();
+
+  std::uint32_t moved_from_others = 0;
+  std::uint32_t total_others = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] == 3) {
+      EXPECT_NE(after[i], 3) << "dead backend still referenced";
+      continue;
+    }
+    ++total_others;
+    if (after[i] != before[i]) {
+      ++moved_from_others;
+    }
+  }
+  // Consistent hashing: only a small fraction of entries that did NOT point
+  // at the removed backend may move.
+  EXPECT_LT(static_cast<double>(moved_from_others) / total_others, 0.05)
+      << moved_from_others << " of " << total_others << " entries moved";
+}
+
+TEST(MaglevTest, ForwardPacketRewritesDestination) {
+  Maglev lb = MakeMaglev(3);
+  std::uint8_t frame[kMaxFrameLen];
+  MacAddr src{0x02, 0, 0, 0, 0, 0x10};
+  MacAddr vip_mac{0x02, 0, 0, 0, 0, 0x20};
+  FiveTuple flow{.src_ip = 0x0b000001, .dst_ip = 0x0a0000fe, .src_port = 999, .dst_port = 80};
+  std::size_t len = BuildUdpFrame(frame, src, vip_mac, flow, "req", 3);
+
+  int backend = lb.ForwardPacket(frame, len);
+  ASSERT_GE(backend, 0);
+  auto parsed = ParseUdpFrame(frame, len);
+  ASSERT_TRUE(parsed.has_value()) << "rewritten frame must still be valid";
+  EXPECT_EQ(parsed->flow.dst_ip, lb.backend(backend).ip);
+  EXPECT_EQ(parsed->dst_mac, lb.backend(backend).mac);
+  EXPECT_EQ(parsed->flow.src_ip, flow.src_ip) << "source preserved";
+}
+
+TEST(MaglevTest, MalformedPacketIsDropped) {
+  Maglev lb = MakeMaglev(3);
+  std::uint8_t garbage[64] = {1, 2, 3};
+  EXPECT_EQ(lb.ForwardPacket(garbage, sizeof(garbage)), -1);
+}
+
+// ---------------------------------------------------------------------------
+// KvStore
+// ---------------------------------------------------------------------------
+
+TEST(KvStoreTest, SetGetDelRoundTrip) {
+  KvStore store(1024);
+  EXPECT_TRUE(store.Set("alpha", "one"));
+  EXPECT_TRUE(store.Set("beta", "two"));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(*store.Get("alpha"), "one");
+  EXPECT_EQ(*store.Get("beta"), "two");
+  EXPECT_FALSE(store.Get("gamma").has_value());
+  EXPECT_TRUE(store.Del("alpha"));
+  EXPECT_FALSE(store.Get("alpha").has_value());
+  EXPECT_FALSE(store.Del("alpha")) << "double delete misses";
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteKeepsSizeStable) {
+  KvStore store(64);
+  EXPECT_TRUE(store.Set("k", "v1"));
+  EXPECT_TRUE(store.Set("k", "v2"));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(*store.Get("k"), "v2");
+}
+
+TEST(KvStoreTest, TombstonesDoNotBreakProbeChains) {
+  KvStore store(8);
+  // Fill several keys, delete one in the middle of a probe chain, and make
+  // sure the others still resolve.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Set("key" + std::to_string(i), "v" + std::to_string(i)));
+  }
+  ASSERT_TRUE(store.Del("key2"));
+  for (int i = 0; i < 5; ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(store.Get("key2").has_value());
+    } else {
+      ASSERT_TRUE(store.Get("key" + std::to_string(i)).has_value()) << i;
+    }
+  }
+  // Reinsertion reuses the tombstone.
+  EXPECT_TRUE(store.Set("key2", "back"));
+  EXPECT_EQ(*store.Get("key2"), "back");
+}
+
+TEST(KvStoreTest, RejectsOversizedKeysAndValues) {
+  KvStore store(64);
+  std::string big_key(kKvMaxKey + 1, 'k');
+  std::string big_val(kKvMaxValue + 1, 'v');
+  EXPECT_FALSE(store.Set(big_key, "v"));
+  EXPECT_FALSE(store.Set("k", big_val));
+  EXPECT_FALSE(store.Set("", "v"));
+}
+
+TEST(KvStoreTest, FillsToCapacityMinusOne) {
+  KvStore store(16);
+  int inserted = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (store.Set("key" + std::to_string(i), "v")) {
+      ++inserted;
+    }
+  }
+  EXPECT_EQ(inserted, 15) << "one slot stays free so probes terminate";
+  // Everything inserted is retrievable.
+  for (int i = 0; i < inserted; ++i) {
+    EXPECT_TRUE(store.Get("key" + std::to_string(i)).has_value()) << i;
+  }
+}
+
+TEST(KvStoreTest, WireProtocolRoundTrip) {
+  KvStore store(256);
+  std::uint8_t req[128];
+  std::uint8_t resp[64];
+
+  std::size_t len = KvStore::BuildRequest(req, kKvSet, "name", "atmosphere");
+  ASSERT_EQ(store.HandleRequest(req, len, resp), 2u);
+  EXPECT_EQ(resp[0], kKvOk);
+
+  len = KvStore::BuildRequest(req, kKvGet, "name", "");
+  std::size_t rlen = store.HandleRequest(req, len, resp);
+  ASSERT_EQ(rlen, 2u + 10u);
+  EXPECT_EQ(resp[0], kKvOk);
+  EXPECT_EQ(resp[1], 10);
+  EXPECT_EQ(std::memcmp(resp + 2, "atmosphere", 10), 0);
+
+  len = KvStore::BuildRequest(req, kKvDel, "name", "");
+  ASSERT_EQ(store.HandleRequest(req, len, resp), 2u);
+  EXPECT_EQ(resp[0], kKvOk);
+
+  len = KvStore::BuildRequest(req, kKvGet, "name", "");
+  store.HandleRequest(req, len, resp);
+  EXPECT_EQ(resp[0], kKvMiss);
+}
+
+TEST(KvStoreTest, MalformedRequestsAreRejected) {
+  KvStore store(64);
+  std::uint8_t resp[64];
+  std::uint8_t truncated[2] = {kKvGet, 5};
+  EXPECT_EQ(store.HandleRequest(truncated, 2, resp), 2u);
+  EXPECT_EQ(resp[0], kKvBadRequest);
+  std::uint8_t bad_lens[8] = {kKvGet, 200, 0, 'a'};
+  store.HandleRequest(bad_lens, 8, resp);
+  EXPECT_EQ(resp[0], kKvBadRequest);
+  std::uint8_t bad_op[8] = {99, 1, 0, 'a'};
+  store.HandleRequest(bad_op, 8, resp);
+  EXPECT_EQ(resp[0], kKvBadRequest);
+}
+
+TEST(KvStoreTest, LargePopulationRetrievesEverything) {
+  KvStore store(1 << 16);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(store.Set("key-" + std::to_string(i), "val-" + std::to_string(i % 97)));
+  }
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; i += 997) {
+    auto hit = store.Get("key-" + std::to_string(i));
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(*hit, "val-" + std::to_string(i % 97));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Httpd
+// ---------------------------------------------------------------------------
+
+TEST(HttpdTest, ParsesWellFormedRequest) {
+  HttpRequest req;
+  ASSERT_TRUE(Httpd::ParseRequest(
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\nConnection: close\r\n\r\n", &req));
+  EXPECT_EQ(req.method, "GET");
+  EXPECT_EQ(req.path, "/index.html");
+  EXPECT_EQ(req.host, "example.com");
+  EXPECT_FALSE(req.keep_alive);
+}
+
+TEST(HttpdTest, RejectsMalformedRequests) {
+  HttpRequest req;
+  EXPECT_FALSE(Httpd::ParseRequest("", &req));
+  EXPECT_FALSE(Httpd::ParseRequest("GET\r\n", &req));
+  EXPECT_FALSE(Httpd::ParseRequest("GET /\r\n", &req));
+  EXPECT_FALSE(Httpd::ParseRequest("GET / SPDY/3\r\n", &req));
+  EXPECT_FALSE(Httpd::ParseRequest("GET noslash HTTP/1.1\r\n", &req));
+}
+
+TEST(HttpdTest, ServesRegisteredPage) {
+  Httpd server;
+  server.AddPage("/", "text/html", "<html>hi</html>");
+  std::uint8_t resp[512];
+  const char req[] = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+  std::size_t len = server.HandleRequest(reinterpret_cast<const std::uint8_t*>(req),
+                                         sizeof(req) - 1, resp, sizeof(resp));
+  std::string text(reinterpret_cast<char*>(resp), len);
+  EXPECT_NE(text.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(text.find("Content-Length: 15"), std::string::npos);
+  EXPECT_NE(text.find("<html>hi</html>"), std::string::npos);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(HttpdTest, Returns404ForUnknownPath) {
+  Httpd server;
+  server.AddPage("/", "text/html", "x");
+  std::uint8_t resp[512];
+  const char req[] = "GET /missing HTTP/1.1\r\n\r\n";
+  std::size_t len = server.HandleRequest(reinterpret_cast<const std::uint8_t*>(req),
+                                         sizeof(req) - 1, resp, sizeof(resp));
+  EXPECT_NE(std::string(reinterpret_cast<char*>(resp), len).find("404"), std::string::npos);
+  EXPECT_EQ(server.errors(), 1u);
+}
+
+TEST(HttpdTest, Returns405ForPost) {
+  Httpd server;
+  server.AddPage("/", "text/html", "x");
+  std::uint8_t resp[512];
+  const char req[] = "POST / HTTP/1.1\r\n\r\n";
+  std::size_t len = server.HandleRequest(reinterpret_cast<const std::uint8_t*>(req),
+                                         sizeof(req) - 1, resp, sizeof(resp));
+  EXPECT_NE(std::string(reinterpret_cast<char*>(resp), len).find("405"), std::string::npos);
+}
+
+TEST(HttpdTest, HeadOmitsBody) {
+  Httpd server;
+  server.AddPage("/", "text/html", "BODYBYTES");
+  std::uint8_t resp[512];
+  const char req[] = "HEAD / HTTP/1.1\r\n\r\n";
+  std::size_t len = server.HandleRequest(reinterpret_cast<const std::uint8_t*>(req),
+                                         sizeof(req) - 1, resp, sizeof(resp));
+  std::string text(reinterpret_cast<char*>(resp), len);
+  EXPECT_NE(text.find("200 OK"), std::string::npos);
+  EXPECT_EQ(text.find("BODYBYTES"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atmo

@@ -1,0 +1,241 @@
+// Baseline tests: the Linux-like network and block layers deliver correct
+// data (they are slow, not broken), and the seL4-like capability kernel's
+// IPC/map fastpaths behave correctly.
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/cap_kernel.h"
+#include "src/baseline/linux_block.h"
+#include "src/baseline/linux_net.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr MacAddr kSrcMac{0x02, 0, 0, 0, 0, 0xaa};
+constexpr MacAddr kDstMac{0x02, 0, 0, 0, 0, 0xbb};
+
+class BaselineEnv : public ::testing::Test {
+ protected:
+  BaselineEnv()
+      : mem_(16384),
+        alloc_(16384, 1),
+        iommu_(&mem_),
+        domain_(iommu_.CreateDomain(&alloc_, kNullPtr)),
+        arena_(&mem_, &alloc_, &iommu_, domain_, 0x100000),
+        nic_(&mem_, &iommu_, 1),
+        nvme_(&mem_, &iommu_, 1, 4096),
+        nic_driver_(&arena_, &nic_, 64),
+        nvme_driver_(&arena_, &nvme_, 64) {
+    EXPECT_TRUE(iommu_.AttachDevice(domain_, 1));
+    nic_driver_.Init();
+    nvme_driver_.Init();
+  }
+
+  PhysMem mem_;
+  PageAllocator alloc_;
+  IommuManager iommu_;
+  IommuDomainId domain_;
+  DmaArena arena_;
+  SimNic nic_;
+  SimNvme nvme_;
+  IxgbeDriver nic_driver_;
+  NvmeDriver nvme_driver_;
+};
+
+TEST_F(BaselineEnv, LinuxNetDeliversPayloadThroughTheStack) {
+  LinuxNetStack stack(&nic_driver_);
+  stack.AddRoute(0x0a000000, 8);
+  stack.OpenPort(7777);
+
+  int produced = 0;
+  nic_.SetPacketSource([&](std::uint8_t* buf) -> std::size_t {
+    if (produced >= 3) {
+      return 0;
+    }
+    ++produced;
+    FiveTuple flow{.src_ip = 0x0b000001, .dst_ip = 0x0a000005, .src_port = 5,
+                   .dst_port = 7777};
+    return BuildUdpFrame(buf, kSrcMac, kDstMac, flow, "payload!", 8);
+  });
+  nic_.DeliverRx(8);
+
+  std::uint8_t user_buf[64];
+  for (int i = 0; i < 3; ++i) {
+    std::size_t got = stack.Recv(user_buf, sizeof(user_buf));
+    ASSERT_EQ(got, 8u) << "packet " << i;
+    EXPECT_EQ(std::memcmp(user_buf, "payload!", 8), 0);
+  }
+  EXPECT_EQ(stack.Recv(user_buf, sizeof(user_buf)), 0u) << "queue drained";
+  EXPECT_EQ(stack.delivered(), 3u);
+}
+
+TEST_F(BaselineEnv, LinuxNetDropsClosedPortsAndUnroutedPackets) {
+  LinuxNetStack stack(&nic_driver_);
+  stack.AddRoute(0x0a000000, 8);
+  stack.OpenPort(7777);
+
+  int produced = 0;
+  nic_.SetPacketSource([&](std::uint8_t* buf) -> std::size_t {
+    ++produced;
+    if (produced == 1) {  // closed port
+      FiveTuple flow{.src_ip = 1, .dst_ip = 0x0a000005, .src_port = 5, .dst_port = 9999};
+      return BuildUdpFrame(buf, kSrcMac, kDstMac, flow, "x", 1);
+    }
+    if (produced == 2) {  // unrouted destination
+      FiveTuple flow{.src_ip = 1, .dst_ip = 0x0c000005, .src_port = 5, .dst_port = 7777};
+      return BuildUdpFrame(buf, kSrcMac, kDstMac, flow, "x", 1);
+    }
+    return 0;
+  });
+  nic_.DeliverRx(8);
+  std::uint8_t user_buf[64];
+  EXPECT_EQ(stack.Recv(user_buf, sizeof(user_buf)), 0u);
+  EXPECT_EQ(stack.dropped(), 2u);
+}
+
+TEST_F(BaselineEnv, LinuxNetSendReachesTheWire) {
+  LinuxNetStack stack(&nic_driver_);
+  stack.AddRoute(0x0a000000, 8);
+  std::size_t sunk = 0;
+  nic_.SetPacketSink([&](const std::uint8_t* frame, std::size_t len) {
+    auto parsed = ParseUdpFrame(frame, len);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->flow.dst_port, 80);
+    ++sunk;
+  });
+  FiveTuple flow{.src_ip = 0x0a000001, .dst_ip = 0x0a000002, .src_port = 1000,
+                 .dst_port = 80};
+  EXPECT_TRUE(stack.Send(flow, reinterpret_cast<const std::uint8_t*>("hi"), 2));
+  nic_.ProcessTx(4);
+  EXPECT_EQ(sunk, 1u);
+}
+
+TEST_F(BaselineEnv, LinuxBlockRoundTrip) {
+  LinuxBlockLayer block(&nvme_driver_);
+  VAddr buf = nvme_driver_.AllocBuffer(1);
+  std::uint8_t data[kNvmeBlockBytes];
+  for (std::size_t i = 0; i < sizeof(data); ++i) {
+    data[i] = static_cast<std::uint8_t>(i ^ 0x5a);
+  }
+  arena_.Write(buf, data, sizeof(data));
+
+  AioRequest write{.write = true, .lba = 10, .blocks = 1, .buffer = buf, .user_tag = 77};
+  ASSERT_EQ(block.SubmitBatch(&write, 1), 1u);
+  nvme_.ProcessCommands(4);
+  AioEvent events[4];
+  ASSERT_EQ(block.GetEvents(events, 4), 1u);
+  EXPECT_EQ(events[0].user_tag, 77u);
+  EXPECT_FALSE(events[0].error);
+
+  std::uint8_t out[kNvmeBlockBytes];
+  nvme_.BackdoorRead(10, out, sizeof(out));
+  EXPECT_EQ(std::memcmp(out, data, sizeof(out)), 0);
+}
+
+TEST_F(BaselineEnv, LinuxBlockElevatorSubmitsEverything) {
+  LinuxBlockLayer block(&nvme_driver_);
+  VAddr buf = nvme_driver_.AllocBuffer(1);
+  AioRequest reqs[8];
+  for (int i = 0; i < 8; ++i) {
+    reqs[i] = AioRequest{.write = true, .lba = static_cast<std::uint64_t>(100 - i),
+                         .blocks = 1, .buffer = buf,
+                         .user_tag = static_cast<std::uint32_t>(i)};
+  }
+  ASSERT_EQ(block.SubmitBatch(reqs, 8), 8u);
+  nvme_.ProcessCommands(8);
+  AioEvent events[8];
+  EXPECT_EQ(block.GetEvents(events, 8), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// CapKernel
+// ---------------------------------------------------------------------------
+
+class CapKernelTest : public ::testing::Test {
+ protected:
+  CapKernelTest() {
+    client_ = ck_.CreateTcb();
+    server_ = ck_.CreateTcb();
+    ep_ = ck_.CreateEndpoint();
+    client_ep_ = ck_.InstallCap(client_, CapType::kEndpoint, ep_, CapRights::kAll,
+                                /*badge=*/0x1234);
+    server_ep_ = ck_.InstallCap(server_, CapType::kEndpoint, ep_, CapRights::kAll);
+  }
+
+  CapKernel ck_;
+  std::uint32_t client_ = 0;
+  std::uint32_t server_ = 0;
+  std::uint32_t ep_ = 0;
+  std::uint32_t client_ep_ = 0;
+  std::uint32_t server_ep_ = 0;
+};
+
+TEST_F(CapKernelTest, CallReplyFastpathTransfersMessage) {
+  EXPECT_EQ(ck_.Recv(server_, server_ep_), CkStatus::kWouldBlock);
+  EXPECT_EQ(ck_.Call(client_, client_ep_, {1, 2, 3, 4}), CkStatus::kDeliveredTo);
+  EXPECT_EQ(ck_.MessageRegs(server_), (std::array<std::uint64_t, 4>{1, 2, 3, 4}));
+  EXPECT_EQ(ck_.Badge(server_), 0x1234u) << "badge identifies the caller";
+
+  EXPECT_EQ(ck_.ReplyRecv(server_, server_ep_, {5, 6, 7, 8}), CkStatus::kWouldBlock);
+  EXPECT_EQ(ck_.MessageRegs(client_), (std::array<std::uint64_t, 4>{5, 6, 7, 8}));
+}
+
+TEST_F(CapKernelTest, CallQueuesWithoutReceiver) {
+  EXPECT_EQ(ck_.Call(client_, client_ep_, {9, 9, 9, 9}), CkStatus::kWouldBlock);
+  EXPECT_EQ(ck_.Recv(server_, server_ep_), CkStatus::kOk);
+  EXPECT_EQ(ck_.MessageRegs(server_)[0], 9u);
+  EXPECT_EQ(ck_.ReplyRecv(server_, server_ep_, {1, 0, 0, 0}), CkStatus::kWouldBlock);
+  EXPECT_EQ(ck_.MessageRegs(client_)[0], 1u);
+}
+
+TEST_F(CapKernelTest, InvalidCapsAreRejected) {
+  EXPECT_EQ(ck_.Call(client_, 99, {0, 0, 0, 0}), CkStatus::kInvalidCap);
+  std::uint32_t tcb_cap = ck_.InstallCap(client_, CapType::kTcb, server_, CapRights::kAll);
+  EXPECT_EQ(ck_.Call(client_, tcb_cap, {0, 0, 0, 0}), CkStatus::kWrongType);
+  std::uint32_t ro = ck_.InstallCap(client_, CapType::kEndpoint, ep_, CapRights::kRead);
+  EXPECT_EQ(ck_.Call(client_, ro, {0, 0, 0, 0}), CkStatus::kNoRights);
+  EXPECT_EQ(ck_.ReplyRecv(server_, server_ep_, {0, 0, 0, 0}), CkStatus::kInvalidCap)
+      << "no reply cap outstanding";
+}
+
+TEST_F(CapKernelTest, MapUnmapPage) {
+  std::uint32_t vspace = ck_.CreateVSpace();
+  std::uint32_t frame = ck_.CreateFrame();
+  std::uint32_t vcap = ck_.InstallCap(client_, CapType::kVSpace, vspace, CapRights::kAll);
+  std::uint32_t fcap = ck_.InstallCap(client_, CapType::kFrame, frame, CapRights::kAll);
+
+  EXPECT_EQ(ck_.MapPage(client_, fcap, vcap, 0x400000, CapRights::kAll), CkStatus::kOk);
+  EXPECT_EQ(ck_.MapPage(client_, fcap, vcap, 0x500000, CapRights::kAll),
+            CkStatus::kAlreadyMapped)
+      << "a frame cap maps at most once";
+  EXPECT_EQ(ck_.UnmapPage(client_, fcap), CkStatus::kOk);
+  EXPECT_EQ(ck_.MapPage(client_, fcap, vcap, 0x500000, CapRights::kAll), CkStatus::kOk);
+}
+
+TEST_F(CapKernelTest, MapRejectsOccupiedSlot) {
+  std::uint32_t vspace = ck_.CreateVSpace();
+  std::uint32_t f1 = ck_.InstallCap(client_, CapType::kFrame, ck_.CreateFrame(),
+                                    CapRights::kAll);
+  std::uint32_t f2 = ck_.InstallCap(client_, CapType::kFrame, ck_.CreateFrame(),
+                                    CapRights::kAll);
+  std::uint32_t vcap = ck_.InstallCap(client_, CapType::kVSpace, vspace, CapRights::kAll);
+  EXPECT_EQ(ck_.MapPage(client_, f1, vcap, 0x400000, CapRights::kAll), CkStatus::kOk);
+  EXPECT_EQ(ck_.MapPage(client_, f2, vcap, 0x400000, CapRights::kAll),
+            CkStatus::kAlreadyMapped);
+}
+
+TEST_F(CapKernelTest, PingPongManyRounds) {
+  EXPECT_EQ(ck_.Recv(server_, server_ep_), CkStatus::kWouldBlock);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(ck_.Call(client_, client_ep_, {i, 0, 0, 0}), CkStatus::kDeliveredTo);
+    ASSERT_EQ(ck_.MessageRegs(server_)[0], i);
+    ASSERT_EQ(ck_.ReplyRecv(server_, server_ep_, {i + 1, 0, 0, 0}), CkStatus::kWouldBlock);
+    ASSERT_EQ(ck_.MessageRegs(client_)[0], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace atmo

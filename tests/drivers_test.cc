@@ -1,0 +1,345 @@
+// Device + driver tests: DMA arena, SPSC ring, simulated NIC with the ixgbe
+// driver (RX/TX round trips through real IOMMU-translated DMA), and the
+// simulated NVMe SSD with its driver (data integrity through the flash
+// store).
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/drivers/dma_arena.h"
+#include "src/drivers/ixgbe_driver.h"
+#include "src/drivers/nvme_driver.h"
+#include "src/drivers/spsc_ring.h"
+#include "src/hw/sim_nic.h"
+#include "src/hw/sim_nvme.h"
+#include "src/net/packet.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr MacAddr kSrcMac{0x02, 0, 0, 0, 0, 0xaa};
+constexpr MacAddr kDstMac{0x02, 0, 0, 0, 0, 0xbb};
+
+class DriverEnv : public ::testing::Test {
+ protected:
+  DriverEnv()
+      : mem_(16384),
+        alloc_(16384, 1),
+        iommu_(&mem_),
+        domain_(iommu_.CreateDomain(&alloc_, kNullPtr)),
+        arena_(&mem_, &alloc_, &iommu_, domain_, 0x100000) {
+    EXPECT_TRUE(iommu_.AttachDevice(domain_, kDevice));
+  }
+
+  static constexpr DeviceId kDevice = 1;
+
+  PhysMem mem_;
+  PageAllocator alloc_;
+  IommuManager iommu_;
+  IommuDomainId domain_;
+  DmaArena arena_;
+};
+
+// ---------------------------------------------------------------------------
+// DmaArena
+// ---------------------------------------------------------------------------
+
+TEST_F(DriverEnv, ArenaAllocatesIovaContiguousMemory) {
+  VAddr a = arena_.Alloc(3 * kPageSize4K);
+  VAddr b = arena_.Alloc(100);
+  EXPECT_EQ(b, a + 3 * kPageSize4K) << "IOVAs are consecutive";
+
+  // CPU write, device-side read through the IOMMU: same bytes.
+  std::uint64_t magic = 0x1122334455667788ull;
+  arena_.WriteU64(a + 8, magic);
+  auto pa = iommu_.Translate(kDevice, a + 8, false);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(mem_.HwReadU64(*pa), magic);
+}
+
+TEST_F(DriverEnv, ArenaRoundTripAcrossPageBoundary) {
+  VAddr region = arena_.Alloc(2 * kPageSize4K);
+  std::vector<std::uint8_t> in(256);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  arena_.Write(region + kPageSize4K - 100, in.data(), in.size());
+  std::vector<std::uint8_t> out(in.size());
+  arena_.Read(region + kPageSize4K - 100, out.data(), out.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST_F(DriverEnv, ArenaOutOfRangeIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  VAddr region = arena_.Alloc(kPageSize4K);
+  EXPECT_THROW(arena_.ReadU64(region + kPageSize4K), CheckViolation);
+}
+
+// ---------------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------------
+
+TEST(SpscRingTest, FifoOrderAndCapacity) {
+  SpscRing<int, 8> ring;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(ring.Push(i));
+  }
+  EXPECT_FALSE(ring.Push(99)) << "full";
+  int out = -1;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(ring.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.Pop(&out)) << "empty";
+}
+
+TEST(SpscRingTest, BurstOperations) {
+  SpscRing<int, 16> ring;
+  int values[10] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(ring.PushBurst(values, 10), 10u);
+  int out[16];
+  EXPECT_EQ(ring.PopBurst(out, 16), 10u);
+  EXPECT_EQ(out[9], 9);
+}
+
+TEST(SpscRingTest, CrossThreadTransfersEverything) {
+  SpscRing<std::uint64_t, 1024> ring;
+  constexpr std::uint64_t kCount = 200000;
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kCount;) {
+      if (ring.Push(i)) {
+        ++i;
+      }
+    }
+  });
+  std::uint64_t sum = 0;
+  std::uint64_t received = 0;
+  while (received < kCount) {
+    std::uint64_t v;
+    if (ring.Pop(&v)) {
+      sum += v;
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+// ---------------------------------------------------------------------------
+// SimNic + IxgbeDriver
+// ---------------------------------------------------------------------------
+
+class NicTest : public DriverEnv {
+ protected:
+  NicTest() : nic_(&mem_, &iommu_, kDevice), driver_(&arena_, &nic_, 64) {
+    driver_.Init();
+  }
+
+  // Installs a source producing `n` copies of a fixed UDP frame.
+  void SourceFrames(std::size_t n, std::uint16_t dst_port = 7) {
+    remaining_ = n;
+    nic_.SetPacketSource([this, dst_port](std::uint8_t* buf) -> std::size_t {
+      if (remaining_ == 0) {
+        return 0;
+      }
+      --remaining_;
+      FiveTuple flow{.src_ip = 0x0a000001, .dst_ip = 0x0a000002, .src_port = 1234,
+                     .dst_port = dst_port};
+      const char payload[] = "hello atmosphere";
+      return BuildUdpFrame(buf, kSrcMac, kDstMac, flow, payload, sizeof(payload));
+    });
+  }
+
+  SimNic nic_;
+  IxgbeDriver driver_;
+  std::size_t remaining_ = 0;
+};
+
+TEST_F(NicTest, RxRoundTripDeliversValidFrames) {
+  SourceFrames(10);
+  EXPECT_EQ(nic_.DeliverRx(32), 10u);
+
+  RxFrame frames[32];
+  std::uint32_t got = driver_.RxBurst(frames, 32);
+  ASSERT_EQ(got, 10u);
+  for (std::uint32_t i = 0; i < got; ++i) {
+    auto parsed = ParseUdpFrame(frames[i].data.data(), frames[i].len);
+    ASSERT_TRUE(parsed.has_value()) << "frame " << i << " failed to parse";
+    EXPECT_EQ(parsed->flow.dst_port, 7);
+    EXPECT_EQ(std::memcmp(parsed->payload, "hello atmosphere", 17), 0);
+  }
+  EXPECT_EQ(nic_.dma_faults(), 0u);
+}
+
+TEST_F(NicTest, TxRoundTripReachesSink) {
+  std::vector<std::size_t> sink_lens;
+  std::uint64_t checksum = 0;
+  nic_.SetPacketSink([&](const std::uint8_t* frame, std::size_t len) {
+    sink_lens.push_back(len);
+    checksum += Fnv1a(frame, len);
+  });
+
+  std::uint8_t buf[kMaxFrameLen];
+  FiveTuple flow{.src_ip = 1, .dst_ip = 2, .src_port = 3, .dst_port = 4};
+  std::size_t len = BuildUdpFrame(buf, kSrcMac, kDstMac, flow, "xyz", 3);
+  TxFrame frame{buf, static_cast<std::uint16_t>(len)};
+
+  EXPECT_EQ(driver_.TxBurst(&frame, 1), 1u);
+  EXPECT_EQ(nic_.ProcessTx(8), 1u);
+  ASSERT_EQ(sink_lens.size(), 1u);
+  EXPECT_EQ(sink_lens[0], len);
+  EXPECT_EQ(checksum, Fnv1a(buf, len)) << "device read the exact bytes we queued";
+  EXPECT_EQ(driver_.ReclaimTx(), 1u);
+}
+
+TEST_F(NicTest, RingWrapsAcrossManyBatches) {
+  std::uint64_t total = 0;
+  for (int round = 0; round < 20; ++round) {
+    SourceFrames(48);  // larger than half the 64-entry ring
+    nic_.DeliverRx(48);
+    RxFrame frames[64];
+    total += driver_.RxBurst(frames, 64);
+  }
+  EXPECT_EQ(total, 20u * 48u);
+  EXPECT_EQ(nic_.rx_delivered(), 20u * 48u);
+  EXPECT_EQ(nic_.dma_faults(), 0u);
+}
+
+TEST_F(NicTest, InPlaceForwardingPath) {
+  SourceFrames(4);
+  nic_.DeliverRx(4);
+  std::uint64_t forwarded = 0;
+  nic_.SetPacketSink([&](const std::uint8_t*, std::size_t) { ++forwarded; });
+  driver_.RxBurstInPlace(
+      [&](VAddr iova, std::uint16_t len) { EXPECT_TRUE(driver_.TxInPlace(iova, len)); }, 8);
+  EXPECT_EQ(nic_.ProcessTx(8), 4u);
+  EXPECT_EQ(forwarded, 4u);
+}
+
+TEST_F(NicTest, DetachedDeviceFaultsAllDma) {
+  iommu_.DetachDevice(kDevice);
+  SourceFrames(4);
+  EXPECT_EQ(nic_.DeliverRx(4), 0u) << "ring reads fault, device stalls";
+  EXPECT_GT(nic_.dma_faults(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SimNvme + NvmeDriver
+// ---------------------------------------------------------------------------
+
+class NvmeTest : public DriverEnv {
+ protected:
+  NvmeTest() : device_(&mem_, &iommu_, kDevice, /*capacity_blocks=*/4096),
+               driver_(&arena_, &device_, 64) {
+    driver_.Init();
+  }
+
+  SimNvme device_;
+  NvmeDriver driver_;
+};
+
+TEST_F(NvmeTest, WriteThenReadBackRoundTrip) {
+  VAddr buf = driver_.AllocBuffer(1);
+  std::vector<std::uint8_t> data(kNvmeBlockBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  arena_.Write(buf, data.data(), data.size());
+
+  ASSERT_TRUE(driver_.SubmitWrite(/*lba=*/7, 1, buf, /*cid=*/1));
+  driver_.RingDoorbell();
+  EXPECT_EQ(device_.ProcessCommands(8), 1u);
+  NvmeCompletion completions[8];
+  ASSERT_EQ(driver_.PollCompletions(completions, 8), 1u);
+  EXPECT_EQ(completions[0].cid, 1u);
+  EXPECT_FALSE(completions[0].error);
+
+  // Scrub the buffer, read the block back.
+  std::vector<std::uint8_t> zero(kNvmeBlockBytes, 0);
+  arena_.Write(buf, zero.data(), zero.size());
+  ASSERT_TRUE(driver_.SubmitRead(7, 1, buf, 2));
+  driver_.RingDoorbell();
+  device_.ProcessCommands(8);
+  ASSERT_EQ(driver_.PollCompletions(completions, 8), 1u);
+
+  std::vector<std::uint8_t> out(kNvmeBlockBytes);
+  arena_.Read(buf, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(NvmeTest, UnwrittenBlocksReadAsZero) {
+  VAddr buf = driver_.AllocBuffer(1);
+  arena_.WriteU64(buf, 0xffffffffffffffffull);
+  ASSERT_TRUE(driver_.SubmitRead(100, 1, buf, 1));
+  driver_.RingDoorbell();
+  device_.ProcessCommands(1);
+  NvmeCompletion c;
+  ASSERT_EQ(driver_.PollCompletions(&c, 1), 1u);
+  EXPECT_EQ(arena_.ReadU64(buf), 0u);
+}
+
+TEST_F(NvmeTest, OutOfRangeLbaCompletesWithError) {
+  VAddr buf = driver_.AllocBuffer(1);
+  ASSERT_TRUE(driver_.SubmitRead(/*lba=*/999999, 1, buf, 5));
+  driver_.RingDoorbell();
+  device_.ProcessCommands(1);
+  NvmeCompletion c;
+  ASSERT_EQ(driver_.PollCompletions(&c, 1), 1u);
+  EXPECT_EQ(c.cid, 5u);
+  EXPECT_TRUE(c.error);
+}
+
+TEST_F(NvmeTest, QueueDepthIsRespected) {
+  VAddr buf = driver_.AllocBuffer(1);
+  std::uint32_t submitted = 0;
+  while (driver_.SubmitRead(0, 1, buf, submitted)) {
+    ++submitted;
+  }
+  EXPECT_EQ(submitted, driver_.entries());
+  driver_.RingDoorbell();
+  device_.ProcessCommands(submitted);
+  std::vector<NvmeCompletion> completions(submitted);
+  EXPECT_EQ(driver_.PollCompletions(completions.data(), submitted), submitted);
+  // After reaping, the queue has room again.
+  EXPECT_TRUE(driver_.SubmitRead(0, 1, buf, 999));
+}
+
+TEST_F(NvmeTest, MultiBlockCommandsMoveAllBytes) {
+  VAddr buf = driver_.AllocBuffer(4);
+  std::vector<std::uint8_t> data(4 * kNvmeBlockBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i);
+  }
+  arena_.Write(buf, data.data(), data.size());
+  ASSERT_TRUE(driver_.SubmitWrite(16, 4, buf, 1));
+  driver_.RingDoorbell();
+  device_.ProcessCommands(1);
+  NvmeCompletion c;
+  ASSERT_EQ(driver_.PollCompletions(&c, 1), 1u);
+
+  std::vector<std::uint8_t> out(data.size());
+  device_.BackdoorRead(16, out.data(), out.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(NvmeTest, CqPhaseBitWrapsCorrectly) {
+  // Run several full passes over the 64-entry CQ to exercise phase flips.
+  VAddr buf = driver_.AllocBuffer(1);
+  for (int pass = 0; pass < 5; ++pass) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      ASSERT_TRUE(driver_.SubmitRead(0, 1, buf, pass * 64 + i));
+    }
+    driver_.RingDoorbell();
+    EXPECT_EQ(device_.ProcessCommands(64), 64u);
+    std::vector<NvmeCompletion> completions(64);
+    ASSERT_EQ(driver_.PollCompletions(completions.data(), 64), 64u);
+    EXPECT_EQ(completions[63].cid, static_cast<std::uint32_t>(pass * 64 + 63));
+  }
+}
+
+}  // namespace
+}  // namespace atmo

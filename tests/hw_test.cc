@@ -1,0 +1,279 @@
+// Unit tests for the hardware model: physical memory with frame permissions
+// and the 4-level MMU walker.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/hw/mmu.h"
+#include "src/hw/phys_mem.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr std::uint64_t kFrames = 1024;  // 4 MiB of simulated memory
+
+// ---------------------------------------------------------------------------
+// PhysMem + FramePerm
+// ---------------------------------------------------------------------------
+
+TEST(PhysMemTest, ReadBackWrites) {
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x4000, PageSize::k4K);
+  mem.WriteU64(perm, 0x4000, 0xdeadbeefull);
+  mem.WriteU64(perm, 0x4ff8, 42);
+  EXPECT_EQ(mem.ReadU64(perm, 0x4000), 0xdeadbeefull);
+  EXPECT_EQ(mem.ReadU64(perm, 0x4ff8), 42u);
+}
+
+TEST(PhysMemTest, UntouchedMemoryReadsZero) {
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x8000, PageSize::k4K);
+  EXPECT_EQ(mem.ReadU64(perm, 0x8000), 0u);
+}
+
+TEST(PhysMemTest, AccessOutsidePermissionIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x4000, PageSize::k4K);
+  EXPECT_THROW(mem.ReadU64(perm, 0x5000), CheckViolation);
+  EXPECT_THROW(mem.WriteU64(perm, 0x3ff8, 1), CheckViolation);
+  // Straddling the end of the frame is also out of bounds.
+  EXPECT_THROW(mem.WriteBytes(perm, 0x4ffc, "12345678", 8), CheckViolation);
+}
+
+TEST(PhysMemTest, SuperpagePermCoversWholeRange) {
+  PhysMem mem(2 * 512);  // 4 MiB
+  FramePerm perm = FramePerm::Mint(0, PageSize::k2M);
+  mem.WriteU64(perm, 0, 1);
+  mem.WriteU64(perm, kPageSize2M - 8, 2);
+  EXPECT_EQ(mem.ReadU64(perm, kPageSize2M - 8), 2u);
+}
+
+TEST(PhysMemTest, UnalignedPermBaseIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(FramePerm::Mint(0x4100, PageSize::k4K), CheckViolation);
+  EXPECT_THROW(FramePerm::Mint(kPageSize4K, PageSize::k2M), CheckViolation);
+}
+
+TEST(PhysMemTest, PermUseAfterMoveIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x4000, PageSize::k4K);
+  FramePerm moved = std::move(perm);
+  EXPECT_EQ(mem.ReadU64(moved, 0x4000), 0u);
+  EXPECT_THROW(perm.base(), CheckViolation);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(PhysMemTest, BytesRoundTripAcrossFrameBoundary) {
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x200000, PageSize::k2M);
+  std::vector<std::uint8_t> out(32, 0);
+  std::vector<std::uint8_t> in(32);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  // Straddle a 4K boundary inside the 2M permission.
+  mem.WriteBytes(perm, 0x200000 + kPageSize4K - 16, in.data(), in.size());
+  mem.ReadBytes(perm, 0x200000 + kPageSize4K - 16, out.data(), out.size());
+  EXPECT_EQ(in, out);
+}
+
+TEST(PhysMemTest, ZeroPageScrubs) {
+  PhysMem mem(kFrames);
+  FramePerm perm = FramePerm::Mint(0x4000, PageSize::k4K);
+  mem.WriteU64(perm, 0x4000, 0xffffffffffffffffull);
+  mem.ZeroPage(perm);
+  EXPECT_EQ(mem.ReadU64(perm, 0x4000), 0u);
+}
+
+TEST(PhysMemTest, OutOfRangeHwAccessIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PhysMem mem(4);
+  EXPECT_THROW(mem.HwReadU64(4 * kPageSize4K), CheckViolation);
+  EXPECT_THROW(mem.HwWriteU64(4 * kPageSize4K, 1), CheckViolation);
+  EXPECT_EQ(mem.HwReadU64(4 * kPageSize4K - 8), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MMU walker
+// ---------------------------------------------------------------------------
+
+// Helper that hand-builds page tables in simulated memory (independent of the
+// kernel's page-table subsystem — this is the "hardware view" fixture).
+class MmuTest : public ::testing::Test {
+ protected:
+  MmuTest() : mem_(8192), mmu_(&mem_) {}
+
+  // Allocate a fresh (zeroed) table frame.
+  PAddr NewTable() {
+    PAddr addr = next_;
+    next_ += kPageSize4K;
+    return addr;
+  }
+
+  void SetEntry(PAddr table, std::uint64_t index, std::uint64_t pte) {
+    mem_.HwWriteU64(table + index * 8, pte);
+  }
+
+  // Builds a full 4-level chain mapping `va` -> `pa` (4K), returns cr3.
+  PAddr BuildSingle4K(VAddr va, PAddr pa, MapEntryPerm perm) {
+    PAddr cr3 = NewTable();
+    PAddr l3 = NewTable();
+    PAddr l2 = NewTable();
+    PAddr l1 = NewTable();
+    MapEntryPerm inner{.writable = true, .user = true, .no_execute = false};
+    SetEntry(cr3, VaIndex(va, 4), MakePte(l3, inner, false));
+    SetEntry(l3, VaIndex(va, 3), MakePte(l2, inner, false));
+    SetEntry(l2, VaIndex(va, 2), MakePte(l1, inner, false));
+    SetEntry(l1, VaIndex(va, 1), MakePte(pa, perm, false));
+    return cr3;
+  }
+
+  PhysMem mem_;
+  Mmu mmu_;
+  PAddr next_ = 0x10000;
+};
+
+TEST_F(MmuTest, Resolves4KMapping) {
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  VAddr va = IndexToVa(1, 2, 3, 4);
+  PAddr cr3 = BuildSingle4K(va, 0x7000, rw);
+
+  auto walk = mmu_.Walk(cr3, va + 0x123);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->page_base, 0x7000u);
+  EXPECT_EQ(walk->paddr, 0x7123u);
+  EXPECT_EQ(walk->size, PageSize::k4K);
+  EXPECT_TRUE(walk->perm.writable);
+  EXPECT_TRUE(walk->perm.user);
+}
+
+TEST_F(MmuTest, UnmappedAddressFaults) {
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  VAddr va = IndexToVa(1, 2, 3, 4);
+  PAddr cr3 = BuildSingle4K(va, 0x7000, rw);
+  EXPECT_FALSE(mmu_.Walk(cr3, IndexToVa(1, 2, 3, 5)).has_value());
+  EXPECT_FALSE(mmu_.Walk(cr3, IndexToVa(1, 2, 4, 4)).has_value());
+  EXPECT_FALSE(mmu_.Walk(cr3, IndexToVa(2, 2, 3, 4)).has_value());
+}
+
+TEST_F(MmuTest, RightsIntersectAlongWalk) {
+  // Leaf grants write but the PML4 entry does not: mapping is read-only.
+  VAddr va = IndexToVa(0, 0, 0, 1);
+  PAddr cr3 = NewTable();
+  PAddr l3 = NewTable();
+  PAddr l2 = NewTable();
+  PAddr l1 = NewTable();
+  MapEntryPerm ro{.writable = false, .user = true, .no_execute = false};
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  SetEntry(cr3, VaIndex(va, 4), MakePte(l3, ro, false));
+  SetEntry(l3, VaIndex(va, 3), MakePte(l2, rw, false));
+  SetEntry(l2, VaIndex(va, 2), MakePte(l1, rw, false));
+  SetEntry(l1, VaIndex(va, 1), MakePte(0x9000, rw, false));
+
+  auto walk = mmu_.Walk(cr3, va);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_FALSE(walk->perm.writable);
+  EXPECT_FALSE(mmu_.Permits(cr3, va, Mmu::Access::kWrite, /*user_mode=*/true));
+  EXPECT_TRUE(mmu_.Permits(cr3, va, Mmu::Access::kRead, /*user_mode=*/true));
+}
+
+TEST_F(MmuTest, Resolves2MSuperpage) {
+  VAddr va = IndexToVa(0, 1, 2, 0);
+  PAddr cr3 = NewTable();
+  PAddr l3 = NewTable();
+  PAddr l2 = NewTable();
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  SetEntry(cr3, VaIndex(va, 4), MakePte(l3, rw, false));
+  SetEntry(l3, VaIndex(va, 3), MakePte(l2, rw, false));
+  SetEntry(l2, VaIndex(va, 2), MakePte(2 * kPageSize2M, rw, /*leaf_superpage=*/true));
+
+  auto walk = mmu_.Walk(cr3, va + 0x12345);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->size, PageSize::k2M);
+  EXPECT_EQ(walk->page_base, 2 * kPageSize2M);
+  EXPECT_EQ(walk->paddr, 2 * kPageSize2M + 0x12345);
+}
+
+TEST_F(MmuTest, Resolves1GSuperpage) {
+  VAddr va = IndexToVa(0, 1, 0, 0);
+  PAddr cr3 = NewTable();
+  PAddr l3 = NewTable();
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  SetEntry(cr3, VaIndex(va, 4), MakePte(l3, rw, false));
+  SetEntry(l3, VaIndex(va, 3), MakePte(0, rw, /*leaf_superpage=*/true));
+
+  auto walk = mmu_.Walk(cr3, va + 0xabcdef);
+  ASSERT_TRUE(walk.has_value());
+  EXPECT_EQ(walk->size, PageSize::k1G);
+  EXPECT_EQ(walk->paddr, 0xabcdefull);
+}
+
+TEST_F(MmuTest, MisalignedSuperpageBaseFaults) {
+  VAddr va = IndexToVa(0, 1, 2, 0);
+  PAddr cr3 = NewTable();
+  PAddr l3 = NewTable();
+  PAddr l2 = NewTable();
+  MapEntryPerm rw{.writable = true, .user = true, .no_execute = false};
+  SetEntry(cr3, VaIndex(va, 4), MakePte(l3, rw, false));
+  SetEntry(l3, VaIndex(va, 3), MakePte(l2, rw, false));
+  // 2M leaf pointing at a 4K-aligned (but not 2M-aligned) base.
+  SetEntry(l2, VaIndex(va, 2), MakePte(3 * kPageSize4K, rw, /*leaf_superpage=*/true));
+  EXPECT_FALSE(mmu_.Walk(cr3, va).has_value());
+}
+
+TEST_F(MmuTest, SupervisorOnlyMappingBlocksUserMode) {
+  MapEntryPerm sup{.writable = true, .user = false, .no_execute = false};
+  VAddr va = IndexToVa(3, 0, 0, 0);
+  PAddr cr3 = NewTable();
+  PAddr l3 = NewTable();
+  PAddr l2 = NewTable();
+  PAddr l1 = NewTable();
+  SetEntry(cr3, VaIndex(va, 4), MakePte(l3, sup, false));
+  SetEntry(l3, VaIndex(va, 3), MakePte(l2, sup, false));
+  SetEntry(l2, VaIndex(va, 2), MakePte(l1, sup, false));
+  SetEntry(l1, VaIndex(va, 1), MakePte(0xa000, sup, false));
+  EXPECT_FALSE(mmu_.Permits(cr3, va, Mmu::Access::kRead, /*user_mode=*/true));
+  EXPECT_TRUE(mmu_.Permits(cr3, va, Mmu::Access::kRead, /*user_mode=*/false));
+}
+
+TEST_F(MmuTest, NxBlocksExecute) {
+  MapEntryPerm nx{.writable = true, .user = true, .no_execute = true};
+  VAddr va = IndexToVa(1, 1, 1, 1);
+  PAddr cr3 = BuildSingle4K(va, 0xb000, nx);
+  EXPECT_FALSE(mmu_.Permits(cr3, va, Mmu::Access::kExecute, /*user_mode=*/true));
+  EXPECT_TRUE(mmu_.Permits(cr3, va, Mmu::Access::kRead, /*user_mode=*/true));
+}
+
+TEST_F(MmuTest, InvalidCr3Faults) {
+  EXPECT_FALSE(mmu_.Walk(/*cr3=*/0x123, 0).has_value());                  // unaligned
+  EXPECT_FALSE(mmu_.Walk(/*cr3=*/mem_.bytes() + kPageSize4K, 0).has_value());  // out of range
+}
+
+TEST(PteTest, MakeAndDecodeRoundTrip) {
+  MapEntryPerm perm{.writable = true, .user = false, .no_execute = true};
+  std::uint64_t pte = MakePte(0x123000, perm, false);
+  EXPECT_TRUE(pte & kPtePresent);
+  EXPECT_EQ(pte & kPteAddrMask, 0x123000u);
+  EXPECT_EQ(PtePerm(pte), perm);
+  EXPECT_FALSE(pte & kPtePageSize);
+  EXPECT_TRUE(MakePte(0, perm, true) & kPtePageSize);
+}
+
+TEST(PteTest, VaIndexInverse) {
+  for (std::uint64_t l4 : {0ull, 1ull, 511ull}) {
+    for (std::uint64_t l1 : {0ull, 7ull, 511ull}) {
+      VAddr va = IndexToVa(l4, 3, 5, l1);
+      EXPECT_EQ(VaIndex(va, 4), l4);
+      EXPECT_EQ(VaIndex(va, 3), 3u);
+      EXPECT_EQ(VaIndex(va, 2), 5u);
+      EXPECT_EQ(VaIndex(va, 1), l1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atmo

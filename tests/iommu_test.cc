@@ -1,0 +1,110 @@
+// IOMMU subsystem unit tests: domains, device attachment, DMA translation
+// faults, and table reuse of the page-table subsystem.
+
+#include <gtest/gtest.h>
+
+#include "src/iommu/iommu_manager.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr MapEntryPerm kRw{.writable = true, .user = true, .no_execute = true};
+constexpr MapEntryPerm kRo{.writable = false, .user = true, .no_execute = true};
+
+class IommuTest : public ::testing::Test {
+ protected:
+  IommuTest() : mem_(4096), alloc_(4096, 1), iommu_(&mem_) {}
+
+  PhysMem mem_;
+  PageAllocator alloc_;
+  IommuManager iommu_;
+};
+
+TEST_F(IommuTest, DomainCreateDestroy) {
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  ASSERT_NE(d, kNoIommuDomain);
+  EXPECT_TRUE(iommu_.DomainExists(d));
+  EXPECT_EQ(iommu_.DomainOwner(d), 0x1000u);
+  EXPECT_EQ(iommu_.DomainPageCount(d), 1u);
+  std::uint64_t free_before = alloc_.FreeCount(PageSize::k4K);
+  iommu_.DestroyDomain(&alloc_, d);
+  EXPECT_FALSE(iommu_.DomainExists(d));
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), free_before + 1);
+}
+
+TEST_F(IommuTest, UnattachedDeviceIsBlockedEntirely) {
+  EXPECT_FALSE(iommu_.Translate(5, 0, false).has_value());
+}
+
+TEST_F(IommuTest, AttachTranslateDetach) {
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  ASSERT_TRUE(iommu_.AttachDevice(d, 7));
+  EXPECT_EQ(iommu_.DomainOf(7), d);
+  ASSERT_EQ(iommu_.MapDma(&alloc_, d, 0x10000, 0x300000, PageSize::k4K, kRw), MapError::kOk);
+
+  auto hit = iommu_.Translate(7, 0x10123, /*write=*/true);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0x300123u);
+  EXPECT_FALSE(iommu_.Translate(7, 0x20000, false).has_value()) << "unmapped iova faults";
+
+  iommu_.DetachDevice(7);
+  EXPECT_FALSE(iommu_.Translate(7, 0x10000, false).has_value());
+  EXPECT_EQ(iommu_.DomainOf(7), kNoIommuDomain);
+}
+
+TEST_F(IommuTest, WriteProtectionEnforced) {
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  ASSERT_TRUE(iommu_.AttachDevice(d, 7));
+  ASSERT_EQ(iommu_.MapDma(&alloc_, d, 0x10000, 0x300000, PageSize::k4K, kRo), MapError::kOk);
+  EXPECT_TRUE(iommu_.Translate(7, 0x10000, /*write=*/false).has_value());
+  EXPECT_FALSE(iommu_.Translate(7, 0x10000, /*write=*/true).has_value());
+}
+
+TEST_F(IommuTest, DeviceAttachesToOneDomainOnly) {
+  IommuDomainId d1 = iommu_.CreateDomain(&alloc_, 0x1000);
+  IommuDomainId d2 = iommu_.CreateDomain(&alloc_, 0x2000);
+  ASSERT_TRUE(iommu_.AttachDevice(d1, 7));
+  EXPECT_FALSE(iommu_.AttachDevice(d2, 7));
+  EXPECT_FALSE(iommu_.AttachDevice(999, 8)) << "unknown domain";
+}
+
+TEST_F(IommuTest, DomainsAreIsolatedFromEachOther) {
+  IommuDomainId d1 = iommu_.CreateDomain(&alloc_, 0x1000);
+  IommuDomainId d2 = iommu_.CreateDomain(&alloc_, 0x2000);
+  ASSERT_TRUE(iommu_.AttachDevice(d1, 1));
+  ASSERT_TRUE(iommu_.AttachDevice(d2, 2));
+  ASSERT_EQ(iommu_.MapDma(&alloc_, d1, 0x10000, 0x300000, PageSize::k4K, kRw), MapError::kOk);
+  EXPECT_TRUE(iommu_.Translate(1, 0x10000, false).has_value());
+  EXPECT_FALSE(iommu_.Translate(2, 0x10000, false).has_value())
+      << "device 2's domain has no such window";
+  EXPECT_TRUE(iommu_.Wf());
+}
+
+TEST_F(IommuTest, UnmapDmaRemovesWindow) {
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  ASSERT_TRUE(iommu_.AttachDevice(d, 7));
+  ASSERT_EQ(iommu_.MapDma(&alloc_, d, 0x10000, 0x300000, PageSize::k4K, kRw), MapError::kOk);
+  auto removed = iommu_.UnmapDma(d, 0x10000);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->addr, 0x300000u);
+  EXPECT_FALSE(iommu_.Translate(7, 0x10000, false).has_value());
+}
+
+TEST_F(IommuTest, OwnershipTransfer) {
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  iommu_.SetDomainOwner(d, 0x2000);
+  EXPECT_EQ(iommu_.DomainOwner(d), 0x2000u);
+  EXPECT_TRUE(iommu_.DomainsOwnedBy(0x2000).contains(d));
+  EXPECT_FALSE(iommu_.DomainsOwnedBy(0x1000).contains(d));
+}
+
+TEST_F(IommuTest, DestroyDomainWithDevicesIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  IommuDomainId d = iommu_.CreateDomain(&alloc_, 0x1000);
+  ASSERT_TRUE(iommu_.AttachDevice(d, 7));
+  EXPECT_THROW(iommu_.DestroyDomain(&alloc_, d), CheckViolation);
+}
+
+}  // namespace
+}  // namespace atmo

@@ -1,0 +1,272 @@
+// IPC and lifecycle edge cases: IOMMU-domain delegation over IPC, capacity
+// limits of every bounded kernel structure, rendezvous teardown while
+// blocked, and reply-after-exit behaviour.
+
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/verif/refinement_checker.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr MapEntryPerm kRw{.writable = true, .user = true, .no_execute = false};
+
+Syscall Op(SysOp op) {
+  Syscall call;
+  call.op = op;
+  return call;
+}
+
+class IpcEdgeTest : public ::testing::Test {
+ protected:
+  IpcEdgeTest() {
+    BootConfig config;
+    config.frames = 8192;
+    config.reserved_frames = 16;
+    kernel_.emplace(std::move(*Kernel::Boot(config)));
+    checker_.emplace(&*kernel_, 2);
+    auto a = kernel_->BootCreateContainer(kernel_->root_container(), 1024, ~0ull);
+    auto b = kernel_->BootCreateContainer(kernel_->root_container(), 1024, ~0ull);
+    ctnr_a_ = a.value;
+    ctnr_b_ = b.value;
+    auto pa = kernel_->BootCreateProcess(ctnr_a_);
+    auto pb = kernel_->BootCreateProcess(ctnr_b_);
+    proc_a_ = pa.value;
+    proc_b_ = pb.value;
+    ta_ = kernel_->BootCreateThread(proc_a_).value;
+    tb_ = kernel_->BootCreateThread(proc_b_).value;
+
+    Syscall ne = Op(SysOp::kNewEndpoint);
+    ne.edpt_idx = 0;
+    SyscallRet e = checker_->Step(ta_, ne);
+    edpt_ = e.value;
+    EXPECT_EQ(kernel_->pm_mut().BindEndpoint(tb_, 0, edpt_), ProcError::kOk);
+  }
+
+  SyscallRet Step(ThrdPtr t, const Syscall& call) { return checker_->Step(t, call); }
+
+  std::optional<Kernel> kernel_;
+  std::optional<RefinementChecker> checker_;
+  CtnrPtr ctnr_a_ = kNullPtr;
+  CtnrPtr ctnr_b_ = kNullPtr;
+  ProcPtr proc_a_ = kNullPtr;
+  ProcPtr proc_b_ = kNullPtr;
+  ThrdPtr ta_ = kNullPtr;
+  ThrdPtr tb_ = kNullPtr;
+  EdptPtr edpt_ = kNullPtr;
+};
+
+// ---------------------------------------------------------------------------
+// IOMMU domain delegation over IPC (the paper's "IOMMU identifiers" payload)
+// ---------------------------------------------------------------------------
+
+TEST_F(IpcEdgeTest, IommuDomainDelegationTransfersOwnershipAndCharge) {
+  SyscallRet domain = Step(ta_, Op(SysOp::kIommuCreateDomain));
+  ASSERT_EQ(domain.error, SysError::kOk);
+  std::uint64_t used_a = kernel_->pm().GetContainer(ctnr_a_).mem_used;
+  std::uint64_t used_b = kernel_->pm().GetContainer(ctnr_b_).mem_used;
+
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  Syscall send = Op(SysOp::kSend);
+  send.payload.iommu = IommuGrant{.domain_id = domain.value};
+  ASSERT_EQ(Step(ta_, send).error, SysError::kOk);
+
+  EXPECT_EQ(kernel_->iommu().DomainOwner(domain.value), ctnr_b_);
+  EXPECT_EQ(kernel_->pm().GetContainer(ctnr_a_).mem_used, used_a - 1)
+      << "the domain's table page charge moved away from A";
+  EXPECT_EQ(kernel_->pm().GetContainer(ctnr_b_).mem_used, used_b + 1);
+
+  // B can now attach devices; A no longer can.
+  Syscall attach = Op(SysOp::kIommuAttachDevice);
+  attach.iommu_domain = domain.value;
+  attach.device = 9;
+  EXPECT_EQ(Step(ta_, attach).error, SysError::kDenied);
+  EXPECT_EQ(Step(tb_, attach).error, SysError::kOk);
+}
+
+TEST_F(IpcEdgeTest, CannotDelegateForeignDomain) {
+  // B creates a domain; A tries to "delegate" it without owning it.
+  SyscallRet domain = Step(tb_, Op(SysOp::kIommuCreateDomain));
+  ASSERT_EQ(domain.error, SysError::kOk);
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  Syscall send = Op(SysOp::kSend);
+  send.payload.iommu = IommuGrant{.domain_id = domain.value};
+  EXPECT_EQ(Step(ta_, send).error, SysError::kDenied);
+  EXPECT_EQ(kernel_->iommu().DomainOwner(domain.value), ctnr_b_);
+}
+
+TEST_F(IpcEdgeTest, DelegationDeniedWhenReceiverQuotaFull) {
+  // Shrink B's headroom to zero, then try to move a domain's charge there.
+  SyscallRet domain = Step(ta_, Op(SysOp::kIommuCreateDomain));
+  ASSERT_EQ(domain.error, SysError::kOk);
+  // Exhaust B's quota: shrinking mmap chunks until nothing fits.
+  VAddr next_va = 0x4000000;
+  for (std::uint64_t chunk : {256u, 64u, 16u, 4u, 1u}) {
+    while (true) {
+      Syscall hog = Op(SysOp::kMmap);
+      hog.va_range = VaRange{next_va, chunk, PageSize::k4K};
+      hog.map_perm = kRw;
+      if (Step(tb_, hog).error != SysError::kOk) {
+        break;
+      }
+      next_va += chunk * kPageSize4K;
+    }
+  }
+
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  Syscall send = Op(SysOp::kSend);
+  send.payload.iommu = IommuGrant{.domain_id = domain.value};
+  EXPECT_EQ(Step(ta_, send).error, SysError::kWouldFault);
+  EXPECT_EQ(kernel_->iommu().DomainOwner(domain.value), ctnr_a_) << "nothing moved";
+  EXPECT_EQ(kernel_->pm().GetThread(tb_).state, ThreadState::kBlockedRecv);
+}
+
+// ---------------------------------------------------------------------------
+// Capacity limits
+// ---------------------------------------------------------------------------
+
+TEST_F(IpcEdgeTest, EndpointQueueCapacityBoundsBlockedSenders) {
+  // Fill the wait queue with senders, then the next send fails kCapacity.
+  // Senders are spread over several processes (threads-per-process is
+  // itself bounded at kMaxProcThreads).
+  std::vector<ThrdPtr> senders;
+  ProcPtr host_proc = proc_a_;
+  for (std::size_t i = 0; i < kMaxEdptWaiters; ++i) {
+    if (i % 12 == 0) {
+      auto fresh = kernel_->BootCreateProcess(ctnr_a_);
+      ASSERT_TRUE(fresh.ok());
+      host_proc = fresh.value;
+    }
+    auto t = kernel_->BootCreateThread(host_proc);
+    ASSERT_TRUE(t.ok());
+    ASSERT_EQ(kernel_->pm_mut().BindEndpoint(t.value, 0, edpt_), ProcError::kOk);
+    Syscall send = Op(SysOp::kSend);
+    send.payload.scalars = {i, 0, 0, 0};
+    ASSERT_EQ(Step(t.value, send).error, SysError::kBlocked) << i;
+    senders.push_back(t.value);
+  }
+  Syscall send = Op(SysOp::kSend);
+  EXPECT_EQ(Step(ta_, send).error, SysError::kCapacity);
+  // Draining one slot makes room again.
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kOk);
+  EXPECT_EQ(Step(ta_, send).error, SysError::kBlocked);
+}
+
+TEST_F(IpcEdgeTest, ThreadsPerProcessCapacity) {
+  // proc_a_ already has 1 thread; fill to kMaxProcThreads.
+  for (std::size_t i = 1; i < kMaxProcThreads; ++i) {
+    ASSERT_EQ(Step(ta_, Op(SysOp::kNewThread)).error, SysError::kOk) << i;
+  }
+  EXPECT_EQ(Step(ta_, Op(SysOp::kNewThread)).error, SysError::kCapacity);
+}
+
+TEST_F(IpcEdgeTest, DescriptorTableExhaustion) {
+  for (EdptIdx i = 1; i < kMaxEdptDescriptors; ++i) {
+    Syscall ne = Op(SysOp::kNewEndpoint);
+    ne.edpt_idx = i;
+    ASSERT_EQ(Step(ta_, ne).error, SysError::kOk) << i;
+  }
+  Syscall ne = Op(SysOp::kNewEndpoint);
+  ne.edpt_idx = 0;  // slot 0 already bound
+  EXPECT_EQ(Step(ta_, ne).error, SysError::kInvalid);
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous teardown
+// ---------------------------------------------------------------------------
+
+TEST_F(IpcEdgeTest, KillingBlockedCallerClearsReplyObligation) {
+  // tb_ receives ta_'s call, then ta_'s whole process subtree dies before
+  // the reply; tb_'s reply must fail cleanly.
+  auto victim_proc = Step(ta_, Op(SysOp::kNewProcess));
+  ASSERT_EQ(victim_proc.error, SysError::kOk);
+  Syscall nt = Op(SysOp::kNewThread);
+  nt.target = victim_proc.value;
+  auto caller = Step(ta_, nt);
+  ASSERT_EQ(caller.error, SysError::kOk);
+  ASSERT_EQ(kernel_->pm_mut().BindEndpoint(caller.value, 1, edpt_), ProcError::kOk);
+
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  Syscall call = Op(SysOp::kCall);
+  call.edpt_idx = 1;
+  ASSERT_EQ(Step(caller.value, call).error, SysError::kBlocked);
+  EXPECT_EQ(kernel_->pm().GetThread(tb_).reply_to, caller.value);
+
+  Syscall kill = Op(SysOp::kKillProcess);
+  kill.target = victim_proc.value;
+  ASSERT_EQ(Step(ta_, kill).error, SysError::kOk);
+  EXPECT_EQ(kernel_->pm().GetThread(tb_).reply_to, kNullPtr) << "obligation cleared";
+  EXPECT_EQ(Step(tb_, Op(SysOp::kReply)).error, SysError::kInvalid);
+}
+
+TEST_F(IpcEdgeTest, KillingQueuedSenderLeavesEndpointConsistent) {
+  auto victim_proc = Step(ta_, Op(SysOp::kNewProcess));
+  Syscall nt = Op(SysOp::kNewThread);
+  nt.target = victim_proc.value;
+  auto sender = Step(ta_, nt);
+  ASSERT_EQ(kernel_->pm_mut().BindEndpoint(sender.value, 1, edpt_), ProcError::kOk);
+  Syscall send = Op(SysOp::kSend);
+  send.edpt_idx = 1;
+  ASSERT_EQ(Step(sender.value, send).error, SysError::kBlocked);
+  ASSERT_EQ(kernel_->pm().GetEndpoint(edpt_).queue.len(), 1u);
+
+  Syscall kill = Op(SysOp::kKillProcess);
+  kill.target = victim_proc.value;
+  ASSERT_EQ(Step(ta_, kill).error, SysError::kOk);
+  EXPECT_TRUE(kernel_->pm().GetEndpoint(edpt_).queue.empty());
+  EXPECT_EQ(kernel_->pm().GetEndpoint(edpt_).queue_kind, EdptQueueKind::kEmpty);
+  // The endpoint still works afterwards.
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  EXPECT_EQ(Step(ta_, Op(SysOp::kSend)).error, SysError::kOk);
+}
+
+TEST_F(IpcEdgeTest, ExitWhileAwaitingReplyIsClean) {
+  // The caller dies while parked for a reply (off-queue kBlockedCall).
+  auto victim_proc = Step(ta_, Op(SysOp::kNewProcess));
+  Syscall nt = Op(SysOp::kNewThread);
+  nt.target = victim_proc.value;
+  auto caller = Step(ta_, nt);
+  ASSERT_EQ(kernel_->pm_mut().BindEndpoint(caller.value, 1, edpt_), ProcError::kOk);
+  ASSERT_EQ(Step(tb_, Op(SysOp::kRecv)).error, SysError::kBlocked);
+  Syscall call = Op(SysOp::kCall);
+  call.edpt_idx = 1;
+  ASSERT_EQ(Step(caller.value, call).error, SysError::kBlocked);
+
+  Syscall kill = Op(SysOp::kKillProcess);
+  kill.target = victim_proc.value;
+  ASSERT_EQ(Step(ta_, kill).error, SysError::kOk);
+  InvResult wf = kernel_->TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Misc authority / argument validation sweeps
+// ---------------------------------------------------------------------------
+
+TEST_F(IpcEdgeTest, GarbageHandlesAreRejectedEverywhere) {
+  constexpr Ptr kGarbage = 0x7777000;
+  Syscall kill = Op(SysOp::kKillProcess);
+  kill.target = kGarbage;
+  EXPECT_EQ(Step(ta_, kill).error, SysError::kInvalid);
+  kill.op = SysOp::kKillContainer;
+  EXPECT_EQ(Step(ta_, kill).error, SysError::kInvalid);
+  Syscall nt = Op(SysOp::kNewThread);
+  nt.target = kGarbage;
+  EXPECT_EQ(Step(ta_, nt).error, SysError::kInvalid);
+  Syscall attach = Op(SysOp::kIommuAttachDevice);
+  attach.iommu_domain = 999;
+  EXPECT_EQ(Step(ta_, attach).error, SysError::kDenied);
+}
+
+TEST_F(IpcEdgeTest, CrossContainerThreadCreationDenied) {
+  Syscall nt = Op(SysOp::kNewThread);
+  nt.target = proc_b_;
+  EXPECT_EQ(Step(ta_, nt).error, SysError::kDenied);
+}
+
+}  // namespace
+}  // namespace atmo

@@ -1,0 +1,347 @@
+// Unit and property tests for the page allocator: free lists, state machine,
+// superpage merge/split, map counting, ghost views and Wf().
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/pmem/object_alloc.h"
+#include "src/pmem/page_allocator.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr std::uint64_t kFramesPer2M = kPageSize2M / kPageSize4K;
+
+// A machine with 4 MiB of managed memory (2 mergeable 2M units) + 1 reserved
+// frame region of one full 2M unit so merge alignment is exercised.
+class PageAllocatorTest : public ::testing::Test {
+ protected:
+  PageAllocatorTest() : alloc_(3 * kFramesPer2M, kFramesPer2M) {}
+
+  PageAllocator alloc_;
+};
+
+TEST_F(PageAllocatorTest, BootStateIsWellFormed) {
+  EXPECT_TRUE(alloc_.Wf());
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), 2 * kFramesPer2M);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k2M), 0u);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k1G), 0u);
+  EXPECT_TRUE(alloc_.AllocatedPages().empty());
+  EXPECT_TRUE(alloc_.InUseFrames().empty());
+}
+
+TEST_F(PageAllocatorTest, AllocReturnsFreshDistinctPages) {
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  auto b = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->ptr, b->ptr);
+  EXPECT_EQ(alloc_.StateOf(a->ptr), PageState::kAllocated);
+  EXPECT_EQ(a->perm.base(), a->ptr);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), 2 * kFramesPer2M - 2);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, AllocatedPagesGhostViewTracksAllocations) {
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  // Listing 4 postconditions: allocated set grows by exactly this page and
+  // the free set shrinks by exactly this page.
+  EXPECT_TRUE(alloc_.AllocatedPages().contains(a->ptr));
+  EXPECT_FALSE(alloc_.FreePages(PageSize::k4K).contains(a->ptr));
+  alloc_.FreePage(a->ptr, std::move(a->perm));
+  EXPECT_FALSE(alloc_.AllocatedPages().contains(a->ptr));
+  EXPECT_TRUE(alloc_.FreePages(PageSize::k4K).contains(a->ptr));
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, FreeWithWrongPermIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  auto b = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a && b);
+  EXPECT_THROW(alloc_.FreePage(a->ptr, std::move(b->perm)), CheckViolation);
+}
+
+TEST_F(PageAllocatorTest, DoubleFreeIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  FramePerm clone = a->perm.CloneForVerification();  // forged duplicate token
+  alloc_.FreePage(a->ptr, std::move(a->perm));
+  EXPECT_THROW(alloc_.FreePage(a->ptr, std::move(clone)), CheckViolation);
+}
+
+TEST_F(PageAllocatorTest, ExhaustionReturnsNulloptNotFailure) {
+  std::vector<PageAlloc> pages;
+  while (auto page = alloc_.AllocPage4K(kNullPtr)) {
+    pages.push_back(std::move(*page));
+  }
+  EXPECT_EQ(pages.size(), 2 * kFramesPer2M);
+  EXPECT_FALSE(alloc_.AllocPage4K(kNullPtr).has_value());
+  EXPECT_TRUE(alloc_.Wf());
+  // Free everything; memory is fully reusable (leak freedom at the
+  // allocator level).
+  for (PageAlloc& page : pages) {
+    alloc_.FreePage(page.ptr, std::move(page.perm));
+  }
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), 2 * kFramesPer2M);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, OwnerAttribution) {
+  constexpr CtnrPtr kOwnerA = 0x111000;
+  auto a = alloc_.AllocPage4K(kOwnerA);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(alloc_.OwnerOf(a->ptr), kOwnerA);
+  alloc_.SetOwner(a->ptr, 0x222000);
+  EXPECT_EQ(alloc_.OwnerOf(a->ptr), 0x222000u);
+  alloc_.FreePage(a->ptr, std::move(a->perm));
+  EXPECT_EQ(alloc_.OwnerOf(a->ptr), kNullPtr) << "free clears attribution";
+}
+
+// --- Mapped-state transitions ---
+
+TEST_F(PageAllocatorTest, MapUnmapLifecycle) {
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  alloc_.MarkMapped(a->ptr);
+  EXPECT_EQ(alloc_.StateOf(a->ptr), PageState::kMapped);
+  EXPECT_EQ(alloc_.MapCount(a->ptr), 1u);
+  EXPECT_TRUE(alloc_.MappedPages().contains(a->ptr));
+  EXPECT_TRUE(alloc_.Wf());
+
+  EXPECT_EQ(alloc_.IncMapCount(a->ptr), 2u) << "shared mapping via IPC page grant";
+  EXPECT_EQ(alloc_.DecMapCount(a->ptr), 1u);
+  EXPECT_EQ(alloc_.DecMapCount(a->ptr), 0u);
+  alloc_.ReclaimUnmapped(a->ptr, std::move(a->perm));
+  EXPECT_EQ(alloc_.StateOf(a->ptr), PageState::kFree);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, ReclaimWhileStillMappedIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  alloc_.MarkMapped(a->ptr);
+  EXPECT_THROW(alloc_.ReclaimUnmapped(a->ptr, std::move(a->perm)), CheckViolation);
+}
+
+TEST_F(PageAllocatorTest, MapCountUnderflowIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  alloc_.MarkMapped(a->ptr);
+  alloc_.DecMapCount(a->ptr);
+  EXPECT_THROW(alloc_.DecMapCount(a->ptr), CheckViolation);
+}
+
+TEST_F(PageAllocatorTest, MarkMappedTwiceIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  alloc_.MarkMapped(a->ptr);
+  EXPECT_THROW(alloc_.MarkMapped(a->ptr), CheckViolation);
+}
+
+// --- Superpage merge / split ---
+
+TEST_F(PageAllocatorTest, Merge2MConsumesConstituents) {
+  PagePtr base = kFramesPer2M * kPageSize4K;  // first managed 2M unit
+  ASSERT_TRUE(alloc_.TryMerge2M(base));
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), kFramesPer2M);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k2M), 1u);
+  EXPECT_EQ(alloc_.StateOf(base), PageState::kFree);
+  EXPECT_EQ(alloc_.SizeClassOf(base), PageSize::k2M);
+  EXPECT_EQ(alloc_.StateOf(base + kPageSize4K), PageState::kMerged);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, Merge2MFailsIfAnyConstituentBusy) {
+  // Allocate one page inside the first unit; merge must fail, state intact.
+  auto a = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(a.has_value());
+  PagePtr base = kFramesPer2M * kPageSize4K;
+  ASSERT_EQ(a->ptr, base) << "deterministic allocator pops lowest address";
+  EXPECT_FALSE(alloc_.TryMerge2M(base));
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), 2 * kFramesPer2M - 1);
+  EXPECT_TRUE(alloc_.Wf());
+  alloc_.FreePage(a->ptr, std::move(a->perm));
+  EXPECT_TRUE(alloc_.TryMerge2M(base));
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, Merge2MRejectsMisalignedBase) {
+  EXPECT_FALSE(alloc_.TryMerge2M(kFramesPer2M * kPageSize4K + kPageSize4K));
+}
+
+TEST_F(PageAllocatorTest, Alloc2MAutoMerges) {
+  auto big = alloc_.AllocPage2M(kNullPtr);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(alloc_.StateOf(big->ptr), PageState::kAllocated);
+  EXPECT_EQ(alloc_.SizeClassOf(big->ptr), PageSize::k2M);
+  EXPECT_EQ(big->perm.bytes(), kPageSize2M);
+  EXPECT_TRUE(alloc_.Wf());
+  alloc_.FreePage(big->ptr, std::move(big->perm));
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k2M), 1u);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, SplitRestores4KPages) {
+  PagePtr base = kFramesPer2M * kPageSize4K;
+  ASSERT_TRUE(alloc_.TryMerge2M(base));
+  alloc_.Split2M(base);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), 2 * kFramesPer2M);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k2M), 0u);
+  EXPECT_EQ(alloc_.StateOf(base + kPageSize4K), PageState::kFree);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+TEST_F(PageAllocatorTest, SplitNonFreePageIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  auto big = alloc_.AllocPage2M(kNullPtr);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_THROW(alloc_.Split2M(big->ptr), CheckViolation);
+  alloc_.FreePage(big->ptr, std::move(big->perm));
+}
+
+TEST_F(PageAllocatorTest, Superpage2MMapLifecycle) {
+  auto big = alloc_.AllocPage2M(kNullPtr);
+  ASSERT_TRUE(big.has_value());
+  alloc_.MarkMapped(big->ptr);
+  EXPECT_EQ(alloc_.StateOf(big->ptr), PageState::kMapped);
+  EXPECT_TRUE(alloc_.Wf());
+  alloc_.DecMapCount(big->ptr);
+  alloc_.ReclaimUnmapped(big->ptr, std::move(big->perm));
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k2M), 1u);
+  EXPECT_TRUE(alloc_.Wf());
+}
+
+// --- 1G path (uses a bigger simulated machine) ---
+
+TEST(PageAllocator1GTest, Merge1GAndAlloc) {
+  constexpr std::uint64_t kFramesPer1G = kPageSize1G / kPageSize4K;
+  PageAllocator alloc(2 * kFramesPer1G, kFramesPer1G);
+  auto big = alloc.AllocPage1G(kNullPtr);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_EQ(big->ptr, kPageSize1G);
+  EXPECT_EQ(alloc.SizeClassOf(big->ptr), PageSize::k1G);
+  EXPECT_EQ(alloc.FreeCount(PageSize::k4K), 0u);
+  alloc.FreePage(big->ptr, std::move(big->perm));
+  EXPECT_EQ(alloc.FreeCount(PageSize::k1G), 1u);
+  alloc.Split1G(big->ptr);
+  EXPECT_EQ(alloc.FreeCount(PageSize::k2M), 512u);
+  alloc.Split2M(big->ptr);
+  EXPECT_EQ(alloc.FreeCount(PageSize::k4K), 512u);
+  EXPECT_TRUE(alloc.Wf());
+}
+
+// --- Object placement ---
+
+TEST_F(PageAllocatorTest, PlaceAndUnplaceObject) {
+  struct Widget {
+    int value = 0;
+  };
+  auto page = alloc_.AllocPage4K(kNullPtr);
+  ASSERT_TRUE(page.has_value());
+  PlacedObject<Widget> placed = PlaceObject(std::move(page->perm), Widget{.value = 7});
+  EXPECT_EQ(placed.ptr.addr(), page->ptr);
+  EXPECT_EQ(placed.ptr.Borrow(placed.perm).value, 7);
+  placed.ptr.BorrowMut(placed.perm).value = 8;
+  EXPECT_EQ(placed.perm.value().value, 8);
+  FramePerm frame = UnplaceObject(std::move(placed.perm));
+  alloc_.FreePage(page->ptr, std::move(frame));
+  EXPECT_EQ(alloc_.StateOf(page->ptr), PageState::kFree);
+}
+
+TEST_F(PageAllocatorTest, PlaceObjectRequires4KFrame) {
+  ScopedThrowOnCheckFailure guard;
+  auto big = alloc_.AllocPage2M(kNullPtr);
+  ASSERT_TRUE(big.has_value());
+  EXPECT_THROW(PlaceObject(std::move(big->perm), 0), CheckViolation);
+}
+
+// --- Randomized property sweep: alloc/free/map/merge interleavings keep the
+// allocator well-formed and conservation of frames holds. ---
+
+class PageAllocatorStressTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PageAllocatorStressTest, RandomOpsPreserveWfAndConservation) {
+  std::uint64_t state = GetParam() * 0x9e3779b97f4a7c15ull + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  constexpr std::uint64_t kTotal = 4 * kFramesPer2M;
+  PageAllocator alloc(kTotal, kFramesPer2M);
+  const std::uint64_t managed = kTotal - kFramesPer2M;
+
+  std::vector<PageAlloc> allocated;
+  std::vector<PageAlloc> mapped;
+
+  for (int step = 0; step < 2000; ++step) {
+    switch (next() % 6) {
+      case 0:
+      case 1: {  // alloc 4K
+        if (auto page = alloc.AllocPage4K(0x1000)) {
+          allocated.push_back(std::move(*page));
+        }
+        break;
+      }
+      case 2: {  // free an allocated page
+        if (!allocated.empty()) {
+          std::size_t i = next() % allocated.size();
+          alloc.FreePage(allocated[i].ptr, std::move(allocated[i].perm));
+          allocated.erase(allocated.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      }
+      case 3: {  // map an allocated page
+        if (!allocated.empty()) {
+          std::size_t i = next() % allocated.size();
+          alloc.MarkMapped(allocated[i].ptr);
+          mapped.push_back(std::move(allocated[i]));
+          allocated.erase(allocated.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      }
+      case 4: {  // unmap a mapped page
+        if (!mapped.empty()) {
+          std::size_t i = next() % mapped.size();
+          if (alloc.DecMapCount(mapped[i].ptr) == 0) {
+            alloc.ReclaimUnmapped(mapped[i].ptr, std::move(mapped[i].perm));
+            mapped.erase(mapped.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+        }
+        break;
+      }
+      case 5: {  // merge + split churn
+        if (auto merged = alloc.Merge2MAnywhere()) {
+          alloc.Split2M(*merged);
+        }
+        break;
+      }
+    }
+    if (step % 97 == 0) {
+      ASSERT_TRUE(alloc.Wf()) << "step " << step;
+    }
+    // Conservation: free + in-use == managed frames.
+    std::uint64_t free_frames = alloc.FreeCount(PageSize::k4K) +
+                                alloc.FreeCount(PageSize::k2M) * 512 +
+                                alloc.FreeCount(PageSize::k1G) * 512 * 512;
+    ASSERT_EQ(free_frames + alloc.InUseFrames().size(), managed) << "step " << step;
+  }
+  ASSERT_TRUE(alloc.Wf());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageAllocatorStressTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 42u));
+
+}  // namespace
+}  // namespace atmo

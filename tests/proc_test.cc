@@ -1,0 +1,503 @@
+// Process-manager tests: container tree + ghost state, process trees,
+// threads, endpoints, scheduler, quota accounting, and all well-formedness
+// invariants — including failure injection showing the invariants catch
+// deliberate corruption.
+
+#include <optional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/pmem/page_allocator.h"
+#include "src/proc/invariants.h"
+#include "src/proc/process_manager.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr std::uint64_t kFrames = 4096;  // 16 MiB machine
+constexpr std::uint64_t kRootQuota = 2048;
+
+class ProcTest : public ::testing::Test {
+ protected:
+  ProcTest() : alloc_(kFrames, 1) {
+    auto pm = ProcessManager::Boot(&alloc_, kRootQuota);
+    pm_.emplace(std::move(*pm));
+  }
+
+  void ExpectAllWf() {
+    InvResult r = ProcessManagerWf(*pm_);
+    EXPECT_TRUE(r.ok) << r.detail;
+    InvResult q = QuotaWf(*pm_, alloc_);
+    EXPECT_TRUE(q.ok) << q.detail;
+    EXPECT_TRUE(alloc_.Wf());
+  }
+
+  // Convenience: container -> initial process -> one thread.
+  struct Trio {
+    CtnrPtr ctnr;
+    ProcPtr proc;
+    ThrdPtr thrd;
+  };
+  Trio MakeTrio(CtnrPtr parent, std::uint64_t quota) {
+    auto c = pm_->NewContainer(&alloc_, parent, quota, ~0ull);
+    EXPECT_TRUE(c.ok()) << ProcErrorName(c.error);
+    auto p = pm_->NewProcess(&alloc_, c.value, kNullPtr);
+    EXPECT_TRUE(p.ok()) << ProcErrorName(p.error);
+    auto t = pm_->NewThread(&alloc_, p.value);
+    EXPECT_TRUE(t.ok()) << ProcErrorName(t.error);
+    return Trio{c.value, p.value, t.value};
+  }
+
+  PageAllocator alloc_;
+  std::optional<ProcessManager> pm_;
+};
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcTest, BootStateIsWellFormed) {
+  EXPECT_NE(pm_->root_container(), kNullPtr);
+  const Container& root = pm_->GetContainer(pm_->root_container());
+  EXPECT_EQ(root.mem_quota, kRootQuota);
+  EXPECT_EQ(root.mem_used, 1u);
+  EXPECT_EQ(root.depth, 0u);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, NewContainerCarvesQuota) {
+  CtnrPtr root = pm_->root_container();
+  auto child = pm_->NewContainer(&alloc_, root, 256, ~0ull);
+  ASSERT_TRUE(child.ok());
+  EXPECT_EQ(pm_->GetContainer(root).mem_quota, kRootQuota - 256);
+  EXPECT_EQ(pm_->GetContainer(child.value).mem_quota, 256u);
+  EXPECT_EQ(pm_->GetContainer(child.value).mem_used, 1u);
+  EXPECT_EQ(pm_->GetContainer(child.value).depth, 1u);
+  EXPECT_TRUE(pm_->GetContainer(root).subtree.contains(child.value));
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, NestedContainersMaintainPathAndSubtree) {
+  CtnrPtr root = pm_->root_container();
+  auto a = pm_->NewContainer(&alloc_, root, 512, ~0ull);
+  auto b = pm_->NewContainer(&alloc_, a.value, 128, ~0ull);
+  auto c = pm_->NewContainer(&alloc_, b.value, 32, ~0ull);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  const Container& cc = pm_->GetContainer(c.value);
+  EXPECT_EQ(cc.depth, 3u);
+  EXPECT_EQ(cc.path, (SpecSeq<CtnrPtr>{root, a.value, b.value}));
+  EXPECT_TRUE(pm_->GetContainer(root).subtree.contains(c.value));
+  EXPECT_TRUE(pm_->GetContainer(a.value).subtree.contains(c.value));
+  EXPECT_TRUE(pm_->GetContainer(b.value).subtree.contains(c.value));
+  EXPECT_FALSE(pm_->GetContainer(b.value).subtree.contains(a.value));
+  EXPECT_EQ(pm_->SubtreeContainers(a.value),
+            (SpecSet<CtnrPtr>{a.value, b.value, c.value}));
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, QuotaCannotExceedParentHeadroom) {
+  CtnrPtr root = pm_->root_container();
+  // Root has used 1 page of its quota already.
+  auto too_big = pm_->NewContainer(&alloc_, root, kRootQuota, ~0ull);
+  EXPECT_EQ(too_big.error, ProcError::kQuotaExceeded);
+  auto just_fits = pm_->NewContainer(&alloc_, root, kRootQuota - 1, ~0ull);
+  EXPECT_TRUE(just_fits.ok());
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, CpuMaskMustBeSubsetOfParent) {
+  CtnrPtr root = pm_->root_container();
+  auto a = pm_->NewContainer(&alloc_, root, 512, 0b0011);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pm_->NewContainer(&alloc_, a.value, 64, 0b0100).error, ProcError::kInvalid);
+  EXPECT_TRUE(pm_->NewContainer(&alloc_, a.value, 64, 0b0001).ok());
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, RemoveContainerReturnsQuotaToParent) {
+  CtnrPtr root = pm_->root_container();
+  auto child = pm_->NewContainer(&alloc_, root, 256, ~0ull);
+  ASSERT_TRUE(child.ok());
+  std::uint64_t root_quota_after_carve = pm_->GetContainer(root).mem_quota;
+  pm_->RemoveContainer(&alloc_, child.value);
+  EXPECT_EQ(pm_->GetContainer(root).mem_quota, root_quota_after_carve + 256);
+  EXPECT_FALSE(pm_->ContainerExists(child.value));
+  EXPECT_FALSE(pm_->GetContainer(root).subtree.contains(child.value));
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, RemoveRootIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(pm_->RemoveContainer(&alloc_, pm_->root_container()), CheckViolation);
+}
+
+TEST_F(ProcTest, RemoveContainerWithChildrenIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  CtnrPtr root = pm_->root_container();
+  auto a = pm_->NewContainer(&alloc_, root, 512, ~0ull);
+  auto b = pm_->NewContainer(&alloc_, a.value, 64, ~0ull);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_THROW(pm_->RemoveContainer(&alloc_, a.value), CheckViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Processes and threads
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcTest, ProcessTreeInsideContainer) {
+  Trio trio = MakeTrio(pm_->root_container(), 512);
+  auto child_proc = pm_->NewProcess(&alloc_, trio.ctnr, trio.proc);
+  ASSERT_TRUE(child_proc.ok());
+  EXPECT_EQ(pm_->GetProcess(child_proc.value).parent, trio.proc);
+  EXPECT_TRUE(pm_->GetProcess(trio.proc).children.Contains(child_proc.value));
+  EXPECT_EQ(pm_->GetContainer(trio.ctnr).owned_procs.len(), 2u);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, ProcessCannotCrossContainers) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  Trio b = MakeTrio(pm_->root_container(), 256);
+  EXPECT_EQ(pm_->NewProcess(&alloc_, a.ctnr, b.proc).error, ProcError::kInvalid);
+}
+
+TEST_F(ProcTest, ThreadCreationChargesContainer) {
+  Trio trio = MakeTrio(pm_->root_container(), 512);
+  std::uint64_t used = pm_->GetContainer(trio.ctnr).mem_used;
+  auto t2 = pm_->NewThread(&alloc_, trio.proc);
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(pm_->GetContainer(trio.ctnr).mem_used, used + 1);
+  EXPECT_TRUE(pm_->GetContainer(trio.ctnr).owned_threads.contains(t2.value));
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, QuotaExhaustionBlocksCreation) {
+  // Quota 3: container page + proc page + thread page = full.
+  Trio trio = MakeTrio(pm_->root_container(), 3);
+  EXPECT_EQ(pm_->GetContainer(trio.ctnr).mem_used, 3u);
+  auto t2 = pm_->NewThread(&alloc_, trio.proc);
+  EXPECT_EQ(t2.error, ProcError::kQuotaExceeded);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, SubtreeThreadsCollectsAcrossNesting) {
+  CtnrPtr root = pm_->root_container();
+  Trio a = MakeTrio(root, 512);
+  auto inner = pm_->NewContainer(&alloc_, a.ctnr, 64, ~0ull);
+  ASSERT_TRUE(inner.ok());
+  auto inner_proc = pm_->NewProcess(&alloc_, inner.value, kNullPtr);
+  auto inner_thrd = pm_->NewThread(&alloc_, inner_proc.value);
+  ASSERT_TRUE(inner_thrd.ok());
+
+  SpecSet<ThrdPtr> threads = pm_->SubtreeThreads(a.ctnr);
+  EXPECT_TRUE(threads.contains(a.thrd));
+  EXPECT_TRUE(threads.contains(inner_thrd.value));
+  EXPECT_EQ(threads.size(), 2u);
+  // Root's subtree threads include everything.
+  EXPECT_EQ(pm_->SubtreeThreads(root).size(), 2u);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, RemoveThreadUnlinksEverywhere) {
+  Trio trio = MakeTrio(pm_->root_container(), 512);
+  std::uint64_t used = pm_->GetContainer(trio.ctnr).mem_used;
+  pm_->RemoveThread(&alloc_, trio.thrd);
+  EXPECT_FALSE(pm_->ThreadExists(trio.thrd));
+  EXPECT_TRUE(pm_->GetProcess(trio.proc).threads.empty());
+  EXPECT_FALSE(pm_->GetContainer(trio.ctnr).owned_threads.contains(trio.thrd));
+  EXPECT_EQ(pm_->GetContainer(trio.ctnr).mem_used, used - 1);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, FullTeardownReturnsAllMemory) {
+  std::uint64_t free_before = alloc_.FreeCount(PageSize::k4K);
+  Trio trio = MakeTrio(pm_->root_container(), 512);
+  pm_->RemoveThread(&alloc_, trio.thrd);
+  pm_->RemoveProcess(&alloc_, trio.proc);
+  pm_->RemoveContainer(&alloc_, trio.ctnr);
+  EXPECT_EQ(alloc_.FreeCount(PageSize::k4K), free_before);
+  EXPECT_EQ(pm_->GetContainer(pm_->root_container()).mem_quota, kRootQuota);
+  ExpectAllWf();
+}
+
+// ---------------------------------------------------------------------------
+// Endpoints
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcTest, EndpointCreateBindUnbind) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  Trio b = MakeTrio(pm_->root_container(), 256);
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(pm_->GetEndpoint(e.value).rf_count, 1u);
+
+  EXPECT_EQ(pm_->BindEndpoint(b.thrd, 3, e.value), ProcError::kOk);
+  EXPECT_EQ(pm_->GetEndpoint(e.value).rf_count, 2u);
+  EXPECT_EQ(pm_->GetThread(b.thrd).endpoints[3], e.value);
+  ExpectAllWf();
+
+  EXPECT_EQ(pm_->UnbindEndpoint(&alloc_, a.thrd, 0), ProcError::kOk);
+  EXPECT_EQ(pm_->GetEndpoint(e.value).rf_count, 1u);
+  EXPECT_EQ(pm_->UnbindEndpoint(&alloc_, b.thrd, 3), ProcError::kOk);
+  EXPECT_FALSE(pm_->EndpointExists(e.value)) << "freed at zero references";
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, EndpointSlotCollisionRejected) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(pm_->NewEndpoint(&alloc_, a.thrd, 0).error, ProcError::kInvalid);
+  EXPECT_EQ(pm_->BindEndpoint(a.thrd, 0, e.value), ProcError::kInvalid);
+  EXPECT_EQ(pm_->NewEndpoint(&alloc_, a.thrd, kMaxEdptDescriptors).error, ProcError::kInvalid);
+}
+
+TEST_F(ProcTest, RemoveThreadReleasesItsEndpointReferences) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+  pm_->RemoveThread(&alloc_, a.thrd);
+  EXPECT_FALSE(pm_->EndpointExists(e.value));
+  ExpectAllWf();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler + blocking
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcTest, RoundRobinOrder) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto t2 = pm_->NewThread(&alloc_, a.proc);
+  ASSERT_TRUE(t2.ok());
+
+  EXPECT_EQ(pm_->ScheduleNext(), a.thrd);
+  EXPECT_EQ(pm_->GetThread(a.thrd).state, ThreadState::kRunning);
+  ExpectAllWf();
+  pm_->Yield();
+  EXPECT_EQ(pm_->current(), t2.value);
+  pm_->Yield();
+  EXPECT_EQ(pm_->current(), a.thrd);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, YieldWithSingleThreadKeepsRunning) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  EXPECT_EQ(pm_->ScheduleNext(), a.thrd);
+  pm_->Yield();
+  EXPECT_EQ(pm_->current(), a.thrd);
+}
+
+TEST_F(ProcTest, BlockAndWakeOnEndpoint) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+
+  EXPECT_EQ(pm_->ScheduleNext(), a.thrd);
+  pm_->BlockCurrentOn(e.value, ThreadState::kBlockedRecv);
+  EXPECT_EQ(pm_->current(), kNullPtr);
+  EXPECT_EQ(pm_->GetThread(a.thrd).state, ThreadState::kBlockedRecv);
+  EXPECT_EQ(pm_->GetEndpoint(e.value).queue_kind, EdptQueueKind::kReceivers);
+  ExpectAllWf();
+
+  ThrdPtr woken = pm_->PopWaiter(e.value);
+  EXPECT_EQ(woken, a.thrd);
+  pm_->MakeRunnable(woken);
+  EXPECT_EQ(pm_->GetEndpoint(e.value).queue_kind, EdptQueueKind::kEmpty);
+  ExpectAllWf();
+}
+
+TEST_F(ProcTest, MixedQueueKindsAreViolation) {
+  ScopedThrowOnCheckFailure guard;
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto t2 = pm_->NewThread(&alloc_, a.proc);
+  ASSERT_TRUE(t2.ok());
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+
+  EXPECT_EQ(pm_->ScheduleNext(), a.thrd);
+  pm_->BlockCurrentOn(e.value, ThreadState::kBlockedRecv);
+  EXPECT_EQ(pm_->ScheduleNext(), t2.value);
+  EXPECT_THROW(pm_->BlockCurrentOn(e.value, ThreadState::kBlockedSend), CheckViolation);
+}
+
+TEST_F(ProcTest, RemoveBlockedThreadDequeuesIt) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto t2 = pm_->NewThread(&alloc_, a.proc);
+  ASSERT_TRUE(t2.ok());
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  EXPECT_EQ(pm_->BindEndpoint(t2.value, 0, e.value), ProcError::kOk);
+
+  EXPECT_EQ(pm_->ScheduleNext(), a.thrd);
+  pm_->BlockCurrentOn(e.value, ThreadState::kBlockedRecv);
+  pm_->RemoveThread(&alloc_, a.thrd);
+  EXPECT_TRUE(pm_->EndpointExists(e.value)) << "t2 still references the endpoint";
+  EXPECT_TRUE(pm_->GetEndpoint(e.value).queue.empty());
+  ExpectAllWf();
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection: invariants detect corruption
+// ---------------------------------------------------------------------------
+
+TEST_F(ProcTest, InvariantCatchesForgedPath) {
+  CtnrPtr root = pm_->root_container();
+  auto a = pm_->NewContainer(&alloc_, root, 256, ~0ull);
+  ASSERT_TRUE(a.ok());
+  pm_->MutableContainer(a.value).path = SpecSeq<CtnrPtr>{};  // forge: drop parent
+  EXPECT_FALSE(ContainerTreeWf(*pm_).ok);
+}
+
+TEST_F(ProcTest, InvariantCatchesForgedSubtree) {
+  CtnrPtr root = pm_->root_container();
+  auto a = pm_->NewContainer(&alloc_, root, 256, ~0ull);
+  auto b = pm_->NewContainer(&alloc_, root, 256, ~0ull);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Forge: claim b is inside a's subtree.
+  pm_->MutableContainer(a.value).subtree.add(b.value);
+  EXPECT_FALSE(ContainerTreeWf(*pm_).ok);
+}
+
+TEST_F(ProcTest, InvariantCatchesForgedDepth) {
+  auto a = pm_->NewContainer(&alloc_, pm_->root_container(), 256, ~0ull);
+  ASSERT_TRUE(a.ok());
+  pm_->MutableContainer(a.value).depth = 7;
+  EXPECT_FALSE(ContainerTreeWf(*pm_).ok);
+}
+
+TEST_F(ProcTest, InvariantCatchesRefCountSkew) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  auto e = pm_->NewEndpoint(&alloc_, a.thrd, 0);
+  ASSERT_TRUE(e.ok());
+  pm_->MutableEndpoint(e.value).rf_count = 5;
+  EXPECT_FALSE(EndpointsWf(*pm_).ok);
+}
+
+TEST_F(ProcTest, InvariantCatchesThreadStateSkew) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  pm_->MutableThread(a.thrd).state = ThreadState::kRunning;  // but not current
+  EXPECT_FALSE(ThreadsWf(*pm_).ok);
+}
+
+TEST_F(ProcTest, InvariantCatchesQuotaSkew) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  pm_->MutableContainer(a.ctnr).mem_used = 0;  // forged accounting
+  EXPECT_FALSE(QuotaWf(*pm_, alloc_).ok);
+}
+
+TEST_F(ProcTest, CloneForVerificationIsDeepAndEqualShaped) {
+  Trio a = MakeTrio(pm_->root_container(), 256);
+  ProcessManager clone = pm_->CloneForVerification();
+  EXPECT_TRUE(ProcessManagerWf(clone).ok);
+  // Mutating the clone does not affect the original.
+  clone.MutableContainer(a.ctnr).mem_used = 99;
+  EXPECT_NE(pm_->GetContainer(a.ctnr).mem_used, 99u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized lifecycle sweep
+// ---------------------------------------------------------------------------
+
+class ProcStressTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProcStressTest, RandomLifecyclePreservesAllInvariants) {
+  std::uint64_t state = GetParam() * 0x2545f4914f6cdd1dull + 1;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+
+  PageAllocator alloc(kFrames, 1);
+  auto pm_opt = ProcessManager::Boot(&alloc, kRootQuota);
+  ASSERT_TRUE(pm_opt.has_value());
+  ProcessManager& pm = *pm_opt;
+
+  std::vector<CtnrPtr> ctnrs{pm.root_container()};
+  std::vector<ProcPtr> procs;
+  std::vector<ThrdPtr> thrds;
+
+  for (int step = 0; step < 600; ++step) {
+    switch (next() % 8) {
+      case 0: {  // new container under random parent
+        CtnrPtr parent = ctnrs[next() % ctnrs.size()];
+        auto r = pm.NewContainer(&alloc, parent, 8 + next() % 16, ~0ull);
+        if (r.ok()) {
+          ctnrs.push_back(r.value);
+        }
+        break;
+      }
+      case 1:
+      case 2: {  // new process
+        CtnrPtr ctnr = ctnrs[next() % ctnrs.size()];
+        ProcPtr parent = kNullPtr;
+        if (!procs.empty() && next() % 2 == 0) {
+          ProcPtr cand = procs[next() % procs.size()];
+          if (pm.GetProcess(cand).owning_container == ctnr) {
+            parent = cand;
+          }
+        }
+        auto r = pm.NewProcess(&alloc, ctnr, parent);
+        if (r.ok()) {
+          procs.push_back(r.value);
+        }
+        break;
+      }
+      case 3:
+      case 4: {  // new thread
+        if (!procs.empty()) {
+          auto r = pm.NewThread(&alloc, procs[next() % procs.size()]);
+          if (r.ok()) {
+            thrds.push_back(r.value);
+          }
+        }
+        break;
+      }
+      case 5: {  // remove a random thread
+        if (!thrds.empty()) {
+          std::size_t i = next() % thrds.size();
+          pm.RemoveThread(&alloc, thrds[i]);
+          thrds.erase(thrds.begin() + static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      }
+      case 6: {  // remove a random leaf process (no threads/children)
+        if (!procs.empty()) {
+          std::size_t i = next() % procs.size();
+          const Process& p = pm.GetProcess(procs[i]);
+          if (p.threads.empty() && p.children.empty()) {
+            pm.RemoveProcess(&alloc, procs[i]);
+            procs.erase(procs.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+        }
+        break;
+      }
+      case 7: {  // remove a random leaf container
+        if (ctnrs.size() > 1) {
+          std::size_t i = 1 + next() % (ctnrs.size() - 1);
+          const Container& c = pm.GetContainer(ctnrs[i]);
+          if (c.children.empty() && c.owned_procs.empty() && c.mem_used == 1) {
+            pm.RemoveContainer(&alloc, ctnrs[i]);
+            ctnrs.erase(ctnrs.begin() + static_cast<std::ptrdiff_t>(i));
+          }
+        }
+        break;
+      }
+    }
+    if (step % 37 == 0) {
+      InvResult r = ProcessManagerWf(pm);
+      ASSERT_TRUE(r.ok) << "step " << step << ": " << r.detail;
+      InvResult q = QuotaWf(pm, alloc);
+      ASSERT_TRUE(q.ok) << "step " << step << ": " << q.detail;
+    }
+  }
+  InvResult r = ProcessManagerWf(pm);
+  ASSERT_TRUE(r.ok) << r.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcStressTest, ::testing::Values(1u, 4u, 9u, 16u, 25u, 36u));
+
+}  // namespace
+}  // namespace atmo

@@ -1,0 +1,294 @@
+// Noninterference and isolation tests (§4.3): the A/B/V scenario, the
+// isolation invariants, the verified proxy V's functional correctness, the
+// unwinding conditions over adversarial traces, and counterexample cases
+// showing the checkers detect deliberate isolation breaches.
+
+#include <gtest/gtest.h>
+
+#include "src/sec/abv_scenario.h"
+#include "src/sec/isolation.h"
+#include "src/sec/noninterference.h"
+#include "src/sec/observation.h"
+#include "src/sec/verified_proxy.h"
+#include "src/verif/refinement_checker.h"
+
+namespace atmo {
+namespace {
+
+constexpr MapEntryPerm kRw{.writable = true, .user = true, .no_execute = false};
+
+BootConfig SmallConfig() {
+  BootConfig config;
+  config.frames = 4096;  // 16 MiB machine keeps clone-heavy checks fast
+  config.reserved_frames = 16;
+  return config;
+}
+
+AbvScenario MakeScenario() { return AbvScenario::Build(SmallConfig(), 512, 512, 512); }
+
+Syscall ShareCall(VAddr sender_va, VAddr dest_va) {
+  Syscall send;
+  send.op = SysOp::kSend;
+  send.edpt_idx = AbvScenario::kClientSlot;
+  send.payload.scalars = {kOpShare, 0, 0, 0};
+  send.payload.page =
+      PageGrant{.page = sender_va, .size = PageSize::k4K, .dest_va = dest_va, .perm = kRw};
+  return send;
+}
+
+Syscall MmapCall(VAddr base, std::uint64_t count) {
+  Syscall call;
+  call.op = SysOp::kMmap;
+  call.va_range = VaRange{base, count, PageSize::k4K};
+  call.map_perm = kRw;
+  return call;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario + domain constructions
+// ---------------------------------------------------------------------------
+
+TEST(AbvScenarioTest, BuildsWellFormedThreeDomainSystem) {
+  AbvScenario s = MakeScenario();
+  InvResult wf = s.kernel.TotalWf();
+  ASSERT_TRUE(wf.ok) << wf.detail;
+
+  AbstractKernel psi = s.kernel.Abstract();
+  SpecSet<ThrdPtr> t_a = DomainThreads(psi, s.a);
+  SpecSet<ThrdPtr> t_b = DomainThreads(psi, s.b);
+  EXPECT_EQ(t_a.size(), 2u);
+  EXPECT_EQ(t_b.size(), 2u);
+  EXPECT_TRUE(DomainThreadsWf(psi, s.a, t_a));
+  EXPECT_TRUE(DomainThreadsWf(psi, s.b, t_b));
+  EXPECT_FALSE(DomainThreadsWf(psi, s.a, t_a.insert(s.v_thread)))
+      << "T_A_wf rejects foreign threads";
+  EXPECT_FALSE(DomainThreadsWf(psi, s.a, SpecSet<ThrdPtr>{}))
+      << "T_A_wf rejects missing threads";
+
+  // Boot wiring satisfies both isolation invariants.
+  EXPECT_TRUE(MemoryIso(psi, DomainProcs(psi, s.a), DomainProcs(psi, s.b)));
+  EXPECT_TRUE(EndpointIso(psi, t_a, t_b));
+  // A and V share a channel, so A/V endpoint isolation must NOT hold.
+  EXPECT_FALSE(EndpointIso(psi, t_a, DomainThreads(psi, s.v)));
+}
+
+TEST(IsolationTest, MemoryIsoDetectsSharedPage) {
+  AbvScenario s = MakeScenario();
+  ASSERT_EQ(s.kernel.Step(s.a_threads[0], MmapCall(0x400000, 1)).error, SysError::kOk);
+  PagePtr page = s.kernel.vm().Resolve(s.a_proc, 0x400000)->addr;
+  // Forge a B mapping of A's page behind the kernel interface.
+  ASSERT_EQ(s.kernel.vm_mut().MapSharedPage(&s.kernel.alloc_mut(), s.b_proc, 0x500000, page,
+                                            PageSize::k4K, kRw),
+            MapError::kOk);
+  AbstractKernel psi = s.kernel.Abstract();
+  EXPECT_FALSE(MemoryIso(psi, DomainProcs(psi, s.a), DomainProcs(psi, s.b)));
+}
+
+TEST(IsolationTest, EndpointIsoDetectsSharedEndpoint) {
+  AbvScenario s = MakeScenario();
+  // Forge: bind A's channel endpoint into a B thread.
+  ASSERT_EQ(s.kernel.pm_mut().BindEndpoint(s.b_threads[0], 5, s.e_av), ProcError::kOk);
+  AbstractKernel psi = s.kernel.Abstract();
+  EXPECT_FALSE(
+      EndpointIso(psi, DomainThreads(psi, s.a), DomainThreads(psi, s.b)));
+}
+
+// ---------------------------------------------------------------------------
+// Observation function
+// ---------------------------------------------------------------------------
+
+TEST(ObservationTest, InvariantUnderForeignAllocations) {
+  AbvScenario s1 = MakeScenario();
+  AbvScenario s2 = MakeScenario();
+  // In world 2 only, A allocates first — B's later pages land at different
+  // physical addresses.
+  ASSERT_EQ(s2.kernel.Step(s2.a_threads[0], MmapCall(0x400000, 7)).error, SysError::kOk);
+  ASSERT_EQ(s1.kernel.Step(s1.b_threads[0], MmapCall(0x600000, 2)).error, SysError::kOk);
+  ASSERT_EQ(s2.kernel.Step(s2.b_threads[0], MmapCall(0x600000, 2)).error, SysError::kOk);
+
+  DomainView v1 = ObserveDomain(s1.kernel.Abstract(), s1.b);
+  DomainView v2 = ObserveDomain(s2.kernel.Abstract(), s2.b);
+  EXPECT_EQ(v1, v2) << "canonicalized observation hides allocator placement";
+}
+
+TEST(ObservationTest, SensitiveToOwnStateChanges) {
+  AbvScenario s = MakeScenario();
+  DomainView before = ObserveDomain(s.kernel.Abstract(), s.b);
+  ASSERT_EQ(s.kernel.Step(s.b_threads[0], MmapCall(0x600000, 1)).error, SysError::kOk);
+  DomainView after = ObserveDomain(s.kernel.Abstract(), s.b);
+  EXPECT_NE(before, after);
+}
+
+TEST(ObservationTest, PreservesSharingStructure) {
+  // Two B mappings of the same page vs two distinct pages must observe
+  // differently even under canonicalization.
+  AbvScenario s1 = MakeScenario();
+  AbvScenario s2 = MakeScenario();
+  for (AbvScenario* s : {&s1, &s2}) {
+    ASSERT_EQ(s->kernel.Step(s->b_threads[0], MmapCall(0x600000, 2)).error, SysError::kOk);
+  }
+  // World 1: alias the first page at a third address; world 2: fresh page.
+  PagePtr page = s1.kernel.vm().Resolve(s1.b_proc, 0x600000)->addr;
+  ASSERT_EQ(s1.kernel.vm_mut().MapSharedPage(&s1.kernel.alloc_mut(), s1.b_proc, 0x608000,
+                                             page, PageSize::k4K, kRw),
+            MapError::kOk);
+  ASSERT_EQ(s2.kernel.Step(s2.b_threads[0], MmapCall(0x608000, 1)).error, SysError::kOk);
+  EXPECT_NE(ObserveDomain(s1.kernel.Abstract(), s1.b),
+            ObserveDomain(s2.kernel.Abstract(), s2.b));
+}
+
+// ---------------------------------------------------------------------------
+// Verified proxy V
+// ---------------------------------------------------------------------------
+
+TEST(VerifiedProxyTest, EchoCallReply) {
+  AbvScenario s = MakeScenario();
+  VerifiedProxy v(&s.kernel, s);
+
+  Syscall call;
+  call.op = SysOp::kCall;
+  call.edpt_idx = AbvScenario::kClientSlot;
+  call.payload.scalars = {kOpEcho, 0, 0, 0};
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], call).error, SysError::kBlocked);
+
+  EXPECT_EQ(v.DrainAll(), 1);
+  EXPECT_EQ(s.kernel.pm().GetThread(s.a_threads[0]).state, ThreadState::kRunnable);
+  auto reply = s.kernel.TakeInbound(s.a_threads[0]);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->scalars[0], kOpEcho + 1);
+  EXPECT_TRUE(v.SpecWf());
+}
+
+TEST(VerifiedProxyTest, RecordsSharedPagesPerClient) {
+  AbvScenario s = MakeScenario();
+  VerifiedProxy v(&s.kernel, s);
+
+  ASSERT_EQ(s.kernel.Step(s.a_threads[0], MmapCall(0x400000, 1)).error, SysError::kOk);
+  ASSERT_EQ(s.kernel.Step(s.b_threads[0], MmapCall(0x400000, 1)).error, SysError::kOk);
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], ShareCall(0x400000, 0x700000)).error,
+            SysError::kBlocked);
+  EXPECT_EQ(s.kernel.Step(s.b_threads[0], ShareCall(0x400000, 0x710000)).error,
+            SysError::kBlocked);
+  EXPECT_EQ(v.DrainAll(), 2);
+
+  EXPECT_EQ(v.pages_from_a().size(), 1u);
+  EXPECT_EQ(v.pages_from_b().size(), 1u);
+  std::string detail;
+  EXPECT_TRUE(v.SpecWf(&detail)) << detail;
+  // The shared pages are mapped both in the clients and in V.
+  AbstractKernel psi = s.kernel.Abstract();
+  EXPECT_TRUE(psi.get_address_space(s.v_proc).contains(0x700000));
+  EXPECT_TRUE(psi.get_address_space(s.v_proc).contains(0x710000));
+  // A and B still satisfy memory isolation (V holds both, A/B don't mix).
+  EXPECT_TRUE(MemoryIso(psi, DomainProcs(psi, s.a), DomainProcs(psi, s.b)));
+}
+
+TEST(VerifiedProxyTest, ReleaseReturnsClientPages) {
+  AbvScenario s = MakeScenario();
+  VerifiedProxy v(&s.kernel, s);
+
+  ASSERT_EQ(s.kernel.Step(s.a_threads[0], MmapCall(0x400000, 1)).error, SysError::kOk);
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], ShareCall(0x400000, 0x700000)).error,
+            SysError::kBlocked);
+  v.DrainAll();
+  PagePtr page = s.kernel.vm().Resolve(s.v_proc, 0x700000)->addr;
+  EXPECT_EQ(s.kernel.alloc().MapCount(page), 2u);
+
+  // Client releases its own copy, then asks V to release.
+  Syscall unmap;
+  unmap.op = SysOp::kMunmap;
+  unmap.va_range = VaRange{0x400000, 1, PageSize::k4K};
+  ASSERT_EQ(s.kernel.Step(s.a_threads[0], unmap).error, SysError::kOk);
+  Syscall release;
+  release.op = SysOp::kSend;
+  release.edpt_idx = AbvScenario::kClientSlot;
+  release.payload.scalars = {kOpRelease, 0, 0, 0};
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], release).error, SysError::kBlocked);
+  v.DrainAll();
+
+  EXPECT_TRUE(v.pages_from_a().empty());
+  EXPECT_EQ(s.kernel.alloc().StateOf(page), PageState::kFree) << "V released the last ref";
+  EXPECT_TRUE(v.SpecWf());
+}
+
+TEST(VerifiedProxyTest, ReleasesPagesOfCrashedClient) {
+  AbvScenario s = MakeScenario();
+  VerifiedProxy v(&s.kernel, s);
+
+  // B shares a page with V, then B's container is killed by a root-side
+  // administrator thread (trusted init acting for the parent).
+  ASSERT_EQ(s.kernel.Step(s.b_threads[0], MmapCall(0x400000, 1)).error, SysError::kOk);
+  EXPECT_EQ(s.kernel.Step(s.b_threads[0], ShareCall(0x400000, 0x720000)).error,
+            SysError::kBlocked);
+  v.DrainAll();
+  PagePtr page = s.kernel.vm().Resolve(s.v_proc, 0x720000)->addr;
+
+  auto admin_proc = s.kernel.BootCreateProcess(s.kernel.root_container());
+  auto admin = s.kernel.BootCreateThread(admin_proc.value);
+  ASSERT_TRUE(admin.ok());
+  Syscall kill;
+  kill.op = SysOp::kKillContainer;
+  kill.target = s.b;
+  ASSERT_EQ(s.kernel.Step(admin.value, kill).error, SysError::kOk);
+  EXPECT_FALSE(s.kernel.pm().ContainerExists(s.b));
+  // V still holds the page (granted resources are not revoked, §3).
+  EXPECT_EQ(s.kernel.alloc().StateOf(page), PageState::kMapped);
+
+  // V's crash handler releases everything received from B.
+  v.OnClientCrash(s.b);
+  EXPECT_TRUE(v.pages_from_b().empty());
+  EXPECT_EQ(s.kernel.alloc().StateOf(page), PageState::kFree);
+  InvResult wf = s.kernel.TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Unwinding conditions over adversarial traces
+// ---------------------------------------------------------------------------
+
+class NoninterferenceTraceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NoninterferenceTraceTest, UnwindingConditionsHoldOverRandomTraces) {
+  AbvScenario s = MakeScenario();
+  NoninterferenceHarness harness(&s, GetParam());
+  NoninterferenceOptions options;
+  options.steps = 120;
+  UnwindingReport report = harness.Run(options);
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_GT(report.steps, 0u);
+  EXPECT_GT(report.oc_checks, 0u);
+  EXPECT_GT(report.sc_checks, 0u);
+  EXPECT_GT(report.iso_checks, 0u);
+  InvResult wf = s.kernel.TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NoninterferenceTraceTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+TEST(NoninterferenceTest, AdversaryCannotKillForeignContainers) {
+  AbvScenario s = MakeScenario();
+  Syscall kill;
+  kill.op = SysOp::kKillContainer;
+  for (CtnrPtr target : {s.b, s.v, s.kernel.root_container()}) {
+    kill.target = target;
+    EXPECT_EQ(s.kernel.Step(s.a_threads[0], kill).error, SysError::kDenied);
+  }
+  kill.op = SysOp::kKillProcess;
+  kill.target = s.b_proc;
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], kill).error, SysError::kDenied);
+}
+
+TEST(NoninterferenceTest, QuotaConservationMakesAllocationDenialLocal) {
+  // A exhausts its own quota; B's allocations still succeed — one domain
+  // cannot exhaust the memory of the system (§4.2).
+  AbvScenario s = MakeScenario();
+  SyscallRet ra = s.kernel.Step(s.a_threads[0], MmapCall(0x4000000, 400));
+  ASSERT_EQ(ra.error, SysError::kOk);
+  EXPECT_EQ(s.kernel.Step(s.a_threads[0], MmapCall(0x8000000, 400)).error,
+            SysError::kQuotaExceeded);
+  EXPECT_EQ(s.kernel.Step(s.b_threads[0], MmapCall(0x4000000, 128)).error, SysError::kOk);
+}
+
+}  // namespace
+}  // namespace atmo

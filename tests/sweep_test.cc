@@ -1,0 +1,158 @@
+// Parameterized property sweeps across the verified syscall surface:
+// page-size × rights combinations through mmap/grant/munmap under full
+// refinement checking, and allocator merge/split grids.
+
+#include <optional>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/verif/refinement_checker.h"
+
+namespace atmo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// mmap across every (page size, rights) combination
+// ---------------------------------------------------------------------------
+
+using MmapParam = std::tuple<PageSize, bool /*writable*/, bool /*nx*/>;
+
+class MmapSweepTest : public ::testing::TestWithParam<MmapParam> {};
+
+TEST_P(MmapSweepTest, MapResolveShareUnmapVerified) {
+  auto [size, writable, nx] = GetParam();
+
+  BootConfig config;
+  // Big enough for a 1G superpage when needed.
+  config.frames = size == PageSize::k1G ? 2 * (kPageSize1G / kPageSize4K)
+                                        : 4 * (kPageSize2M / kPageSize4K);
+  config.reserved_frames = 16;
+  Kernel kernel = std::move(*Kernel::Boot(config));
+  RefinementChecker checker(&kernel, /*check_wf_every=*/1);
+
+  std::uint64_t quota = PageFrames4K(size) + 64;
+  auto ctnr = kernel.BootCreateContainer(kernel.root_container(), quota, ~0ull);
+  auto proc = kernel.BootCreateProcess(ctnr.value);
+  auto thrd = kernel.BootCreateThread(proc.value);
+  auto peer_proc = kernel.BootCreateProcess(ctnr.value);
+  auto peer = kernel.BootCreateThread(peer_proc.value);
+
+  MapEntryPerm perm{.writable = writable, .user = true, .no_execute = nx};
+  VAddr va = PageBytes(size);  // naturally aligned, nonzero
+
+  Syscall mmap;
+  mmap.op = SysOp::kMmap;
+  mmap.va_range = VaRange{va, 1, size};
+  mmap.map_perm = perm;
+  SyscallRet ret = checker.Step(thrd.value, mmap);
+  if (ret.error == SysError::kQuotaExceeded && size == PageSize::k1G) {
+    GTEST_SKIP() << "1G quota carve did not fit this machine";
+  }
+  ASSERT_EQ(ret.error, SysError::kOk);
+
+  // The MMU agrees on size and rights at several probe offsets.
+  PAddr cr3 = kernel.vm().TableOf(proc.value).cr3();
+  for (std::uint64_t probe : {std::uint64_t{0}, PageBytes(size) / 3, PageBytes(size) - 8}) {
+    auto walk = kernel.mmu().Walk(cr3, va + probe);
+    ASSERT_TRUE(walk.has_value()) << probe;
+    EXPECT_EQ(walk->size, size);
+    EXPECT_EQ(walk->perm.writable, writable);
+    EXPECT_EQ(walk->perm.no_execute, nx);
+  }
+  EXPECT_EQ(kernel.mmu().Permits(cr3, va, Mmu::Access::kWrite, true), writable);
+  EXPECT_EQ(kernel.mmu().Permits(cr3, va, Mmu::Access::kExecute, true), !nx);
+
+  // Grant the page to the peer at the same rights (never amplified).
+  Syscall ne;
+  ne.op = SysOp::kNewEndpoint;
+  ne.edpt_idx = 0;
+  SyscallRet e = checker.Step(thrd.value, ne);
+  ASSERT_TRUE(e.ok());
+  ASSERT_EQ(kernel.pm_mut().BindEndpoint(peer.value, 0, e.value), ProcError::kOk);
+  Syscall recv;
+  recv.op = SysOp::kRecv;
+  recv.edpt_idx = 0;
+  ASSERT_EQ(checker.Step(peer.value, recv).error, SysError::kBlocked);
+  Syscall send;
+  send.op = SysOp::kSend;
+  send.edpt_idx = 0;
+  send.payload.page =
+      PageGrant{.page = va, .size = size, .dest_va = 8 * PageBytes(size), .perm = perm};
+  ASSERT_EQ(checker.Step(thrd.value, send).error, SysError::kOk);
+  PagePtr frame = kernel.vm().Resolve(proc.value, va)->addr;
+  EXPECT_EQ(kernel.alloc().MapCount(frame), 2u);
+
+  // Unmap on both sides: the superpage returns whole to its free list.
+  Syscall munmap;
+  munmap.op = SysOp::kMunmap;
+  munmap.va_range = VaRange{va, 1, size};
+  ASSERT_EQ(checker.Step(thrd.value, munmap).error, SysError::kOk);
+  munmap.va_range = VaRange{8 * PageBytes(size), 1, size};
+  ASSERT_EQ(checker.Step(peer.value, munmap).error, SysError::kOk);
+  EXPECT_EQ(kernel.alloc().StateOf(frame), PageState::kFree);
+  EXPECT_EQ(kernel.alloc().SizeClassOf(frame), size);
+}
+
+std::string MmapParamName(const ::testing::TestParamInfo<MmapParam>& info) {
+  PageSize size = std::get<0>(info.param);
+  std::string name = size == PageSize::k4K   ? "s4K"
+                     : size == PageSize::k2M ? "s2M"
+                                             : "s1G";
+  name += std::get<1>(info.param) ? "_rw" : "_ro";
+  name += std::get<2>(info.param) ? "_nx" : "_x";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRights, MmapSweepTest,
+    ::testing::Combine(::testing::Values(PageSize::k4K, PageSize::k2M, PageSize::k1G),
+                       ::testing::Bool(), ::testing::Bool()),
+    MmapParamName);
+
+// ---------------------------------------------------------------------------
+// Allocator merge/split grid: every (merge target, churn pattern) pair
+// restores a fully well-formed allocator.
+// ---------------------------------------------------------------------------
+
+class MergeGridTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(MergeGridTest, MergeSplitChurnConserves) {
+  auto [units, churn] = GetParam();
+  std::uint64_t frames_per_2m = kPageSize2M / kPageSize4K;
+  std::uint64_t total = (static_cast<std::uint64_t>(units) + 1) * frames_per_2m;
+  PageAllocator alloc(total, frames_per_2m);
+  std::uint64_t managed = total - frames_per_2m;
+
+  for (int round = 0; round < churn; ++round) {
+    // Punch allocation holes, free them, merge everything, split it back.
+    std::vector<PageAlloc> holes;
+    for (int h = 0; h < round + 1; ++h) {
+      if (auto page = alloc.AllocPage4K(kNullPtr)) {
+        holes.push_back(std::move(*page));
+      }
+    }
+    // Merges fail while holes exist in the first unit, succeed after.
+    for (PageAlloc& hole : holes) {
+      alloc.FreePage(hole.ptr, std::move(hole.perm));
+    }
+    std::vector<PagePtr> merged;
+    while (auto base = alloc.Merge2MAnywhere()) {
+      merged.push_back(*base);
+    }
+    EXPECT_EQ(merged.size(), static_cast<std::size_t>(units));
+    for (PagePtr base : merged) {
+      alloc.Split2M(base);
+    }
+    ASSERT_TRUE(alloc.Wf()) << "round " << round;
+    ASSERT_EQ(alloc.FreeCount(PageSize::k4K), managed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MergeGridTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 3, 6)));
+
+}  // namespace
+}  // namespace atmo

@@ -1,0 +1,363 @@
+// End-to-end system tests: whole-stack scenarios that cross every layer —
+// verified kernel, IPC, drivers behind the IOMMU, applications — with the
+// invariant suite validating the kernel at the end of each scenario.
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/kvstore.h"
+#include "src/apps/maglev.h"
+#include "src/core/kernel.h"
+#include "src/drivers/dma_arena.h"
+#include "src/drivers/ixgbe_driver.h"
+#include "src/drivers/nvme_driver.h"
+#include "src/hw/sim_nic.h"
+#include "src/hw/sim_nvme.h"
+#include <map>
+
+#include "src/sec/abv_scenario.h"
+#include "src/sec/noninterference.h"
+#include "src/sec/verified_proxy.h"
+#include "src/verif/invariant_registry.h"
+#include "src/verif/refinement_checker.h"
+
+namespace atmo {
+namespace {
+
+constexpr MapEntryPerm kRw{.writable = true, .user = true, .no_execute = false};
+
+// ---------------------------------------------------------------------------
+// Scenario 1: a server process offers a kv-store over IPC; a client process
+// in a sibling container talks to it through a granted endpoint — all under
+// full refinement checking.
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, CrossContainerKvServiceOverIpc) {
+  BootConfig config;
+  config.frames = 8192;
+  config.reserved_frames = 16;
+  Kernel kernel = std::move(*Kernel::Boot(config));
+  RefinementChecker checker(&kernel, /*check_wf_every=*/4);
+
+  auto server_ctnr = kernel.BootCreateContainer(kernel.root_container(), 1024, ~0ull);
+  auto client_ctnr = kernel.BootCreateContainer(kernel.root_container(), 512, ~0ull);
+  auto server_proc = kernel.BootCreateProcess(server_ctnr.value);
+  auto client_proc = kernel.BootCreateProcess(client_ctnr.value);
+  auto server = kernel.BootCreateThread(server_proc.value);
+  auto client = kernel.BootCreateThread(client_proc.value);
+
+  // The server publishes its service endpoint; trusted init wires it.
+  Syscall ne;
+  ne.op = SysOp::kNewEndpoint;
+  ne.edpt_idx = 0;
+  SyscallRet edpt = checker.Step(server.value, ne);
+  ASSERT_TRUE(edpt.ok());
+  ASSERT_EQ(kernel.pm_mut().BindEndpoint(client.value, 0, edpt.value), ProcError::kOk);
+
+  // The server's kv-store (user-level state).
+  KvStore store(256);
+
+  // Client performs 10 SETs and 10 GETs via call(); server services each.
+  for (int round = 0; round < 20; ++round) {
+    bool is_set = round < 10;
+    std::string key = "key" + std::to_string(round % 10);
+    std::string value = "value" + std::to_string(round % 10);
+
+    // Server waits for a request.
+    Syscall recv;
+    recv.op = SysOp::kRecv;
+    recv.edpt_idx = 0;
+    ASSERT_EQ(checker.Step(server.value, recv).error, SysError::kBlocked);
+
+    // Client encodes the request in scalar registers (op, index).
+    Syscall call;
+    call.op = SysOp::kCall;
+    call.edpt_idx = 0;
+    call.payload.scalars = {is_set ? 1ull : 0ull, static_cast<std::uint64_t>(round % 10), 0,
+                            0};
+    ASSERT_EQ(checker.Step(client.value, call).error, SysError::kBlocked);
+
+    // Server handles it against its store and replies.
+    auto request = kernel.TakeInbound(server.value);
+    ASSERT_TRUE(request.has_value());
+    std::uint64_t result;
+    if (request->scalars[0] == 1) {
+      result = store.Set(key, value) ? 1 : 0;
+    } else {
+      auto hit = store.Get(key);
+      result = hit.has_value() ? hit->size() : 0;
+    }
+    Syscall reply;
+    reply.op = SysOp::kReply;
+    reply.payload.scalars = {result, 0, 0, 0};
+    ASSERT_EQ(checker.Step(server.value, reply).error, SysError::kOk);
+
+    auto response = kernel.TakeInbound(client.value);
+    ASSERT_TRUE(response.has_value());
+    if (!is_set) {
+      EXPECT_EQ(response->scalars[0], value.size()) << "GET returned the stored length";
+    }
+  }
+  EXPECT_EQ(store.size(), 10u);
+
+  InvResult wf = kernel.TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+  EXPECT_GT(checker.steps_checked(), 60u);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: shared-memory data plane bootstrapped over IPC — the client
+// maps a buffer, grants it to the server, both communicate through it with
+// zero further kernel involvement (the paper's asynchronous communication
+// pattern, §3).
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, SharedMemoryDataPlaneBootstrappedOverIpc) {
+  BootConfig config;
+  config.frames = 8192;
+  config.reserved_frames = 16;
+  Kernel kernel = std::move(*Kernel::Boot(config));
+  RefinementChecker checker(&kernel, 4);
+
+  auto ctnr = kernel.BootCreateContainer(kernel.root_container(), 1024, ~0ull);
+  auto proc_a = kernel.BootCreateProcess(ctnr.value);
+  auto proc_b = kernel.BootCreateProcess(ctnr.value);
+  auto ta = kernel.BootCreateThread(proc_a.value);
+  auto tb = kernel.BootCreateThread(proc_b.value);
+
+  Syscall ne;
+  ne.op = SysOp::kNewEndpoint;
+  ne.edpt_idx = 0;
+  SyscallRet e = checker.Step(ta.value, ne);
+  ASSERT_EQ(kernel.pm_mut().BindEndpoint(tb.value, 0, e.value), ProcError::kOk);
+
+  // A maps a ring page and grants it to B.
+  Syscall mmap;
+  mmap.op = SysOp::kMmap;
+  mmap.va_range = VaRange{0x400000, 1, PageSize::k4K};
+  mmap.map_perm = kRw;
+  ASSERT_EQ(checker.Step(ta.value, mmap).error, SysError::kOk);
+
+  Syscall recv;
+  recv.op = SysOp::kRecv;
+  recv.edpt_idx = 0;
+  ASSERT_EQ(checker.Step(tb.value, recv).error, SysError::kBlocked);
+  Syscall send;
+  send.op = SysOp::kSend;
+  send.edpt_idx = 0;
+  send.payload.page = PageGrant{.page = 0x400000, .size = PageSize::k4K,
+                                .dest_va = 0x800000, .perm = kRw};
+  ASSERT_EQ(checker.Step(ta.value, send).error, SysError::kOk);
+
+  // Data plane: A writes through its mapping; B reads through its own
+  // (hardware-level check through both page tables).
+  PAddr frame = kernel.vm().Resolve(proc_a.value, 0x400000)->addr;
+  PAddr a_view = kernel.mmu().Walk(kernel.vm().TableOf(proc_a.value).cr3(), 0x400000)->paddr;
+  PAddr b_view = kernel.mmu().Walk(kernel.vm().TableOf(proc_b.value).cr3(), 0x800000)->paddr;
+  EXPECT_EQ(a_view, frame);
+  EXPECT_EQ(b_view, frame);
+  kernel.mem_mut().HwWriteU64(a_view + 256, 0xabcdef);
+  EXPECT_EQ(kernel.mem().HwReadU64(b_view + 256), 0xabcdefull);
+
+  // Teardown: A unmaps; the frame survives through B's mapping; B unmaps;
+  // the frame is free — no leak.
+  Syscall munmap;
+  munmap.op = SysOp::kMunmap;
+  munmap.va_range = VaRange{0x400000, 1, PageSize::k4K};
+  ASSERT_EQ(checker.Step(ta.value, munmap).error, SysError::kOk);
+  EXPECT_EQ(kernel.alloc().StateOf(frame), PageState::kMapped);
+  munmap.va_range = VaRange{0x800000, 1, PageSize::k4K};
+  ASSERT_EQ(checker.Step(tb.value, munmap).error, SysError::kOk);
+  EXPECT_EQ(kernel.alloc().StateOf(frame), PageState::kFree);
+
+  InvResult wf = kernel.TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: a forwarding appliance — NIC behind the IOMMU, ixgbe driver,
+// Maglev — processes a realistic traffic mix end to end.
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, MaglevApplianceForwardsTrafficMix) {
+  PhysMem mem(16384);
+  PageAllocator alloc(16384, 1);
+  IommuManager iommu(&mem);
+  IommuDomainId domain = iommu.CreateDomain(&alloc, kNullPtr);
+  ASSERT_TRUE(iommu.AttachDevice(domain, 1));
+  DmaArena arena(&mem, &alloc, &iommu, domain, 0x1000000);
+  SimNic nic(&mem, &iommu, 1);
+  IxgbeDriver driver(&arena, &nic, 64);
+  driver.Init();
+
+  Maglev lb(4099);
+  for (int i = 0; i < 6; ++i) {
+    lb.AddBackend(MaglevBackend{.name = "b" + std::to_string(i),
+                                .mac = MacAddr{2, 0, 0, 0, 1, static_cast<std::uint8_t>(i)},
+                                .ip = 0x0a010000u + static_cast<std::uint32_t>(i),
+                                .healthy = true});
+  }
+  lb.Populate();
+
+  // Mixed traffic: valid flows + occasional garbage.
+  std::size_t produced = 0;
+  nic.SetPacketSource([&](std::uint8_t* buf) -> std::size_t {
+    if (produced >= 200) {
+      return 0;
+    }
+    ++produced;
+    if (produced % 17 == 0) {
+      std::memset(buf, 0xcc, 64);  // garbage frame
+      return 64;
+    }
+    FiveTuple flow{.src_ip = static_cast<std::uint32_t>(0x0b000000 + produced * 7),
+                   .dst_ip = 0x0a0000fe,
+                   .src_port = static_cast<std::uint16_t>(1000 + produced),
+                   .dst_port = 80};
+    return BuildUdpFrame(buf, MacAddr{2, 0, 0, 0, 0, 9}, MacAddr{2, 0, 0, 0, 0, 1}, flow,
+                         "data", 4);
+  });
+
+  std::size_t egress = 0;
+  std::map<std::uint32_t, int> backend_hits;
+  nic.SetPacketSink([&](const std::uint8_t* frame, std::size_t len) {
+    auto parsed = ParseUdpFrame(frame, len);
+    ASSERT_TRUE(parsed.has_value()) << "forwarded frames must be valid";
+    ++backend_hits[parsed->flow.dst_ip];
+    ++egress;
+  });
+
+  std::uint8_t scratch[kMaxFrameLen];
+  std::size_t forwarded = 0;
+  std::size_t dropped = 0;
+  for (int round = 0; round < 30; ++round) {
+    nic.DeliverRx(16);
+    driver.RxBurstInPlace(
+        [&](VAddr iova, std::uint16_t len) {
+          arena.Read(iova, scratch, len);
+          if (lb.ForwardPacket(scratch, len) >= 0) {
+            arena.Write(iova, scratch, len);
+            driver.TxInPlaceDeferred(iova, len);
+            ++forwarded;
+          } else {
+            ++dropped;
+          }
+        },
+        16);
+    driver.TxFlush();
+    nic.ProcessTx(16);
+  }
+
+  std::size_t garbage = 200 / 17;
+  EXPECT_EQ(forwarded, 200 - garbage);
+  EXPECT_EQ(dropped, garbage);
+  EXPECT_EQ(egress, forwarded);
+  EXPECT_GE(backend_hits.size(), 4u) << "traffic spread over backends";
+  EXPECT_TRUE(alloc.Wf());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 4: storage round trip through the full stack with data
+// integrity verified against an independent model.
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, NvmeStorageStackDataIntegrity) {
+  PhysMem mem(16384);
+  PageAllocator alloc(16384, 1);
+  IommuManager iommu(&mem);
+  IommuDomainId domain = iommu.CreateDomain(&alloc, kNullPtr);
+  ASSERT_TRUE(iommu.AttachDevice(domain, 2));
+  DmaArena arena(&mem, &alloc, &iommu, domain, 0x1000000);
+  SimNvme ssd(&mem, &iommu, 2, 4096);
+  NvmeDriver driver(&arena, &ssd, 32);
+  driver.Init();
+  VAddr buf = driver.AllocBuffer(4);
+
+  // Write 64 blocks with content derived from the LBA; model in parallel.
+  std::map<std::uint64_t, std::uint64_t> model;  // lba -> first word
+  std::uint32_t cid = 0;
+  for (std::uint64_t lba = 100; lba < 164; lba += 4) {
+    for (int b = 0; b < 4; ++b) {
+      std::uint64_t word = lba * 1000 + static_cast<std::uint64_t>(b);
+      arena.WriteU64(buf + static_cast<std::uint64_t>(b) * kNvmeBlockBytes, word);
+      model[lba + static_cast<std::uint64_t>(b)] = word;
+    }
+    ASSERT_TRUE(driver.SubmitWrite(lba, 4, buf, cid++));
+    driver.RingDoorbell();
+    ssd.ProcessCommands(4);
+    NvmeCompletion c;
+    ASSERT_EQ(driver.PollCompletions(&c, 1), 1u);
+    ASSERT_FALSE(c.error);
+  }
+
+  // Read back in a different access pattern and verify.
+  for (std::uint64_t lba = 160; lba >= 100 && lba < 164; lba -= 4) {
+    ASSERT_TRUE(driver.SubmitRead(lba, 4, buf, cid++));
+    driver.RingDoorbell();
+    ssd.ProcessCommands(4);
+    NvmeCompletion c;
+    ASSERT_EQ(driver.PollCompletions(&c, 1), 1u);
+    ASSERT_FALSE(c.error);
+    for (int b = 0; b < 4; ++b) {
+      EXPECT_EQ(arena.ReadU64(buf + static_cast<std::uint64_t>(b) * kNvmeBlockBytes),
+                model[lba + static_cast<std::uint64_t>(b)])
+          << "lba " << lba + b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 5: long adversarial A/B/V campaign with the proxy under load —
+// the slow full-strength noninterference run (beyond sec_test's quick one).
+// ---------------------------------------------------------------------------
+
+TEST(SystemTest, LongAdversarialCampaignWithVerifiedProxy) {
+  BootConfig config;
+  config.frames = 4096;
+  config.reserved_frames = 16;
+  AbvScenario scenario = AbvScenario::Build(config, 512, 512, 512);
+  VerifiedProxy proxy(&scenario.kernel, scenario);
+
+  // Clients share pages with V up front.
+  for (int side = 0; side < 2; ++side) {
+    ThrdPtr t = side == 0 ? scenario.a_threads[0] : scenario.b_threads[0];
+    Syscall mmap;
+    mmap.op = SysOp::kMmap;
+    mmap.va_range = VaRange{0x400000, 2, PageSize::k4K};
+    mmap.map_perm = kRw;
+    ASSERT_EQ(scenario.kernel.Step(t, mmap).error, SysError::kOk);
+    for (int i = 0; i < 2; ++i) {
+      Syscall share;
+      share.op = SysOp::kSend;
+      share.edpt_idx = AbvScenario::kClientSlot;
+      share.payload.scalars = {kOpShare, 0, 0, 0};
+      share.payload.page =
+          PageGrant{.page = 0x400000 + static_cast<VAddr>(i) * kPageSize4K,
+                    .size = PageSize::k4K,
+                    .dest_va = 0x700000 + static_cast<VAddr>(side * 16 + i) * kPageSize4K,
+                    .perm = kRw};
+      ASSERT_EQ(scenario.kernel.Step(t, share).error, SysError::kBlocked);
+      proxy.DrainAll();
+    }
+  }
+  EXPECT_EQ(proxy.pages_from_a().size(), 2u);
+  EXPECT_EQ(proxy.pages_from_b().size(), 2u);
+  EXPECT_TRUE(proxy.SpecWf());
+
+  NoninterferenceHarness harness(&scenario, /*seed=*/777);
+  NoninterferenceOptions options;
+  options.steps = 250;
+  options.oc_every = 8;
+  options.sc_every = 4;
+  UnwindingReport report = harness.Run(options);
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_GT(report.iso_checks, 100u);
+
+  InvResult wf = scenario.kernel.TotalWf();
+  EXPECT_TRUE(wf.ok) << wf.detail;
+}
+
+}  // namespace
+}  // namespace atmo

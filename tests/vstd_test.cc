@@ -1,0 +1,412 @@
+// Unit tests for the vstd substrate: spec collections, linear permissions,
+// flat permission maps, and the internal-storage static list.
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "src/vstd/check.h"
+#include "src/vstd/permission_map.h"
+#include "src/vstd/points_to.h"
+#include "src/vstd/spec_map.h"
+#include "src/vstd/spec_seq.h"
+#include "src/vstd/spec_set.h"
+#include "src/vstd/static_list.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpecMap
+// ---------------------------------------------------------------------------
+
+TEST(SpecMapTest, InsertRemoveContains) {
+  SpecMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  SpecMap<int, std::string> m2 = m.insert(1, "one");
+  EXPECT_FALSE(m.contains(1)) << "insert is functional: original unchanged";
+  EXPECT_TRUE(m2.contains(1));
+  EXPECT_EQ(m2.at(1), "one");
+  SpecMap<int, std::string> m3 = m2.remove(1);
+  EXPECT_FALSE(m3.contains(1));
+  EXPECT_TRUE(m2.contains(1)) << "remove is functional: original unchanged";
+}
+
+TEST(SpecMapTest, ExtensionalEquality) {
+  SpecMap<int, int> a = SpecMap<int, int>().insert(1, 10).insert(2, 20);
+  SpecMap<int, int> b = SpecMap<int, int>().insert(2, 20).insert(1, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, b.insert(3, 30));
+  EXPECT_NE(a, b.insert(1, 11));
+}
+
+TEST(SpecMapTest, ForAllAndExists) {
+  SpecMap<int, int> m = SpecMap<int, int>().insert(1, 2).insert(2, 4).insert(3, 6);
+  EXPECT_TRUE(m.ForAll([](int k, int v) { return v == 2 * k; }));
+  EXPECT_FALSE(m.ForAll([](int k, int v) { return v > 2 * k; }));
+  EXPECT_TRUE(m.Exists([](int k, int v) { return k == 2 && v == 4; }));
+  EXPECT_FALSE(m.Exists([](int, int v) { return v == 5; }));
+}
+
+TEST(SpecMapTest, AgreeExceptAt) {
+  using IntMap = SpecMap<int, int>;
+  IntMap a = IntMap().insert(1, 10).insert(2, 20);
+  IntMap b = a.insert(2, 99);
+  EXPECT_TRUE(IntMap::AgreeExceptAt(a, b, 2));
+  EXPECT_FALSE(IntMap::AgreeExceptAt(a, b, 1));
+  // Key added on one side only, at the excluded key: still agreeing.
+  IntMap c = a.remove(2);
+  EXPECT_TRUE(IntMap::AgreeExceptAt(a, c, 2));
+  EXPECT_FALSE(IntMap::AgreeExceptAt(a, c, 1));
+}
+
+TEST(SpecMapTest, Submap) {
+  SpecMap<int, int> a = SpecMap<int, int>().insert(1, 10);
+  SpecMap<int, int> b = a.insert(2, 20);
+  EXPECT_TRUE(a.IsSubmapOf(b));
+  EXPECT_FALSE(b.IsSubmapOf(a));
+  EXPECT_TRUE(a.IsSubmapOf(a));
+  EXPECT_FALSE(a.IsSubmapOf(b.insert(1, 11)));
+}
+
+TEST(SpecMapTest, AtOutsideDomainIsCheckFailure) {
+  ScopedThrowOnCheckFailure guard;
+  SpecMap<int, int> m;
+  EXPECT_THROW(m.at(7), CheckViolation);
+}
+
+// ---------------------------------------------------------------------------
+// SpecSet
+// ---------------------------------------------------------------------------
+
+TEST(SpecSetTest, BasicOps) {
+  SpecSet<int> s{1, 2, 3};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(4));
+  SpecSet<int> s2 = s.insert(4);
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_TRUE(s2.contains(4));
+  EXPECT_FALSE(s2.remove(4).contains(4));
+}
+
+TEST(SpecSetTest, UnionIntersectDifference) {
+  SpecSet<int> a{1, 2, 3};
+  SpecSet<int> b{3, 4};
+  EXPECT_EQ(a.Union(b), (SpecSet<int>{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (SpecSet<int>{3}));
+  EXPECT_EQ(a.Difference(b), (SpecSet<int>{1, 2}));
+}
+
+TEST(SpecSetTest, DisjointnessAndSubset) {
+  SpecSet<int> a{1, 2};
+  SpecSet<int> b{3, 4};
+  SpecSet<int> c{2, 3};
+  EXPECT_TRUE(a.IsDisjointFrom(b));
+  EXPECT_FALSE(a.IsDisjointFrom(c));
+  EXPECT_TRUE((SpecSet<int>{1}).IsSubsetOf(a));
+  EXPECT_FALSE(c.IsSubsetOf(a));
+  EXPECT_TRUE(SpecSet<int>{}.IsDisjointFrom(a));
+  EXPECT_TRUE(SpecSet<int>{}.IsSubsetOf(a));
+}
+
+TEST(SpecSetTest, Quantifiers) {
+  SpecSet<int> s{2, 4, 6};
+  EXPECT_TRUE(s.ForAll([](int x) { return x % 2 == 0; }));
+  EXPECT_TRUE(s.Exists([](int x) { return x == 4; }));
+  EXPECT_FALSE(s.Exists([](int x) { return x == 5; }));
+}
+
+// ---------------------------------------------------------------------------
+// SpecSeq
+// ---------------------------------------------------------------------------
+
+TEST(SpecSeqTest, PushIndexSubrange) {
+  SpecSeq<int> s;
+  s = s.push(1).push(2).push(3);
+  EXPECT_EQ(s.len(), 3u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s.last(), 3);
+  EXPECT_EQ(s.subrange(0, 2), (SpecSeq<int>{1, 2}));
+  EXPECT_EQ(s.drop_last(), (SpecSeq<int>{1, 2}));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_FALSE(s.contains(9));
+}
+
+TEST(SpecSeqTest, PrefixAndDuplicates) {
+  SpecSeq<int> a{1, 2};
+  SpecSeq<int> b{1, 2, 3};
+  EXPECT_TRUE(a.IsPrefixOf(b));
+  EXPECT_FALSE(b.IsPrefixOf(a));
+  EXPECT_TRUE(a.IsPrefixOf(a));
+  EXPECT_FALSE((SpecSeq<int>{2, 1}).IsPrefixOf(b));
+  EXPECT_TRUE(b.NoDuplicates());
+  EXPECT_FALSE((SpecSeq<int>{1, 2, 1}).NoDuplicates());
+}
+
+TEST(SpecSeqTest, OutOfRangeIsCheckFailure) {
+  ScopedThrowOnCheckFailure guard;
+  SpecSeq<int> s{1};
+  EXPECT_THROW(s.at(1), CheckViolation);
+  EXPECT_THROW(s.subrange(0, 2), CheckViolation);
+  EXPECT_THROW(SpecSeq<int>{}.last(), CheckViolation);
+}
+
+// ---------------------------------------------------------------------------
+// PointsTo / PPtr — linearity discipline
+// ---------------------------------------------------------------------------
+
+TEST(PointsToTest, InitTakePut) {
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 42);
+  EXPECT_TRUE(perm.is_init());
+  EXPECT_EQ(perm.addr(), 0x1000u);
+  EXPECT_EQ(perm.value(), 42);
+  int v = perm.Take();
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(perm.is_init());
+  perm.Put(7);
+  EXPECT_EQ(perm.value(), 7);
+}
+
+TEST(PointsToTest, BorrowRequiresMatchingAddress) {
+  ScopedThrowOnCheckFailure guard;
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 1);
+  PPtr<int> right(0x1000);
+  PPtr<int> wrong(0x2000);
+  EXPECT_EQ(right.Borrow(perm), 1);
+  EXPECT_THROW(wrong.Borrow(perm), CheckViolation);
+}
+
+TEST(PointsToTest, BorrowUninitializedIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PointsTo<int> perm = PointsTo<int>::Uninit(0x1000);
+  PPtr<int> p(0x1000);
+  EXPECT_THROW(p.Borrow(perm), CheckViolation);
+  EXPECT_THROW(perm.value(), CheckViolation);
+}
+
+TEST(PointsToTest, UseAfterMoveIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 1);
+  PointsTo<int> moved = std::move(perm);
+  EXPECT_EQ(moved.value(), 1);
+  EXPECT_THROW(perm.addr(), CheckViolation);  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(PointsToTest, DoubleInitIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 1);
+  EXPECT_THROW(perm.Put(2), CheckViolation);
+}
+
+TEST(PointsToTest, ReplaceSwapsValue) {
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 1);
+  EXPECT_EQ(perm.Replace(9), 1);
+  EXPECT_EQ(perm.value(), 9);
+}
+
+TEST(PointsToTest, MutationThroughBorrowMut) {
+  PointsTo<int> perm = PointsTo<int>::Init(0x3000, 5);
+  PPtr<int> p(0x3000);
+  p.BorrowMut(perm) = 11;
+  EXPECT_EQ(p.Borrow(perm), 11);
+}
+
+TEST(PointsToTest, CloneForVerificationIsIndependent) {
+  PointsTo<int> perm = PointsTo<int>::Init(0x1000, 1);
+  PointsTo<int> clone = perm.CloneForVerification();
+  clone.value_mut() = 2;
+  EXPECT_EQ(perm.value(), 1);
+  EXPECT_EQ(clone.value(), 2);
+  EXPECT_EQ(clone.addr(), perm.addr());
+}
+
+// ---------------------------------------------------------------------------
+// PermissionMap — flat storage
+// ---------------------------------------------------------------------------
+
+TEST(PermissionMapTest, InsertBorrowRemove) {
+  PermissionMap<int> map;
+  map.TrackedInsert(PointsTo<int>::Init(0x1000, 10));
+  map.TrackedInsert(PointsTo<int>::Init(0x2000, 20));
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.Get(0x1000), 10);
+  map.GetMut(0x2000) = 21;
+  EXPECT_EQ(map.Get(0x2000), 21);
+  PointsTo<int> out = map.TrackedRemove(0x1000);
+  EXPECT_EQ(out.value(), 10);
+  EXPECT_FALSE(map.contains(0x1000));
+}
+
+TEST(PermissionMapTest, DuplicateInsertIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PermissionMap<int> map;
+  map.TrackedInsert(PointsTo<int>::Init(0x1000, 10));
+  EXPECT_THROW(map.TrackedInsert(PointsTo<int>::Init(0x1000, 11)), CheckViolation);
+}
+
+TEST(PermissionMapTest, RemoveAbsentIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  PermissionMap<int> map;
+  EXPECT_THROW(map.TrackedRemove(0x1000), CheckViolation);
+  EXPECT_THROW(map.TrackedBorrow(0x1000), CheckViolation);
+}
+
+TEST(PermissionMapTest, DomAndForAll) {
+  PermissionMap<int> map;
+  map.TrackedInsert(PointsTo<int>::Init(0x1000, 1));
+  map.TrackedInsert(PointsTo<int>::Init(0x2000, 2));
+  EXPECT_EQ(map.Dom(), (SpecSet<Ptr>{0x1000, 0x2000}));
+  EXPECT_TRUE(map.ForAll([](Ptr p, int v) { return p == v * 0x1000u; }));
+  EXPECT_FALSE(map.ForAll([](Ptr, int v) { return v > 1; }));
+}
+
+TEST(PermissionMapTest, CloneForVerificationDeepCopies) {
+  PermissionMap<int> map;
+  map.TrackedInsert(PointsTo<int>::Init(0x1000, 1));
+  PermissionMap<int> clone = map.CloneForVerification();
+  clone.GetMut(0x1000) = 99;
+  EXPECT_EQ(map.Get(0x1000), 1);
+  EXPECT_EQ(clone.Get(0x1000), 99);
+}
+
+// ---------------------------------------------------------------------------
+// StaticList
+// ---------------------------------------------------------------------------
+
+TEST(StaticListTest, PushPopOrder) {
+  StaticList<int, 8> list;
+  list.PushBack(1);
+  list.PushBack(2);
+  list.PushFront(0);
+  EXPECT_EQ(list.len(), 3u);
+  EXPECT_EQ(list.View(), (SpecSeq<int>{0, 1, 2}));
+  EXPECT_EQ(list.PopFront(), 0);
+  EXPECT_EQ(list.PopFront(), 1);
+  EXPECT_EQ(list.PopFront(), 2);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(StaticListTest, ConstantTimeRemovalBySlot) {
+  StaticList<int, 8> list;
+  list.PushBack(10);
+  std::uint32_t mid = list.PushBack(20);
+  list.PushBack(30);
+  list.Remove(mid);
+  EXPECT_EQ(list.View(), (SpecSeq<int>{10, 30}));
+  EXPECT_TRUE(list.LinksWf());
+}
+
+TEST(StaticListTest, SlotReuseAfterRemoval) {
+  StaticList<int, 2> list;
+  std::uint32_t a = list.PushBack(1);
+  list.PushBack(2);
+  EXPECT_TRUE(list.full());
+  list.Remove(a);
+  list.PushBack(3);  // must reuse freed slot
+  EXPECT_EQ(list.View(), (SpecSeq<int>{2, 3}));
+  EXPECT_TRUE(list.LinksWf());
+}
+
+TEST(StaticListTest, CapacityExhaustionIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  StaticList<int, 2> list;
+  list.PushBack(1);
+  list.PushBack(2);
+  EXPECT_THROW(list.PushBack(3), CheckViolation);
+}
+
+TEST(StaticListTest, FindAndRemoveValue) {
+  StaticList<int, 4> list;
+  list.PushBack(5);
+  list.PushBack(6);
+  EXPECT_TRUE(list.Contains(6));
+  list.RemoveValue(6);
+  EXPECT_FALSE(list.Contains(6));
+  ScopedThrowOnCheckFailure guard;
+  EXPECT_THROW(list.RemoveValue(6), CheckViolation);
+}
+
+TEST(StaticListTest, RemoveUnusedSlotIsViolation) {
+  ScopedThrowOnCheckFailure guard;
+  StaticList<int, 4> list;
+  EXPECT_THROW(list.Remove(0), CheckViolation);
+  EXPECT_THROW(list.At(3), CheckViolation);
+  EXPECT_THROW(list.PopFront(), CheckViolation);
+}
+
+TEST(StaticListTest, IterationMatchesView) {
+  StaticList<int, 8> list;
+  for (int i = 0; i < 5; ++i) {
+    list.PushBack(i);
+  }
+  int expect = 0;
+  for (int v : list) {
+    EXPECT_EQ(v, expect++);
+  }
+  EXPECT_EQ(expect, 5);
+}
+
+// Parameterized stress: random interleavings of push/remove stay well-formed.
+class StaticListStressTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StaticListStressTest, RandomOpsPreserveLinksWf) {
+  unsigned seed = GetParam();
+  std::uint64_t state = seed * 2654435761u + 1;
+  auto next = [&state] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(state >> 33);
+  };
+  StaticList<int, 32> list;
+  std::vector<std::pair<std::uint32_t, int>> live;  // (slot, value)
+  std::vector<int> model;
+  for (int step = 0; step < 500; ++step) {
+    if (!list.full() && (live.empty() || next() % 2 == 0)) {
+      int value = static_cast<int>(next() % 1000);
+      std::uint32_t slot = list.PushBack(value);
+      live.emplace_back(slot, value);
+      model.push_back(value);
+    } else {
+      std::size_t pick = next() % live.size();
+      list.Remove(live[pick].first);
+      model.erase(std::find(model.begin(), model.end(), live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_TRUE(list.LinksWf()) << "step " << step;
+    ASSERT_EQ(list.len(), model.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticListStressTest, ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+// ---------------------------------------------------------------------------
+// Check infrastructure
+// ---------------------------------------------------------------------------
+
+TEST(CheckTest, ScopedHandlerRestoresPrevious) {
+  {
+    ScopedThrowOnCheckFailure outer;
+    {
+      ScopedThrowOnCheckFailure inner;
+      EXPECT_THROW(ATMO_FAIL("inner"), CheckViolation);
+    }
+    EXPECT_THROW(ATMO_FAIL("outer still throwing"), CheckViolation);
+  }
+}
+
+TEST(CheckTest, EventCarriesLocationAndMessage) {
+  ScopedThrowOnCheckFailure guard;
+  try {
+    ATMO_CHECK(1 == 2, "math is broken");
+    FAIL() << "should have thrown";
+  } catch (const CheckViolation& v) {
+    EXPECT_NE(std::string(v.event().file).find("vstd_test"), std::string::npos);
+    EXPECT_EQ(v.event().message, "math is broken");
+    EXPECT_NE(v.event().condition.find("1 == 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace atmo
