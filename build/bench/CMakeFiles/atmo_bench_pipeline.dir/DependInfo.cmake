@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/pipeline.cc" "bench/CMakeFiles/atmo_bench_pipeline.dir/pipeline.cc.o" "gcc" "bench/CMakeFiles/atmo_bench_pipeline.dir/pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

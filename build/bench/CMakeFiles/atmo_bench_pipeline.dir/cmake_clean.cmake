@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_bench_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/atmo_bench_pipeline.dir/pipeline.cc.o.d"
+  "libatmo_bench_pipeline.a"
+  "libatmo_bench_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_bench_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

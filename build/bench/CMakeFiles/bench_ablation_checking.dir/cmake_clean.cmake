@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checking.dir/bench_ablation_checking.cc.o"
+  "CMakeFiles/bench_ablation_checking.dir/bench_ablation_checking.cc.o.d"
+  "bench_ablation_checking"
+  "bench_ablation_checking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

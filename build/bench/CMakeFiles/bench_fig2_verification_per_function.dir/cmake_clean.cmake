@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_verification_per_function.dir/bench_fig2_verification_per_function.cc.o"
+  "CMakeFiles/bench_fig2_verification_per_function.dir/bench_fig2_verification_per_function.cc.o.d"
+  "bench_fig2_verification_per_function"
+  "bench_fig2_verification_per_function.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_verification_per_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

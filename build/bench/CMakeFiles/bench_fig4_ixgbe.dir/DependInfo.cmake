@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_ixgbe.cc" "bench/CMakeFiles/bench_fig4_ixgbe.dir/bench_fig4_ixgbe.cc.o" "gcc" "bench/CMakeFiles/bench_fig4_ixgbe.dir/bench_fig4_ixgbe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/atmo_bench_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

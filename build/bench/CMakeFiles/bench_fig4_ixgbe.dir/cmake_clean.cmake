@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ixgbe.dir/bench_fig4_ixgbe.cc.o"
+  "CMakeFiles/bench_fig4_ixgbe.dir/bench_fig4_ixgbe.cc.o.d"
+  "bench_fig4_ixgbe"
+  "bench_fig4_ixgbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ixgbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

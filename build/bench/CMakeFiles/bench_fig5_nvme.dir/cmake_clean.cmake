@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_nvme.dir/bench_fig5_nvme.cc.o"
+  "CMakeFiles/bench_fig5_nvme.dir/bench_fig5_nvme.cc.o.d"
+  "bench_fig5_nvme"
+  "bench_fig5_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

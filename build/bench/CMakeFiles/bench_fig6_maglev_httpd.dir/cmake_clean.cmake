@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_maglev_httpd.dir/bench_fig6_maglev_httpd.cc.o"
+  "CMakeFiles/bench_fig6_maglev_httpd.dir/bench_fig6_maglev_httpd.cc.o.d"
+  "bench_fig6_maglev_httpd"
+  "bench_fig6_maglev_httpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_maglev_httpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_kvstore.dir/bench_fig7_kvstore.cc.o"
+  "CMakeFiles/bench_fig7_kvstore.dir/bench_fig7_kvstore.cc.o.d"
+  "bench_fig7_kvstore"
+  "bench_fig7_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_development.dir/verified_development.cpp.o"
+  "CMakeFiles/verified_development.dir/verified_development.cpp.o.d"
+  "verified_development"
+  "verified_development.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_development.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/httpd.cc" "src/CMakeFiles/atmo_apps.dir/apps/httpd.cc.o" "gcc" "src/CMakeFiles/atmo_apps.dir/apps/httpd.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/CMakeFiles/atmo_apps.dir/apps/kvstore.cc.o" "gcc" "src/CMakeFiles/atmo_apps.dir/apps/kvstore.cc.o.d"
+  "/root/repo/src/apps/maglev.cc" "src/CMakeFiles/atmo_apps.dir/apps/maglev.cc.o" "gcc" "src/CMakeFiles/atmo_apps.dir/apps/maglev.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

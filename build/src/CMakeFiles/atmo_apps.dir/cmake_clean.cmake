@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_apps.dir/apps/httpd.cc.o"
+  "CMakeFiles/atmo_apps.dir/apps/httpd.cc.o.d"
+  "CMakeFiles/atmo_apps.dir/apps/kvstore.cc.o"
+  "CMakeFiles/atmo_apps.dir/apps/kvstore.cc.o.d"
+  "CMakeFiles/atmo_apps.dir/apps/maglev.cc.o"
+  "CMakeFiles/atmo_apps.dir/apps/maglev.cc.o.d"
+  "libatmo_apps.a"
+  "libatmo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cap_kernel.cc" "src/CMakeFiles/atmo_baseline.dir/baseline/cap_kernel.cc.o" "gcc" "src/CMakeFiles/atmo_baseline.dir/baseline/cap_kernel.cc.o.d"
+  "/root/repo/src/baseline/linux_block.cc" "src/CMakeFiles/atmo_baseline.dir/baseline/linux_block.cc.o" "gcc" "src/CMakeFiles/atmo_baseline.dir/baseline/linux_block.cc.o.d"
+  "/root/repo/src/baseline/linux_net.cc" "src/CMakeFiles/atmo_baseline.dir/baseline/linux_net.cc.o" "gcc" "src/CMakeFiles/atmo_baseline.dir/baseline/linux_net.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atmo_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_baseline.dir/baseline/cap_kernel.cc.o"
+  "CMakeFiles/atmo_baseline.dir/baseline/cap_kernel.cc.o.d"
+  "CMakeFiles/atmo_baseline.dir/baseline/linux_block.cc.o"
+  "CMakeFiles/atmo_baseline.dir/baseline/linux_block.cc.o.d"
+  "CMakeFiles/atmo_baseline.dir/baseline/linux_net.cc.o"
+  "CMakeFiles/atmo_baseline.dir/baseline/linux_net.cc.o.d"
+  "libatmo_baseline.a"
+  "libatmo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_core.dir/core/kernel.cc.o"
+  "CMakeFiles/atmo_core.dir/core/kernel.cc.o.d"
+  "CMakeFiles/atmo_core.dir/core/vm_manager.cc.o"
+  "CMakeFiles/atmo_core.dir/core/vm_manager.cc.o.d"
+  "libatmo_core.a"
+  "libatmo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

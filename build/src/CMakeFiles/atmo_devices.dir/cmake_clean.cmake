@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_devices.dir/hw/sim_nic.cc.o"
+  "CMakeFiles/atmo_devices.dir/hw/sim_nic.cc.o.d"
+  "CMakeFiles/atmo_devices.dir/hw/sim_nvme.cc.o"
+  "CMakeFiles/atmo_devices.dir/hw/sim_nvme.cc.o.d"
+  "libatmo_devices.a"
+  "libatmo_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

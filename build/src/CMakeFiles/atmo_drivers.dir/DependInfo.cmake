@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/dma_arena.cc" "src/CMakeFiles/atmo_drivers.dir/drivers/dma_arena.cc.o" "gcc" "src/CMakeFiles/atmo_drivers.dir/drivers/dma_arena.cc.o.d"
+  "/root/repo/src/drivers/ixgbe_driver.cc" "src/CMakeFiles/atmo_drivers.dir/drivers/ixgbe_driver.cc.o" "gcc" "src/CMakeFiles/atmo_drivers.dir/drivers/ixgbe_driver.cc.o.d"
+  "/root/repo/src/drivers/nvme_driver.cc" "src/CMakeFiles/atmo_drivers.dir/drivers/nvme_driver.cc.o" "gcc" "src/CMakeFiles/atmo_drivers.dir/drivers/nvme_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atmo_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_iommu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_drivers.dir/drivers/dma_arena.cc.o"
+  "CMakeFiles/atmo_drivers.dir/drivers/dma_arena.cc.o.d"
+  "CMakeFiles/atmo_drivers.dir/drivers/ixgbe_driver.cc.o"
+  "CMakeFiles/atmo_drivers.dir/drivers/ixgbe_driver.cc.o.d"
+  "CMakeFiles/atmo_drivers.dir/drivers/nvme_driver.cc.o"
+  "CMakeFiles/atmo_drivers.dir/drivers/nvme_driver.cc.o.d"
+  "libatmo_drivers.a"
+  "libatmo_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

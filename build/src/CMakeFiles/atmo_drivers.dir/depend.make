@@ -1,0 +1,2 @@
+# Empty dependencies file for atmo_drivers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_hw.dir/hw/mmu.cc.o"
+  "CMakeFiles/atmo_hw.dir/hw/mmu.cc.o.d"
+  "CMakeFiles/atmo_hw.dir/hw/phys_mem.cc.o"
+  "CMakeFiles/atmo_hw.dir/hw/phys_mem.cc.o.d"
+  "libatmo_hw.a"
+  "libatmo_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

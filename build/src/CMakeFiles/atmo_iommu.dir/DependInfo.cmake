@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iommu/iommu_manager.cc" "src/CMakeFiles/atmo_iommu.dir/iommu/iommu_manager.cc.o" "gcc" "src/CMakeFiles/atmo_iommu.dir/iommu/iommu_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/atmo_pagetable.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_pmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/atmo_vstd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

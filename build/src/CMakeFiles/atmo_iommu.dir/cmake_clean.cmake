@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_iommu.dir/iommu/iommu_manager.cc.o"
+  "CMakeFiles/atmo_iommu.dir/iommu/iommu_manager.cc.o.d"
+  "libatmo_iommu.a"
+  "libatmo_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

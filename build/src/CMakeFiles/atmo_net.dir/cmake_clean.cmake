@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_net.dir/net/packet.cc.o"
+  "CMakeFiles/atmo_net.dir/net/packet.cc.o.d"
+  "libatmo_net.a"
+  "libatmo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_pagetable.dir/pagetable/page_table.cc.o"
+  "CMakeFiles/atmo_pagetable.dir/pagetable/page_table.cc.o.d"
+  "CMakeFiles/atmo_pagetable.dir/pagetable/refinement.cc.o"
+  "CMakeFiles/atmo_pagetable.dir/pagetable/refinement.cc.o.d"
+  "libatmo_pagetable.a"
+  "libatmo_pagetable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_pagetable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_pmem.dir/pmem/page_allocator.cc.o"
+  "CMakeFiles/atmo_pmem.dir/pmem/page_allocator.cc.o.d"
+  "libatmo_pmem.a"
+  "libatmo_pmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_pmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

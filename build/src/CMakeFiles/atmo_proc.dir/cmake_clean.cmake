@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_proc.dir/proc/invariants.cc.o"
+  "CMakeFiles/atmo_proc.dir/proc/invariants.cc.o.d"
+  "CMakeFiles/atmo_proc.dir/proc/process_manager.cc.o"
+  "CMakeFiles/atmo_proc.dir/proc/process_manager.cc.o.d"
+  "libatmo_proc.a"
+  "libatmo_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

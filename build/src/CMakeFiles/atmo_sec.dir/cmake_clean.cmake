@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_sec.dir/sec/abv_scenario.cc.o"
+  "CMakeFiles/atmo_sec.dir/sec/abv_scenario.cc.o.d"
+  "CMakeFiles/atmo_sec.dir/sec/isolation.cc.o"
+  "CMakeFiles/atmo_sec.dir/sec/isolation.cc.o.d"
+  "CMakeFiles/atmo_sec.dir/sec/noninterference.cc.o"
+  "CMakeFiles/atmo_sec.dir/sec/noninterference.cc.o.d"
+  "CMakeFiles/atmo_sec.dir/sec/observation.cc.o"
+  "CMakeFiles/atmo_sec.dir/sec/observation.cc.o.d"
+  "CMakeFiles/atmo_sec.dir/sec/verified_proxy.cc.o"
+  "CMakeFiles/atmo_sec.dir/sec/verified_proxy.cc.o.d"
+  "libatmo_sec.a"
+  "libatmo_sec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_sec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

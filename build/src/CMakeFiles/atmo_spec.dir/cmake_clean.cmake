@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_spec.dir/spec/syscall_specs.cc.o"
+  "CMakeFiles/atmo_spec.dir/spec/syscall_specs.cc.o.d"
+  "libatmo_spec.a"
+  "libatmo_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

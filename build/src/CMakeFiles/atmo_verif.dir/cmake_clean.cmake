@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_verif.dir/verif/invariant_registry.cc.o"
+  "CMakeFiles/atmo_verif.dir/verif/invariant_registry.cc.o.d"
+  "CMakeFiles/atmo_verif.dir/verif/refinement_checker.cc.o"
+  "CMakeFiles/atmo_verif.dir/verif/refinement_checker.cc.o.d"
+  "libatmo_verif.a"
+  "libatmo_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

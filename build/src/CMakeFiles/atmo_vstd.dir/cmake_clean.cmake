@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atmo_vstd.dir/vstd/check.cc.o"
+  "CMakeFiles/atmo_vstd.dir/vstd/check.cc.o.d"
+  "libatmo_vstd.a"
+  "libatmo_vstd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atmo_vstd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_test.dir/sec_test.cc.o"
+  "CMakeFiles/sec_test.dir/sec_test.cc.o.d"
+  "sec_test"
+  "sec_test.pdb"
+  "sec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vstd_test.dir/vstd_test.cc.o"
+  "CMakeFiles/vstd_test.dir/vstd_test.cc.o.d"
+  "vstd_test"
+  "vstd_test.pdb"
+  "vstd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vstd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/vstd_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/pmem_test[1]_include.cmake")
+include("/root/repo/build/tests/pagetable_test[1]_include.cmake")
+include("/root/repo/build/tests/proc_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/iommu_test[1]_include.cmake")
+include("/root/repo/build/tests/sec_test[1]_include.cmake")
+include("/root/repo/build/tests/drivers_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/spec_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/system_test[1]_include.cmake")
+include("/root/repo/build/tests/verif_test[1]_include.cmake")
+include("/root/repo/build/tests/kernel_ipc_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
