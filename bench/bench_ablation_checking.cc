@@ -74,6 +74,22 @@ std::uint64_t RunWorkload(StepFn&& step, ThrdPtr thrd, std::uint64_t ops) {
   return done;
 }
 
+// Per-phase cost breakdown of a checker run (the CheckStats counters the
+// incremental-abstraction work added to the harness).
+void PrintCheckStats(const char* config, const CheckStats& st) {
+  auto ms = [](std::uint64_t ns) { return static_cast<double>(ns) / 1e6; };
+  std::printf("    %-22s abstraction %8.1f ms (%llu full, %llu delta)  specs %8.1f ms\n"
+              "    %-22s wf %8.1f ms (%llu checks)  audit %8.1f ms (%llu passes)\n"
+              "    %-22s dirty entries: %llu total, %llu max/step\n",
+              config, ms(st.abstraction_ns),
+              static_cast<unsigned long long>(st.full_abstractions),
+              static_cast<unsigned long long>(st.delta_abstractions), ms(st.spec_ns), "",
+              ms(st.wf_ns), static_cast<unsigned long long>(st.wf_checks), ms(st.audit_ns),
+              static_cast<unsigned long long>(st.audit_passes), "",
+              static_cast<unsigned long long>(st.dirty_entries),
+              static_cast<unsigned long long>(st.max_dirty_entries));
+}
+
 void PtScalingCurve() {
   std::printf("\nflat vs recursive page-table checking, by state size\n");
   std::printf("%10s %16s %16s %10s\n", "mappings", "flat (ms)", "recursive (ms)", "ratio");
@@ -149,6 +165,7 @@ int main() {
                             env.thrd, n);
                       }),
              "K");
+    PrintCheckStats("specs every step", checker.stats());
   }
   {
     Env env = Env::Build();
@@ -160,6 +177,7 @@ int main() {
                             env.thrd, n);
                       }),
              "K");
+    PrintCheckStats("specs + wf every 16", checker.stats());
   }
   {
     Env env = Env::Build();
@@ -171,6 +189,7 @@ int main() {
                             env.thrd, n);
                       }),
              "K");
+    PrintCheckStats("specs + wf every step", checker.stats());
   }
 
   PtScalingCurve();

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: builds and runs the tier-1 test suite twice —
+#   1. the default RelWithDebInfo configuration
+#   2. an ASan+UBSan instrumented build (catches the class of bug the
+#      refinement harness cannot: UB that happens to compute the right
+#      answer, e.g. dereferencing map.end())
+# plus a quick smoke run of the incremental-refinement benchmark.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== build + ctest (default config) ==="
+cmake -B build-ci -S . >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== build + ctest (ASan + UBSan) ==="
+cmake -B build-ci-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" >/dev/null
+cmake --build build-ci-asan -j "$JOBS"
+ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
+
+echo "=== bench smoke (scaled down) ==="
+ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_incremental_refinement
+
+echo "CI OK"

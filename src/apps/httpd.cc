@@ -119,7 +119,9 @@ std::size_t Httpd::WriteResponse(std::uint8_t* resp, std::size_t cap, int status
     return 0;
   }
   std::memcpy(resp, header, static_cast<std::size_t>(header_len));
-  std::memcpy(resp + header_len, body.data(), body.size());
+  if (!body.empty()) {  // HEAD responses carry a null body view
+    std::memcpy(resp + header_len, body.data(), body.size());
+  }
   return total;
 }
 

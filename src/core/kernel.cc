@@ -899,9 +899,10 @@ SyscallRet Kernel::SysIommuUnmapDma(ThrdPtr t, const Syscall& call) {
   if (!iommu_.DomainExists(domain) || iommu_.DomainOwner(domain) != ctnr) {
     return Err(SysError::kDenied);
   }
-  // Peek first for atomic failure.
+  // Peek first for atomic failure. The domain was just checked to exist,
+  // but guard the lookup anyway: dereferencing end() is UB.
   auto it = iommu_.domains().find(domain);
-  if (!it->second.Resolve(call.iova).has_value()) {
+  if (it == iommu_.domains().end() || !it->second.Resolve(call.iova).has_value()) {
     return Err(SysError::kInvalid);
   }
   std::optional<MapEntry> entry = iommu_.UnmapDma(domain, call.iova);
@@ -919,61 +920,109 @@ SyscallRet Kernel::SysIommuUnmapDma(ThrdPtr t, const Syscall& call) {
 // Verification surface
 // ---------------------------------------------------------------------------
 
+namespace {
+
+AbsContainer AbstractContainer(const Container& c) {
+  AbsContainer ac;
+  ac.parent = c.parent;
+  ac.children = c.children.View();
+  ac.depth = c.depth;
+  ac.path = c.path;
+  ac.subtree = c.subtree;
+  ac.mem_quota = c.mem_quota;
+  ac.mem_used = c.mem_used;
+  ac.cpu_mask = c.cpu_mask;
+  ac.procs = c.owned_procs.View();
+  ac.threads = c.owned_threads;
+  return ac;
+}
+
+AbsProcess AbstractProcess(const Process& p) {
+  AbsProcess ap;
+  ap.ctnr = p.owning_container;
+  ap.parent = p.parent;
+  ap.children = p.children.View();
+  ap.threads = p.threads.View();
+  return ap;
+}
+
+AbsThread AbstractThread(const Thread& t) {
+  AbsThread at;
+  at.proc = t.owning_proc;
+  at.ctnr = t.owning_ctnr;
+  at.state = t.state;
+  at.endpoints = t.endpoints;
+  at.ipc_buf = t.ipc_buf;
+  at.has_inbound = t.has_inbound;
+  at.waiting_on = t.waiting_on;
+  at.reply_to = t.reply_to;
+  return at;
+}
+
+AbsEndpoint AbstractEndpoint(const Endpoint& e) {
+  AbsEndpoint ae;
+  ae.queue = e.queue.View();
+  ae.queue_kind = e.queue_kind;
+  ae.rf_count = e.rf_count;
+  ae.owner = e.owning_ctnr;
+  return ae;
+}
+
+AbsIommuDomain AbstractIommuDomain(const IommuManager& iommu, IommuDomainId id,
+                                   const PageTable& table) {
+  AbsIommuDomain ad;
+  ad.owner = iommu.DomainOwner(id);
+  ad.mappings = table.AddressSpace();
+  for (const auto& [device, dom] : iommu.device_attachments()) {
+    if (dom == id) {
+      ad.devices.add(device);
+    }
+  }
+  return ad;
+}
+
+SpecSeq<ThrdPtr> RunQueueView(const ProcessManager& pm) {
+  SpecSeq<ThrdPtr> out;
+  for (ThrdPtr t : pm.run_queue()) {
+    out.append(t);
+  }
+  return out;
+}
+
+// Writes `v` into `m[k]` only when it differs; a skipped write preserves the
+// map's COW rep sharing (the delta-abstraction equality fast path depends on
+// untouched maps staying rep-shared with the base snapshot).
+template <typename K, typename V>
+void SetIfChanged(SpecMap<K, V>* m, const K& k, const V& v) {
+  if (m->contains(k) && m->at(k) == v) {
+    return;
+  }
+  m->set(k, v);
+}
+
+}  // namespace
+
 AbstractKernel Kernel::Abstract() const {
   AbstractKernel a;
   a.root_container = pm_.root_container();
 
   for (const auto& [c_ptr, perm] : pm_.cntr_perms()) {
-    const Container& c = perm.value();
-    AbsContainer ac;
-    ac.parent = c.parent;
-    ac.children = c.children.View();
-    ac.depth = c.depth;
-    ac.path = c.path;
-    ac.subtree = c.subtree;
-    ac.mem_quota = c.mem_quota;
-    ac.mem_used = c.mem_used;
-    ac.cpu_mask = c.cpu_mask;
-    ac.procs = c.owned_procs.View();
-    ac.threads = c.owned_threads;
-    a.containers.set(c_ptr, ac);
+    a.containers.set(c_ptr, AbstractContainer(perm.value()));
   }
 
   for (const auto& [p_ptr, perm] : pm_.proc_perms()) {
-    const Process& p = perm.value();
-    AbsProcess ap;
-    ap.ctnr = p.owning_container;
-    ap.parent = p.parent;
-    ap.children = p.children.View();
-    ap.threads = p.threads.View();
-    a.procs.set(p_ptr, ap);
+    a.procs.set(p_ptr, AbstractProcess(perm.value()));
     if (vm_.HasAddressSpace(p_ptr)) {
       a.address_spaces.set(p_ptr, vm_.AddressSpaceOf(p_ptr));
     }
   }
 
   for (const auto& [t_ptr, perm] : pm_.thrd_perms()) {
-    const Thread& t = perm.value();
-    AbsThread at;
-    at.proc = t.owning_proc;
-    at.ctnr = t.owning_ctnr;
-    at.state = t.state;
-    at.endpoints = t.endpoints;
-    at.ipc_buf = t.ipc_buf;
-    at.has_inbound = t.has_inbound;
-    at.waiting_on = t.waiting_on;
-    at.reply_to = t.reply_to;
-    a.threads.set(t_ptr, at);
+    a.threads.set(t_ptr, AbstractThread(perm.value()));
   }
 
   for (const auto& [e_ptr, perm] : pm_.edpt_perms()) {
-    const Endpoint& e = perm.value();
-    AbsEndpoint ae;
-    ae.queue = e.queue.View();
-    ae.queue_kind = e.queue_kind;
-    ae.rf_count = e.rf_count;
-    ae.owner = e.owning_ctnr;
-    a.endpoints.set(e_ptr, ae);
+    a.endpoints.set(e_ptr, AbstractEndpoint(perm.value()));
   }
 
   for (PagePtr page : alloc_.AllocatedPages()) {
@@ -989,21 +1038,127 @@ AbstractKernel Kernel::Abstract() const {
   a.free_pages_1g = alloc_.FreePages(PageSize::k1G);
 
   for (const auto& [id, table] : iommu_.domains()) {
-    AbsIommuDomain ad;
-    ad.owner = iommu_.DomainOwner(id);
-    ad.mappings = table.AddressSpace();
-    for (const auto& [device, dom] : iommu_.device_attachments()) {
-      if (dom == id) {
-        ad.devices.add(device);
-      }
-    }
-    a.iommu_domains.set(id, ad);
+    a.iommu_domains.set(id, AbstractIommuDomain(iommu_, id, table));
   }
 
-  for (ThrdPtr t : pm_.run_queue()) {
-    a.run_queue = a.run_queue.push(t);
-  }
+  a.run_queue = RunQueueView(pm_);
   a.current = pm_.current();
+  return a;
+}
+
+DirtySet Kernel::DrainDirty() {
+  DirtySet d;
+  pm_.DrainDirty(&d);
+  alloc_.DrainDirtyInto(&d.pages, &d.overflow);
+  vm_.DrainDirtyInto(&d.spaces, &d.overflow);
+  iommu_.DrainDirtyInto(&d.iommu_domains, &d.overflow);
+  return d;
+}
+
+AbstractKernel Kernel::AbstractDelta(const AbstractKernel& base, const DirtySet& dirty) const {
+  if (dirty.overflow) {
+    return Abstract();  // log overflowed: the dirty set is not exhaustive
+  }
+  AbstractKernel a = base;  // O(1): every SpecMap/SpecSet copy shares its rep
+
+  for (CtnrPtr c : dirty.ctnrs) {
+    if (pm_.ContainerExists(c)) {
+      SetIfChanged(&a.containers, c, AbstractContainer(pm_.GetContainer(c)));
+    } else {
+      a.containers.erase(c);
+    }
+  }
+
+  for (ProcPtr p : dirty.procs) {
+    if (pm_.ProcessExists(p)) {
+      SetIfChanged(&a.procs, p, AbstractProcess(pm_.GetProcess(p)));
+    } else {
+      a.procs.erase(p);
+      a.address_spaces.erase(p);
+    }
+  }
+
+  for (ThrdPtr t : dirty.thrds) {
+    if (pm_.ThreadExists(t)) {
+      SetIfChanged(&a.threads, t, AbstractThread(pm_.GetThread(t)));
+    } else {
+      a.threads.erase(t);
+    }
+  }
+
+  for (EdptPtr e : dirty.edpts) {
+    if (pm_.EndpointExists(e)) {
+      SetIfChanged(&a.endpoints, e, AbstractEndpoint(pm_.GetEndpoint(e)));
+    } else {
+      a.endpoints.erase(e);
+    }
+  }
+
+  for (ProcPtr p : dirty.spaces) {
+    if (vm_.HasAddressSpace(p)) {
+      SetIfChanged(&a.address_spaces, p, vm_.AddressSpaceOf(p));
+    } else {
+      a.address_spaces.erase(p);
+    }
+  }
+
+  for (PagePtr page : dirty.pages) {
+    switch (alloc_.StateOf(page)) {
+      case PageState::kAllocated:
+        SetIfChanged(&a.pages, page,
+                     AbsPageInfo{PageState::kAllocated, alloc_.SizeClassOf(page),
+                                 alloc_.OwnerOf(page), 0});
+        a.free_pages_4k.erase(page);
+        a.free_pages_2m.erase(page);
+        a.free_pages_1g.erase(page);
+        break;
+      case PageState::kMapped:
+        SetIfChanged(&a.pages, page,
+                     AbsPageInfo{PageState::kMapped, alloc_.SizeClassOf(page),
+                                 alloc_.OwnerOf(page), alloc_.MapCount(page)});
+        a.free_pages_4k.erase(page);
+        a.free_pages_2m.erase(page);
+        a.free_pages_1g.erase(page);
+        break;
+      case PageState::kFree: {
+        a.pages.erase(page);
+        PageSize size = alloc_.SizeClassOf(page);
+        (size == PageSize::k4K ? a.free_pages_4k
+         : size == PageSize::k2M ? a.free_pages_2m
+                                 : a.free_pages_1g)
+            .add(page);
+        if (size != PageSize::k4K) a.free_pages_4k.erase(page);
+        if (size != PageSize::k2M) a.free_pages_2m.erase(page);
+        if (size != PageSize::k1G) a.free_pages_1g.erase(page);
+        break;
+      }
+      case PageState::kMerged:
+      case PageState::kUnavailable:
+        // Tail of a superpage (or reserved): no standalone abstract entry.
+        a.pages.erase(page);
+        a.free_pages_4k.erase(page);
+        a.free_pages_2m.erase(page);
+        a.free_pages_1g.erase(page);
+        break;
+    }
+  }
+
+  for (IommuDomainId id : dirty.iommu_domains) {
+    auto it = iommu_.domains().find(id);
+    if (it != iommu_.domains().end()) {
+      SetIfChanged(&a.iommu_domains, id, AbstractIommuDomain(iommu_, id, it->second));
+    } else {
+      a.iommu_domains.erase(id);
+    }
+  }
+
+  if (dirty.scheduler) {
+    SpecSeq<ThrdPtr> rq = RunQueueView(pm_);
+    if (!(rq == a.run_queue)) {
+      a.run_queue = rq;
+    }
+    a.current = pm_.current();
+  }
   return a;
 }
 

@@ -26,6 +26,7 @@
 #include "src/proc/invariants.h"
 #include "src/proc/process_manager.h"
 #include "src/spec/abstract_state.h"
+#include "src/vstd/dirty_set.h"
 
 namespace atmo {
 
@@ -83,6 +84,14 @@ class Kernel {
   // --- Verification surface ---
   // Abstraction function: concrete state -> Ψ.
   AbstractKernel Abstract() const;
+  // Drains every subsystem's mutation log: the set of objects whose
+  // abstract view may differ from the last drained snapshot.
+  DirtySet DrainDirty();
+  // Incremental abstraction: patches `base` (a faithful Ψ of the concrete
+  // state as of the previous drain) at exactly the dirty entries, yielding
+  // Abstract() in O(|dirty|) instead of O(machine). Falls back to a full
+  // Abstract() when the dirty log overflowed.
+  AbstractKernel AbstractDelta(const AbstractKernel& base, const DirtySet& dirty) const;
   // total_wf(): conjunction of every subsystem invariant plus the global
   // memory-safety and leak-freedom arguments (§4.2).
   InvResult TotalWf() const;

@@ -30,12 +30,14 @@ bool VmManager::CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr o
     return false;
   }
   tables_.emplace(proc, std::move(*table));
+  dirty_.Mark(proc);
   return true;
 }
 
 VmManager::DestroyStats VmManager::DestroyAddressSpace(PageAllocator* alloc, ProcPtr proc) {
   auto it = tables_.find(proc);
   ATMO_CHECK(it != tables_.end(), "DestroyAddressSpace of unknown process");
+  dirty_.Mark(proc);
   DestroyStats stats;
 
   std::vector<VAddr> vas;
@@ -103,6 +105,7 @@ void VmManager::MapFreshPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PageA
   alloc->MarkMapped(page.ptr);
   MapError err = it->second.Map(alloc, va, page.ptr, size, perm);
   ATMO_CHECK(err == MapError::kOk, "pre-validated map failed");
+  dirty_.Mark(proc);
   frame_perms_.emplace(page.ptr, std::move(page.perm));
 }
 
@@ -118,6 +121,7 @@ MapError VmManager::MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, 
   if (err != MapError::kOk) {
     return err;
   }
+  dirty_.Mark(proc);
   alloc->IncMapCount(page);
   return MapError::kOk;
 }
@@ -132,6 +136,7 @@ std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, Pro
   if (!entry.has_value()) {
     return std::nullopt;
   }
+  dirty_.Mark(proc);
   UnmapResult result;
   result.entry = *entry;
   PagePtr page = entry->addr;

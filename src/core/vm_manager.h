@@ -11,11 +11,13 @@
 
 #include <map>
 #include <optional>
+#include <set>
 
 #include "src/hw/mmu.h"
 #include "src/hw/phys_mem.h"
 #include "src/pagetable/page_table.h"
 #include "src/pmem/page_allocator.h"
+#include "src/vstd/dirty_set.h"
 #include "src/vstd/spec_map.h"
 #include "src/vstd/spec_set.h"
 #include "src/vstd/types.h"
@@ -93,12 +95,18 @@ class VmManager {
 
   const std::map<ProcPtr, PageTable>& tables() const { return tables_; }
 
+  // Drains the set of processes whose abstract address space may have
+  // changed since the last drain (incremental abstraction). Released user
+  // frames are tracked by the page allocator's own dirty log.
+  void DrainDirtyInto(std::set<ProcPtr>* out, bool* overflow) { dirty_.DrainInto(out, overflow); }
+
   VmManager CloneForVerification(PhysMem* mem) const;
 
  private:
   PhysMem* mem_;
   std::map<ProcPtr, PageTable> tables_;
   std::map<PagePtr, FramePerm> frame_perms_;  // flat: all mapped user frames
+  DirtyLog dirty_;
 };
 
 }  // namespace atmo

@@ -14,6 +14,7 @@ IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
   }
   IommuDomainId id = next_domain_++;
   domains_.emplace(id, std::move(*table));
+  dirty_.Mark(id);
   return id;
 }
 
@@ -34,6 +35,7 @@ void IommuManager::DestroyDomain(PageAllocator* alloc, IommuDomainId domain) {
   it->second.Destroy(alloc);
   domains_.erase(it);
   owner_overrides_.erase(domain);
+  dirty_.Mark(domain);
 }
 
 CtnrPtr IommuManager::DomainOwner(IommuDomainId domain) const {
@@ -51,6 +53,7 @@ void IommuManager::SetDomainOwner(IommuDomainId domain, CtnrPtr ctnr) {
   // overkill — the table owner field is advisory; quota attribution is the
   // kernel's. We track the override here.
   owner_overrides_[domain] = ctnr;
+  dirty_.Mark(domain);
 }
 
 bool IommuManager::AttachDevice(IommuDomainId domain, DeviceId device) {
@@ -61,12 +64,15 @@ bool IommuManager::AttachDevice(IommuDomainId domain, DeviceId device) {
     return false;  // already attached elsewhere
   }
   device_domains_[device] = domain;
+  dirty_.Mark(domain);
   return true;
 }
 
 void IommuManager::DetachDevice(DeviceId device) {
-  ATMO_CHECK(device_domains_.count(device) != 0, "DetachDevice of unattached device");
-  device_domains_.erase(device);
+  auto it = device_domains_.find(device);
+  ATMO_CHECK(it != device_domains_.end(), "DetachDevice of unattached device");
+  dirty_.Mark(it->second);
+  device_domains_.erase(it);
 }
 
 IommuDomainId IommuManager::DomainOf(DeviceId device) const {
@@ -80,12 +86,14 @@ MapError IommuManager::MapDma(PageAllocator* alloc, IommuDomainId domain, VAddr 
   if (it == domains_.end()) {
     return MapError::kNotMapped;
   }
+  dirty_.Mark(domain);
   return it->second.Map(alloc, iova, pa, size, perm);
 }
 
 std::optional<MapEntry> IommuManager::UnmapDma(IommuDomainId domain, VAddr iova) {
   auto it = domains_.find(domain);
   ATMO_CHECK(it != domains_.end(), "UnmapDma on unknown domain");
+  dirty_.Mark(domain);
   return it->second.Unmap(iova);
 }
 

@@ -16,11 +16,13 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "src/hw/mmu.h"
 #include "src/hw/phys_mem.h"
 #include "src/pagetable/page_table.h"
 #include "src/pmem/page_allocator.h"
+#include "src/vstd/dirty_set.h"
 #include "src/vstd/spec_set.h"
 #include "src/vstd/types.h"
 
@@ -77,6 +79,12 @@ class IommuManager {
   // reference live domains.
   bool Wf() const;
 
+  // Drains the set of domains whose abstract view (owner, mappings or
+  // attached devices) may have changed since the last drain.
+  void DrainDirtyInto(std::set<IommuDomainId>* out, bool* overflow) {
+    dirty_.DrainInto(out, overflow);
+  }
+
   const std::map<IommuDomainId, PageTable>& domains() const { return domains_; }
   const std::map<DeviceId, IommuDomainId>& device_attachments() const {
     return device_domains_;
@@ -98,6 +106,7 @@ class IommuManager {
   // Ownership re-attribution after container kills / delegation; overrides
   // the creating table's owner tag.
   std::map<IommuDomainId, CtnrPtr> owner_overrides_;
+  DirtyLog dirty_;
 };
 
 }  // namespace atmo

@@ -269,6 +269,9 @@ SpecMap<VAddr, MapEntry>& PageTable::MutableMapping(PageSize size) {
 }
 
 SpecMap<VAddr, MapEntry> PageTable::AddressSpace() const {
+  if (map_2m_.empty() && map_1g_.empty()) {
+    return map_4k_;  // COW share: O(1) for 4K-only address spaces
+  }
   SpecMap<VAddr, MapEntry> out = map_4k_;
   for (const auto& [va, entry] : map_2m_) {
     out.set(va, entry);

@@ -60,6 +60,7 @@ const PageAllocator::FreeList& PageAllocator::ListFor(PageSize size) const {
 }
 
 void PageAllocator::PushFree(std::uint64_t frame, PageSize size) {
+  dirty_.Mark(PtrOf(frame));
   FreeList& list = ListFor(size);
   PageMeta& meta = meta_[frame];
   meta.state = PageState::kFree;
@@ -77,6 +78,7 @@ void PageAllocator::PushFree(std::uint64_t frame, PageSize size) {
 }
 
 void PageAllocator::UnlinkFree(std::uint64_t frame) {
+  dirty_.Mark(PtrOf(frame));
   PageMeta& meta = meta_[frame];
   ATMO_CHECK(meta.state == PageState::kFree, "UnlinkFree on non-free page");
   FreeList& list = ListFor(meta.size);
@@ -162,6 +164,7 @@ void PageAllocator::FreePage(PagePtr ptr, FramePerm perm) {
 void PageAllocator::MarkMapped(PagePtr ptr) {
   PageMeta& meta = meta_[FrameOf(ptr)];
   ATMO_CHECK(meta.state == PageState::kAllocated, "MarkMapped on page not in allocated state");
+  dirty_.Mark(ptr);
   meta.state = PageState::kMapped;
   meta.map_count = 1;
 }
@@ -169,6 +172,7 @@ void PageAllocator::MarkMapped(PagePtr ptr) {
 std::uint32_t PageAllocator::IncMapCount(PagePtr ptr) {
   PageMeta& meta = meta_[FrameOf(ptr)];
   ATMO_CHECK(meta.state == PageState::kMapped, "IncMapCount on unmapped page");
+  dirty_.Mark(ptr);
   return ++meta.map_count;
 }
 
@@ -176,6 +180,7 @@ std::uint32_t PageAllocator::DecMapCount(PagePtr ptr) {
   PageMeta& meta = meta_[FrameOf(ptr)];
   ATMO_CHECK(meta.state == PageState::kMapped, "DecMapCount on unmapped page");
   ATMO_CHECK(meta.map_count > 0, "map count underflow");
+  dirty_.Mark(ptr);
   return --meta.map_count;
 }
 
@@ -310,6 +315,7 @@ void PageAllocator::SetOwner(PagePtr ptr, CtnrPtr owner) {
   PageMeta& meta = meta_[FrameOf(ptr)];
   ATMO_CHECK(meta.state == PageState::kAllocated || meta.state == PageState::kMapped,
              "SetOwner on page that is not allocated or mapped");
+  dirty_.Mark(ptr);
   meta.owner = owner;
 }
 

@@ -27,10 +27,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "src/hw/phys_mem.h"
+#include "src/vstd/dirty_set.h"
 #include "src/vstd/spec_set.h"
 #include "src/vstd/types.h"
 
@@ -133,6 +135,10 @@ class PageAllocator {
   // live superpage head, and every frame is in exactly one state.
   bool Wf() const;
 
+  // Dedup-drains the set of frames whose abstract attribution (state, size
+  // class, owner or map count) may have changed since the last drain.
+  void DrainDirtyInto(std::set<PagePtr>* out, bool* overflow) { dirty_.DrainInto(out, overflow); }
+
   // Deep copy for the verification harness.
   PageAllocator CloneForVerification() const;
 
@@ -171,6 +177,7 @@ class PageAllocator {
   FreeList free_4k_;
   FreeList free_2m_;
   FreeList free_1g_;
+  DirtyLog dirty_;
 };
 
 }  // namespace atmo

@@ -221,6 +221,7 @@ PmResult<ThrdPtr> ProcessManager::NewThread(PageAllocator* alloc, ProcPtr proc) 
   PlacedObject<Thread> placed = PlaceObject(std::move(page->perm), std::move(thrd));
   thrd_perms_.TrackedInsert(std::move(placed.perm));
   run_queue_.push_back(thrd_ptr);
+  sched_dirty_ = true;
   return PmResult<ThrdPtr>::Ok(thrd_ptr);
 }
 
@@ -297,6 +298,7 @@ void ProcessManager::RemoveThread(PageAllocator* alloc, ThrdPtr thrd) {
     case ThreadState::kRunning:
       ATMO_CHECK(current_ == thrd, "running thread is not the current thread");
       current_ = kNullPtr;
+      sched_dirty_ = true;
       break;
     case ThreadState::kBlockedSend:
     case ThreadState::kBlockedRecv:
@@ -384,6 +386,7 @@ void ProcessManager::DispatchSpecific(ThrdPtr thrd) {
   DequeueRunnable(thrd);
   t.state = ThreadState::kRunning;
   current_ = thrd;
+  sched_dirty_ = true;
 }
 
 void ProcessManager::PreemptCurrent() {
@@ -391,6 +394,7 @@ void ProcessManager::PreemptCurrent() {
   thrd_perms_.GetMut(current_).state = ThreadState::kRunnable;
   run_queue_.push_back(current_);
   current_ = kNullPtr;
+  sched_dirty_ = true;
 }
 
 void ProcessManager::BlockCurrentForReply() {
@@ -400,12 +404,14 @@ void ProcessManager::BlockCurrentForReply() {
   t.waiting_on = kNullPtr;
   t.wait_slot = kStaticListNil;
   current_ = kNullPtr;
+  sched_dirty_ = true;
 }
 
 void ProcessManager::DequeueRunnable(ThrdPtr thrd) {
   auto it = std::find(run_queue_.begin(), run_queue_.end(), thrd);
   ATMO_CHECK(it != run_queue_.end(), "runnable thread absent from the run queue");
   run_queue_.erase(it);
+  sched_dirty_ = true;
 }
 
 void ProcessManager::MakeRunnable(ThrdPtr thrd) {
@@ -416,6 +422,7 @@ void ProcessManager::MakeRunnable(ThrdPtr thrd) {
   t.waiting_on = kNullPtr;
   t.wait_slot = kStaticListNil;
   run_queue_.push_back(thrd);
+  sched_dirty_ = true;
 }
 
 void ProcessManager::Yield() {
@@ -424,6 +431,7 @@ void ProcessManager::Yield() {
   thrd_perms_.GetMut(prev).state = ThreadState::kRunnable;
   run_queue_.push_back(prev);
   current_ = kNullPtr;
+  sched_dirty_ = true;
   ScheduleNext();
 }
 
@@ -436,6 +444,7 @@ ThrdPtr ProcessManager::ScheduleNext() {
   run_queue_.pop_front();
   thrd_perms_.GetMut(next).state = ThreadState::kRunning;
   current_ = next;
+  sched_dirty_ = true;
   return next;
 }
 
@@ -463,6 +472,7 @@ void ProcessManager::BlockCurrentOn(EdptPtr edpt, ThreadState blocked_state) {
   t.waiting_on = edpt;
   t.wait_slot = e.queue.PushBack(thrd);
   current_ = kNullPtr;
+  sched_dirty_ = true;
 }
 
 ThrdPtr ProcessManager::PopWaiter(EdptPtr edpt) {
@@ -523,6 +533,15 @@ SpecSet<PagePtr> ProcessManager::PageClosure() const {
   out = out.Union(thrd_perms_.Dom());
   out = out.Union(edpt_perms_.Dom());
   return out;
+}
+
+void ProcessManager::DrainDirty(DirtySet* out) {
+  cntr_perms_.DrainDirtyInto(&out->ctnrs, &out->overflow);
+  proc_perms_.DrainDirtyInto(&out->procs, &out->overflow);
+  thrd_perms_.DrainDirtyInto(&out->thrds, &out->overflow);
+  edpt_perms_.DrainDirtyInto(&out->edpts, &out->overflow);
+  out->scheduler = out->scheduler || sched_dirty_;
+  sched_dirty_ = false;
 }
 
 ProcessManager ProcessManager::CloneForVerification() const {

@@ -18,6 +18,7 @@
 
 #include "src/pmem/page_allocator.h"
 #include "src/proc/objects.h"
+#include "src/vstd/dirty_set.h"
 #include "src/vstd/permission_map.h"
 #include "src/vstd/spec_set.h"
 #include "src/vstd/types.h"
@@ -155,6 +156,10 @@ class ProcessManager {
   // Pages backing the objects this subsystem owns (§4.2 page_closure).
   SpecSet<PagePtr> PageClosure() const;
 
+  // Drains this subsystem's mutation logs (object permissions + scheduler)
+  // into `out` for incremental abstraction.
+  void DrainDirty(DirtySet* out);
+
   ProcessManager CloneForVerification() const;
 
   // Creates an empty manager; only Boot() produces a usable one. Public so
@@ -177,6 +182,8 @@ class ProcessManager {
 
   std::deque<ThrdPtr> run_queue_;
   ThrdPtr current_ = kNullPtr;
+  // Set whenever run_queue_ or current_ changes (incremental abstraction).
+  bool sched_dirty_ = false;
 };
 
 }  // namespace atmo

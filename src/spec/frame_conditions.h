@@ -17,6 +17,9 @@ namespace atmo {
 template <typename K, typename V>
 bool MapUnchangedExcept(const SpecMap<K, V>& pre, const SpecMap<K, V>& post,
                         const SpecSet<K>& touched) {
+  if (pre.SharesRepWith(post)) {
+    return true;  // COW witness: identical maps are trivially frame-respecting
+  }
   bool pre_ok = pre.ForAll([&](const K& k, const V& v) {
     if (touched.contains(k)) {
       return true;

@@ -1,31 +1,89 @@
 #include "src/verif/refinement_checker.h"
 
+#include <chrono>
 #include <string>
+#include <utility>
 
 #include "src/vstd/check.h"
 
 namespace atmo {
 
-SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
-  AbstractKernel pre = kernel_->Abstract();
-  kernel_->Dispatch(t);
-  AbstractKernel mid = kernel_->Abstract();
+namespace {
 
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+AbstractKernel RefinementChecker::Capture() {
+  // Drain in both modes: the logs are append-only and must not grow without
+  // bound across a long full-rebuild run.
+  DirtySet dirty = kernel_->DrainDirty();
+  std::uint64_t t0 = NowNs();
+  AbstractKernel psi;
+  if (options_.incremental && cached_ && !dirty.overflow) {
+    std::uint64_t entries = dirty.TotalEntries();
+    stats_.dirty_entries += entries;
+    if (entries > stats_.max_dirty_entries) {
+      stats_.max_dirty_entries = entries;
+    }
+    ++stats_.delta_abstractions;
+    psi = kernel_->AbstractDelta(*cached_, dirty);
+  } else {
+    ++stats_.full_abstractions;
+    psi = kernel_->Abstract();
+  }
+  stats_.abstraction_ns += NowNs() - t0;
+  return psi;
+}
+
+SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
+  AbstractKernel pre = Capture();
+  cached_ = pre;
+  kernel_->Dispatch(t);
+  AbstractKernel mid = Capture();
+  cached_ = mid;
+
+  std::uint64_t t0 = NowNs();
   SpecResult dispatch = DispatchSpec(pre, mid, t);
+  stats_.spec_ns += NowNs() - t0;
   ATMO_CHECK(dispatch.ok, "dispatch refinement failed: " + dispatch.detail);
 
   SyscallRet ret = kernel_->Exec(t, call);
-  AbstractKernel post = kernel_->Abstract();
+  AbstractKernel post = Capture();
+  cached_ = std::move(post);
 
-  SpecResult spec = SyscallSpec(mid, post, t, call, ret);
+  t0 = NowNs();
+  SpecResult spec = SyscallSpec(mid, *cached_, t, call, ret);
+  stats_.spec_ns += NowNs() - t0;
   ATMO_CHECK(spec.ok, std::string("syscall refinement failed (") + SysOpName(call.op) +
                           ", ret " + SysErrorName(ret.error) + "): " + spec.detail);
 
-  ++steps_;
-  if (check_wf_every_ != 0 && steps_ % check_wf_every_ == 0) {
+  ++stats_.steps;
+  if (options_.check_wf_every != 0 && stats_.steps % options_.check_wf_every == 0) {
+    t0 = NowNs();
     InvResult wf = kernel_->TotalWf();
+    stats_.wf_ns += NowNs() - t0;
+    ++stats_.wf_checks;
     ATMO_CHECK(wf.ok, std::string("total_wf failed after ") + SysOpName(call.op) + ": " +
                           wf.detail);
+  }
+  if (options_.incremental && options_.audit_every != 0 &&
+      stats_.steps % options_.audit_every == 0) {
+    t0 = NowNs();
+    // No drain here: anything mutated since the post-capture belongs to the
+    // next step's delta. The audit recomputes Ψ of the state as the cache
+    // sees it and demands bit-for-bit agreement.
+    AbstractKernel full = kernel_->Abstract();
+    bool agree = full == *cached_;
+    stats_.audit_ns += NowNs() - t0;
+    ++stats_.audit_passes;
+    ATMO_CHECK(agree, std::string("incremental-abstraction audit failed after ") +
+                          SysOpName(call.op) + ": cached Ψ diverged from Abstract()");
   }
   return ret;
 }

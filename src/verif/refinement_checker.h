@@ -9,37 +9,85 @@
 //   4. check DispatchSpec / SyscallSpec(Ψ, Ψ', t, call, ret)
 //   5. check total_wf(kernel)                  (well-formedness theorem)
 //
-// A spec or invariant failure is routed through ATMO_CHECK — the same
-// channel as permission violations — so tests can assert that deliberately
-// broken kernels are caught.
+// Incremental mode (the default) maintains Ψ across steps: each capture
+// patches the cached snapshot at exactly the entries the subsystems logged
+// as dirty (Kernel::AbstractDelta), so the per-step cost is O(|dirty|)
+// instead of O(machine). Soundness of the dirty logs is defended in depth
+// by a periodic audit: every `audit_every` steps the checker recomputes a
+// full Abstract() and requires it to equal the incrementally maintained Ψ.
+//
+// A spec, invariant, or audit failure is routed through ATMO_CHECK — the
+// same channel as permission violations — so tests can assert that
+// deliberately broken kernels (or corrupted dirty sets) are caught.
 
 #ifndef ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_
 #define ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "src/core/kernel.h"
 #include "src/spec/syscall_specs.h"
 
 namespace atmo {
 
+// Per-phase cost counters, maintained by every checker regardless of mode.
+// All times are wall-clock nanoseconds from std::chrono::steady_clock.
+struct CheckStats {
+  std::uint64_t steps = 0;
+  std::uint64_t abstraction_ns = 0;  // time in Abstract()/AbstractDelta()
+  std::uint64_t spec_ns = 0;         // time in DispatchSpec/SyscallSpec
+  std::uint64_t wf_ns = 0;           // time in TotalWf()
+  std::uint64_t audit_ns = 0;        // time in full-Abstract audit passes
+  std::uint64_t wf_checks = 0;       // number of TotalWf() evaluations
+  std::uint64_t audit_passes = 0;    // number of audits performed
+  std::uint64_t full_abstractions = 0;   // full Abstract() captures
+  std::uint64_t delta_abstractions = 0;  // AbstractDelta() captures
+  std::uint64_t dirty_entries = 0;       // cumulative drained dirty entries
+  std::uint64_t max_dirty_entries = 0;   // largest single drained dirty set
+};
+
 class RefinementChecker {
  public:
-  // `check_wf_every`: total_wf is O(state), so large trace runs may check it
-  // every N steps (specs are still checked on every step). 1 = always.
+  struct Options {
+    // total_wf is O(state), so large trace runs may check it every N steps
+    // (specs are still checked on every step). 1 = always, 0 = never.
+    std::uint64_t check_wf_every = 1;
+    // Every N steps, recompute a full Abstract() and require it to equal
+    // the incrementally maintained Ψ (defence in depth against a missing
+    // dirty mark). 0 = never. Ignored in full-rebuild mode.
+    std::uint64_t audit_every = 16;
+    // false: rebuild Ψ from scratch at every capture (the pre-optimization
+    // behaviour, kept as the differential-testing oracle).
+    bool incremental = true;
+  };
+
+  RefinementChecker(Kernel* kernel, const Options& options)
+      : kernel_(kernel), options_(options) {}
+  // Back-compatible constructor: incremental with default audit cadence.
   explicit RefinementChecker(Kernel* kernel, std::uint64_t check_wf_every = 1)
-      : kernel_(kernel), check_wf_every_(check_wf_every) {}
+      : RefinementChecker(kernel, Options{.check_wf_every = check_wf_every}) {}
 
   // Runs one kernel step under full refinement checking.
   SyscallRet Step(ThrdPtr t, const Syscall& call);
 
-  std::uint64_t steps_checked() const { return steps_; }
+  std::uint64_t steps_checked() const { return stats_.steps; }
+  const CheckStats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  // The cached Ψ (incremental mode, after at least one Step); tests use it
+  // to cross-validate against a full Abstract().
+  const AbstractKernel* cached() const { return cached_ ? &*cached_ : nullptr; }
   Kernel* kernel() { return kernel_; }
 
  private:
+  // Drains the kernel's dirty logs and produces the current Ψ — by patching
+  // the cached snapshot when incremental, by full rebuild otherwise.
+  AbstractKernel Capture();
+
   Kernel* kernel_;
-  std::uint64_t check_wf_every_;
-  std::uint64_t steps_ = 0;
+  Options options_;
+  CheckStats stats_;
+  std::optional<AbstractKernel> cached_;
 };
 
 }  // namespace atmo

@@ -1,0 +1,94 @@
+// Dirty-set tracking for incremental abstraction (O(dirty) refinement
+// checking).
+//
+// Every stateful subsystem appends the ids of objects it mutates to a
+// DirtyLog — an over-approximation is always safe, an omission never is (the
+// refinement checker's audit mode exists to catch the latter). The kernel
+// facade drains all subsystem logs into one DirtySet per checked step;
+// Kernel::AbstractDelta then patches exactly those entries of a cached
+// abstract state instead of rebuilding Ψ from scratch.
+//
+// The log is an append-only vector (duplicates allowed — deduplication
+// happens once, at drain time) so the uninstrumented hot path pays one
+// push_back per mutation. If a log grows past kCap without being drained
+// (a long unchecked run), recording stops and the drain reports `overflow`,
+// which makes the next delta-abstraction fall back to a full rebuild.
+
+#ifndef ATMO_SRC_VSTD_DIRTY_SET_H_
+#define ATMO_SRC_VSTD_DIRTY_SET_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+// One step's worth of touched object ids, per kind.
+struct DirtySet {
+  std::set<CtnrPtr> ctnrs;
+  std::set<ProcPtr> procs;
+  std::set<ThrdPtr> thrds;
+  std::set<EdptPtr> edpts;
+  std::set<PagePtr> pages;                // 4 KiB frame base addresses
+  std::set<ProcPtr> spaces;               // address spaces (by process)
+  std::set<std::uint64_t> iommu_domains;  // IommuDomainId
+  bool scheduler = false;                 // run queue / current thread
+  bool overflow = false;                  // some log overflowed: full rebuild
+
+  std::size_t TotalEntries() const {
+    return ctnrs.size() + procs.size() + thrds.size() + edpts.size() + pages.size() +
+           spaces.size() + iommu_domains.size();
+  }
+  bool Empty() const { return TotalEntries() == 0 && !scheduler && !overflow; }
+};
+
+// Append-only per-subsystem mutation log. All kernel object ids are
+// 64-bit (pointers / domain ids), so one log type serves every subsystem.
+class DirtyLog {
+ public:
+  static constexpr std::size_t kCap = 1u << 20;
+
+  void Mark(std::uint64_t id) {
+    if (overflow_) {
+      return;
+    }
+    if (log_.size() >= kCap) {
+      overflow_ = true;
+      log_.clear();
+      log_.shrink_to_fit();
+      return;
+    }
+    log_.push_back(id);
+  }
+
+  bool overflow() const { return overflow_; }
+  std::size_t pending() const { return log_.size(); }
+
+  // Dedups into `out`, sets `*overflow_out` if the log overflowed, and
+  // resets the log.
+  template <typename Id>
+  void DrainInto(std::set<Id>* out, bool* overflow_out) {
+    if (overflow_) {
+      *overflow_out = true;
+    } else {
+      out->insert(log_.begin(), log_.end());
+    }
+    log_.clear();
+    overflow_ = false;
+  }
+
+  void Reset() {
+    log_.clear();
+    overflow_ = false;
+  }
+
+ private:
+  std::vector<std::uint64_t> log_;
+  bool overflow_ = false;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VSTD_DIRTY_SET_H_

@@ -13,9 +13,11 @@
 #define ATMO_SRC_VSTD_PERMISSION_MAP_H_
 
 #include <map>
+#include <set>
 #include <utility>
 
 #include "src/vstd/check.h"
+#include "src/vstd/dirty_set.h"
 #include "src/vstd/points_to.h"
 #include "src/vstd/spec_set.h"
 #include "src/vstd/types.h"
@@ -40,6 +42,7 @@ class PermissionMap {
   void TrackedInsert(PointsTo<T> perm) {
     Ptr ptr = perm.addr();
     ATMO_CHECK(!contains(ptr), "PermissionMap::TrackedInsert duplicate permission");
+    dirty_.Mark(ptr);
     rep_.emplace(ptr, std::move(perm));
   }
 
@@ -47,6 +50,7 @@ class PermissionMap {
   PointsTo<T> TrackedRemove(Ptr ptr) {
     auto it = rep_.find(ptr);
     ATMO_CHECK(it != rep_.end(), "PermissionMap::TrackedRemove of absent permission");
+    dirty_.Mark(ptr);
     PointsTo<T> out = std::move(it->second);
     rep_.erase(it);
     return out;
@@ -59,10 +63,12 @@ class PermissionMap {
     return it->second;
   }
 
-  // tracked_borrow_mut: exclusive access to a stored permission.
+  // tracked_borrow_mut: exclusive access to a stored permission. The object
+  // is conservatively recorded as dirty — the borrower may mutate anything.
   PointsTo<T>& TrackedBorrowMut(Ptr ptr) {
     auto it = rep_.find(ptr);
     ATMO_CHECK(it != rep_.end(), "PermissionMap::TrackedBorrowMut of absent permission");
+    dirty_.Mark(ptr);
     return it->second;
   }
 
@@ -90,7 +96,11 @@ class PermissionMap {
     return true;
   }
 
-  // Deep copy for the verification harness only (see PointsTo).
+  // Dedup-drains the mutation log into `out` (incremental abstraction).
+  void DrainDirtyInto(std::set<Ptr>* out, bool* overflow) { dirty_.DrainInto(out, overflow); }
+
+  // Deep copy for the verification harness only (see PointsTo). The clone
+  // starts with an empty mutation log (its first abstraction is full).
   PermissionMap CloneForVerification() const
     requires std::copy_constructible<T>
   {
@@ -106,6 +116,7 @@ class PermissionMap {
 
  private:
   std::map<Ptr, PointsTo<T>> rep_;
+  DirtyLog dirty_;
 };
 
 }  // namespace atmo

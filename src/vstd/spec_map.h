@@ -5,11 +5,20 @@
 // the operations used by the paper's specifications (dom, contains, index,
 // insert, remove, submap/union, extensional equality) and quantifier helpers
 // used to transliterate `forall` specs.
+//
+// Representation: copy-on-write structural sharing. Copying a SpecMap is
+// O(1) (the shared_ptr rep is shared); the first mutation of a shared map
+// detaches a private copy. Extensional equality and the frame-condition
+// helpers short-circuit when two maps share a rep, which makes the paper's
+// strongest frame condition (`error ==> Ψ' == Ψ`) near-free for states
+// produced by the incremental abstraction layer (Kernel::AbstractDelta).
+// A null rep denotes the empty map.
 
 #ifndef ATMO_SRC_VSTD_SPEC_MAP_H_
 #define ATMO_SRC_VSTD_SPEC_MAP_H_
 
 #include <map>
+#include <memory>
 #include <utility>
 
 #include "src/vstd/check.h"
@@ -20,42 +29,49 @@ template <typename K, typename V>
 class SpecMap {
  public:
   SpecMap() = default;
-  SpecMap(std::initializer_list<std::pair<const K, V>> init) : rep_(init) {}
+  SpecMap(std::initializer_list<std::pair<const K, V>> init)
+      : rep_(init.size() == 0 ? nullptr : std::make_shared<Rep>(init)) {}
 
-  bool contains(const K& k) const { return rep_.find(k) != rep_.end(); }
+  bool contains(const K& k) const { return rep_ && rep_->find(k) != rep_->end(); }
 
   // Map index; the key must be in the domain (spec-level partiality).
   const V& at(const K& k) const {
-    auto it = rep_.find(k);
-    ATMO_CHECK(it != rep_.end(), "SpecMap::at on key outside dom()");
+    ATMO_CHECK(rep_ != nullptr, "SpecMap::at on key outside dom()");
+    auto it = rep_->find(k);
+    ATMO_CHECK(it != rep_->end(), "SpecMap::at on key outside dom()");
     return it->second;
   }
 
-  std::size_t size() const { return rep_.size(); }
-  bool empty() const { return rep_.empty(); }
+  std::size_t size() const { return rep_ ? rep_->size() : 0; }
+  bool empty() const { return !rep_ || rep_->empty(); }
 
-  // Functional update: returns a copy with k -> v.
+  // Functional update: returns a copy with k -> v (O(1) copy + one write).
   SpecMap insert(const K& k, const V& v) const {
     SpecMap out = *this;
-    out.rep_[k] = v;
+    out.set(k, v);
     return out;
   }
 
   // Functional removal: returns a copy without k.
   SpecMap remove(const K& k) const {
     SpecMap out = *this;
-    out.rep_.erase(k);
+    out.erase(k);
     return out;
   }
 
   // In-place variants (used when building abstract states incrementally).
-  void set(const K& k, const V& v) { rep_[k] = v; }
-  void erase(const K& k) { rep_.erase(k); }
+  void set(const K& k, const V& v) { Detach()[k] = v; }
+  void erase(const K& k) {
+    if (!contains(k)) {
+      return;  // no-op: keep the rep shared
+    }
+    Detach().erase(k);
+  }
 
   // `forall |k| dom.contains(k) ==> p(k, self[k])`.
   template <typename Pred>
   bool ForAll(Pred p) const {
-    for (const auto& [k, v] : rep_) {
+    for (const auto& [k, v] : view()) {
       if (!p(k, v)) {
         return false;
       }
@@ -66,7 +82,7 @@ class SpecMap {
   // `exists |k| dom.contains(k) && p(k, self[k])`.
   template <typename Pred>
   bool Exists(Pred p) const {
-    for (const auto& [k, v] : rep_) {
+    for (const auto& [k, v] : view()) {
       if (p(k, v)) {
         return true;
       }
@@ -74,12 +90,23 @@ class SpecMap {
     return false;
   }
 
+  // True when both maps share one rep: equal by construction, O(1).
+  bool SharesRepWith(const SpecMap& other) const { return rep_ == other.rep_; }
+
   // Extensional equality (`=~=`).
-  friend bool operator==(const SpecMap& a, const SpecMap& b) { return a.rep_ == b.rep_; }
+  friend bool operator==(const SpecMap& a, const SpecMap& b) {
+    if (a.rep_ == b.rep_) {
+      return true;
+    }
+    return a.view() == b.view();
+  }
 
   // True if every binding of this map is also a binding of `other`.
   bool IsSubmapOf(const SpecMap& other) const {
-    for (const auto& [k, v] : rep_) {
+    if (SharesRepWith(other)) {
+      return true;
+    }
+    for (const auto& [k, v] : view()) {
       if (!other.contains(k) || !(other.at(k) == v)) {
         return false;
       }
@@ -89,7 +116,10 @@ class SpecMap {
 
   // True if `a` and `b` agree everywhere except possibly at `k`.
   static bool AgreeExceptAt(const SpecMap& a, const SpecMap& b, const K& k) {
-    for (const auto& [key, v] : a.rep_) {
+    if (a.SharesRepWith(b)) {
+      return true;
+    }
+    for (const auto& [key, v] : a.view()) {
       if (key == k) {
         continue;
       }
@@ -97,7 +127,7 @@ class SpecMap {
         return false;
       }
     }
-    for (const auto& [key, v] : b.rep_) {
+    for (const auto& [key, v] : b.view()) {
       if (key == k) {
         continue;
       }
@@ -108,11 +138,27 @@ class SpecMap {
     return true;
   }
 
-  auto begin() const { return rep_.begin(); }
-  auto end() const { return rep_.end(); }
+  auto begin() const { return view().begin(); }
+  auto end() const { return view().end(); }
 
  private:
-  std::map<K, V> rep_;
+  using Rep = std::map<K, V>;
+
+  const Rep& view() const {
+    static const Rep kEmpty;
+    return rep_ ? *rep_ : kEmpty;
+  }
+
+  Rep& Detach() {
+    if (!rep_) {
+      rep_ = std::make_shared<Rep>();
+    } else if (rep_.use_count() > 1) {
+      rep_ = std::make_shared<Rep>(*rep_);
+    }
+    return *rep_;
+  }
+
+  std::shared_ptr<Rep> rep_;
 };
 
 }  // namespace atmo

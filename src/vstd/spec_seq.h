@@ -44,6 +44,9 @@ class SpecSeq {
     return out;
   }
 
+  // In-place append for linear bulk construction (run-queue abstraction).
+  void append(const T& t) { rep_.push_back(t); }
+
   // `subrange(lo, hi)` — elements [lo, hi).
   SpecSeq subrange(std::size_t lo, std::size_t hi) const {
     ATMO_CHECK(lo <= hi && hi <= rep_.size(), "SpecSeq::subrange bounds");

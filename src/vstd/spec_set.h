@@ -1,9 +1,14 @@
 // SpecSet<T> — executable analog of Verus `Set<T>`.
+//
+// Copy-on-write structural sharing, mirroring SpecMap: copies are O(1),
+// mutation detaches a private rep, and equality / subset / disjointness
+// short-circuit when two sets share a rep. A null rep denotes the empty set.
 
 #ifndef ATMO_SRC_VSTD_SPEC_SET_H_
 #define ATMO_SRC_VSTD_SPEC_SET_H_
 
 #include <initializer_list>
+#include <memory>
 #include <set>
 
 namespace atmo {
@@ -12,56 +17,83 @@ template <typename T>
 class SpecSet {
  public:
   SpecSet() = default;
-  SpecSet(std::initializer_list<T> init) : rep_(init) {}
+  SpecSet(std::initializer_list<T> init)
+      : rep_(init.size() == 0 ? nullptr : std::make_shared<Rep>(init)) {}
 
-  bool contains(const T& t) const { return rep_.find(t) != rep_.end(); }
-  std::size_t size() const { return rep_.size(); }
-  bool empty() const { return rep_.empty(); }
+  bool contains(const T& t) const { return rep_ && rep_->find(t) != rep_->end(); }
+  std::size_t size() const { return rep_ ? rep_->size() : 0; }
+  bool empty() const { return !rep_ || rep_->empty(); }
 
   SpecSet insert(const T& t) const {
     SpecSet out = *this;
-    out.rep_.insert(t);
+    out.add(t);
     return out;
   }
 
   SpecSet remove(const T& t) const {
     SpecSet out = *this;
-    out.rep_.erase(t);
+    out.erase(t);
     return out;
   }
 
-  // In-place variants.
-  void add(const T& t) { rep_.insert(t); }
-  void erase(const T& t) { rep_.erase(t); }
+  // In-place variants. Both are no-ops (keeping the rep shared) when the
+  // element is already present / absent.
+  void add(const T& t) {
+    if (contains(t)) {
+      return;
+    }
+    Detach().insert(t);
+  }
+  void erase(const T& t) {
+    if (!contains(t)) {
+      return;
+    }
+    Detach().erase(t);
+  }
 
   SpecSet Union(const SpecSet& other) const {
+    if (other.empty() || SharesRepWith(other)) {
+      return *this;
+    }
+    if (empty()) {
+      return other;
+    }
     SpecSet out = *this;
-    out.rep_.insert(other.rep_.begin(), other.rep_.end());
+    out.Detach().insert(other.rep_->begin(), other.rep_->end());
     return out;
   }
 
   SpecSet Intersect(const SpecSet& other) const {
+    if (SharesRepWith(other)) {
+      return *this;
+    }
     SpecSet out;
-    for (const T& t : rep_) {
+    for (const T& t : view()) {
       if (other.contains(t)) {
-        out.rep_.insert(t);
+        out.add(t);
       }
     }
     return out;
   }
 
   SpecSet Difference(const SpecSet& other) const {
+    if (SharesRepWith(other)) {
+      return SpecSet{};
+    }
     SpecSet out;
-    for (const T& t : rep_) {
+    for (const T& t : view()) {
       if (!other.contains(t)) {
-        out.rep_.insert(t);
+        out.add(t);
       }
     }
     return out;
   }
 
   bool IsSubsetOf(const SpecSet& other) const {
-    for (const T& t : rep_) {
+    if (SharesRepWith(other)) {
+      return true;
+    }
+    for (const T& t : view()) {
       if (!other.contains(t)) {
         return false;
       }
@@ -71,10 +103,16 @@ class SpecSet {
 
   // Pairwise disjointness: no element in common.
   bool IsDisjointFrom(const SpecSet& other) const {
+    if (empty() || other.empty()) {
+      return true;
+    }
+    if (SharesRepWith(other)) {
+      return false;  // shared non-empty rep: every element is common
+    }
     // Iterate the smaller side.
     const SpecSet& small = size() <= other.size() ? *this : other;
     const SpecSet& large = size() <= other.size() ? other : *this;
-    for (const T& t : small.rep_) {
+    for (const T& t : small.view()) {
       if (large.contains(t)) {
         return false;
       }
@@ -84,7 +122,7 @@ class SpecSet {
 
   template <typename Pred>
   bool ForAll(Pred p) const {
-    for (const T& t : rep_) {
+    for (const T& t : view()) {
       if (!p(t)) {
         return false;
       }
@@ -94,7 +132,7 @@ class SpecSet {
 
   template <typename Pred>
   bool Exists(Pred p) const {
-    for (const T& t : rep_) {
+    for (const T& t : view()) {
       if (p(t)) {
         return true;
       }
@@ -102,13 +140,37 @@ class SpecSet {
     return false;
   }
 
-  friend bool operator==(const SpecSet& a, const SpecSet& b) { return a.rep_ == b.rep_; }
+  // True when both sets share one rep: equal by construction, O(1).
+  bool SharesRepWith(const SpecSet& other) const { return rep_ == other.rep_; }
 
-  auto begin() const { return rep_.begin(); }
-  auto end() const { return rep_.end(); }
+  friend bool operator==(const SpecSet& a, const SpecSet& b) {
+    if (a.rep_ == b.rep_) {
+      return true;
+    }
+    return a.view() == b.view();
+  }
+
+  auto begin() const { return view().begin(); }
+  auto end() const { return view().end(); }
 
  private:
-  std::set<T> rep_;
+  using Rep = std::set<T>;
+
+  const Rep& view() const {
+    static const Rep kEmpty;
+    return rep_ ? *rep_ : kEmpty;
+  }
+
+  Rep& Detach() {
+    if (!rep_) {
+      rep_ = std::make_shared<Rep>();
+    } else if (rep_.use_count() > 1) {
+      rep_ = std::make_shared<Rep>(*rep_);
+    }
+    return *rep_;
+  }
+
+  std::shared_ptr<Rep> rep_;
 };
 
 }  // namespace atmo
