@@ -15,6 +15,7 @@
 
 #include "bench/pipeline.h"
 #include "src/verif/refinement_checker.h"
+#include "src/verif/trace_gen.h"
 
 namespace atmo {
 namespace bench {
@@ -38,13 +39,8 @@ struct Env {
 };
 
 std::uint64_t RunWorkload(RefinementChecker* checker, ThrdPtr thrd, std::uint64_t ops) {
-  std::uint64_t rng = 42;
-  auto next = [&rng] {
-    rng ^= rng << 13;
-    rng ^= rng >> 7;
-    rng ^= rng << 17;
-    return rng;
-  };
+  Xorshift rng{42};
+  auto next = [&rng] { return rng.Next(); };
   for (std::uint64_t done = 0; done < ops; ++done) {
     Syscall call;
     switch (next() % 3) {

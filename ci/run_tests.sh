@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# CI entry point: builds and runs the tier-1 test suite twice —
+# CI entry point: builds and runs the tier-1 test suite three ways —
 #   1. the default RelWithDebInfo configuration
 #   2. an ASan+UBSan instrumented build (catches the class of bug the
 #      refinement harness cannot: UB that happens to compute the right
 #      answer, e.g. dereferencing map.end())
-# plus a quick smoke run of the incremental-refinement benchmark.
+#   3. a TSan instrumented build of the multithreaded checking paths: the
+#      parallel sharded sweep harness and InvariantRegistry::RunAll with
+#      8 workers
+# plus quick smoke runs of the incremental-refinement and parallel-sweep
+# benchmarks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +27,17 @@ cmake -B build-ci-asan -S . \
 cmake --build build-ci-asan -j "$JOBS"
 ctest --test-dir build-ci-asan --output-on-failure -j "$JOBS"
 
+echo "=== build + targeted tests (TSan, parallel checking paths) ==="
+cmake -B build-ci-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+cmake --build build-ci-tsan -j "$JOBS" --target parallel_sweep_test kernel_test
+./build-ci-tsan/tests/parallel_sweep_test
+./build-ci-tsan/tests/kernel_test --gtest_filter='*SuiteParallelRunMatchesSerial*'
+
 echo "=== bench smoke (scaled down) ==="
 ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_incremental_refinement
+ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_parallel_sweep
 
 echo "CI OK"

@@ -1,5 +1,6 @@
 #include "src/verif/invariant_registry.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -52,12 +53,16 @@ SuiteReport InvariantRegistry::RunAll(const Kernel& kernel, unsigned threads) co
     }
   };
 
-  if (threads <= 1) {
+  // Never spawn more workers than there are checks: an excess worker would
+  // pay thread creation only to pop an out-of-range index and exit.
+  unsigned spawn = static_cast<unsigned>(
+      std::min<std::size_t>(threads, checks_.size()));
+  if (spawn <= 1) {
     worker();
   } else {
     std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned i = 0; i < threads; ++i) {
+    pool.reserve(spawn);
+    for (unsigned i = 0; i < spawn; ++i) {
       pool.emplace_back(worker);
     }
     for (std::thread& t : pool) {

@@ -1,0 +1,137 @@
+// Parallel sharded trace exploration — the runtime analog of the paper's
+// parallel verification (Table 2's 8-thread column).
+//
+// The paper's whole-kernel re-verification is fast because it decomposes
+// into independent per-function SMT queries that run on all cores. The
+// runtime substitute decomposes the same way: a sweep is N independent
+// trace *shards*, each a deterministic randomized syscall trace (TraceGen)
+// driven through its own private Kernel + RefinementChecker. Shards share
+// no mutable state — worker threads pull shard indices off an atomic
+// counter, run each shard to completion in isolation, and write the result
+// into that shard's pre-allocated slot. Per-shard seeds derive from one
+// master seed via splitmix64, so the merged report is a pure function of
+// (master_seed, shards, steps_per_shard, checker options): 1 worker and 8
+// workers produce bit-identical coverage, verdicts and step counts.
+//
+// A check failure inside a shard (spec, total_wf, or audit violation) is
+// caught at the shard boundary and recorded as a ReplayToken — (master
+// seed, shard, step) — which Replay() reruns single-threaded to reproduce
+// the exact failing trace for debugging.
+
+#ifndef ATMO_SRC_VERIF_SWEEP_HARNESS_H_
+#define ATMO_SRC_VERIF_SWEEP_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/verif/refinement_checker.h"
+#include "src/verif/trace_gen.h"
+
+namespace atmo {
+
+inline constexpr std::size_t kSysOpCount =
+    static_cast<std::size_t>(SysOp::kIommuUnmapDma) + 1;
+inline constexpr std::size_t kSysErrorCount =
+    static_cast<std::size_t>(SysError::kWouldFault) + 1;
+
+// Syscall-op × error-code hit counts: which regions of the verified surface
+// a sweep actually exercised (both success and every error path).
+struct CoverageMatrix {
+  std::uint64_t counts[kSysOpCount][kSysErrorCount] = {};
+
+  void Record(SysOp op, SysError error) {
+    ++counts[static_cast<std::size_t>(op)][static_cast<std::size_t>(error)];
+  }
+  void Merge(const CoverageMatrix& other);
+  std::uint64_t Total() const;
+  std::uint64_t NonZeroCells() const;
+
+  friend bool operator==(const CoverageMatrix&, const CoverageMatrix&) = default;
+};
+
+// Everything needed to rerun one failing trace single-threaded: the shard's
+// trace is a pure function of the master seed and shard index, and `step`
+// is where the check violation fired.
+struct ReplayToken {
+  std::uint64_t master_seed = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t step = 0;
+
+  friend bool operator==(const ReplayToken&, const ReplayToken&) = default;
+};
+
+struct ShardResult {
+  std::uint64_t shard = 0;
+  std::uint64_t seed = 0;    // splitmix64-derived trace seed
+  std::uint64_t steps = 0;   // checked steps completed
+  bool ok = true;
+  std::string failure;       // check-violation message when !ok
+  std::optional<ReplayToken> token;
+  CoverageMatrix coverage;
+  CheckStats stats;
+};
+
+struct SweepReport {
+  std::vector<ShardResult> shards;  // indexed by shard, merge order fixed
+  CoverageMatrix coverage;          // elementwise sum over shards
+  CheckStats stats;                 // summed counters (max for max_dirty)
+  std::uint64_t total_steps = 0;
+  unsigned workers = 0;
+  double wall_seconds = 0.0;
+  double steps_per_sec = 0.0;
+
+  bool AllOk() const;
+  std::vector<ReplayToken> Failures() const;
+  // True when the deterministic portion of two reports agrees: coverage,
+  // verdicts, per-shard step counts and seeds. Wall-clock and ns counters
+  // are excluded — they legitimately vary across runs and worker counts.
+  bool SameOutcome(const SweepReport& other) const;
+};
+
+class SweepHarness {
+ public:
+  // Called before each generated step; lets tests break a kernel at a
+  // chosen (shard, step) to prove the parallel harness catches it and the
+  // replay token reproduces it.
+  using FaultHook =
+      std::function<void(TraceFixture* fixture, std::uint64_t shard, std::uint64_t step)>;
+
+  struct Options {
+    std::uint64_t master_seed = 1;
+    std::uint64_t shards = 8;
+    std::uint64_t steps_per_shard = 1000;
+    unsigned workers = 1;
+    // Trace-scale checker defaults: sampled total_wf, periodic audit.
+    RefinementChecker::Options checker{.check_wf_every = 16, .audit_every = 64,
+                                       .incremental = true};
+    FaultHook fault_hook;
+  };
+
+  explicit SweepHarness(Options options) : options_(std::move(options)) {}
+
+  // Runs all shards across min(workers, shards) threads and merges the
+  // per-shard results in shard order (merging is race-free by construction:
+  // each worker writes only its claimed shard's slot, and the merge happens
+  // after every worker joined).
+  SweepReport Run() const;
+
+  // Reruns one shard single-threaded; the token must come from a sweep with
+  // this harness's master seed and options.
+  ShardResult Replay(const ReplayToken& token) const;
+
+  static std::uint64_t ShardSeed(std::uint64_t master_seed, std::uint64_t shard);
+
+  const Options& options() const { return options_; }
+
+ private:
+  ShardResult RunShard(std::uint64_t shard) const;
+
+  Options options_;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VERIF_SWEEP_HARNESS_H_

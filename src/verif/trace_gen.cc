@@ -1,0 +1,178 @@
+#include "src/verif/trace_gen.h"
+
+#include <utility>
+
+#include "src/vstd/check.h"
+
+namespace atmo {
+
+TraceFixture TraceFixture::Boot() {
+  BootConfig config;
+  config.frames = 2048;
+  config.reserved_frames = 16;
+  TraceFixture f{std::move(*Kernel::Boot(config))};
+  auto c = f.kernel.BootCreateContainer(f.kernel.root_container(), 1200, ~0ull);
+  f.ctnr = c.value;
+  f.procs[0] = f.kernel.BootCreateProcess(f.ctnr).value;
+  f.procs[1] = f.kernel.BootCreateProcess(f.ctnr).value;
+  f.thrds[0] = f.kernel.BootCreateThread(f.procs[0]).value;
+  f.thrds[1] = f.kernel.BootCreateThread(f.procs[0]).value;
+  f.thrds[2] = f.kernel.BootCreateThread(f.procs[1]).value;
+  return f;
+}
+
+void TraceFixture::SetupIpcAndDma() {
+  Syscall ne;
+  ne.op = SysOp::kNewEndpoint;
+  ne.edpt_idx = 0;
+  kernel.Dispatch(thrds[0]);
+  SyscallRet e = kernel.Exec(thrds[0], ne);
+  ATMO_CHECK(e.ok(), "trace fixture: endpoint creation failed");
+  ATMO_CHECK(kernel.pm_mut().BindEndpoint(thrds[2], 0, e.value) == ProcError::kOk,
+             "trace fixture: endpoint bind failed");
+  // One DMA-donor page per thread, outside the churned mmap window.
+  for (int ti = 0; ti < kThreads; ++ti) {
+    Syscall mm;
+    mm.op = SysOp::kMmap;
+    mm.va_range =
+        VaRange{kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K, 1, PageSize::k4K};
+    mm.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+    kernel.Dispatch(thrds[ti]);
+    ATMO_CHECK(kernel.Exec(thrds[ti], mm).ok(), "trace fixture: DMA-donor mmap failed");
+  }
+}
+
+bool TraceFixture::Dispatchable(ThrdPtr t) const {
+  ThreadState s = kernel.pm().GetThread(t).state;
+  return s == ThreadState::kRunning || s == ThreadState::kRunnable;
+}
+
+TraceGen::Cmd TraceGen::Gen(const TraceFixture& f) {
+  for (;;) {
+    std::uint64_t r = rng.Next();
+    int ti = static_cast<int>(r % 3);
+    if (!f.Dispatchable(f.thrds[ti])) {
+      // A rendezvous is outstanding: complete it from a runnable peer so
+      // the blocked thread wakes (keeps at most one thread blocked).
+      ThreadState s = f.kernel.pm().GetThread(f.thrds[ti]).state;
+      for (int peer = 0; peer < 3; ++peer) {
+        if (peer == ti || !f.Dispatchable(f.thrds[peer])) {
+          continue;
+        }
+        Syscall c;
+        c.edpt_idx = 0;
+        c.op = s == ThreadState::kBlockedRecv ? SysOp::kSend : SysOp::kRecv;
+        if (c.op == SysOp::kSend) {
+          c.payload.scalars[0] = r;
+        }
+        return Cmd{peer, c};
+      }
+      continue;  // should be unreachable: ≥2 threads stay runnable
+    }
+
+    Syscall c;
+    switch (r % 16) {
+      case 0:
+      case 1:
+        c.op = SysOp::kYield;
+        return Cmd{ti, c};
+      case 2:
+      case 3: {  // mmap in a small per-thread window: overlaps → kInvalid
+        c.op = SysOp::kMmap;
+        c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 8) % 48) * kPageSize4K, 1,
+                             PageSize::k4K};
+        c.map_perm = MapEntryPerm{.writable = (r >> 16) % 2 == 0, .user = true,
+                                  .no_execute = true};
+        return Cmd{ti, c};
+      }
+      case 4:
+      case 5: {  // munmap over the same window: unmapped → kInvalid
+        c.op = SysOp::kMunmap;
+        c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 8) % 48) * kPageSize4K, 1,
+                             PageSize::k4K};
+        return Cmd{ti, c};
+      }
+      case 6: {  // deliberately unaligned mmap → kInvalid
+        c.op = SysOp::kMmap;
+        c.va_range = VaRange{0x100000ull * (ti + 1) + 0x123, 1, PageSize::k4K};
+        c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+        return Cmd{ti, c};
+      }
+      case 7: {  // new endpoint in a random slot: occupied → error
+        c.op = SysOp::kNewEndpoint;
+        c.edpt_idx = static_cast<EdptIdx>(1 + (r >> 8) % (kMaxEdptDescriptors - 1));
+        return Cmd{ti, c};
+      }
+      case 8: {  // unbind a random slot (never the IPC slot 0)
+        c.op = SysOp::kUnbindEndpoint;
+        c.edpt_idx = static_cast<EdptIdx>(1 + (r >> 8) % (kMaxEdptDescriptors - 1));
+        return Cmd{ti, c};
+      }
+      case 9: {  // start a rendezvous: blocks until the generated
+                 // complement (above) wakes it
+        c.op = (r >> 8) % 2 == 0 ? SysOp::kRecv : SysOp::kSend;
+        c.edpt_idx = 0;
+        if (c.op == SysOp::kSend) {
+          c.payload.scalars[0] = r >> 8;
+        }
+        return Cmd{ti, c};
+      }
+      case 10: {  // child container: tiny or over-quota
+        c.op = SysOp::kNewContainer;
+        c.quota = (r >> 8) % 4 == 0 ? 1u << 20 : 2 + (r >> 8) % 6;
+        return Cmd{ti, c};
+      }
+      case 11: {  // kill a previously created child container
+        if (disposable.empty()) {
+          continue;
+        }
+        c.op = SysOp::kKillContainer;
+        c.target = disposable[(r >> 8) % disposable.size()];
+        return Cmd{ti, c};
+      }
+      case 12: {  // thread churn in the caller's process
+        c.op = SysOp::kNewThread;
+        return Cmd{ti, c};
+      }
+      case 13: {
+        c.op = SysOp::kIommuCreateDomain;
+        return Cmd{ti, c};
+      }
+      case 14: {  // attach a device to a real or bogus domain
+        c.op = SysOp::kIommuAttachDevice;
+        c.iommu_domain = PickDomain(r);
+        c.device = static_cast<std::uint32_t>((r >> 16) % 6);
+        return Cmd{ti, c};
+      }
+      default: {  // DMA map/unmap with mixed-validity domain and iova
+        c.op = (r >> 4) % 2 == 0 ? SysOp::kIommuMapDma : SysOp::kIommuUnmapDma;
+        c.iommu_domain = PickDomain(r);
+        c.iova = ((r >> 16) % 8) * kPageSize4K;
+        c.dma_va = TraceFixture::kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K;
+        return Cmd{ti, c};
+      }
+    }
+  }
+}
+
+IommuDomainId TraceGen::PickDomain(std::uint64_t r) const {
+  if (domains.empty() || (r >> 8) % 5 == 0) {
+    return 9999;  // dangling → kDenied
+  }
+  return domains[(r >> 8) % domains.size()];
+}
+
+void TraceGen::Observe(const Syscall& call, const SyscallRet& ret) {
+  if (!ret.ok()) {
+    return;
+  }
+  if (call.op == SysOp::kIommuCreateDomain) {
+    domains.push_back(ret.value);
+  } else if (call.op == SysOp::kNewContainer) {
+    disposable.push_back(ret.value);
+  } else if (call.op == SysOp::kKillContainer) {
+    std::erase(disposable, call.target);
+  }
+}
+
+}  // namespace atmo

@@ -1,0 +1,102 @@
+// Reusable randomized syscall-trace generation — the workload side of the
+// runtime verification harness.
+//
+// Extracted from the incremental-refinement differential test so that every
+// consumer of long randomized traces (the differential test, the parallel
+// sweep harness, the benches) drives the *same* deterministic generator
+// instead of keeping private xorshift copies. A trace is a pure function of
+// its seed and of the kernel state it is generated against: same seed on a
+// freshly booted TraceFixture ⇒ bit-identical command sequence, which is
+// what makes sharded exploration replayable.
+//
+// TraceGen mixes successful calls with error-returning ones (unaligned or
+// overlapping maps, dangling IOMMU domains, occupied descriptor slots,
+// over-quota creations) and with blocking IPC rendezvous that it completes
+// from a runnable peer, so at most one thread is ever blocked.
+
+#ifndef ATMO_SRC_VERIF_TRACE_GEN_H_
+#define ATMO_SRC_VERIF_TRACE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/kernel.h"
+
+namespace atmo {
+
+// Minimal xorshift64 PRNG. State must be nonzero.
+struct Xorshift {
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+
+  std::uint64_t Next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+// One round of the splitmix64 output function: the i-th value of the stream
+// seeded by `x` is SplitMix64(x + i * kSplitMix64Gamma). Used to derive
+// statistically independent per-shard seeds from one master seed.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ull;
+
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += kSplitMix64Gamma;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Boots a kernel with two processes / three threads; SetupIpcAndDma then
+// binds an IPC endpoint on both sides and maps one DMA-donor page per
+// thread (outside the mmap window the generator churns).
+struct TraceFixture {
+  static constexpr int kThreads = 3;
+  static constexpr VAddr kDmaVaBase = 0x40000000;  // never munmapped
+
+  Kernel kernel;
+  CtnrPtr ctnr = kNullPtr;
+  ProcPtr procs[2] = {kNullPtr, kNullPtr};
+  ThrdPtr thrds[kThreads] = {kNullPtr, kNullPtr, kNullPtr};
+
+  static TraceFixture Boot();
+
+  explicit TraceFixture(Kernel k) : kernel(std::move(k)) {}
+
+  // Endpoint slot 0 bound between thrds[0]'s and thrds[2]'s processes plus
+  // the per-thread DMA pages. Separate from Boot so tests can interleave a
+  // checker construction in between (the setup is then an *external*
+  // mutation the dirty logs must absorb).
+  void SetupIpcAndDma();
+
+  bool Dispatchable(ThrdPtr t) const;
+};
+
+// Generates the i-th syscall of the deterministic trace.
+struct TraceGen {
+  struct Cmd {
+    int thread_idx;
+    Syscall call;
+  };
+
+  explicit TraceGen(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : rng{seed} {}
+
+  // Next command, given the current fixture state (blocked threads are
+  // woken by generating the rendezvous complement from a runnable peer).
+  Cmd Gen(const TraceFixture& f);
+
+  // Feed results back so later commands can reference created objects.
+  void Observe(const Syscall& call, const SyscallRet& ret);
+
+  Xorshift rng;
+  std::vector<IommuDomainId> domains;
+  std::vector<std::uint64_t> disposable;  // child containers to kill later
+
+ private:
+  IommuDomainId PickDomain(std::uint64_t r) const;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VERIF_TRACE_GEN_H_

@@ -14,6 +14,7 @@
 
 #include "src/core/kernel.h"
 #include "src/verif/refinement_checker.h"
+#include "src/verif/trace_gen.h"
 #include "src/vstd/check.h"
 #include "src/vstd/spec_map.h"
 #include "src/vstd/spec_set.h"
@@ -66,193 +67,12 @@ TEST(CowSpecSetTest, NoOpMutationsKeepRepShared) {
 // ---------------------------------------------------------------------------
 // Randomized differential sweep: incremental vs full-rebuild checking
 // ---------------------------------------------------------------------------
+//
+// Xorshift, TraceFixture and TraceGen live in src/verif/trace_gen.h — the
+// same generator the parallel sweep harness shards. Fixture is an alias so
+// the test reads as before.
 
-struct Xorshift {
-  std::uint64_t state;
-  std::uint64_t Next() {
-    state ^= state << 13;
-    state ^= state >> 7;
-    state ^= state << 17;
-    return state;
-  }
-};
-
-// Boots a kernel with two processes / three threads, an IPC endpoint bound
-// on both sides, and one DMA-donor page mapped per thread.
-struct Fixture {
-  Kernel kernel;
-  CtnrPtr ctnr = kNullPtr;
-  ProcPtr procs[2] = {kNullPtr, kNullPtr};
-  ThrdPtr thrds[3] = {kNullPtr, kNullPtr, kNullPtr};
-
-  static constexpr VAddr kDmaVaBase = 0x40000000;  // never munmapped
-
-  static Fixture Boot() {
-    BootConfig config;
-    config.frames = 2048;
-    config.reserved_frames = 16;
-    Fixture f{std::move(*Kernel::Boot(config))};
-    auto c = f.kernel.BootCreateContainer(f.kernel.root_container(), 1200, ~0ull);
-    f.ctnr = c.value;
-    f.procs[0] = f.kernel.BootCreateProcess(f.ctnr).value;
-    f.procs[1] = f.kernel.BootCreateProcess(f.ctnr).value;
-    f.thrds[0] = f.kernel.BootCreateThread(f.procs[0]).value;
-    f.thrds[1] = f.kernel.BootCreateThread(f.procs[0]).value;
-    f.thrds[2] = f.kernel.BootCreateThread(f.procs[1]).value;
-    return f;
-  }
-
-  explicit Fixture(Kernel k) : kernel(std::move(k)) {}
-
-  bool Dispatchable(ThrdPtr t) const {
-    ThreadState s = kernel.pm().GetThread(t).state;
-    return s == ThreadState::kRunning || s == ThreadState::kRunnable;
-  }
-};
-
-// Generates the i-th syscall of the deterministic trace. Mixes successful
-// calls with error-returning ones (unaligned or overlapping maps, dangling
-// domains, occupied descriptor slots, over-quota creations) and with IPC
-// rendezvous that block and wake threads.
-struct TraceGen {
-  Xorshift rng{0x9e3779b97f4a7c15ull};
-  std::vector<IommuDomainId> domains;
-  std::vector<std::uint64_t> disposable;  // child containers to kill later
-
-  struct Cmd {
-    int thread_idx;
-    Syscall call;
-  };
-
-  Cmd Gen(const Fixture& f) {
-    for (;;) {
-      std::uint64_t r = rng.Next();
-      int ti = static_cast<int>(r % 3);
-      if (!f.Dispatchable(f.thrds[ti])) {
-        // A rendezvous is outstanding: complete it from a runnable peer so
-        // the blocked thread wakes (keeps at most one thread blocked).
-        ThreadState s = f.kernel.pm().GetThread(f.thrds[ti]).state;
-        for (int peer = 0; peer < 3; ++peer) {
-          if (peer == ti || !f.Dispatchable(f.thrds[peer])) {
-            continue;
-          }
-          Syscall c;
-          c.edpt_idx = 0;
-          c.op = s == ThreadState::kBlockedRecv ? SysOp::kSend : SysOp::kRecv;
-          if (c.op == SysOp::kSend) {
-            c.payload.scalars[0] = r;
-          }
-          return Cmd{peer, c};
-        }
-        continue;  // should be unreachable: ≥2 threads stay runnable
-      }
-
-      Syscall c;
-      switch (r % 16) {
-        case 0:
-        case 1:
-          c.op = SysOp::kYield;
-          return Cmd{ti, c};
-        case 2:
-        case 3: {  // mmap in a small per-thread window: overlaps → kInvalid
-          c.op = SysOp::kMmap;
-          c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 8) % 48) * kPageSize4K, 1,
-                               PageSize::k4K};
-          c.map_perm = MapEntryPerm{.writable = (r >> 16) % 2 == 0, .user = true,
-                                    .no_execute = true};
-          return Cmd{ti, c};
-        }
-        case 4:
-        case 5: {  // munmap over the same window: unmapped → kInvalid
-          c.op = SysOp::kMunmap;
-          c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 8) % 48) * kPageSize4K, 1,
-                               PageSize::k4K};
-          return Cmd{ti, c};
-        }
-        case 6: {  // deliberately unaligned mmap → kInvalid
-          c.op = SysOp::kMmap;
-          c.va_range = VaRange{0x100000ull * (ti + 1) + 0x123, 1, PageSize::k4K};
-          c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
-          return Cmd{ti, c};
-        }
-        case 7: {  // new endpoint in a random slot: occupied → error
-          c.op = SysOp::kNewEndpoint;
-          c.edpt_idx = static_cast<EdptIdx>(1 + (r >> 8) % (kMaxEdptDescriptors - 1));
-          return Cmd{ti, c};
-        }
-        case 8: {  // unbind a random slot (never the IPC slot 0)
-          c.op = SysOp::kUnbindEndpoint;
-          c.edpt_idx = static_cast<EdptIdx>(1 + (r >> 8) % (kMaxEdptDescriptors - 1));
-          return Cmd{ti, c};
-        }
-        case 9: {  // start a rendezvous: blocks until the generated
-                   // complement (above) wakes it
-          c.op = (r >> 8) % 2 == 0 ? SysOp::kRecv : SysOp::kSend;
-          c.edpt_idx = 0;
-          if (c.op == SysOp::kSend) {
-            c.payload.scalars[0] = r >> 8;
-          }
-          return Cmd{ti, c};
-        }
-        case 10: {  // child container: tiny or over-quota
-          c.op = SysOp::kNewContainer;
-          c.quota = (r >> 8) % 4 == 0 ? 1u << 20 : 2 + (r >> 8) % 6;
-          return Cmd{ti, c};
-        }
-        case 11: {  // kill a previously created child container
-          if (disposable.empty()) {
-            continue;
-          }
-          c.op = SysOp::kKillContainer;
-          c.target = disposable[(r >> 8) % disposable.size()];
-          return Cmd{ti, c};
-        }
-        case 12: {  // thread churn in the caller's process
-          c.op = SysOp::kNewThread;
-          return Cmd{ti, c};
-        }
-        case 13: {
-          c.op = SysOp::kIommuCreateDomain;
-          return Cmd{ti, c};
-        }
-        case 14: {  // attach a device to a real or bogus domain
-          c.op = SysOp::kIommuAttachDevice;
-          c.iommu_domain = PickDomain(r);
-          c.device = static_cast<std::uint32_t>((r >> 16) % 6);
-          return Cmd{ti, c};
-        }
-        default: {  // DMA map/unmap with mixed-validity domain and iova
-          c.op = (r >> 4) % 2 == 0 ? SysOp::kIommuMapDma : SysOp::kIommuUnmapDma;
-          c.iommu_domain = PickDomain(r);
-          c.iova = ((r >> 16) % 8) * kPageSize4K;
-          c.dma_va = Fixture::kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K;
-          return Cmd{ti, c};
-        }
-      }
-    }
-  }
-
-  IommuDomainId PickDomain(std::uint64_t r) {
-    if (domains.empty() || (r >> 8) % 5 == 0) {
-      return 9999;  // dangling → kDenied
-    }
-    return domains[(r >> 8) % domains.size()];
-  }
-
-  // Feed results back so later commands can reference created objects.
-  void Observe(const Syscall& call, const SyscallRet& ret) {
-    if (!ret.ok()) {
-      return;
-    }
-    if (call.op == SysOp::kIommuCreateDomain) {
-      domains.push_back(ret.value);
-    } else if (call.op == SysOp::kNewContainer) {
-      disposable.push_back(ret.value);
-    } else if (call.op == SysOp::kKillContainer) {
-      std::erase(disposable, call.target);
-    }
-  }
-};
+using Fixture = TraceFixture;
 
 TEST(IncrementalRefinementTest, DifferentialSweepAgreesWithFullRebuild) {
   Fixture inc_f = Fixture::Boot();
@@ -268,23 +88,7 @@ TEST(IncrementalRefinementTest, DifferentialSweepAgreesWithFullRebuild) {
   // Bind the IPC endpoint on both sides via the boot path — an *external*
   // mutation the dirty logs must absorb before the first checked step.
   for (Fixture* f : {&inc_f, &full_f}) {
-    Syscall ne;
-    ne.op = SysOp::kNewEndpoint;
-    ne.edpt_idx = 0;
-    f->kernel.Dispatch(f->thrds[0]);
-    SyscallRet e = f->kernel.Exec(f->thrds[0], ne);
-    ASSERT_TRUE(e.ok());
-    ASSERT_EQ(f->kernel.pm_mut().BindEndpoint(f->thrds[2], 0, e.value), ProcError::kOk);
-    // One DMA-donor page per thread, outside the churned mmap window.
-    for (int ti = 0; ti < 3; ++ti) {
-      Syscall mm;
-      mm.op = SysOp::kMmap;
-      mm.va_range =
-          VaRange{Fixture::kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K, 1, PageSize::k4K};
-      mm.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
-      f->kernel.Dispatch(f->thrds[ti]);
-      ASSERT_TRUE(f->kernel.Exec(f->thrds[ti], mm).ok());
-    }
+    f->SetupIpcAndDma();
   }
 
   constexpr int kSteps = 12000;
