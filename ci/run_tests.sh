@@ -39,5 +39,19 @@ cmake --build build-ci-tsan -j "$JOBS" --target parallel_sweep_test kernel_test
 echo "=== bench smoke (scaled down) ==="
 ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_incremental_refinement
 ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_parallel_sweep
+ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_table3_syscall_latency
+# The syscall-latency gate must emit parseable JSON that says the flatness
+# requirements held (map-2M and alloc-1G medians flat across machine sizes).
+python3 - <<'EOF'
+import json, sys
+with open("BENCH_table3_syscall_latency.json") as f:
+    report = json.load(f)
+if not report.get("all_ok"):
+    for op in report.get("ops", []):
+        print(f'  {op["op"]}: growth={op.get("growth")} ok={op.get("ok")}',
+              file=sys.stderr)
+    sys.exit("bench_table3_syscall_latency: flatness gate failed (all_ok=false)")
+print(f'table3 gate OK ({len(report["ops"])} ops, quick={report["quick"]})')
+EOF
 
 echo "CI OK"

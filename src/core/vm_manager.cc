@@ -23,25 +23,37 @@ constexpr int LeafLevel(PageSize size) {
 
 }  // namespace
 
+PageTable* VmManager::FindTable(ProcPtr proc) {
+  auto it = table_index_.find(proc);
+  return it == table_index_.end() ? nullptr : it->second;
+}
+
+const PageTable* VmManager::FindTable(ProcPtr proc) const {
+  auto it = table_index_.find(proc);
+  return it == table_index_.end() ? nullptr : it->second;
+}
+
 bool VmManager::CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr owner) {
-  ATMO_CHECK(tables_.count(proc) == 0, "address space already exists for process");
+  ATMO_CHECK(table_index_.count(proc) == 0, "address space already exists for process");
   std::optional<PageTable> table = PageTable::New(mem_, alloc, owner);
   if (!table.has_value()) {
     return false;
   }
-  tables_.emplace(proc, std::move(*table));
+  auto [it, inserted] = tables_.emplace(proc, std::move(*table));
+  ATMO_CHECK(inserted, "tables_ and table_index_ out of lockstep");
+  table_index_.emplace(proc, &it->second);
   dirty_.Mark(proc);
   return true;
 }
 
 VmManager::DestroyStats VmManager::DestroyAddressSpace(PageAllocator* alloc, ProcPtr proc) {
-  auto it = tables_.find(proc);
-  ATMO_CHECK(it != tables_.end(), "DestroyAddressSpace of unknown process");
+  PageTable* table = FindTable(proc);
+  ATMO_CHECK(table != nullptr, "DestroyAddressSpace of unknown process");
   dirty_.Mark(proc);
   DestroyStats stats;
 
   std::vector<VAddr> vas;
-  for (const auto& [va, entry] : it->second.AddressSpace()) {
+  for (const auto& [va, entry] : table->AddressSpace()) {
     vas.push_back(va);
   }
   for (VAddr va : vas) {
@@ -51,16 +63,17 @@ VmManager::DestroyStats VmManager::DestroyAddressSpace(PageAllocator* alloc, Pro
       stats.released_frames[result->released_owner] += result->released_frames;
     }
   }
-  stats.table_nodes = it->second.PageClosure().size();
-  it->second.Destroy(alloc);
-  tables_.erase(it);
+  stats.table_nodes = table->PageClosure().size();
+  table->Destroy(alloc);
+  table_index_.erase(proc);
+  tables_.erase(proc);
   return stats;
 }
 
 const PageTable& VmManager::TableOf(ProcPtr proc) const {
-  auto it = tables_.find(proc);
-  ATMO_CHECK(it != tables_.end(), "TableOf unknown process");
-  return it->second;
+  const PageTable* table = FindTable(proc);
+  ATMO_CHECK(table != nullptr, "TableOf unknown process");
+  return *table;
 }
 
 SpecMap<VAddr, MapEntry> VmManager::AddressSpaceOf(ProcPtr proc) const {
@@ -68,11 +81,11 @@ SpecMap<VAddr, MapEntry> VmManager::AddressSpaceOf(ProcPtr proc) const {
 }
 
 std::optional<MapEntry> VmManager::Resolve(ProcPtr proc, VAddr va) const {
-  auto it = tables_.find(proc);
-  if (it == tables_.end()) {
+  const PageTable* table = FindTable(proc);
+  if (table == nullptr) {
     return std::nullopt;
   }
-  return it->second.Resolve(va);
+  return table->Resolve(va);
 }
 
 std::uint64_t VmManager::NodesNeededFor(ProcPtr proc, VAddr va, PageSize size) const {
@@ -99,11 +112,11 @@ std::uint64_t VmManager::NodesNeededFor(ProcPtr proc, VAddr va, PageSize size) c
 
 void VmManager::MapFreshPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PageAlloc page,
                              MapEntryPerm perm) {
-  auto it = tables_.find(proc);
-  ATMO_CHECK(it != tables_.end(), "MapFreshPage into unknown process");
+  PageTable* table = FindTable(proc);
+  ATMO_CHECK(table != nullptr, "MapFreshPage into unknown process");
   PageSize size = page.perm.size();
   alloc->MarkMapped(page.ptr);
-  MapError err = it->second.Map(alloc, va, page.ptr, size, perm);
+  MapError err = table->Map(alloc, va, page.ptr, size, perm);
   ATMO_CHECK(err == MapError::kOk, "pre-validated map failed");
   dirty_.Mark(proc);
   frame_perms_.emplace(page.ptr, std::move(page.perm));
@@ -111,13 +124,13 @@ void VmManager::MapFreshPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PageA
 
 MapError VmManager::MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, PagePtr page,
                                   PageSize size, MapEntryPerm perm) {
-  auto it = tables_.find(proc);
-  if (it == tables_.end()) {
+  PageTable* table = FindTable(proc);
+  if (table == nullptr) {
     return MapError::kNotMapped;
   }
   ATMO_CHECK(alloc->StateOf(page) == PageState::kMapped,
              "MapSharedPage of a page that is not mapped");
-  MapError err = it->second.Map(alloc, va, page, size, perm);
+  MapError err = table->Map(alloc, va, page, size, perm);
   if (err != MapError::kOk) {
     return err;
   }
@@ -128,11 +141,11 @@ MapError VmManager::MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, 
 
 std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, ProcPtr proc,
                                                        VAddr va) {
-  auto it = tables_.find(proc);
-  if (it == tables_.end()) {
+  PageTable* table = FindTable(proc);
+  if (table == nullptr) {
     return std::nullopt;
   }
-  std::optional<MapEntry> entry = it->second.Unmap(va);
+  std::optional<MapEntry> entry = table->Unmap(va);
   if (!entry.has_value()) {
     return std::nullopt;
   }
@@ -179,6 +192,17 @@ SpecSet<PagePtr> VmManager::HeldFrames() const {
 }
 
 bool VmManager::Wf(const PhysMem& mem, const PageAllocator& alloc) const {
+  // The hashed index mirrors tables_ exactly: same domain, and every entry
+  // points at the authoritative map node.
+  if (table_index_.size() != tables_.size()) {
+    return false;
+  }
+  for (const auto& [proc, table] : tables_) {
+    auto it = table_index_.find(proc);
+    if (it == table_index_.end() || it->second != &table) {
+      return false;
+    }
+  }
   // Per-table structural invariants.
   for (const auto& [proc, table] : tables_) {
     if (!table.StructureWf(mem)) {
@@ -205,7 +229,8 @@ bool VmManager::Wf(const PhysMem& mem, const PageAllocator& alloc) const {
 VmManager VmManager::CloneForVerification(PhysMem* mem) const {
   VmManager out(mem);
   for (const auto& [proc, table] : tables_) {
-    out.tables_.emplace(proc, table.CloneForVerification(mem));
+    auto [it, inserted] = out.tables_.emplace(proc, table.CloneForVerification(mem));
+    out.table_index_.emplace(proc, &it->second);
   }
   for (const auto& [page, perm] : frame_perms_) {
     out.frame_perms_.emplace(page, perm.CloneForVerification());

@@ -12,6 +12,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "src/hw/mmu.h"
 #include "src/hw/phys_mem.h"
@@ -45,7 +46,7 @@ class VmManager {
   };
   DestroyStats DestroyAddressSpace(PageAllocator* alloc, ProcPtr proc);
 
-  bool HasAddressSpace(ProcPtr proc) const { return tables_.count(proc) != 0; }
+  bool HasAddressSpace(ProcPtr proc) const { return table_index_.count(proc) != 0; }
   const PageTable& TableOf(ProcPtr proc) const;
   SpecMap<VAddr, MapEntry> AddressSpaceOf(ProcPtr proc) const;
   std::optional<MapEntry> Resolve(ProcPtr proc, VAddr va) const;
@@ -103,9 +104,19 @@ class VmManager {
   VmManager CloneForVerification(PhysMem* mem) const;
 
  private:
+  // Hashed-index lookups used by every syscall; nullptr when absent.
+  PageTable* FindTable(ProcPtr proc);
+  const PageTable* FindTable(ProcPtr proc) const;
+
   PhysMem* mem_;
   std::map<ProcPtr, PageTable> tables_;
-  std::map<PagePtr, FramePerm> frame_perms_;  // flat: all mapped user frames
+  // Hashed proc -> table index, maintained in lockstep with tables_ by
+  // CreateAddressSpace/DestroyAddressSpace (its only mutation points).
+  // std::map nodes are pointer-stable, so the raw pointers stay valid until
+  // the entry itself is erased. Wf() cross-checks index vs tables_.
+  std::unordered_map<ProcPtr, PageTable*> table_index_;
+  // Flat: all mapped user frames. Hashed — only ever probed by frame base.
+  std::unordered_map<PagePtr, FramePerm> frame_perms_;
   DirtyLog dirty_;
 };
 

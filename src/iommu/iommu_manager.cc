@@ -7,47 +7,59 @@
 
 namespace atmo {
 
+PageTable* IommuManager::FindDomain(IommuDomainId domain) {
+  auto it = domain_index_.find(domain);
+  return it == domain_index_.end() ? nullptr : it->second;
+}
+
+const PageTable* IommuManager::FindDomain(IommuDomainId domain) const {
+  auto it = domain_index_.find(domain);
+  return it == domain_index_.end() ? nullptr : it->second;
+}
+
 IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
   std::optional<PageTable> table = PageTable::New(mem_, alloc, ctnr);
   if (!table.has_value()) {
     return kNoIommuDomain;
   }
   IommuDomainId id = next_domain_++;
-  domains_.emplace(id, std::move(*table));
+  auto [it, inserted] = domains_.emplace(id, std::move(*table));
+  ATMO_CHECK(inserted, "domains_ and domain_index_ out of lockstep");
+  domain_index_.emplace(id, &it->second);
   dirty_.Mark(id);
   return id;
 }
 
 void IommuManager::DestroyDomain(PageAllocator* alloc, IommuDomainId domain) {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "DestroyDomain of unknown domain");
+  PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "DestroyDomain of unknown domain");
   for (const auto& [device, dom] : device_domains_) {
     ATMO_CHECK(dom != domain, "DestroyDomain with attached devices");
   }
   // Unmap all DMA windows, then release the tables.
   std::vector<VAddr> iovas;
-  for (const auto& [iova, entry] : it->second.AddressSpace()) {
+  for (const auto& [iova, entry] : table->AddressSpace()) {
     iovas.push_back(iova);
   }
   for (VAddr iova : iovas) {
-    it->second.Unmap(iova);
+    table->Unmap(iova);
   }
-  it->second.Destroy(alloc);
-  domains_.erase(it);
+  table->Destroy(alloc);
+  domain_index_.erase(domain);
+  domains_.erase(domain);
   owner_overrides_.erase(domain);
   dirty_.Mark(domain);
 }
 
 CtnrPtr IommuManager::DomainOwner(IommuDomainId domain) const {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "DomainOwner of unknown domain");
+  const PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "DomainOwner of unknown domain");
   auto ov = owner_overrides_.find(domain);
-  return ov != owner_overrides_.end() ? ov->second : it->second.owner();
+  return ov != owner_overrides_.end() ? ov->second : table->owner();
 }
 
 void IommuManager::SetDomainOwner(IommuDomainId domain, CtnrPtr ctnr) {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "SetDomainOwner of unknown domain");
+  ATMO_CHECK(FindDomain(domain) != nullptr, "SetDomainOwner of unknown domain");
   // PageTable keeps its owner immutable; rebuild ownership by re-tagging
   // node pages at the allocator and replacing the table's owner via clone is
   // overkill — the table owner field is advisory; quota attribution is the
@@ -57,7 +69,7 @@ void IommuManager::SetDomainOwner(IommuDomainId domain, CtnrPtr ctnr) {
 }
 
 bool IommuManager::AttachDevice(IommuDomainId domain, DeviceId device) {
-  if (domains_.find(domain) == domains_.end()) {
+  if (FindDomain(domain) == nullptr) {
     return false;
   }
   if (device_domains_.count(device) != 0) {
@@ -82,19 +94,19 @@ IommuDomainId IommuManager::DomainOf(DeviceId device) const {
 
 MapError IommuManager::MapDma(PageAllocator* alloc, IommuDomainId domain, VAddr iova, PAddr pa,
                               PageSize size, MapEntryPerm perm) {
-  auto it = domains_.find(domain);
-  if (it == domains_.end()) {
+  PageTable* table = FindDomain(domain);
+  if (table == nullptr) {
     return MapError::kNotMapped;
   }
   dirty_.Mark(domain);
-  return it->second.Map(alloc, iova, pa, size, perm);
+  return table->Map(alloc, iova, pa, size, perm);
 }
 
 std::optional<MapEntry> IommuManager::UnmapDma(IommuDomainId domain, VAddr iova) {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "UnmapDma on unknown domain");
+  PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "UnmapDma on unknown domain");
   dirty_.Mark(domain);
-  return it->second.Unmap(iova);
+  return table->Unmap(iova);
 }
 
 std::optional<PAddr> IommuManager::Translate(DeviceId device, VAddr iova, bool write) const {
@@ -102,10 +114,10 @@ std::optional<PAddr> IommuManager::Translate(DeviceId device, VAddr iova, bool w
   if (dev == device_domains_.end()) {
     return std::nullopt;  // unattached devices are blocked entirely
   }
-  auto dom = domains_.find(dev->second);
-  ATMO_CHECK(dom != domains_.end(), "device attached to dead domain");
+  const PageTable* dom = FindDomain(dev->second);
+  ATMO_CHECK(dom != nullptr, "device attached to dead domain");
   // Hardware path: walk the real table bits.
-  std::optional<WalkResult> walk = mmu_.Walk(dom->second.cr3(), iova);
+  std::optional<WalkResult> walk = mmu_.Walk(dom->cr3(), iova);
   if (!walk.has_value()) {
     return std::nullopt;
   }
@@ -116,9 +128,9 @@ std::optional<PAddr> IommuManager::Translate(DeviceId device, VAddr iova, bool w
 }
 
 std::uint64_t IommuManager::DomainPageCount(IommuDomainId domain) const {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "DomainPageCount of unknown domain");
-  return it->second.PageClosure().size();
+  const PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "DomainPageCount of unknown domain");
+  return table->PageClosure().size();
 }
 
 SpecSet<PagePtr> IommuManager::PageClosure() const {
@@ -142,27 +154,38 @@ SpecSet<IommuDomainId> IommuManager::DomainsOwnedBy(CtnrPtr ctnr) const {
 }
 
 SpecSet<PagePtr> IommuManager::DomainPageClosure(IommuDomainId domain) const {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "DomainPageClosure of unknown domain");
-  return it->second.PageClosure();
+  const PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "DomainPageClosure of unknown domain");
+  return table->PageClosure();
 }
 
 MapError IommuManager::CanMapDma(IommuDomainId domain, VAddr iova, PageSize size) const {
-  auto it = domains_.find(domain);
-  if (it == domains_.end()) {
+  const PageTable* table = FindDomain(domain);
+  if (table == nullptr) {
     return MapError::kNotMapped;
   }
-  return it->second.CanMap(iova, size);
+  return table->CanMap(iova, size);
 }
 
 std::uint64_t IommuManager::FreshNodesForDma(IommuDomainId domain, VAddr iova,
                                              PageSize size) const {
-  auto it = domains_.find(domain);
-  ATMO_CHECK(it != domains_.end(), "FreshNodesForDma of unknown domain");
-  return it->second.FreshNodesFor(iova, size, nullptr);
+  const PageTable* table = FindDomain(domain);
+  ATMO_CHECK(table != nullptr, "FreshNodesForDma of unknown domain");
+  return table->FreshNodesFor(iova, size, nullptr);
 }
 
 bool IommuManager::Wf() const {
+  // The hashed index mirrors domains_ exactly: same domain set, and every
+  // entry points at the authoritative map node.
+  if (domain_index_.size() != domains_.size()) {
+    return false;
+  }
+  for (const auto& [id, table] : domains_) {
+    auto it = domain_index_.find(id);
+    if (it == domain_index_.end() || it->second != &table) {
+      return false;
+    }
+  }
   for (const auto& [id, table] : domains_) {
     if (!table.StructureWf(*mem_)) {
       return false;
@@ -180,7 +203,8 @@ IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
   IommuManager out(mem);
   out.next_domain_ = next_domain_;
   for (const auto& [id, table] : domains_) {
-    out.domains_.emplace(id, table.CloneForVerification(mem));
+    auto [it, inserted] = out.domains_.emplace(id, table.CloneForVerification(mem));
+    out.domain_index_.emplace(id, &it->second);
   }
   out.device_domains_ = device_domains_;
   out.owner_overrides_ = owner_overrides_;

@@ -136,7 +136,9 @@ MapError PageTable::Map(PageAllocator* alloc, VAddr va, PAddr pa, PageSize size,
   }
 
   WriteEntry(node, leaf_index, MakePte(pa, perm, /*leaf_superpage=*/leaf > 1));
-  MutableMapping(size).set(va, MapEntry{.addr = pa, .size = size, .perm = perm});
+  MapEntry entry{.addr = pa, .size = size, .perm = perm};
+  MutableMapping(size).set(va, entry);
+  va_index_[va] = entry;
   return MapError::kOk;
 }
 
@@ -197,16 +199,12 @@ std::uint64_t PageTable::FreshNodesFor(VAddr va, PageSize size,
 }
 
 std::optional<MapEntry> PageTable::Unmap(VAddr va) {
-  PageSize size;
-  if (map_4k_.contains(va)) {
-    size = PageSize::k4K;
-  } else if (map_2m_.contains(va)) {
-    size = PageSize::k2M;
-  } else if (map_1g_.contains(va)) {
-    size = PageSize::k1G;
-  } else {
+  auto indexed = va_index_.find(va);
+  if (indexed == va_index_.end()) {
     return std::nullopt;
   }
+  PageSize size = indexed->second.size;
+  ATMO_CHECK(mapping(size).contains(va), "va_index_ refers to a mapping the ghost maps lack");
 
   int leaf = LeafLevel(size);
   PAddr node = cr3_;
@@ -223,23 +221,19 @@ std::optional<MapEntry> PageTable::Unmap(VAddr va) {
 
   MapEntry out = MutableMapping(size).at(va);
   MutableMapping(size).erase(va);
+  va_index_.erase(va);
   return out;
 }
 
 std::optional<MapEntry> PageTable::Resolve(VAddr va) const {
-  // Resolution through the abstract maps; refinement (checked separately)
-  // guarantees this equals what the MMU would see.
-  VAddr base4k = va & ~(kPageSize4K - 1);
-  if (map_4k_.contains(base4k)) {
-    return map_4k_.at(base4k);
-  }
-  VAddr base2m = va & ~(kPageSize2M - 1);
-  if (map_2m_.contains(base2m)) {
-    return map_2m_.at(base2m);
-  }
-  VAddr base1g = va & ~(kPageSize1G - 1);
-  if (map_1g_.contains(base1g)) {
-    return map_1g_.at(base1g);
+  // Resolution through the hashed index over the abstract maps; refinement
+  // (checked separately) guarantees this equals what the MMU would see.
+  // One probe per size class, aligned down to that class's base.
+  for (std::uint64_t bytes : {kPageSize4K, kPageSize2M, kPageSize1G}) {
+    auto it = va_index_.find(va & ~(bytes - 1));
+    if (it != va_index_.end() && PageBytes(it->second.size) == bytes) {
+      return it->second;
+    }
   }
   return std::nullopt;
 }
@@ -291,6 +285,19 @@ SpecSet<PagePtr> PageTable::PageClosure() const {
 }
 
 bool PageTable::StructureWf(const PhysMem& mem) const {
+  // The hashed index is exactly the union of the three ghost maps: same
+  // cardinality and every indexed entry present in the map of its size
+  // class with the same value.
+  if (va_index_.size() != MappingCount()) {
+    return false;
+  }
+  for (const auto& [va, entry] : va_index_) {
+    const SpecMap<VAddr, MapEntry>& ground_truth = mapping(entry.size);
+    if (!ground_truth.contains(va) || !(ground_truth.at(va) == entry)) {
+      return false;
+    }
+  }
+
   // Ghost metadata domain equals the permission map domain, root included.
   if (node_perms_.size() != node_info_.size() || !node_perms_.count(cr3_)) {
     return false;
@@ -367,6 +374,7 @@ void PageTable::Destroy(PageAllocator* alloc) {
     alloc->FreePage(addr, std::move(perm));
   }
   node_info_ = SpecMap<PAddr, PtNodeInfo>();
+  va_index_.clear();
   cr3_ = kNullPtr;
 }
 
@@ -387,6 +395,7 @@ PageTable PageTable::CloneForVerification(PhysMem* mem) const {
   out.map_4k_ = map_4k_;
   out.map_2m_ = map_2m_;
   out.map_1g_ = map_1g_;
+  out.va_index_ = va_index_;
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include <map>
 #include <optional>
 #include <set>
+#include <unordered_map>
 
 #include "src/hw/mmu.h"
 #include "src/hw/phys_mem.h"
@@ -108,7 +109,8 @@ class PageTable {
 
   // Structural well-formedness: node ghost metadata is consistent, every
   // non-leaf present entry points to exactly one registered child node of
-  // the next level, leaves are aligned, and cr3 is the only root.
+  // the next level, leaves are aligned, cr3 is the only root, and the
+  // hashed va_index_ equals the union of the three ghost maps.
   bool StructureWf(const PhysMem& mem) const;
 
   // Frees every node frame back to the allocator, consuming permissions.
@@ -145,6 +147,11 @@ class PageTable {
   SpecMap<VAddr, MapEntry> map_4k_;
   SpecMap<VAddr, MapEntry> map_2m_;
   SpecMap<VAddr, MapEntry> map_1g_;
+  // Hashed union of the three ghost maps, keyed by mapping base VA and
+  // maintained in lockstep by Map/Unmap (the only mutation points). Turns
+  // the per-syscall VA lookups in Resolve/Unmap into O(1) hash probes;
+  // StructureWf cross-checks it against the ghost-map ground truth.
+  std::unordered_map<VAddr, MapEntry> va_index_;
   std::function<void()> write_observer_;
 };
 

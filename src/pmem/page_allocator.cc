@@ -1,5 +1,8 @@
 #include "src/pmem/page_allocator.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -26,7 +29,12 @@ const char* PageStateName(PageState state) {
 }
 
 PageAllocator::PageAllocator(std::uint64_t total_frames, std::uint64_t reserved_frames)
-    : reserved_frames_(reserved_frames), meta_(total_frames) {
+    : reserved_frames_(reserved_frames),
+      meta_(total_frames),
+      free_in_2m_((total_frames + kFramesPer2M - 1) / kFramesPer2M, 0),
+      free_eq_1g_((total_frames + kFramesPer1G - 1) / kFramesPer1G, 0),
+      in_mergeable_2m_(free_in_2m_.size(), 0),
+      in_mergeable_1g_(free_eq_1g_.size(), 0) {
   ATMO_CHECK(reserved_frames >= 1, "frame 0 (null pointer) must be reserved");
   ATMO_CHECK(reserved_frames <= total_frames, "reserved frames exceed total frames");
   // All managed frames boot as free 4 KiB pages. Push back-to-front so the
@@ -75,6 +83,47 @@ void PageAllocator::PushFree(std::uint64_t frame, PageSize size) {
   }
   list.head = frame;
   ++list.count;
+  NoteFreed(frame, size);
+}
+
+void PageAllocator::NoteFreed(std::uint64_t frame, PageSize size) {
+  if (size == PageSize::k1G) {
+    return;  // a whole free 1G page needs no coalescing
+  }
+  std::uint64_t region = frame / kFramesPer1G;
+  if (size == PageSize::k4K) {
+    std::uint64_t group = frame / kFramesPer2M;
+    if (++free_in_2m_[group] == kFramesPer2M && !in_mergeable_2m_[group]) {
+      in_mergeable_2m_[group] = 1;
+      mergeable_2m_.push_back(group);
+      std::push_heap(mergeable_2m_.begin(), mergeable_2m_.end(), std::greater<>());
+    }
+    free_eq_1g_[region] += 1;
+  } else {
+    free_eq_1g_[region] += kFramesPer2M;
+  }
+  if (free_eq_1g_[region] == kFramesPer1G && !in_mergeable_1g_[region]) {
+    in_mergeable_1g_[region] = 1;
+    mergeable_1g_.push_back(region);
+    std::push_heap(mergeable_1g_.begin(), mergeable_1g_.end(), std::greater<>());
+  }
+}
+
+void PageAllocator::NoteUnfreed(std::uint64_t frame, PageSize size) {
+  if (size == PageSize::k1G) {
+    return;
+  }
+  std::uint64_t region = frame / kFramesPer1G;
+  if (size == PageSize::k4K) {
+    std::uint64_t group = frame / kFramesPer2M;
+    ATMO_CHECK(free_in_2m_[group] > 0, "2M group free counter underflow");
+    --free_in_2m_[group];
+    ATMO_CHECK(free_eq_1g_[region] >= 1, "1G region free counter underflow");
+    free_eq_1g_[region] -= 1;
+  } else {
+    ATMO_CHECK(free_eq_1g_[region] >= kFramesPer2M, "1G region free counter underflow");
+    free_eq_1g_[region] -= kFramesPer2M;
+  }
 }
 
 void PageAllocator::UnlinkFree(std::uint64_t frame) {
@@ -95,6 +144,7 @@ void PageAllocator::UnlinkFree(std::uint64_t frame) {
   meta.next = kNilFrame;
   ATMO_CHECK(list.count > 0, "free-list count underflow");
   --list.count;
+  NoteUnfreed(frame, meta.size);
 }
 
 std::optional<std::uint64_t> PageAllocator::PopFree(PageSize size) {
@@ -119,24 +169,94 @@ std::optional<PageAlloc> PageAllocator::AllocFrom(PageSize size, CtnrPtr owner) 
   return PageAlloc{PtrOf(*frame), FramePerm::Mint(PtrOf(*frame), size)};
 }
 
+std::optional<PagePtr> PageAllocator::Coalesce2MIndexed() {
+  while (!mergeable_2m_.empty()) {
+    std::pop_heap(mergeable_2m_.begin(), mergeable_2m_.end(), std::greater<>());
+    std::uint64_t group = mergeable_2m_.back();
+    mergeable_2m_.pop_back();
+    in_mergeable_2m_[group] = 0;
+    if (free_in_2m_[group] != kFramesPer2M) {
+      continue;  // stale: the group lost a frame since it was flagged
+    }
+    PagePtr base = PtrOf(group * kFramesPer2M);
+    bool merged = TryMerge2M(base);
+    ATMO_CHECK(merged, "fully free 2M group failed to coalesce");
+    return base;
+  }
+  return std::nullopt;
+}
+
+std::optional<PagePtr> PageAllocator::Coalesce1GIndexed() {
+  while (!mergeable_1g_.empty()) {
+    std::pop_heap(mergeable_1g_.begin(), mergeable_1g_.end(), std::greater<>());
+    std::uint64_t region = mergeable_1g_.back();
+    mergeable_1g_.pop_back();
+    in_mergeable_1g_[region] = 0;
+    if (free_eq_1g_[region] != kFramesPer1G) {
+      continue;  // stale
+    }
+    // Every frame in the region is a free 4K page or covered by a free 2M
+    // unit, so each constituent group is either a free 2M unit already or
+    // merges from 512 free 4K frames.
+    std::uint64_t head = region * kFramesPer1G;
+    for (std::uint64_t unit = 0; unit < kFramesPer1G; unit += kFramesPer2M) {
+      const PageMeta& meta = meta_[head + unit];
+      if (meta.state == PageState::kFree && meta.size == PageSize::k2M) {
+        continue;
+      }
+      bool merged = TryMerge2M(PtrOf(head + unit));
+      ATMO_CHECK(merged, "group of a fully free 1G region failed to coalesce");
+    }
+    PagePtr base = PtrOf(head);
+    bool merged = TryMerge1G(base);
+    ATMO_CHECK(merged, "fully free 1G region failed to coalesce");
+    return base;
+  }
+  return std::nullopt;
+}
+
+std::optional<PagePtr> PageAllocator::TakeFree2MUnit() {
+  if (free_2m_.head != kNilFrame) {
+    return PtrOf(free_2m_.head);
+  }
+  if (std::optional<PagePtr> merged = Coalesce2MIndexed(); merged.has_value()) {
+    return merged;
+  }
+  std::optional<PagePtr> big = free_1g_.head != kNilFrame
+                                   ? std::optional<PagePtr>(PtrOf(free_1g_.head))
+                                   : Coalesce1GIndexed();
+  if (!big.has_value()) {
+    return std::nullopt;
+  }
+  Split1G(*big);
+  return PtrOf(free_2m_.head);
+}
+
 std::optional<PageAlloc> PageAllocator::AllocPage4K(CtnrPtr owner) {
+  if (free_4k_.head == kNilFrame) {
+    // Split path: rebuild the 4K list from one 2M unit (itself possibly
+    // split out of a 1G unit) without scanning meta_.
+    std::optional<PagePtr> unit = TakeFree2MUnit();
+    if (!unit.has_value()) {
+      return std::nullopt;
+    }
+    Split2M(*unit);
+  }
   return AllocFrom(PageSize::k4K, owner);
 }
 
 std::optional<PageAlloc> PageAllocator::AllocPage2M(CtnrPtr owner) {
-  std::optional<PageAlloc> out = AllocFrom(PageSize::k2M, owner);
-  if (!out.has_value() && Merge2MAnywhere().has_value()) {
-    out = AllocFrom(PageSize::k2M, owner);
+  if (!TakeFree2MUnit().has_value()) {
+    return std::nullopt;
   }
-  return out;
+  return AllocFrom(PageSize::k2M, owner);
 }
 
 std::optional<PageAlloc> PageAllocator::AllocPage1G(CtnrPtr owner) {
-  std::optional<PageAlloc> out = AllocFrom(PageSize::k1G, owner);
-  if (!out.has_value() && Merge1GAnywhere().has_value()) {
-    out = AllocFrom(PageSize::k1G, owner);
+  if (free_1g_.head == kNilFrame && !Coalesce1GIndexed().has_value()) {
+    return std::nullopt;
   }
-  return out;
+  return AllocFrom(PageSize::k1G, owner);
 }
 
 std::optional<PageAlloc> PageAllocator::AllocPage(PageSize size, CtnrPtr owner) {
@@ -362,9 +482,9 @@ SpecSet<PagePtr> PageAllocator::InUseFrames() const {
   return out;
 }
 
-bool PageAllocator::Wf() const {
-  // 1. Free lists: every node is a free page of the list's size class and
-  //    the doubly-linked structure is consistent.
+bool PageAllocator::CheckFreeListLinks() const {
+  // Free lists: every node is a free page of the list's size class and the
+  // doubly-linked structure is consistent. O(list nodes).
   for (PageSize size : {PageSize::k4K, PageSize::k2M, PageSize::k1G}) {
     const FreeList& list = ListFor(size);
     std::uint64_t count = 0;
@@ -386,6 +506,144 @@ bool PageAllocator::Wf() const {
       return false;
     }
   }
+  return true;
+}
+
+bool PageAllocator::CheckCoalescingHeaps() const {
+  // Heap membership must agree with the flag vectors: flagged <=> exactly
+  // one heap entry, and every entry indexes a real group/region.
+  std::uint64_t flagged_2m = 0;
+  for (std::uint8_t flag : in_mergeable_2m_) {
+    flagged_2m += flag;
+  }
+  if (mergeable_2m_.size() != flagged_2m) {
+    return false;
+  }
+  for (std::uint64_t group : mergeable_2m_) {
+    if (group >= in_mergeable_2m_.size() || !in_mergeable_2m_[group]) {
+      return false;
+    }
+  }
+  std::uint64_t flagged_1g = 0;
+  for (std::uint8_t flag : in_mergeable_1g_) {
+    flagged_1g += flag;
+  }
+  if (mergeable_1g_.size() != flagged_1g) {
+    return false;
+  }
+  for (std::uint64_t region : mergeable_1g_) {
+    if (region >= in_mergeable_1g_.size() || !in_mergeable_1g_[region]) {
+      return false;
+    }
+  }
+  // size == flagged-count plus every entry flagged implies entries are
+  // distinct, so flagged <=> exactly one entry.
+  return true;
+}
+
+bool PageAllocator::Wf() const {
+  if (!CheckFreeListLinks() || !CheckCoalescingHeaps()) {
+    return false;
+  }
+
+  // Single span-skipping pass over meta_: per-frame state/alignment checks,
+  // tail checks for every multi-frame unit (allocated, mapped or free), and
+  // recomputation of the coalescing counters from ground truth.
+  std::vector<std::uint32_t> in_2m(free_in_2m_.size(), 0);
+  std::vector<std::uint64_t> eq_1g(free_eq_1g_.size(), 0);
+  std::uint64_t frame = 0;
+  while (frame < meta_.size()) {
+    const PageMeta& meta = meta_[frame];
+    switch (meta.state) {
+      case PageState::kUnavailable:
+        if (frame >= reserved_frames_) {
+          return false;
+        }
+        ++frame;
+        continue;
+      case PageState::kFree:
+      case PageState::kAllocated:
+      case PageState::kMapped: {
+        std::uint64_t span = PageFrames4K(meta.size);
+        // Unit heads must be aligned to their size class and fit the array.
+        if (frame % span != 0 || frame + span > meta_.size()) {
+          return false;
+        }
+        // Superpage tails must be merged into this unit (also catches
+        // overlapping units).
+        for (std::uint64_t i = 1; i < span; ++i) {
+          const PageMeta& tail = meta_[frame + i];
+          if (tail.state != PageState::kMerged || tail.merged_head != frame) {
+            return false;
+          }
+        }
+        if (meta.state == PageState::kMapped && meta.map_count == 0) {
+          // Transiently legal only inside munmap; as a quiescent state a
+          // mapped page must have at least one mapping... except the window
+          // between DecMapCount and ReclaimUnmapped, which never spans a
+          // Wf() check in the kernel. Treat as ill-formed here.
+          return false;
+        }
+        if (meta.state == PageState::kFree) {
+          if (meta.size == PageSize::k4K) {
+            ++in_2m[frame / kFramesPer2M];
+            eq_1g[frame / kFramesPer1G] += 1;
+          } else if (meta.size == PageSize::k2M) {
+            eq_1g[frame / kFramesPer1G] += kFramesPer2M;
+          }
+        }
+        frame += span;
+        continue;
+      }
+      case PageState::kMerged: {
+        // A merged frame reached at top level was not covered by a preceding
+        // head's span, so its back-pointer cannot be consistent; apply the
+        // same head checks the reference implementation uses.
+        std::uint64_t head = meta.merged_head;
+        if (head == kNilFrame || head >= meta_.size()) {
+          return false;
+        }
+        const PageMeta& head_meta = meta_[head];
+        if (head_meta.state == PageState::kMerged || head_meta.state == PageState::kUnavailable) {
+          return false;
+        }
+        std::uint64_t span = PageFrames4K(head_meta.size);
+        if (head_meta.size == PageSize::k4K || frame <= head || frame >= head + span) {
+          return false;
+        }
+        ++frame;
+        continue;
+      }
+    }
+    return false;  // corrupted state byte
+  }
+
+  // Counters must equal the ground truth, and every full group/region must
+  // be flagged (the heaps may hold stale extras; never a missing candidate).
+  for (std::uint64_t group = 0; group < free_in_2m_.size(); ++group) {
+    if (free_in_2m_[group] != in_2m[group]) {
+      return false;
+    }
+    if (in_2m[group] == kFramesPer2M && !in_mergeable_2m_[group]) {
+      return false;
+    }
+  }
+  for (std::uint64_t region = 0; region < free_eq_1g_.size(); ++region) {
+    if (free_eq_1g_[region] != eq_1g[region]) {
+      return false;
+    }
+    if (eq_1g[region] == kFramesPer1G && !in_mergeable_1g_[region]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PageAllocator::WfReference() const {
+  // 1. Free lists (shared with Wf: identical obligation).
+  if (!CheckFreeListLinks()) {
+    return false;
+  }
 
   // 2. Per-frame state checks.
   for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
@@ -401,11 +659,17 @@ bool PageAllocator::Wf() const {
         if (frame % PageFrames4K(meta.size) != 0) {
           return false;
         }
+        if (frame + PageFrames4K(meta.size) > meta_.size()) {
+          return false;
+        }
         break;
       }
       case PageState::kAllocated:
       case PageState::kMapped: {
         if (frame % PageFrames4K(meta.size) != 0) {
+          return false;
+        }
+        if (frame + PageFrames4K(meta.size) > meta_.size()) {
           return false;
         }
         // Superpage tails must be merged into this unit (also catches
@@ -417,10 +681,6 @@ bool PageAllocator::Wf() const {
           }
         }
         if (meta.state == PageState::kMapped && meta.map_count == 0) {
-          // Transiently legal only inside munmap; as a quiescent state a
-          // mapped page must have at least one mapping... except the window
-          // between DecMapCount and ReclaimUnmapped, which never spans a
-          // Wf() check in the kernel. Treat as ill-formed here.
           return false;
         }
         break;
@@ -457,7 +717,40 @@ bool PageAllocator::Wf() const {
       }
     }
   }
-  return true;
+
+  // 4. Coalescing index vs ground truth (same obligation as Wf, recomputed
+  //    with an independent full pass).
+  std::vector<std::uint32_t> in_2m(free_in_2m_.size(), 0);
+  std::vector<std::uint64_t> eq_1g(free_eq_1g_.size(), 0);
+  for (std::uint64_t frame = 0; frame < meta_.size(); ++frame) {
+    const PageMeta& meta = meta_[frame];
+    if (meta.state != PageState::kFree) {
+      continue;
+    }
+    if (meta.size == PageSize::k4K) {
+      ++in_2m[frame / kFramesPer2M];
+      eq_1g[frame / kFramesPer1G] += 1;
+    } else if (meta.size == PageSize::k2M) {
+      eq_1g[frame / kFramesPer1G] += kFramesPer2M;
+    }
+  }
+  for (std::uint64_t group = 0; group < free_in_2m_.size(); ++group) {
+    if (free_in_2m_[group] != in_2m[group]) {
+      return false;
+    }
+    if (in_2m[group] == kFramesPer2M && !in_mergeable_2m_[group]) {
+      return false;
+    }
+  }
+  for (std::uint64_t region = 0; region < free_eq_1g_.size(); ++region) {
+    if (free_eq_1g_[region] != eq_1g[region]) {
+      return false;
+    }
+    if (eq_1g[region] == kFramesPer1G && !in_mergeable_1g_[region]) {
+      return false;
+    }
+  }
+  return CheckCoalescingHeaps();
 }
 
 PageAllocator PageAllocator::CloneForVerification() const {
@@ -467,6 +760,12 @@ PageAllocator PageAllocator::CloneForVerification() const {
   out.free_4k_ = free_4k_;
   out.free_2m_ = free_2m_;
   out.free_1g_ = free_1g_;
+  out.free_in_2m_ = free_in_2m_;
+  out.free_eq_1g_ = free_eq_1g_;
+  out.in_mergeable_2m_ = in_mergeable_2m_;
+  out.in_mergeable_1g_ = in_mergeable_1g_;
+  out.mergeable_2m_ = mergeable_2m_;
+  out.mergeable_1g_ = mergeable_1g_;
   return out;
 }
 

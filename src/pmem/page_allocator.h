@@ -103,7 +103,11 @@ class PageAllocator {
   // Merges 512 contiguous free 2 MiB units at `base` (1 GiB aligned).
   bool TryMerge1G(PagePtr base);
   // Scans the page array for a mergeable run (paper: "we scan the page
-  // array"). Returns the merged page base or nullopt.
+  // array"). Returns the merged page base or nullopt. The allocation paths
+  // no longer call these: the coalescing index (below) proves the scan
+  // futile whenever it holds no candidate. They remain as the documented
+  // fallback for explicit compaction and as the reference the differential
+  // test scans with.
   std::optional<PagePtr> Merge2MAnywhere();
   std::optional<PagePtr> Merge1GAnywhere();
   // Splits a free 2 MiB page back into 512 free 4 KiB pages.
@@ -132,8 +136,15 @@ class PageAllocator {
 
   // Structural invariant of the allocator itself: list links are mutually
   // consistent, states agree with list membership, merged tails point at a
-  // live superpage head, and every frame is in exactly one state.
+  // live superpage head, every frame is in exactly one state, and the
+  // coalescing index (per-group free counters + mergeable heaps) agrees
+  // with the ground truth in meta_. Single span-skipping pass over meta_
+  // plus O(free-list nodes) link walks.
   bool Wf() const;
+  // The pre-optimization multi-pass implementation of the same predicate,
+  // retained as the oracle for the verdict-identity test. Checks the same
+  // obligations (including the index cross-check) with independent code.
+  bool WfReference() const;
 
   // Dedup-drains the set of frames whose abstract attribution (state, size
   // class, owner or map count) may have changed since the last drain.
@@ -143,6 +154,8 @@ class PageAllocator {
   PageAllocator CloneForVerification() const;
 
  private:
+  friend struct PageAllocatorTestPeer;
+
   static constexpr std::uint64_t kNilFrame = ~0ull;
 
   struct PageMeta {
@@ -172,11 +185,44 @@ class PageAllocator {
 
   std::optional<PageAlloc> AllocFrom(PageSize size, CtnrPtr owner);
 
+  // --- Coalescing index (DESIGN.md §10) ---
+  //
+  // PushFree/UnlinkFree are the only free-state transition points, so they
+  // maintain exact per-group counters: free_in_2m_[g] counts free 4K frames
+  // in 2M group g; free_eq_1g_[r] counts free 4K-frame-equivalents in 1G
+  // region r (a free 4K frame adds 1, a free 2M unit adds 512; a free 1G
+  // page adds nothing — it needs no coalescing). When a counter reaches its
+  // unit span the group is provably coalescible and its index is pushed
+  // onto a min-heap; the flag vectors record heap membership so a group is
+  // never pushed twice. Counters dropping below full do NOT remove the heap
+  // entry — stale entries are discarded on pop (amortized O(1), each entry
+  // is paid for by one full-transition). Invariant (cross-checked by Wf):
+  // counter full => flagged, and flagged <=> exactly one heap entry.
+  void NoteFreed(std::uint64_t frame, PageSize size);
+  void NoteUnfreed(std::uint64_t frame, PageSize size);
+  // Pop the lowest provably coalescible group/region, merge it, and return
+  // the merged base. Min-heap order makes the choice identical to what a
+  // low-to-high scan would find, which the differential test relies on.
+  std::optional<PagePtr> Coalesce2MIndexed();
+  std::optional<PagePtr> Coalesce1GIndexed();
+  // Ensures free_2m_ is non-empty (coalescing a full group or splitting a
+  // 1G unit if needed) and returns its head, or nullopt when exhausted.
+  std::optional<PagePtr> TakeFree2MUnit();
+
+  bool CheckFreeListLinks() const;
+  bool CheckCoalescingHeaps() const;
+
   std::uint64_t reserved_frames_;
   std::vector<PageMeta> meta_;
   FreeList free_4k_;
   FreeList free_2m_;
   FreeList free_1g_;
+  std::vector<std::uint32_t> free_in_2m_;   // free 4K frames per 2M group
+  std::vector<std::uint64_t> free_eq_1g_;   // free frame-equivalents per 1G region
+  std::vector<std::uint8_t> in_mergeable_2m_;
+  std::vector<std::uint8_t> in_mergeable_1g_;
+  std::vector<std::uint64_t> mergeable_2m_;  // min-heap of coalescible group indices
+  std::vector<std::uint64_t> mergeable_1g_;  // min-heap of coalescible region indices
   DirtyLog dirty_;
 };
 

@@ -126,9 +126,15 @@ struct AbstractKernel {
   const SpecMap<VAddr, MapEntry>& get_address_space(ProcPtr p) const {
     return address_spaces.at(p);
   }
+  // A page is free when its own base is on a free list of any size class,
+  // or when it lies inside a larger free unit (the allocator may service a
+  // smaller request by splitting a free 2M/1G unit, so any frame covered by
+  // one is as good as free).
   bool page_is_free(PagePtr p) const {
     return free_pages_4k.contains(p) || free_pages_2m.contains(p) ||
-           free_pages_1g.contains(p);
+           free_pages_1g.contains(p) ||
+           free_pages_2m.contains(p & ~(kPageSize2M - 1)) ||
+           free_pages_1g.contains(p & ~(kPageSize1G - 1));
   }
 
  private:

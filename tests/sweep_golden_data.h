@@ -1,0 +1,43 @@
+// Golden sweep outcome captured on the pre-rewrite kernel. See
+// tests/sweep_golden_test.cc for when regeneration is legitimate.
+#ifndef ATMO_TESTS_SWEEP_GOLDEN_DATA_H_
+#define ATMO_TESTS_SWEEP_GOLDEN_DATA_H_
+
+#include <cstdint>
+
+namespace atmo {
+
+inline constexpr std::uint64_t kGoldenMasterSeed = 2813576663ull;
+inline constexpr std::uint64_t kGoldenShards = 8;
+inline constexpr std::uint64_t kGoldenStepsPerShard = 1500;
+inline constexpr std::uint64_t kGoldenTotalSteps = 12000;
+inline constexpr std::uint64_t kGoldenCoverageTotal = 12000;
+inline constexpr std::uint64_t kGoldenCoverageCells = 30;
+
+// counts[op][error], flattened row-major (20 x 8).
+inline constexpr std::uint64_t kGoldenCoverage[20 * 8] = {
+    602, 0, 0, 0, 0, 0, 0, 0,
+    443, 0, 0, 0, 0, 518, 0, 0,
+    166, 0, 0, 0, 0, 494, 0, 0,
+    229, 0, 0, 71, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    153, 0, 0, 0, 177, 0, 0, 0,
+    234, 0, 0, 0, 0, 75, 0, 0,
+    87, 0, 0, 0, 0, 220, 0, 0,
+    9, 17, 0, 0, 0, 3483, 0, 0,
+    9, 17, 0, 0, 0, 3847, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    221, 0, 0, 0, 0, 0, 0, 0,
+    316, 0, 0, 0, 0, 0, 0, 0,
+    48, 0, 0, 0, 0, 182, 64, 0,
+    0, 0, 0, 0, 0, 0, 0, 0,
+    108, 0, 0, 0, 0, 3, 41, 0,
+    6, 0, 0, 0, 0, 127, 33, 0,
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_TESTS_SWEEP_GOLDEN_DATA_H_

@@ -1,0 +1,102 @@
+// Sweep regression guard for the allocator / index rewrite.
+//
+// The refinement checker is the oracle that a concrete-kernel rewrite
+// preserved semantics: every checked step compares the kernel against the
+// abstract spec, so if the sweep below produces the same verdicts and the
+// same op×error coverage matrix as it did before the rewrite, the rewrite
+// did not change any observable syscall outcome on these workloads.
+//
+// The golden constants in tests/sweep_golden_data.h were captured on the
+// pre-rewrite kernel (linear-scan allocator, unindexed lookups) by running
+// this binary with ATMO_SWEEP_GOLDEN_REGEN=1, which prints a fresh header
+// to stdout instead of asserting. Regenerate ONLY when a PR intentionally
+// changes syscall semantics or the trace generator — never to paper over an
+// unexplained mismatch.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "src/verif/sweep_harness.h"
+#include "tests/sweep_golden_data.h"
+
+namespace atmo {
+namespace {
+
+SweepHarness::Options GoldenOptions() {
+  SweepHarness::Options options;
+  options.master_seed = kGoldenMasterSeed;
+  options.shards = kGoldenShards;
+  options.steps_per_shard = kGoldenStepsPerShard;
+  options.workers = 4;
+  return options;
+}
+
+void PrintGoldenHeader(const SweepReport& report) {
+  std::printf("// Golden sweep outcome captured on the pre-rewrite kernel. See\n");
+  std::printf("// tests/sweep_golden_test.cc for when regeneration is legitimate.\n");
+  std::printf("#ifndef ATMO_TESTS_SWEEP_GOLDEN_DATA_H_\n");
+  std::printf("#define ATMO_TESTS_SWEEP_GOLDEN_DATA_H_\n\n");
+  std::printf("#include <cstdint>\n\n");
+  std::printf("namespace atmo {\n\n");
+  std::printf("inline constexpr std::uint64_t kGoldenMasterSeed = %lluull;\n",
+              static_cast<unsigned long long>(kGoldenMasterSeed));
+  std::printf("inline constexpr std::uint64_t kGoldenShards = %llu;\n",
+              static_cast<unsigned long long>(kGoldenShards));
+  std::printf("inline constexpr std::uint64_t kGoldenStepsPerShard = %llu;\n",
+              static_cast<unsigned long long>(kGoldenStepsPerShard));
+  std::printf("inline constexpr std::uint64_t kGoldenTotalSteps = %llu;\n",
+              static_cast<unsigned long long>(report.total_steps));
+  std::printf("inline constexpr std::uint64_t kGoldenCoverageTotal = %llu;\n",
+              static_cast<unsigned long long>(report.coverage.Total()));
+  std::printf("inline constexpr std::uint64_t kGoldenCoverageCells = %llu;\n\n",
+              static_cast<unsigned long long>(report.coverage.NonZeroCells()));
+  std::printf("// counts[op][error], flattened row-major (%zu x %zu).\n", kSysOpCount,
+              kSysErrorCount);
+  std::printf("inline constexpr std::uint64_t kGoldenCoverage[%zu * %zu] = {\n", kSysOpCount,
+              kSysErrorCount);
+  for (std::size_t op = 0; op < kSysOpCount; ++op) {
+    std::printf("    ");
+    for (std::size_t err = 0; err < kSysErrorCount; ++err) {
+      std::printf("%llu,%s", static_cast<unsigned long long>(report.coverage.counts[op][err]),
+                  err + 1 == kSysErrorCount ? "\n" : " ");
+    }
+  }
+  std::printf("};\n\n");
+  std::printf("}  // namespace atmo\n\n");
+  std::printf("#endif  // ATMO_TESTS_SWEEP_GOLDEN_DATA_H_\n");
+}
+
+TEST(SweepGoldenTest, OutcomeMatchesPreRewriteGolden) {
+  SweepReport report = SweepHarness(GoldenOptions()).Run();
+
+  if (std::getenv("ATMO_SWEEP_GOLDEN_REGEN") != nullptr) {
+    PrintGoldenHeader(report);
+    GTEST_SKIP() << "regeneration mode: golden header printed, nothing asserted";
+  }
+
+  // Verdicts: every shard checked every step with zero violations, exactly
+  // as before the rewrite.
+  EXPECT_TRUE(report.AllOk());
+  EXPECT_TRUE(report.Failures().empty());
+  EXPECT_EQ(report.total_steps, kGoldenTotalSteps);
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_TRUE(shard.ok) << "shard " << shard.shard << ": " << shard.failure;
+    EXPECT_EQ(shard.steps, kGoldenStepsPerShard) << "shard " << shard.shard;
+  }
+
+  // Coverage: the rewrite must not shift a single syscall outcome — the
+  // op×error histogram is compared cell by cell.
+  EXPECT_EQ(report.coverage.Total(), kGoldenCoverageTotal);
+  EXPECT_EQ(report.coverage.NonZeroCells(), kGoldenCoverageCells);
+  for (std::size_t op = 0; op < kSysOpCount; ++op) {
+    for (std::size_t err = 0; err < kSysErrorCount; ++err) {
+      EXPECT_EQ(report.coverage.counts[op][err], kGoldenCoverage[op * kSysErrorCount + err])
+          << "coverage[" << op << "][" << err << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace atmo
