@@ -14,10 +14,52 @@ cd "$(dirname "$0")/.."
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
+# Golden regeneration is a local, deliberate act (see tests/sweep_golden_test.cc).
+# If the variable leaks into a CI run, every golden assertion would be
+# bypassed and the run would "pass" by fiat — refuse before building anything.
+if [[ -n "${ATMO_SWEEP_GOLDEN_REGEN:-}" ]]; then
+  echo "error: ATMO_SWEEP_GOLDEN_REGEN is set. Regenerate goldens locally," >&2
+  echo "review the tests/sweep_golden_data.h diff, and commit it; CI only" >&2
+  echo "verifies the committed golden. Unset the variable and re-run." >&2
+  exit 1
+fi
+
 echo "=== build + ctest (default config) ==="
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== averif_lint (verification-discipline checker, strict) ==="
+# The lint binary was built as part of the default config above; run it over
+# the real tree. --strict turns a missing rule-input file (e.g. a renamed
+# syscall_specs.cc) into a finding, so a refactor cannot silently disable a
+# rule. Non-zero exit fails CI.
+./build-ci/tools/averif_lint --root . --strict
+
+echo "=== clang-tidy (if available) ==="
+# The tidy profile lives in .clang-tidy; the curated check set is green by
+# construction, so any warning is a regression. Runs only where clang-tidy
+# exists (the GitHub lint job installs it; minimal dev boxes may not have it).
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake -B build-ci-tidy -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  mapfile -t TIDY_SOURCES < <(find src tools -name '*.cc' | sort)
+  clang-tidy -p build-ci-tidy --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "clang-tidy not found; skipping (CI lint job runs it)"
+fi
+
+echo "=== clang thread-safety build (if available) ==="
+# Compiles the tree with Clang's thread-safety analysis promoted to an error.
+# The annotations in src/vstd/thread_annotations.h are no-ops under GCC, so
+# only a Clang build can actually check them.
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -B build-ci-tsafety -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" >/dev/null
+  cmake --build build-ci-tsafety -j "$JOBS"
+else
+  echo "clang++ not found; skipping (CI lint job runs it)"
+fi
 
 echo "=== build + ctest (ASan + UBSan) ==="
 cmake -B build-ci-asan -S . \

@@ -166,6 +166,9 @@ std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, Pro
   return result;
 }
 
+// Dirty-log note: the only abstract-state change here is the page's return
+// to the free lists, which ReclaimUnmapped records in the allocator's own
+// dirty log (waiver on the declaration in vm_manager.h).
 void VmManager::ReclaimDevicePinnedFrame(PageAllocator* alloc, PagePtr page) {
   ATMO_CHECK(alloc->MapCount(page) == 0, "reclaim of a frame that is still referenced");
   auto it = frame_perms_.find(page);

@@ -78,6 +78,10 @@ class VmManager {
   // Releases a frame whose last reference was a device (IOMMU) pin: no CPU
   // mapping remains and the map count has reached zero. Returns the held
   // permission to the allocator.
+  // averif-lint: allow(dirty-log) — the only abstract-state change is the
+  // page's return to the free lists, which ReclaimUnmapped records in the
+  // allocator's own dirty log; frame_perms_ is concrete bookkeeping with no
+  // Ψ component of its own (no (proc, va) mapping changes here).
   void ReclaimDevicePinnedFrame(PageAllocator* alloc, PagePtr page);
 
   // --- Ghost / invariants ---

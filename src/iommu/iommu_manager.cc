@@ -196,6 +196,14 @@ bool IommuManager::Wf() const {
       return false;
     }
   }
+  // Ownership overrides are an index over domains_ too: every override key
+  // must reference a live domain, else a stale entry could resurrect a dead
+  // domain's ownership in DomainsOwnedBy.
+  for (const auto& [id, owner] : owner_overrides_) {
+    if (domains_.find(id) == domains_.end()) {
+      return false;
+    }
+  }
   return true;
 }
 

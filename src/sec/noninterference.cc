@@ -22,9 +22,24 @@ bool ReturnsObjectPointer(SysOp op) {
     case SysOp::kNewEndpoint:
     case SysOp::kIommuCreateDomain:
       return true;
-    default:
+    case SysOp::kYield:
+    case SysOp::kMmap:
+    case SysOp::kMunmap:
+    case SysOp::kUnbindEndpoint:
+    case SysOp::kSend:
+    case SysOp::kRecv:
+    case SysOp::kCall:
+    case SysOp::kReply:
+    case SysOp::kExit:
+    case SysOp::kKillProcess:
+    case SysOp::kKillContainer:
+    case SysOp::kIommuAttachDevice:
+    case SysOp::kIommuDetachDevice:
+    case SysOp::kIommuMapDma:
+    case SysOp::kIommuUnmapDma:
       return false;
   }
+  return false;
 }
 
 bool RetEquivalent(SysOp op, const SyscallRet& x, const SyscallRet& y) {

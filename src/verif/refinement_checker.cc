@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/spec/frame_profile.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -59,9 +60,15 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
 
   t0 = NowNs();
   SpecResult spec = SyscallSpec(mid, *cached_, t, call, ret);
+  // The declarative frame-condition table (frame_profile.h) is checked in
+  // the same pass: components outside the op's profile must be untouched.
+  std::string frame = FrameProfileViolation(mid, *cached_, FrameProfileFor(call.op));
   stats_.spec_ns += NowNs() - t0;
   ATMO_CHECK(spec.ok, std::string("syscall refinement failed (") + SysOpName(call.op) +
                           ", ret " + SysErrorName(ret.error) + "): " + spec.detail);
+  ATMO_CHECK(frame.empty(), std::string("frame profile violated (") + SysOpName(call.op) +
+                                ", ret " + SysErrorName(ret.error) +
+                                "): out-of-frame component changed: " + frame);
 
   ++stats_.steps;
   if (options_.check_wf_every != 0 && stats_.steps % options_.check_wf_every == 0) {

@@ -57,6 +57,28 @@ std::uint64_t CoverageMatrix::NonZeroCells() const {
   return cells;
 }
 
+void SweepProgress::RecordShard(const ShardResult& result) {
+  MutexLock lock(&mu_);
+  ++shards_completed_;
+  steps_completed_ += result.steps;
+  if (!result.ok) {
+    ++shards_failed_;
+    if (result.token && (!first_failure_ || result.token->shard < first_failure_->shard)) {
+      first_failure_ = result.token;
+    }
+  }
+}
+
+SweepProgress::Snapshot SweepProgress::TakeSnapshot() const {
+  MutexLock lock(&mu_);
+  Snapshot snap;
+  snap.shards_completed = shards_completed_;
+  snap.shards_failed = shards_failed_;
+  snap.steps_completed = steps_completed_;
+  snap.first_failure = first_failure_;
+  return snap;
+}
+
 bool SweepReport::AllOk() const {
   for (const ShardResult& shard : shards) {
     if (!shard.ok) {
@@ -153,6 +175,9 @@ SweepReport SweepHarness::Run() const {
   // after the last join — the handler itself is never touched concurrently.
   ScopedThrowOnCheckFailure throw_guard;
 
+  // Internal progress tracker (mutex-guarded, see thread_annotations.h);
+  // first_failure in the report is derived from it after the join.
+  SweepProgress progress;
   std::atomic<std::uint64_t> next{0};
   auto worker = [&] {
     for (;;) {
@@ -161,6 +186,10 @@ SweepReport SweepHarness::Run() const {
         return;
       }
       report.shards[shard] = RunShard(shard);
+      progress.RecordShard(report.shards[shard]);
+      if (options_.progress != nullptr) {
+        options_.progress->RecordShard(report.shards[shard]);
+      }
     }
   };
 
@@ -183,6 +212,7 @@ SweepReport SweepHarness::Run() const {
     MergeStats(&report.stats, shard.stats);
     report.total_steps += shard.steps;
   }
+  report.first_failure = progress.TakeSnapshot().first_failure;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   report.steps_per_sec =

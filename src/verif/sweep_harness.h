@@ -29,6 +29,7 @@
 
 #include "src/verif/refinement_checker.h"
 #include "src/verif/trace_gen.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -74,6 +75,35 @@ struct ShardResult {
   CheckStats stats;
 };
 
+// Live, cross-thread view of a sweep in flight. This is the only mutable
+// state the workers share besides the shard counter, so it carries the full
+// thread-safety contract: every field is GUARDED_BY the mutex and Clang's
+// -Wthread-safety analysis rejects any unlocked access at compile time.
+//
+// Determinism note: completion counters depend on scheduling, so nothing
+// here feeds the deterministic portion of SweepReport except first_failure,
+// which is ordered by shard index (not completion time) — the lowest-index
+// failing shard wins regardless of which worker finishes first.
+class SweepProgress {
+ public:
+  struct Snapshot {
+    std::uint64_t shards_completed = 0;
+    std::uint64_t shards_failed = 0;
+    std::uint64_t steps_completed = 0;
+    std::optional<ReplayToken> first_failure;  // lowest failing shard index
+  };
+
+  void RecordShard(const ShardResult& result) ATMO_EXCLUDES(mu_);
+  Snapshot TakeSnapshot() const ATMO_EXCLUDES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  std::uint64_t shards_completed_ ATMO_GUARDED_BY(mu_) = 0;
+  std::uint64_t shards_failed_ ATMO_GUARDED_BY(mu_) = 0;
+  std::uint64_t steps_completed_ ATMO_GUARDED_BY(mu_) = 0;
+  std::optional<ReplayToken> first_failure_ ATMO_GUARDED_BY(mu_);
+};
+
 struct SweepReport {
   std::vector<ShardResult> shards;  // indexed by shard, merge order fixed
   CoverageMatrix coverage;          // elementwise sum over shards
@@ -82,6 +112,9 @@ struct SweepReport {
   unsigned workers = 0;
   double wall_seconds = 0.0;
   double steps_per_sec = 0.0;
+  // Lowest-shard-index failure, from SweepProgress; deterministic across
+  // worker counts (equal to Failures().front() by construction).
+  std::optional<ReplayToken> first_failure;
 
   bool AllOk() const;
   std::vector<ReplayToken> Failures() const;
@@ -108,6 +141,11 @@ class SweepHarness {
     RefinementChecker::Options checker{.check_wf_every = 16, .audit_every = 64,
                                        .incremental = true};
     FaultHook fault_hook;
+    // Optional external progress tracker: workers record each completed
+    // shard into it, so another thread can poll TakeSnapshot() while the
+    // sweep runs. Run() also maintains an internal one to derive
+    // SweepReport::first_failure.
+    SweepProgress* progress = nullptr;
   };
 
   explicit SweepHarness(Options options) : options_(std::move(options)) {}

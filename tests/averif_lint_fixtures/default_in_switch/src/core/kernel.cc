@@ -1,0 +1,24 @@
+namespace atmo {
+
+// Seeded violation: the default label hides unhandled SysOp values from
+// -Wswitch.
+const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "yield";
+    default:
+      return "?";
+  }
+}
+
+// Control: a default over a non-SysOp enum is fine.
+const char* SizeName(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return "4k";
+    default:
+      return "big";
+  }
+}
+
+}  // namespace atmo

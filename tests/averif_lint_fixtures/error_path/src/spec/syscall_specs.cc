@@ -1,0 +1,38 @@
+namespace atmo {
+
+// Seeded violation: the predicate can reject (Fail) before the failure
+// atomicity obligation has been established.
+SpecResult MmapSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                    const Syscall& call, const SyscallRet& ret) {
+  if (ret.value != call.count) {
+    return Fail("bad count");
+  }
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  return SpecResult{};
+}
+
+// Control: atomicity first is accepted.
+SpecResult MunmapSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                      const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  if (ret.value != call.count) {
+    return Fail("bad count");
+  }
+  return SpecResult{};
+}
+
+// Control: a justified waiver is honoured.
+// averif-lint: allow(error-path) — total operation, errors rejected outright.
+SpecResult YieldSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                     const SyscallRet& ret) {
+  if (ret.error != SysError::kOk) {
+    return Fail("yield cannot fail");
+  }
+  return SpecResult{};
+}
+
+}  // namespace atmo

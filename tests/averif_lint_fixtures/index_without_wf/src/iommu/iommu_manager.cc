@@ -1,0 +1,31 @@
+namespace atmo {
+
+IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
+  auto [it, inserted] = domains_.emplace(next_domain_, PageTable());
+  domain_index_.emplace(next_domain_, &it->second);
+  dirty_.Mark(next_domain_);
+  return next_domain_++;
+}
+
+// Seeded violation: the predicate never cross-checks domain_index_ against
+// domains_, so a stale index entry would go unnoticed.
+bool IommuManager::Wf() const {
+  for (const auto& [id, owner] : owner_overrides_) {
+    if (domains_.find(id) == domains_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
+  IommuManager out(mem);
+  for (const auto& [id, table] : domains_) {
+    auto [it, inserted] = out.domains_.emplace(id, table);
+    out.domain_index_.emplace(id, &it->second);
+  }
+  out.owner_overrides_ = owner_overrides_;
+  return out;
+}
+
+}  // namespace atmo

@@ -1,0 +1,29 @@
+// Fixture: kernel-side locations cover every op; only the spec dispatcher
+// has the hole.
+namespace atmo {
+
+const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "yield";
+    case SysOp::kMmap:
+      return "mmap";
+    case SysOp::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
+  switch (call.op) {
+    case SysOp::kYield:
+      return SysYield(t);
+    case SysOp::kMmap:
+      return SysMmap(t, call);
+    case SysOp::kExit:
+      return SysExit(t);
+  }
+  return SyscallRet{};
+}
+
+}  // namespace atmo

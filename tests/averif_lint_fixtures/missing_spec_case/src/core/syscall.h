@@ -1,0 +1,10 @@
+// Fixture: three-op syscall surface; the spec dispatcher misses kExit.
+namespace atmo {
+
+enum class SysOp {
+  kYield,
+  kMmap,
+  kExit,
+};
+
+}  // namespace atmo

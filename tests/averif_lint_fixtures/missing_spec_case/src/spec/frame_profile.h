@@ -1,0 +1,16 @@
+// Fixture: frame-condition table covering every op.
+namespace atmo {
+
+constexpr FrameProfile FrameProfileFor(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return {.threads = true, .scheduler = true};
+    case SysOp::kMmap:
+      return {.address_spaces = true, .pages = true};
+    case SysOp::kExit:
+      return {.threads = true, .scheduler = true};
+  }
+  return {};
+}
+
+}  // namespace atmo

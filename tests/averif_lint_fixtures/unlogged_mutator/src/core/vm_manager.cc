@@ -1,0 +1,29 @@
+namespace atmo {
+
+bool VmManager::CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr owner) {
+  auto [it, inserted] = tables_.emplace(proc, PageTable());
+  table_index_.emplace(proc, &it->second);
+  dirty_.Mark(proc);
+  return inserted;
+}
+
+// Seeded violation: erases a table (abstract address space changes) without
+// recording into the dirty log.
+std::optional<UnmapResult> VmManager::Unmap(PageAllocator* alloc, ProcPtr proc, VAddr va) {
+  table_index_.erase(proc);
+  tables_.erase(proc);
+  return std::nullopt;
+}
+
+bool VmManager::Wf() const { return table_index_.size() == tables_.size(); }
+
+VmManager VmManager::CloneForVerification(PhysMem* mem) const {
+  VmManager out(mem);
+  for (const auto& [proc, table] : tables_) {
+    auto [it, inserted] = out.tables_.emplace(proc, table);
+    out.table_index_.emplace(proc, &it->second);
+  }
+  return out;
+}
+
+}  // namespace atmo

@@ -1,0 +1,22 @@
+// Fixture: VmManager with one public mutator that forgets its dirty log.
+namespace atmo {
+
+class VmManager {
+ public:
+  explicit VmManager(PhysMem* mem) : mem_(mem) {}
+
+  bool CreateAddressSpace(PageAllocator* alloc, ProcPtr proc, CtnrPtr owner);
+  std::optional<UnmapResult> Unmap(PageAllocator* alloc, ProcPtr proc, VAddr va);
+  void DrainDirtyInto(std::set<ProcPtr>* out, bool* overflow) { dirty_.DrainInto(out, overflow); }
+
+  bool Wf() const;
+  VmManager CloneForVerification(PhysMem* mem) const;
+
+ private:
+  PhysMem* mem_;
+  std::map<ProcPtr, PageTable> tables_;
+  std::unordered_map<ProcPtr, PageTable*> table_index_;
+  DirtyLog dirty_;
+};
+
+}  // namespace atmo

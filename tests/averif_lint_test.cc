@@ -1,0 +1,152 @@
+// averif_lint's own coverage: each seeded-violation fixture tree fires
+// exactly the expected rule, the repaired (real) tree is clean under
+// --strict, and the CLI exit codes match. Fixture trees mirror the real
+// repo layout under tests/averif_lint_fixtures/<name>/src/... and contain
+// only the files each rule needs (the library runs lenient on them, so
+// absent files skip rules instead of failing).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tools/averif_lint/lint.h"
+
+namespace atmo::lint {
+namespace {
+
+std::string FixtureRoot(const std::string& name) {
+  return std::string(AVERIF_LINT_FIXTURES) + "/" + name;
+}
+
+std::vector<Finding> Lint(const std::string& root, bool strict = false) {
+  Options options;
+  options.root = root;
+  options.strict = strict;
+  return RunAllRules(options);
+}
+
+std::vector<Finding> WithRule(const std::vector<Finding>& findings, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+int BinaryExit(const std::string& args) {
+  std::string cmd = std::string(AVERIF_LINT_BIN) + " " + args + " > /dev/null 2>&1";
+  int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+// ---------------------------------------------------------------------------
+// The repaired tree is clean — strict mode, every rule running for real.
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, RealTreeIsCleanUnderStrict) {
+  std::vector<Finding> findings = Lint(AVERIF_LINT_REPO_ROOT, /*strict=*/true);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] " << f.message;
+  }
+  EXPECT_EQ(BinaryExit(std::string("--root ") + AVERIF_LINT_REPO_ROOT + " --strict"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded violations: exact rule ids, non-zero CLI exit per fixture.
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, MissingSpecCaseFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("missing_spec_case"));
+  std::vector<Finding> hits = WithRule(findings, "spec-coverage");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/spec/syscall_specs.cc");
+  EXPECT_NE(hits[0].message.find("SysOp::kExit"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("SyscallSpec"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("missing_spec_case")), 1);
+}
+
+TEST(AverifLintTest, UnloggedMutatorFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("unlogged_mutator"));
+  std::vector<Finding> hits = WithRule(findings, "dirty-log");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/core/vm_manager.h");
+  EXPECT_NE(hits[0].message.find("VmManager::Unmap"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("unlogged_mutator")), 1);
+}
+
+TEST(AverifLintTest, IndexWithoutWfClauseFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("index_without_wf"));
+  std::vector<Finding> hits = WithRule(findings, "lockstep-index");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/iommu/iommu_manager.h");
+  EXPECT_NE(hits[0].message.find("domain_index_"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("Wf"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("index_without_wf")), 1);
+}
+
+TEST(AverifLintTest, DefaultInSysOpSwitchFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("default_in_switch"));
+  std::vector<Finding> hits = WithRule(findings, "sysop-switch-default");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/core/kernel.cc");
+  // The PageSize switch's default in the same file must NOT fire.
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("default_in_switch")), 1);
+}
+
+TEST(AverifLintTest, ErrorPathFiresAndHonoursWaiver) {
+  std::vector<Finding> findings = Lint(FixtureRoot("error_path"));
+  std::vector<Finding> hits = WithRule(findings, "error-path");
+  // MmapSpec fires; MunmapSpec (atomicity first) and YieldSpec (waived) do
+  // not.
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_NE(hits[0].message.find("MmapSpec"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("error_path")), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Report formats.
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, JsonReportIsMachineReadable) {
+  std::vector<Finding> findings = Lint(FixtureRoot("missing_spec_case"));
+  std::string json = ToJson(findings);
+  EXPECT_NE(json.find("\"rule\": \"spec-coverage\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\": \"src/spec/syscall_specs.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": "), std::string::npos);
+  EXPECT_EQ(ToJson({}), "[]\n");
+}
+
+TEST(AverifLintTest, FixSuggestionsPrintSkeletons) {
+  std::vector<Finding> findings = Lint(FixtureRoot("missing_spec_case"));
+  std::string text = ToText(findings, /*fix_suggestions=*/true);
+  EXPECT_NE(text.find("fix: add `case SysOp::kExit:`"), std::string::npos);
+}
+
+// Strict mode turns missing rule inputs into findings instead of silently
+// skipping the rule — the CI guarantee that a renamed file cannot disable
+// the checker.
+TEST(AverifLintTest, StrictModeFlagsMissingInputs) {
+  std::vector<Finding> lenient = Lint(FixtureRoot("default_in_switch"), /*strict=*/false);
+  std::vector<Finding> strict = Lint(FixtureRoot("default_in_switch"), /*strict=*/true);
+  EXPECT_EQ(lenient.size(), 1u);
+  EXPECT_GT(strict.size(), lenient.size());
+  bool missing_reported = false;
+  for (const Finding& f : strict) {
+    if (f.message.find("missing or unreadable") != std::string::npos) {
+      missing_reported = true;
+    }
+  }
+  EXPECT_TRUE(missing_reported);
+}
+
+}  // namespace
+}  // namespace atmo::lint

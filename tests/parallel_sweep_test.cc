@@ -121,5 +121,60 @@ TEST(ParallelSweepTest, BrokenShardIsCaughtAndReplays) {
   EXPECT_EQ(clean.total_steps, options.shards * options.steps_per_shard);
 }
 
+// ---------------------------------------------------------------------------
+// SweepProgress: the mutex-guarded shared tracker (the one annotated piece
+// of cross-thread state) ends up consistent with the merged report, and
+// first_failure is ordered by shard index, not completion order — so it is
+// deterministic across worker counts.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSweepTest, ProgressTrackerMatchesReport) {
+  SweepProgress progress;
+  SweepHarness::Options options = SmallSweep(0xfeedface, 4);
+  options.progress = &progress;
+  SweepReport report = SweepHarness(options).Run();
+
+  SweepProgress::Snapshot snap = progress.TakeSnapshot();
+  EXPECT_EQ(snap.shards_completed, options.shards);
+  EXPECT_EQ(snap.shards_failed, 0u);
+  EXPECT_EQ(snap.steps_completed, report.total_steps);
+  EXPECT_FALSE(snap.first_failure.has_value());
+  EXPECT_FALSE(report.first_failure.has_value());
+}
+
+TEST(ParallelSweepTest, FirstFailureIsLowestShardAcrossWorkerCounts) {
+  // Break TWO shards; regardless of which worker finishes first, the
+  // reported first_failure must be the lower shard index.
+  auto broken = [](unsigned workers) {
+    SweepHarness::Options options = SmallSweep(0xdecafbad, workers);
+    options.checker.check_wf_every = 1;
+    options.fault_hook = [](TraceFixture* f, std::uint64_t shard, std::uint64_t step) {
+      if ((shard == 1 && step == 211) || (shard == 4 && step == 13)) {
+        f->kernel.pm_mut().MutableContainer(f->ctnr).mem_used = 0;
+      }
+    };
+    return options;
+  };
+
+  SweepReport serial = SweepHarness(broken(1)).Run();
+  SweepReport parallel = SweepHarness(broken(6)).Run();
+
+  ASSERT_EQ(serial.Failures().size(), 2u);
+  ASSERT_TRUE(serial.first_failure.has_value());
+  EXPECT_EQ(serial.first_failure->shard, 1u);
+  EXPECT_EQ(serial.first_failure->step, 211u);
+  EXPECT_EQ(serial.first_failure, parallel.first_failure);
+  EXPECT_EQ(*serial.first_failure, serial.Failures().front());
+
+  SweepProgress progress;
+  SweepHarness::Options observed = broken(6);
+  observed.progress = &progress;
+  SweepHarness(observed).Run();
+  SweepProgress::Snapshot snap = progress.TakeSnapshot();
+  EXPECT_EQ(snap.shards_failed, 2u);
+  ASSERT_TRUE(snap.first_failure.has_value());
+  EXPECT_EQ(snap.first_failure->shard, 1u);
+}
+
 }  // namespace
 }  // namespace atmo

@@ -13,6 +13,7 @@
 
 #include "src/core/kernel.h"
 #include "src/spec/frame_conditions.h"
+#include "src/spec/frame_profile.h"
 #include "src/spec/syscall_specs.h"
 
 namespace atmo {
@@ -301,6 +302,59 @@ TEST(FrameConditionTest, MapUnchangedExceptSemantics) {
   // Removal is also a change.
   EXPECT_FALSE(MapUnchangedExcept(a, a.remove(1), SpecSet<int>{}));
   EXPECT_TRUE(MapUnchangedExcept(a, a.remove(1), SpecSet<int>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// Frame-condition table (frame_profile.h)
+// ---------------------------------------------------------------------------
+
+TEST(FrameProfileTest, ViolationNamesFirstOutOfFrameComponent) {
+  AbstractKernel pre;
+  pre.threads = pre.threads.insert(0x1000, AbsThread{});
+  pre.free_pages_4k.add(0x2000);
+
+  // Identity transition violates nothing, under any profile.
+  EXPECT_EQ(FrameProfileViolation(pre, pre, FrameProfile{}), "");
+
+  // A thread-state change is caught unless the profile allows threads.
+  AbstractKernel post = pre;
+  AbsThread changed;
+  changed.state = ThreadState::kRunning;
+  post.threads = post.threads.insert(0x1000, changed);
+  EXPECT_EQ(FrameProfileViolation(pre, post, FrameProfile{}), "threads");
+  EXPECT_EQ(FrameProfileViolation(pre, post, FrameProfile{.threads = true}), "");
+
+  // Free-set changes are caught as one component, any size class.
+  AbstractKernel freed = pre;
+  freed.free_pages_2m.add(0x200000);
+  EXPECT_EQ(FrameProfileViolation(pre, freed, FrameProfile{}), "free_sets");
+  EXPECT_EQ(FrameProfileViolation(pre, freed, FrameProfile{.free_sets = true}), "");
+
+  // Scheduler covers both run_queue and current.
+  AbstractKernel dispatched = pre;
+  dispatched.current = 0x1000;
+  EXPECT_EQ(FrameProfileViolation(pre, dispatched, FrameProfile{}), "scheduler");
+  EXPECT_EQ(FrameProfileViolation(pre, dispatched, FrameProfile{.scheduler = true}), "");
+}
+
+TEST(FrameProfileTest, TablePropertiesHold) {
+  // Yield must not be able to touch memory; kills must be able to touch
+  // object state; nothing less than KillContainer may touch the IOMMU
+  // besides IPC delegation and the IOMMU calls themselves.
+  EXPECT_FALSE(FrameProfileFor(SysOp::kYield).pages);
+  EXPECT_FALSE(FrameProfileFor(SysOp::kMmap).threads);
+  EXPECT_FALSE(FrameProfileFor(SysOp::kKillProcess).iommu);
+  EXPECT_TRUE(FrameProfileFor(SysOp::kKillContainer).iommu);
+  EXPECT_TRUE(FrameProfileFor(SysOp::kSend).iommu);  // domain delegation
+  EXPECT_FALSE(FrameProfileFor(SysOp::kIommuAttachDevice).pages);
+
+  // Every op that can allocate must also be allowed to change the free
+  // sets and the page map together (allocation moves a page between them).
+  for (SysOp op : {SysOp::kMmap, SysOp::kNewContainer, SysOp::kNewProcess, SysOp::kNewThread,
+                   SysOp::kNewEndpoint, SysOp::kIommuCreateDomain, SysOp::kIommuMapDma}) {
+    EXPECT_EQ(FrameProfileFor(op).pages, FrameProfileFor(op).free_sets)
+        << "op " << SysOpName(op);
+  }
 }
 
 }  // namespace

@@ -68,12 +68,49 @@ void PrintGoldenHeader(const SweepReport& report) {
   std::printf("#endif  // ATMO_TESTS_SWEEP_GOLDEN_DATA_H_\n");
 }
 
+// What to do when the golden comparison fails. Emitted once, ahead of the
+// per-cell EXPECT_EQ diff, so the first thing a CI log shows is the policy
+// rather than a wall of numbers.
+constexpr char kStaleGoldenAdvice[] =
+    "tests/sweep_golden_data.h no longer matches the sweep outcome.\n"
+    "\n"
+    "If this PR intentionally changes syscall semantics or the trace\n"
+    "generator, regenerate the golden header locally and commit it:\n"
+    "\n"
+    "    ATMO_SWEEP_GOLDEN_REGEN=1 ./build/tests/sweep_golden_test \\\n"
+    "        > tests/sweep_golden_data.h\n"
+    "\n"
+    "and say so in the commit message. If the change was NOT intentional,\n"
+    "this is a semantics regression — do not regenerate; find the step that\n"
+    "shifted an op/error cell below.";
+
 TEST(SweepGoldenTest, OutcomeMatchesPreRewriteGolden) {
   SweepReport report = SweepHarness(GoldenOptions()).Run();
 
   if (std::getenv("ATMO_SWEEP_GOLDEN_REGEN") != nullptr) {
+    // Regeneration bypasses every assertion, so it must never run where the
+    // result silently becomes the new truth: CI refuses it outright (see
+    // ci/run_tests.sh, which also rejects the variable before building).
+    if (std::getenv("CI") != nullptr || std::getenv("GITHUB_ACTIONS") != nullptr) {
+      FAIL() << "ATMO_SWEEP_GOLDEN_REGEN is set in a CI environment. "
+                "Regeneration is a local, deliberate act: run it on your "
+                "machine, review the header diff, and commit it. CI only "
+                "verifies the committed golden.";
+    }
     PrintGoldenHeader(report);
     GTEST_SKIP() << "regeneration mode: golden header printed, nothing asserted";
+  }
+
+  bool stale = report.total_steps != kGoldenTotalSteps ||
+               report.coverage.Total() != kGoldenCoverageTotal ||
+               report.coverage.NonZeroCells() != kGoldenCoverageCells;
+  for (std::size_t op = 0; op < kSysOpCount && !stale; ++op) {
+    for (std::size_t err = 0; err < kSysErrorCount && !stale; ++err) {
+      stale = report.coverage.counts[op][err] != kGoldenCoverage[op * kSysErrorCount + err];
+    }
+  }
+  if (stale) {
+    ADD_FAILURE() << kStaleGoldenAdvice;
   }
 
   // Verdicts: every shard checked every step with zero violations, exactly

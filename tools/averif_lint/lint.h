@@ -1,0 +1,65 @@
+// averif-lint: static verification-discipline checker.
+//
+// The refinement harness only catches discipline drift at runtime, and only
+// on traces that happen to hit it. This tool checks the pairing rules the
+// codebase relies on *statically*, the way Verus's linear ghost types make
+// spec/impl drift a compile error. Rules (DESIGN.md §11):
+//
+//   spec-coverage        every SysOp enumerator has a case in the spec
+//                        dispatcher, the kernel dispatch, SysOpName and the
+//                        frame-condition table (and none is dead)
+//   dirty-log            every public mutating method of the logged
+//                        subsystems records into its dirty log, directly or
+//                        via a same-class callee that does
+//   lockstep-index       every hashed index member has a Wf cross-check
+//                        clause and a CloneForVerification rebuild
+//   sysop-switch-default no `default:` label in a switch over SysOp
+//   error-path           spec predicates taking the syscall return value
+//                        establish failure atomicity before any Fail(...)
+//
+// The parser is deliberately AST-lite: comment/string stripping, brace
+// matching and identifier scanning over the real source files — no LLVM
+// dependency, runs in milliseconds, and the checked idioms are all
+// grep-shaped by construction. A finding can be locally waived with
+//   // averif-lint: allow(<rule>) — <justification>
+// on the flagged line or up to four lines above it.
+
+#ifndef ATMO_TOOLS_AVERIF_LINT_LINT_H_
+#define ATMO_TOOLS_AVERIF_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace atmo::lint {
+
+struct Finding {
+  std::string file;  // repo-root-relative path
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+  std::string suggestion;  // skeleton of the missing clause (may be empty)
+};
+
+struct Options {
+  std::string root = ".";  // directory containing src/
+  // When true, a rule whose input file is missing or unreadable reports a
+  // finding instead of silently skipping. CI runs strict; fixture trees in
+  // tests provide only the files a rule needs and run lenient.
+  bool strict = false;
+};
+
+// Runs every rule over the tree at options.root. Findings are ordered by
+// (file, line, rule) so output is deterministic.
+std::vector<Finding> RunAllRules(const Options& options);
+
+// Machine-readable report: a JSON array of {file, line, rule, message}.
+std::string ToJson(const std::vector<Finding>& findings);
+
+// Human-readable report, one "file:line: [rule] message" per finding; with
+// fix_suggestions, each finding is followed by its skeleton when available.
+std::string ToText(const std::vector<Finding>& findings, bool fix_suggestions);
+
+}  // namespace atmo::lint
+
+#endif  // ATMO_TOOLS_AVERIF_LINT_LINT_H_

@@ -1,0 +1,40 @@
+// averif_lint CLI. Usage:
+//   averif_lint [--root <dir>] [--json] [--fix-suggestions] [--strict]
+// Exits 0 when the tree is clean, 1 on any finding, 2 on usage errors.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/averif_lint/lint.h"
+
+int main(int argc, char** argv) {
+  atmo::lint::Options options;
+  bool json = false;
+  bool fix_suggestions = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      options.root = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--fix-suggestions") == 0) {
+      fix_suggestions = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      options.strict = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: averif_lint [--root <dir>] [--json] [--fix-suggestions] "
+                   "[--strict]\n";
+      return 0;
+    } else {
+      std::cerr << "averif_lint: unknown argument " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  std::vector<atmo::lint::Finding> findings = atmo::lint::RunAllRules(options);
+  if (json) {
+    std::cout << atmo::lint::ToJson(findings);
+  } else {
+    std::cout << atmo::lint::ToText(findings, fix_suggestions);
+  }
+  return findings.empty() ? 0 : 1;
+}
