@@ -144,10 +144,11 @@ int main() {
 
   std::printf("=== Ablation: the cost of runtime verification ===\n");
   PrintHeader("syscall mix (mmap/munmap/yield)", "K ops/s");
+  BenchJson bj("ablation_checking");
 
   {
     Env env = Env::Build();
-    PrintRow(RunTimed("raw (no checking)", ops,
+    bj.Record(RunTimed("raw (no checking)", ops,
                       [&](std::uint64_t n) {
                         return RunWorkload(
                             [&](ThrdPtr t, const Syscall& c) { env.kernel.Step(t, c); },
@@ -158,7 +159,7 @@ int main() {
   {
     Env env = Env::Build();
     RefinementChecker checker(&env.kernel, /*check_wf_every=*/0);
-    PrintRow(RunTimed("specs every step", ops / 10,
+    bj.Record(RunTimed("specs every step", ops / 10,
                       [&](std::uint64_t n) {
                         return RunWorkload(
                             [&](ThrdPtr t, const Syscall& c) { checker.Step(t, c); },
@@ -170,7 +171,7 @@ int main() {
   {
     Env env = Env::Build();
     RefinementChecker checker(&env.kernel, /*check_wf_every=*/16);
-    PrintRow(RunTimed("specs + wf every 16", ops / 10,
+    bj.Record(RunTimed("specs + wf every 16", ops / 10,
                       [&](std::uint64_t n) {
                         return RunWorkload(
                             [&](ThrdPtr t, const Syscall& c) { checker.Step(t, c); },
@@ -182,7 +183,7 @@ int main() {
   {
     Env env = Env::Build();
     RefinementChecker checker(&env.kernel, /*check_wf_every=*/1);
-    PrintRow(RunTimed("specs + wf every step", ops / 20,
+    bj.Record(RunTimed("specs + wf every step", ops / 20,
                       [&](std::uint64_t n) {
                         return RunWorkload(
                             [&](ThrdPtr t, const Syscall& c) { checker.Step(t, c); },
@@ -191,6 +192,8 @@ int main() {
              "K");
     PrintCheckStats("specs + wf every step", checker.stats());
   }
+
+  bj.Write();
 
   PtScalingCurve();
 

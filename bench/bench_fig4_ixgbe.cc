@@ -223,23 +223,23 @@ int main() {
   std::printf("paper reference (10GbE, c220g5): linux 0.89 Mpps, dpdk-b32 14.2 (line rate),\n");
   std::printf("atmo-driver-b32 14.2, atmo-c1-b1 2.3, atmo-c1-b32 11.1, atmo-c2 14.2\n");
   PrintHeader("RX -> app touch -> TX echo", "Mpps");
+  BenchJson bj("fig4_ixgbe");
 
-  PrintRow(RunTimed("linux", target / 8, RunLinux), "M");
-  PrintRow(RunTimed("dpdk-b1", target, [](std::uint64_t n) { return RunDirect(n, 1); }), "M");
-  PrintRow(RunTimed("dpdk-b32", target, [](std::uint64_t n) { return RunDirect(n, 32); }),
+  bj.Record(RunTimed("linux", target / 8, RunLinux), "M");
+  bj.Record(RunTimed("dpdk-b1", target, [](std::uint64_t n) { return RunDirect(n, 1); }), "M");
+  bj.Record(RunTimed("dpdk-b32", target, [](std::uint64_t n) { return RunDirect(n, 32); }),
            "M");
-  PrintRow(
-      RunTimed("atmo-driver-b1", target, [](std::uint64_t n) { return RunDirect(n, 1); }),
+  bj.Record(RunTimed("atmo-driver-b1", target, [](std::uint64_t n) { return RunDirect(n, 1); }),
       "M");
-  PrintRow(
-      RunTimed("atmo-driver-b32", target, [](std::uint64_t n) { return RunDirect(n, 32); }),
+  bj.Record(RunTimed("atmo-driver-b32", target, [](std::uint64_t n) { return RunDirect(n, 32); }),
       "M");
-  PrintRow(RunTimed("atmo-c1-b1", target / 8, [](std::uint64_t n) { return RunC1(n, 1); }),
+  bj.Record(RunTimed("atmo-c1-b1", target / 8, [](std::uint64_t n) { return RunC1(n, 1); }),
            "M");
-  PrintRow(RunTimed("atmo-c1-b32", target, [](std::uint64_t n) { return RunC1(n, 32); }),
+  bj.Record(RunTimed("atmo-c1-b32", target, [](std::uint64_t n) { return RunC1(n, 32); }),
            "M");
-  PrintRow(RunTimed("atmo-c2", target, RunC2), "M");
+  bj.Record(RunTimed("atmo-c2", target, RunC2), "M");
 
+  bj.Write();
   std::printf("\nnote: the simulated NIC has no line-rate cap; on real 10GbE hardware the\n");
   std::printf("fastest configurations clamp at 14.88 Mpps (64B frames).\n");
   return 0;

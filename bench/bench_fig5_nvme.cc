@@ -227,33 +227,33 @@ std::uint64_t RunC1(std::uint64_t target, std::uint32_t batch, bool write) {
   return done;
 }
 
-void RunSeries(const char* title, bool write, std::uint64_t target) {
+void RunSeries(BenchJson* bj, const char* title, bool write, std::uint64_t target) {
   PrintHeader(title, "K IOPS");
-  PrintRow(RunTimed("linux-b1", target / 8,
+  bj->Record(RunTimed("linux-b1", target / 8,
                     [&](std::uint64_t n) { return RunLinux(n, 1, write); }),
            "K");
-  PrintRow(RunTimed("linux-b32", target,
+  bj->Record(RunTimed("linux-b32", target,
                     [&](std::uint64_t n) { return RunLinux(n, 32, write); }),
            "K");
-  PrintRow(RunTimed("spdk-b1", target / 2,
+  bj->Record(RunTimed("spdk-b1", target / 2,
                     [&](std::uint64_t n) { return RunDirect(n, 1, write); }),
            "K");
-  PrintRow(RunTimed("spdk-b32", target,
+  bj->Record(RunTimed("spdk-b32", target,
                     [&](std::uint64_t n) { return RunDirect(n, 32, write); }),
            "K");
-  PrintRow(RunTimed("atmo-driver-b1", target / 2,
+  bj->Record(RunTimed("atmo-driver-b1", target / 2,
                     [&](std::uint64_t n) { return RunDirect(n, 1, write); }),
            "K");
-  PrintRow(RunTimed("atmo-driver-b32", target,
+  bj->Record(RunTimed("atmo-driver-b32", target,
                     [&](std::uint64_t n) { return RunDirect(n, 32, write); }),
            "K");
-  PrintRow(RunTimed("atmo-c1-b1", target / 8,
+  bj->Record(RunTimed("atmo-c1-b1", target / 8,
                     [&](std::uint64_t n) { return RunC1(n, 1, write); }),
            "K");
-  PrintRow(RunTimed("atmo-c1-b32", target,
+  bj->Record(RunTimed("atmo-c1-b32", target,
                     [&](std::uint64_t n) { return RunC1(n, 32, write); }),
            "K");
-  PrintRow(RunTimed("atmo-c2", target, [&](std::uint64_t n) { return RunC2(n, write); }),
+  bj->Record(RunTimed("atmo-c2", target, [&](std::uint64_t n) { return RunC2(n, write); }),
            "K");
 }
 
@@ -269,8 +269,12 @@ int main() {
   std::printf("paper reference (P3700, d430): reads linux-b1 13K, linux-b32 141K,\n");
   std::printf("spdk/atmo at device max; writes cap ~256K, atmo ~232K (-10%%)\n");
 
-  RunSeries("sequential read IOPS", /*write=*/false, target);
-  RunSeries("sequential write IOPS", /*write=*/true, target);
+  BenchJson read_json("fig5_nvme_read");
+  RunSeries(&read_json, "sequential read IOPS", /*write=*/false, target);
+  read_json.Write();
+  BenchJson write_json("fig5_nvme_write");
+  RunSeries(&write_json, "sequential write IOPS", /*write=*/true, target);
+  write_json.Write();
 
   std::printf("\nnote: the simulated SSD has no internal IOPS cap; relative ordering is\n");
   std::printf("the reproduced result (see EXPERIMENTS.md).\n");

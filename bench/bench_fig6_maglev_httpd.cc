@@ -331,18 +331,24 @@ int main() {
   std::printf("paper reference: maglev linux 1.0 Mpps, dpdk 9.72, atmo-c2 13.3,\n");
   std::printf("atmo-c1-b32 8.8, atmo-c1-b1 1.66; httpd nginx 70.9K vs atmo 99.4K req/s\n");
 
+  BenchJson maglev_json("fig6_maglev");
   PrintHeader("Maglev forwarding", "Mpps");
-  PrintRow(RunTimed("linux", target / 8, MaglevLinux), "M");
-  PrintRow(RunTimed("dpdk", target, [](std::uint64_t n) { return MaglevDirect(n, 32); }),
-           "M");
-  PrintRow(RunTimed("atmo-c1-b1", target / 8, [](std::uint64_t n) { return MaglevC1(n, 1); }),
-           "M");
-  PrintRow(
+  maglev_json.Record(RunTimed("linux", target / 8, MaglevLinux), "M");
+  maglev_json.Record(
+      RunTimed("dpdk", target, [](std::uint64_t n) { return MaglevDirect(n, 32); }), "M");
+  maglev_json.Record(
+      RunTimed("atmo-c1-b1", target / 8, [](std::uint64_t n) { return MaglevC1(n, 1); }),
+      "M");
+  maglev_json.Record(
       RunTimed("atmo-c1-b32", target, [](std::uint64_t n) { return MaglevC1(n, 32); }), "M");
-  PrintRow(RunTimed("atmo-c2", target, MaglevC2), "M");
+  maglev_json.Record(RunTimed("atmo-c2", target, MaglevC2), "M");
 
+  maglev_json.Write();
+
+  BenchJson httpd_json("fig6_httpd");
   PrintHeader("httpd static content", "K req/s");
-  PrintRow(RunTimed("nginx-linux", target / 16, HttpdLinux), "K");
-  PrintRow(RunTimed("atmo-httpd-driver", target / 4, HttpdDirect), "K");
+  httpd_json.Record(RunTimed("nginx-linux", target / 16, HttpdLinux), "K");
+  httpd_json.Record(RunTimed("atmo-httpd-driver", target / 4, HttpdDirect), "K");
+  httpd_json.Write();
   return 0;
 }

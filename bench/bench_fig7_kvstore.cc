@@ -8,6 +8,7 @@
 // through the verified kernel). Workload: 90% GET / 10% SET over a
 // pre-populated table at ~70% load factor.
 
+#include <string>
 #include <thread>
 
 #include "bench/pipeline.h"
@@ -227,19 +228,24 @@ int main() {
     sweep.resize(2);  // CI: 1M table only, kv 8/16
   }
 
+  BenchJson bj("fig7_kvstore");
   for (const KvParams& params : sweep) {
     std::printf("\n--- table %zuM entries, key/value %zu bytes ---", params.table_entries >> 20,
                 params.kv_bytes);
     KvWorkload work(params);
+    std::string tag = std::to_string(params.table_entries >> 20) + "M/" +
+                      std::to_string(params.kv_bytes) + "B ";
     PrintHeader("requests", "M req/s");
-    PrintRow(RunTimed("linux-dpdk", target,
-                      [&](std::uint64_t n) { return RunDirect(&work, n); }),
-             "M");
-    PrintRow(RunTimed("atmo-c1-b32", target,
-                      [&](std::uint64_t n) { return RunC1(&work, n, 32); }),
-             "M");
-    PrintRow(
-        RunTimed("atmo-c2", target, [&](std::uint64_t n) { return RunC2(&work, n); }), "M");
+    bj.Record(RunTimed(tag + "linux-dpdk", target,
+                       [&](std::uint64_t n) { return RunDirect(&work, n); }),
+              "M");
+    bj.Record(RunTimed(tag + "atmo-c1-b32", target,
+                       [&](std::uint64_t n) { return RunC1(&work, n, 32); }),
+              "M");
+    bj.Record(
+        RunTimed(tag + "atmo-c2", target, [&](std::uint64_t n) { return RunC2(&work, n); }),
+        "M");
   }
+  bj.Write();
   return 0;
 }

@@ -80,31 +80,36 @@ Result RunConfig(const char* name, const RefinementChecker::Options& options,
 }
 
 void EmitJson(const Result* results, int n, double speedup_wf0, double speedup_wf16) {
-  std::printf("\nJSON: {\"bench\":\"incremental_refinement\",\"machine_frames\":16384,"
-              "\"configs\":[");
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "incremental_refinement");
+  w.KV("machine_frames", std::uint64_t{16384});
+  w.Key("configs").BeginArray();
   for (int i = 0; i < n; ++i) {
     const Result& r = results[i];
-    std::printf("%s{\"name\":\"%s\",\"incremental\":%s,\"check_wf_every\":%llu,"
-                "\"audit_every\":%llu,\"steps\":%llu,\"steps_per_sec\":%.1f,"
-                "\"abstraction_ns\":%llu,\"spec_ns\":%llu,\"wf_ns\":%llu,\"audit_ns\":%llu,"
-                "\"full_abstractions\":%llu,\"delta_abstractions\":%llu,"
-                "\"dirty_entries\":%llu,\"max_dirty_entries\":%llu,\"audit_passes\":%llu}",
-                i ? "," : "", r.name, r.options.incremental ? "true" : "false",
-                static_cast<unsigned long long>(r.options.check_wf_every),
-                static_cast<unsigned long long>(r.options.incremental ? r.options.audit_every
-                                                                      : 0),
-                static_cast<unsigned long long>(r.stats.steps), r.steps_per_sec,
-                static_cast<unsigned long long>(r.stats.abstraction_ns),
-                static_cast<unsigned long long>(r.stats.spec_ns),
-                static_cast<unsigned long long>(r.stats.wf_ns),
-                static_cast<unsigned long long>(r.stats.audit_ns),
-                static_cast<unsigned long long>(r.stats.full_abstractions),
-                static_cast<unsigned long long>(r.stats.delta_abstractions),
-                static_cast<unsigned long long>(r.stats.dirty_entries),
-                static_cast<unsigned long long>(r.stats.max_dirty_entries),
-                static_cast<unsigned long long>(r.stats.audit_passes));
+    w.BeginObject();
+    w.KV("name", r.name);
+    w.KV("incremental", r.options.incremental);
+    w.KV("check_wf_every", r.options.check_wf_every);
+    w.KV("audit_every", r.options.incremental ? r.options.audit_every : 0);
+    w.KV("steps", r.stats.steps);
+    w.KV("steps_per_sec", r.steps_per_sec, "%.1f");
+    w.KV("abstraction_ns", r.stats.abstraction_ns);
+    w.KV("spec_ns", r.stats.spec_ns);
+    w.KV("wf_ns", r.stats.wf_ns);
+    w.KV("audit_ns", r.stats.audit_ns);
+    w.KV("full_abstractions", r.stats.full_abstractions);
+    w.KV("delta_abstractions", r.stats.delta_abstractions);
+    w.KV("dirty_entries", r.stats.dirty_entries);
+    w.KV("max_dirty_entries", r.stats.max_dirty_entries);
+    w.KV("audit_passes", r.stats.audit_passes);
+    w.EndObject();
   }
-  std::printf("],\"speedup_wf0\":%.2f,\"speedup_wf16\":%.2f}\n", speedup_wf0, speedup_wf16);
+  w.EndArray();
+  w.KV("speedup_wf0", speedup_wf0, "%.2f");
+  w.KV("speedup_wf16", speedup_wf16, "%.2f");
+  w.EndObject();
+  std::printf("\nJSON: %s\n", w.str().c_str());
 }
 
 }  // namespace

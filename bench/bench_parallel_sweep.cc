@@ -16,6 +16,10 @@
 #include <thread>
 
 #include "bench/pipeline.h"
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json_writer.h"
+#include "src/verif/obs_export.h"
 #include "src/verif/sweep_harness.h"
 
 namespace atmo {
@@ -30,16 +34,15 @@ struct Config {
   SweepReport report;
 };
 
-std::string ConfigJson(const Config& c) {
-  char buf[512];
-  std::snprintf(buf, sizeof buf,
-                "{\"workers\":%u,\"steps\":%llu,\"steps_per_sec\":%.1f,"
-                "\"wall_seconds\":%.4f,\"coverage_cells\":%llu,\"all_ok\":%s}",
-                c.workers, static_cast<unsigned long long>(c.report.total_steps),
-                c.report.steps_per_sec, c.report.wall_seconds,
-                static_cast<unsigned long long>(c.report.coverage.NonZeroCells()),
-                c.report.AllOk() ? "true" : "false");
-  return buf;
+void AppendConfigJson(obs::JsonWriter* w, const Config& c) {
+  w->BeginObject();
+  w->KV("workers", c.workers);
+  w->KV("steps", c.report.total_steps);
+  w->KV("steps_per_sec", c.report.steps_per_sec, "%.1f");
+  w->KV("wall_seconds", c.report.wall_seconds, "%.4f");
+  w->KV("coverage_cells", c.report.coverage.NonZeroCells());
+  w->KV("all_ok", c.report.AllOk());
+  w->EndObject();
 }
 
 }  // namespace
@@ -51,6 +54,8 @@ int main() {
   using namespace atmo::bench;
 
   bool quick = std::getenv("ATMO_BENCH_QUICK") != nullptr;
+  // ATMO_TRACE=1 makes every shard run with a flight recorder installed.
+  bool traced = obs::EnabledFromEnv();
   std::uint64_t steps_per_shard = ScaledOps(3000);
   unsigned hc = std::thread::hardware_concurrency();
 
@@ -90,27 +95,38 @@ int main() {
   double speedup_4w = configs[2].report.steps_per_sec / configs[0].report.steps_per_sec;
   double speedup_8w = configs[3].report.steps_per_sec / configs[0].report.steps_per_sec;
 
-  std::FILE* json = std::fopen("BENCH_parallel_sweep.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\"bench\":\"parallel_sweep\",\"master_seed\":%llu,\"shards\":%llu,"
-                 "\"steps_per_shard\":%llu,\"hardware_concurrency\":%u,\"quick\":%s,"
-                 "\"configs\":[",
-                 static_cast<unsigned long long>(kMasterSeed),
-                 static_cast<unsigned long long>(kShards),
-                 static_cast<unsigned long long>(steps_per_shard), hc,
-                 quick ? "true" : "false");
-    for (int i = 0; i < 4; ++i) {
-      std::fprintf(json, "%s%s", i ? "," : "", ConfigJson(configs[i]).c_str());
-    }
-    std::fprintf(json,
-                 "],\"speedup_2w\":%.2f,\"speedup_4w\":%.2f,\"speedup_8w\":%.2f,"
-                 "\"deterministic_across_workers\":%s,\"all_ok\":%s}\n",
-                 speedup_2w, speedup_4w, speedup_8w, deterministic ? "true" : "false",
-                 all_ok ? "true" : "false");
-    std::fclose(json);
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "parallel_sweep");
+  w.KV("master_seed", kMasterSeed);
+  w.KV("shards", kShards);
+  w.KV("steps_per_shard", steps_per_shard);
+  w.KV("hardware_concurrency", hc);
+  w.KV("quick", quick);
+  w.Key("configs").BeginArray();
+  for (const Config& c : configs) {
+    AppendConfigJson(&w, c);
   }
+  w.EndArray();
+  w.KV("speedup_2w", speedup_2w, "%.2f");
+  w.KV("speedup_4w", speedup_4w, "%.2f");
+  w.KV("speedup_8w", speedup_8w, "%.2f");
+  w.KV("deterministic_across_workers", deterministic);
+  w.KV("all_ok", all_ok);
+  w.EndObject();
+  obs::WriteTextFile("BENCH_parallel_sweep.json", w.str() + "\n");
   std::printf("\nwrote BENCH_parallel_sweep.json\n");
+
+  // With ATMO_TRACE=1 the sweeps above ran traced (per-shard virtual-clock
+  // recorders); export the last configuration's merged trace + a metrics
+  // snapshot for Perfetto / dashboards.
+  if (traced) {
+    WriteSweepTrace(configs[3].report, "OBS_parallel_sweep_trace.json");
+    obs::MetricsRegistry registry;
+    ExportSweepMetrics(configs[3].report, &registry);
+    obs::WriteTextFile("OBS_parallel_sweep_metrics.json", obs::MetricsJson(registry) + "\n");
+    std::printf("wrote OBS_parallel_sweep_trace.json, OBS_parallel_sweep_metrics.json\n");
+  }
   std::printf("speedup: 2w %.2fx, 4w %.2fx, 8w %.2fx (1-worker baseline %.0f steps/s)\n",
               speedup_2w, speedup_4w, speedup_8w, configs[0].report.steps_per_sec);
   std::printf("deterministic across worker counts: %s\n", deterministic ? "PASS" : "FAIL");

@@ -432,23 +432,23 @@ struct OpResult {
   bool Ok() const { return !flat_required || Growth() <= kFlatThreshold; }
 };
 
-std::string OpJson(const OpResult& r) {
-  std::string out = "{\"op\":\"" + r.op + "\",\"frames\":[";
-  char buf[64];
-  for (std::size_t i = 0; i < r.frames.size(); ++i) {
-    std::snprintf(buf, sizeof buf, "%s%llu", i ? "," : "",
-                  static_cast<unsigned long long>(r.frames[i]));
-    out += buf;
+void AppendOpJson(obs::JsonWriter* w, const OpResult& r) {
+  w->BeginObject();
+  w->KV("op", r.op);
+  w->Key("frames").BeginArray();
+  for (std::uint64_t frames : r.frames) {
+    w->Uint(frames);
   }
-  out += "],\"median_cycles\":[";
-  for (std::size_t i = 0; i < r.medians.size(); ++i) {
-    std::snprintf(buf, sizeof buf, "%s%.0f", i ? "," : "", r.medians[i]);
-    out += buf;
+  w->EndArray();
+  w->Key("median_cycles").BeginArray();
+  for (double median : r.medians) {
+    w->Double(median, "%.0f");
   }
-  std::snprintf(buf, sizeof buf, "],\"growth\":%.3f,\"flat_required\":%s,\"ok\":%s}",
-                r.Growth(), r.flat_required ? "true" : "false", r.Ok() ? "true" : "false");
-  out += buf;
-  return out;
+  w->EndArray();
+  w->KV("growth", r.Growth(), "%.3f");
+  w->KV("flat_required", r.flat_required);
+  w->KV("ok", r.Ok());
+  w->EndObject();
 }
 
 }  // namespace
@@ -514,18 +514,19 @@ int main() {
     all_ok = all_ok && r.Ok();
   }
 
-  std::FILE* json = std::fopen("BENCH_table3_syscall_latency.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\"bench\":\"table3_syscall_latency\",\"quick\":%s,"
-                 "\"flat_threshold\":%.2f,\"ops\":[",
-                 Quick() ? "true" : "false", kFlatThreshold);
-    for (std::size_t i = 0; i < ops.size(); ++i) {
-      std::fprintf(json, "%s%s", i ? "," : "", OpJson(ops[i]).c_str());
-    }
-    std::fprintf(json, "],\"all_ok\":%s}\n", all_ok ? "true" : "false");
-    std::fclose(json);
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", "table3_syscall_latency");
+  w.KV("quick", Quick());
+  w.KV("flat_threshold", kFlatThreshold, "%.2f");
+  w.Key("ops").BeginArray();
+  for (const OpResult& r : ops) {
+    AppendOpJson(&w, r);
   }
+  w.EndArray();
+  w.KV("all_ok", all_ok);
+  w.EndObject();
+  obs::WriteTextFile("BENCH_table3_syscall_latency.json", w.str() + "\n");
   std::printf("\nwrote BENCH_table3_syscall_latency.json (all_ok=%s)\n",
               all_ok ? "true" : "false");
   return all_ok ? 0 : 1;

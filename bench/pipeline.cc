@@ -121,6 +121,33 @@ Row RunTimed(const std::string& config, std::uint64_t ops_target,
   return row;
 }
 
+bool BenchJson::Write(const std::function<void(obs::JsonWriter*)>& extra) const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.KV("bench", name_);
+  w.KV("quick", std::getenv("ATMO_BENCH_QUICK") != nullptr);
+  w.Key("rows").BeginArray();
+  for (const Row& row : rows_) {
+    w.BeginObject();
+    w.KV("config", row.config);
+    w.KV("ops", row.ops);
+    w.KV("ops_per_sec", row.ops_per_sec, "%.1f");
+    w.KV("wall_seconds", row.wall_seconds, "%.4f");
+    w.EndObject();
+  }
+  w.EndArray();
+  if (extra) {
+    extra(&w);
+  }
+  w.EndObject();
+  std::string path = "BENCH_" + name_ + ".json";
+  bool ok = obs::WriteTextFile(path, w.str() + "\n");
+  if (ok) {
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return ok;
+}
+
 std::uint64_t ScaledOps(std::uint64_t full) {
   if (std::getenv("ATMO_BENCH_QUICK") != nullptr) {
     return full / 20 + 1;

@@ -25,8 +25,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/kernel.h"
+#include "src/obs/json_writer.h"
 #include "src/drivers/dma_arena.h"
 #include "src/drivers/ixgbe_driver.h"
 #include "src/drivers/nvme_driver.h"
@@ -121,6 +123,29 @@ void PrintRow(const Row& row, const char* unit_scale);
 // Times `loop(ops_target)` and returns a row. `loop` returns ops done.
 Row RunTimed(const std::string& config, std::uint64_t ops_target,
              const std::function<std::uint64_t(std::uint64_t)>& loop);
+
+// Row collector + machine-readable summary shared by the figure benches:
+// Record() prints the human table row and keeps it; Write() emits
+// BENCH_<name>.json ({"bench", "quick", "rows": [{config, ops, ops_per_sec,
+// wall_seconds}...]}) through the shared obs JSON writer. `extra` may
+// append bench-specific top-level keys before the object closes.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void Record(const Row& row, const char* unit_scale) {
+    PrintRow(row, unit_scale);
+    rows_.push_back(row);
+  }
+
+  bool Write(const std::function<void(obs::JsonWriter*)>& extra = {}) const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 // Benchmark sizing: scaled down when ATMO_BENCH_QUICK is set (CI).
 std::uint64_t ScaledOps(std::uint64_t full);

@@ -27,6 +27,10 @@ fi
 echo "=== build + ctest (default config) ==="
 cmake -B build-ci -S . >/dev/null
 cmake --build build-ci -j "$JOBS"
+# Failing tests dump flight-recorder forensics here; the workflow uploads
+# the directory as an artifact when the run fails.
+export ATMO_OBS_DUMP_DIR="$PWD/obs-dumps"
+mkdir -p "$ATMO_OBS_DUMP_DIR"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "=== averif_lint (verification-discipline checker, strict) ==="
@@ -94,6 +98,46 @@ if not report.get("all_ok"):
               file=sys.stderr)
     sys.exit("bench_table3_syscall_latency: flatness gate failed (all_ok=false)")
 print(f'table3 gate OK ({len(report["ops"])} ops, quick={report["quick"]})')
+EOF
+
+echo "=== obs smoke (traced sweep + exporter validation) ==="
+# A tiny traced sweep with an injected refinement failure must produce
+# (a) a Perfetto-loadable Chrome trace, (b) a metrics snapshot, and (c) a
+# forensics dump whose tail contains the failing syscall's closed span.
+rm -f traced_sweep_trace.json traced_sweep_metrics.json \
+  "$ATMO_OBS_DUMP_DIR"/sweep_failure_shard*.json
+./build-ci/examples/traced_sweep --fail
+python3 - <<'EOF'
+import json, os, sys
+
+with open("traced_sweep_trace.json") as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert isinstance(events, list) and events, "empty traceEvents"
+for e in events:
+    assert e["ph"] in ("B", "E", "i", "C", "M"), f"bad phase: {e}"
+    required = {"name", "ph", "pid"} if e["ph"] == "M" else {"name", "ph", "ts", "pid", "tid"}
+    assert required <= e.keys(), f"bad event: {e}"
+phases = {e["ph"] for e in events}
+assert {"B", "E", "i"} <= phases, f"missing span/instant events: {phases}"
+
+with open("traced_sweep_metrics.json") as f:
+    metrics = json.load(f)
+assert {"counters", "gauges", "histograms"} <= metrics.keys()
+assert metrics["counters"]["sweep.total_steps"] > 0
+
+dump = os.path.join(os.environ["ATMO_OBS_DUMP_DIR"], "sweep_failure_shard1.json")
+with open(dump) as f:
+    forensics = json.load(f)
+token = forensics["otherData"]["replay_token"]
+assert token["shard"] == 1 and token["step"] == 120, token
+tail = forensics["traceEvents"]
+sys_ends = [e for e in tail if e["ph"] == "E" and e["name"].startswith("sys.")]
+assert sys_ends, "forensic tail lacks the failing syscall's closing span"
+failing = sys_ends[-1]["name"]
+assert any(e["ph"] == "B" and e["name"] == failing for e in tail), \
+    f"no matching enter event for {failing}"
+print(f"obs smoke OK ({len(events)} trace events, failing span {failing})")
 EOF
 
 echo "CI OK"

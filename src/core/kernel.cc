@@ -4,6 +4,8 @@
 #include <set>
 #include <vector>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/op_names.h"
 #include "src/pagetable/refinement.h"
 #include "src/vstd/check.h"
 
@@ -165,8 +167,15 @@ void Kernel::Dispatch(ThrdPtr t) {
 }
 
 SyscallRet Kernel::Step(ThrdPtr t, const Syscall& call) {
+  // Syscall enter/exit span: the span's RAII 'E' event fires even when a
+  // proof obligation inside throws, so a forensic trace always brackets the
+  // failing syscall. RefinementChecker::Step (which calls Dispatch/Exec
+  // itself) records the equivalent span on the checked path.
+  obs::ObsSpan span(obs::kCatSyscall, obs::TraceOpLabel(call.op));
   Dispatch(t);
-  return Exec(t, call);
+  SyscallRet ret = Exec(t, call);
+  span.SetResult("error", SysErrorName(ret.error));
+  return ret;
 }
 
 SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {

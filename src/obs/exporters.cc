@@ -1,0 +1,100 @@
+#include "src/obs/exporters.h"
+
+namespace atmo::obs {
+
+void AppendTraceEvent(JsonWriter* w, const TraceEvent& event) {
+  w->BeginObject();
+  w->KV("name", event.name != nullptr ? event.name : "?");
+  w->KV("cat", event.cat != nullptr ? event.cat : "atmo");
+  char ph[2] = {event.ph, '\0'};
+  w->KV("ph", ph);
+  w->KV("ts", event.ts);
+  w->KV("pid", std::uint64_t{0});
+  w->KV("tid", std::uint64_t{event.tid});
+  bool has_arg = event.arg_name != nullptr;
+  bool has_sarg = event.sarg_name != nullptr && event.sarg != nullptr;
+  if (has_arg || has_sarg) {
+    w->Key("args").BeginObject();
+    if (has_arg) {
+      w->KV(event.arg_name, event.arg);
+    }
+    if (has_sarg) {
+      w->KV(event.sarg_name, event.sarg);
+    }
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::string& process_name) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  // Metadata event naming the process track.
+  w.BeginObject();
+  w.KV("name", "process_name");
+  w.KV("ph", "M");
+  w.KV("pid", std::uint64_t{0});
+  w.Key("args").BeginObject().KV("name", process_name).EndObject();
+  w.EndObject();
+  for (const TraceEvent& event : events) {
+    AppendTraceEvent(&w, event);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+namespace {
+
+void AppendHistogram(JsonWriter* w, const Histogram& h) {
+  w->BeginObject();
+  w->KV("count", h.count());
+  w->KV("sum", h.sum());
+  w->KV("min", h.min());
+  w->KV("max", h.max());
+  w->KV("mean", h.Mean(), "%.3f");
+  w->KV("p50", h.Percentile(0.50));
+  w->KV("p95", h.Percentile(0.95));
+  w->KV("p99", h.Percentile(0.99));
+  w->Key("buckets").BeginArray();
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.bucket_count(b) == 0) {
+      continue;
+    }
+    w->BeginObject();
+    w->KV("le", Histogram::BucketUpperBound(b));
+    w->KV("count", h.bucket_count(b));
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string MetricsJson(const MetricsRegistry& registry) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, counter] : registry.counters()) {
+    w.KV(name.c_str(), counter.value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : registry.gauges()) {
+    w.KV(name.c_str(), gauge.value(), "%.6g");
+  }
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : registry.histograms()) {
+    w.Key(name.c_str());
+    AppendHistogram(&w, histogram);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace atmo::obs

@@ -1,0 +1,41 @@
+// atmo::obs — exporters: Chrome trace-event JSON and metrics snapshots.
+//
+// ChromeTraceJson emits the JSON-object form of the Chrome trace-event
+// format ({"traceEvents": [...], ...}), which loads directly in Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Span events use 'B'/'E' pairs,
+// instants 'i', counters 'C'; the recorder's raw timestamps (virtual step
+// counts in sweep mode, cycles in bench mode) are exported unscaled — the
+// unit is abstract, the *shape* of the timeline is the payload.
+//
+// MetricsJson serializes a MetricsRegistry: counters and gauges flat,
+// histograms with count/sum/min/max/mean, p50/p95/p99 and the non-empty
+// log2 buckets.
+
+#ifndef ATMO_SRC_OBS_EXPORTERS_H_
+#define ATMO_SRC_OBS_EXPORTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+
+namespace atmo::obs {
+
+// Appends one event as a Chrome trace-event object to an open array.
+void AppendTraceEvent(JsonWriter* w, const TraceEvent& event);
+
+// Full trace document for `events`. `process_name` labels pid 0 via a
+// process_name metadata event (shows up as the track group in Perfetto).
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
+                            const std::string& process_name = "atmosphere");
+
+// Metrics snapshot document: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
+// buckets: [{le, count}...]}}}.
+std::string MetricsJson(const MetricsRegistry& registry);
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_EXPORTERS_H_

@@ -1,0 +1,103 @@
+#include "src/obs/flight_recorder.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/hw/cycles.h"
+
+namespace atmo::obs {
+
+namespace {
+
+thread_local FlightRecorder* t_recorder = nullptr;
+std::atomic<bool> g_enabled{false};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity, ClockMode mode, std::uint32_t tid)
+    : ring_(capacity > 0 ? capacity : 1), mode_(mode), tid_(tid) {}
+
+std::uint64_t FlightRecorder::Now() {
+  if (mode_ == ClockMode::kVirtual) {
+    return virtual_now_++;
+  }
+  return ReadCycles();
+}
+
+void FlightRecorder::Record(TraceEvent event) {
+  event.ts = Now();
+  event.tid = tid_;
+  ring_[recorded_ % ring_.size()] = event;
+  ++recorded_;
+}
+
+std::size_t FlightRecorder::size() const {
+  return recorded_ < ring_.size() ? static_cast<std::size_t>(recorded_) : ring_.size();
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const { return Tail(ring_.size()); }
+
+std::vector<TraceEvent> FlightRecorder::Tail(std::size_t n) const {
+  std::size_t live = size();
+  if (n > live) {
+    n = live;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(n);
+  // Oldest of the requested window first. `recorded_ - n` is the index of
+  // the first event to return; the ring slot is its value mod capacity.
+  for (std::uint64_t i = recorded_ - n; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  recorded_ = 0;
+  virtual_now_ = 0;
+}
+
+FlightRecorder* CurrentRecorder() { return t_recorder; }
+
+ScopedThreadRecorder::ScopedThreadRecorder(FlightRecorder* recorder)
+    : previous_(t_recorder) {
+  t_recorder = recorder;
+}
+
+ScopedThreadRecorder::~ScopedThreadRecorder() { t_recorder = previous_; }
+
+void SetEnabled(bool enabled) { g_enabled.store(enabled, std::memory_order_relaxed); }
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool EnabledFromEnv() {
+  const char* value = std::getenv("ATMO_TRACE");
+  if (value != nullptr && value[0] != '\0') {
+    SetEnabled(true);
+  }
+  return Enabled();
+}
+
+#if !defined(ATMO_OBS_DISABLED)
+ObsSpan::ObsSpan(const char* cat, const char* name, const char* arg_name,
+                 std::uint64_t arg)
+    : recorder_(CurrentRecorder()), cat_(cat), name_(name) {
+  if (recorder_ != nullptr) {
+    recorder_->Record(TraceEvent{.name = name_, .cat = cat_, .ph = 'B',
+                                 .arg_name = arg_name, .arg = arg});
+  }
+}
+
+ObsSpan::~ObsSpan() {
+  if (recorder_ != nullptr) {
+    recorder_->Record(TraceEvent{.name = name_, .cat = cat_, .ph = 'E',
+                                 .sarg_name = result_name_, .sarg = result_});
+  }
+}
+#endif  // ATMO_OBS_DISABLED
+
+}  // namespace atmo::obs

@@ -1,0 +1,185 @@
+// atmo::obs — lock-free per-thread flight recorder.
+//
+// A FlightRecorder is a fixed-capacity ring buffer of TraceEvents owned by
+// exactly one thread. Instrumented code never names a recorder: it records
+// into the thread's *current* recorder, installed with ScopedThreadRecorder
+// (the sweep harness installs one per shard run; benches install one for
+// the main thread). With no recorder installed every instrumentation site
+// costs one thread-local load and a branch — that is the "disabled" cost.
+//
+// Whether to install a recorder at all is the caller's decision; the
+// process-wide enable flag (SetEnabled / EnabledFromEnv, driven by
+// ATMO_TRACE=1) is the conventional switch the harnesses consult. Forensic
+// replay bypasses it and installs a recorder unconditionally, which is how
+// every sweep failure ships with its own trace.
+//
+// Compile-time kill switch: building with -DATMO_OBS_DISABLED turns the
+// ATMO_OBS_* macros into nothing (zero code at the instrumentation sites).
+
+#ifndef ATMO_SRC_OBS_FLIGHT_RECORDER_H_
+#define ATMO_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/trace_event.h"
+
+namespace atmo::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity,
+                          ClockMode mode = ClockMode::kReal, std::uint32_t tid = 0);
+
+  // Stamps ts/tid and stores the event, overwriting the oldest once full.
+  void Record(TraceEvent event);
+
+  // Events in recording order, oldest first (at most `capacity` of them).
+  std::vector<TraceEvent> Snapshot() const;
+  // The most recent `n` events, oldest first.
+  std::vector<TraceEvent> Tail(std::size_t n) const;
+
+  void Clear();
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const;
+  // Total events ever recorded; size() < recorded() means the ring wrapped.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const;
+  ClockMode mode() const { return mode_; }
+  std::uint32_t tid() const { return tid_; }
+
+ private:
+  std::uint64_t Now();
+
+  std::vector<TraceEvent> ring_;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t virtual_now_ = 0;
+  ClockMode mode_;
+  std::uint32_t tid_;
+};
+
+// --- Thread-local recorder plumbing -----------------------------------------
+
+// The recorder instrumented code records into, or nullptr. One TLS load.
+FlightRecorder* CurrentRecorder();
+
+// Installs `recorder` as the calling thread's current recorder for the
+// guard's lifetime; restores the previous one (nesting is fine).
+class ScopedThreadRecorder {
+ public:
+  explicit ScopedThreadRecorder(FlightRecorder* recorder);
+  ~ScopedThreadRecorder();
+
+  ScopedThreadRecorder(const ScopedThreadRecorder&) = delete;
+  ScopedThreadRecorder& operator=(const ScopedThreadRecorder&) = delete;
+
+ private:
+  FlightRecorder* previous_;
+};
+
+// --- Process-wide enable flag -----------------------------------------------
+
+// The conventional runtime switch: harnesses and benches install recorders
+// only when enabled. Reads are a single relaxed atomic load.
+void SetEnabled(bool enabled);
+bool Enabled();
+// Enables tracing when ATMO_TRACE is set to anything non-empty; returns the
+// resulting flag. Call once near a main()/harness entry point.
+bool EnabledFromEnv();
+
+// --- RAII span --------------------------------------------------------------
+
+// Records 'B' on construction and 'E' on destruction — including during
+// exception unwind, so a span around a failing checked syscall still closes
+// and the forensic tail shows the enter/exit pair. No-op when the thread
+// has no recorder at construction time. Under -DATMO_OBS_DISABLED the class
+// is an empty shell, so direct uses (not just the macros) compile away too.
+#if defined(ATMO_OBS_DISABLED)
+class ObsSpan {
+ public:
+  ObsSpan(const char*, const char*) {}
+  ObsSpan(const char*, const char*, const char*, std::uint64_t) {}
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+  void SetResult(const char*, const char*) {}
+};
+#else
+class ObsSpan {
+ public:
+  ObsSpan(const char* cat, const char* name) : ObsSpan(cat, name, nullptr, 0) {}
+  ObsSpan(const char* cat, const char* name, const char* arg_name, std::uint64_t arg);
+  ~ObsSpan();
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  // Attaches a string argument (static string!) to the closing 'E' event —
+  // e.g. the syscall's error name, known only after the call ran.
+  void SetResult(const char* sarg_name, const char* sarg) {
+    result_name_ = sarg_name;
+    result_ = sarg;
+  }
+
+ private:
+  FlightRecorder* recorder_;  // captured once; null = disabled span
+  const char* cat_;
+  const char* name_;
+  const char* result_name_ = nullptr;
+  const char* result_ = nullptr;
+};
+#endif  // ATMO_OBS_DISABLED
+
+namespace detail {
+inline void Instant(const char* cat, const char* name, const char* arg_name,
+                    std::uint64_t arg) {
+  if (FlightRecorder* r = CurrentRecorder()) {
+    r->Record(TraceEvent{.name = name, .cat = cat, .ph = 'i', .arg_name = arg_name,
+                         .arg = arg});
+  }
+}
+inline void Counter(const char* cat, const char* name, std::uint64_t value) {
+  if (FlightRecorder* r = CurrentRecorder()) {
+    r->Record(TraceEvent{.name = name, .cat = cat, .ph = 'C', .arg_name = "value",
+                         .arg = value});
+  }
+}
+}  // namespace detail
+
+}  // namespace atmo::obs
+
+// --- Instrumentation macros -------------------------------------------------
+//
+// The macro layer exists so -DATMO_OBS_DISABLED can compile every site away.
+
+#if defined(ATMO_OBS_DISABLED)
+
+#define ATMO_OBS_SPAN(cat, name)
+#define ATMO_OBS_SPAN_ARG(cat, name, arg_name, arg)
+#define ATMO_OBS_INSTANT(cat, name)
+#define ATMO_OBS_INSTANT_ARG(cat, name, arg_name, arg)
+#define ATMO_OBS_COUNTER(cat, name, value)
+
+#else
+
+#define ATMO_OBS_CONCAT_INNER(a, b) a##b
+#define ATMO_OBS_CONCAT(a, b) ATMO_OBS_CONCAT_INNER(a, b)
+
+// Span covering the rest of the enclosing scope.
+#define ATMO_OBS_SPAN(cat, name) \
+  ::atmo::obs::ObsSpan ATMO_OBS_CONCAT(atmo_obs_span_, __LINE__)((cat), (name))
+#define ATMO_OBS_SPAN_ARG(cat, name, arg_name, arg)                            \
+  ::atmo::obs::ObsSpan ATMO_OBS_CONCAT(atmo_obs_span_, __LINE__)((cat), (name), \
+                                                                 (arg_name), (arg))
+#define ATMO_OBS_INSTANT(cat, name) ::atmo::obs::detail::Instant((cat), (name), nullptr, 0)
+#define ATMO_OBS_INSTANT_ARG(cat, name, arg_name, arg) \
+  ::atmo::obs::detail::Instant((cat), (name), (arg_name), (arg))
+#define ATMO_OBS_COUNTER(cat, name, value) \
+  ::atmo::obs::detail::Counter((cat), (name), (value))
+
+#endif  // ATMO_OBS_DISABLED
+
+#endif  // ATMO_SRC_OBS_FLIGHT_RECORDER_H_

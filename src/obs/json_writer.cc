@@ -1,0 +1,148 @@
+#include "src/obs/json_writer.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace atmo::obs {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const char* key) {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value, const char* fmt) {
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::Escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace atmo::obs

@@ -1,0 +1,68 @@
+// atmo::obs — minimal streaming JSON writer.
+//
+// One shared writer replaces the hand-rolled fprintf/snprintf JSON emission
+// that had been copy-pasted across the bench binaries. It is a plain
+// builder: the caller dictates key order (so the pre-existing BENCH_*.json
+// schemas are reproduced byte-for-byte), commas and escaping are handled
+// here, and doubles take an explicit printf format because the bench
+// schemas pin their precision ("%.1f" steps/s, "%.4f" wall seconds, ...).
+
+#ifndef ATMO_SRC_OBS_JSON_WRITER_H_
+#define ATMO_SRC_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace atmo::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Key inside the current object; the next value call attaches to it.
+  JsonWriter& Key(const char* key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Uint(std::uint64_t value);
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Double(double value, const char* fmt = "%.6g");
+  JsonWriter& Null();
+
+  // Key/value shorthands.
+  JsonWriter& KV(const char* key, const std::string& value) { return Key(key).String(value); }
+  JsonWriter& KV(const char* key, const char* value) {
+    return Key(key).String(std::string(value));
+  }
+  JsonWriter& KV(const char* key, std::uint64_t value) { return Key(key).Uint(value); }
+  JsonWriter& KV(const char* key, std::uint32_t value) {
+    return Key(key).Uint(static_cast<std::uint64_t>(value));
+  }
+  JsonWriter& KV(const char* key, bool value) { return Key(key).Bool(value); }
+  JsonWriter& KV(const char* key, double value, const char* fmt = "%.6g") {
+    return Key(key).Double(value, fmt);
+  }
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& in);
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // One frame per open container: whether the next element needs a comma.
+  std::vector<bool> needs_comma_;
+  bool after_key_ = false;
+};
+
+// Writes `content` to `path`; returns false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_JSON_WRITER_H_

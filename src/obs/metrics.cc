@@ -1,0 +1,58 @@
+#include "src/obs/metrics.h"
+
+namespace atmo::obs {
+
+void Histogram::Observe(std::uint64_t value) {
+  ++buckets_[BucketOf(value)];
+  ++count_;
+  // Saturating sum: a histogram that absorbed astronomically many samples
+  // must keep its percentiles usable rather than wrap.
+  sum_ = sum_ > ~0ull - value ? ~0ull : sum_ + value;
+  if (value < min_) {
+    min_ = value;
+  }
+  if (value > max_) {
+    max_ = value;
+  }
+}
+
+std::uint64_t Histogram::BucketLowerBound(int b) {
+  return b <= 0 ? 0 : 1ull << (b - 1);
+}
+
+std::uint64_t Histogram::BucketUpperBound(int b) {
+  if (b <= 0) {
+    return 0;
+  }
+  if (b >= 64) {
+    return ~0ull;
+  }
+  return (1ull << b) - 1;
+}
+
+std::uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (p < 0.0) {
+    p = 0.0;
+  }
+  if (p > 1.0) {
+    p = 1.0;
+  }
+  // Rank of the requested quantile, 1-based; p = 0 maps to rank 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(p * static_cast<double>(count_));
+  if (rank == 0) {
+    rank = 1;
+  }
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      return BucketUpperBound(b);
+    }
+  }
+  return BucketUpperBound(kBuckets - 1);
+}
+
+}  // namespace atmo::obs

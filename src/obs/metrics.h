@@ -1,0 +1,97 @@
+// atmo::obs — metrics registry: named counters, gauges and log-bucketed
+// latency histograms.
+//
+// This is the aggregate side of the observability layer (the flight
+// recorder is the per-event side). Callers resolve a metric by name once —
+// resolution takes a map lookup — and then update it through the returned
+// reference, which is a plain increment/store. A registry is owned by one
+// harness or bench and is not thread-safe: parallel sweeps keep per-shard
+// stats and merge, exactly like CheckStats (whose counters the registry
+// absorbs for export via verif's ExportCheckStats).
+//
+// Histograms bucket by bit width: bucket 0 holds the value 0 and bucket
+// b >= 1 holds [2^(b-1), 2^b - 1]. Percentiles are extracted by walking the
+// cumulative counts and reporting the matched bucket's inclusive upper
+// bound — a deterministic, integer-only answer that never under-reports
+// (the true percentile is <= the reported bound, within one bucket).
+
+#ifndef ATMO_SRC_OBS_METRICS_H_
+#define ATMO_SRC_OBS_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace atmo::obs {
+
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bucket 0 (value 0) + one per bit width
+
+  void Observe(std::uint64_t value);
+
+  // Bucket index for a value: 0 for 0, else the value's bit width.
+  static int BucketOf(std::uint64_t value) { return std::bit_width(value); }
+  // Inclusive bounds of bucket b: [2^(b-1), 2^b - 1]; bucket 0 is [0, 0].
+  static std::uint64_t BucketLowerBound(int b);
+  static std::uint64_t BucketUpperBound(int b);
+
+  // Upper bound of the bucket containing the p-quantile (p in [0, 1]); 0
+  // when empty. p = 0 reports the first non-empty bucket's bound.
+  std::uint64_t Percentile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const { return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0; }
+  std::uint64_t bucket_count(int b) const { return buckets_[b]; }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~0ull;
+  std::uint64_t max_ = 0;
+};
+
+// Name -> metric maps. std::map keeps snapshot iteration sorted by name, so
+// exported JSON is deterministic regardless of registration order.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_METRICS_H_

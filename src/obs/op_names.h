@@ -1,0 +1,69 @@
+// atmo::obs — syscall-op trace labels.
+//
+// Every SysOp enumerator maps to a static trace-event name here; the spans
+// around Kernel::Step and RefinementChecker::Step use these labels so a
+// Perfetto timeline groups by operation. averif_lint's `trace-op-name` rule
+// statically checks this table stays total when SysOp grows — a new syscall
+// without a label would otherwise trace as "sys.unknown" and silently
+// vanish from per-op timelines.
+//
+// The labels are distinct from SysOpName() (the human/spec-failure names):
+// the "sys." prefix is the trace namespace and keeps per-op span names
+// greppable in a mixed trace.
+
+#ifndef ATMO_SRC_OBS_OP_NAMES_H_
+#define ATMO_SRC_OBS_OP_NAMES_H_
+
+#include "src/core/syscall.h"
+
+namespace atmo::obs {
+
+constexpr const char* TraceOpLabel(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "sys.yield";
+    case SysOp::kMmap:
+      return "sys.mmap";
+    case SysOp::kMunmap:
+      return "sys.munmap";
+    case SysOp::kNewContainer:
+      return "sys.new_container";
+    case SysOp::kNewProcess:
+      return "sys.new_process";
+    case SysOp::kNewThread:
+      return "sys.new_thread";
+    case SysOp::kNewEndpoint:
+      return "sys.new_endpoint";
+    case SysOp::kUnbindEndpoint:
+      return "sys.unbind_endpoint";
+    case SysOp::kSend:
+      return "sys.send";
+    case SysOp::kRecv:
+      return "sys.recv";
+    case SysOp::kCall:
+      return "sys.call";
+    case SysOp::kReply:
+      return "sys.reply";
+    case SysOp::kExit:
+      return "sys.exit";
+    case SysOp::kKillProcess:
+      return "sys.kill_process";
+    case SysOp::kKillContainer:
+      return "sys.kill_container";
+    case SysOp::kIommuCreateDomain:
+      return "sys.iommu_create_domain";
+    case SysOp::kIommuAttachDevice:
+      return "sys.iommu_attach_device";
+    case SysOp::kIommuDetachDevice:
+      return "sys.iommu_detach_device";
+    case SysOp::kIommuMapDma:
+      return "sys.iommu_map_dma";
+    case SysOp::kIommuUnmapDma:
+      return "sys.iommu_unmap_dma";
+  }
+  return "sys.unknown";
+}
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_OP_NAMES_H_

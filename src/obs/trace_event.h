@@ -1,0 +1,53 @@
+// atmo::obs — structured trace events for the flight recorder.
+//
+// A TraceEvent is a fixed-size POD so the per-thread ring buffer can record
+// one with a handful of stores and no allocation. All string fields must
+// point at string literals (or other static-duration strings): events
+// outlive the scopes that record them, and the exporters read the pointers
+// long after the instrumented call returned.
+//
+// The `ph` field follows the Chrome trace-event phase convention so the
+// exporter is a straight transcription: 'B'/'E' bracket a span, 'i' is an
+// instant event, 'C' a counter sample.
+
+#ifndef ATMO_SRC_OBS_TRACE_EVENT_H_
+#define ATMO_SRC_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+
+namespace atmo::obs {
+
+// Event categories, exported as the Chrome `cat` field. Static strings so
+// the recorder stays allocation-free.
+inline constexpr const char* kCatSyscall = "syscall";
+inline constexpr const char* kCatCheck = "check";
+inline constexpr const char* kCatAlloc = "alloc";
+inline constexpr const char* kCatSweep = "sweep";
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string; never null for a live event
+  const char* cat = nullptr;   // one of the kCat* constants (static string)
+  char ph = 'i';               // 'B' begin span, 'E' end span, 'i' instant, 'C' counter
+  std::uint32_t tid = 0;       // recorder-assigned lane (shard index in sweeps)
+  std::uint64_t ts = 0;        // virtual step count or raw cycles (see ClockMode)
+  // Optional integer argument (e.g. a physical address or a seed).
+  const char* arg_name = nullptr;
+  std::uint64_t arg = 0;
+  // Optional string argument (e.g. the syscall error name). Static string.
+  const char* sarg_name = nullptr;
+  const char* sarg = nullptr;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+// Timestamp source of a recorder.
+//   kVirtual — a per-recorder monotone event counter. Bit-deterministic for
+//              a deterministic event sequence, so sweep shards traced in
+//              virtual mode produce identical traces at any worker count.
+//   kReal    — raw cycle counts (src/hw/cycles.h). For bench/interactive
+//              tracing where wall ordering across threads matters.
+enum class ClockMode : std::uint8_t { kVirtual, kReal };
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_TRACE_EVENT_H_

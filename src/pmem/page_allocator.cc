@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "src/obs/flight_recorder.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -10,6 +11,32 @@ namespace atmo {
 namespace {
 constexpr std::uint64_t kFramesPer2M = kPageSize2M / kPageSize4K;  // 512
 constexpr std::uint64_t kFramesPer1G = kPageSize1G / kPageSize4K;  // 262144
+
+// Static-duration event names, keyed by size class (the trace-event payload
+// keeps raw pointers to these).
+constexpr const char* AllocEventName(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return "alloc.4k";
+    case PageSize::k2M:
+      return "alloc.2m";
+    case PageSize::k1G:
+      return "alloc.1g";
+  }
+  return "alloc.?";
+}
+
+constexpr const char* FreeEventName(PageSize size) {
+  switch (size) {
+    case PageSize::k4K:
+      return "free.4k";
+    case PageSize::k2M:
+      return "free.2m";
+    case PageSize::k1G:
+      return "free.1g";
+  }
+  return "free.?";
+}
 }  // namespace
 
 const char* PageStateName(PageState state) {
@@ -166,6 +193,7 @@ std::optional<PageAlloc> PageAllocator::AllocFrom(PageSize size, CtnrPtr owner) 
   meta.state = PageState::kAllocated;
   meta.size = size;
   meta.owner = owner;
+  ATMO_OBS_INSTANT_ARG(obs::kCatAlloc, AllocEventName(size), "ptr", PtrOf(*frame));
   return PageAlloc{PtrOf(*frame), FramePerm::Mint(PtrOf(*frame), size)};
 }
 
@@ -277,6 +305,7 @@ void PageAllocator::FreePage(PagePtr ptr, FramePerm perm) {
   ATMO_CHECK(meta.state == PageState::kAllocated, "FreePage on page not in allocated state");
   ATMO_CHECK(perm.base() == ptr, "FreePage permission for a different page");
   ATMO_CHECK(perm.size() == meta.size, "FreePage permission of wrong size class");
+  ATMO_OBS_INSTANT_ARG(obs::kCatAlloc, FreeEventName(meta.size), "ptr", ptr);
   PushFree(frame, meta.size);
   // `perm` is consumed here: the linear token returns to the allocator.
 }
@@ -311,6 +340,7 @@ void PageAllocator::ReclaimUnmapped(PagePtr ptr, FramePerm perm) {
              "ReclaimUnmapped on page that is still mapped");
   ATMO_CHECK(perm.base() == ptr && perm.size() == meta.size,
              "ReclaimUnmapped permission mismatch");
+  ATMO_OBS_INSTANT_ARG(obs::kCatAlloc, FreeEventName(meta.size), "ptr", ptr);
   PushFree(frame, meta.size);
 }
 

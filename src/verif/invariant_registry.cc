@@ -5,6 +5,7 @@
 #include <chrono>
 #include <thread>
 
+#include "src/obs/flight_recorder.h"
 #include "src/pagetable/refinement.h"
 
 namespace atmo {
@@ -31,6 +32,9 @@ void InvariantRegistry::Register(std::string name, CheckFn check) {
 }
 
 SuiteReport InvariantRegistry::RunAll(const Kernel& kernel, unsigned threads) const {
+  // Span on the calling thread only: worker threads inherit no recorder
+  // (FlightRecorder is single-owner), so the suite traces as one audit span.
+  ATMO_OBS_SPAN_ARG(obs::kCatCheck, "check.invariant_suite", "checks", checks_.size());
   SuiteReport report;
   report.outcomes.resize(checks_.size());
 

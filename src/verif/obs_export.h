@@ -1,0 +1,53 @@
+// Bridges from the verification layer into atmo::obs — the obs library
+// cannot depend on verif, so every CheckStats/SweepReport -> metrics/trace
+// conversion lives here.
+//
+// ExportCheckStats turns the checker's counters into registry metrics;
+// ExportSweepMetrics adds the sweep-level view (per-shard step and latency
+// histograms, throughput gauges). MergedSweepTrace flattens per-shard
+// flight-recorder snapshots into one Chrome-trace event list (shards are
+// separate tids), and the forensics writers serialize a failing shard's
+// trace tail next to its ReplayToken so a red sweep always leaves enough
+// behind to rerun and view the failure.
+
+#ifndef ATMO_SRC_VERIF_OBS_EXPORT_H_
+#define ATMO_SRC_VERIF_OBS_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+#include "src/verif/sweep_harness.h"
+
+namespace atmo {
+
+// CheckStats -> counters/gauges under `prefix` (e.g. "check."): steps,
+// wf_checks, audit_passes, full/delta abstractions, dirty entries and the
+// per-phase nanosecond totals.
+void ExportCheckStats(const CheckStats& stats, obs::MetricsRegistry* registry,
+                      const std::string& prefix = "check.");
+
+// SweepReport -> registry: merged CheckStats under "check.", sweep totals
+// ("sweep.total_steps", "sweep.shards", ...), throughput gauges and
+// per-shard histograms ("sweep.shard_steps", "sweep.shard_wall_us",
+// "sweep.shard_queue_wait_us").
+void ExportSweepMetrics(const SweepReport& report, obs::MetricsRegistry* registry);
+
+// All shard traces concatenated in shard order. Each shard recorded with
+// tid = shard index, so the merged list renders as one track per shard.
+std::vector<obs::TraceEvent> MergedSweepTrace(const SweepReport& report);
+
+// Chrome trace JSON of MergedSweepTrace written to `path`.
+bool WriteSweepTrace(const SweepReport& report, const std::string& path);
+
+// Forensics document for one failing shard: the last `tail` trace events
+// plus otherData carrying the ReplayToken, failure message and seed.
+std::string SweepFailureForensicsJson(const ShardResult& result, std::size_t tail);
+bool WriteSweepFailureForensics(const ShardResult& result, std::size_t tail,
+                                const std::string& path);
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_VERIF_OBS_EXPORT_H_

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/op_names.h"
 #include "src/spec/frame_profile.h"
 #include "src/vstd/check.h"
 
@@ -33,9 +35,11 @@ AbstractKernel RefinementChecker::Capture() {
       stats_.max_dirty_entries = entries;
     }
     ++stats_.delta_abstractions;
+    ATMO_OBS_SPAN_ARG(obs::kCatCheck, "check.abstract_delta", "dirty_entries", entries);
     psi = kernel_->AbstractDelta(*cached_, dirty);
   } else {
     ++stats_.full_abstractions;
+    ATMO_OBS_SPAN(obs::kCatCheck, "check.abstract_full");
     psi = kernel_->Abstract();
   }
   stats_.abstraction_ns += NowNs() - t0;
@@ -43,6 +47,9 @@ AbstractKernel RefinementChecker::Capture() {
 }
 
 SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
+  // Flight-recorder span for the whole checked syscall; the trailing 'E'
+  // event carries the error name (or closes bare on a check violation).
+  obs::ObsSpan sys_span(obs::kCatSyscall, obs::TraceOpLabel(call.op));
   AbstractKernel pre = Capture();
   cached_ = pre;
   kernel_->Dispatch(t);
@@ -50,7 +57,10 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
   cached_ = mid;
 
   std::uint64_t t0 = NowNs();
-  SpecResult dispatch = DispatchSpec(pre, mid, t);
+  SpecResult dispatch = [&] {
+    ATMO_OBS_SPAN(obs::kCatCheck, "check.spec");
+    return DispatchSpec(pre, mid, t);
+  }();
   stats_.spec_ns += NowNs() - t0;
   ATMO_CHECK(dispatch.ok, "dispatch refinement failed: " + dispatch.detail);
 
@@ -59,10 +69,16 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
   cached_ = std::move(post);
 
   t0 = NowNs();
-  SpecResult spec = SyscallSpec(mid, *cached_, t, call, ret);
+  SpecResult spec = [&] {
+    ATMO_OBS_SPAN(obs::kCatCheck, "check.spec");
+    return SyscallSpec(mid, *cached_, t, call, ret);
+  }();
   // The declarative frame-condition table (frame_profile.h) is checked in
   // the same pass: components outside the op's profile must be untouched.
-  std::string frame = FrameProfileViolation(mid, *cached_, FrameProfileFor(call.op));
+  std::string frame = [&] {
+    ATMO_OBS_SPAN(obs::kCatCheck, "check.frame");
+    return FrameProfileViolation(mid, *cached_, FrameProfileFor(call.op));
+  }();
   stats_.spec_ns += NowNs() - t0;
   ATMO_CHECK(spec.ok, std::string("syscall refinement failed (") + SysOpName(call.op) +
                           ", ret " + SysErrorName(ret.error) + "): " + spec.detail);
@@ -73,7 +89,10 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
   ++stats_.steps;
   if (options_.check_wf_every != 0 && stats_.steps % options_.check_wf_every == 0) {
     t0 = NowNs();
-    InvResult wf = kernel_->TotalWf();
+    InvResult wf = [&] {
+      ATMO_OBS_SPAN(obs::kCatCheck, "check.wf");
+      return kernel_->TotalWf();
+    }();
     stats_.wf_ns += NowNs() - t0;
     ++stats_.wf_checks;
     ATMO_CHECK(wf.ok, std::string("total_wf failed after ") + SysOpName(call.op) + ": " +
@@ -85,13 +104,17 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
     // No drain here: anything mutated since the post-capture belongs to the
     // next step's delta. The audit recomputes Ψ of the state as the cache
     // sees it and demands bit-for-bit agreement.
-    AbstractKernel full = kernel_->Abstract();
-    bool agree = full == *cached_;
+    bool agree = [&] {
+      ATMO_OBS_SPAN(obs::kCatCheck, "check.audit");
+      AbstractKernel full = kernel_->Abstract();
+      return full == *cached_;
+    }();
     stats_.audit_ns += NowNs() - t0;
     ++stats_.audit_passes;
     ATMO_CHECK(agree, std::string("incremental-abstraction audit failed after ") +
                           SysOpName(call.op) + ": cached Ψ diverged from Abstract()");
   }
+  sys_span.SetResult("error", SysErrorName(ret.error));
   return ret;
 }
 

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "src/obs/flight_recorder.h"
+#include "src/verif/obs_export.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -30,9 +34,14 @@ void MergeStats(CheckStats* into, const CheckStats& from) {
 }  // namespace
 
 void CoverageMatrix::Merge(const CoverageMatrix& other) {
+  // Saturating add: a cell pinned at UINT64_MAX stays there instead of
+  // wrapping (merging reports from absurdly long campaigns must not make
+  // coverage counts go backwards).
   for (std::size_t op = 0; op < kSysOpCount; ++op) {
     for (std::size_t err = 0; err < kSysErrorCount; ++err) {
-      counts[op][err] += other.counts[op][err];
+      std::uint64_t& cell = counts[op][err];
+      std::uint64_t add = other.counts[op][err];
+      cell = add > ~cell ? ~std::uint64_t{0} : cell + add;
     }
   }
 }
@@ -41,7 +50,8 @@ std::uint64_t CoverageMatrix::Total() const {
   std::uint64_t total = 0;
   for (std::size_t op = 0; op < kSysOpCount; ++op) {
     for (std::size_t err = 0; err < kSysErrorCount; ++err) {
-      total += counts[op][err];
+      std::uint64_t add = counts[op][err];
+      total = add > ~total ? ~std::uint64_t{0} : total + add;
     }
   }
   return total;
@@ -121,10 +131,25 @@ std::uint64_t SweepHarness::ShardSeed(std::uint64_t master_seed, std::uint64_t s
   return seed != 0 ? seed : kSplitMix64Gamma;  // xorshift state must be nonzero
 }
 
-ShardResult SweepHarness::RunShard(std::uint64_t shard) const {
+ShardResult SweepHarness::RunShard(std::uint64_t shard, bool force_trace) const {
   ShardResult result;
   result.shard = shard;
   result.seed = ShardSeed(options_.master_seed, shard);
+
+  // Per-shard flight recorder: virtual clock (timestamps count recorded
+  // events, not wall time) so a traced sweep stays bit-identical across
+  // worker counts; tid = shard index gives each shard its own Perfetto
+  // track. The recorder is installed only on this thread for the duration
+  // of the shard, so shards never share one.
+  const bool traced = force_trace || options_.trace || obs::Enabled();
+  std::optional<obs::FlightRecorder> recorder;
+  std::optional<obs::ScopedThreadRecorder> install;
+  if (traced) {
+    recorder.emplace(options_.trace_capacity, obs::ClockMode::kVirtual,
+                     static_cast<std::uint32_t>(shard));
+    install.emplace(&*recorder);
+  }
+  ATMO_OBS_INSTANT_ARG(obs::kCatSweep, "shard.start", "seed", result.seed);
 
   TraceFixture f = TraceFixture::Boot();
   RefinementChecker checker(&f.kernel, options_.checker);
@@ -159,7 +184,24 @@ ShardResult SweepHarness::RunShard(std::uint64_t shard) const {
   }
   result.steps = checker.steps_checked();
   result.stats = checker.stats();
+  ATMO_OBS_INSTANT_ARG(obs::kCatSweep, "shard.finish", "steps", result.steps);
+  if (recorder) {
+    result.trace = recorder->Snapshot();
+  }
   return result;
+}
+
+void SweepHarness::MaybeDumpForensics(const ShardResult& result) const {
+  if (result.ok || result.trace.empty()) {
+    return;
+  }
+  const char* dir = std::getenv("ATMO_OBS_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return;
+  }
+  std::string path = std::string(dir) + "/sweep_failure_shard" +
+                     std::to_string(result.shard) + ".json";
+  WriteSweepFailureForensics(result, options_.forensics_tail, path);
 }
 
 SweepReport SweepHarness::Run() const {
@@ -185,7 +227,15 @@ SweepReport SweepHarness::Run() const {
       if (shard >= options_.shards) {
         return;
       }
-      report.shards[shard] = RunShard(shard);
+      // Queue wait = sweep start -> claim; both timing fields live outside
+      // the deterministic portion of the report (SameOutcome ignores them).
+      auto claimed = std::chrono::steady_clock::now();
+      report.shards[shard] = RunShard(shard, /*force_trace=*/false);
+      auto finished = std::chrono::steady_clock::now();
+      report.shards[shard].queue_wait_seconds =
+          std::chrono::duration<double>(claimed - wall_start).count();
+      report.shards[shard].wall_seconds =
+          std::chrono::duration<double>(finished - claimed).count();
       progress.RecordShard(report.shards[shard]);
       if (options_.progress != nullptr) {
         options_.progress->RecordShard(report.shards[shard]);
@@ -212,6 +262,11 @@ SweepReport SweepHarness::Run() const {
     MergeStats(&report.stats, shard.stats);
     report.total_steps += shard.steps;
   }
+  // Failure forensics: every failing traced shard dumps its trace tail +
+  // replay token when ATMO_OBS_DUMP_DIR points somewhere.
+  for (const ShardResult& shard : report.shards) {
+    MaybeDumpForensics(shard);
+  }
   report.first_failure = progress.TakeSnapshot().first_failure;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
@@ -226,7 +281,11 @@ ShardResult SweepHarness::Replay(const ReplayToken& token) const {
              "replay token was minted by a sweep with a different master seed");
   ATMO_CHECK(token.shard < options_.shards, "replay token shard out of range");
   ScopedThrowOnCheckFailure throw_guard;
-  return RunShard(token.shard);
+  // Tracing is forced so the reproduced failure ships with its trace even
+  // when the original sweep ran untraced.
+  ShardResult result = RunShard(token.shard, /*force_trace=*/true);
+  MaybeDumpForensics(result);
+  return result;
 }
 
 }  // namespace atmo

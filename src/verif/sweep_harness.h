@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace_event.h"
 #include "src/verif/refinement_checker.h"
 #include "src/verif/trace_gen.h"
 #include "src/vstd/thread_annotations.h"
@@ -73,6 +74,13 @@ struct ShardResult {
   std::optional<ReplayToken> token;
   CoverageMatrix coverage;
   CheckStats stats;
+  // Flight-recorder snapshot when the shard ran traced (Options::trace,
+  // process-wide obs enable, or Replay). Virtual-clock timestamps, so the
+  // trace is a pure function of the shard seed — excluded from SameOutcome
+  // anyway, like the wall-clock fields below.
+  std::vector<obs::TraceEvent> trace;
+  double wall_seconds = 0.0;        // time inside RunShard
+  double queue_wait_seconds = 0.0;  // sweep start -> worker claimed shard
 };
 
 // Live, cross-thread view of a sweep in flight. This is the only mutable
@@ -146,6 +154,12 @@ class SweepHarness {
     // sweep runs. Run() also maintains an internal one to derive
     // SweepReport::first_failure.
     SweepProgress* progress = nullptr;
+    // Force flight-recorder tracing for every shard regardless of the
+    // process-wide obs enable flag. Shard recorders always run the virtual
+    // clock, so traces are bit-identical across worker counts.
+    bool trace = false;
+    std::size_t trace_capacity = 2048;  // per-shard ring capacity
+    std::size_t forensics_tail = 64;    // events kept in a failure dump
   };
 
   explicit SweepHarness(Options options) : options_(std::move(options)) {}
@@ -156,8 +170,9 @@ class SweepHarness {
   // after every worker joined).
   SweepReport Run() const;
 
-  // Reruns one shard single-threaded; the token must come from a sweep with
-  // this harness's master seed and options.
+  // Reruns one shard single-threaded with tracing forced on, so every
+  // replayed failure comes back with a flight-recorder trace attached even
+  // when the original sweep ran untraced.
   ShardResult Replay(const ReplayToken& token) const;
 
   static std::uint64_t ShardSeed(std::uint64_t master_seed, std::uint64_t shard);
@@ -165,7 +180,10 @@ class SweepHarness {
   const Options& options() const { return options_; }
 
  private:
-  ShardResult RunShard(std::uint64_t shard) const;
+  ShardResult RunShard(std::uint64_t shard, bool force_trace) const;
+  // When ATMO_OBS_DUMP_DIR is set, writes a forensics JSON for a failing
+  // traced shard next to its replay token.
+  void MaybeDumpForensics(const ShardResult& result) const;
 
   Options options_;
 };

@@ -1,0 +1,115 @@
+// System-call interface of the Atmosphere microkernel (§3).
+//
+// A syscall is a plain record (modelling the register file at kernel entry).
+// Kernel::Step(thread, syscall) executes one invocation atomically under the
+// big lock. Failure is atomic: any return other than kOk/kBlocked leaves the
+// abstract kernel state unchanged — the per-syscall specifications in
+// src/spec assert exactly that.
+
+#ifndef ATMO_SRC_CORE_SYSCALL_H_
+#define ATMO_SRC_CORE_SYSCALL_H_
+
+#include <cstdint>
+
+#include "src/ipc/message.h"
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+enum class SysOp : std::uint8_t {
+  kYield = 0,
+  kMmap,            // map fresh pages into the caller's address space
+  kMunmap,          // remove mappings from the caller's address space
+  kNewContainer,    // child container of the caller's container
+  kNewProcess,      // child process of the caller's process
+  kNewThread,       // thread in the caller's (or a same-container) process
+  kNewEndpoint,     // endpoint bound to a caller descriptor slot
+  kUnbindEndpoint,  // drop a caller descriptor (frees the endpoint at zero)
+  kSend,            // send a message (blocks if no receiver)
+  kRecv,            // receive a message (blocks if no sender)
+  kCall,            // send, then block for the reply
+  kReply,           // reply to the thread that called us
+  kExit,            // terminate the calling thread
+  kKillProcess,     // terminate a descendant process subtree
+  kKillContainer,   // terminate a descendant container subtree, harvest
+  kIommuCreateDomain,
+  kIommuAttachDevice,
+  kIommuDetachDevice,
+  kIommuMapDma,
+  kIommuUnmapDma,
+};
+
+const char* SysOpName(SysOp op);
+
+// Contiguous virtual range of `count` pages of uniform size (VaRange4K in
+// the paper generalized over page sizes).
+struct VaRange {
+  VAddr base = 0;
+  std::uint64_t count = 0;
+  PageSize size = PageSize::k4K;
+
+  std::uint64_t bytes() const { return count * PageBytes(size); }
+  VAddr At(std::uint64_t i) const { return base + i * PageBytes(size); }
+
+  friend bool operator==(const VaRange&, const VaRange&) = default;
+};
+
+// Upper bound on pages per mmap/munmap — keeps single syscalls short under
+// the big lock (the paper's §4.3 discussion notes long-running calls leak
+// timing; bounding region size is the fix it proposes).
+inline constexpr std::uint64_t kMaxMmapCount = 512;
+
+struct Syscall {
+  SysOp op = SysOp::kYield;
+
+  // kMmap / kMunmap
+  VaRange va_range;
+  MapEntryPerm map_perm;
+
+  // kNewContainer
+  std::uint64_t quota = 0;
+  std::uint64_t cpu_mask = ~0ull;
+
+  // kNewThread (target process; kNullPtr = caller's process),
+  // kKillProcess / kKillContainer (target object)
+  Ptr target = kNullPtr;
+
+  // IPC: descriptor index and payload. Grant fields are interpreted on the
+  // sender side: PageGrant.page is the *sender virtual address* of the page
+  // to grant; EndpointGrant.endpoint is the *sender descriptor index* to
+  // delegate. The kernel resolves them to physical object pointers during
+  // the transfer.
+  EdptIdx edpt_idx = 0;
+  IpcPayload payload;
+
+  // IOMMU ops.
+  std::uint64_t iommu_domain = 0;
+  std::uint32_t device = 0;
+  VAddr iova = 0;
+  VAddr dma_va = 0;  // caller VA of the page to expose to the device
+};
+
+enum class SysError : std::uint8_t {
+  kOk = 0,
+  kBlocked,        // the caller blocked; result delivered on wake-up
+  kNoMemory,       // physical memory exhausted
+  kQuotaExceeded,  // container reservation exhausted
+  kCapacity,       // a bounded kernel structure is full
+  kInvalid,        // malformed arguments / dangling handle
+  kDenied,         // caller lacks authority over the target
+  kWouldFault,     // transfer could not be applied to the peer
+};
+
+const char* SysErrorName(SysError error);
+
+struct SyscallRet {
+  SysError error = SysError::kOk;
+  std::uint64_t value = 0;  // created object pointer / domain id / count
+
+  bool ok() const { return error == SysError::kOk; }
+  friend bool operator==(const SyscallRet&, const SyscallRet&) = default;
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_CORE_SYSCALL_H_

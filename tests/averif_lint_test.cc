@@ -101,6 +101,17 @@ TEST(AverifLintTest, DefaultInSysOpSwitchFires) {
   EXPECT_EQ(BinaryExit("--root " + FixtureRoot("default_in_switch")), 1);
 }
 
+TEST(AverifLintTest, MissingTraceOpNameFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("missing_trace_op"));
+  std::vector<Finding> hits = WithRule(findings, "trace-op-name");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/obs/op_names.h");
+  EXPECT_NE(hits[0].message.find("SysOp::kReply"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("TraceOpLabel"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("missing_trace_op")), 1);
+}
+
 TEST(AverifLintTest, ErrorPathFiresAndHonoursWaiver) {
   std::vector<Finding> findings = Lint(FixtureRoot("error_path"));
   std::vector<Finding> hits = WithRule(findings, "error-path");

@@ -1,0 +1,436 @@
+// atmo::obs unit tests: flight-recorder ring semantics, the thread-local
+// recorder plumbing the instrumentation macros rely on, span lifetime
+// (including exception unwind — the property sweep forensics depends on),
+// histogram bucket boundaries and percentile extraction, the JSON writer,
+// and the Chrome-trace / metrics exporters.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_event.h"
+
+namespace atmo::obs {
+namespace {
+
+TraceEvent Named(const char* name) { return TraceEvent{.name = name, .cat = kCatSweep}; }
+
+// --- FlightRecorder ---------------------------------------------------------
+
+TEST(FlightRecorderTest, RecordsInOrderBeforeWrap) {
+  FlightRecorder rec(4, ClockMode::kVirtual, /*tid=*/7);
+  rec.Record(Named("a"));
+  rec.Record(Named("b"));
+  rec.Record(Named("c"));
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+
+  std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "a");
+  EXPECT_STREQ(events[1].name, "b");
+  EXPECT_STREQ(events[2].name, "c");
+  // The recorder stamps its tid onto every event.
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.tid, 7u);
+  }
+}
+
+TEST(FlightRecorderTest, WrapKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(3, ClockMode::kVirtual);
+  const char* names[] = {"e0", "e1", "e2", "e3", "e4"};
+  for (const char* n : names) {
+    rec.Record(Named(n));
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 2u);
+
+  std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_STREQ(events[0].name, "e2");
+  EXPECT_STREQ(events[1].name, "e3");
+  EXPECT_STREQ(events[2].name, "e4");
+}
+
+TEST(FlightRecorderTest, TailReturnsNewestOldestFirst) {
+  FlightRecorder rec(8, ClockMode::kVirtual);
+  const char* names[] = {"e0", "e1", "e2", "e3", "e4"};
+  for (const char* n : names) {
+    rec.Record(Named(n));
+  }
+  std::vector<TraceEvent> tail = rec.Tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_STREQ(tail[0].name, "e3");
+  EXPECT_STREQ(tail[1].name, "e4");
+
+  // Tail larger than the ring contents degrades to a full snapshot.
+  EXPECT_EQ(rec.Tail(100), rec.Snapshot());
+  // Tail across a wrap still comes back oldest first.
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(Named("late"));
+  }
+  std::vector<TraceEvent> wrapped = rec.Tail(3);
+  ASSERT_EQ(wrapped.size(), 3u);
+  EXPECT_GT(wrapped[0].ts, 0u);
+  EXPECT_LT(wrapped[0].ts, wrapped[1].ts);
+  EXPECT_LT(wrapped[1].ts, wrapped[2].ts);
+}
+
+TEST(FlightRecorderTest, VirtualClockIsMonotonicFromZero) {
+  FlightRecorder rec(16, ClockMode::kVirtual);
+  for (int i = 0; i < 5; ++i) {
+    rec.Record(Named("tick"));
+  }
+  std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts, i);
+  }
+}
+
+TEST(FlightRecorderTest, TwoVirtualRecordersProduceIdenticalTraces) {
+  // The property the 1-worker ≡ 8-worker sweep identity rests on: the same
+  // event sequence through two virtual-clock recorders is bit-identical.
+  FlightRecorder a(8, ClockMode::kVirtual, /*tid=*/3);
+  FlightRecorder b(8, ClockMode::kVirtual, /*tid=*/3);
+  for (const char* n : {"x", "y", "z"}) {
+    a.Record(Named(n));
+    b.Record(Named(n));
+  }
+  EXPECT_EQ(a.Snapshot(), b.Snapshot());
+}
+
+TEST(FlightRecorderTest, ClearEmptiesRingButKeepsTotals) {
+  FlightRecorder rec(4, ClockMode::kVirtual);
+  rec.Record(Named("a"));
+  rec.Record(Named("b"));
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_TRUE(rec.Snapshot().empty());
+  EXPECT_TRUE(rec.Tail(4).empty());
+}
+
+// --- Thread-local recorder + spans ------------------------------------------
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(ScopedThreadRecorderTest, InstallsAndRestoresWithNesting) {
+  EXPECT_EQ(CurrentRecorder(), nullptr);
+  FlightRecorder outer(8, ClockMode::kVirtual);
+  {
+    ScopedThreadRecorder install_outer(&outer);
+    EXPECT_EQ(CurrentRecorder(), &outer);
+    FlightRecorder inner(8, ClockMode::kVirtual);
+    {
+      ScopedThreadRecorder install_inner(&inner);
+      EXPECT_EQ(CurrentRecorder(), &inner);
+      ATMO_OBS_INSTANT(kCatSweep, "into.inner");
+    }
+    EXPECT_EQ(CurrentRecorder(), &outer);
+    ATMO_OBS_INSTANT(kCatSweep, "into.outer");
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_STREQ(inner.Snapshot()[0].name, "into.inner");
+    ASSERT_EQ(outer.size(), 1u);
+    EXPECT_STREQ(outer.Snapshot()[0].name, "into.outer");
+  }
+  EXPECT_EQ(CurrentRecorder(), nullptr);
+}
+#endif  // !ATMO_OBS_DISABLED
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(ObsSpanTest, EmitsBeginEndPairWithArgs) {
+  FlightRecorder rec(8, ClockMode::kVirtual);
+  {
+    ScopedThreadRecorder install(&rec);
+    ObsSpan span(kCatSyscall, "sys.mmap", "frames", 4);
+    span.SetResult("error", "kOk");
+  }
+  std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'B');
+  EXPECT_STREQ(events[0].name, "sys.mmap");
+  EXPECT_STREQ(events[0].arg_name, "frames");
+  EXPECT_EQ(events[0].arg, 4u);
+  EXPECT_EQ(events[1].ph, 'E');
+  EXPECT_STREQ(events[1].name, "sys.mmap");
+  EXPECT_STREQ(events[1].sarg_name, "error");
+  EXPECT_STREQ(events[1].sarg, "kOk");
+  EXPECT_LE(events[0].ts, events[1].ts);
+}
+#endif  // !ATMO_OBS_DISABLED
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(ObsSpanTest, ClosesDuringExceptionUnwind) {
+  // A refinement CheckViolation thrown mid-syscall must still close the
+  // enclosing span, or forensic tails would show dangling 'B' events.
+  FlightRecorder rec(8, ClockMode::kVirtual);
+  {
+    ScopedThreadRecorder install(&rec);
+    try {
+      ObsSpan span(kCatSyscall, "sys.fail");
+      throw std::runtime_error("violation");
+    } catch (const std::runtime_error&) {
+    }
+  }
+  std::vector<TraceEvent> events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ph, 'B');
+  EXPECT_EQ(events[1].ph, 'E');
+  EXPECT_STREQ(events[1].name, "sys.fail");
+}
+#endif  // !ATMO_OBS_DISABLED
+
+TEST(ObsSpanTest, NoRecorderMeansNoRecording) {
+  ASSERT_EQ(CurrentRecorder(), nullptr);
+  ObsSpan span(kCatSyscall, "sys.noop");
+  span.SetResult("error", "kOk");
+  ATMO_OBS_INSTANT(kCatSweep, "nobody.listening");
+  ATMO_OBS_COUNTER(kCatSweep, "nothing", 1);
+  // Nothing to assert beyond "did not crash": the disabled path is a null
+  // check per site.
+}
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(ObsSpanTest, CapturesRecorderAtConstruction) {
+  // A span records its 'E' into the recorder that was current at 'B' time,
+  // even if the thread's recorder changes mid-span.
+  FlightRecorder first(8, ClockMode::kVirtual);
+  FlightRecorder second(8, ClockMode::kVirtual);
+  ScopedThreadRecorder install_first(&first);
+  {
+    ObsSpan span(kCatCheck, "check.crossing");
+    ScopedThreadRecorder install_second(&second);
+  }
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(second.size(), 0u);
+}
+#endif  // !ATMO_OBS_DISABLED
+
+TEST(EnableFlagTest, SetEnabledRoundTrips) {
+  bool initial = Enabled();
+  SetEnabled(true);
+  EXPECT_TRUE(Enabled());
+  SetEnabled(false);
+  EXPECT_FALSE(Enabled());
+  SetEnabled(initial);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly 0; bucket b >= 1 holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(7), 3);
+  EXPECT_EQ(Histogram::BucketOf(8), 4);
+  EXPECT_EQ(Histogram::BucketOf(~std::uint64_t{0}), 64);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(4), 8u);
+  EXPECT_EQ(Histogram::BucketUpperBound(4), 15u);
+  EXPECT_EQ(Histogram::BucketLowerBound(64), std::uint64_t{1} << 63);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), ~std::uint64_t{0});
+
+  // Every power-of-two edge: BucketOf(2^k) == k+1, BucketOf(2^k - 1) == k.
+  for (int k = 1; k < 64; ++k) {
+    std::uint64_t edge = std::uint64_t{1} << k;
+    EXPECT_EQ(Histogram::BucketOf(edge), k + 1) << "k=" << k;
+    EXPECT_EQ(Histogram::BucketOf(edge - 1), k) << "k=" << k;
+    EXPECT_EQ(Histogram::BucketLowerBound(k + 1), edge) << "k=" << k;
+    EXPECT_EQ(Histogram::BucketUpperBound(k), edge - 1) << "k=" << k;
+  }
+}
+
+TEST(HistogramTest, ObserveTracksStats) {
+  Histogram h;
+  for (std::uint64_t v : {0, 1, 2, 3, 100}) {
+    h.Observe(v);
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 106u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 106.0 / 5.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(7), 1u);  // 100 in [64, 127]
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_EQ(h.Percentile(0.99), 0u);
+}
+
+TEST(HistogramTest, PercentileReportsBucketUpperBound) {
+  Histogram h;
+  // 90 fast observations in [8, 15], 10 slow in [1024, 2047].
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(10);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(1500);
+  }
+  EXPECT_EQ(h.Percentile(0.0), 15u);   // first non-empty bucket's bound
+  EXPECT_EQ(h.Percentile(0.5), 15u);
+  EXPECT_EQ(h.Percentile(0.9), 15u);   // exactly the 90th sample
+  EXPECT_EQ(h.Percentile(0.95), 2047u);
+  EXPECT_EQ(h.Percentile(0.99), 2047u);
+  EXPECT_EQ(h.Percentile(1.0), 2047u);
+}
+
+TEST(HistogramTest, SingleValuePercentiles) {
+  Histogram h;
+  h.Observe(42);  // bucket 6 = [32, 63]
+  for (double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_EQ(h.Percentile(p), 63u) << "p=" << p;
+  }
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistryTest, ResolvesByNameAndAccumulates) {
+  MetricsRegistry reg;
+  reg.counter("steps").Add(3);
+  reg.counter("steps").Add();
+  reg.gauge("workers").Set(8.0);
+  reg.histogram("lat").Observe(7);
+  EXPECT_EQ(reg.counter("steps").value(), 4u);
+  EXPECT_DOUBLE_EQ(reg.gauge("workers").value(), 8.0);
+  EXPECT_EQ(reg.histogram("lat").count(), 1u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+// --- JsonWriter --------------------------------------------------------------
+
+TEST(JsonWriterTest, NestedStructureAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.KV("name", "bench");
+  w.KV("ok", true);
+  w.Key("rows").BeginArray();
+  w.BeginObject().KV("ops", std::uint64_t{12}).KV("rate", 1.25, "%.2f").EndObject();
+  w.BeginObject().KV("ops", std::uint64_t{7}).EndObject();
+  w.EndArray();
+  w.Key("none").Null();
+  w.KV("delta", std::uint32_t{9});
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"bench\",\"ok\":true,\"rows\":"
+            "[{\"ops\":12,\"rate\":1.25},{\"ops\":7}],"
+            "\"none\":null,\"delta\":9}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonWriter::Escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonWriter::Escape(std::string("a\x01z")), "a\\u0001z");
+
+  JsonWriter w;
+  w.BeginObject().KV("msg", "say \"hi\"\n").EndObject();
+  EXPECT_EQ(w.str(), "{\"msg\":\"say \\\"hi\\\"\\n\"}");
+}
+
+TEST(JsonWriterTest, IntAndDoubleFormats) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(-5).Uint(~std::uint64_t{0}).Double(0.5).Double(3.14159, "%.3f");
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[-5,18446744073709551615,0.5,3.142]");
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(ExportersTest, ChromeTraceJsonShape) {
+  FlightRecorder rec(8, ClockMode::kVirtual, /*tid=*/2);
+  {
+    ScopedThreadRecorder install(&rec);
+    ObsSpan span(kCatSyscall, "sys.yield");
+    span.SetResult("error", "kOk");
+    ATMO_OBS_INSTANT_ARG(kCatAlloc, "alloc.4k", "ptr", 0x1000);
+    ATMO_OBS_COUNTER(kCatSweep, "steps", 17);
+  }
+  std::string json = ChromeTraceJson(rec.Snapshot(), "test-proc");
+
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Metadata event names the process for Perfetto's track grouping.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"test-proc\""), std::string::npos);
+  // The span pair, with the string result on the 'E' side.
+  EXPECT_NE(json.find("\"name\":\"sys.yield\",\"cat\":\"syscall\",\"ph\":\"B\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"error\":\"kOk\""), std::string::npos);
+  // Instant and counter events with integer args.
+  EXPECT_NE(json.find("\"name\":\"alloc.4k\""), std::string::npos);
+  EXPECT_NE(json.find("\"ptr\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":17"), std::string::npos);
+  // Everything rides the recorder's tid lane.
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_EQ(json.find("\"tid\":0,"), std::string::npos);
+}
+#endif  // !ATMO_OBS_DISABLED
+
+TEST(ExportersTest, ChromeTraceJsonEmptyTrace) {
+  std::string json = ChromeTraceJson({});
+  // Still a valid document with the metadata event only.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"B\""), std::string::npos);
+}
+
+TEST(ExportersTest, MetricsJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("check.steps").Add(100);
+  reg.gauge("sweep.workers").Set(4.0);
+  Histogram& h = reg.histogram("sweep.shard_steps");
+  h.Observe(0);
+  h.Observe(10);
+  h.Observe(10);
+  std::string json = MetricsJson(reg);
+
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"check.steps\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep.workers\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":20"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Only the non-empty buckets are listed: value 0 -> le 0, value 10 -> le 15.
+  EXPECT_NE(json.find("\"le\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":15"), std::string::npos);
+  EXPECT_EQ(json.find("\"le\":1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace atmo::obs

@@ -1,11 +1,19 @@
 // Parallel sharded trace exploration: determinism across worker counts,
-// shard-seed independence, failure capture under parallelism, and replay
-// tokens reproducing the failing trace single-threaded.
+// shard-seed independence, failure capture under parallelism, replay
+// tokens reproducing the failing trace single-threaded, coverage-matrix
+// merge edge cases, and the traced-sweep / failure-forensics paths.
 
 #include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
+#include "src/obs/flight_recorder.h"
+#include "src/verif/obs_export.h"
 #include "src/verif/sweep_harness.h"
 #include "src/vstd/check.h"
 
@@ -174,6 +182,299 @@ TEST(ParallelSweepTest, FirstFailureIsLowestShardAcrossWorkerCounts) {
   EXPECT_EQ(snap.shards_failed, 2u);
   ASSERT_TRUE(snap.first_failure.has_value());
   EXPECT_EQ(snap.first_failure->shard, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// CoverageMatrix merge semantics: the merged report must stay well-defined
+// even at the counter limits (a multi-day sweep on a hot cell), so Merge and
+// Total saturate instead of wrapping.
+// ---------------------------------------------------------------------------
+
+TEST(CoverageMatrixTest, EmptyMergeStaysEmpty) {
+  CoverageMatrix a;
+  CoverageMatrix b;
+  a.Merge(b);
+  EXPECT_TRUE(a == CoverageMatrix{});
+  EXPECT_EQ(a.Total(), 0u);
+  EXPECT_EQ(a.NonZeroCells(), 0u);
+}
+
+TEST(CoverageMatrixTest, MergeAddsElementwise) {
+  CoverageMatrix a;
+  CoverageMatrix b;
+  a.Record(SysOp::kYield, SysError::kOk);
+  a.Record(SysOp::kYield, SysError::kOk);
+  b.Record(SysOp::kYield, SysError::kOk);
+  b.Record(SysOp::kMmap, SysError::kNoMemory);
+  a.Merge(b);
+  EXPECT_EQ(a.counts[static_cast<std::size_t>(SysOp::kYield)]
+                    [static_cast<std::size_t>(SysError::kOk)],
+            3u);
+  EXPECT_EQ(a.counts[static_cast<std::size_t>(SysOp::kMmap)]
+                    [static_cast<std::size_t>(SysError::kNoMemory)],
+            1u);
+  EXPECT_EQ(a.Total(), 4u);
+  EXPECT_EQ(a.NonZeroCells(), 2u);
+}
+
+TEST(CoverageMatrixTest, SelfMergeDoublesCounts) {
+  CoverageMatrix a;
+  a.Record(SysOp::kYield, SysError::kOk);
+  a.Record(SysOp::kMunmap, SysError::kInvalid);
+  CoverageMatrix before = a;
+  a.Merge(a);
+  EXPECT_EQ(a.Total(), 2 * before.Total());
+  EXPECT_EQ(a.NonZeroCells(), before.NonZeroCells());
+}
+
+TEST(CoverageMatrixTest, MergeSaturatesInsteadOfWrapping) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  CoverageMatrix a;
+  CoverageMatrix b;
+  a.counts[0][0] = kMax - 1;
+  b.counts[0][0] = 5;
+  a.Merge(b);
+  EXPECT_EQ(a.counts[0][0], kMax);  // clamped, not wrapped to 3
+  // Saturated cells are absorbing: further merges keep the clamp.
+  a.Merge(b);
+  EXPECT_EQ(a.counts[0][0], kMax);
+  EXPECT_EQ(a.NonZeroCells(), 1u);
+}
+
+TEST(CoverageMatrixTest, TotalSaturatesAcrossCells) {
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  CoverageMatrix a;
+  a.counts[0][0] = kMax;
+  a.counts[1][1] = 7;
+  EXPECT_EQ(a.Total(), kMax);  // sum clamps at the counter limit
+  EXPECT_EQ(a.NonZeroCells(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// SameOutcome compares only the deterministic portion — timing fields vary
+// run to run and must never break the 1w ≡ 8w identity.
+// ---------------------------------------------------------------------------
+
+TEST(ParallelSweepTest, SameOutcomeIgnoresTimingFields) {
+  SweepReport a = SweepHarness(SmallSweep(0xfeedface, 2)).Run();
+  SweepReport b = a;
+  b.wall_seconds = a.wall_seconds + 123.0;
+  b.steps_per_sec = a.steps_per_sec / 7.0;
+  b.workers = a.workers + 3;
+  for (ShardResult& shard : b.shards) {
+    shard.wall_seconds += 1.0;
+    shard.queue_wait_seconds += 2.0;
+    shard.stats.spec_ns += 999;
+    shard.stats.wf_ns += 999;
+  }
+  b.stats.abstraction_ns += 12345;
+  EXPECT_TRUE(a.SameOutcome(b));
+
+  // ...but it is not blind: a diverging verdict or step count still fails.
+  SweepReport c = a;
+  c.shards[0].steps += 1;
+  EXPECT_FALSE(a.SameOutcome(c));
+  SweepReport d = a;
+  d.shards[1].ok = false;
+  EXPECT_FALSE(a.SameOutcome(d));
+}
+
+TEST(ParallelSweepTest, ReportCarriesWallClockAndShardTiming) {
+  SweepReport report = SweepHarness(SmallSweep(0xfeedface, 2)).Run();
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.steps_per_sec, 0.0);
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_GT(shard.wall_seconds, 0.0);
+    EXPECT_GE(shard.queue_wait_seconds, 0.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Traced sweeps: Options::trace attaches a virtual-clock flight-recorder
+// trace to every shard; the trace is part of neither SameOutcome nor the
+// coverage merge, but it is itself deterministic across worker counts.
+// ---------------------------------------------------------------------------
+
+bool HasEvent(const std::vector<obs::TraceEvent>& events, std::string_view name,
+              char ph) {
+  for (const obs::TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name && e.ph == ph) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ParallelSweepTest, UntracedByDefault) {
+  ASSERT_FALSE(obs::Enabled());
+  SweepReport report = SweepHarness(SmallSweep(0xfeedface, 2)).Run();
+  for (const ShardResult& shard : report.shards) {
+    EXPECT_TRUE(shard.trace.empty());
+  }
+}
+
+TEST(ParallelSweepTest, TracedSweepRecordsShardMarkersAndSyscallSpans) {
+  SweepHarness::Options options = SmallSweep(0xfeedface, 2);
+  options.trace = true;
+  // Large enough that the ring never wraps: shard.start survives to the end.
+  options.trace_capacity = 1 << 16;
+  SweepReport report = SweepHarness(options).Run();
+
+  for (const ShardResult& shard : report.shards) {
+    ASSERT_FALSE(shard.trace.empty());
+    // First event is the shard.start marker carrying the shard's seed.
+    EXPECT_STREQ(shard.trace.front().name, "shard.start");
+    EXPECT_EQ(shard.trace.front().ph, 'i');
+    EXPECT_EQ(shard.trace.front().arg, shard.seed);
+    EXPECT_TRUE(HasEvent(shard.trace, "shard.finish", 'i'));
+    // Checked syscalls appear as 'B'/'E' span pairs on the shard's lane.
+    EXPECT_TRUE(HasEvent(shard.trace, "sys.yield", 'B'));
+    EXPECT_TRUE(HasEvent(shard.trace, "sys.yield", 'E'));
+    for (const obs::TraceEvent& e : shard.trace) {
+      EXPECT_EQ(e.tid, static_cast<std::uint32_t>(shard.shard));
+    }
+  }
+}
+
+TEST(ParallelSweepTest, TracedSweepIsDeterministicAcrossWorkerCounts) {
+  auto traced = [](unsigned workers) {
+    SweepHarness::Options options = SmallSweep(0xfeedface, workers);
+    options.trace = true;
+    return SweepHarness(options).Run();
+  };
+  SweepReport serial = traced(1);
+  SweepReport parallel = traced(4);
+  EXPECT_TRUE(serial.SameOutcome(parallel));
+  for (std::size_t i = 0; i < serial.shards.size(); ++i) {
+    // Virtual clock + deterministic trace => bit-identical event streams.
+    EXPECT_EQ(serial.shards[i].trace, parallel.shards[i].trace);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failure forensics: a failing traced shard carries the failing syscall's
+// enter/exit span in its tail; Replay attaches a trace even when the
+// process-wide flag is off; ATMO_OBS_DUMP_DIR gets a forensics JSON.
+// ---------------------------------------------------------------------------
+
+SweepHarness::Options BrokenTracedSweep() {
+  SweepHarness::Options options = SmallSweep(0xdecafbad, 4);
+  options.trace = true;
+  options.checker.check_wf_every = 1;
+  options.fault_hook = [](TraceFixture* f, std::uint64_t shard, std::uint64_t step) {
+    if (shard == 2 && step == 57) {
+      f->kernel.pm_mut().MutableContainer(f->ctnr).mem_used = 0;
+    }
+  };
+  return options;
+}
+
+TEST(ParallelSweepTest, FailingShardTraceEndsWithFailingSyscallSpan) {
+  SweepReport report = SweepHarness(BrokenTracedSweep()).Run();
+  ASSERT_EQ(report.Failures().size(), 1u);
+  const ShardResult& bad = report.shards[2];
+  ASSERT_FALSE(bad.trace.empty());
+
+  // The shard still closed with its finish marker...
+  EXPECT_STREQ(bad.trace.back().name, "shard.finish");
+
+  // ...and the last syscall span before it is the failing step's, closed
+  // ('E' after its 'B') despite the CheckViolation unwinding through it.
+  const obs::TraceEvent* last_sys_end = nullptr;
+  for (auto it = bad.trace.rbegin(); it != bad.trace.rend(); ++it) {
+    if (it->ph == 'E' && it->name != nullptr &&
+        std::string_view(it->name).rfind("sys.", 0) == 0) {
+      last_sys_end = &*it;
+      break;
+    }
+  }
+  ASSERT_NE(last_sys_end, nullptr);
+  bool found_begin = false;
+  for (const obs::TraceEvent& e : bad.trace) {
+    if (e.ph == 'B' && e.name != nullptr &&
+        std::string_view(e.name) == last_sys_end->name) {
+      found_begin = true;
+    }
+  }
+  EXPECT_TRUE(found_begin);
+}
+
+TEST(ParallelSweepTest, ReplayForcesTracingOn) {
+  ASSERT_FALSE(obs::Enabled());
+  SweepHarness::Options options = BrokenTracedSweep();
+  options.trace = false;  // the original sweep runs untraced...
+  SweepHarness harness(options);
+  SweepReport report = harness.Run();
+  ASSERT_EQ(report.Failures().size(), 1u);
+  EXPECT_TRUE(report.shards[2].trace.empty());
+
+  // ...but the replayed failure always comes back with a trace attached.
+  ShardResult replay = harness.Replay(report.Failures()[0]);
+  EXPECT_FALSE(replay.ok);
+  ASSERT_FALSE(replay.trace.empty());
+  EXPECT_TRUE(HasEvent(replay.trace, "shard.finish", 'i'));
+  EXPECT_STREQ(replay.trace.back().name, "shard.finish");
+  EXPECT_EQ(replay.failure, report.shards[2].failure);
+}
+
+TEST(ParallelSweepTest, FailureDumpsForensicsJsonWhenDumpDirSet) {
+  std::string dir = ::testing::TempDir() + "obs_forensics";
+  std::string cmd = "mkdir -p " + dir;
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  ASSERT_EQ(setenv("ATMO_OBS_DUMP_DIR", dir.c_str(), 1), 0);
+
+  SweepHarness(BrokenTracedSweep()).Run();
+  unsetenv("ATMO_OBS_DUMP_DIR");
+
+  std::ifstream in(dir + "/sweep_failure_shard2.json");
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  std::string json = content.str();
+
+  // Chrome-trace envelope plus the replay token and verdict metadata.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"replay_token\""), std::string::npos);
+  EXPECT_NE(json.find("\"master_seed\":" + std::to_string(0xdecafbadull)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"shard\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"step\":57"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("total_wf"), std::string::npos);
+  // The failing span's close made it into the tail.
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// verif -> obs export bridge: CheckStats and SweepReports land in the
+// metrics registry under stable names.
+// ---------------------------------------------------------------------------
+
+TEST(ObsExportTest, ExportCheckStatsPopulatesCounters) {
+  CheckStats stats;
+  stats.steps = 10;
+  stats.wf_checks = 4;
+  stats.delta_abstractions = 9;
+  stats.max_dirty_entries = 3;
+  obs::MetricsRegistry registry;
+  ExportCheckStats(stats, &registry);
+  EXPECT_EQ(registry.counter("check.steps").value(), 10u);
+  EXPECT_EQ(registry.counter("check.wf_checks").value(), 4u);
+  EXPECT_EQ(registry.counter("check.delta_abstractions").value(), 9u);
+  EXPECT_DOUBLE_EQ(registry.gauge("check.max_dirty_entries").value(), 3.0);
+}
+
+TEST(ObsExportTest, ExportSweepMetricsSummarizesReport) {
+  SweepReport report = SweepHarness(SmallSweep(0xfeedface, 2)).Run();
+  obs::MetricsRegistry registry;
+  ExportSweepMetrics(report, &registry);
+  EXPECT_EQ(registry.counter("sweep.total_steps").value(), report.total_steps);
+  EXPECT_EQ(registry.counter("sweep.shards").value(), report.shards.size());
+  EXPECT_EQ(registry.counter("sweep.shards_failed").value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.gauge("sweep.workers").value(),
+                   static_cast<double>(report.workers));
+  EXPECT_EQ(registry.histogram("sweep.shard_steps").count(), report.shards.size());
+  EXPECT_EQ(registry.histogram("sweep.shard_wall_us").count(), report.shards.size());
 }
 
 }  // namespace

@@ -668,32 +668,37 @@ std::vector<std::string> ParseEnumerators(const SourceFile& f, const std::string
   return out;
 }
 
-void RuleSpecCoverage(const Options& options, std::vector<Finding>* findings) {
+// Shared engine for the SysOp-totality rules (`spec-coverage` and
+// `trace-op-name`): every SysOp enumerator must be mentioned as
+// `SysOp::<op>` inside each listed location.
+void CheckSysOpCoverage(const Options& options, std::vector<Finding>* findings,
+                        const std::string& rule,
+                        const std::vector<SpecLocation>& locations) {
   SourceFile syscall_h = LoadFile(options.root, "src/core/syscall.h");
   if (!syscall_h.ok) {
-    MissingFile(findings, options, "src/core/syscall.h", "spec-coverage");
+    MissingFile(findings, options, "src/core/syscall.h", rule);
     return;
   }
   std::vector<std::string> ops = ParseEnumerators(syscall_h, "SysOp");
   if (ops.empty()) {
-    MissingFile(findings, options, "src/core/syscall.h", "spec-coverage");
+    MissingFile(findings, options, "src/core/syscall.h", rule);
     return;
   }
   std::map<std::string, SourceFile> files;
-  for (const SpecLocation& loc : SpecCoverageLocations()) {
+  for (const SpecLocation& loc : locations) {
     if (files.find(loc.file) == files.end()) {
       files.emplace(loc.file, LoadFile(options.root, loc.file));
     }
     const SourceFile& f = files.at(loc.file);
     if (!f.ok) {
-      MissingFile(findings, options, loc.file, "spec-coverage");
+      MissingFile(findings, options, loc.file, rule);
       continue;
     }
     Range range{0, f.code.size()};
     if (!loc.function.empty()) {
       std::optional<Range> body = FunctionBody(f, loc.function);
       if (!body) {
-        MissingFile(findings, options, loc.file, "spec-coverage");
+        MissingFile(findings, options, loc.file, rule);
         continue;
       }
       range = *body;
@@ -711,12 +716,32 @@ void RuleSpecCoverage(const Options& options, std::vector<Finding>* findings) {
       }
       if (!covered) {
         std::string where = loc.function.empty() ? loc.file : loc.function;
-        AddFinding(findings, f, f.LineOf(range.begin), "spec-coverage",
+        AddFinding(findings, f, f.LineOf(range.begin), rule,
                    "SysOp::" + op + " is not handled in " + where,
                    "add `case SysOp::" + op + ":` to " + where + " in " + loc.file);
       }
     }
   }
+}
+
+void RuleSpecCoverage(const Options& options, std::vector<Finding>* findings) {
+  CheckSysOpCoverage(options, findings, "spec-coverage", SpecCoverageLocations());
+}
+
+// ---------------------------------------------------------------------------
+// Rule: trace-op-name
+// ---------------------------------------------------------------------------
+//
+// The observability layer names every syscall span via TraceOpLabel
+// (src/obs/op_names.h). A SysOp enumerator missing from that table traces
+// as "sys.unknown" and silently vanishes from per-op timelines, so the
+// table must stay total exactly like the spec/frame tables.
+
+void RuleTraceOpName(const Options& options, std::vector<Finding>* findings) {
+  static const std::vector<SpecLocation> locations = {
+      {"src/obs/op_names.h", "TraceOpLabel"},
+  };
+  CheckSysOpCoverage(options, findings, "trace-op-name", locations);
 }
 
 // ---------------------------------------------------------------------------
@@ -1074,6 +1099,7 @@ std::string JsonEscape(const std::string& in) {
 std::vector<Finding> RunAllRules(const Options& options) {
   std::vector<Finding> findings;
   RuleSpecCoverage(options, &findings);
+  RuleTraceOpName(options, &findings);
   RuleDirtyLog(options, &findings);
   RuleLockstepIndex(options, &findings);
   for (const std::string& rel : TreeFiles(options)) {

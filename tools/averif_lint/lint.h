@@ -8,6 +8,9 @@
 //   spec-coverage        every SysOp enumerator has a case in the spec
 //                        dispatcher, the kernel dispatch, SysOpName and the
 //                        frame-condition table (and none is dead)
+//   trace-op-name        every SysOp enumerator has a label in the obs
+//                        trace-name table (TraceOpLabel), so no syscall
+//                        traces as "sys.unknown"
 //   dirty-log            every public mutating method of the logged
 //                        subsystems records into its dirty log, directly or
 //                        via a same-class callee that does
