@@ -1,0 +1,112 @@
+// End-to-end batched-syscall benchmark: ~10^6 simulated clients through
+// Maglev into httpd + kv-store backends over the simulated NIC, with every
+// request paying one verified kernel syscall. Configurations differ only in
+// how that syscall is certified:
+//
+//   percall        — one RefinementChecker::Step per request (the PR-4
+//                    trace-scale discipline applied per call)
+//   batched-bN     — requests submitted to a syscall ring via the
+//                    shared-memory fast path; one checked kRingEnter
+//                    transition certifies N inner calls (DESIGN.md §13)
+//   batched-b32-sc — same, but each submit is its own checked kRingSubmit
+//                    syscall (shows what the shm fast path buys)
+//
+// The >=5x amortization gate runs on the syscall-only microbench
+// (CheckedSyscallRate): identical rotating mmap/munmap trace, identical
+// checker options, per-call vs batch-256 — so the comparison is pure
+// checking overhead, not diluted by app/driver work. In full mode the gate
+// is enforced via the exit code; quick mode (CI) reports the numbers and
+// ci/run_tests.sh enforces absolute floors from ci/perf_floors.json.
+
+#include <cstdlib>
+
+#include "bench/end_to_end.h"
+
+int main() {
+  using namespace atmo::bench;
+
+  std::printf("=== End-to-end: batched syscall rings under load ===\n");
+  std::printf("~1M simulated clients -> Maglev -> httpd/kv-store over SimNic;\n");
+  std::printf("one verified mmap/munmap per request, per-call vs ring-batched\n\n");
+
+  std::uint64_t target = ScaledOps(400000);
+  const char* quick = std::getenv("ATMO_BENCH_QUICK");
+
+  BenchJson json("end_to_end");
+  PrintHeader("end-to-end request rate", "K req/s");
+
+  std::vector<E2EResult> results;
+  auto run = [&](const char* name, std::uint64_t requests, std::uint32_t batch,
+                 bool shm_submit) {
+    E2EOptions opt;
+    opt.requests = requests;
+    opt.batch = batch;
+    opt.shm_submit = shm_submit;
+    E2EResult r = RunEndToEnd(name, opt);
+    json.Record(r.row, "K");
+    results.push_back(r);
+  };
+
+  // Per-call checking is the slow path; keep its row affordable.
+  run("percall", target / 4, 0, true);
+  run("batched-b32-syscall-submit", target, 32, false);
+  run("batched-b32", target, 32, true);
+  run("batched-b256", target, 256, true);
+
+  // Syscall-only amortization microbench: the >=5x gate's numbers.
+  std::uint64_t micro_ops = ScaledOps(400000);
+  atmo::CheckStats batched_stats;
+  double percall_rate = CheckedSyscallRate(micro_ops / 4, 0);
+  double batched_rate = CheckedSyscallRate(micro_ops, 256, &batched_stats);
+  double speedup = percall_rate > 0 ? batched_rate / percall_rate : 0.0;
+  bool gate_pass = speedup >= 5.0;
+
+  std::printf("\nchecked-syscall rate (syscall-only trace, same checker options):\n");
+  std::printf("  per-call     : %12.0f checked syscalls/s\n", percall_rate);
+  std::printf("  batched-b256 : %12.0f checked syscalls/s (%llu drains)\n", batched_rate,
+              static_cast<unsigned long long>(batched_stats.batch_drains));
+  std::printf("  amortization : %.2fx %s (gate: >=5x)\n", speedup,
+              gate_pass ? "PASS" : "FAIL");
+
+  bool all_ok = true;
+  for (const E2EResult& r : results) {
+    all_ok = all_ok && r.all_ok;
+  }
+
+  json.Write([&](atmo::obs::JsonWriter* w) {
+    w->KV("clients", std::uint64_t{1} << 20);
+    w->Key("configs").BeginArray();
+    for (const E2EResult& r : results) {
+      w->BeginObject();
+      w->KV("config", r.row.config);
+      w->KV("req_per_sec", r.row.ops_per_sec, "%.1f");
+      w->KV("inner_syscalls", r.inner_syscalls);
+      w->KV("checked_syscalls_per_sec", r.checked_syscalls_per_sec, "%.1f");
+      w->KV("p50_ns", r.p50_ns);
+      w->KV("p99_ns", r.p99_ns);
+      w->KV("httpd_responses", r.httpd_responses);
+      w->KV("kv_responses", r.kv_responses);
+      w->KV("batch_drains", r.batch_drains);
+      w->KV("all_ok", r.all_ok);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->KV("percall_checked_syscalls_per_sec", percall_rate, "%.1f");
+    w->KV("batched_checked_syscalls_per_sec", batched_rate, "%.1f");
+    w->KV("batched_vs_percall_speedup", speedup, "%.3f");
+    w->KV("speedup_gate_pass", gate_pass);
+    w->KV("all_ok", all_ok);
+  });
+
+  if (!all_ok) {
+    std::fprintf(stderr, "end_to_end: a configuration finished with total_wf not ok\n");
+    return 1;
+  }
+  // The amortization gate is meaningful at full scale; quick mode is too
+  // noisy for a ratio gate (run_tests.sh enforces absolute floors instead).
+  if (!quick && !gate_pass) {
+    std::fprintf(stderr, "end_to_end: batched amortization below the 5x gate\n");
+    return 1;
+  }
+  return 0;
+}

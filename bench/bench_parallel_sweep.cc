@@ -15,6 +15,10 @@
 #include <string>
 #include <thread>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 #include "bench/pipeline.h"
 #include "src/obs/exporters.h"
 #include "src/obs/flight_recorder.h"
@@ -45,6 +49,26 @@ void AppendConfigJson(obs::JsonWriter* w, const Config& c) {
   w->EndObject();
 }
 
+// CPUs actually available to this process — the affinity mask, not
+// hardware_concurrency(), which reports the machine's core count even when
+// a container/cgroup pins the process to a subset. The scaling threshold
+// and the JSON's `host_cpus` field both use this, so a reader comparing
+// BENCH_parallel_sweep.json files across hosts can tell a degenerate
+// 1-CPU curve from a real regression.
+unsigned HostCpus() {
+#ifdef __linux__
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    int n = CPU_COUNT(&set);
+    if (n > 0) {
+      return static_cast<unsigned>(n);
+    }
+  }
+#endif
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace atmo
@@ -58,10 +82,11 @@ int main() {
   bool traced = obs::EnabledFromEnv();
   std::uint64_t steps_per_shard = ScaledOps(3000);
   unsigned hc = std::thread::hardware_concurrency();
+  unsigned host_cpus = HostCpus();
 
-  std::printf("=== Parallel sharded sweep: %llu shards x %llu steps, %u hardware threads ===\n",
+  std::printf("=== Parallel sharded sweep: %llu shards x %llu steps, %u CPUs available ===\n",
               static_cast<unsigned long long>(kShards),
-              static_cast<unsigned long long>(steps_per_shard), hc);
+              static_cast<unsigned long long>(steps_per_shard), host_cpus);
   PrintHeader("checked randomized syscall traces", "K steps/s");
 
   Config configs[4] = {{1, {}}, {2, {}}, {4, {}}, {8, {}}};
@@ -102,6 +127,7 @@ int main() {
   w.KV("shards", kShards);
   w.KV("steps_per_shard", steps_per_shard);
   w.KV("hardware_concurrency", hc);
+  w.KV("host_cpus", host_cpus);
   w.KV("quick", quick);
   w.Key("configs").BeginArray();
   for (const Config& c : configs) {
@@ -135,15 +161,15 @@ int main() {
     return 1;
   }
   // Scaling threshold only binds where the hardware can possibly deliver it
-  // (≥4 cores) and at full op counts; a 1-vCPU host legitimately reports
-  // ~flat scaling.
-  if (hc >= 4 && !quick) {
+  // (≥4 CPUs actually schedulable by this process) and at full op counts; a
+  // 1-vCPU host legitimately reports ~flat scaling.
+  if (host_cpus >= 4 && !quick) {
     bool ok = speedup_4w >= 3.0;
     std::printf("speedup at 4 workers: %.2fx (threshold 3x)  %s\n", speedup_4w,
                 ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
-  std::printf("scaling threshold skipped (%u hardware threads%s)\n", hc,
+  std::printf("scaling threshold skipped (%u CPUs available%s)\n", host_cpus,
               quick ? ", quick mode" : "");
   return 0;
 }

@@ -1,0 +1,305 @@
+#include "bench/end_to_end.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <vector>
+
+#include "src/apps/httpd.h"
+#include "src/apps/kvstore.h"
+#include "src/apps/maglev.h"
+#include "src/core/syscall_ring.h"
+#include "src/drivers/ixgbe_driver.h"
+#include "src/obs/metrics.h"
+#include "src/verif/trace_gen.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace bench {
+namespace {
+
+constexpr VAddr kReqWindow = 0x200000;  // per-request mmap churn window
+constexpr std::uint32_t kReqWindowSlots = 32;
+constexpr std::uint32_t kNicRing = 512;
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// The i-th request's kernel work: map a page into the rotating window, then
+// unmap it — the "per-request buffer" pattern. Every call succeeds, so the
+// trace is identical no matter how it is checked.
+Syscall RequestSyscall(std::uint64_t i) {
+  Syscall c;
+  VAddr va = kReqWindow + ((i >> 1) % kReqWindowSlots) * kPageSize4K;
+  if ((i & 1) == 0) {
+    c.op = SysOp::kMmap;
+    c.va_range = VaRange{va, 1, PageSize::k4K};
+    c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+  } else {
+    c.op = SysOp::kMunmap;
+    c.va_range = VaRange{va, 1, PageSize::k4K};
+  }
+  return c;
+}
+
+Syscall AsSubmit(std::uint64_t ring, const Syscall& inner, std::uint64_t user_data) {
+  Syscall c = inner;
+  c.op = SysOp::kRingSubmit;
+  c.ring_id = ring;
+  c.ring_op = inner.op;
+  c.ring_user_data = user_data;
+  return c;
+}
+
+Syscall RingEnterCall(std::uint64_t ring) {
+  Syscall c;
+  c.op = SysOp::kRingEnter;
+  c.ring_id = ring;
+  return c;
+}
+
+std::uint64_t SetupRing(RefinementChecker* checker, ThrdPtr t, std::uint32_t batch) {
+  Syscall setup;
+  setup.op = SysOp::kRingSetup;
+  setup.ring_entries = std::min<std::uint32_t>(
+      kMaxRingEntries, std::max<std::uint32_t>(8, std::bit_ceil(batch)));
+  SyscallRet ret = checker->Step(t, setup);
+  ATMO_CHECK(ret.ok(), "end-to-end ring setup failed");
+  return ret.value;
+}
+
+Maglev MakeLb() {
+  Maglev lb(65537);
+  for (int i = 0; i < 8; ++i) {
+    MaglevBackend backend;
+    backend.name = "backend-" + std::to_string(i);
+    backend.mac = MacAddr{0x02, 0, 0, 0, 0x20, static_cast<std::uint8_t>(i)};
+    backend.ip = 0x0a020000u + static_cast<std::uint32_t>(i);
+    lb.AddBackend(backend);
+  }
+  lb.Populate();
+  return lb;
+}
+
+// One ingress frame per simulated client, generated on the fly (a 2^20
+// frame pool would be gigabytes; generation cost is identical across the
+// measured configurations so the comparison stays fair). Even clients speak
+// HTTP to port 80, odd clients speak the kv protocol to port 7.
+class ClientGen {
+ public:
+  explicit ClientGen(std::uint32_t clients_log2)
+      : mask_((1ull << clients_log2) - 1) {}
+
+  PacketSource AsSource() {
+    return [this](std::uint8_t* buf) -> std::size_t {
+      std::uint64_t c = next_++ & mask_;
+      FiveTuple flow{.src_ip = 0x0b000000u + static_cast<std::uint32_t>(c >> 16),
+                     .dst_ip = 0x0a0000feu,
+                     .src_port = static_cast<std::uint16_t>(c),
+                     .dst_port = static_cast<std::uint16_t>((c & 1) ? 7 : 80)};
+      std::uint8_t payload[128];
+      std::size_t payload_len;
+      if (c & 1) {
+        char key[16];
+        int klen = std::snprintf(key, sizeof(key), "k%llu",
+                                 static_cast<unsigned long long>(c & 0xfff));
+        payload_len = KvStore::BuildRequest(
+            payload, (c & 2) ? kKvSet : kKvGet, std::string_view(key, klen),
+            (c & 2) ? std::string_view("v0123456789abcdef") : std::string_view());
+      } else {
+        const char* path = (c & 2) ? "/" : "/index.html";
+        int n = std::snprintf(reinterpret_cast<char*>(payload), sizeof(payload),
+                              "GET %s HTTP/1.1\r\nHost: c%llu\r\n\r\n", path,
+                              static_cast<unsigned long long>(c & 0xffff));
+        payload_len = static_cast<std::size_t>(n);
+      }
+      MacAddr src{0x02, 0, 0, 0, 0, 0x01};
+      MacAddr dst{0x02, 0, 0, 0, 0, 0x02};
+      return BuildUdpFrame(buf, src, dst, flow, payload, payload_len);
+    };
+  }
+
+ private:
+  std::uint64_t mask_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace
+
+E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options) {
+  // The verified kernel under trace-scale refinement checking. TraceFixture
+  // boots the standard 2-process/3-thread machine; thrds[0] is the server
+  // thread whose per-request kernel work is measured.
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, options.checker);
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = 0;
+  if (options.batch > 0) {
+    ring = SetupRing(&checker, t, options.batch);
+  }
+
+  // The data path: simulated NIC + polled driver + Maglev + both backends.
+  Machine m;
+  ClientGen clients(options.clients_log2);
+  m.nic.SetPacketSource(clients.AsSource());
+  m.nic.SetPacketSink([](const std::uint8_t*, std::size_t) {});
+  IxgbeDriver driver(&m.arena, &m.nic, kNicRing);
+  driver.Init();
+  Maglev lb = MakeLb();
+  Httpd httpd;
+  httpd.AddPage("/", "text/html", std::string(256, 'x'));
+  httpd.AddPage("/index.html", "text/html", std::string(512, 'y'));
+  KvStore store(1 << 14);
+
+  E2EResult result;
+  obs::Histogram latency;
+  std::vector<std::uint64_t> pending_ts;  // batched: submit time per entry
+  pending_ts.reserve(options.batch);
+  std::vector<RingCqEntry> cqes(std::max<std::uint32_t>(options.batch, 1));
+  std::uint64_t done = 0;
+  std::uint8_t frame[kMaxFrameLen];
+  std::uint8_t resp[2048];
+  std::uint8_t out_frame[kMaxFrameLen];
+  MacAddr my_mac{0x02, 0, 0, 0, 0, 0x02};
+
+  auto drain_batch = [&] {
+    SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+    ATMO_CHECK(enter.ok(), "end-to-end batch drain failed");
+    ATMO_CHECK(enter.value == pending_ts.size(), "end-to-end drain came up short");
+    std::size_t reaped = f.kernel.RingReap(t, ring, cqes.data(), cqes.size());
+    ATMO_CHECK(reaped == pending_ts.size(), "end-to-end reap came up short");
+    for (std::size_t i = 0; i < reaped; ++i) {
+      ATMO_CHECK(cqes[i].ret.ok(), "end-to-end inner syscall failed");
+    }
+    std::uint64_t now = NowNs();
+    for (std::uint64_t ts : pending_ts) {
+      latency.Observe(now - ts);
+    }
+    result.inner_syscalls += pending_ts.size();
+    pending_ts.clear();
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  while (done < options.requests) {
+    m.nic.DeliverRx(32);
+    driver.RxBurstInPlace(
+        [&](VAddr iova, std::uint16_t len) {
+          if (done >= options.requests) {
+            return;
+          }
+          std::uint64_t t0 = NowNs();
+          m.arena.Read(iova, frame, len);
+          auto parsed = ParseUdpFrame(frame, len);
+          if (!parsed.has_value() || lb.Lookup(parsed->flow) < 0) {
+            return;
+          }
+          // Application work on the chosen backend.
+          std::size_t rlen;
+          if (parsed->flow.dst_port == 80) {
+            rlen = httpd.HandleRequest(parsed->payload, parsed->payload_len, resp,
+                                       sizeof(resp));
+            ++result.httpd_responses;
+          } else {
+            rlen = store.HandleRequest(parsed->payload, parsed->payload_len, resp);
+            ++result.kv_responses;
+          }
+          FiveTuple reply{.src_ip = parsed->flow.dst_ip, .dst_ip = parsed->flow.src_ip,
+                          .src_port = parsed->flow.dst_port,
+                          .dst_port = parsed->flow.src_port};
+          std::size_t chunk = std::min<std::size_t>(rlen, 1400);
+          std::size_t flen =
+              BuildUdpFrame(out_frame, my_mac, parsed->src_mac, reply, resp, chunk);
+          TxFrame tx{out_frame, static_cast<std::uint16_t>(flen)};
+          driver.TxBurst(&tx, 1);
+
+          // The request's kernel work, certified per-call or batched.
+          Syscall call = RequestSyscall(done);
+          if (options.batch == 0) {
+            SyscallRet ret = checker.Step(t, call);
+            ATMO_CHECK(ret.ok(), "end-to-end per-call syscall failed");
+            ++result.inner_syscalls;
+            latency.Observe(NowNs() - t0);
+          } else {
+            Syscall submit = AsSubmit(ring, call, done);
+            SyscallRet s = options.shm_submit ? f.kernel.RingPushDirect(t, submit)
+                                              : checker.Step(t, submit);
+            ATMO_CHECK(s.ok(), "end-to-end ring submit failed");
+            pending_ts.push_back(t0);
+            if (pending_ts.size() >= options.batch) {
+              drain_batch();
+            }
+          }
+          ++done;
+        },
+        32);
+    m.nic.ProcessTx(32);
+  }
+  if (!pending_ts.empty()) {
+    drain_batch();
+  }
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  result.row.config = config_name;
+  result.row.ops = done;
+  result.row.wall_seconds = wall;
+  result.row.ops_per_sec = wall > 0 ? static_cast<double>(done) / wall : 0.0;
+  result.checked_syscalls_per_sec =
+      wall > 0 ? static_cast<double>(result.inner_syscalls) / wall : 0.0;
+  result.p50_ns = latency.Percentile(0.50);
+  result.p99_ns = latency.Percentile(0.99);
+  result.batch_drains = checker.stats().batch_drains;
+  // The harness only reaches this point if every checked transition passed
+  // (a violation aborts); the final total_wf seals the run.
+  result.all_ok = f.kernel.TotalWf().ok;
+  return result;
+}
+
+double CheckedSyscallRate(std::uint64_t ops, std::uint32_t batch, CheckStats* stats_out) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, RefinementChecker::Options{.check_wf_every = 64,
+                                                                  .audit_every = 256,
+                                                                  .incremental = true});
+  ThrdPtr t = f.thrds[0];
+  std::uint64_t ring = 0;
+  std::vector<RingCqEntry> cqes(std::max<std::uint32_t>(batch, 1));
+  if (batch > 0) {
+    ring = SetupRing(&checker, t, batch);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  if (batch == 0) {
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      SyscallRet ret = checker.Step(t, RequestSyscall(i));
+      ATMO_CHECK(ret.ok(), "per-call trace syscall failed");
+    }
+  } else {
+    std::uint64_t i = 0;
+    while (i < ops) {
+      std::uint64_t n = std::min<std::uint64_t>(batch, ops - i);
+      for (std::uint64_t j = 0; j < n; ++j, ++i) {
+        SyscallRet s = f.kernel.RingPushDirect(t, AsSubmit(ring, RequestSyscall(i), i));
+        ATMO_CHECK(s.ok(), "trace ring submit failed");
+      }
+      SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+      ATMO_CHECK(enter.ok() && enter.value == n, "trace batch drain failed");
+      std::size_t reaped = f.kernel.RingReap(t, ring, cqes.data(), cqes.size());
+      ATMO_CHECK(reaped == n, "trace reap came up short");
+    }
+  }
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  if (stats_out != nullptr) {
+    *stats_out = checker.stats();
+  }
+  return wall > 0 ? static_cast<double>(ops) / wall : 0.0;
+}
+
+}  // namespace bench
+}  // namespace atmo

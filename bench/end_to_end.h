@@ -1,0 +1,69 @@
+// End-to-end load harness: ~10^6 simulated clients driven through a Maglev
+// load balancer into httpd/kv-store backends over the simulated NIC, with
+// every request paying one verified kernel syscall — either per-call checked
+// (one RefinementChecker::Step per request) or batched through a syscall
+// ring (SQ entries pushed via the shared-memory fast path, one checked
+// kRingEnter transition per batch; DESIGN.md §13).
+//
+// Shared by bench/bench_end_to_end.cc (the measured Figure-style bench with
+// the BENCH_end_to_end.json summary and the >=5x amortization gate) and
+// examples/load_driver.cpp (the narrative walkthrough at friendlier scale).
+
+#ifndef ATMO_BENCH_END_TO_END_H_
+#define ATMO_BENCH_END_TO_END_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bench/pipeline.h"
+#include "src/verif/refinement_checker.h"
+
+namespace atmo {
+namespace bench {
+
+struct E2EOptions {
+  std::uint64_t requests = 100000;
+  // Distinct client 5-tuples generated round-robin (2^20 ~= a million).
+  std::uint32_t clients_log2 = 20;
+  // 0 = per-call checking (one checker.Step per request); otherwise the
+  // number of requests drained per checked kRingEnter transition.
+  std::uint32_t batch = 0;
+  // true: SQ entries arrive via Kernel::RingPushDirect (the shared-memory
+  // io_uring fast path — no kernel transition per submit). false: each
+  // submit is its own checked kRingSubmit syscall.
+  bool shm_submit = true;
+  // Trace-scale checking: sampled total_wf, periodic full-Ψ audit.
+  RefinementChecker::Options checker{.check_wf_every = 64, .audit_every = 256,
+                                     .incremental = true};
+};
+
+struct E2EResult {
+  Row row;  // config name, requests completed, req/s, wall seconds
+  // Kernel syscalls executed on behalf of requests (inner calls for the
+  // batched configs) and the rate the checker certified them at.
+  std::uint64_t inner_syscalls = 0;
+  double checked_syscalls_per_sec = 0.0;
+  // Request latency: ingestion -> the request's kernel work is certified
+  // (per-call: its Step returns; batched: its batch's drain completes, so
+  // queueing delay is included). Bucketed obs::Histogram percentiles.
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t httpd_responses = 0;
+  std::uint64_t kv_responses = 0;
+  std::uint64_t batch_drains = 0;
+  bool all_ok = false;
+};
+
+E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options);
+
+// Syscall-only amortization microbench: the same rotating mmap/munmap trace
+// checked per-call (batch = 0) or through shared-memory-submitted ring
+// batches. Returns certified inner-syscalls per second — the number the
+// >=5x batched-vs-per-call gate compares.
+double CheckedSyscallRate(std::uint64_t ops, std::uint32_t batch,
+                          CheckStats* stats_out = nullptr);
+
+}  // namespace bench
+}  // namespace atmo
+
+#endif  // ATMO_BENCH_END_TO_END_H_

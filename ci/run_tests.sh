@@ -100,6 +100,49 @@ if not report.get("all_ok"):
 print(f'table3 gate OK ({len(report["ops"])} ops, quick={report["quick"]})')
 EOF
 
+echo "=== end-to-end throughput floors (quick mode) ==="
+# The batched-syscall-ring bench must clear the absolute floors in
+# ci/perf_floors.json: end-to-end req/s per config, the batched
+# checked-syscalls/s rate, and the batched-vs-per-call amortization ratio.
+# Floors sit at ~10% of measured quick-mode numbers, so tripping one means
+# an order-of-magnitude regression (e.g. batching silently degraded to
+# per-call checking), not host noise.
+ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_end_to_end
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_end_to_end.json") as f:
+    report = json.load(f)
+floors = json.load(open("ci/perf_floors.json"))["end_to_end"]
+
+failures = []
+rates = {c["config"]: c["req_per_sec"] for c in report["configs"]}
+for config, floor in floors["req_per_sec"].items():
+    got = rates.get(config)
+    if got is None:
+        failures.append(f"config {config!r} missing from BENCH_end_to_end.json")
+    elif got < floor:
+        failures.append(f"{config}: {got:.0f} req/s < floor {floor}")
+
+batched = report["batched_checked_syscalls_per_sec"]
+if batched < floors["batched_checked_syscalls_per_sec"]:
+    failures.append(f"batched checked-syscalls/s {batched:.0f} < floor "
+                    f'{floors["batched_checked_syscalls_per_sec"]}')
+speedup = report["batched_vs_percall_speedup"]
+if speedup < floors["min_speedup_batched_vs_percall"]:
+    failures.append(f"batched/percall amortization {speedup:.2f}x < "
+                    f'{floors["min_speedup_batched_vs_percall"]}x')
+if not report["all_ok"]:
+    failures.append("a configuration finished with total_wf not ok")
+
+for f_ in failures:
+    print(f"  FLOOR VIOLATION: {f_}", file=sys.stderr)
+if failures:
+    sys.exit("bench_end_to_end: throughput floor gate failed")
+print(f"end-to-end floors OK (batched {batched:.0f} checked sys/s, "
+      f"{speedup:.1f}x amortization, quick={report['quick']})")
+EOF
+
 echo "=== obs smoke (traced sweep + exporter validation) ==="
 # A tiny traced sweep with an injected refinement failure must produce
 # (a) a Perfetto-loadable Chrome trace, (b) a metrics snapshot, and (c) a

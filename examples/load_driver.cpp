@@ -1,0 +1,67 @@
+// Load driver: a million simulated clients against a verified kernel.
+//
+// The end-to-end story of DESIGN.md §13 at walkthrough scale: 2^20 distinct
+// client flows are generated on the simulated NIC, pulled through the ixgbe
+// driver, load-balanced by Maglev into the httpd and kv-store backends, and
+// every request pays one kernel syscall that the refinement checker
+// certifies against the Atmosphere spec — first per call, then batched
+// through a syscall ring where one checked kRingEnter transition covers a
+// whole batch.
+//
+//   $ ./build/examples/load_driver            # ~60k requests per config
+//   $ ./build/examples/load_driver 200000     # pick your own request count
+//
+// The full-scale measured version of this pipeline is
+// bench/bench_end_to_end.cc (emits BENCH_end_to_end.json and enforces the
+// >=5x amortization gate).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/end_to_end.h"
+
+using namespace atmo::bench;
+
+int main(int argc, char** argv) {
+  std::uint64_t requests = 60000;
+  if (argc > 1) {
+    requests = std::strtoull(argv[1], nullptr, 10);
+  }
+
+  std::printf("== Load driver: 2^20 clients -> Maglev -> httpd/kv-store ==\n\n");
+  std::printf("every request: NIC rx -> parse -> Maglev lookup -> backend\n");
+  std::printf("response -> NIC tx, plus one refinement-checked kernel syscall\n\n");
+
+  auto show = [](const char* how, const E2EResult& r) {
+    std::printf("%-28s %9.0f req/s  %9.0f checked sys/s  p50 %6llu ns  p99 %7llu ns\n",
+                how, r.row.ops_per_sec, r.checked_syscalls_per_sec,
+                static_cast<unsigned long long>(r.p50_ns),
+                static_cast<unsigned long long>(r.p99_ns));
+    std::printf("%-28s %llu httpd + %llu kv responses, %llu batch drains, wf %s\n\n", "",
+                static_cast<unsigned long long>(r.httpd_responses),
+                static_cast<unsigned long long>(r.kv_responses),
+                static_cast<unsigned long long>(r.batch_drains),
+                r.all_ok ? "ok" : "NOT OK");
+  };
+
+  // Per-call: every request's syscall is its own checked transition.
+  E2EOptions percall;
+  percall.requests = requests / 4;  // the slow path; keep the walkthrough snappy
+  percall.batch = 0;
+  E2EResult base = RunEndToEnd("percall", percall);
+  show("per-call checking:", base);
+
+  // Batched: submissions ride the shared-memory SQ; one checked kRingEnter
+  // per 64 requests certifies the whole batch.
+  E2EOptions batched;
+  batched.requests = requests;
+  batched.batch = 64;
+  E2EResult ring = RunEndToEnd("batched-b64", batched);
+  show("ring-batched (b=64):", ring);
+
+  if (base.checked_syscalls_per_sec > 0) {
+    std::printf("batching amortized the checker %.1fx\n",
+                ring.checked_syscalls_per_sec / base.checked_syscalls_per_sec);
+  }
+  return base.all_ok && ring.all_ok ? 0 : 1;
+}

@@ -53,6 +53,12 @@ const char* SysOpName(SysOp op) {
       return "iommu_map_dma";
     case SysOp::kIommuUnmapDma:
       return "iommu_unmap_dma";
+    case SysOp::kRingSetup:
+      return "ring_setup";
+    case SysOp::kRingSubmit:
+      return "ring_submit";
+    case SysOp::kRingEnter:
+      return "ring_enter";
   }
   return "?";
 }
@@ -221,6 +227,12 @@ SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
       return SysIommuMapDma(t, call);
     case SysOp::kIommuUnmapDma:
       return SysIommuUnmapDma(t, call);
+    case SysOp::kRingSetup:
+      return SysRingSetup(t, call);
+    case SysOp::kRingSubmit:
+      return SysRingSubmit(t, call);
+    case SysOp::kRingEnter:
+      return ExecBatch(t, call);
   }
   return Err(SysError::kInvalid);
 }
@@ -926,6 +938,111 @@ SyscallRet Kernel::SysIommuUnmapDma(ThrdPtr t, const Syscall& call) {
 }
 
 // ---------------------------------------------------------------------------
+// Syscall rings (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+SyscallRet Kernel::SysRingSetup(ThrdPtr t, const Syscall& call) {
+  if (!RingCapacityValid(call.ring_entries)) {
+    return Err(SysError::kInvalid);
+  }
+  if (rings_.Count() >= SyscallRingTable::kCapacity) {
+    return Err(SysError::kCapacity);
+  }
+  const Thread& thread = pm_.GetThread(t);
+  std::uint64_t id =
+      rings_.Setup(t, thread.owning_proc, thread.owning_ctnr, call.ring_entries, call.ring_flags);
+  ATMO_CHECK(id != 0, "pre-validated ring setup failed");
+  return Ok(id);
+}
+
+SyscallRet Kernel::SysRingSubmit(ThrdPtr t, const Syscall& call) {
+  if (!rings_.Exists(call.ring_id)) {
+    return Err(SysError::kInvalid);
+  }
+  const SyscallRing& ring = rings_.Get(call.ring_id);
+  if (ring.owner() != t) {
+    return Err(SysError::kDenied);
+  }
+  if (!RingSubmittable(call.ring_op)) {
+    return Err(SysError::kInvalid);
+  }
+  if (ring.SqFull()) {
+    return Err(SysError::kCapacity);
+  }
+  bool pushed = rings_.SqPush(call.ring_id, RingSqEntry{RingInnerCall(call), call.ring_user_data});
+  ATMO_CHECK(pushed, "pre-validated ring submit failed");
+  return Ok(ring.SqSize());
+}
+
+SyscallRet Kernel::RingPushDirect(ThrdPtr t, const Syscall& submit) {
+  return SysRingSubmit(t, submit);
+}
+
+std::size_t Kernel::RingReap(ThrdPtr t, std::uint64_t ring_id, RingCqEntry* out, std::size_t max) {
+  if (!rings_.Exists(ring_id) || rings_.Get(ring_id).owner() != t) {
+    return 0;
+  }
+  std::size_t n = 0;
+  while (n < max && rings_.CqPop(ring_id, &out[n])) {
+    ++n;
+  }
+  return n;
+}
+
+SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call) {
+  ATMO_CHECK(pm_.current() == t, "ExecBatch caller is not the current thread");
+  if (!rings_.Exists(call.ring_id)) {
+    return Err(SysError::kInvalid);
+  }
+  {
+    const SyscallRing& ring = rings_.Get(call.ring_id);
+    if (ring.owner() != t) {
+      return Err(SysError::kDenied);
+    }
+  }
+  // Effective drain count: bounded by the SQ depth, the CQ's free space and
+  // the caller's budget. An oversized batch is split — the remainder stays
+  // queued for the next kRingEnter.
+  std::uint64_t n;
+  bool atomic;
+  {
+    const SyscallRing& ring = rings_.Get(call.ring_id);
+    n = ring.SqSize();
+    std::uint64_t cq_free = ring.capacity() - ring.CqSize();
+    n = std::min(n, cq_free);
+    if (call.ring_budget != 0) {
+      n = std::min<std::uint64_t>(n, call.ring_budget);
+    }
+    atomic = ring.atomic();
+  }
+  // Batch-level failure atomicity (kRingDrainAtomic): snapshot the whole
+  // kernel and restore it if any entry fails. The restored clone has fresh
+  // (empty) dirty logs, which is exactly right under the checker's
+  // drain-at-every-capture discipline: the batch's net mutation is zero
+  // relative to the last drain. (Callers maintaining external delta
+  // snapshots without the checker must treat a kWouldFault drain as a full
+  // rebuild point — see DESIGN.md §13.)
+  std::optional<Kernel> snapshot;
+  if (atomic && n > 0) {
+    snapshot = CloneForVerification();
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RingSqEntry entry;
+    bool popped = rings_.SqPop(call.ring_id, &entry);
+    ATMO_CHECK(popped, "ring SQ drained out from under the batch");
+    SyscallRet ret = Exec(t, entry.call);
+    ATMO_CHECK(ret.error != SysError::kBlocked, "submittable op blocked inside a batch");
+    if (atomic && !ret.ok()) {
+      *this = std::move(*snapshot);
+      return Err(SysError::kWouldFault);
+    }
+    bool completed = rings_.CqPush(call.ring_id, RingCqEntry{entry.user_data, ret});
+    ATMO_CHECK(completed, "ring CQ filled up inside a sized batch");
+  }
+  return Ok(n);
+}
+
+// ---------------------------------------------------------------------------
 // Verification surface
 // ---------------------------------------------------------------------------
 
@@ -990,6 +1107,22 @@ AbsIommuDomain AbstractIommuDomain(const IommuManager& iommu, IommuDomainId id,
   return ad;
 }
 
+AbsSyscallRing AbstractRing(const SyscallRing& r) {
+  AbsSyscallRing ar;
+  ar.owner = r.owner();
+  ar.owner_proc = r.owner_proc();
+  ar.owner_ctnr = r.owner_ctnr();
+  ar.capacity = r.capacity();
+  ar.flags = r.flags();
+  for (std::size_t i = 0; i < r.SqSize(); ++i) {
+    ar.sq.append(r.SqAt(i));
+  }
+  for (std::size_t i = 0; i < r.CqSize(); ++i) {
+    ar.cq.append(r.CqAt(i));
+  }
+  return ar;
+}
+
 SpecSeq<ThrdPtr> RunQueueView(const ProcessManager& pm) {
   SpecSeq<ThrdPtr> out;
   for (ThrdPtr t : pm.run_queue()) {
@@ -1050,6 +1183,10 @@ AbstractKernel Kernel::Abstract() const {
     a.iommu_domains.set(id, AbstractIommuDomain(iommu_, id, table));
   }
 
+  for (const auto& [id, ring] : rings_.rings()) {
+    a.rings.set(id, AbstractRing(ring));
+  }
+
   a.run_queue = RunQueueView(pm_);
   a.current = pm_.current();
   return a;
@@ -1061,6 +1198,7 @@ DirtySet Kernel::DrainDirty() {
   alloc_.DrainDirtyInto(&d.pages, &d.overflow);
   vm_.DrainDirtyInto(&d.spaces, &d.overflow);
   iommu_.DrainDirtyInto(&d.iommu_domains, &d.overflow);
+  rings_.DrainDirtyInto(&d.rings, &d.overflow);
   return d;
 }
 
@@ -1161,6 +1299,14 @@ AbstractKernel Kernel::AbstractDelta(const AbstractKernel& base, const DirtySet&
     }
   }
 
+  for (std::uint64_t id : dirty.rings) {
+    if (rings_.Exists(id)) {
+      SetIfChanged(&a.rings, id, AbstractRing(rings_.Get(id)));
+    } else {
+      a.rings.erase(id);
+    }
+  }
+
   if (dirty.scheduler) {
     SpecSeq<ThrdPtr> rq = RunQueueView(pm_);
     if (!(rq == a.run_queue)) {
@@ -1229,6 +1375,9 @@ InvResult Kernel::TotalWf() const {
   if (!iommu_.Wf()) {
     return InvResult::Fail("IOMMU subsystem ill-formed");
   }
+  if (!rings_.Wf()) {
+    return InvResult::Fail("syscall-ring table ill-formed");
+  }
   // Page-table refinement for every address space.
   for (const auto& [proc, table] : vm_.tables()) {
     RefinementReport flat = FlatRefinementCheck(table, *mem_);
@@ -1251,6 +1400,7 @@ Kernel Kernel::CloneForVerification() const {
   out.pm_ = pm_.CloneForVerification();
   out.vm_ = vm_.CloneForVerification(out.mem_.get());
   out.iommu_ = iommu_.CloneForVerification(out.mem_.get());
+  out.rings_ = rings_.CloneForVerification();
   return out;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/core/syscall.h"
+#include "src/core/syscall_ring.h"
 #include "src/core/vm_manager.h"
 #include "src/hw/mmu.h"
 #include "src/hw/phys_mem.h"
@@ -51,6 +52,23 @@ class Kernel {
   // Dispatch + Exec.
   SyscallRet Step(ThrdPtr t, const Syscall& call);
 
+  // --- Syscall rings (DESIGN.md §13) ---
+  // Drains up to `call.ring_budget` entries (0 = no limit) from a ring's SQ
+  // and executes them back-to-back; the kRingEnter case of Exec lands here.
+  // One call is ONE checked transition covering the whole batch — that is
+  // the amortization. On a kRingDrainAtomic ring, any failing entry rolls
+  // the entire batch back (Ψ' == Ψ, SQ retained) and returns kWouldFault.
+  SyscallRet ExecBatch(ThrdPtr t, const Syscall& call);
+  // Shared-memory submission fast path: the same validation and SQ push as
+  // SysOp::kRingSubmit without a syscall transition, modelling user space
+  // writing an SQE into the mapped SQ (io_uring's submission model). The
+  // mutation lands in the ring dirty log and is absorbed at the checker's
+  // next capture, like any other external mutation (e.g. TakeInbound).
+  SyscallRet RingPushDirect(ThrdPtr t, const Syscall& submit);
+  // Pops up to `max` completions (modelling user space reading the mapped
+  // CQ). Returns the number written to `out`; 0 on a foreign/unknown ring.
+  std::size_t RingReap(ThrdPtr t, std::uint64_t ring_id, RingCqEntry* out, std::size_t max);
+
   // Message delivered to a blocked-then-woken thread, readable on resume
   // (modelling the thread's registers/IPC buffer after the kernel returns).
   // Clears the inbound flag.
@@ -73,6 +91,7 @@ class Kernel {
   const VmManager& vm() const { return vm_; }
   const IommuManager& iommu() const { return iommu_; }
   IommuManager& iommu_mut() { return iommu_; }
+  const SyscallRingTable& rings() const { return rings_; }
   const Mmu& mmu() const { return mmu_; }
   CtnrPtr root_container() const { return pm_.root_container(); }
   // Mutable access for the verification harness and failure-injection
@@ -126,6 +145,8 @@ class Kernel {
   SyscallRet SysIommuDetachDevice(ThrdPtr t, const Syscall& call);
   SyscallRet SysIommuMapDma(ThrdPtr t, const Syscall& call);
   SyscallRet SysIommuUnmapDma(ThrdPtr t, const Syscall& call);
+  SyscallRet SysRingSetup(ThrdPtr t, const Syscall& call);
+  SyscallRet SysRingSubmit(ThrdPtr t, const Syscall& call);
 
   // Resolves sender-side grant references in `payload` into physical object
   // pointers; validates authority. Returns nullopt + error on failure.
@@ -151,6 +172,7 @@ class Kernel {
   ProcessManager pm_;
   VmManager vm_{nullptr};
   IommuManager iommu_{nullptr};
+  SyscallRingTable rings_;
 };
 
 }  // namespace atmo

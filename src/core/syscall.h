@@ -37,6 +37,9 @@ enum class SysOp : std::uint8_t {
   kIommuDetachDevice,
   kIommuMapDma,
   kIommuUnmapDma,
+  kRingSetup,   // create a submission/completion ring owned by the caller
+  kRingSubmit,  // enqueue one deferred syscall onto a ring's SQ
+  kRingEnter,   // drain the SQ: execute entries back-to-back, fill the CQ
 };
 
 const char* SysOpName(SysOp op);
@@ -87,6 +90,20 @@ struct Syscall {
   std::uint32_t device = 0;
   VAddr iova = 0;
   VAddr dma_va = 0;  // caller VA of the page to expose to the device
+
+  // Syscall rings (kRingSetup / kRingSubmit / kRingEnter). A submitted entry
+  // reuses this same register file for the deferred call's arguments:
+  // `ring_op` names the inner op and the kernel rewrites `op := ring_op`
+  // (clearing the ring fields) when the entry is drained — see
+  // RingInnerCall() in src/core/syscall_ring.h.
+  std::uint64_t ring_id = 0;        // kRingSubmit / kRingEnter: target ring
+  std::uint32_t ring_entries = 0;   // kRingSetup: SQ/CQ capacity (power of two)
+  std::uint32_t ring_flags = 0;     // kRingSetup: RingFlags bits
+  SysOp ring_op = SysOp::kYield;    // kRingSubmit: the deferred op
+  std::uint64_t ring_user_data = 0; // kRingSubmit: echoed in the completion
+  std::uint32_t ring_budget = 0;    // kRingEnter: max entries (0 = no limit)
+
+  friend bool operator==(const Syscall&, const Syscall&) = default;
 };
 
 enum class SysError : std::uint8_t {

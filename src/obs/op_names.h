@@ -60,6 +60,12 @@ constexpr const char* TraceOpLabel(SysOp op) {
       return "sys.iommu_map_dma";
     case SysOp::kIommuUnmapDma:
       return "sys.iommu_unmap_dma";
+    case SysOp::kRingSetup:
+      return "sys.ring_setup";
+    case SysOp::kRingSubmit:
+      return "sys.ring_submit";
+    case SysOp::kRingEnter:
+      return "sys.ring_enter";
   }
   return "sys.unknown";
 }

@@ -21,6 +21,7 @@ bool ReturnsObjectPointer(SysOp op) {
     case SysOp::kNewThread:
     case SysOp::kNewEndpoint:
     case SysOp::kIommuCreateDomain:
+    case SysOp::kRingSetup:  // fresh ring id: global-counter shaped
       return true;
     case SysOp::kYield:
     case SysOp::kMmap:
@@ -37,6 +38,8 @@ bool ReturnsObjectPointer(SysOp op) {
     case SysOp::kIommuDetachDevice:
     case SysOp::kIommuMapDma:
     case SysOp::kIommuUnmapDma:
+    case SysOp::kRingSubmit:
+    case SysOp::kRingEnter:
       return false;
   }
   return false;

@@ -17,6 +17,7 @@
 #include <array>
 #include <cstdint>
 
+#include "src/core/syscall_ring.h"
 #include "src/ipc/message.h"
 #include "src/pmem/page_allocator.h"
 #include "src/proc/objects.h"
@@ -90,6 +91,21 @@ struct AbsIommuDomain {
   friend bool operator==(const AbsIommuDomain&, const AbsIommuDomain&) = default;
 };
 
+// A syscall ring's abstract view: the SQ and CQ as plain sequences in FIFO
+// order (oldest first) — the concrete head/tail indices and slot layout are
+// implementation detail the abstraction erases.
+struct AbsSyscallRing {
+  ThrdPtr owner = kNullPtr;
+  ProcPtr owner_proc = kNullPtr;
+  CtnrPtr owner_ctnr = kNullPtr;
+  std::uint32_t capacity = 0;
+  std::uint32_t flags = 0;
+  SpecSeq<RingSqEntry> sq;
+  SpecSeq<RingCqEntry> cq;
+
+  friend bool operator==(const AbsSyscallRing&, const AbsSyscallRing&) = default;
+};
+
 struct AbstractKernel {
   CtnrPtr root_container = kNullPtr;
   SpecMap<CtnrPtr, AbsContainer> containers;
@@ -107,6 +123,8 @@ struct AbstractKernel {
   SpecSet<PagePtr> free_pages_1g;
   // IOMMU view.
   SpecMap<std::uint64_t, AbsIommuDomain> iommu_domains;
+  // Syscall rings.
+  SpecMap<std::uint64_t, AbsSyscallRing> rings;
   // Scheduler.
   SpecSeq<ThrdPtr> run_queue;
   ThrdPtr current = kNullPtr;
@@ -123,6 +141,7 @@ struct AbstractKernel {
   const AbsProcess& get_proc(ProcPtr p) const { return procs.at(p); }
   const AbsContainer& get_cntr(CtnrPtr c) const { return containers.at(c); }
   const AbsEndpoint& get_endpoint(EdptPtr e) const { return endpoints.at(e); }
+  const AbsSyscallRing& get_ring(std::uint64_t id) const { return rings.at(id); }
   const SpecMap<VAddr, MapEntry>& get_address_space(ProcPtr p) const {
     return address_spaces.at(p);
   }

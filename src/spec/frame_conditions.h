@@ -68,6 +68,11 @@ inline bool IommuUnchanged(const AbstractKernel& pre, const AbstractKernel& post
   return pre.iommu_domains == post.iommu_domains;
 }
 
+inline bool RingsUnchangedExcept(const AbstractKernel& pre, const AbstractKernel& post,
+                                 const SpecSet<std::uint64_t>& touched) {
+  return MapUnchangedExcept(pre.rings, post.rings, touched);
+}
+
 inline bool SchedulerUnchanged(const AbstractKernel& pre, const AbstractKernel& post) {
   return pre.run_queue == post.run_queue && pre.current == post.current;
 }
@@ -106,7 +111,8 @@ inline bool OnlySchedulerChanged(const AbstractKernel& pre, const AbstractKernel
   return ContainersUnchangedExcept(pre, post, {}) && ProcsUnchangedExcept(pre, post, {}) &&
          EndpointsUnchangedExcept(pre, post, {}) &&
          AddressSpacesUnchangedExcept(pre, post, {}) && PagesUnchangedExcept(pre, post, {}) &&
-         IommuUnchanged(pre, post) && pre.free_pages_4k == post.free_pages_4k &&
+         IommuUnchanged(pre, post) && RingsUnchangedExcept(pre, post, {}) &&
+         pre.free_pages_4k == post.free_pages_4k &&
          pre.free_pages_2m == post.free_pages_2m && pre.free_pages_1g == post.free_pages_1g &&
          ThreadsTouchedOnlyInState(pre, post, state_touched);
 }

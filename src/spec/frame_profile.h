@@ -45,6 +45,7 @@ struct FrameProfile {
   bool pages = false;
   bool free_sets = false;
   bool iommu = false;
+  bool rings = false;
   bool scheduler = false;
 };
 
@@ -107,12 +108,25 @@ constexpr FrameProfile FrameProfileFor(SysOp op) {
       return {.containers = true, .pages = true, .free_sets = true, .iommu = true};
     case SysOp::kIommuUnmapDma:
       return {.containers = true, .pages = true, .free_sets = true, .iommu = true};
+    case SysOp::kRingSetup:
+      return {.rings = true};
+    case SysOp::kRingSubmit:
+      return {.rings = true};
+    case SysOp::kRingEnter:
+      // One checked transition covering a whole drained batch: the union of
+      // every submittable op's profile (everything but the scheduler-only
+      // bits kNewThread already brings in) plus the ring itself. This width
+      // is the amortization tradeoff — per-entry tightness is recovered by
+      // the differential oracle (tests/ring_batch_differential_test.cc).
+      return {.threads = true, .containers = true, .procs = true, .endpoints = true,
+              .address_spaces = true, .pages = true, .free_sets = true, .iommu = true,
+              .rings = true, .scheduler = true};
   }
   // Unreachable for in-range enumerators; a hostile cast lands on the
   // widest profile so the runtime check never under-approximates.
   return {.threads = true, .containers = true, .procs = true, .endpoints = true,
           .address_spaces = true, .pages = true, .free_sets = true, .iommu = true,
-          .scheduler = true};
+          .rings = true, .scheduler = true};
 }
 
 // Checks that every component NOT in `profile` is identical between `pre`
@@ -148,6 +162,9 @@ inline std::string FrameProfileViolation(const AbstractKernel& pre, const Abstra
   }
   if (!profile.iommu && !(pre.iommu_domains == post.iommu_domains)) {
     return "iommu";
+  }
+  if (!profile.rings && !(pre.rings == post.rings)) {
+    return "rings";
   }
   if (!profile.scheduler &&
       !(pre.run_queue == post.run_queue && pre.current == post.current)) {

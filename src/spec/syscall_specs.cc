@@ -1,8 +1,11 @@
 #include "src/spec/syscall_specs.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <vector>
+
+#include "src/core/syscall_ring.h"
 
 #include "src/spec/frame_conditions.h"
 
@@ -1166,9 +1169,166 @@ SpecResult IommuSpec(const AbstractKernel& pre, const AbstractKernel& post, Thrd
     case SysOp::kExit:
     case SysOp::kKillProcess:
     case SysOp::kKillContainer:
+    case SysOp::kRingSetup:
+    case SysOp::kRingSubmit:
+    case SysOp::kRingEnter:
       return Fail("not an IOMMU operation");
   }
   return Fail("not an IOMMU operation");
+}
+
+// ---------------------------------------------------------------------------
+// Syscall rings (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+SpecResult RingSetupSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                         const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  if (ret.error == SysError::kBlocked) {
+    return Fail("ring_setup never blocks");
+  }
+  std::uint64_t id = ret.value;
+  if (pre.rings.contains(id) || !post.rings.contains(id)) {
+    return Fail("new ring identity wrong");
+  }
+  if (!RingCapacityValid(call.ring_entries)) {
+    return Fail("ring created with an invalid capacity");
+  }
+  const AbsThread& thread = pre.get_thread(t);
+  const AbsSyscallRing& r = post.get_ring(id);
+  if (r.owner != t || r.owner_proc != thread.proc || r.owner_ctnr != thread.ctnr ||
+      r.capacity != call.ring_entries || r.flags != call.ring_flags || !r.sq.empty() ||
+      !r.cq.empty()) {
+    return Fail("new ring fields differ from the specification");
+  }
+  if (!RingsUnchangedExcept(pre, post, SpecSet<std::uint64_t>{id})) {
+    return Fail("ring_setup changed other rings");
+  }
+  // Rings are bounded kernel bookkeeping, not page-backed objects: no
+  // allocation, no quota charge, nothing else moves.
+  if (!ThreadsUnchangedExcept(pre, post, {}) || !ContainersUnchangedExcept(pre, post, {}) ||
+      !ProcsUnchangedExcept(pre, post, {}) || !EndpointsUnchangedExcept(pre, post, {}) ||
+      !AddressSpacesUnchangedExcept(pre, post, {}) || !PagesUnchangedExcept(pre, post, {}) ||
+      !(pre.free_pages_4k == post.free_pages_4k) ||
+      !(pre.free_pages_2m == post.free_pages_2m) ||
+      !(pre.free_pages_1g == post.free_pages_1g) || !IommuUnchanged(pre, post) ||
+      !SchedulerUnchanged(pre, post)) {
+    return Fail("ring_setup changed unrelated state");
+  }
+  return SpecResult{};
+}
+
+SpecResult RingSubmitSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                          const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  if (ret.error == SysError::kBlocked) {
+    return Fail("ring_submit never blocks");
+  }
+  if (!pre.rings.contains(call.ring_id) || !post.rings.contains(call.ring_id)) {
+    return Fail("submit succeeded on an unknown ring");
+  }
+  const AbsSyscallRing& pre_r = pre.get_ring(call.ring_id);
+  if (pre_r.owner != t) {
+    return Fail("submit succeeded on a foreign ring");
+  }
+  if (!RingSubmittable(call.ring_op)) {
+    return Fail("non-submittable op accepted onto a ring");
+  }
+  if (pre_r.sq.len() >= pre_r.capacity) {
+    return Fail("submit succeeded on a full SQ");
+  }
+  // The stored entry is exactly RingInnerCall(call) — the kernel and this
+  // spec share that rewrite, so what is executed at drain time cannot drift
+  // from what was submitted.
+  AbsSyscallRing expect = pre_r;
+  expect.sq = pre_r.sq.push(RingSqEntry{RingInnerCall(call), call.ring_user_data});
+  if (!(post.get_ring(call.ring_id) == expect) ||
+      !RingsUnchangedExcept(pre, post, SpecSet<std::uint64_t>{call.ring_id})) {
+    return Fail("SQ append differs from the specification");
+  }
+  if (ret.value != pre_r.sq.len() + 1) {
+    return Fail("submit return is not the new SQ depth");
+  }
+  if (!ThreadsUnchangedExcept(pre, post, {}) || !ContainersUnchangedExcept(pre, post, {}) ||
+      !ProcsUnchangedExcept(pre, post, {}) || !EndpointsUnchangedExcept(pre, post, {}) ||
+      !AddressSpacesUnchangedExcept(pre, post, {}) || !PagesUnchangedExcept(pre, post, {}) ||
+      !(pre.free_pages_4k == post.free_pages_4k) ||
+      !(pre.free_pages_2m == post.free_pages_2m) ||
+      !(pre.free_pages_1g == post.free_pages_1g) || !IommuUnchanged(pre, post) ||
+      !SchedulerUnchanged(pre, post)) {
+    return Fail("ring_submit changed unrelated state");
+  }
+  return SpecResult{};
+}
+
+SpecResult RingEnterSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                         const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;  // covers the kRingDrainAtomic rollback (kWouldFault)
+  }
+  if (ret.error == SysError::kBlocked) {
+    return Fail("ring_enter never blocks");
+  }
+  if (!pre.rings.contains(call.ring_id) || !post.rings.contains(call.ring_id)) {
+    return Fail("enter succeeded on an unknown ring");
+  }
+  const AbsSyscallRing& pre_r = pre.get_ring(call.ring_id);
+  const AbsSyscallRing& post_r = post.get_ring(call.ring_id);
+  if (pre_r.owner != t) {
+    return Fail("enter succeeded on a foreign ring");
+  }
+  // Output determinism: the drain count is a function of (Ψ, call) — the SQ
+  // depth clamped by the CQ's free space and the caller's budget. An
+  // oversized batch is split, never rejected; an empty SQ drains zero.
+  std::uint64_t n = pre_r.sq.len();
+  n = std::min<std::uint64_t>(n, pre_r.capacity - pre_r.cq.len());
+  if (call.ring_budget != 0) {
+    n = std::min<std::uint64_t>(n, call.ring_budget);
+  }
+  if (ret.value != n) {
+    return Fail("drain count differs from the specification");
+  }
+  if (!(post_r.sq == pre_r.sq.subrange(n, pre_r.sq.len()))) {
+    return Fail("retained SQ tail differs from the specification");
+  }
+  if (post_r.cq.len() != pre_r.cq.len() + n) {
+    return Fail("CQ growth differs from the drain count");
+  }
+  for (std::size_t i = 0; i < pre_r.cq.len(); ++i) {
+    if (!(post_r.cq.at(i) == pre_r.cq.at(i))) {
+      return Fail("enter rewrote already-queued completions");
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const RingCqEntry& cqe = post_r.cq.at(pre_r.cq.len() + i);
+    if (cqe.user_data != pre_r.sq.at(i).user_data) {
+      return Fail("completion order does not follow submission order");
+    }
+    if (cqe.ret.error == SysError::kBlocked) {
+      return Fail("a drained entry completed as blocked");
+    }
+  }
+  // The ring's identity fields never change across a drain.
+  AbsSyscallRing pre_shell = pre_r;
+  AbsSyscallRing post_shell = post_r;
+  pre_shell.sq = SpecSeq<RingSqEntry>{};
+  pre_shell.cq = SpecSeq<RingCqEntry>{};
+  post_shell.sq = SpecSeq<RingSqEntry>{};
+  post_shell.cq = SpecSeq<RingCqEntry>{};
+  if (!(pre_shell == post_shell)) {
+    return Fail("enter changed the ring's identity fields");
+  }
+  if (!RingsUnchangedExcept(pre, post, SpecSet<std::uint64_t>{call.ring_id})) {
+    return Fail("enter changed other rings");
+  }
+  // The drained entries' effects on the rest of Ψ are deliberately NOT
+  // restated here (see the header comment): the per-call path is the
+  // differential oracle for them.
+  return SpecResult{};
 }
 
 // ---------------------------------------------------------------------------
@@ -1222,6 +1382,12 @@ SpecResult SyscallSpec(const AbstractKernel& pre, const AbstractKernel& post, Th
     case SysOp::kIommuMapDma:
     case SysOp::kIommuUnmapDma:
       return IommuSpec(pre, post, t, call, ret);
+    case SysOp::kRingSetup:
+      return RingSetupSpec(pre, post, t, call, ret);
+    case SysOp::kRingSubmit:
+      return RingSubmitSpec(pre, post, t, call, ret);
+    case SysOp::kRingEnter:
+      return RingEnterSpec(pre, post, t, call, ret);
   }
   return Fail("unknown syscall");
 }

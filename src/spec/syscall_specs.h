@@ -69,6 +69,18 @@ SpecResult KillContainerSpec(const AbstractKernel& pre, const AbstractKernel& po
                              const Syscall& call, const SyscallRet& ret);
 SpecResult IommuSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
                      const Syscall& call, const SyscallRet& ret);
+SpecResult RingSetupSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                         const Syscall& call, const SyscallRet& ret);
+SpecResult RingSubmitSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                          const Syscall& call, const SyscallRet& ret);
+// One kRingEnter is ONE checked transition covering the whole drained batch.
+// The spec pins the ring's own evolution exactly (drain count, SQ tail
+// retained, CQ append order) and leaves the drained entries' effects on the
+// rest of Ψ to the frame profile, TotalWf, the audit and the differential
+// oracle (tests/ring_batch_differential_test.cc) — that division of labor is
+// the batch amortization (DESIGN.md §13).
+SpecResult RingEnterSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                         const Syscall& call, const SyscallRet& ret);
 
 }  // namespace atmo
 

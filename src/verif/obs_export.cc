@@ -17,6 +17,8 @@ void ExportCheckStats(const CheckStats& stats, obs::MetricsRegistry* registry,
   registry->counter(prefix + "spec_ns").Add(stats.spec_ns);
   registry->counter(prefix + "wf_ns").Add(stats.wf_ns);
   registry->counter(prefix + "audit_ns").Add(stats.audit_ns);
+  registry->counter(prefix + "batch_drains").Add(stats.batch_drains);
+  registry->counter(prefix + "batched_entries").Add(stats.batched_entries);
   registry->gauge(prefix + "max_dirty_entries")
       .Set(static_cast<double>(stats.max_dirty_entries));
 }

@@ -87,6 +87,12 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
                                 "): out-of-frame component changed: " + frame);
 
   ++stats_.steps;
+  if (call.op == SysOp::kRingEnter && ret.ok()) {
+    // One checked transition just covered ret.value inner syscalls — the
+    // batch amortization this pair of counters quantifies.
+    ++stats_.batch_drains;
+    stats_.batched_entries += ret.value;
+  }
   if (options_.check_wf_every != 0 && stats_.steps % options_.check_wf_every == 0) {
     t0 = NowNs();
     InvResult wf = [&] {

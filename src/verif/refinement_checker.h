@@ -45,6 +45,8 @@ struct CheckStats {
   std::uint64_t delta_abstractions = 0;  // AbstractDelta() captures
   std::uint64_t dirty_entries = 0;       // cumulative drained dirty entries
   std::uint64_t max_dirty_entries = 0;   // largest single drained dirty set
+  std::uint64_t batch_drains = 0;        // successful kRingEnter transitions
+  std::uint64_t batched_entries = 0;     // inner syscalls covered by them
 };
 
 class RefinementChecker {

@@ -29,6 +29,8 @@ void MergeStats(CheckStats* into, const CheckStats& from) {
   into->delta_abstractions += from.delta_abstractions;
   into->dirty_entries += from.dirty_entries;
   into->max_dirty_entries = std::max(into->max_dirty_entries, from.max_dirty_entries);
+  into->batch_drains += from.batch_drains;
+  into->batched_entries += from.batched_entries;
 }
 
 }  // namespace
@@ -155,6 +157,7 @@ ShardResult SweepHarness::RunShard(std::uint64_t shard, bool force_trace) const 
   RefinementChecker checker(&f.kernel, options_.checker);
   f.SetupIpcAndDma();
   TraceGen gen(result.seed);
+  gen.ring_ops = options_.ring_ops;
 
   std::uint64_t step = 0;
   try {

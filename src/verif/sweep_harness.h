@@ -35,7 +35,7 @@
 namespace atmo {
 
 inline constexpr std::size_t kSysOpCount =
-    static_cast<std::size_t>(SysOp::kIommuUnmapDma) + 1;
+    static_cast<std::size_t>(SysOp::kRingEnter) + 1;
 inline constexpr std::size_t kSysErrorCount =
     static_cast<std::size_t>(SysError::kWouldFault) + 1;
 
@@ -149,6 +149,11 @@ class SweepHarness {
     RefinementChecker::Options checker{.check_wf_every = 16, .audit_every = 64,
                                        .incremental = true};
     FaultHook fault_hook;
+    // Mix syscall-ring ops (setup/submit/enter) into the generated traces.
+    // Off by default so the long-standing sweep goldens keep their exact
+    // byte-for-byte traces; ring-aware sweeps opt in (see
+    // tests/syscall_ring_test.cc and TraceGen::Options).
+    bool ring_ops = false;
     // Optional external progress tracker: workers record each completed
     // shard into it, so another thread can poll TakeSnapshot() while the
     // sweep runs. Run() also maintains an internal one to derive

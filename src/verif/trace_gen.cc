@@ -71,7 +71,10 @@ TraceGen::Cmd TraceGen::Gen(const TraceFixture& f) {
     }
 
     Syscall c;
-    switch (r % 16) {
+    // The classic distribution is 16-way and must stay bit-identical for
+    // the goldens; ring mode widens it to 19, which remaps every r — so
+    // ring-aware traces are a separate family, not a superset.
+    switch (r % (ring_ops ? 19 : 16)) {
       case 0:
       case 1:
         c.op = SysOp::kYield;
@@ -144,11 +147,50 @@ TraceGen::Cmd TraceGen::Gen(const TraceFixture& f) {
         c.device = static_cast<std::uint32_t>((r >> 16) % 6);
         return Cmd{ti, c};
       }
-      default: {  // DMA map/unmap with mixed-validity domain and iova
+      case 15: {  // DMA map/unmap with mixed-validity domain and iova
         c.op = (r >> 4) % 2 == 0 ? SysOp::kIommuMapDma : SysOp::kIommuUnmapDma;
         c.iommu_domain = PickDomain(r);
         c.iova = ((r >> 16) % 8) * kPageSize4K;
         c.dma_va = TraceFixture::kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K;
+        return Cmd{ti, c};
+      }
+      case 16: {  // ring setup: sometimes invalid capacity, sometimes atomic
+        c.op = SysOp::kRingSetup;
+        c.ring_entries = (r >> 8) % 8 == 0 ? 3u : (4u << ((r >> 10) % 2));
+        c.ring_flags = (r >> 12) % 2 == 0 ? kRingDrainAtomic : 0u;
+        last_thread_ = ti;
+        return Cmd{ti, c};
+      }
+      case 17: {  // submit a deferred op into an owned (or bogus) ring
+        c.op = SysOp::kRingSubmit;
+        c.ring_id = PickRing(ti, r);
+        c.ring_user_data = r >> 8;
+        switch ((r >> 16) % 4) {
+          case 0:  // deferred mmap in the churned window (overlaps → error CQE)
+            c.ring_op = SysOp::kMmap;
+            c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 20) % 48) * kPageSize4K,
+                                 1, PageSize::k4K};
+            c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+            break;
+          case 1:  // deferred munmap over the same window
+            c.ring_op = SysOp::kMunmap;
+            c.va_range = VaRange{0x100000ull * (ti + 1) + ((r >> 20) % 48) * kPageSize4K,
+                                 1, PageSize::k4K};
+            break;
+          case 2:  // deferred thread churn
+            c.ring_op = SysOp::kNewThread;
+            break;
+          default:  // blocking IPC is not submittable → kInvalid at submit
+            c.ring_op = SysOp::kSend;
+            c.edpt_idx = 0;
+            break;
+        }
+        return Cmd{ti, c};
+      }
+      default: {  // drain an owned (or bogus) ring, sometimes budget-capped
+        c.op = SysOp::kRingEnter;
+        c.ring_id = PickRing(ti, r);
+        c.ring_budget = static_cast<std::uint32_t>((r >> 16) % 4);  // 0 = no cap
         return Cmd{ti, c};
       }
     }
@@ -162,6 +204,21 @@ IommuDomainId TraceGen::PickDomain(std::uint64_t r) const {
   return domains[(r >> 8) % domains.size()];
 }
 
+std::uint64_t TraceGen::PickRing(int ti, std::uint64_t r) const {
+  // Rings are owner-checked, so only this thread's rings are usable;
+  // a bogus id (sometimes deliberate, always when none exist) → kInvalid.
+  std::vector<std::uint64_t> owned;
+  for (const auto& [tidx, id] : rings) {
+    if (tidx == ti) {
+      owned.push_back(id);
+    }
+  }
+  if (owned.empty() || (r >> 24) % 7 == 0) {
+    return 9999;
+  }
+  return owned[(r >> 24) % owned.size()];
+}
+
 void TraceGen::Observe(const Syscall& call, const SyscallRet& ret) {
   if (!ret.ok()) {
     return;
@@ -172,6 +229,10 @@ void TraceGen::Observe(const Syscall& call, const SyscallRet& ret) {
     disposable.push_back(ret.value);
   } else if (call.op == SysOp::kKillContainer) {
     std::erase(disposable, call.target);
+  } else if (call.op == SysOp::kRingSetup) {
+    // Gen records which thread issued the setup; the returned id is only
+    // usable from that owner.
+    rings.emplace_back(last_thread_, ret.value);
   }
 }
 

@@ -18,9 +18,11 @@
 #define ATMO_SRC_VERIF_TRACE_GEN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "src/core/kernel.h"
+#include "src/core/syscall_ring.h"
 
 namespace atmo {
 
@@ -90,11 +92,24 @@ struct TraceGen {
   void Observe(const Syscall& call, const SyscallRet& ret);
 
   Xorshift rng;
+  // Mix syscall-ring ops (setup/submit/enter) into the trace. Off by
+  // default: the classic 16-way op distribution must stay bit-identical so
+  // the sweep goldens and the incremental-refinement differential traces
+  // keep their exact historical byte sequences. Ring-aware consumers
+  // (SweepHarness::Options::ring_ops, tests/syscall_ring_test.cc) opt in,
+  // which widens the distribution to 19 ways.
+  bool ring_ops = false;
   std::vector<IommuDomainId> domains;
   std::vector<std::uint64_t> disposable;  // child containers to kill later
+  // (owner thread idx, ring id) for every ring this trace created; submit
+  // and enter commands target these (or a bogus id for kInvalid coverage).
+  std::vector<std::pair<int, std::uint64_t>> rings;
 
  private:
   IommuDomainId PickDomain(std::uint64_t r) const;
+  std::uint64_t PickRing(int ti, std::uint64_t r) const;
+
+  int last_thread_ = 0;  // thread idx of the last generated command
 };
 
 }  // namespace atmo

@@ -34,12 +34,13 @@ struct DirtySet {
   std::set<PagePtr> pages;                // 4 KiB frame base addresses
   std::set<ProcPtr> spaces;               // address spaces (by process)
   std::set<std::uint64_t> iommu_domains;  // IommuDomainId
+  std::set<std::uint64_t> rings;          // syscall ring ids
   bool scheduler = false;                 // run queue / current thread
   bool overflow = false;                  // some log overflowed: full rebuild
 
   std::size_t TotalEntries() const {
     return ctnrs.size() + procs.size() + thrds.size() + edpts.size() + pages.size() +
-           spaces.size() + iommu_domains.size();
+           spaces.size() + iommu_domains.size() + rings.size();
   }
   bool Empty() const { return TotalEntries() == 0 && !scheduler && !overflow; }
 };

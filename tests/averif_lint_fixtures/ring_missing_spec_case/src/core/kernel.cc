@@ -1,0 +1,33 @@
+// Fixture: kernel-side locations cover every ring op; only the spec
+// dispatcher has the hole.
+namespace atmo {
+
+const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "yield";
+    case SysOp::kRingSetup:
+      return "ring_setup";
+    case SysOp::kRingSubmit:
+      return "ring_submit";
+    case SysOp::kRingEnter:
+      return "ring_enter";
+  }
+  return "?";
+}
+
+SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
+  switch (call.op) {
+    case SysOp::kYield:
+      return SysYield(t);
+    case SysOp::kRingSetup:
+      return SysRingSetup(t, call);
+    case SysOp::kRingSubmit:
+      return SysRingSubmit(t, call);
+    case SysOp::kRingEnter:
+      return ExecBatch(t, call);
+  }
+  return SyscallRet{};
+}
+
+}  // namespace atmo

@@ -1,0 +1,13 @@
+// Fixture: ring-bearing syscall surface; the spec dispatcher misses
+// kRingEnter (the batch-drain op — exactly the case the amortized checking
+// design must never leave unspecified).
+namespace atmo {
+
+enum class SysOp {
+  kYield,
+  kRingSetup,
+  kRingSubmit,
+  kRingEnter,
+};
+
+}  // namespace atmo

@@ -1,0 +1,19 @@
+// Fixture: frame-condition table covering every op, including the
+// full-width kRingEnter profile.
+namespace atmo {
+
+constexpr FrameProfile FrameProfileFor(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return {.threads = true, .scheduler = true};
+    case SysOp::kRingSetup:
+      return {.rings = true};
+    case SysOp::kRingSubmit:
+      return {.rings = true};
+    case SysOp::kRingEnter:
+      return {.threads = true, .rings = true, .scheduler = true};
+  }
+  return {};
+}
+
+}  // namespace atmo

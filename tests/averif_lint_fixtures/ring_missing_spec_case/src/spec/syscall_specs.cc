@@ -1,0 +1,20 @@
+// Fixture: kRingEnter is missing from the dispatcher — the seeded violation.
+namespace atmo {
+
+SpecResult SyscallSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                       const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  switch (call.op) {
+    case SysOp::kYield:
+      return YieldSpec(pre, post, t, ret);
+    case SysOp::kRingSetup:
+      return RingSetupSpec(pre, post, t, call, ret);
+    case SysOp::kRingSubmit:
+      return RingSubmitSpec(pre, post, t, call, ret);
+  }
+  return Fail("unknown syscall");
+}
+
+}  // namespace atmo

@@ -70,6 +70,20 @@ TEST(AverifLintTest, MissingSpecCaseFires) {
   EXPECT_EQ(BinaryExit("--root " + FixtureRoot("missing_spec_case")), 1);
 }
 
+// Same rule, ring flavour: a ring op wired into the kernel (Exec, SysOpName,
+// frame profile) but absent from the SyscallSpec dispatcher must fire — the
+// amortized-checking design leans on RingEnterSpec being impossible to skip.
+TEST(AverifLintTest, RingOpMissingSpecCaseFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("ring_missing_spec_case"));
+  std::vector<Finding> hits = WithRule(findings, "spec-coverage");
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/spec/syscall_specs.cc");
+  EXPECT_NE(hits[0].message.find("SysOp::kRingEnter"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("SyscallSpec"), std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("ring_missing_spec_case")), 1);
+}
+
 TEST(AverifLintTest, UnloggedMutatorFires) {
   std::vector<Finding> findings = Lint(FixtureRoot("unlogged_mutator"));
   std::vector<Finding> hits = WithRule(findings, "dirty-log");

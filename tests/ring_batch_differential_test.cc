@@ -1,0 +1,303 @@
+// Differential oracle for batch-amortized checking (DESIGN.md §13): the
+// per-call Exec path and the batched kRingEnter path must be functionally
+// identical. A batched drain executes exactly the inner calls a per-call
+// twin would, produces the same return values, the same concrete kernel
+// state and the same abstract state (modulo the ring object itself, which
+// only exists on the batched side), and both paths pass the refinement
+// checker. Mid-batch failures are covered in both flavours: io_uring-style
+// error completions (non-atomic) and batch-level rollback (kRingDrainAtomic).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/core/syscall_ring.h"
+#include "src/verif/refinement_checker.h"
+#include "src/verif/trace_gen.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+constexpr VAddr kWindow = 0x100000;
+
+Syscall RingSetupCall(std::uint32_t entries, std::uint32_t flags = 0) {
+  Syscall c;
+  c.op = SysOp::kRingSetup;
+  c.ring_entries = entries;
+  c.ring_flags = flags;
+  return c;
+}
+
+Syscall MmapCall(VAddr va) {
+  Syscall c;
+  c.op = SysOp::kMmap;
+  c.va_range = VaRange{va, 1, PageSize::k4K};
+  c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+  return c;
+}
+
+Syscall MunmapCall(VAddr va) {
+  Syscall c;
+  c.op = SysOp::kMunmap;
+  c.va_range = VaRange{va, 1, PageSize::k4K};
+  return c;
+}
+
+Syscall NewThreadCall() {
+  Syscall c;
+  c.op = SysOp::kNewThread;
+  return c;
+}
+
+// Wraps an inner call as a kRingSubmit record for `ring`.
+Syscall AsSubmit(std::uint64_t ring, const Syscall& inner, std::uint64_t user_data) {
+  Syscall c = inner;
+  c.op = SysOp::kRingSubmit;
+  c.ring_id = ring;
+  c.ring_op = inner.op;
+  c.ring_user_data = user_data;
+  return c;
+}
+
+Syscall RingEnterCall(std::uint64_t ring, std::uint32_t budget = 0) {
+  Syscall c;
+  c.op = SysOp::kRingEnter;
+  c.ring_id = ring;
+  c.ring_budget = budget;
+  return c;
+}
+
+// Abstract-state equality modulo the ring component: the per-call twin has
+// no ring traffic, so its `rings` map legitimately differs from the batched
+// kernel's. Everything else — threads, address spaces, pages, free sets,
+// endpoints, containers, IOMMU, scheduler — must agree exactly.
+bool EqualModuloRings(AbstractKernel a, AbstractKernel b) {
+  a.rings = SpecMap<std::uint64_t, AbsSyscallRing>{};
+  b.rings = SpecMap<std::uint64_t, AbsSyscallRing>{};
+  return a == b;
+}
+
+// A mixed workload: valid mmaps, a failing overlap, munmaps, thread churn.
+// `fail_at` (index into the list) controls where the seeded failure sits.
+std::vector<Syscall> MixedInnerCalls() {
+  return {
+      MmapCall(kWindow),
+      MmapCall(kWindow + kPageSize4K),
+      MmapCall(kWindow),  // overlap → kInvalid
+      NewThreadCall(),
+      MunmapCall(kWindow + kPageSize4K),
+      MunmapCall(kWindow),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// Batched ≡ per-call: same rets, same concrete state, same Ψ, same verdict.
+// ---------------------------------------------------------------------------
+
+TEST(RingBatchDifferentialTest, BatchedDrainEqualsPerCallExecution) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel,
+                            RefinementChecker::Options{.check_wf_every = 1, .audit_every = 1});
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(8)).value;
+  std::vector<Syscall> inner = MixedInnerCalls();
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    ASSERT_TRUE(checker.Step(t, AsSubmit(ring, inner[i], i)).ok());
+  }
+
+  // Per-call twin: cloned right before the drain, driven under its own
+  // checker so the per-call path stays the fully-checked oracle.
+  Kernel twin = f.kernel.CloneForVerification();
+  RefinementChecker twin_checker(
+      &twin, RefinementChecker::Options{.check_wf_every = 1, .audit_every = 1});
+  std::vector<SyscallRet> twin_rets;
+  for (const Syscall& call : inner) {
+    twin_rets.push_back(twin_checker.Step(t, call));
+  }
+
+  SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+  ASSERT_TRUE(enter.ok());
+  ASSERT_EQ(enter.value, inner.size());
+  EXPECT_EQ(checker.stats().batch_drains, 1u);
+  EXPECT_EQ(checker.stats().batched_entries, inner.size());
+
+  // Completion-by-completion: the batch returned exactly what the per-call
+  // twin returned, in submission order, tagged with the right user_data.
+  RingCqEntry cqes[8];
+  ASSERT_EQ(f.kernel.RingReap(t, ring, cqes, 8), inner.size());
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    EXPECT_EQ(cqes[i].user_data, i) << i;
+    EXPECT_EQ(cqes[i].ret.error, twin_rets[i].error) << i;
+    EXPECT_EQ(cqes[i].ret.value, twin_rets[i].value) << i;
+  }
+
+  // State equivalence, concrete and abstract (modulo the ring object).
+  EXPECT_TRUE(EqualModuloRings(f.kernel.Abstract(), twin.Abstract()));
+  EXPECT_TRUE(f.kernel.TotalWf().ok);
+  EXPECT_TRUE(twin.TotalWf().ok);
+}
+
+// ---------------------------------------------------------------------------
+// Non-atomic mid-batch failure: the failing entry completes with its error
+// in the CQ and the drain continues — exactly the per-call outcome.
+// ---------------------------------------------------------------------------
+
+TEST(RingBatchDifferentialTest, NonAtomicMidBatchFailureMatchesPerCall) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, /*check_wf_every=*/1);
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(8)).value;
+  // Entry 1 fails (munmap of an unmapped page); 0 and 2 succeed.
+  std::vector<Syscall> inner = {MmapCall(kWindow), MunmapCall(kWindow + 16 * kPageSize4K),
+                                MunmapCall(kWindow)};
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    ASSERT_TRUE(checker.Step(t, AsSubmit(ring, inner[i], i)).ok());
+  }
+
+  Kernel twin = f.kernel.CloneForVerification();
+  twin.Dispatch(t);
+  std::vector<SyscallRet> twin_rets;
+  for (const Syscall& call : inner) {
+    twin_rets.push_back(twin.Exec(t, call));
+  }
+  ASSERT_FALSE(twin_rets[1].ok());
+
+  SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+  ASSERT_TRUE(enter.ok());
+  EXPECT_EQ(enter.value, 3u);  // failure did NOT stop the drain
+
+  RingCqEntry cqes[8];
+  ASSERT_EQ(f.kernel.RingReap(t, ring, cqes, 8), 3u);
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    EXPECT_EQ(cqes[i].ret.error, twin_rets[i].error) << i;
+  }
+  EXPECT_TRUE(EqualModuloRings(f.kernel.Abstract(), twin.Abstract()));
+}
+
+// ---------------------------------------------------------------------------
+// Atomic mid-batch failure: kRingDrainAtomic rolls the WHOLE batch back.
+// Ψ' == Ψ, the SQ is retained, kRingEnter reports kWouldFault — and the
+// checker (audit every step) proves the cached Ψ stayed faithful through
+// the snapshot/restore, including the restored-empty dirty logs.
+// ---------------------------------------------------------------------------
+
+TEST(RingBatchDifferentialTest, AtomicMidBatchFailureRollsBackWholeBatch) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel,
+                            RefinementChecker::Options{.check_wf_every = 1, .audit_every = 1});
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(8, kRingDrainAtomic)).value;
+  std::vector<Syscall> inner = {MmapCall(kWindow), MmapCall(kWindow),  // overlap fails
+                                MmapCall(kWindow + kPageSize4K)};
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    ASSERT_TRUE(checker.Step(t, AsSubmit(ring, inner[i], i)).ok());
+  }
+
+  AbstractKernel before = f.kernel.Abstract();
+  SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+  EXPECT_EQ(enter.error, SysError::kWouldFault);
+  EXPECT_EQ(checker.stats().batch_drains, 0u);  // failed drains don't count
+
+  // Rollback is total: nothing mapped (not even entry 0), SQ retained so
+  // the caller can repair and re-enter, CQ empty.
+  AbstractKernel after = f.kernel.Abstract();
+  EXPECT_TRUE(before == after);
+  const SyscallRing& r = f.kernel.rings().Get(ring);
+  EXPECT_EQ(r.SqSize(), 3u);
+  EXPECT_EQ(r.CqSize(), 0u);
+  EXPECT_FALSE(f.kernel.vm().Resolve(f.procs[0], kWindow).has_value());
+
+  // The checker keeps running cleanly after the rollback: its cached Ψ and
+  // a fresh full abstraction still agree (audit_every = 1 enforced it on
+  // the kWouldFault step itself, and keeps enforcing it here).
+  ASSERT_TRUE(checker.Step(t, MmapCall(kWindow + 2 * kPageSize4K)).ok());
+  EXPECT_TRUE(f.kernel.TotalWf().ok);
+
+  // The retained batch still contains the overlap, so an atomic re-enter
+  // rolls back again — while a per-call twin of the same entries keeps its
+  // partial effects. That divergence IS the atomicity contract.
+  Kernel twin = f.kernel.CloneForVerification();
+  twin.Dispatch(t);
+  std::vector<SyscallRet> twin_rets;
+  for (const Syscall& call : inner) {
+    twin_rets.push_back(twin.Exec(t, call));
+  }
+  SyscallRet retry = checker.Step(t, RingEnterCall(ring));
+  EXPECT_EQ(retry.error, SysError::kWouldFault);
+  EXPECT_EQ(f.kernel.rings().Get(ring).SqSize(), 3u);
+  EXPECT_TRUE(twin_rets[0].ok());
+  EXPECT_FALSE(twin_rets[1].ok());
+  EXPECT_FALSE(EqualModuloRings(f.kernel.Abstract(), twin.Abstract()));
+}
+
+// ---------------------------------------------------------------------------
+// Verdict identity on randomized traces: a generated ring-free workload
+// executed per-call and the same workload batched through a ring both pass
+// checking, and land in the same abstract state (modulo rings).
+// ---------------------------------------------------------------------------
+
+TEST(RingBatchDifferentialTest, RandomizedWorkloadBatchedEqualsPerCall) {
+  // Two independently booted fixtures (identical by construction).
+  TraceFixture per_call = TraceFixture::Boot();
+  TraceFixture batched = TraceFixture::Boot();
+  RefinementChecker pc_checker(
+      &per_call.kernel, RefinementChecker::Options{.check_wf_every = 1, .audit_every = 4});
+  RefinementChecker b_checker(
+      &batched.kernel, RefinementChecker::Options{.check_wf_every = 1, .audit_every = 4});
+  per_call.SetupIpcAndDma();
+  batched.SetupIpcAndDma();
+  ThrdPtr t_pc = per_call.thrds[0];
+  ThrdPtr t_b = batched.thrds[0];
+
+  std::uint64_t ring = b_checker.Step(t_b, RingSetupCall(32)).value;
+
+  // Deterministic pseudo-random submittable workload, same on both sides.
+  Xorshift rng{0xabcdef12345678ull};
+  constexpr int kBatch = 16;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<Syscall> calls;
+    for (int i = 0; i < kBatch; ++i) {
+      std::uint64_t r = rng.Next();
+      VAddr va = kWindow + ((r >> 8) % 24) * kPageSize4K;
+      calls.push_back((r % 2) == 0 ? MmapCall(va) : MunmapCall(va));
+    }
+    std::vector<SyscallRet> pc_rets;
+    for (const Syscall& call : calls) {
+      pc_rets.push_back(pc_checker.Step(t_pc, call));
+    }
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      // The shared-memory fast path: user-space pushes the SQ entry without
+      // a kernel transition (no checker step — the dirty log absorbs it).
+      ASSERT_TRUE(batched.kernel.RingPushDirect(t_b, AsSubmit(ring, calls[i], i)).ok());
+    }
+    SyscallRet enter = b_checker.Step(t_b, RingEnterCall(ring));
+    ASSERT_TRUE(enter.ok());
+    ASSERT_EQ(enter.value, calls.size());
+
+    RingCqEntry cqes[kBatch];
+    ASSERT_EQ(batched.kernel.RingReap(t_b, ring, cqes, kBatch), calls.size());
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      EXPECT_EQ(cqes[i].ret.error, pc_rets[i].error) << "round " << round << " entry " << i;
+    }
+    ASSERT_TRUE(EqualModuloRings(batched.kernel.Abstract(), per_call.kernel.Abstract()))
+        << "round " << round;
+  }
+
+  // The batched side paid one checked transition per kBatch inner calls.
+  EXPECT_EQ(b_checker.stats().batch_drains, 8u);
+  EXPECT_EQ(b_checker.stats().batched_entries, 8u * kBatch);
+  EXPECT_EQ(pc_checker.stats().steps, 8u * kBatch);
+}
+
+}  // namespace
+}  // namespace atmo

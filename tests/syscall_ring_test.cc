@@ -1,0 +1,282 @@
+// Syscall-ring edge cases under full refinement checking: SQ/CQ index
+// wrap-around, full-ring submit rejection, empty drains, oversized-batch
+// splitting, ring-aware sweep determinism, and replay-token reproduction of
+// a check failure seeded into a ring-heavy trace.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/core/syscall_ring.h"
+#include "src/verif/refinement_checker.h"
+#include "src/verif/sweep_harness.h"
+#include "src/verif/trace_gen.h"
+#include "src/vstd/check.h"
+
+namespace atmo {
+namespace {
+
+Syscall RingSetupCall(std::uint32_t entries, std::uint32_t flags = 0) {
+  Syscall c;
+  c.op = SysOp::kRingSetup;
+  c.ring_entries = entries;
+  c.ring_flags = flags;
+  return c;
+}
+
+// A deferred mmap of one 4K page at `va`, tagged with `user_data`.
+Syscall RingSubmitMmap(std::uint64_t ring_id, VAddr va, std::uint64_t user_data) {
+  Syscall c;
+  c.op = SysOp::kRingSubmit;
+  c.ring_id = ring_id;
+  c.ring_op = SysOp::kMmap;
+  c.ring_user_data = user_data;
+  c.va_range = VaRange{va, 1, PageSize::k4K};
+  c.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+  return c;
+}
+
+Syscall RingSubmitMunmap(std::uint64_t ring_id, VAddr va, std::uint64_t user_data) {
+  Syscall c;
+  c.op = SysOp::kRingSubmit;
+  c.ring_id = ring_id;
+  c.ring_op = SysOp::kMunmap;
+  c.ring_user_data = user_data;
+  c.va_range = VaRange{va, 1, PageSize::k4K};
+  return c;
+}
+
+Syscall RingEnterCall(std::uint64_t ring_id, std::uint32_t budget = 0) {
+  Syscall c;
+  c.op = SysOp::kRingEnter;
+  c.ring_id = ring_id;
+  c.ring_budget = budget;
+  return c;
+}
+
+constexpr VAddr kWindow = 0x100000;  // matches the TraceGen churn window base
+
+// ---------------------------------------------------------------------------
+// Wrap-around: free-running uint32 indices survive many times the capacity
+// in total traffic (slot = index & (capacity-1), size = tail - head).
+// ---------------------------------------------------------------------------
+
+TEST(SyscallRingTest, SqCqWrapAroundSurvivesManyRounds) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel,
+                            RefinementChecker::Options{.check_wf_every = 1, .audit_every = 1});
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  SyscallRet setup = checker.Step(t, RingSetupCall(4));
+  ASSERT_TRUE(setup.ok());
+  std::uint64_t ring = setup.value;
+
+  // 12 rounds of (mmap, munmap) through a capacity-4 ring = 24 entries, six
+  // times the capacity: every slot is reused and the head/tail indices pass
+  // several wrap points. CQ entries are reaped between rounds via RingReap
+  // (an external mutation the dirty log absorbs, like RingPushDirect).
+  for (std::uint64_t round = 0; round < 12; ++round) {
+    ASSERT_TRUE(checker.Step(t, RingSubmitMmap(ring, kWindow, round * 2)).ok());
+    ASSERT_TRUE(checker.Step(t, RingSubmitMunmap(ring, kWindow, round * 2 + 1)).ok());
+    SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+    ASSERT_TRUE(enter.ok());
+    EXPECT_EQ(enter.value, 2u);
+
+    RingCqEntry cqes[4];
+    ASSERT_EQ(f.kernel.RingReap(t, ring, cqes, 4), 2u);
+    EXPECT_EQ(cqes[0].user_data, round * 2);
+    EXPECT_EQ(cqes[0].ret.error, SysError::kOk);
+    EXPECT_EQ(cqes[1].user_data, round * 2 + 1);
+    EXPECT_EQ(cqes[1].ret.error, SysError::kOk);
+  }
+  const SyscallRing& r = f.kernel.rings().Get(ring);
+  EXPECT_TRUE(r.SqEmpty());
+  EXPECT_EQ(r.CqSize(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Full-ring rejection and empty drains.
+// ---------------------------------------------------------------------------
+
+TEST(SyscallRingTest, SubmitToFullSqIsRejectedWithCapacity) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, /*check_wf_every=*/1);
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(4)).value;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    SyscallRet s = checker.Step(t, RingSubmitMmap(ring, kWindow + i * kPageSize4K, i));
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.value, i + 1);  // returns the post-push SQ depth
+  }
+  // Fifth entry: SQ full → kCapacity, and failure atomicity means the
+  // checker proved Ψ' == Ψ for the rejected submit.
+  EXPECT_EQ(checker.Step(t, RingSubmitMmap(ring, kWindow + 4 * kPageSize4K, 99)).error,
+            SysError::kCapacity);
+  EXPECT_EQ(f.kernel.rings().Get(ring).SqSize(), 4u);
+}
+
+TEST(SyscallRingTest, EmptyRingDrainIsOkZero) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, /*check_wf_every=*/1);
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(8)).value;
+  SyscallRet enter = checker.Step(t, RingEnterCall(ring));
+  EXPECT_TRUE(enter.ok());
+  EXPECT_EQ(enter.value, 0u);
+
+  // Bogus ring ids and foreign rings stay precise errors.
+  EXPECT_EQ(checker.Step(t, RingEnterCall(9999)).error, SysError::kInvalid);
+  EXPECT_EQ(checker.Step(f.thrds[1], RingEnterCall(ring)).error, SysError::kDenied);
+}
+
+// ---------------------------------------------------------------------------
+// Oversized batches split: by caller budget and by CQ free space. The
+// remainder stays queued for the next kRingEnter.
+// ---------------------------------------------------------------------------
+
+TEST(SyscallRingTest, OversizedBatchSplitsOnBudget) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, /*check_wf_every=*/1);
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(8)).value;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(checker.Step(t, RingSubmitMmap(ring, kWindow + i * kPageSize4K, i)).ok());
+  }
+  SyscallRet first = checker.Step(t, RingEnterCall(ring, /*budget=*/4));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value, 4u);
+  EXPECT_EQ(f.kernel.rings().Get(ring).SqSize(), 2u);
+
+  SyscallRet rest = checker.Step(t, RingEnterCall(ring));
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest.value, 2u);
+  EXPECT_TRUE(f.kernel.rings().Get(ring).SqEmpty());
+  EXPECT_EQ(f.kernel.rings().Get(ring).CqSize(), 6u);
+
+  // Completions preserved submission order across the split.
+  RingCqEntry cqes[8];
+  ASSERT_EQ(f.kernel.RingReap(t, ring, cqes, 8), 6u);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(cqes[i].user_data, i);
+  }
+}
+
+TEST(SyscallRingTest, DrainStopsWhenCqHasNoFreeSpace) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel, /*check_wf_every=*/1);
+  f.SetupIpcAndDma();
+  ThrdPtr t = f.thrds[0];
+
+  std::uint64_t ring = checker.Step(t, RingSetupCall(4)).value;
+  auto fill_and_drain = [&] {
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      VAddr va = kWindow + i * kPageSize4K;
+      EXPECT_TRUE(checker.Step(t, RingSubmitMunmap(ring, va, i)).ok());
+    }
+    return checker.Step(t, RingEnterCall(ring));
+  };
+  SyscallRet first = fill_and_drain();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value, 4u);  // CQ now full (nothing reaped)
+
+  SyscallRet second = fill_and_drain();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value, 0u);  // no CQ space: drained nothing
+  EXPECT_EQ(f.kernel.rings().Get(ring).SqSize(), 4u);
+
+  RingCqEntry cqes[4];
+  ASSERT_EQ(f.kernel.RingReap(t, ring, cqes, 4), 4u);
+  SyscallRet third = checker.Step(t, RingEnterCall(ring));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third.value, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Ring-aware sweeps: deterministic across worker counts, exercise the
+// batched-checking counters, and a seeded corruption in a ring-heavy trace
+// is caught and reproduced exactly by its replay token.
+// ---------------------------------------------------------------------------
+
+SweepHarness::Options RingSweep(std::uint64_t seed, unsigned workers) {
+  SweepHarness::Options options;
+  options.master_seed = seed;
+  options.shards = 4;
+  options.steps_per_shard = 600;
+  options.workers = workers;
+  options.ring_ops = true;
+  return options;
+}
+
+TEST(SyscallRingTest, RingSweepIsCleanAndDeterministicAcrossWorkers) {
+  SweepReport one = SweepHarness(RingSweep(0x51b9, 1)).Run();
+  SweepReport four = SweepHarness(RingSweep(0x51b9, 4)).Run();
+  EXPECT_TRUE(one.AllOk());
+  EXPECT_TRUE(four.AllOk());
+  EXPECT_TRUE(one.SameOutcome(four));
+
+  // The trace actually exercised every ring op, including successful drains
+  // — so the amortization counters are live.
+  auto row = [&](SysOp op) {
+    std::uint64_t total = 0;
+    for (std::size_t err = 0; err < kSysErrorCount; ++err) {
+      total += one.coverage.counts[static_cast<std::size_t>(op)][err];
+    }
+    return total;
+  };
+  EXPECT_GT(row(SysOp::kRingSetup), 0u);
+  EXPECT_GT(row(SysOp::kRingSubmit), 0u);
+  EXPECT_GT(row(SysOp::kRingEnter), 0u);
+  EXPECT_GT(one.stats.batch_drains, 0u);
+  EXPECT_GT(one.stats.batched_entries, 0u);
+  EXPECT_EQ(one.stats.batch_drains, four.stats.batch_drains);
+  EXPECT_EQ(one.stats.batched_entries, four.stats.batched_entries);
+}
+
+TEST(SyscallRingTest, ReplayTokenReproducesFailureInRingTrace) {
+  constexpr std::uint64_t kBadShard = 1;
+  constexpr std::uint64_t kBadStep = 211;
+
+  SweepHarness::Options options = RingSweep(0xbadc0ffee, 2);
+  options.checker.check_wf_every = 1;
+  options.fault_hook = [](TraceFixture* f, std::uint64_t shard, std::uint64_t step) {
+    if (shard == kBadShard && step == kBadStep) {
+      // Forge quota accounting behind the kernel's back; total_wf rejects it
+      // at this exact step of the ring-heavy trace.
+      f->kernel.pm_mut().MutableContainer(f->ctnr).mem_used = 0;
+    }
+  };
+  SweepHarness harness(options);
+
+  SweepReport report = harness.Run();
+  EXPECT_FALSE(report.AllOk());
+  ASSERT_EQ(report.Failures().size(), 1u);
+  ReplayToken token = report.Failures()[0];
+  EXPECT_EQ(token.shard, kBadShard);
+  EXPECT_EQ(token.step, kBadStep);
+
+  ShardResult replay = harness.Replay(token);
+  EXPECT_FALSE(replay.ok);
+  ASSERT_TRUE(replay.token.has_value());
+  EXPECT_EQ(*replay.token, token);
+  EXPECT_EQ(replay.failure, report.shards[kBadShard].failure);
+  EXPECT_EQ(replay.steps, report.shards[kBadShard].steps);
+  EXPECT_TRUE(replay.coverage == report.shards[kBadShard].coverage);
+
+  // Without the fault the same ring-heavy seed is clean.
+  options.fault_hook = nullptr;
+  SweepReport clean = SweepHarness(options).Run();
+  EXPECT_TRUE(clean.AllOk());
+}
+
+}  // namespace
+}  // namespace atmo

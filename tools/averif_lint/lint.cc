@@ -591,6 +591,14 @@ const std::vector<Subsystem>& Subsystems() {
        {},
        {"Wf"},
        false},
+      {"SyscallRingTable",
+       "src/core/syscall_ring.h",
+       "src/core/syscall_ring.cc",
+       {"dirty_.Mark", "dirty_.DrainInto"},
+       {"DrainDirtyInto"},
+       {},
+       {"Wf"},
+       false},
   };
   return subsystems;
 }
