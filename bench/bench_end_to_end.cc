@@ -21,6 +21,7 @@
 #include <cstdlib>
 
 #include "bench/end_to_end.h"
+#include "src/obs/alloc_hook.h"
 
 int main() {
   using namespace atmo::bench;
@@ -56,10 +57,32 @@ int main() {
   // Syscall-only amortization microbench: the >=5x gate's numbers.
   std::uint64_t micro_ops = ScaledOps(400000);
   atmo::CheckStats batched_stats;
-  double percall_rate = CheckedSyscallRate(micro_ops / 4, 0);
+  atmo::CheckStats percall_stats;
+  double percall_rate = CheckedSyscallRate(micro_ops / 4, 0, &percall_stats);
   double batched_rate = CheckedSyscallRate(micro_ops, 256, &batched_stats);
   double speedup = percall_rate > 0 ? batched_rate / percall_rate : 0.0;
   bool gate_pass = speedup >= 5.0;
+
+  // Allocation gate (DESIGN.md §14): the same per-call trace with the
+  // spec-rep arenas off is the baseline; the arena-backed checker must
+  // allocate from the global heap >=10x less per checked step
+  // (ci/perf_floors.json). Per-call is the right denominator — in batched
+  // mode one checked step covers 256 inner syscalls, so the concrete
+  // kernel's own allocations dominate and the checking overhead the arenas
+  // remove is already amortized away.
+  atmo::CheckStats noarena_stats;
+  CheckedSyscallRate(micro_ops / 4, 0, &noarena_stats, /*use_arena=*/false);
+  bool alloc_counting = atmo::obs::HeapCountingActive();
+  double arena_allocs_per_step =
+      percall_stats.steps > 0
+          ? static_cast<double>(percall_stats.heap_allocs) / percall_stats.steps
+          : 0.0;
+  double noarena_allocs_per_step =
+      noarena_stats.steps > 0
+          ? static_cast<double>(noarena_stats.heap_allocs) / noarena_stats.steps
+          : 0.0;
+  double alloc_reduction =
+      arena_allocs_per_step > 0 ? noarena_allocs_per_step / arena_allocs_per_step : 0.0;
 
   std::printf("\nchecked-syscall rate (syscall-only trace, same checker options):\n");
   std::printf("  per-call     : %12.0f checked syscalls/s\n", percall_rate);
@@ -67,6 +90,8 @@ int main() {
               static_cast<unsigned long long>(batched_stats.batch_drains));
   std::printf("  amortization : %.2fx %s (gate: >=5x)\n", speedup,
               gate_pass ? "PASS" : "FAIL");
+  std::printf("  heap allocs / checked step: %.1f with arenas, %.1f without (%.1fx)\n",
+              arena_allocs_per_step, noarena_allocs_per_step, alloc_reduction);
 
   bool all_ok = true;
   for (const E2EResult& r : results) {
@@ -95,6 +120,10 @@ int main() {
     w->KV("batched_checked_syscalls_per_sec", batched_rate, "%.1f");
     w->KV("batched_vs_percall_speedup", speedup, "%.3f");
     w->KV("speedup_gate_pass", gate_pass);
+    w->KV("alloc_counting_active", alloc_counting);
+    w->KV("heap_allocs_per_checked_step", arena_allocs_per_step, "%.2f");
+    w->KV("noarena_heap_allocs_per_checked_step", noarena_allocs_per_step, "%.2f");
+    w->KV("alloc_reduction_vs_noarena", alloc_reduction, "%.2f");
     w->KV("all_ok", all_ok);
   });
 

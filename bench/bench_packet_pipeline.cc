@@ -1,0 +1,191 @@
+// Packet-pipeline throughput (Mpps): the data-path cost of copying vs
+// borrowing (DESIGN.md §14).
+//
+// All configurations run the same Maglev forwarding work — parse, hash the
+// 5-tuple, look up the backend, rewrite the destination, transmit — over
+// the same simulated NIC. What varies is how frame bytes move:
+//
+//   copy            — RxBurstInPlace + arena Read into a stack frame,
+//                     rewrite there, arena Write back, deferred TX (the
+//                     pre-§14 path: two full-frame copies per packet)
+//   zero-copy-fwd   — RxPeekBurst borrows the DMA buffer, the rewrite
+//                     happens in place, TxInPlaceDeferred points the TX
+//                     descriptor at the same buffer: zero copies
+//   zero-copy-serve — server shape (httpd/kv): parse the borrowed RX
+//                     frame, build the reply directly in a claimed TX
+//                     buffer (FinishUdpFrame wraps headers around the
+//                     payload written in place): zero copies
+//
+// The zero-copy configurations must also be allocation-free: an AllocProbe
+// spans each measured loop and the per-config heap-allocation count lands
+// in BENCH_packet_pipeline.json, where ci/run_tests.sh gates it at zero.
+
+#include <cstring>
+
+#include "bench/pipeline.h"
+#include "src/apps/maglev.h"
+#include "src/obs/alloc_hook.h"
+
+namespace atmo {
+namespace bench {
+namespace {
+
+constexpr std::uint32_t kRing = 512;
+constexpr std::uint32_t kBurst = 32;
+
+Maglev MakeLb() {
+  Maglev lb(65537);
+  for (int i = 0; i < 16; ++i) {
+    MaglevBackend backend;
+    backend.name = "backend-" + std::to_string(i);
+    backend.mac = MacAddr{0x02, 0, 0, 0, 0x10, static_cast<std::uint8_t>(i)};
+    backend.ip = 0x0a010000u + static_cast<std::uint32_t>(i);
+    lb.AddBackend(backend);
+  }
+  lb.Populate();
+  return lb;
+}
+
+std::size_t FlowPayload(std::size_t i, std::uint8_t* buf) {
+  std::uint64_t v = i;
+  std::memcpy(buf, &v, 8);
+  return 8;
+}
+
+struct PipelineRig {
+  Machine m;
+  PacketPool pool;
+  IxgbeDriver driver;
+  Maglev lb;
+
+  PipelineRig() : pool(4096, FlowPayload), driver(&m.arena, &m.nic, kRing), lb(MakeLb()) {
+    m.nic.SetPacketSource(pool.AsSource());
+    m.nic.SetPacketSink([](const std::uint8_t*, std::size_t) {});
+    driver.Init();
+  }
+};
+
+// Heap allocations observed inside each config's measured loop.
+std::uint64_t g_loop_allocs[3] = {0, 0, 0};
+
+// --- copy: two full-frame copies per packet ---
+std::uint64_t RunCopy(std::uint64_t target) {
+  PipelineRig r;
+  std::uint64_t done = 0;
+  std::uint8_t frame[kMaxFrameLen];
+  obs::AllocProbe probe;
+  while (done < target) {
+    r.m.nic.DeliverRx(kBurst);
+    std::uint32_t got = r.driver.RxBurstInPlace(
+        [&](VAddr iova, std::uint16_t len) {
+          r.m.arena.Read(iova, frame, len);
+          if (r.lb.ForwardPacket(frame, len) >= 0) {
+            r.m.arena.Write(iova, frame, len);
+            r.driver.TxInPlaceDeferred(iova, len);
+          }
+        },
+        kBurst);
+    if (got > 0) {
+      r.driver.TxFlush();
+    }
+    done += got;
+    r.m.nic.ProcessTx(kBurst);
+  }
+  g_loop_allocs[0] = probe.allocs();
+  return done;
+}
+
+// --- zero-copy forwarding: rewrite in the DMA buffer, TX the same IOVA ---
+std::uint64_t RunZeroCopyFwd(std::uint64_t target) {
+  PipelineRig r;
+  std::uint64_t done = 0;
+  RxView views[kBurst];
+  obs::AllocProbe probe;
+  while (done < target) {
+    r.m.nic.DeliverRx(kBurst);
+    std::uint32_t burst = r.driver.RxPeekBurst(views, kBurst);
+    std::uint32_t queued = 0;
+    for (std::uint32_t v = 0; v < burst; ++v) {
+      std::uint8_t* frame = r.m.arena.BorrowWrite(views[v].iova, views[v].len);
+      if (r.lb.ForwardPacket(frame, views[v].len) >= 0 &&
+          r.driver.TxInPlaceDeferred(views[v].iova, views[v].len)) {
+        ++queued;
+      }
+    }
+    if (queued > 0) {
+      r.driver.TxFlush();
+    }
+    r.driver.RxReleaseBurst(burst);
+    done += burst;
+    r.m.nic.ProcessTx(kBurst);
+  }
+  g_loop_allocs[1] = probe.allocs();
+  return done;
+}
+
+// --- zero-copy serving: reply built directly in a claimed TX buffer ---
+std::uint64_t RunZeroCopyServe(std::uint64_t target) {
+  PipelineRig r;
+  std::uint64_t done = 0;
+  RxView views[kBurst];
+  MacAddr my_mac{0x02, 0, 0, 0, 0, 0x02};
+  obs::AllocProbe probe;
+  while (done < target) {
+    r.m.nic.DeliverRx(kBurst);
+    std::uint32_t burst = r.driver.RxPeekBurst(views, kBurst);
+    std::uint32_t queued = 0;
+    for (std::uint32_t v = 0; v < burst; ++v) {
+      auto parsed = ParseUdpFrame(views[v].data, views[v].len);
+      if (!parsed.has_value() || r.lb.Lookup(parsed->flow) < 0) {
+        continue;
+      }
+      std::uint8_t* tx = r.driver.TxClaim();
+      if (tx == nullptr) {
+        continue;
+      }
+      // An 8-byte echo reply written straight into the TX frame.
+      std::memcpy(tx + kHeadersLen, parsed->payload,
+                  parsed->payload_len < 8 ? parsed->payload_len : 8);
+      FiveTuple reply{.src_ip = parsed->flow.dst_ip, .dst_ip = parsed->flow.src_ip,
+                      .src_port = parsed->flow.dst_port, .dst_port = parsed->flow.src_port};
+      std::size_t flen = FinishUdpFrame(tx, my_mac, parsed->src_mac, reply, 8);
+      r.driver.TxCommitDeferred(static_cast<std::uint16_t>(flen));
+      ++queued;
+    }
+    if (queued > 0) {
+      r.driver.TxFlush();
+    }
+    r.driver.RxReleaseBurst(burst);
+    done += burst;
+    r.m.nic.ProcessTx(kBurst);
+  }
+  g_loop_allocs[2] = probe.allocs();
+  return done;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace atmo
+
+int main() {
+  using namespace atmo::bench;
+  std::uint64_t target = ScaledOps(2000000);
+
+  std::printf("=== Packet pipeline: copy vs zero-copy (DESIGN.md §14) ===\n");
+  std::printf("identical Maglev forwarding work; only byte movement differs\n");
+
+  BenchJson json("packet_pipeline");
+  PrintHeader("packet pipeline", "Mpps");
+  json.Record(RunTimed("copy", target, RunCopy), "M");
+  json.Record(RunTimed("zero-copy-fwd", target, RunZeroCopyFwd), "M");
+  json.Record(RunTimed("zero-copy-serve", target, RunZeroCopyServe), "M");
+
+  bool ok = json.Write([&](atmo::obs::JsonWriter* w) {
+    w->Key("loop_heap_allocs").BeginObject();
+    w->KV("copy", g_loop_allocs[0]);
+    w->KV("zero-copy-fwd", g_loop_allocs[1]);
+    w->KV("zero-copy-serve", g_loop_allocs[2]);
+    w->EndObject();
+  });
+  return ok ? 0 : 1;
+}

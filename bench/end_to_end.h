@@ -59,9 +59,11 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
 // Syscall-only amortization microbench: the same rotating mmap/munmap trace
 // checked per-call (batch = 0) or through shared-memory-submitted ring
 // batches. Returns certified inner-syscalls per second — the number the
-// >=5x batched-vs-per-call gate compares.
+// >=5x batched-vs-per-call gate compares. `use_arena` toggles the checker's
+// spec-rep arenas; the arena-off run is the baseline for the
+// allocations-per-checked-step gate (DESIGN.md §14).
 double CheckedSyscallRate(std::uint64_t ops, std::uint32_t batch,
-                          CheckStats* stats_out = nullptr);
+                          CheckStats* stats_out = nullptr, bool use_arena = true);
 
 }  // namespace bench
 }  // namespace atmo

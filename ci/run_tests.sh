@@ -132,6 +132,17 @@ speedup = report["batched_vs_percall_speedup"]
 if speedup < floors["min_speedup_batched_vs_percall"]:
     failures.append(f"batched/percall amortization {speedup:.2f}x < "
                     f'{floors["min_speedup_batched_vs_percall"]}x')
+# Allocation-free hot path (DESIGN.md §14): the arena-backed checker must
+# allocate >=10x less from the global heap per checked step than the same
+# trace with arenas off. Skipped when the counting hook is compiled out.
+if report.get("alloc_counting_active"):
+    reduction = report["alloc_reduction_vs_noarena"]
+    if reduction < floors["min_alloc_reduction_vs_noarena"]:
+        failures.append(
+            f"allocs/checked-step reduction {reduction:.1f}x < "
+            f'{floors["min_alloc_reduction_vs_noarena"]}x '
+            f'({report["heap_allocs_per_checked_step"]:.1f} arena vs '
+            f'{report["noarena_heap_allocs_per_checked_step"]:.1f} heap)')
 if not report["all_ok"]:
     failures.append("a configuration finished with total_wf not ok")
 
@@ -141,6 +152,40 @@ if failures:
     sys.exit("bench_end_to_end: throughput floor gate failed")
 print(f"end-to-end floors OK (batched {batched:.0f} checked sys/s, "
       f"{speedup:.1f}x amortization, quick={report['quick']})")
+EOF
+
+echo "=== zero-copy packet pipeline floors (quick mode) ==="
+# bench_packet_pipeline runs the same Maglev work through the copying RX/TX
+# path and the zero-copy borrow path. Floors: absolute Mpps per config plus
+# a hard zero on heap allocations inside each measured loop — the zero-copy
+# pipeline's whole point (DESIGN.md §14).
+ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_packet_pipeline
+python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_packet_pipeline.json") as f:
+    report = json.load(f)
+floors = json.load(open("ci/perf_floors.json"))["packet_pipeline"]
+
+failures = []
+rates = {r["config"]: r["ops_per_sec"] for r in report["rows"]}
+for config, floor in floors["ops_per_sec"].items():
+    got = rates.get(config)
+    if got is None:
+        failures.append(f"config {config!r} missing from BENCH_packet_pipeline.json")
+    elif got < floor:
+        failures.append(f"{config}: {got:.0f} pkts/s < floor {floor}")
+for config, allocs in report["loop_heap_allocs"].items():
+    if allocs > floors["max_loop_heap_allocs"]:
+        failures.append(f"{config}: {allocs} heap allocs in the measured loop "
+                        f'(max {floors["max_loop_heap_allocs"]})')
+
+for f_ in failures:
+    print(f"  FLOOR VIOLATION: {f_}", file=sys.stderr)
+if failures:
+    sys.exit("bench_packet_pipeline: floor gate failed")
+print(f"packet-pipeline floors OK ({', '.join(f'{c} {r/1e6:.2f} Mpps' for c, r in rates.items())}, "
+      f"0 loop heap allocs)")
 EOF
 
 echo "=== obs smoke (traced sweep + exporter validation) ==="

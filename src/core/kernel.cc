@@ -422,49 +422,46 @@ SyscallRet Kernel::SysUnbindEndpoint(ThrdPtr t, const Syscall& call) {
 // IPC
 // ---------------------------------------------------------------------------
 
-std::optional<IpcPayload> Kernel::ResolveOutboundPayload(ThrdPtr sender,
-                                                         const IpcPayload& payload,
-                                                         SysError* error) {
+bool Kernel::ResolveOutboundPayload(ThrdPtr sender, IpcPayload* payload, SysError* error) {
   const Thread& thread = pm_.GetThread(sender);
-  IpcPayload out = payload;
 
-  if (payload.page.has_value()) {
-    VAddr va = payload.page->page;  // sender virtual address on input
+  if (payload->page.has_value()) {
+    VAddr va = payload->page->page;  // sender virtual address on input
     const PageTable& table = vm_.TableOf(thread.owning_proc);
-    if (!table.mapping(payload.page->size).contains(va)) {
+    if (!table.mapping(payload->page->size).contains(va)) {
       *error = SysError::kInvalid;
-      return std::nullopt;
+      return false;
     }
-    MapEntry entry = table.mapping(payload.page->size).at(va);
+    MapEntry entry = table.mapping(payload->page->size).at(va);
     // Rights cannot be amplified through a grant.
-    if ((payload.page->perm.writable && !entry.perm.writable) ||
-        (!payload.page->perm.no_execute && entry.perm.no_execute)) {
+    if ((payload->page->perm.writable && !entry.perm.writable) ||
+        (!payload->page->perm.no_execute && entry.perm.no_execute)) {
       *error = SysError::kDenied;
-      return std::nullopt;
+      return false;
     }
-    out.page->page = entry.addr;  // physical from here on
+    payload->page->page = entry.addr;  // physical from here on
   }
 
-  if (payload.endpoint.has_value()) {
-    std::uint64_t src_idx = payload.endpoint->endpoint;  // descriptor index on input
+  if (payload->endpoint.has_value()) {
+    std::uint64_t src_idx = payload->endpoint->endpoint;  // descriptor index on input
     if (src_idx >= kMaxEdptDescriptors || thread.endpoints[src_idx] == kNullPtr ||
-        payload.endpoint->dest_index >= kMaxEdptDescriptors) {
+        payload->endpoint->dest_index >= kMaxEdptDescriptors) {
       *error = SysError::kInvalid;
-      return std::nullopt;
+      return false;
     }
-    out.endpoint->endpoint = thread.endpoints[src_idx];
+    payload->endpoint->endpoint = thread.endpoints[src_idx];
   }
 
-  if (payload.iommu.has_value()) {
-    IommuDomainId domain = payload.iommu->domain_id;
+  if (payload->iommu.has_value()) {
+    IommuDomainId domain = payload->iommu->domain_id;
     if (!iommu_.DomainExists(domain) || iommu_.DomainOwner(domain) != thread.owning_ctnr) {
       *error = SysError::kDenied;
-      return std::nullopt;
+      return false;
     }
   }
 
   *error = SysError::kOk;
-  return out;
+  return true;
 }
 
 bool Kernel::CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const {
@@ -555,19 +552,19 @@ SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
   EdptPtr edpt = thread.endpoints[call.edpt_idx];
 
   SysError error;
-  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
-  if (!resolved.has_value()) {
+  IpcPayload resolved = call.payload;  // the one staged copy per delivery
+  if (!ResolveOutboundPayload(t, &resolved, &error)) {
     return Err(error);
   }
 
   const Endpoint& e = pm_.GetEndpoint(edpt);
   if (e.queue_kind == EdptQueueKind::kReceivers) {
     ThrdPtr receiver = e.queue.Front();
-    if (!CanDeliver(*resolved, receiver, &error)) {
+    if (!CanDeliver(resolved, receiver, &error)) {
       return Err(error);
     }
     pm_.PopWaiter(edpt);
-    Deliver(*resolved, t, receiver);
+    Deliver(resolved, t, receiver);
     pm_.MakeRunnable(receiver);
     return Ok();
   }
@@ -575,7 +572,7 @@ SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
   if (e.queue.full()) {
     return Err(SysError::kCapacity);
   }
-  pm_.MutableThread(t).ipc_buf = *resolved;  // staged, resolved form
+  pm_.MutableThread(t).ipc_buf = resolved;  // staged, resolved form
   pm_.BlockCurrentOn(edpt, ThreadState::kBlockedSend);
   return Err(SysError::kBlocked);
 }
@@ -590,7 +587,10 @@ SyscallRet Kernel::SysRecv(ThrdPtr t, const Syscall& call) {
   const Endpoint& e = pm_.GetEndpoint(edpt);
   if (e.queue_kind == EdptQueueKind::kSenders) {
     ThrdPtr sender = e.queue.Front();
-    IpcPayload staged = pm_.GetThread(sender).ipc_buf;
+    // Borrowed, not copied: sender != t (the queue holds blocked threads,
+    // t is running) and Deliver never creates or erases threads, so the
+    // reference stays valid through delivery.
+    const IpcPayload& staged = pm_.GetThread(sender).ipc_buf;
     SysError error;
     if (!CanDeliver(staged, t, &error)) {
       return Err(error);
@@ -623,19 +623,19 @@ SyscallRet Kernel::SysCall(ThrdPtr t, const Syscall& call) {
   EdptPtr edpt = thread.endpoints[call.edpt_idx];
 
   SysError error;
-  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
-  if (!resolved.has_value()) {
+  IpcPayload resolved = call.payload;  // the one staged copy per delivery
+  if (!ResolveOutboundPayload(t, &resolved, &error)) {
     return Err(error);
   }
 
   const Endpoint& e = pm_.GetEndpoint(edpt);
   if (e.queue_kind == EdptQueueKind::kReceivers) {
     ThrdPtr receiver = e.queue.Front();
-    if (!CanDeliver(*resolved, receiver, &error)) {
+    if (!CanDeliver(resolved, receiver, &error)) {
       return Err(error);
     }
     pm_.PopWaiter(edpt);
-    Deliver(*resolved, t, receiver);
+    Deliver(resolved, t, receiver);
     pm_.MutableThread(receiver).reply_to = t;
     pm_.MakeRunnable(receiver);
     pm_.BlockCurrentForReply();
@@ -645,7 +645,7 @@ SyscallRet Kernel::SysCall(ThrdPtr t, const Syscall& call) {
   if (e.queue.full()) {
     return Err(SysError::kCapacity);
   }
-  pm_.MutableThread(t).ipc_buf = *resolved;
+  pm_.MutableThread(t).ipc_buf = resolved;
   pm_.BlockCurrentOn(edpt, ThreadState::kBlockedCall);
   return Err(SysError::kBlocked);
 }
@@ -661,14 +661,14 @@ SyscallRet Kernel::SysReply(ThrdPtr t, const Syscall& call) {
   }
 
   SysError error;
-  std::optional<IpcPayload> resolved = ResolveOutboundPayload(t, call.payload, &error);
-  if (!resolved.has_value()) {
+  IpcPayload resolved = call.payload;  // the one staged copy per delivery
+  if (!ResolveOutboundPayload(t, &resolved, &error)) {
     return Err(error);
   }
-  if (!CanDeliver(*resolved, caller, &error)) {
+  if (!CanDeliver(resolved, caller, &error)) {
     return Err(error);
   }
-  Deliver(*resolved, t, caller);
+  Deliver(resolved, t, caller);
   pm_.MutableThread(t).reply_to = kNullPtr;
   pm_.MakeRunnable(caller);
   return Ok();
@@ -1022,9 +1022,17 @@ SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call) {
   // relative to the last drain. (Callers maintaining external delta
   // snapshots without the checker must treat a kWouldFault drain as a full
   // rebuild point — see DESIGN.md §13.)
-  std::optional<Kernel> snapshot;
+  // The snapshot refills the pooled clone shell instead of rebuilding from
+  // the heap. Detached from the member first: the rollback below move-
+  // assigns the snapshot over *this, and a still-attached pool would be
+  // destroyed mid-move by its own transplant.
+  std::unique_ptr<Kernel> pool;
   if (atomic && n > 0) {
-    snapshot = CloneForVerification();
+    pool = std::move(snapshot_pool_);
+    if (pool == nullptr) {
+      pool = std::unique_ptr<Kernel>(new Kernel());
+    }
+    CloneForVerificationInto(pool.get());
   }
   for (std::uint64_t i = 0; i < n; ++i) {
     RingSqEntry entry;
@@ -1033,11 +1041,17 @@ SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call) {
     SyscallRet ret = Exec(t, entry.call);
     ATMO_CHECK(ret.error != SysError::kBlocked, "submittable op blocked inside a batch");
     if (atomic && !ret.ok()) {
-      *this = std::move(*snapshot);
+      *this = std::move(*pool);
+      // Keep the (now moved-from) shell for the next refill; the transplant
+      // nulled this->snapshot_pool_ along with the rest of the members.
+      snapshot_pool_ = std::move(pool);
       return Err(SysError::kWouldFault);
     }
     bool completed = rings_.CqPush(call.ring_id, RingCqEntry{entry.user_data, ret});
     ATMO_CHECK(completed, "ring CQ filled up inside a sized batch");
+  }
+  if (pool != nullptr) {
+    snapshot_pool_ = std::move(pool);
   }
   return Ok(n);
 }
@@ -1394,14 +1408,21 @@ InvResult Kernel::TotalWf() const {
 
 Kernel Kernel::CloneForVerification() const {
   Kernel out;
-  out.mem_ = std::make_unique<PhysMem>(mem_->CloneForVerification());
-  out.mmu_ = Mmu(out.mem_.get());
-  out.alloc_ = alloc_.CloneForVerification();
-  out.pm_ = pm_.CloneForVerification();
-  out.vm_ = vm_.CloneForVerification(out.mem_.get());
-  out.iommu_ = iommu_.CloneForVerification(out.mem_.get());
-  out.rings_ = rings_.CloneForVerification();
+  CloneForVerificationInto(&out);
   return out;
+}
+
+void Kernel::CloneForVerificationInto(Kernel* out) const {
+  if (out->mem_ == nullptr) {
+    out->mem_ = std::make_unique<PhysMem>(mem_->frame_count());
+  }
+  mem_->CloneForVerificationInto(out->mem_.get());
+  out->mmu_ = Mmu(out->mem_.get());
+  alloc_.CloneForVerificationInto(&out->alloc_);
+  pm_.CloneForVerificationInto(&out->pm_);
+  vm_.CloneForVerificationInto(&out->vm_, out->mem_.get());
+  iommu_.CloneForVerificationInto(&out->iommu_, out->mem_.get());
+  rings_.CloneForVerificationInto(&out->rings_);
 }
 
 }  // namespace atmo

@@ -120,6 +120,12 @@ class Kernel {
   InvResult MemorySafetyWf() const;
 
   Kernel CloneForVerification() const;
+  // Pooled clone: overwrite `out` (a previous clone or default shell) in
+  // place, reusing its PhysMem frame blocks, map nodes, and index buckets.
+  // Abstract-state identical to CloneForVerification (differential-tested);
+  // steady-state refills perform no heap allocations. `out`'s own snapshot
+  // pool, if any, is left untouched.
+  void CloneForVerificationInto(Kernel* out) const;
 
  private:
   Kernel() = default;
@@ -148,10 +154,12 @@ class Kernel {
   SyscallRet SysRingSetup(ThrdPtr t, const Syscall& call);
   SyscallRet SysRingSubmit(ThrdPtr t, const Syscall& call);
 
-  // Resolves sender-side grant references in `payload` into physical object
-  // pointers; validates authority. Returns nullopt + error on failure.
-  std::optional<IpcPayload> ResolveOutboundPayload(ThrdPtr sender, const IpcPayload& payload,
-                                                   SysError* error);
+  // Resolves sender-side grant references in `*payload` IN PLACE into
+  // physical object pointers; validates authority. Returns false + error on
+  // failure (callers drop the partially-resolved payload). In place so the
+  // send paths stage exactly one payload copy per delivery instead of
+  // copying through an optional return (DESIGN.md §14).
+  bool ResolveOutboundPayload(ThrdPtr sender, IpcPayload* payload, SysError* error);
   // Checks a resolved payload can be applied to `receiver` (dest slots
   // free, quota available) without mutating anything.
   bool CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const;
@@ -173,6 +181,12 @@ class Kernel {
   VmManager vm_{nullptr};
   IommuManager iommu_{nullptr};
   SyscallRingTable rings_;
+  // Preallocated clone destination for ExecBatch's atomic-drain snapshots:
+  // instead of rebuilding a full kernel image from the heap on every atomic
+  // batch, the snapshot is refilled in place (CloneForVerificationInto).
+  // Detached before use so the rollback `*this = std::move(*pool)` cannot
+  // destroy the object being moved from (see ExecBatch).
+  std::unique_ptr<Kernel> snapshot_pool_;
 };
 
 }  // namespace atmo

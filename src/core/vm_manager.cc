@@ -241,4 +241,56 @@ VmManager VmManager::CloneForVerification(PhysMem* mem) const {
   return out;
 }
 
+void VmManager::CloneForVerificationInto(VmManager* out, PhysMem* mem) const {
+  out->mem_ = mem;
+  // Sorted merge walk: per-table pooled clones into reused map nodes.
+  auto dit = out->tables_.begin();
+  for (const auto& [proc, table] : tables_) {
+    while (dit != out->tables_.end() && dit->first < proc) {
+      dit = out->tables_.erase(dit);
+    }
+    if (dit != out->tables_.end() && dit->first == proc) {
+      table.CloneForVerificationInto(&dit->second, mem);
+      ++dit;
+    } else {
+      dit = out->tables_.emplace_hint(dit, proc, PageTable());
+      table.CloneForVerificationInto(&dit->second, mem);
+      ++dit;
+    }
+  }
+  out->tables_.erase(dit, out->tables_.end());
+  // Rebuild the hashed lockstep index (table_index_) against the reused
+  // nodes. Prune-then-upsert instead of clear()+emplace: clear() destroys
+  // the nodes (only the bucket array survives), so re-emplacing would pay
+  // one allocation per entry on every refill; overwriting existing keys in
+  // place is allocation-free at steady state.
+  for (auto iit = out->table_index_.begin(); iit != out->table_index_.end();) {
+    if (out->tables_.find(iit->first) == out->tables_.end()) {
+      iit = out->table_index_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
+  for (auto& [proc, table] : out->tables_) {
+    out->table_index_[proc] = &table;
+  }
+  // frame_perms_ is hashed: erase stale keys, overwrite or insert the rest.
+  for (auto fit = out->frame_perms_.begin(); fit != out->frame_perms_.end();) {
+    if (frame_perms_.find(fit->first) == frame_perms_.end()) {
+      fit = out->frame_perms_.erase(fit);
+    } else {
+      ++fit;
+    }
+  }
+  for (const auto& [page, perm] : frame_perms_) {
+    auto fit = out->frame_perms_.find(page);
+    if (fit != out->frame_perms_.end()) {
+      fit->second = perm.CloneForVerification();
+    } else {
+      out->frame_perms_.emplace(page, perm.CloneForVerification());
+    }
+  }
+  out->dirty_.Reset();  // clones start with an empty mutation log
+}
+
 }  // namespace atmo

@@ -106,6 +106,9 @@ class VmManager {
   void DrainDirtyInto(std::set<ProcPtr>* out, bool* overflow) { dirty_.DrainInto(out, overflow); }
 
   VmManager CloneForVerification(PhysMem* mem) const;
+  // Pooled clone: overwrite `out` in place, reusing its table map nodes,
+  // per-table storage, and index buckets (DESIGN.md §14).
+  void CloneForVerificationInto(VmManager* out, PhysMem* mem) const;
 
  private:
   // Hashed-index lookups used by every syscall; nullptr when absent.

@@ -77,6 +77,25 @@ void DmaArena::Read(VAddr iova, void* dst, std::uint64_t len) const {
   }
 }
 
+std::uint8_t* DmaArena::BorrowWrite(VAddr iova, std::uint64_t len) {
+  ATMO_CHECK(len > 0, "arena borrow of zero bytes");
+  std::uint64_t off = iova & (kPageSize4K - 1);
+  ATMO_CHECK(off + len <= kPageSize4K, "arena borrow straddles a page");
+  PAddr pa = Translate(iova);
+  return mem_->HwFrameSpan(pa / kPageSize4K) + (pa & (kPageSize4K - 1));
+}
+
+const std::uint8_t* DmaArena::BorrowRead(VAddr iova, std::uint64_t len) const {
+  ATMO_CHECK(len > 0, "arena borrow of zero bytes");
+  std::uint64_t off = iova & (kPageSize4K - 1);
+  ATMO_CHECK(off + len <= kPageSize4K, "arena borrow straddles a page");
+  PAddr pa = Translate(iova);
+  // Arena pages are pre-touched at Alloc, so the backing block exists.
+  const std::uint8_t* base = mem_->HwFrameSpanIfTouched(pa / kPageSize4K);
+  ATMO_CHECK(base != nullptr, "arena borrow of an untouched frame");
+  return base + (pa & (kPageSize4K - 1));
+}
+
 void DmaArena::WriteU64(VAddr iova, std::uint64_t value) {
   mem_->HwWriteU64(Translate(iova), value);
 }

@@ -44,6 +44,15 @@ class DmaArena {
   // Physical address backing `iova` (single-page spans only).
   PAddr Translate(VAddr iova) const;
 
+  // Zero-copy borrows: a direct pointer into the backing frame's storage
+  // (DESIGN.md §14). [iova, iova+len) must lie within one 4 KiB page — true
+  // by construction for kIxgbeBufBytes buffers and 16-byte descriptors. The
+  // pointer stays valid for the arena's lifetime (frames are pre-touched at
+  // Alloc and PhysMem frame blocks never move); the device sees every byte
+  // written through it because the simulated NIC reads the same storage.
+  std::uint8_t* BorrowWrite(VAddr iova, std::uint64_t len);
+  const std::uint8_t* BorrowRead(VAddr iova, std::uint64_t len) const;
+
   IommuDomainId domain() const { return domain_; }
   std::uint64_t pages() const { return page_pa_.size(); }
 

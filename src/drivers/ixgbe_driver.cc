@@ -1,5 +1,7 @@
 #include "src/drivers/ixgbe_driver.h"
 
+#include <cstring>
+
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -19,20 +21,83 @@ void IxgbeDriver::Init() {
   nic_->ConfigureRxRing(rx_ring_, entries_);
   nic_->ConfigureTxRing(tx_ring_, entries_);
 
+  // Cache borrowed pointers for every descriptor and buffer slot so the
+  // polling loops touch DMA memory directly (no per-access translation).
+  rx_desc_.resize(entries_);
+  tx_desc_.resize(entries_);
+  rx_buf_.resize(entries_);
+  tx_buf_.resize(entries_);
+  for (std::uint32_t i = 0; i < entries_; ++i) {
+    rx_desc_[i] = reinterpret_cast<std::uint64_t*>(
+        arena_->BorrowWrite(rx_ring_ + i * kNicDescBytes, kNicDescBytes));
+    tx_desc_[i] = reinterpret_cast<std::uint64_t*>(
+        arena_->BorrowWrite(tx_ring_ + i * kNicDescBytes, kNicDescBytes));
+    rx_buf_[i] = arena_->BorrowWrite(rx_buf_base_ + i * kIxgbeBufBytes, kIxgbeBufBytes);
+    tx_buf_[i] = arena_->BorrowWrite(tx_buf_base_ + i * kIxgbeBufBytes, kIxgbeBufBytes);
+  }
+
   // Post every RX buffer: descriptor i points at buffer slot i, DD clear.
   for (std::uint32_t i = 0; i < entries_; ++i) {
-    arena_->WriteU64(rx_ring_ + i * kNicDescBytes, rx_buf_base_ + i * kIxgbeBufBytes);
-    arena_->WriteU64(rx_ring_ + i * kNicDescBytes + 8, 0);
+    rx_desc_[i][0] = rx_buf_base_ + i * kIxgbeBufBytes;
+    rx_desc_[i][1] = 0;
   }
   rx_tail_ = entries_ - 1;  // leave one slot: full ring convention
   nic_->SetRxTail(rx_tail_);
+}
+
+std::uint32_t IxgbeDriver::RxPeekBurst(RxView* out, std::uint32_t n) const {
+  std::uint32_t got = 0;
+  while (got < n) {
+    std::uint32_t index = (rx_next_ + got) % entries_;
+    std::uint64_t meta = rx_desc_[index][1];
+    if ((meta & kNicDescDd) == 0) {
+      break;
+    }
+    out[got].data = rx_buf_[index];
+    out[got].iova = rx_buf_base_ + index * kIxgbeBufBytes;
+    out[got].len = static_cast<std::uint16_t>(meta & kNicDescLenMask);
+    ++got;
+  }
+  return got;
+}
+
+void IxgbeDriver::RxReleaseBurst(std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    rx_desc_[rx_next_ % entries_][1] = 0;  // re-arm
+    ++rx_next_;
+  }
+  if (n > 0) {
+    rx_tail_ += n;
+    nic_->SetRxTail(rx_tail_);
+    rx_frames_ += n;
+  }
+}
+
+std::uint8_t* IxgbeDriver::TxClaim() {
+  if (tx_next_ - tx_clean_ >= entries_) {
+    ReclaimTx();
+    if (tx_next_ - tx_clean_ >= entries_) {
+      return nullptr;
+    }
+  }
+  return tx_buf_[tx_next_ % entries_];
+}
+
+void IxgbeDriver::TxCommitDeferred(std::uint16_t len) {
+  ATMO_CHECK(tx_next_ - tx_clean_ < entries_, "TxCommitDeferred without a claimed slot");
+  ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
+  std::uint32_t index = tx_next_ % entries_;
+  tx_desc_[index][0] = tx_buf_base_ + index * kIxgbeBufBytes;
+  tx_desc_[index][1] = len & kNicDescLenMask;
+  ++tx_next_;
+  ++tx_frames_;
 }
 
 std::uint32_t IxgbeDriver::RxBurst(RxFrame* out, std::uint32_t n) {
   std::uint32_t got = RxBurstInPlace(
       [&](VAddr iova, std::uint16_t len) {
         out->len = len;
-        arena_->Read(iova, out->data.data(), len);
+        std::memcpy(out->data.data(), rx_buf_[(iova - rx_buf_base_) / kIxgbeBufBytes], len);
         ++out;
       },
       n);
@@ -50,12 +115,11 @@ std::uint32_t IxgbeDriver::TxBurst(const TxFrame* frames, std::uint32_t n) {
       }
     }
     std::uint32_t index = tx_next_ % entries_;
-    VAddr buf = tx_buf_base_ + index * kIxgbeBufBytes;
     std::uint16_t len = frames[sent].len;
     ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
-    arena_->Write(buf, frames[sent].data, len);
-    arena_->WriteU64(tx_ring_ + index * kNicDescBytes, buf);
-    arena_->WriteU64(tx_ring_ + index * kNicDescBytes + 8, len & kNicDescLenMask);
+    std::memcpy(tx_buf_[index], frames[sent].data, len);
+    tx_desc_[index][0] = tx_buf_base_ + index * kIxgbeBufBytes;
+    tx_desc_[index][1] = len & kNicDescLenMask;
     ++tx_next_;
     ++sent;
   }
@@ -74,8 +138,8 @@ bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len) {
     }
   }
   std::uint32_t index = tx_next_ % entries_;
-  arena_->WriteU64(tx_ring_ + index * kNicDescBytes, iova);
-  arena_->WriteU64(tx_ring_ + index * kNicDescBytes + 8, len & kNicDescLenMask);
+  tx_desc_[index][0] = iova;
+  tx_desc_[index][1] = len & kNicDescLenMask;
   ++tx_next_;
   ++tx_frames_;
   return true;
@@ -95,7 +159,7 @@ std::uint32_t IxgbeDriver::ReclaimTx() {
   std::uint32_t reclaimed = 0;
   while (tx_clean_ != tx_next_) {
     std::uint32_t index = tx_clean_ % entries_;
-    std::uint64_t meta = arena_->ReadU64(tx_ring_ + index * kNicDescBytes + 8);
+    std::uint64_t meta = tx_desc_[index][1];
     if ((meta & kNicDescDd) == 0) {
       break;  // device has not sent it yet
     }

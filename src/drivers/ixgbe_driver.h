@@ -26,6 +26,15 @@ struct RxFrame {
   std::uint16_t len = 0;
 };
 
+// A completed RX descriptor borrowed in place: `data` points directly into
+// the DMA buffer (no copy). Valid until the matching RxReleaseBurst returns
+// the buffer to the device.
+struct RxView {
+  const std::uint8_t* data = nullptr;
+  VAddr iova = 0;
+  std::uint16_t len = 0;
+};
+
 // A frame to transmit.
 struct TxFrame {
   const std::uint8_t* data = nullptr;
@@ -53,13 +62,13 @@ class IxgbeDriver {
     std::uint32_t got = 0;
     while (got < n) {
       std::uint32_t index = rx_next_ % entries_;
-      std::uint64_t meta = arena_->ReadU64(rx_ring_ + index * kNicDescBytes + 8);
+      std::uint64_t meta = rx_desc_[index][1];
       if ((meta & kNicDescDd) == 0) {
         break;
       }
       fn(rx_buf_base_ + index * kIxgbeBufBytes,
          static_cast<std::uint16_t>(meta & kNicDescLenMask));
-      arena_->WriteU64(rx_ring_ + index * kNicDescBytes + 8, 0);  // re-arm
+      rx_desc_[index][1] = 0;  // re-arm
       ++rx_next_;
       ++got;
     }
@@ -69,6 +78,23 @@ class IxgbeDriver {
     }
     return got;
   }
+
+  // Descriptor-burst, fully zero-copy RX (DESIGN.md §14): fills up to `n`
+  // views from completed descriptors WITHOUT re-arming — the payloads stay
+  // in the DMA arena, borrowed by the caller. Idempotent (no state change);
+  // the caller processes the views in place, then returns the oldest `k`
+  // buffers with RxReleaseBurst(k), which re-arms them all under ONE tail
+  // doorbell write.
+  std::uint32_t RxPeekBurst(RxView* out, std::uint32_t n) const;
+  void RxReleaseBurst(std::uint32_t n);
+
+  // Zero-copy TX: claims the next descriptor's 2 KiB buffer so the caller
+  // can build the egress frame directly in DMA memory (nullptr when the
+  // ring is full even after reclaim). TxCommitDeferred publishes the
+  // claimed buffer as a queued frame — descriptor write only, no doorbell;
+  // TxFlush() rings it once per batch.
+  std::uint8_t* TxClaim();
+  void TxCommitDeferred(std::uint16_t len);
 
   // Queues up to `n` frames for transmission (copies into TX buffers, bumps
   // the device tail). Returns frames queued (ring-full limits it).
@@ -102,6 +128,16 @@ class IxgbeDriver {
   std::uint32_t rx_tail_ = 0;   // free-running tail mirror
   std::uint32_t tx_next_ = 0;   // next descriptor to fill (free-running)
   std::uint32_t tx_clean_ = 0;  // next descriptor to reclaim
+
+  // Borrowed pointers into the DMA arena, cached at Init (descriptor i's
+  // {addr, meta} pair and buffer i's base) — the hot path touches rings and
+  // buffers without a per-access IOVA translation, exactly like a PMD that
+  // keeps virtual addresses of its pinned pool. Descriptors and 2 KiB
+  // buffers never straddle a page, so single borrows cover them.
+  std::vector<std::uint64_t*> rx_desc_;
+  std::vector<std::uint64_t*> tx_desc_;
+  std::vector<std::uint8_t*> rx_buf_;
+  std::vector<std::uint8_t*> tx_buf_;
 
   std::uint64_t rx_frames_ = 0;
   std::uint64_t tx_frames_ = 0;

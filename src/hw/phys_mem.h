@@ -96,6 +96,22 @@ class PhysMem {
 
   // Deep copy of the whole memory image (verification harness only).
   PhysMem CloneForVerification() const;
+  // Pooled variant: deep-copies this image into `out`, reusing `out`'s
+  // already-allocated frame blocks. Where this image has no backing block
+  // (untouched frame, reads as zero) a reusable block in `out` is zeroed
+  // instead of freed — observationally identical, allocation-free.
+  void CloneForVerificationInto(PhysMem* out) const;
+  // Direct span of one frame's backing store, touching it into existence —
+  // the zero-copy borrow point for DMA-visible memory (DESIGN.md §14).
+  // Hardware-side like HwRead/HwWrite (no software permission); the pointer
+  // is stable until the PhysMem is destroyed.
+  std::uint8_t* HwFrameSpan(std::uint64_t frame) {
+    return reinterpret_cast<std::uint8_t*>(Touch(frame).data());
+  }
+  const std::uint8_t* HwFrameSpanIfTouched(std::uint64_t frame) const {
+    const FrameData* data = Peek(frame);
+    return data ? reinterpret_cast<const std::uint8_t*>(data->data()) : nullptr;
+  }
 
   // Hardware-side accesses (MMU page walks, device DMA after IOMMU
   // translation). No software permission: hardware reads what is there.

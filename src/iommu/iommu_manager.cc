@@ -219,4 +219,44 @@ IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
   return out;
 }
 
+void IommuManager::CloneForVerificationInto(IommuManager* out, PhysMem* mem) const {
+  out->mem_ = mem;
+  out->mmu_ = Mmu(mem);
+  out->next_domain_ = next_domain_;
+  // Sorted merge walk: per-domain pooled table clones into reused nodes.
+  auto dit = out->domains_.begin();
+  for (const auto& [id, table] : domains_) {
+    while (dit != out->domains_.end() && dit->first < id) {
+      dit = out->domains_.erase(dit);
+    }
+    if (dit != out->domains_.end() && dit->first == id) {
+      table.CloneForVerificationInto(&dit->second, mem);
+      ++dit;
+    } else {
+      dit = out->domains_.emplace_hint(dit, id, PageTable());
+      table.CloneForVerificationInto(&dit->second, mem);
+      ++dit;
+    }
+  }
+  out->domains_.erase(dit, out->domains_.end());
+  // Rebuild the hashed lockstep index (domain_index_) against the reused
+  // nodes. Prune-then-upsert: clear()+emplace would destroy and reallocate
+  // every index node per refill; overwriting live keys in place keeps the
+  // steady-state refill allocation-free. owner_overrides_ copy-assign
+  // reuses destination nodes.
+  for (auto iit = out->domain_index_.begin(); iit != out->domain_index_.end();) {
+    if (out->domains_.find(iit->first) == out->domains_.end()) {
+      iit = out->domain_index_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
+  for (auto& [id, table] : out->domains_) {
+    out->domain_index_[id] = &table;
+  }
+  out->device_domains_ = device_domains_;
+  out->owner_overrides_ = owner_overrides_;
+  out->dirty_.Reset();  // clones start with an empty mutation log
+}
+
 }  // namespace atmo

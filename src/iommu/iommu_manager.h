@@ -97,6 +97,9 @@ class IommuManager {
   std::uint64_t FreshNodesForDma(IommuDomainId domain, VAddr iova, PageSize size) const;
 
   IommuManager CloneForVerification(PhysMem* mem) const;
+  // Pooled clone: overwrite `out` in place, reusing its domain map nodes,
+  // per-table storage, and index buckets (DESIGN.md §14).
+  void CloneForVerificationInto(IommuManager* out, PhysMem* mem) const;
 
  private:
   // Hashed-index lookups used by every DMA syscall; nullptr when absent.

@@ -5,6 +5,14 @@ namespace atmo {
 std::size_t BuildUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
                           const FiveTuple& flow, const void* payload,
                           std::size_t payload_len) {
+  if (payload_len > 0) {
+    std::memcpy(buf + kHeadersLen, payload, payload_len);
+  }
+  return FinishUdpFrame(buf, src_mac, dst_mac, flow, payload_len);
+}
+
+std::size_t FinishUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
+                           const FiveTuple& flow, std::size_t payload_len) {
   std::size_t total = kHeadersLen + payload_len;
   if (total < kMinFrameLen) {
     total = kMinFrameLen;
@@ -37,10 +45,6 @@ std::size_t BuildUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAd
   PutU16(udp + 4, static_cast<std::uint16_t>(kUdpHeaderLen + payload_len));
   PutU16(udp + 6, 0);  // checksum optional for IPv4
 
-  std::uint8_t* body = udp + kUdpHeaderLen;
-  if (payload_len > 0) {
-    std::memcpy(body, payload, payload_len);
-  }
   std::size_t written = kHeadersLen + payload_len;
   if (written < total) {
     std::memset(buf + written, 0, total - written);  // pad

@@ -88,6 +88,13 @@ inline std::uint16_t InternetChecksum(const std::uint8_t* data, std::size_t len)
 std::size_t BuildUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
                           const FiveTuple& flow, const void* payload, std::size_t payload_len);
 
+// Zero-copy variant: the payload is ALREADY in place at buf + kHeadersLen
+// (written there directly by the application); this writes only the
+// Ethernet/IPv4/UDP headers around it plus any minimum-length padding.
+// Returns total frame length. BuildUdpFrame == memcpy payload + Finish.
+std::size_t FinishUdpFrame(std::uint8_t* buf, const MacAddr& src_mac, const MacAddr& dst_mac,
+                           const FiveTuple& flow, std::size_t payload_len);
+
 struct ParsedFrame {
   FiveTuple flow;
   MacAddr src_mac{};

@@ -1,0 +1,152 @@
+// Replacement global allocation functions with thread-local counting.
+// See alloc_hook.h for the contract. The full replacement set (plain,
+// nothrow, array, aligned, sized-delete) is provided so every deallocation
+// pairs with a counted allocation regardless of which overload the compiler
+// selects — a partial set would silently skew the per-step numbers.
+
+#include "src/obs/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace atmo::obs {
+namespace {
+
+struct ThreadCounters {
+  std::uint64_t allocs;
+  std::uint64_t frees;
+  std::uint64_t bytes;
+};
+
+// Constant-initialized: safe to touch from allocations that run during
+// static initialization, before any dynamic TLS constructors.
+thread_local ThreadCounters g_counters{0, 0, 0};
+
+}  // namespace
+
+std::uint64_t HeapAllocCount() { return g_counters.allocs; }
+std::uint64_t HeapFreeCount() { return g_counters.frees; }
+std::uint64_t HeapAllocBytes() { return g_counters.bytes; }
+
+#if defined(ATMO_OBS_DISABLED)
+bool HeapCountingActive() { return false; }
+#else
+bool HeapCountingActive() { return true; }
+#endif
+
+namespace alloc_hook_internal {
+
+void* CountedAlloc(std::size_t bytes) {
+  g_counters.allocs += 1;
+  g_counters.bytes += bytes;
+  return std::malloc(bytes != 0 ? bytes : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t bytes, std::size_t align) {
+  g_counters.allocs += 1;
+  g_counters.bytes += bytes;
+  if (align < sizeof(void*)) {
+    align = sizeof(void*);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, align, bytes != 0 ? bytes : align) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p != nullptr) {
+    g_counters.frees += 1;
+  }
+  std::free(p);
+}
+
+}  // namespace alloc_hook_internal
+}  // namespace atmo::obs
+
+#if !defined(ATMO_OBS_DISABLED)
+
+namespace hook = atmo::obs::alloc_hook_internal;
+
+void* operator new(std::size_t bytes) {
+  void* p = hook::CountedAlloc(bytes);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t bytes, const std::nothrow_t&) noexcept {
+  return hook::CountedAlloc(bytes);
+}
+
+void* operator new[](std::size_t bytes) {
+  void* p = hook::CountedAlloc(bytes);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t bytes, const std::nothrow_t&) noexcept {
+  return hook::CountedAlloc(bytes);
+}
+
+void* operator new(std::size_t bytes, std::align_val_t align) {
+  void* p = hook::CountedAlignedAlloc(bytes, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new(std::size_t bytes, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return hook::CountedAlignedAlloc(bytes, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t bytes, std::align_val_t align) {
+  void* p = hook::CountedAlignedAlloc(bytes, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* operator new[](std::size_t bytes, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return hook::CountedAlignedAlloc(bytes, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { hook::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { hook::CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete[](void* p) noexcept { hook::CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { hook::CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  hook::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  hook::CountedFree(p);
+}
+
+#endif  // !ATMO_OBS_DISABLED

@@ -1,0 +1,58 @@
+// Heap-allocation counting hook — the measurement side of the spec-rep
+// arenas (DESIGN.md §14).
+//
+// The "allocations per checked step" number gated in CI has to come from the
+// allocator itself, not from arena bookkeeping: the claim is that the checked
+// hot path performs no *global heap* allocations, so the probe replaces
+// `::operator new`/`::operator delete` (alloc_hook.cc) and counts every call
+// into thread-local counters. Thread-local means no synchronization on the
+// fastest path in the process and no TSan-visible state; the replacements
+// route through std::malloc/std::free, which keeps ASan/UBSan/TSan able to
+// interpose underneath (the hook is sanitizer-transparent).
+//
+// The hook is passive and always-on in any binary that links a TU from
+// alloc_hook.cc; counters cost one TLS increment per malloc. Readers sample
+// deltas: `HeapAllocCount()` before and after a region, subtract. Building
+// with -DATMO_OBS_DISABLED compiles the replacements out entirely (stock
+// allocator, counters stay zero).
+
+#ifndef ATMO_SRC_OBS_ALLOC_HOOK_H_
+#define ATMO_SRC_OBS_ALLOC_HOOK_H_
+
+#include <cstdint>
+
+namespace atmo::obs {
+
+// Number of successful `::operator new` (all flavors) calls on this thread
+// since thread start. Monotonic; sample deltas around a region of interest.
+std::uint64_t HeapAllocCount();
+
+// Number of `::operator delete` calls on this thread since thread start.
+std::uint64_t HeapFreeCount();
+
+// Total bytes requested from `::operator new` on this thread. Array and
+// aligned flavors included; per-allocation malloc overhead is not.
+std::uint64_t HeapAllocBytes();
+
+// True when the counting replacements are linked into this binary (i.e. not
+// an ATMO_OBS_DISABLED build). Lets tests skip instead of asserting on zero.
+bool HeapCountingActive();
+
+// Convenience delta probe:
+//   AllocProbe probe;
+//   ... region ...
+//   uint64_t n = probe.allocs();
+class AllocProbe {
+ public:
+  AllocProbe() : start_allocs_(HeapAllocCount()), start_bytes_(HeapAllocBytes()) {}
+  std::uint64_t allocs() const { return HeapAllocCount() - start_allocs_; }
+  std::uint64_t bytes() const { return HeapAllocBytes() - start_bytes_; }
+
+ private:
+  std::uint64_t start_allocs_;
+  std::uint64_t start_bytes_;
+};
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_ALLOC_HOOK_H_

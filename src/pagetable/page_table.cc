@@ -399,4 +399,35 @@ PageTable PageTable::CloneForVerification(PhysMem* mem) const {
   return out;
 }
 
+void PageTable::CloneForVerificationInto(PageTable* out, PhysMem* mem) const {
+  out->mem_ = mem;
+  out->cr3_ = cr3_;
+  out->owner_ = owner_;
+  // Sorted merge walk over the node-permission map: overwrite common
+  // entries in place (FramePerm move-assign into the reused node), erase
+  // stale ones, insert missing ones with a hint. Steady-state reuse
+  // performs no node allocations.
+  auto dit = out->node_perms_.begin();
+  for (const auto& [addr, perm] : node_perms_) {
+    while (dit != out->node_perms_.end() && dit->first < addr) {
+      dit = out->node_perms_.erase(dit);
+    }
+    if (dit != out->node_perms_.end() && dit->first == addr) {
+      dit->second = perm.CloneForVerification();
+      ++dit;
+    } else {
+      out->node_perms_.emplace_hint(dit, addr, perm.CloneForVerification());
+    }
+  }
+  out->node_perms_.erase(dit, out->node_perms_.end());
+  // COW spec maps: O(1) rep shares. The hashed index copy-assign reuses the
+  // destination's bucket array.
+  out->node_info_ = node_info_;
+  out->map_4k_ = map_4k_;
+  out->map_2m_ = map_2m_;
+  out->map_1g_ = map_1g_;
+  out->va_index_ = va_index_;
+  out->write_observer_ = nullptr;
+}
+
 }  // namespace atmo

@@ -125,6 +125,14 @@ class PageTable {
   // Deep copy for the verification harness; node frames themselves live in
   // PhysMem and are cloned by the harness alongside.
   PageTable CloneForVerification(PhysMem* mem) const;
+  // Pooled clone: overwrite `out` (a previously cloned or default-shell
+  // table) in place, reusing its node-permission map nodes and va_index_
+  // buckets. `mem` must already hold this table's node frames (the caller
+  // clones PhysMem first), so no frame bytes move here.
+  void CloneForVerificationInto(PageTable* out, PhysMem* mem) const;
+  // Shell for pooled-clone pools: no root, no permissions; only usable as
+  // a CloneForVerificationInto destination.
+  PageTable() : mem_(nullptr), cr3_(kNullPtr), owner_(kNullPtr) {}
 
  private:
   PageTable(PhysMem* mem, PAddr cr3, FramePerm root_perm, CtnrPtr owner);

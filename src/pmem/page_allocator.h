@@ -152,6 +152,9 @@ class PageAllocator {
 
   // Deep copy for the verification harness.
   PageAllocator CloneForVerification() const;
+  // Pooled clone: overwrite `out` in place, reusing its vector/heap
+  // capacity (allocation-free at steady state; DESIGN.md §14).
+  void CloneForVerificationInto(PageAllocator* out) const;
 
  private:
   friend struct PageAllocatorTestPeer;

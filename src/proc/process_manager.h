@@ -161,6 +161,9 @@ class ProcessManager {
   void DrainDirty(DirtySet* out);
 
   ProcessManager CloneForVerification() const;
+  // Pooled clone: overwrite `out` in place, reusing its permission-map
+  // nodes and queue storage (DESIGN.md §14).
+  void CloneForVerificationInto(ProcessManager* out) const;
 
   // Creates an empty manager; only Boot() produces a usable one. Public so
   // aggregates (Kernel) can default-construct before boot.

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "src/obs/alloc_hook.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/op_names.h"
 #include "src/spec/frame_profile.h"
@@ -22,10 +23,21 @@ std::uint64_t NowNs() {
 
 }  // namespace
 
+void RefinementChecker::EnsureArenas() {
+  if (!options_.use_arena || arenas_[0] != nullptr) {
+    return;
+  }
+  arenas_[0] = std::make_shared<SpecArena>(options_.arena_reserve_bytes);
+  arenas_[1] = std::make_shared<SpecArena>(options_.arena_reserve_bytes);
+}
+
 AbstractKernel RefinementChecker::Capture() {
   // Drain in both modes: the logs are append-only and must not grow without
   // bound across a long full-rebuild run.
   DirtySet dirty = kernel_->DrainDirty();
+  // Reps detached while building Ψ land in the checker's active arena (or
+  // the heap when use_arena is off — ArenaScope(nullptr) is the heap).
+  ArenaScope arena_scope(ActiveArenaRef());
   std::uint64_t t0 = NowNs();
   AbstractKernel psi;
   if (options_.incremental && cached_ && !dirty.overflow) {
@@ -47,6 +59,19 @@ AbstractKernel RefinementChecker::Capture() {
 }
 
 SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
+  EnsureArenas();
+  if (arena_reset_pending_) {
+    // Deferred from the last audit flip: the retired arena's last references
+    // were this checker's own pre/mid/post locals, which died when that
+    // Step returned — so the reset normally succeeds here. If a snapshot
+    // escaped (a test holding Ψ, say) the reset is refused and retried at
+    // the next flip; a refused reset only skips recycling, it is never
+    // unsafe (src/vstd/arena.h).
+    if (arenas_[1 - active_arena_]->Reset()) {
+      arena_reset_pending_ = false;
+    }
+  }
+  obs::AllocProbe heap_probe;
   // Flight-recorder span for the whole checked syscall; the trailing 'E'
   // event carries the error name (or closes bare on a check violation).
   obs::ObsSpan sys_span(obs::kCatSyscall, obs::TraceOpLabel(call.op));
@@ -59,6 +84,9 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
   std::uint64_t t0 = NowNs();
   SpecResult dispatch = [&] {
     ATMO_OBS_SPAN(obs::kCatCheck, "check.spec");
+    // Spec checks build transient expected-Ψ values (functional insert /
+    // remove copies); those belong in the arena with the snapshots.
+    ArenaScope arena_scope(ActiveArenaRef());
     return DispatchSpec(pre, mid, t);
   }();
   stats_.spec_ns += NowNs() - t0;
@@ -71,12 +99,14 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
   t0 = NowNs();
   SpecResult spec = [&] {
     ATMO_OBS_SPAN(obs::kCatCheck, "check.spec");
+    ArenaScope arena_scope(ActiveArenaRef());
     return SyscallSpec(mid, *cached_, t, call, ret);
   }();
   // The declarative frame-condition table (frame_profile.h) is checked in
   // the same pass: components outside the op's profile must be untouched.
   std::string frame = [&] {
     ATMO_OBS_SPAN(obs::kCatCheck, "check.frame");
+    ArenaScope arena_scope(ActiveArenaRef());
     return FrameProfileViolation(mid, *cached_, FrameProfileFor(call.op));
   }();
   stats_.spec_ns += NowNs() - t0;
@@ -97,6 +127,11 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
     t0 = NowNs();
     InvResult wf = [&] {
       ATMO_OBS_SPAN(obs::kCatCheck, "check.wf");
+      // Invariant evaluation builds transient spec views of every
+      // subsystem (O(state) map/set temporaries, all dead by the time the
+      // InvResult returns) — the largest per-step allocation source after
+      // the snapshots themselves, so it belongs in the arena too.
+      ArenaScope arena_scope(ActiveArenaRef());
       return kernel_->TotalWf();
     }();
     stats_.wf_ns += NowNs() - t0;
@@ -112,13 +147,33 @@ SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
     // sees it and demands bit-for-bit agreement.
     bool agree = [&] {
       ATMO_OBS_SPAN(obs::kCatCheck, "check.audit");
+      // The full rebuild happens in the PARTNER arena. On agreement the
+      // rebuilt Ψ replaces cached_, so nothing durable references the
+      // active arena any more; the roles flip and the old arena is reset
+      // at the start of the next Step (this step's locals still hold reps
+      // in it). This is the audit-aligned recycle point of DESIGN.md §14.
+      const int partner = 1 - active_arena_;
+      ArenaScope arena_scope(arenas_[partner]);
       AbstractKernel full = kernel_->Abstract();
-      return full == *cached_;
+      bool equal = full == *cached_;
+      if (equal && arenas_[partner] != nullptr) {
+        cached_ = std::move(full);
+        active_arena_ = partner;
+        arena_reset_pending_ = true;
+      }
+      return equal;
     }();
     stats_.audit_ns += NowNs() - t0;
     ++stats_.audit_passes;
     ATMO_CHECK(agree, std::string("incremental-abstraction audit failed after ") +
                           SysOpName(call.op) + ": cached Ψ diverged from Abstract()");
+  }
+  stats_.heap_allocs += heap_probe.allocs();
+  if (arenas_[0] != nullptr) {
+    stats_.arena_allocs = arenas_[0]->stats().allocs + arenas_[1]->stats().allocs;
+    stats_.arena_resets = arenas_[0]->stats().resets + arenas_[1]->stats().resets;
+    stats_.arena_refused_resets =
+        arenas_[0]->stats().refused_resets + arenas_[1]->stats().refused_resets;
   }
   sys_span.SetResult("error", SysErrorName(ret.error));
   return ret;

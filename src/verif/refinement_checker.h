@@ -24,10 +24,12 @@
 #define ATMO_SRC_VERIF_REFINEMENT_CHECKER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "src/core/kernel.h"
 #include "src/spec/syscall_specs.h"
+#include "src/vstd/arena.h"
 
 namespace atmo {
 
@@ -47,6 +49,14 @@ struct CheckStats {
   std::uint64_t max_dirty_entries = 0;   // largest single drained dirty set
   std::uint64_t batch_drains = 0;        // successful kRingEnter transitions
   std::uint64_t batched_entries = 0;     // inner syscalls covered by them
+  // Allocation telemetry (DESIGN.md §14). heap_allocs is the number of
+  // ::operator new calls observed inside Step() — the numerator of the
+  // allocations-per-checked-step number gated in CI. The arena_* counters
+  // mirror the per-checker SpecArena stats (0 when use_arena is off).
+  std::uint64_t heap_allocs = 0;
+  std::uint64_t arena_allocs = 0;
+  std::uint64_t arena_resets = 0;
+  std::uint64_t arena_refused_resets = 0;
 };
 
 class RefinementChecker {
@@ -62,6 +72,15 @@ class RefinementChecker {
     // false: rebuild Ψ from scratch at every capture (the pre-optimization
     // behaviour, kept as the differential-testing oracle).
     bool incremental = true;
+    // Route the transient Ψ snapshots and spec-check temporaries through a
+    // pair of per-checker SpecArenas that ping/pong at audit boundaries
+    // (DESIGN.md §14). false = global heap, kept as the measurement
+    // baseline for the allocations-per-step gate.
+    bool use_arena = true;
+    // Bytes preallocated per arena at first Step (two arenas per checker).
+    // 0 = grow on demand. SweepHarness sets this so shards never touch the
+    // global heap for chunk growth on the hot path.
+    std::size_t arena_reserve_bytes = 0;
   };
 
   RefinementChecker(Kernel* kernel, const Options& options)
@@ -81,15 +100,32 @@ class RefinementChecker {
   const AbstractKernel* cached() const { return cached_ ? &*cached_ : nullptr; }
   Kernel* kernel() { return kernel_; }
 
+  // Arena introspection for tests and benches. Null when use_arena is off
+  // or before the first Step. The active arena serves the current audit
+  // window's captures; the retired one is awaiting its deferred reset.
+  const SpecArena* active_arena() const { return arenas_[active_arena_].get(); }
+  const SpecArena* retired_arena() const {
+    return arenas_[1 - active_arena_].get();
+  }
+
  private:
   // Drains the kernel's dirty logs and produces the current Ψ — by patching
   // the cached snapshot when incremental, by full rebuild otherwise.
   AbstractKernel Capture();
+  void EnsureArenas();
+  // The arena new allocations should target right now (null = heap).
+  const std::shared_ptr<SpecArena>& ActiveArenaRef() const {
+    return arenas_[active_arena_];
+  }
 
   Kernel* kernel_;
   Options options_;
   CheckStats stats_;
   std::optional<AbstractKernel> cached_;
+  // Ping/pong arena pair (see Step for the flip-and-deferred-reset dance).
+  std::shared_ptr<SpecArena> arenas_[2];
+  int active_arena_ = 0;
+  bool arena_reset_pending_ = false;
 };
 
 }  // namespace atmo

@@ -31,6 +31,10 @@ void MergeStats(CheckStats* into, const CheckStats& from) {
   into->max_dirty_entries = std::max(into->max_dirty_entries, from.max_dirty_entries);
   into->batch_drains += from.batch_drains;
   into->batched_entries += from.batched_entries;
+  into->heap_allocs += from.heap_allocs;
+  into->arena_allocs += from.arena_allocs;
+  into->arena_resets += from.arena_resets;
+  into->arena_refused_resets += from.arena_refused_resets;
 }
 
 }  // namespace

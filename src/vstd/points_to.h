@@ -142,6 +142,26 @@ class PointsTo {
     return out;
   }
 
+  // Pooled variant: overwrite this permission in place with a deep copy of
+  // `src`, reusing the engaged value's storage (a T copy-assign instead of
+  // a destroy + construct). Same harness-only caveat as above.
+  void CloneForVerificationFrom(const PointsTo& src)
+    requires std::copy_constructible<T> && std::assignable_from<T&, const T&>
+  {
+    ATMO_CHECK(src.alive_, "PointsTo used after move/consume");
+    addr_ = src.addr_;
+    alive_ = true;
+    if (src.value_.has_value()) {
+      if (value_.has_value()) {
+        *value_ = *src.value_;
+      } else {
+        value_.emplace(*src.value_);
+      }
+    } else {
+      value_.reset();
+    }
+  }
+
  private:
   PointsTo(Ptr addr, std::optional<T> value) : addr_(addr), value_(std::move(value)) {}
 

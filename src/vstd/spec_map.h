@@ -13,6 +13,11 @@
 // strongest frame condition (`error ==> Ψ' == Ψ`) near-free for states
 // produced by the incremental abstraction layer (Kernel::AbstractDelta).
 // A null rep denotes the empty map.
+//
+// Allocation: reps draw from the thread's current SpecArena when one is
+// installed (ArenaScope — the refinement checker's hot path), and from the
+// global heap otherwise. The arena is captured at detach time and co-owned
+// by the rep, so a rep can never dangle (src/vstd/arena.h lifetime rules).
 
 #ifndef ATMO_SRC_VSTD_SPEC_MAP_H_
 #define ATMO_SRC_VSTD_SPEC_MAP_H_
@@ -21,6 +26,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/vstd/arena.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -29,8 +35,12 @@ template <typename K, typename V>
 class SpecMap {
  public:
   SpecMap() = default;
-  SpecMap(std::initializer_list<std::pair<const K, V>> init)
-      : rep_(init.size() == 0 ? nullptr : std::make_shared<Rep>(init)) {}
+  SpecMap(std::initializer_list<std::pair<const K, V>> init) {
+    if (init.size() != 0) {
+      NodeAlloc alloc;
+      rep_ = std::allocate_shared<Rep>(alloc, init, std::less<K>(), alloc);
+    }
+  }
 
   bool contains(const K& k) const { return rep_ && rep_->find(k) != rep_->end(); }
 
@@ -142,18 +152,26 @@ class SpecMap {
   auto end() const { return view().end(); }
 
  private:
-  using Rep = std::map<K, V>;
+  using NodeAlloc = ArenaAllocator<std::pair<const K, V>>;
+  using Rep = std::map<K, V, std::less<K>, NodeAlloc>;
 
   const Rep& view() const {
-    static const Rep kEmpty;
+    // Explicit null arena: kEmpty must not capture (and pin) whatever arena
+    // happens to be in scope on first use.
+    static const Rep kEmpty{NodeAlloc(nullptr)};
     return rep_ ? *rep_ : kEmpty;
   }
 
+  // Detached reps are placed wherever the *current* scope says, not where
+  // the source rep lived: a checker-scoped patch of a heap-built snapshot
+  // lands in the checker's arena, and an unscoped copy of an arena-built
+  // snapshot lands on the heap.
   Rep& Detach() {
+    NodeAlloc alloc;
     if (!rep_) {
-      rep_ = std::make_shared<Rep>();
+      rep_ = std::allocate_shared<Rep>(alloc, alloc);
     } else if (rep_.use_count() > 1) {
-      rep_ = std::make_shared<Rep>(*rep_);
+      rep_ = std::allocate_shared<Rep>(alloc, *rep_, alloc);
     }
     return *rep_;
   }

@@ -2,14 +2,23 @@
 //
 // Used for ghost sequences such as a container's `path` (the sequence of
 // direct and indirect parents from the root, Listing 2).
+//
+// Unlike SpecMap/SpecSet the rep is a plain vector (no COW), but its storage
+// follows the same arena discipline: sequences built or copied under an
+// ArenaScope draw from the scope's arena, others from the heap. The copy
+// operations re-choose the allocator from the *current* scope rather than
+// propagating the source's, so heap-built state copied inside the checker
+// lands in the checker's arena and vice versa.
 
 #ifndef ATMO_SRC_VSTD_SPEC_SEQ_H_
 #define ATMO_SRC_VSTD_SPEC_SEQ_H_
 
 #include <algorithm>
 #include <initializer_list>
+#include <utility>
 #include <vector>
 
+#include "src/vstd/arena.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -18,7 +27,17 @@ template <typename T>
 class SpecSeq {
  public:
   SpecSeq() = default;
-  SpecSeq(std::initializer_list<T> init) : rep_(init) {}
+  SpecSeq(std::initializer_list<T> init) : rep_(init, ArenaAllocator<T>()) {}
+
+  SpecSeq(const SpecSeq& other) : rep_(other.rep_, ArenaAllocator<T>()) {}
+  SpecSeq& operator=(const SpecSeq& other) {
+    if (this != &other) {
+      rep_.assign(other.rep_.begin(), other.rep_.end());
+    }
+    return *this;
+  }
+  SpecSeq(SpecSeq&&) = default;
+  SpecSeq& operator=(SpecSeq&&) = default;
 
   std::size_t len() const { return rep_.size(); }
   bool empty() const { return rep_.empty(); }
@@ -97,7 +116,7 @@ class SpecSeq {
   auto end() const { return rep_.end(); }
 
  private:
-  std::vector<T> rep_;
+  std::vector<T, ArenaAllocator<T>> rep_;
 };
 
 }  // namespace atmo

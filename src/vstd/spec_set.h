@@ -3,13 +3,18 @@
 // Copy-on-write structural sharing, mirroring SpecMap: copies are O(1),
 // mutation detaches a private rep, and equality / subset / disjointness
 // short-circuit when two sets share a rep. A null rep denotes the empty set.
+// Reps are arena-backed under an ArenaScope, heap-backed otherwise — same
+// allocation discipline as SpecMap (src/vstd/arena.h).
 
 #ifndef ATMO_SRC_VSTD_SPEC_SET_H_
 #define ATMO_SRC_VSTD_SPEC_SET_H_
 
+#include <functional>
 #include <initializer_list>
 #include <memory>
 #include <set>
+
+#include "src/vstd/arena.h"
 
 namespace atmo {
 
@@ -17,8 +22,12 @@ template <typename T>
 class SpecSet {
  public:
   SpecSet() = default;
-  SpecSet(std::initializer_list<T> init)
-      : rep_(init.size() == 0 ? nullptr : std::make_shared<Rep>(init)) {}
+  SpecSet(std::initializer_list<T> init) {
+    if (init.size() != 0) {
+      NodeAlloc alloc;
+      rep_ = std::allocate_shared<Rep>(alloc, init, std::less<T>(), alloc);
+    }
+  }
 
   bool contains(const T& t) const { return rep_ && rep_->find(t) != rep_->end(); }
   std::size_t size() const { return rep_ ? rep_->size() : 0; }
@@ -154,18 +163,22 @@ class SpecSet {
   auto end() const { return view().end(); }
 
  private:
-  using Rep = std::set<T>;
+  using NodeAlloc = ArenaAllocator<T>;
+  using Rep = std::set<T, std::less<T>, NodeAlloc>;
 
   const Rep& view() const {
-    static const Rep kEmpty;
+    static const Rep kEmpty{NodeAlloc(nullptr)};
     return rep_ ? *rep_ : kEmpty;
   }
 
+  // Detached reps land in the *current* scope's arena (or the heap when no
+  // scope is installed) — see SpecMap::Detach for the rationale.
   Rep& Detach() {
+    NodeAlloc alloc;
     if (!rep_) {
-      rep_ = std::make_shared<Rep>();
+      rep_ = std::allocate_shared<Rep>(alloc, alloc);
     } else if (rep_.use_count() > 1) {
-      rep_ = std::make_shared<Rep>(*rep_);
+      rep_ = std::allocate_shared<Rep>(alloc, *rep_, alloc);
     }
     return *rep_;
   }

@@ -1,0 +1,61 @@
+namespace atmo {
+
+IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
+  auto [it, inserted] = domains_.emplace(next_domain_, PageTable());
+  domain_index_.emplace(next_domain_, &it->second);
+  dirty_.Mark(next_domain_);
+  return next_domain_++;
+}
+
+bool IommuManager::Wf() const {
+  if (domain_index_.size() != domains_.size()) {
+    return false;
+  }
+  for (const auto& [id, table] : domains_) {
+    auto it = domain_index_.find(id);
+    if (it == domain_index_.end() || it->second != &table) {
+      return false;
+    }
+  }
+  for (const auto& [id, owner] : owner_overrides_) {
+    if (domains_.find(id) == domains_.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
+  IommuManager out(mem);
+  for (const auto& [id, table] : domains_) {
+    auto [it, inserted] = out.domains_.emplace(id, table);
+    out.domain_index_.emplace(id, &it->second);
+  }
+  out.owner_overrides_ = owner_overrides_;
+  return out;
+}
+
+// Seeded violation: the pooled refill reuses the destination's map nodes but
+// never rebuilds domain_index_, so the pooled clone keeps verifying through
+// whatever the index pointed at before the refill.
+void IommuManager::CloneForVerificationInto(IommuManager* out, PhysMem* mem) const {
+  out->mem_ = mem;
+  auto dit = out->domains_.begin();
+  for (const auto& [id, table] : domains_) {
+    while (dit != out->domains_.end() && dit->first < id) {
+      dit = out->domains_.erase(dit);
+    }
+    if (dit != out->domains_.end() && dit->first == id) {
+      dit->second = table;
+      ++dit;
+    } else {
+      dit = out->domains_.emplace_hint(dit, id, table);
+      ++dit;
+    }
+  }
+  out->domains_.erase(dit, out->domains_.end());
+  out->owner_overrides_ = owner_overrides_;
+  out->dirty_.Reset();
+}
+
+}  // namespace atmo

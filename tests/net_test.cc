@@ -2,6 +2,7 @@
 // detection, destination rewriting, and FNV hashing.
 
 #include <cstring>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -31,6 +32,31 @@ TEST(PacketTest, BuildParseRoundTrip) {
   EXPECT_EQ(parsed->dst_mac, kDst);
   EXPECT_EQ(parsed->payload_len, 12u);
   EXPECT_EQ(std::memcmp(parsed->payload, payload, 12), 0);
+}
+
+TEST(PacketTest, FinishUdpFrameMatchesBuildUdpFrame) {
+  // The zero-copy egress path places the payload first and wraps headers
+  // around it; the result must be byte-identical to the copying builder for
+  // every payload length class (empty, padded, typical, max).
+  for (std::size_t plen : {std::size_t{0}, std::size_t{5}, std::size_t{17},
+                           std::size_t{100}, kMaxFrameLen - kHeadersLen}) {
+    std::vector<std::uint8_t> payload(plen);
+    for (std::size_t i = 0; i < plen; ++i) {
+      payload[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    std::uint8_t built[kMaxFrameLen] = {};
+    std::size_t built_len = BuildUdpFrame(built, kSrc, kDst, Flow(), payload.data(), plen);
+
+    std::uint8_t finished[kMaxFrameLen] = {};
+    std::memcpy(finished + kHeadersLen, payload.data(), plen);  // payload pre-placed
+    std::size_t finished_len = FinishUdpFrame(finished, kSrc, kDst, Flow(), plen);
+
+    ASSERT_EQ(finished_len, built_len) << "payload len " << plen;
+    EXPECT_EQ(std::memcmp(finished, built, built_len), 0) << "payload len " << plen;
+    auto parsed = ParseUdpFrame(finished, finished_len);
+    ASSERT_TRUE(parsed.has_value()) << "payload len " << plen;
+    EXPECT_EQ(parsed->payload_len, plen);
+  }
 }
 
 TEST(PacketTest, MinimumFramePadding) {

@@ -894,6 +894,17 @@ void RuleLockstepIndex(const Options& options, std::vector<Finding>* findings) {
       }
       return false;
     };
+    // Pooled refills rebuild the clone in place (DESIGN.md §14); an index
+    // the refill forgets would leave the pooled clone verifying through
+    // stale pointers, so wherever the Into variant exists it must rebuild
+    // every index the fresh-clone path does. FindIdent matches whole
+    // identifiers, so this is independent of the CloneForVerification check.
+    bool has_into = false;
+    for (const SourceFile* f : {&header, source.ok ? &source : nullptr}) {
+      if (f != nullptr && FunctionBody(*f, "CloneForVerificationInto")) {
+        has_into = true;
+      }
+    }
     for (const std::string& member : members) {
       std::size_t decl_line = 0;
       for (std::size_t pos : FindIdent(header.code, member, body->begin, body->end)) {
@@ -920,6 +931,13 @@ void RuleLockstepIndex(const Options& options, std::vector<Finding>* findings) {
                        " is not rebuilt in CloneForVerification()",
                    "rebuild or copy " + member + " in " + sub.class_name +
                        "::CloneForVerification so clones verify the same state");
+      }
+      if (has_into && !search_all("CloneForVerificationInto", member)) {
+        AddFinding(findings, header, decl_line, "lockstep-index",
+                   sub.class_name + "::" + member +
+                       " is not rebuilt in CloneForVerificationInto()",
+                   "rebuild " + member + " against the reused nodes in " + sub.class_name +
+                       "::CloneForVerificationInto so pooled refills verify the same state");
       }
     }
   }
