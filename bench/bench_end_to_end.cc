@@ -38,11 +38,12 @@ int main() {
 
   std::vector<E2EResult> results;
   auto run = [&](const char* name, std::uint64_t requests, std::uint32_t batch,
-                 bool shm_submit) {
+                 bool shm_submit, bool splice = false) {
     E2EOptions opt;
     opt.requests = requests;
     opt.batch = batch;
     opt.shm_submit = shm_submit;
+    opt.splice = splice;
     E2EResult r = RunEndToEnd(name, opt);
     json.Record(r.row, "K");
     results.push_back(r);
@@ -53,6 +54,10 @@ int main() {
   run("batched-b32-syscall-submit", target, 32, false);
   run("batched-b32", target, 32, true);
   run("batched-b256", target, 256, true);
+  // Zero-copy splice path: responses transmitted in place from pre-rendered
+  // DMA slices, kernel work as one borrow-grant rendezvous per RX burst
+  // (DESIGN.md §15). bytes_copied_per_request must be exactly 0.
+  run("splice", target, 0, true, /*splice=*/true);
 
   // Syscall-only amortization microbench: the >=5x gate's numbers.
   std::uint64_t micro_ops = ScaledOps(400000);
@@ -98,6 +103,16 @@ int main() {
     all_ok = all_ok && r.all_ok;
   }
 
+  // The zero-copy claim is deterministic (a counter, not a rate), so it is
+  // a hard gate even in quick mode.
+  const E2EResult& splice = results.back();
+  bool splice_zero_copy = splice.bytes_copied == 0 && splice.spliced_responses > 0;
+  std::printf("\nsplice path: %llu/%llu responses spliced, %llu payload bytes copied %s\n",
+              static_cast<unsigned long long>(splice.spliced_responses),
+              static_cast<unsigned long long>(splice.row.ops),
+              static_cast<unsigned long long>(splice.bytes_copied),
+              splice_zero_copy ? "(PASS: zero-copy)" : "(FAIL)");
+
   json.Write([&](atmo::obs::JsonWriter* w) {
     w->KV("clients", std::uint64_t{1} << 20);
     w->Key("configs").BeginArray();
@@ -112,6 +127,9 @@ int main() {
       w->KV("httpd_responses", r.httpd_responses);
       w->KV("kv_responses", r.kv_responses);
       w->KV("batch_drains", r.batch_drains);
+      w->KV("bytes_copied", r.bytes_copied);
+      w->KV("bytes_copied_per_request", r.bytes_copied_per_request, "%.2f");
+      w->KV("spliced_responses", r.spliced_responses);
       w->KV("all_ok", r.all_ok);
       w->EndObject();
     }
@@ -124,11 +142,16 @@ int main() {
     w->KV("heap_allocs_per_checked_step", arena_allocs_per_step, "%.2f");
     w->KV("noarena_heap_allocs_per_checked_step", noarena_allocs_per_step, "%.2f");
     w->KV("alloc_reduction_vs_noarena", alloc_reduction, "%.2f");
+    w->KV("splice_zero_copy", splice_zero_copy);
     w->KV("all_ok", all_ok);
   });
 
   if (!all_ok) {
     std::fprintf(stderr, "end_to_end: a configuration finished with total_wf not ok\n");
+    return 1;
+  }
+  if (!splice_zero_copy) {
+    std::fprintf(stderr, "end_to_end: splice path copied payload bytes\n");
     return 1;
   }
   // The amortization gate is meaningful at full scale; quick mode is too

@@ -137,6 +137,10 @@ int main() {
   w.KV("speedup_2w", speedup_2w, "%.2f");
   w.KV("speedup_4w", speedup_4w, "%.2f");
   w.KV("speedup_8w", speedup_8w, "%.2f");
+  // On a single schedulable CPU the workers time-slice one core, the curve
+  // is ~flat by construction and the speedup numbers say nothing about the
+  // harness — flag them so downstream tooling doesn't compare them.
+  w.KV("scaling_valid", host_cpus > 1);
   w.KV("deterministic_across_workers", deterministic);
   w.KV("all_ok", all_ok);
   w.EndObject();
@@ -169,7 +173,13 @@ int main() {
                 ok ? "PASS" : "FAIL");
     return ok ? 0 : 1;
   }
-  std::printf("scaling threshold skipped (%u CPUs available%s)\n", host_cpus,
-              quick ? ", quick mode" : "");
+  if (host_cpus == 1) {
+    std::printf(
+        "scaling threshold skipped: 1 CPU available, workers time-slice one core "
+        "(scaling_valid=false in BENCH_parallel_sweep.json)\n");
+  } else {
+    std::printf("scaling threshold skipped (%u CPUs available%s)\n", host_cpus,
+                quick ? ", quick mode" : "");
+  }
   return 0;
 }

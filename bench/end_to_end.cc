@@ -11,6 +11,7 @@
 #include "src/apps/maglev.h"
 #include "src/core/syscall_ring.h"
 #include "src/drivers/ixgbe_driver.h"
+#include "src/obs/copy_probe.h"
 #include "src/obs/metrics.h"
 #include "src/verif/trace_gen.h"
 #include "src/vstd/check.h"
@@ -22,6 +23,14 @@ namespace {
 constexpr VAddr kReqWindow = 0x200000;  // per-request mmap churn window
 constexpr std::uint32_t kReqWindowSlots = 32;
 constexpr std::uint32_t kNicRing = 512;
+
+// Splice mode: the RX burst's pages are symbolically lent to the serving
+// process for the duration of the burst — a kBorrow grant of this
+// pre-mapped slot page from thrds[0] (driver side) into thrds[2] (app
+// side), returned after the burst, the same way RequestSyscall's mmap churn
+// stands for per-request buffer management on the copy path.
+constexpr VAddr kGrantSlotVa = 0x900000;  // procs[0], outside the churn window
+constexpr VAddr kGrantDestVa = 0xA00000;  // procs[1], outside the DMA donors
 
 std::uint64_t NowNs() {
   return static_cast<std::uint64_t>(
@@ -136,12 +145,25 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
   // boots the standard 2-process/3-thread machine; thrds[0] is the server
   // thread whose per-request kernel work is measured.
   TraceFixture f = TraceFixture::Boot();
+  if (options.splice) {
+    // The grant rendezvous needs endpoint slot 0 (thrds[0] <-> thrds[2]).
+    f.SetupIpcAndDma();
+  }
   RefinementChecker checker(&f.kernel, options.checker);
   ThrdPtr t = f.thrds[0];
 
   std::uint64_t ring = 0;
+  ATMO_CHECK(!(options.splice && options.batch > 0),
+             "splice mode does its kernel work per burst, not per ring batch");
   if (options.batch > 0) {
     ring = SetupRing(&checker, t, options.batch);
+  }
+  if (options.splice) {
+    Syscall mm;
+    mm.op = SysOp::kMmap;
+    mm.va_range = VaRange{kGrantSlotVa, 1, PageSize::k4K};
+    mm.map_perm = MapEntryPerm{.writable = true, .user = true, .no_execute = true};
+    ATMO_CHECK(checker.Step(t, mm).ok(), "end-to-end grant slot mmap failed");
   }
 
   // The data path: simulated NIC + polled driver + Maglev + both backends.
@@ -156,6 +178,28 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
   httpd.AddPage("/", "text/html", std::string(256, 'x'));
   httpd.AddPage("/index.html", "text/html", std::string(512, 'y'));
   KvStore store(1 << 14);
+  if (options.splice) {
+    // Pre-render every response into DMA pages the NIC can transmit from
+    // directly. The arena hands back per-page CPU pointers (its physical
+    // pages are scattered), so slabs are attached page by page.
+    for (std::size_t p = 0; p < httpd.SplicePagesNeeded(); ++p) {
+      VAddr iova = m.arena.Alloc(kPageSize4K);
+      httpd.AddSplicePage(m.arena.BorrowWrite(iova, kPageSize4K), iova, kHeadersLen);
+    }
+    for (std::size_t p = 0; p < store.SplicePagesNeeded(); ++p) {
+      VAddr iova = m.arena.Alloc(kPageSize4K);
+      store.AddSplicePage(m.arena.BorrowWrite(iova, kPageSize4K), iova, kHeadersLen);
+    }
+    // Warm the store so generator GETs hit (SETs keep overwriting the same
+    // keys/values, so the slab stays current).
+    char key[16];
+    for (std::uint64_t k = 0; k <= 0xfff; ++k) {
+      int klen = std::snprintf(key, sizeof(key), "k%llu", static_cast<unsigned long long>(k));
+      ATMO_CHECK(store.Set(std::string_view(key, static_cast<std::size_t>(klen)),
+                           "v0123456789abcdef"),
+                 "end-to-end kv warmup failed");
+    }
+  }
 
   E2EResult result;
   obs::Histogram latency;
@@ -183,6 +227,12 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     pending_ts.clear();
   };
 
+  // Serving-loop copy accounting starts here — splice setup pre-rendering
+  // (which legitimately copies) is deliberately outside the probe window.
+  obs::CopyProbe copy_probe;
+  std::uint64_t splice_t0[32];
+  std::uint32_t splice_inflight = 0;
+
   auto start = std::chrono::steady_clock::now();
   while (done < options.requests) {
     m.nic.DeliverRx(32);
@@ -192,11 +242,59 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     // (DESIGN.md §14). No frame bytes are copied on the request path.
     std::uint32_t burst = driver.RxPeekBurst(views, 32);
     std::uint32_t queued = 0;
+    if (options.splice && burst > 0) {
+      // The burst's kernel work: lend the burst's pages to the app process
+      // for the duration of the burst. Recv parks the app thread, the Send
+      // carries the kBorrow grant, and both transitions are checked.
+      Syscall recv;
+      recv.op = SysOp::kRecv;
+      recv.edpt_idx = 0;
+      ATMO_CHECK(checker.Step(f.thrds[2], recv).error == SysError::kBlocked,
+                 "end-to-end grant recv did not block");
+      Syscall grant;
+      grant.op = SysOp::kSend;
+      grant.edpt_idx = 0;
+      grant.payload.page =
+          PageGrant{.page = kGrantSlotVa,
+                    .size = PageSize::k4K,
+                    .dest_va = kGrantDestVa,
+                    .perm = MapEntryPerm{.writable = false, .user = true, .no_execute = true},
+                    .mode = GrantMode::kBorrow};
+      ATMO_CHECK(checker.Step(t, grant).ok(), "end-to-end grant send failed");
+      result.inner_syscalls += 2;
+    }
     for (std::uint32_t v = 0; v < burst && done < options.requests; ++v) {
       std::uint64_t t0 = NowNs();
       auto parsed = ParseUdpFrame(views[v].data, views[v].len);
       if (!parsed.has_value() || lb.Lookup(parsed->flow) < 0) {
         continue;
+      }
+      if (options.splice) {
+        // Zero-copy fast path: answer from a pre-rendered DMA slice and
+        // point the TX descriptor at it in place. Only the frame headers
+        // are written; no payload bytes move.
+        std::optional<SpliceSlice> slice =
+            parsed->flow.dst_port == 80
+                ? httpd.HandleRequestSpliced(parsed->payload, parsed->payload_len)
+                : store.HandleRequestSpliced(parsed->payload, parsed->payload_len);
+        if (slice.has_value()) {
+          FiveTuple reply{.src_ip = parsed->flow.dst_ip, .dst_ip = parsed->flow.src_ip,
+                          .src_port = parsed->flow.dst_port,
+                          .dst_port = parsed->flow.src_port};
+          std::size_t flen =
+              FinishUdpFrame(slice->frame, my_mac, parsed->src_mac, reply, slice->resp_len);
+          if (!driver.TxInPlaceDeferred(slice->iova, static_cast<std::uint16_t>(flen))) {
+            continue;  // TX ring full: drop, like the claim path
+          }
+          ++(parsed->flow.dst_port == 80 ? result.httpd_responses : result.kv_responses);
+          ++result.spliced_responses;
+          ++queued;
+          splice_t0[splice_inflight++] = t0;
+          ++done;
+          continue;
+        }
+        // Fall through: SET/DEL/misses take the ordinary claim-and-copy
+        // path (their responses are a status byte pair — still no payload).
       }
       std::uint8_t* tx = driver.TxClaim();
       if (tx == nullptr) {
@@ -222,6 +320,13 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
       driver.TxCommitDeferred(static_cast<std::uint16_t>(flen));
       ++queued;
 
+      if (options.splice) {
+        // The burst's grant rendezvous already covers this request's kernel
+        // work; latency is certified at the burst's GrantReturn.
+        splice_t0[splice_inflight++] = t0;
+        ++done;
+        continue;
+      }
       // The request's kernel work, certified per-call or batched.
       Syscall call = RequestSyscall(done);
       if (options.batch == 0) {
@@ -245,6 +350,20 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
       driver.TxFlush();
     }
     driver.RxReleaseBurst(burst);
+    if (options.splice && burst > 0) {
+      // Return the loan: the lender's write access comes back and the
+      // burst's requests are certified.
+      Syscall gret;
+      gret.op = SysOp::kGrantReturn;
+      gret.va_range = VaRange{kGrantDestVa, 1, PageSize::k4K};
+      ATMO_CHECK(checker.Step(f.thrds[2], gret).ok(), "end-to-end grant return failed");
+      ++result.inner_syscalls;
+      std::uint64_t now = NowNs();
+      for (std::uint32_t i = 0; i < splice_inflight; ++i) {
+        latency.Observe(now - splice_t0[i]);
+      }
+      splice_inflight = 0;
+    }
     m.nic.ProcessTx(32);
   }
   if (!pending_ts.empty()) {
@@ -262,6 +381,9 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
   result.p50_ns = latency.Percentile(0.50);
   result.p99_ns = latency.Percentile(0.99);
   result.batch_drains = checker.stats().batch_drains;
+  result.bytes_copied = copy_probe.bytes();
+  result.bytes_copied_per_request =
+      done > 0 ? static_cast<double>(result.bytes_copied) / static_cast<double>(done) : 0.0;
   // The harness only reaches this point if every checked transition passed
   // (a violation aborts); the final total_wf seals the run.
   result.all_ok = f.kernel.TotalWf().ok;

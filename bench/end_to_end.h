@@ -32,6 +32,13 @@ struct E2EOptions {
   // io_uring fast path — no kernel transition per submit). false: each
   // submit is its own checked kRingSubmit syscall.
   bool shm_submit = true;
+  // Zero-copy splice path (DESIGN.md §15): responses come from pre-rendered
+  // DMA slices transmitted in place (TxInPlaceDeferred) instead of being
+  // copied into claimed TX buffers, and each RX burst pays a checked
+  // kBorrow page-grant rendezvous (Recv + Send-with-grant + GrantReturn)
+  // that lends the server thread the burst's pages read-only — the kernel
+  // work the copies used to stand in for. bytes_copied must be 0 here.
+  bool splice = false;
   // Trace-scale checking: sampled total_wf, periodic full-Ψ audit.
   RefinementChecker::Options checker{.check_wf_every = 64, .audit_every = 256,
                                      .incremental = true};
@@ -51,6 +58,14 @@ struct E2EResult {
   std::uint64_t httpd_responses = 0;
   std::uint64_t kv_responses = 0;
   std::uint64_t batch_drains = 0;
+  // Payload bytes staged through memcpy during the serving loop
+  // (obs::CopyProbe delta) — the number the splice path drives to zero and
+  // CI gates at zero; copy-path configs report their true copy volume.
+  std::uint64_t bytes_copied = 0;
+  double bytes_copied_per_request = 0.0;
+  // Splice config only: responses transmitted in place from pre-rendered
+  // slices (the remainder fell back to the TxClaim copy path).
+  std::uint64_t spliced_responses = 0;
   bool all_ok = false;
 };
 

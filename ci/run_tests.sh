@@ -143,6 +143,20 @@ if report.get("alloc_counting_active"):
             f'{floors["min_alloc_reduction_vs_noarena"]}x '
             f'({report["heap_allocs_per_checked_step"]:.1f} arena vs '
             f'{report["noarena_heap_allocs_per_checked_step"]:.1f} heap)')
+# Zero-copy splice gate (DESIGN.md §15): the splice config must answer
+# requests without staging a single payload byte through memcpy. This is a
+# deterministic counter, not a rate, so the bound is exact.
+splice = next((c for c in report["configs"] if c["config"] == "splice"), None)
+if splice is None:
+    failures.append("config 'splice' missing from BENCH_end_to_end.json")
+else:
+    cap = floors["splice_max_bytes_copied_per_request"]
+    if splice["bytes_copied_per_request"] > cap:
+        failures.append(
+            f'splice: {splice["bytes_copied_per_request"]:.2f} payload bytes '
+            f"copied per request (max {cap}: the splice path must be zero-copy)")
+    if splice["spliced_responses"] == 0:
+        failures.append("splice: no responses actually took the splice path")
 if not report["all_ok"]:
     failures.append("a configuration finished with total_wf not ok")
 

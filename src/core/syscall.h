@@ -40,6 +40,7 @@ enum class SysOp : std::uint8_t {
   kRingSetup,   // create a submission/completion ring owned by the caller
   kRingSubmit,  // enqueue one deferred syscall onto a ring's SQ
   kRingEnter,   // drain the SQ: execute entries back-to-back, fill the CQ
+  kGrantReturn, // return a borrowed page (va_range.base = borrower VA)
 };
 
 const char* SysOpName(SysOp op);

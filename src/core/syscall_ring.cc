@@ -16,6 +16,7 @@ bool RingSubmittable(SysOp op) {
     case SysOp::kIommuDetachDevice:
     case SysOp::kIommuMapDma:
     case SysOp::kIommuUnmapDma:
+    case SysOp::kGrantReturn:
       return true;
     case SysOp::kYield:
     case SysOp::kSend:

@@ -139,6 +139,45 @@ MapError VmManager::MapSharedPage(PageAllocator* alloc, ProcPtr proc, VAddr va, 
   return MapError::kOk;
 }
 
+const VmManager::BorrowRecord* VmManager::BorrowOf(PagePtr page) const {
+  auto it = borrows_.find(page);
+  return it == borrows_.end() ? nullptr : &it->second;
+}
+
+void VmManager::UpdatePerm(PageAllocator* alloc, ProcPtr proc, VAddr va, MapEntryPerm perm) {
+  PageTable* table = FindTable(proc);
+  ATMO_CHECK(table != nullptr, "UpdatePerm in unknown process");
+  std::optional<MapEntry> entry = table->Unmap(va);
+  ATMO_CHECK(entry.has_value(), "UpdatePerm of an unmapped address");
+  // Re-map at the same VA: every intermediate node survived the Unmap, so
+  // this allocates nothing and cannot fail; the map count never moved.
+  MapError err = table->Map(alloc, va, entry->addr, entry->size, perm);
+  ATMO_CHECK(err == MapError::kOk, "UpdatePerm remap failed");
+  dirty_.Mark(proc);
+}
+
+void VmManager::BeginBorrow(PageAllocator* alloc, PagePtr page, ProcPtr lender, VAddr lender_va,
+                            ProcPtr borrower, VAddr borrower_va, PageSize size) {
+  ATMO_CHECK(borrows_.count(page) == 0, "page is already borrowed");
+  const PageTable* table = FindTable(lender);
+  ATMO_CHECK(table != nullptr, "borrow from unknown lender");
+  std::optional<MapEntry> entry = table->Resolve(lender_va);
+  ATMO_CHECK(entry.has_value() && entry->addr == page, "borrow source mapping mismatch");
+  BorrowRecord rec;
+  rec.lender = lender;
+  rec.lender_va = lender_va;
+  rec.lender_perm = entry->perm;
+  rec.borrower = borrower;
+  rec.borrower_va = borrower_va;
+  rec.size = size;
+  MapEntryPerm ro = entry->perm;
+  ro.writable = false;
+  UpdatePerm(alloc, lender, lender_va, ro);
+  borrows_.emplace(page, rec);
+  // Ψ's per-page borrow fields piggyback on the allocator dirty log: the
+  // grant that called us just ran IncMapCount(page), which marked the page.
+}
+
 std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, ProcPtr proc,
                                                        VAddr va) {
   PageTable* table = FindTable(proc);
@@ -153,6 +192,20 @@ std::optional<VmManager::UnmapResult> VmManager::Unmap(PageAllocator* alloc, Pro
   UnmapResult result;
   result.entry = *entry;
   PagePtr page = entry->addr;
+  // A vanished mapping ends any borrow of the page. The borrower side is a
+  // return/revocation: the lender gets its original rights back. The lender
+  // side just forgets the record — the borrower's view degenerates into an
+  // ordinary read-only shared mapping.
+  auto bit = borrows_.find(page);
+  if (bit != borrows_.end()) {
+    const BorrowRecord rec = bit->second;
+    if (proc == rec.borrower && va == rec.borrower_va) {
+      borrows_.erase(bit);
+      UpdatePerm(alloc, rec.lender, rec.lender_va, rec.lender_perm);
+    } else if (proc == rec.lender && va == rec.lender_va) {
+      borrows_.erase(bit);
+    }
+  }
   if (alloc->DecMapCount(page) == 0) {
     result.released = true;
     result.released_owner = alloc->OwnerOf(page);
@@ -226,6 +279,27 @@ bool VmManager::Wf(const PhysMem& mem, const PageAllocator& alloc) const {
       }
     }
   }
+  // Every borrow record matches two live read-only mappings of its page:
+  // the lender's downgraded entry and the borrower's view. Unmap drops or
+  // revokes records, so a dangling record is a discipline violation.
+  for (const auto& [page, rec] : borrows_) {
+    if (alloc.StateOf(page) != PageState::kMapped) {
+      return false;
+    }
+    const PageTable* lender = FindTable(rec.lender);
+    const PageTable* borrower = FindTable(rec.borrower);
+    if (lender == nullptr || borrower == nullptr) {
+      return false;
+    }
+    std::optional<MapEntry> le = lender->Resolve(rec.lender_va);
+    std::optional<MapEntry> be = borrower->Resolve(rec.borrower_va);
+    if (!le.has_value() || le->addr != page || le->size != rec.size || le->perm.writable) {
+      return false;
+    }
+    if (!be.has_value() || be->addr != page || be->size != rec.size || be->perm.writable) {
+      return false;
+    }
+  }
   return true;
 }
 
@@ -238,6 +312,7 @@ VmManager VmManager::CloneForVerification(PhysMem* mem) const {
   for (const auto& [page, perm] : frame_perms_) {
     out.frame_perms_.emplace(page, perm.CloneForVerification());
   }
+  out.borrows_ = borrows_;
   return out;
 }
 
@@ -290,6 +365,22 @@ void VmManager::CloneForVerificationInto(VmManager* out, PhysMem* mem) const {
       out->frame_perms_.emplace(page, perm.CloneForVerification());
     }
   }
+  // Borrow records are PODs: sorted merge like tables_, so steady-state
+  // refills overwrite nodes in place instead of reallocating them.
+  auto bdit = out->borrows_.begin();
+  for (const auto& [page, rec] : borrows_) {
+    while (bdit != out->borrows_.end() && bdit->first < page) {
+      bdit = out->borrows_.erase(bdit);
+    }
+    if (bdit != out->borrows_.end() && bdit->first == page) {
+      bdit->second = rec;
+      ++bdit;
+    } else {
+      bdit = out->borrows_.emplace_hint(bdit, page, rec);
+      ++bdit;
+    }
+  }
+  out->borrows_.erase(bdit, out->borrows_.end());
   out->dirty_.Reset();  // clones start with an empty mutation log
 }
 

@@ -66,7 +66,10 @@ class VmManager {
                          PageSize size, MapEntryPerm perm);
   // Unmaps `va`. If the frame's map count drops to zero the frame is
   // returned to the allocator and `released_owner`/`released_frames` are
-  // set so the kernel can uncharge the owning container.
+  // set so the kernel can uncharge the owning container. Unmapping either
+  // side of a live borrow ends the borrow: the borrower side restores the
+  // lender's original rights, the lender side merely drops the record (the
+  // borrower keeps an ordinary read-only shared mapping).
   struct UnmapResult {
     MapEntry entry;
     bool released = false;
@@ -74,6 +77,36 @@ class VmManager {
     std::uint64_t released_frames = 0;
   };
   std::optional<UnmapResult> Unmap(PageAllocator* alloc, ProcPtr proc, VAddr va);
+
+  // --- Read-only page borrows (IPC kBorrow grants; DESIGN.md §15) ---
+  // A live borrow: the lender kept a read-only downgrade of its mapping,
+  // the borrower holds a read-only view installed by the grant. Exactly one
+  // record per page (borrows are exclusive), keyed by the physical page.
+  struct BorrowRecord {
+    ProcPtr lender = kNullPtr;
+    VAddr lender_va = 0;
+    MapEntryPerm lender_perm;  // original rights, restored at revocation
+    ProcPtr borrower = kNullPtr;
+    VAddr borrower_va = 0;
+    PageSize size = PageSize::k4K;
+
+    friend bool operator==(const BorrowRecord&, const BorrowRecord&) = default;
+  };
+  bool IsBorrowed(PagePtr page) const { return borrows_.count(page) != 0; }
+  const BorrowRecord* BorrowOf(PagePtr page) const;
+  const std::map<PagePtr, BorrowRecord>& borrows() const { return borrows_; }
+
+  // Rewrites the rights of an existing mapping in place. Allocation-free:
+  // Unmap retains intermediate table nodes, so the remap at the same VA
+  // allocates no nodes and the map count is untouched.
+  void UpdatePerm(PageAllocator* alloc, ProcPtr proc, VAddr va, MapEntryPerm perm);
+
+  // Establishes a borrow of `page`: downgrades the lender's mapping at
+  // `lender_va` to read-only (recording the original rights) and registers
+  // the record. The borrower's read-only mapping must already be installed
+  // (MapSharedPage); the page must not already be borrowed.
+  void BeginBorrow(PageAllocator* alloc, PagePtr page, ProcPtr lender, VAddr lender_va,
+                   ProcPtr borrower, VAddr borrower_va, PageSize size);
 
   // Releases a frame whose last reference was a device (IOMMU) pin: no CPU
   // mapping remains and the map count has reached zero. Returns the held
@@ -124,6 +157,10 @@ class VmManager {
   std::unordered_map<ProcPtr, PageTable*> table_index_;
   // Flat: all mapped user frames. Hashed — only ever probed by frame base.
   std::unordered_map<PagePtr, FramePerm> frame_perms_;
+  // Live read-only borrows, one per page. Every entry matches two live
+  // mappings (Wf cross-checks both sides); Unmap drops/revokes records so
+  // they can never dangle.
+  std::map<PagePtr, BorrowRecord> borrows_;
   DirtyLog dirty_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "src/obs/copy_probe.h"
 #include "src/vstd/check.h"
 
 namespace atmo {
@@ -97,7 +98,8 @@ std::uint32_t IxgbeDriver::RxBurst(RxFrame* out, std::uint32_t n) {
   std::uint32_t got = RxBurstInPlace(
       [&](VAddr iova, std::uint16_t len) {
         out->len = len;
-        std::memcpy(out->data.data(), rx_buf_[(iova - rx_buf_base_) / kIxgbeBufBytes], len);
+        obs::CopyPayload(out->data.data(), rx_buf_[(iova - rx_buf_base_) / kIxgbeBufBytes],
+                         len);
         ++out;
       },
       n);
@@ -117,7 +119,7 @@ std::uint32_t IxgbeDriver::TxBurst(const TxFrame* frames, std::uint32_t n) {
     std::uint32_t index = tx_next_ % entries_;
     std::uint16_t len = frames[sent].len;
     ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
-    std::memcpy(tx_buf_[index], frames[sent].data, len);
+    obs::CopyPayload(tx_buf_[index], frames[sent].data, len);
     tx_desc_[index][0] = tx_buf_base_ + index * kIxgbeBufBytes;
     tx_desc_[index][1] = len & kNicDescLenMask;
     ++tx_next_;

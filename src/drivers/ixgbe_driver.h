@@ -50,7 +50,9 @@ class IxgbeDriver {
   void Init();
 
   // Polls completed RX descriptors; copies up to `n` frames into `out` and
-  // immediately re-posts the buffers. Returns frames received.
+  // immediately re-posts the buffers. Returns frames received. The copy-out
+  // is a counted payload copy (obs::CopyPayload) — the zero-copy paths
+  // below never hit it.
   std::uint32_t RxBurst(RxFrame* out, std::uint32_t n);
 
   // Zero-copy-ish processing variant: calls `fn(iova, len)` for each

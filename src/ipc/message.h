@@ -19,14 +19,31 @@ namespace atmo {
 
 inline constexpr std::size_t kIpcScalarWords = 4;
 
+// How a page grant transfers the mapping (linear-ownership discipline:
+// a page moves or is borrowed, it is never duplicated without consent).
+enum class GrantMode : std::uint8_t {
+  kShare = 0,  // both sides keep a mapping; map count grows (classic grant)
+  kMove,       // sender's mapping is unmapped in the same transition
+  kBorrow,     // sender's mapping is downgraded to read-only; the receiver
+               // gets a read-only view it must return (kGrantReturn) or
+               // drop; revoked automatically when either side unmaps
+};
+
 // A page reference travelling in a message. The receiver gets the page
 // mapped at `dest_va` in its address space with rights `perm` (capped by the
-// sender's own rights on the page).
+// sender's own rights on the page). kMove/kBorrow require the sender to hold
+// the only mapping of the page (exclusive grant; double-grants are rejected).
 struct PageGrant {
   PagePtr page = kNullPtr;
   PageSize size = PageSize::k4K;
   VAddr dest_va = 0;
   MapEntryPerm perm;
+  GrantMode mode = GrantMode::kShare;
+  // Sender virtual address of the granted page, recorded by payload
+  // resolution (the `page` field is rewritten to the physical pointer).
+  // Needed at Deliver time for the sender-side unmap (move) or permission
+  // downgrade (borrow).
+  VAddr src_va = 0;
 
   friend bool operator==(const PageGrant&, const PageGrant&) = default;
 };

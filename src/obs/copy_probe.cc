@@ -1,0 +1,24 @@
+#include "src/obs/copy_probe.h"
+
+#include <cstring>
+
+namespace atmo::obs {
+
+namespace {
+
+thread_local std::uint64_t g_payload_bytes = 0;
+thread_local std::uint64_t g_payload_copies = 0;
+
+}  // namespace
+
+std::uint64_t PayloadBytesCopied() { return g_payload_bytes; }
+
+std::uint64_t PayloadCopyCount() { return g_payload_copies; }
+
+void* CopyPayload(void* dst, const void* src, std::size_t n) {
+  g_payload_bytes += n;
+  ++g_payload_copies;
+  return std::memcpy(dst, src, n);
+}
+
+}  // namespace atmo::obs

@@ -1,0 +1,53 @@
+// Payload-copy counting — the measurement side of the zero-copy IPC grant
+// path (DESIGN.md §15).
+//
+// The "bytes copied per request" number gated in CI has to come from the
+// copy sites themselves, not from code inspection: the claim is that the
+// splice path (NIC -> IPC grant -> app -> TX) moves *no payload bytes*, so
+// every place that stages packet payload through memcpy routes through
+// CopyPayload() and counts into a thread-local counter, exactly the
+// AllocProbe idiom (src/obs/alloc_hook.h). Thread-local means no
+// synchronization anywhere near the packet path.
+//
+// Deliberately NOT counted: frame *header* assembly (Ethernet/IP/UDP
+// headers are built in place in the TX frame either way) and the traffic
+// generator's frame construction (the client is the load, not the server
+// under test).
+
+#ifndef ATMO_SRC_OBS_COPY_PROBE_H_
+#define ATMO_SRC_OBS_COPY_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace atmo::obs {
+
+// Total payload bytes copied on this thread since thread start. Monotonic;
+// sample deltas around a region of interest.
+std::uint64_t PayloadBytesCopied();
+
+// Number of CopyPayload calls on this thread since thread start.
+std::uint64_t PayloadCopyCount();
+
+// Counted memcpy: every payload staging copy in the packet path goes
+// through here. Returns `dst` like std::memcpy.
+void* CopyPayload(void* dst, const void* src, std::size_t n);
+
+// Convenience delta probe:
+//   CopyProbe probe;
+//   ... region ...
+//   uint64_t b = probe.bytes();
+class CopyProbe {
+ public:
+  CopyProbe() : start_bytes_(PayloadBytesCopied()), start_copies_(PayloadCopyCount()) {}
+  std::uint64_t bytes() const { return PayloadBytesCopied() - start_bytes_; }
+  std::uint64_t copies() const { return PayloadCopyCount() - start_copies_; }
+
+ private:
+  std::uint64_t start_bytes_;
+  std::uint64_t start_copies_;
+};
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_COPY_PROBE_H_

@@ -66,6 +66,8 @@ constexpr const char* TraceOpLabel(SysOp op) {
       return "sys.ring_submit";
     case SysOp::kRingEnter:
       return "sys.ring_enter";
+    case SysOp::kGrantReturn:
+      return "sys.grant_return";
   }
   return "sys.unknown";
 }

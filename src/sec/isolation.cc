@@ -68,6 +68,43 @@ bool MemoryIso(const AbstractKernel& psi, const SpecSet<ProcPtr>& p_a,
   return true;
 }
 
+bool BorrowIso(const AbstractKernel& psi) {
+  return psi.pages.ForAll([&](PAddr page, const AbsPageInfo& info) {
+    if (!info.borrowed) {
+      return true;
+    }
+    const AbsPageBorrow& b = info.borrow;
+    // Both recorded endpoints of the loan exist and map the page read-only.
+    if (!psi.address_spaces.contains(b.lender) ||
+        !psi.address_spaces.contains(b.borrower)) {
+      return false;
+    }
+    const auto& lspace = psi.get_address_space(b.lender);
+    const auto& rspace = psi.get_address_space(b.borrower);
+    if (!lspace.contains(b.lender_va) || lspace.at(b.lender_va).addr != page ||
+        lspace.at(b.lender_va).perm.writable) {
+      return false;
+    }
+    if (!rspace.contains(b.borrower_va) || rspace.at(b.borrower_va).addr != page ||
+        rspace.at(b.borrower_va).perm.writable) {
+      return false;
+    }
+    // ... and those are the only two mappings anywhere.
+    if (info.map_count != 2) {
+      return false;
+    }
+    return psi.address_spaces.ForAll([&](ProcPtr p, const auto& space) {
+      return space.ForAll([&](VAddr va, const MapEntry& entry) {
+        if (entry.addr != page) {
+          return true;
+        }
+        return (p == b.lender && va == b.lender_va) ||
+               (p == b.borrower && va == b.borrower_va);
+      });
+    });
+  });
+}
+
 bool EndpointIso(const AbstractKernel& psi, const SpecSet<ThrdPtr>& t_a,
                  const SpecSet<ThrdPtr>& t_b) {
   SpecSet<EdptPtr> edpts_a;

@@ -33,6 +33,14 @@ bool MemoryIso(const AbstractKernel& psi, const SpecSet<ProcPtr>& p_a,
 bool EndpointIso(const AbstractKernel& psi, const SpecSet<ThrdPtr>& t_a,
                  const SpecSet<ThrdPtr>& t_b);
 
+// borrow_iso: every borrowed page has exactly two mappings — the lender's
+// recorded view (read-only while on loan) and the borrower's recorded
+// read-only view — and appears in no other address space. Writable
+// mappings of a page on loan would be a confidentiality/integrity channel
+// between lender and borrower; this clause pins the zero-copy grant path
+// to read-sharing only.
+bool BorrowIso(const AbstractKernel& psi);
+
 }  // namespace atmo
 
 #endif  // ATMO_SRC_SEC_ISOLATION_H_

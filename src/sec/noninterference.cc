@@ -40,6 +40,7 @@ bool ReturnsObjectPointer(SysOp op) {
     case SysOp::kIommuUnmapDma:
     case SysOp::kRingSubmit:
     case SysOp::kRingEnter:
+    case SysOp::kGrantReturn:
       return false;
   }
   return false;
@@ -96,7 +97,7 @@ Syscall NoninterferenceHarness::RandomSyscall(ThrdPtr t, bool client_of_a) {
   // in interesting ways.
   VAddr va = (1 + Next() % 24) * kPageSize4K * 2;
 
-  switch (Next() % 14) {
+  switch (Next() % 15) {
     case 0:
       call.op = SysOp::kYield;
       break;
@@ -116,11 +117,17 @@ Syscall NoninterferenceHarness::RandomSyscall(ThrdPtr t, bool client_of_a) {
       call.edpt_idx = AbvScenario::kClientSlot;
       call.payload.scalars = {Next() % 3, Next(), 0, 0};
       if (call.payload.scalars[0] == kOpShare && Next() % 2 == 0) {
+        // One in three grants rides the zero-copy borrow path (read-only by
+        // construction; a writable borrow must be rejected — the harness
+        // sometimes asks for one anyway to exercise that rejection).
+        GrantMode mode = Next() % 3 == 0 ? GrantMode::kBorrow : GrantMode::kShare;
+        bool writable = mode == GrantMode::kBorrow ? Next() % 8 == 0 : true;
         call.payload.page = PageGrant{.page = va,  // sender VA (may be unmapped)
                                       .size = PageSize::k4K,
                                       .dest_va = (0x700 + Next() % 32) * kPageSize4K,
-                                      .perm = MapEntryPerm{.writable = true, .user = true,
-                                                           .no_execute = false}};
+                                      .perm = MapEntryPerm{.writable = writable, .user = true,
+                                                           .no_execute = false},
+                                      .mode = mode};
       }
       break;
     }
@@ -190,6 +197,14 @@ Syscall NoninterferenceHarness::RandomSyscall(ThrdPtr t, bool client_of_a) {
       call.op = alive > 2 ? SysOp::kExit : SysOp::kYield;
       break;
     }
+    case 14:
+      // Return a borrowed page: target the grant-destination pool (where a
+      // live borrow may sit) or, sometimes, an ordinary mapping / hole so
+      // the kDenied / kInvalid arms stay covered.
+      call.op = SysOp::kGrantReturn;
+      call.va_range = VaRange{Next() % 4 == 0 ? va : (0x700 + Next() % 32) * kPageSize4K,
+                              1, PageSize::k4K};
+      break;
   }
   (void)t;
   return call;
@@ -315,6 +330,11 @@ UnwindingReport NoninterferenceHarness::Run(const NoninterferenceOptions& option
     if (!EndpointIso(psi, t_a, t_b)) {
       report.ok = false;
       report.detail = "endpoint_iso violated";
+      return report;
+    }
+    if (!BorrowIso(psi)) {
+      report.ok = false;
+      report.detail = "borrow_iso violated";
       return report;
     }
     ++report.iso_checks;

@@ -74,11 +74,27 @@ struct AbsEndpoint {
   friend bool operator==(const AbsEndpoint&, const AbsEndpoint&) = default;
 };
 
+// Abstract view of a live read-only borrow (an IPC kBorrow grant): page
+// ownership is *relabeled* in Ψ — the lender keeps the frame but is marked
+// downgraded, the borrower holds a read-only view — with no byte-level copy
+// anywhere in the spec (DESIGN.md §15).
+struct AbsPageBorrow {
+  ProcPtr lender = kNullPtr;
+  VAddr lender_va = 0;
+  bool lender_writable = false;  // right restored when the borrow ends
+  ProcPtr borrower = kNullPtr;
+  VAddr borrower_va = 0;
+
+  friend bool operator==(const AbsPageBorrow&, const AbsPageBorrow&) = default;
+};
+
 struct AbsPageInfo {
   PageState state = PageState::kFree;
   PageSize size = PageSize::k4K;
   CtnrPtr owner = kNullPtr;
   std::uint32_t map_count = 0;
+  bool borrowed = false;  // exactly when `borrow` is meaningful
+  AbsPageBorrow borrow;
 
   friend bool operator==(const AbsPageInfo&, const AbsPageInfo&) = default;
 };

@@ -121,6 +121,11 @@ constexpr FrameProfile FrameProfileFor(SysOp op) {
       return {.threads = true, .containers = true, .procs = true, .endpoints = true,
               .address_spaces = true, .pages = true, .free_sets = true, .iommu = true,
               .rings = true, .scheduler = true};
+    case SysOp::kGrantReturn:
+      // Borrower unmap + lender rights restore: two address spaces and the
+      // page's borrow relabeling. The lender still maps the frame, so the
+      // return can never release it — no container charge or free-set edge.
+      return {.address_spaces = true, .pages = true};
   }
   // Unreachable for in-range enumerators; a hostile cast lands on the
   // widest profile so the runtime check never under-approximates.

@@ -75,6 +75,21 @@ std::optional<IpcPayload> ResolvePayloadSpec(const AbstractKernel& pre, ThrdPtr 
         (!payload.page->perm.no_execute && entry.perm.no_execute)) {
       return std::nullopt;
     }
+    // A borrowed page is never grantable, in any mode (exclusivity of the
+    // loan); move/borrow additionally require the sender's mapping to be
+    // the frame's only one, and a borrow is read-only by construction.
+    if (pre.pages.contains(entry.addr) && pre.pages.at(entry.addr).borrowed) {
+      return std::nullopt;
+    }
+    if (payload.page->mode != GrantMode::kShare) {
+      if (!pre.pages.contains(entry.addr) || pre.pages.at(entry.addr).map_count != 1) {
+        return std::nullopt;
+      }
+      if (payload.page->mode == GrantMode::kBorrow && payload.page->perm.writable) {
+        return std::nullopt;
+      }
+    }
+    out.page->src_va = va;
     out.page->page = entry.addr;
   }
   if (payload.endpoint.has_value()) {
@@ -94,9 +109,13 @@ std::optional<IpcPayload> ResolvePayloadSpec(const AbstractKernel& pre, ThrdPtr 
   return out;
 }
 
-// Checks the receiver-side effects of delivering `resolved` to `r`.
+// Checks the effects of delivering `resolved` from sender `s` to receiver
+// `r`. A page grant is a pure ownership relabeling of Ψ — no byte-level copy
+// appears here in any mode: kShare adds a mapping, kMove replaces the
+// sender's with the receiver's in the same transition, kBorrow adds a
+// read-only view while downgrading the lender and marking the page borrowed.
 SpecResult CheckDeliveryEffects(const AbstractKernel& pre, const AbstractKernel& post,
-                                ThrdPtr r, const IpcPayload& resolved) {
+                                ThrdPtr s, ThrdPtr r, const IpcPayload& resolved) {
   const AbsThread& post_r = post.get_thread(r);
   if (!post_r.has_inbound || !(post_r.ipc_buf == resolved)) {
     return Fail("receiver inbound buffer does not carry the resolved payload");
@@ -112,15 +131,77 @@ SpecResult CheckDeliveryEffects(const AbstractKernel& pre, const AbstractKernel&
     if (entry.addr != grant.page || entry.size != grant.size || !(entry.perm == grant.perm)) {
       return Fail("granted mapping differs from the grant");
     }
-    // Shared page pinned once more.
-    if (!post.pages.contains(grant.page) ||
-        post.pages.at(grant.page).map_count != pre.pages.at(grant.page).map_count + 1) {
-      return Fail("granted page map count did not increment");
+    if (!post.pages.contains(grant.page)) {
+      return Fail("granted page missing from the abstract page map");
     }
-    // The receiver's address space changed only at dest_va.
+    const AbsPageInfo& post_info = post.pages.at(grant.page);
+    std::uint32_t pre_count = pre.pages.at(grant.page).map_count;
     const SpecMap<VAddr, MapEntry>& pre_space = pre.get_address_space(rproc);
-    if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_space, space, grant.dest_va)) {
-      return Fail("page grant changed other receiver mappings");
+
+    if (grant.mode == GrantMode::kShare) {
+      // Shared page pinned once more; the receiver's space changed only at
+      // dest_va.
+      if (post_info.map_count != pre_count + 1) {
+        return Fail("granted page map count did not increment");
+      }
+      if (post_info.borrowed) {
+        return Fail("share grant left a borrow relabeling");
+      }
+      if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_space, space, grant.dest_va)) {
+        return Fail("page grant changed other receiver mappings");
+      }
+    } else {
+      ProcPtr sproc = pre.get_thread(s).proc;
+      const SpecMap<VAddr, MapEntry>& pre_sspace = pre.get_address_space(sproc);
+      const SpecMap<VAddr, MapEntry>& post_sspace = post.get_address_space(sproc);
+      if (grant.mode == GrantMode::kMove) {
+        // Relabeling: the sender's mapping became the receiver's, net map
+        // count unchanged, no borrow.
+        if (post_info.map_count != pre_count) {
+          return Fail("moved page map count changed");
+        }
+        if (post_info.borrowed) {
+          return Fail("move grant left a borrow relabeling");
+        }
+        if (post_sspace.contains(grant.src_va)) {
+          return Fail("moved mapping survived at the sender");
+        }
+      } else {  // GrantMode::kBorrow
+        if (post_info.map_count != pre_count + 1) {
+          return Fail("borrowed page map count did not increment");
+        }
+        MapEntry pre_src = pre_sspace.at(grant.src_va);
+        AbsPageBorrow expect{sproc, grant.src_va, pre_src.perm.writable, rproc,
+                             grant.dest_va};
+        if (!post_info.borrowed || !(post_info.borrow == expect)) {
+          return Fail("borrow relabeling differs from the specification");
+        }
+        if (!post_sspace.contains(grant.src_va)) {
+          return Fail("lender mapping vanished under a borrow");
+        }
+        MapEntry post_src = post_sspace.at(grant.src_va);
+        MapEntryPerm ro = pre_src.perm;
+        ro.writable = false;
+        if (post_src.addr != pre_src.addr || post_src.size != pre_src.size ||
+            !(post_src.perm == ro)) {
+          return Fail("lender downgrade differs from the specification");
+        }
+      }
+      // Space framing: exactly the source and destination slots changed.
+      if (sproc == rproc) {
+        if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt2(pre_space, space, grant.src_va,
+                                                      grant.dest_va)) {
+          return Fail("self-directed grant changed other mappings");
+        }
+      } else {
+        if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_space, space, grant.dest_va)) {
+          return Fail("page grant changed other receiver mappings");
+        }
+        if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_sspace, post_sspace,
+                                                     grant.src_va)) {
+          return Fail("page grant changed other sender mappings");
+        }
+      }
     }
   }
   if (resolved.endpoint.has_value()) {
@@ -753,7 +834,7 @@ SpecResult SendSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdP
   if (!(post.get_endpoint(edpt) == expect_e)) {
     return Fail("endpoint after delivery differs from the specification");
   }
-  return CheckDeliveryEffects(pre, post, receiver, *resolved);
+  return CheckDeliveryEffects(pre, post, t, receiver, *resolved);
 }
 
 SpecResult RecvSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
@@ -791,7 +872,7 @@ SpecResult RecvSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdP
       return Fail("caller rendezvous state differs from the specification");
     }
   }
-  return CheckDeliveryEffects(pre, post, t, staged);
+  return CheckDeliveryEffects(pre, post, sender, t, staged);
 }
 
 SpecResult CallSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
@@ -827,7 +908,7 @@ SpecResult CallSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdP
   if (post.current != kNullPtr || !(post.run_queue == pre.run_queue.push(receiver))) {
     return Fail("scheduler after call differs from the specification");
   }
-  return CheckDeliveryEffects(pre, post, receiver, *resolved);
+  return CheckDeliveryEffects(pre, post, t, receiver, *resolved);
 }
 
 SpecResult ReplySpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
@@ -850,7 +931,91 @@ SpecResult ReplySpec(const AbstractKernel& pre, const AbstractKernel& post, Thrd
       !(post.run_queue == pre.run_queue.push(caller)) || post.current != t) {
     return Fail("caller was not woken by the reply");
   }
-  return CheckDeliveryEffects(pre, post, caller, *resolved);
+  return CheckDeliveryEffects(pre, post, t, caller, *resolved);
+}
+
+// The inverse relabeling of a kBorrow delivery: the borrower's read-only
+// view disappears, the lender's original rights come back, the page's
+// borrow mark clears and its pin count drops by one. The lender still maps
+// the frame, so nothing is ever released — no container, free-set,
+// endpoint, IOMMU or scheduler component may change.
+SpecResult GrantReturnSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                           const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  if (ret.error == SysError::kBlocked) {
+    return Fail("grant return never blocks");
+  }
+  ProcPtr proc = pre.get_thread(t).proc;
+  VAddr va = call.va_range.base;
+  const SpecMap<VAddr, MapEntry>& pre_bspace = pre.get_address_space(proc);
+  if (!pre_bspace.contains(va)) {
+    return Fail("grant return succeeded without a mapping at the returned address");
+  }
+  PagePtr page = pre_bspace.at(va).addr;
+  const AbsPageInfo& pre_info = pre.pages.at(page);
+  if (!pre_info.borrowed || pre_info.borrow.borrower != proc ||
+      pre_info.borrow.borrower_va != va) {
+    return Fail("grant return succeeded on a page the caller did not borrow");
+  }
+  const AbsPageBorrow& rec = pre_info.borrow;
+
+  // Borrower side: the view is gone.
+  const SpecMap<VAddr, MapEntry>& post_bspace = post.get_address_space(proc);
+  if (post_bspace.contains(va)) {
+    return Fail("returned view survived in the borrower's space");
+  }
+  // Lender side: original rights restored in place.
+  const SpecMap<VAddr, MapEntry>& pre_lspace = pre.get_address_space(rec.lender);
+  const SpecMap<VAddr, MapEntry>& post_lspace = post.get_address_space(rec.lender);
+  if (!post_lspace.contains(rec.lender_va)) {
+    return Fail("lender mapping vanished at grant return");
+  }
+  MapEntry pre_l = pre_lspace.at(rec.lender_va);
+  MapEntry post_l = post_lspace.at(rec.lender_va);
+  MapEntryPerm restored = pre_l.perm;
+  restored.writable = rec.lender_writable;
+  if (post_l.addr != page || post_l.size != pre_l.size || !(post_l.perm == restored)) {
+    return Fail("lender rights were not restored at grant return");
+  }
+  // Page relabeling: unpinned once, borrow mark cleared, all else equal.
+  AbsPageInfo expect_info = pre_info;
+  expect_info.map_count = pre_info.map_count - 1;
+  expect_info.borrowed = false;
+  expect_info.borrow = AbsPageBorrow{};
+  if (!post.pages.contains(page) || !(post.pages.at(page) == expect_info)) {
+    return Fail("page relabeling at grant return differs from the specification");
+  }
+  // Framing: the two touched slots, the two spaces, the one page — and
+  // nothing else anywhere in Ψ.
+  if (rec.lender == proc) {
+    if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt2(pre_bspace, post_bspace, va,
+                                                  rec.lender_va)) {
+      return Fail("grant return changed other mappings");
+    }
+  } else {
+    if (!SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_bspace, post_bspace, va) ||
+        !SpecMap<VAddr, MapEntry>::AgreeExceptAt(pre_lspace, post_lspace, rec.lender_va)) {
+      return Fail("grant return changed other mappings");
+    }
+  }
+  if (!AddressSpacesUnchangedExcept(pre, post, SpecSet<ProcPtr>{proc, rec.lender}) ||
+      !PagesUnchangedExcept(pre, post, SpecSet<PagePtr>{page})) {
+    return Fail("grant return changed unrelated memory state");
+  }
+  if (!ThreadsUnchangedExcept(pre, post, {}) || !ProcsUnchangedExcept(pre, post, {}) ||
+      !ContainersUnchangedExcept(pre, post, {}) ||
+      !EndpointsUnchangedExcept(pre, post, {}) || !IommuUnchanged(pre, post) ||
+      !RingsUnchangedExcept(pre, post, {}) || !SchedulerUnchanged(pre, post)) {
+    return Fail("grant return changed unrelated kernel objects");
+  }
+  if (!(pre.free_pages_4k == post.free_pages_4k) ||
+      !(pre.free_pages_2m == post.free_pages_2m) ||
+      !(pre.free_pages_1g == post.free_pages_1g)) {
+    return Fail("grant return changed the free sets");
+  }
+  return SpecResult{};
 }
 
 // ---------------------------------------------------------------------------
@@ -934,6 +1099,73 @@ SpecResult ExitSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdP
   return SpecResult{};
 }
 
+// Tearing down the processes in `doomed` revokes every loan a doomed
+// borrower holds: the surviving lender's original rights come back in
+// place at the recorded VA (the borrow-aware unmap, DESIGN.md §15).
+// Surviving address spaces must be untouched except for exactly those
+// restorations.
+SpecResult CheckSurvivorSpacesAfterTeardown(const AbstractKernel& pre,
+                                            const AbstractKernel& post,
+                                            const SpecSet<ProcPtr>& doomed) {
+  // lender -> VAs whose rights a dying borrower restores.
+  SpecMap<ProcPtr, SpecSet<VAddr>> restored;
+  bool restore_ok = true;
+  pre.pages.ForAll([&](PagePtr, const AbsPageInfo& info) {
+    if (!info.borrowed || !doomed.contains(info.borrow.borrower) ||
+        doomed.contains(info.borrow.lender)) {
+      return true;
+    }
+    const AbsPageBorrow& b = info.borrow;
+    SpecSet<VAddr> vas =
+        restored.contains(b.lender) ? restored.at(b.lender) : SpecSet<VAddr>{};
+    restored.set(b.lender, vas.insert(b.lender_va));
+    if (!post.address_spaces.contains(b.lender) ||
+        !post.get_address_space(b.lender).contains(b.lender_va)) {
+      restore_ok = false;
+      return true;
+    }
+    MapEntry expect = pre.get_address_space(b.lender).at(b.lender_va);
+    expect.perm.writable = b.lender_writable;
+    if (!(post.get_address_space(b.lender).at(b.lender_va) == expect)) {
+      restore_ok = false;
+    }
+    return true;
+  });
+  if (!restore_ok) {
+    return Fail("teardown revocation did not restore the lender's rights");
+  }
+  bool no_new = post.address_spaces.ForAll(
+      [&](ProcPtr p, const SpecMap<VAddr, MapEntry>&) { return pre.address_spaces.contains(p); });
+  if (!no_new) {
+    return Fail("teardown created an address space");
+  }
+  bool framed = pre.address_spaces.ForAll(
+      [&](ProcPtr p, const SpecMap<VAddr, MapEntry>& space_pre) {
+        if (doomed.contains(p)) {
+          return true;
+        }
+        if (!post.address_spaces.contains(p)) {
+          return false;
+        }
+        const SpecMap<VAddr, MapEntry>& space_post = post.get_address_space(p);
+        if (!restored.contains(p)) {
+          return space_pre == space_post;
+        }
+        const SpecSet<VAddr>& vas = restored.at(p);
+        bool fwd = space_pre.ForAll([&](VAddr va, const MapEntry& entry) {
+          return vas.contains(va) ||
+                 (space_post.contains(va) && space_post.at(va) == entry);
+        });
+        return fwd && space_post.ForAll([&](VAddr va, const MapEntry&) {
+          return vas.contains(va) || space_pre.contains(va);
+        });
+      });
+  if (!framed) {
+    return Fail("teardown changed surviving address spaces beyond revocation");
+  }
+  return SpecResult{};
+}
+
 SpecResult KillProcessSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
                            const Syscall& call, const SyscallRet& ret) {
   if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
@@ -965,9 +1197,10 @@ SpecResult KillProcessSpec(const AbstractKernel& pre, const AbstractKernel& post
   if (!threads_ok) {
     return Fail("killed thread set differs from the doomed processes' threads");
   }
-  // Address spaces of doomed processes are gone; others unchanged.
-  if (!AddressSpacesUnchangedExcept(pre, post, doomed)) {
-    return Fail("kill_process changed surviving address spaces");
+  // Address spaces of doomed processes are gone; others unchanged except
+  // for loan revocations restoring a surviving lender's rights.
+  if (SpecResult spaces = CheckSurvivorSpacesAfterTeardown(pre, post, doomed); !spaces.ok) {
+    return spaces;
   }
   bool spaces_gone = doomed.ForAll([&](ProcPtr p) { return !post.address_spaces.contains(p); });
   if (!spaces_gone) {
@@ -1007,6 +1240,19 @@ SpecResult KillContainerSpec(const AbstractKernel& pre, const AbstractKernel& po
   });
   if (!procs_ok || !threads_ok) {
     return Fail("doomed processes/threads survived (or survivors died)");
+  }
+  // Surviving address spaces are untouched except for loan revocations
+  // (a doomed borrower's teardown restores a surviving lender's rights).
+  SpecSet<ProcPtr> doomed_procs;
+  pre.procs.ForAll([&](ProcPtr p, const AbsProcess& before) {
+    if (doomed.contains(before.ctnr)) {
+      doomed_procs.add(p);
+    }
+    return true;
+  });
+  if (SpecResult spaces = CheckSurvivorSpacesAfterTeardown(pre, post, doomed_procs);
+      !spaces.ok) {
+    return spaces;
   }
   // No endpoint, page or IOMMU domain remains attributed to a doomed
   // container (resources were harvested to the parent chain).
@@ -1172,6 +1418,7 @@ SpecResult IommuSpec(const AbstractKernel& pre, const AbstractKernel& post, Thrd
     case SysOp::kRingSetup:
     case SysOp::kRingSubmit:
     case SysOp::kRingEnter:
+    case SysOp::kGrantReturn:
       return Fail("not an IOMMU operation");
   }
   return Fail("not an IOMMU operation");
@@ -1388,6 +1635,8 @@ SpecResult SyscallSpec(const AbstractKernel& pre, const AbstractKernel& post, Th
       return RingSubmitSpec(pre, post, t, call, ret);
     case SysOp::kRingEnter:
       return RingEnterSpec(pre, post, t, call, ret);
+    case SysOp::kGrantReturn:
+      return GrantReturnSpec(pre, post, t, call, ret);
   }
   return Fail("unknown syscall");
 }

@@ -81,6 +81,12 @@ SpecResult RingSubmitSpec(const AbstractKernel& pre, const AbstractKernel& post,
 // the batch amortization (DESIGN.md §13).
 SpecResult RingEnterSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
                          const Syscall& call, const SyscallRet& ret);
+// kGrantReturn: the inverse relabeling of a kBorrow page grant — the
+// borrower's read-only view disappears, the lender's original rights are
+// restored, and the page's borrow mark clears. A pure Ψ relabeling: no
+// bytes move and nothing is released.
+SpecResult GrantReturnSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                           const Syscall& call, const SyscallRet& ret);
 
 }  // namespace atmo
 

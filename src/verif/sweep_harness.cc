@@ -162,6 +162,7 @@ ShardResult SweepHarness::RunShard(std::uint64_t shard, bool force_trace) const 
   f.SetupIpcAndDma();
   TraceGen gen(result.seed);
   gen.ring_ops = options_.ring_ops;
+  gen.grant_ops = options_.grant_ops;
 
   std::uint64_t step = 0;
   try {

@@ -35,7 +35,7 @@
 namespace atmo {
 
 inline constexpr std::size_t kSysOpCount =
-    static_cast<std::size_t>(SysOp::kRingEnter) + 1;
+    static_cast<std::size_t>(SysOp::kGrantReturn) + 1;
 inline constexpr std::size_t kSysErrorCount =
     static_cast<std::size_t>(SysError::kWouldFault) + 1;
 
@@ -158,6 +158,9 @@ class SweepHarness {
     // byte-for-byte traces; ring-aware sweeps opt in (see
     // tests/syscall_ring_test.cc and TraceGen::Options).
     bool ring_ops = false;
+    // Mix zero-copy page-grant ops (borrow/move grant sends, kGrantReturn)
+    // into the generated traces; same golden-stability opt-in as ring_ops.
+    bool grant_ops = false;
     // Optional external progress tracker: workers record each completed
     // shard into it, so another thread can poll TakeSnapshot() while the
     // sweep runs. Run() also maintains an internal one to derive

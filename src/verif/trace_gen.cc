@@ -72,9 +72,43 @@ TraceGen::Cmd TraceGen::Gen(const TraceFixture& f) {
 
     Syscall c;
     // The classic distribution is 16-way and must stay bit-identical for
-    // the goldens; ring mode widens it to 19, which remaps every r — so
-    // ring-aware traces are a separate family, not a superset.
-    switch (r % (ring_ops ? 19 : 16)) {
+    // the goldens; ring mode widens it to 19 and grant mode adds 2 more
+    // ways on top — each remaps every r, so the widened traces are
+    // separate families, not supersets.
+    const std::uint64_t ways = (ring_ops ? 19 : 16) + (grant_ops ? 2 : 0);
+    const std::uint64_t sel = r % ways;
+    if (grant_ops && sel >= ways - 2) {
+      if (sel == ways - 2) {
+        // Send carrying a page grant from the churned mmap window. Mixed
+        // validity by construction: the source VA may be unmapped
+        // (kInvalid), already on loan (kDenied), multiply mapped
+        // (kDenied), or a borrow may ask for writable rights (kInvalid);
+        // a resolved grant then faces an occupied destination slot at
+        // delivery (kWouldFault).
+        c.op = SysOp::kSend;
+        c.edpt_idx = 0;
+        c.payload.scalars[0] = r >> 8;
+        GrantMode mode = (r >> 10) % 4 == 0 ? GrantMode::kMove : GrantMode::kBorrow;
+        c.payload.page = PageGrant{
+            .page = 0x100000ull * (ti + 1) + ((r >> 12) % 48) * kPageSize4K,
+            .size = PageSize::k4K,
+            .dest_va = TraceFixture::kGrantVaBase + ((r >> 20) % 16) * kPageSize4K,
+            .perm = MapEntryPerm{.writable = (r >> 18) % 8 == 0, .user = true,
+                                 .no_execute = true},
+            .mode = mode};
+        return Cmd{ti, c};
+      }
+      // Return a borrowed page: usually a grant-window slot (live loans sit
+      // there), sometimes an ordinary mapping or a hole for the kDenied /
+      // kInvalid arms.
+      c.op = SysOp::kGrantReturn;
+      VAddr va = (r >> 8) % 4 == 0
+                     ? 0x100000ull * (ti + 1) + ((r >> 12) % 48) * kPageSize4K
+                     : TraceFixture::kGrantVaBase + ((r >> 20) % 16) * kPageSize4K;
+      c.va_range = VaRange{va, 1, PageSize::k4K};
+      return Cmd{ti, c};
+    }
+    switch (sel) {
       case 0:
       case 1:
         c.op = SysOp::kYield;

@@ -56,6 +56,10 @@ inline std::uint64_t SplitMix64(std::uint64_t x) {
 struct TraceFixture {
   static constexpr int kThreads = 3;
   static constexpr VAddr kDmaVaBase = 0x40000000;  // never munmapped
+  // Destination window for grant-mode traces (TraceGen::grant_ops):
+  // borrow/move grants land here, disjoint from the churned mmap window
+  // and the DMA donors so classic munmaps never revoke a loan by accident.
+  static constexpr VAddr kGrantVaBase = 0x300000000ull;
 
   Kernel kernel;
   CtnrPtr ctnr = kNullPtr;
@@ -99,6 +103,12 @@ struct TraceGen {
   // (SweepHarness::Options::ring_ops, tests/syscall_ring_test.cc) opt in,
   // which widens the distribution to 19 ways.
   bool ring_ops = false;
+  // Mix zero-copy page-grant ops into the trace: sends carrying
+  // borrow/move grants from the churned mmap window into the grant
+  // window, plus kGrantReturn over both windows (mixed validity). Off by
+  // default for the same golden-stability reason as ring_ops; widens the
+  // distribution by 2 more ways. Composes with ring_ops.
+  bool grant_ops = false;
   std::vector<IommuDomainId> domains;
   std::vector<std::uint64_t> disposable;  // child containers to kill later
   // (owner thread idx, ring id) for every ring this trace created; submit

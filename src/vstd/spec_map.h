@@ -148,6 +148,32 @@ class SpecMap {
     return true;
   }
 
+  // True if `a` and `b` agree everywhere except possibly at `k1` and `k2`
+  // (two-key frame condition: e.g. an address space touched at both the
+  // grant source and destination by a self-directed move/borrow grant).
+  static bool AgreeExceptAt2(const SpecMap& a, const SpecMap& b, const K& k1, const K& k2) {
+    if (a.SharesRepWith(b)) {
+      return true;
+    }
+    for (const auto& [key, v] : a.view()) {
+      if (key == k1 || key == k2) {
+        continue;
+      }
+      if (!b.contains(key) || !(b.at(key) == v)) {
+        return false;
+      }
+    }
+    for (const auto& [key, v] : b.view()) {
+      if (key == k1 || key == k2) {
+        continue;
+      }
+      if (!a.contains(key)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   auto begin() const { return view().begin(); }
   auto end() const { return view().end(); }
 

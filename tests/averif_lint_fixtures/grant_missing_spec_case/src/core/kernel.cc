@@ -1,0 +1,33 @@
+// Fixture: kernel-side locations cover every grant op; the holes are in
+// the spec dispatcher and the frame-profile table.
+namespace atmo {
+
+const char* SysOpName(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return "yield";
+    case SysOp::kSend:
+      return "send";
+    case SysOp::kRecv:
+      return "recv";
+    case SysOp::kGrantReturn:
+      return "grant_return";
+  }
+  return "?";
+}
+
+SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
+  switch (call.op) {
+    case SysOp::kYield:
+      return SysYield(t);
+    case SysOp::kSend:
+      return SysSend(t, call);
+    case SysOp::kRecv:
+      return SysRecv(t, call);
+    case SysOp::kGrantReturn:
+      return SysGrantReturn(t, call);
+  }
+  return SyscallRet{};
+}
+
+}  // namespace atmo

@@ -1,0 +1,14 @@
+// Fixture: grant-bearing syscall surface; kGrantReturn (the borrow
+// hand-back op added with zero-copy page grants) is wired into the kernel
+// but missing from the spec dispatcher AND the frame-profile table — the
+// two holes a new grant op must never slip through.
+namespace atmo {
+
+enum class SysOp {
+  kYield,
+  kSend,
+  kRecv,
+  kGrantReturn,
+};
+
+}  // namespace atmo

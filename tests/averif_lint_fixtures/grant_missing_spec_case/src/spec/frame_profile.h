@@ -1,0 +1,18 @@
+// Fixture: the frame-condition table misses kGrantReturn — the second
+// seeded violation (a grant return touches address spaces and pages; an
+// absent profile would let it mutate anything unchecked).
+namespace atmo {
+
+constexpr FrameProfile FrameProfileFor(SysOp op) {
+  switch (op) {
+    case SysOp::kYield:
+      return {.threads = true, .scheduler = true};
+    case SysOp::kSend:
+      return {.threads = true, .endpoints = true, .address_spaces = true, .pages = true};
+    case SysOp::kRecv:
+      return {.threads = true, .endpoints = true, .scheduler = true};
+  }
+  return {};
+}
+
+}  // namespace atmo

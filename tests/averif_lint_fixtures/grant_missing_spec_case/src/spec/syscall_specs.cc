@@ -1,0 +1,21 @@
+// Fixture: kGrantReturn is missing from the dispatcher — one of the two
+// seeded violations (revocation semantics would go entirely unspecified).
+namespace atmo {
+
+SpecResult SyscallSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                       const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  switch (call.op) {
+    case SysOp::kYield:
+      return YieldSpec(pre, post, t, ret);
+    case SysOp::kSend:
+      return SendSpec(pre, post, t, call, ret);
+    case SysOp::kRecv:
+      return RecvSpec(pre, post, t, call, ret);
+  }
+  return Fail("unknown syscall");
+}
+
+}  // namespace atmo

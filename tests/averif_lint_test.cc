@@ -84,6 +84,32 @@ TEST(AverifLintTest, RingOpMissingSpecCaseFires) {
   EXPECT_EQ(BinaryExit("--root " + FixtureRoot("ring_missing_spec_case")), 1);
 }
 
+// Grant flavour: kGrantReturn wired into the kernel (Exec, SysOpName) but
+// absent from BOTH the SyscallSpec dispatcher and the FrameProfileFor
+// table. Zero-copy grants relabel page ownership, so an unspecified or
+// unframed grant op is exactly the hole the rule exists to close — and the
+// two findings must name the two distinct locations.
+TEST(AverifLintTest, GrantOpMissingSpecAndFrameProfileFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("grant_missing_spec_case"));
+  std::vector<Finding> hits = WithRule(findings, "spec-coverage");
+  ASSERT_EQ(hits.size(), 2u) << ToText(findings, false);
+  bool spec_hole = false;
+  bool frame_hole = false;
+  for (const Finding& f : hits) {
+    EXPECT_NE(f.message.find("SysOp::kGrantReturn"), std::string::npos) << f.message;
+    spec_hole = spec_hole ||
+                (f.file == "src/spec/syscall_specs.cc" &&
+                 f.message.find("SyscallSpec") != std::string::npos);
+    frame_hole = frame_hole ||
+                 (f.file == "src/spec/frame_profile.h" &&
+                  f.message.find("FrameProfileFor") != std::string::npos);
+  }
+  EXPECT_TRUE(spec_hole) << ToText(findings, false);
+  EXPECT_TRUE(frame_hole) << ToText(findings, false);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("grant_missing_spec_case")), 1);
+}
+
 TEST(AverifLintTest, UnloggedMutatorFires) {
   std::vector<Finding> findings = Lint(FixtureRoot("unlogged_mutator"));
   std::vector<Finding> hits = WithRule(findings, "dirty-log");
