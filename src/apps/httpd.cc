@@ -6,6 +6,7 @@
 
 #include "src/obs/copy_probe.h"
 #include "src/vstd/check.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -159,7 +160,8 @@ void Httpd::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom) 
 }
 
 std::optional<SpliceSlice> Httpd::HandleRequestSpliced(const std::uint8_t* req,
-                                                       std::size_t req_len) {
+                                                       std::size_t req_len)
+    ATMO_HOT_PATH(payload-copy) {
   HttpRequest parsed;
   std::string_view text(reinterpret_cast<const char*>(req), req_len);
   if (!ParseRequest(text, &parsed) || parsed.method != "GET") {

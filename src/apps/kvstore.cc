@@ -2,6 +2,7 @@
 
 #include "src/obs/copy_probe.h"
 #include "src/vstd/check.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -117,7 +118,8 @@ void KvStore::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom
 }
 
 std::optional<SpliceSlice> KvStore::HandleRequestSpliced(const std::uint8_t* req,
-                                                         std::size_t req_len) {
+                                                         std::size_t req_len)
+    ATMO_HOT_PATH(payload-copy) {
   constexpr std::size_t kPerPage = 4096 / kSpliceStride;
   if (req_len < 3 || req[0] != kKvGet) {
     return std::nullopt;

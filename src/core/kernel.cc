@@ -8,6 +8,7 @@
 #include "src/obs/op_names.h"
 #include "src/pagetable/refinement.h"
 #include "src/vstd/check.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -300,6 +301,7 @@ SyscallRet Kernel::SysMmap(ThrdPtr t, const Syscall& call) {
   }
 
   std::vector<PageAlloc> pages;
+  // averif-lint: allow(hot-path-alloc) — mmap staging vector is per-call scratch on a map-management op, not the ring fast path; freed on return and bounded by the dynamic AllocProbe gate
   pages.reserve(range.count);
   for (std::uint64_t i = 0; i < range.count; ++i) {
     std::optional<PageAlloc> page = alloc_.AllocPage(range.size, ctnr);
@@ -310,6 +312,7 @@ SyscallRet Kernel::SysMmap(ThrdPtr t, const Syscall& call) {
       pm_.UnchargePages(ctnr, data_frames + fresh_nodes);
       return Err(SysError::kNoMemory);
     }
+    // averif-lint: allow(hot-path-alloc) — same per-call staging vector; reserve above sized it, push_back only fills
     pages.push_back(std::move(*page));
   }
   if (alloc_.FreeCount(PageSize::k4K) < fresh_nodes) {
@@ -770,6 +773,7 @@ void Kernel::KillOneProcess(ProcPtr proc) {
   // Threads first (copy the list; removal mutates it).
   std::vector<ThrdPtr> threads;
   for (ThrdPtr thrd : pm_.GetProcess(proc).threads) {
+    // averif-lint: allow(hot-path-alloc) — process teardown is a cold control-plane op
     threads.push_back(thrd);
   }
   for (ThrdPtr thrd : threads) {
@@ -793,8 +797,10 @@ void Kernel::KillProcessTree(ProcPtr root) {
   while (!stack.empty()) {
     ProcPtr cur = stack.back();
     stack.pop_back();
+    // averif-lint: allow(hot-path-alloc) — process-tree kill is a cold control-plane op
     order.push_back(cur);
     for (ProcPtr child : pm_.GetProcess(cur).children) {
+      // averif-lint: allow(hot-path-alloc) — process-tree kill is a cold control-plane op
       stack.push_back(child);
     }
   }
@@ -834,6 +840,7 @@ SyscallRet Kernel::SysKillContainer(ThrdPtr t, const Syscall& call) {
   // still alive when its leftovers are harvested.
   std::vector<CtnrPtr> doomed;
   for (CtnrPtr c : pm_.SubtreeContainers(target)) {
+    // averif-lint: allow(hot-path-alloc) — container kill is a cold control-plane op
     doomed.push_back(c);
   }
   std::sort(doomed.begin(), doomed.end(), [this](CtnrPtr a, CtnrPtr b) {
@@ -856,6 +863,7 @@ SyscallRet Kernel::SysKillContainer(ThrdPtr t, const Syscall& call) {
     std::vector<EdptPtr> surviving;
     for (const auto& [e_ptr, perm] : pm_.edpt_perms()) {
       if (perm.value().owning_ctnr == c) {
+        // averif-lint: allow(hot-path-alloc) — container kill is a cold control-plane op
         surviving.push_back(e_ptr);
       }
     }
@@ -880,6 +888,7 @@ SyscallRet Kernel::SysKillContainer(ThrdPtr t, const Syscall& call) {
       std::vector<DeviceId> devices;
       for (const auto& [device, dom] : iommu_.device_attachments()) {
         if (dom == domain) {
+          // averif-lint: allow(hot-path-alloc) — container kill is a cold control-plane op
           devices.push_back(device);
         }
       }
@@ -1052,7 +1061,8 @@ std::size_t Kernel::RingReap(ThrdPtr t, std::uint64_t ring_id, RingCqEntry* out,
   return n;
 }
 
-SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call) {
+SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call)
+    ATMO_HOT_PATH(hot-path-alloc) {
   ATMO_CHECK(pm_.current() == t, "ExecBatch caller is not the current thread");
   if (!rings_.Exists(call.ring_id)) {
     return Err(SysError::kInvalid);
@@ -1093,6 +1103,7 @@ SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call) {
   if (atomic && n > 0) {
     pool = std::move(snapshot_pool_);
     if (pool == nullptr) {
+      // averif-lint: allow(hot-path-alloc) — pool seeding: runs only when the snapshot pool is empty (first atomic batch); steady state reuses the pooled clone shell
       pool = std::unique_ptr<Kernel>(new Kernel());
     }
     CloneForVerificationInto(pool.get());

@@ -52,6 +52,7 @@ std::uint64_t SyscallRingTable::Setup(ThrdPtr owner, ProcPtr owner_proc, CtnrPtr
     return 0;
   }
   std::uint64_t id = next_id_++;
+  // averif-lint: allow(hot-path-alloc) — ring setup happens once per thread at registration — control plane
   rings_.emplace(id, SyscallRing(owner, owner_proc, owner_ctnr, capacity, flags));
   dirty_.Mark(id);
   return id;

@@ -4,6 +4,7 @@
 
 #include "src/obs/copy_probe.h"
 #include "src/vstd/check.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -46,7 +47,8 @@ void IxgbeDriver::Init() {
   nic_->SetRxTail(rx_tail_);
 }
 
-std::uint32_t IxgbeDriver::RxPeekBurst(RxView* out, std::uint32_t n) const {
+std::uint32_t IxgbeDriver::RxPeekBurst(RxView* out, std::uint32_t n) const
+    ATMO_HOT_PATH(hot-path-alloc) {
   std::uint32_t got = 0;
   while (got < n) {
     std::uint32_t index = (rx_next_ + got) % entries_;
@@ -62,7 +64,7 @@ std::uint32_t IxgbeDriver::RxPeekBurst(RxView* out, std::uint32_t n) const {
   return got;
 }
 
-void IxgbeDriver::RxReleaseBurst(std::uint32_t n) {
+void IxgbeDriver::RxReleaseBurst(std::uint32_t n) ATMO_HOT_PATH(hot-path-alloc) {
   for (std::uint32_t i = 0; i < n; ++i) {
     rx_desc_[rx_next_ % entries_][1] = 0;  // re-arm
     ++rx_next_;
@@ -74,7 +76,7 @@ void IxgbeDriver::RxReleaseBurst(std::uint32_t n) {
   }
 }
 
-std::uint8_t* IxgbeDriver::TxClaim() {
+std::uint8_t* IxgbeDriver::TxClaim() ATMO_HOT_PATH(hot-path-alloc) {
   if (tx_next_ - tx_clean_ >= entries_) {
     ReclaimTx();
     if (tx_next_ - tx_clean_ >= entries_) {
@@ -84,7 +86,7 @@ std::uint8_t* IxgbeDriver::TxClaim() {
   return tx_buf_[tx_next_ % entries_];
 }
 
-void IxgbeDriver::TxCommitDeferred(std::uint16_t len) {
+void IxgbeDriver::TxCommitDeferred(std::uint16_t len) ATMO_HOT_PATH(hot-path-alloc) {
   ATMO_CHECK(tx_next_ - tx_clean_ < entries_, "TxCommitDeferred without a claimed slot");
   ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
   std::uint32_t index = tx_next_ % entries_;
@@ -132,7 +134,8 @@ std::uint32_t IxgbeDriver::TxBurst(const TxFrame* frames, std::uint32_t n) {
   return sent;
 }
 
-bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len) {
+bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len)
+    ATMO_HOT_PATH(hot-path-alloc) {
   if (tx_next_ - tx_clean_ >= entries_) {
     ReclaimTx();
     if (tx_next_ - tx_clean_ >= entries_) {
@@ -147,7 +150,7 @@ bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len) {
   return true;
 }
 
-void IxgbeDriver::TxFlush() { nic_->SetTxTail(tx_next_); }
+void IxgbeDriver::TxFlush() ATMO_HOT_PATH(hot-path-alloc) { nic_->SetTxTail(tx_next_); }
 
 bool IxgbeDriver::TxInPlace(VAddr iova, std::uint16_t len) {
   if (!TxInPlaceDeferred(iova, len)) {

@@ -70,6 +70,7 @@ PhysMem PhysMem::CloneForVerification() const {
 
 void PhysMem::CloneForVerificationInto(PhysMem* out) const {
   out->frame_count_ = frame_count_;
+  // averif-lint: allow(hot-path-alloc) — resize is a no-op once the pooled clone reached live size; grows only with new frames
   out->frames_.resize(frame_count_);
   for (std::uint64_t frame = 0; frame < frame_count_; ++frame) {
     if (frames_[frame]) {

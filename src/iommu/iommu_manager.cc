@@ -23,8 +23,10 @@ IommuDomainId IommuManager::CreateDomain(PageAllocator* alloc, CtnrPtr ctnr) {
     return kNoIommuDomain;
   }
   IommuDomainId id = next_domain_++;
+  // averif-lint: allow(hot-path-alloc) — IOMMU domain creation is a cold control-plane op
   auto [it, inserted] = domains_.emplace(id, std::move(*table));
   ATMO_CHECK(inserted, "domains_ and domain_index_ out of lockstep");
+  // averif-lint: allow(hot-path-alloc) — IOMMU domain creation is a cold control-plane op
   domain_index_.emplace(id, &it->second);
   dirty_.Mark(id);
   return id;
@@ -211,7 +213,9 @@ IommuManager IommuManager::CloneForVerification(PhysMem* mem) const {
   IommuManager out(mem);
   out.next_domain_ = next_domain_;
   for (const auto& [id, table] : domains_) {
+    // averif-lint: allow(hot-path-alloc) — fresh-clone path runs only on first capture; steady state uses CloneForVerificationInto over pooled state
     auto [it, inserted] = out.domains_.emplace(id, table.CloneForVerification(mem));
+    // averif-lint: allow(hot-path-alloc) — fresh-clone path runs only on first capture (see above)
     out.domain_index_.emplace(id, &it->second);
   }
   out.device_domains_ = device_domains_;
@@ -233,6 +237,7 @@ void IommuManager::CloneForVerificationInto(IommuManager* out, PhysMem* mem) con
       table.CloneForVerificationInto(&dit->second, mem);
       ++dit;
     } else {
+      // averif-lint: allow(hot-path-alloc) — emplace_hint refills recycled domain nodes; allocation only on growth past the pooled high-water mark
       dit = out->domains_.emplace_hint(dit, id, PageTable());
       table.CloneForVerificationInto(&dit->second, mem);
       ++dit;

@@ -4,6 +4,24 @@
 
 namespace atmo::obs {
 
+#if defined(ATMO_OBS_DISABLED)
+
+// Shell build: CopyPayload still moves the bytes (it is a functional memcpy,
+// not just a probe), but the counters compile out and read zero — the same
+// contract as the alloc hook's disabled build (src/obs/alloc_hook.cc).
+
+std::uint64_t PayloadBytesCopied() { return 0; }
+
+std::uint64_t PayloadCopyCount() { return 0; }
+
+bool PayloadCountingActive() { return false; }
+
+void* CopyPayload(void* dst, const void* src, std::size_t n) {
+  return std::memcpy(dst, src, n);
+}
+
+#else  // !ATMO_OBS_DISABLED
+
 namespace {
 
 thread_local std::uint64_t g_payload_bytes = 0;
@@ -15,10 +33,14 @@ std::uint64_t PayloadBytesCopied() { return g_payload_bytes; }
 
 std::uint64_t PayloadCopyCount() { return g_payload_copies; }
 
+bool PayloadCountingActive() { return true; }
+
 void* CopyPayload(void* dst, const void* src, std::size_t n) {
   g_payload_bytes += n;
   ++g_payload_copies;
   return std::memcpy(dst, src, n);
 }
+
+#endif  // ATMO_OBS_DISABLED
 
 }  // namespace atmo::obs

@@ -29,6 +29,11 @@ std::uint64_t PayloadBytesCopied();
 // Number of CopyPayload calls on this thread since thread start.
 std::uint64_t PayloadCopyCount();
 
+// True when the counters are compiled in (i.e. not an ATMO_OBS_DISABLED
+// build). Lets tests skip instead of asserting on zero, mirroring
+// HeapCountingActive() in src/obs/alloc_hook.h.
+bool PayloadCountingActive();
+
 // Counted memcpy: every payload staging copy in the packet path goes
 // through here. Returns `dst` like std::memcpy.
 void* CopyPayload(void* dst, const void* src, std::size_t n);

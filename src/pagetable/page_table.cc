@@ -49,6 +49,7 @@ const char* MapErrorName(MapError error) {
 PageTable::PageTable(PhysMem* mem, PAddr cr3, FramePerm root_perm, CtnrPtr owner)
     : mem_(mem), cr3_(cr3), owner_(owner) {
   mem_->ZeroPage(root_perm);
+  // averif-lint: allow(hot-path-alloc) — page-table construction (root node) happens at address-space creation — control plane
   node_perms_.emplace(cr3, std::move(root_perm));
   node_info_.set(cr3, PtNodeInfo{.level = 4, .va_base = 0});
 }
@@ -89,6 +90,7 @@ std::optional<PAddr> PageTable::EnsureChild(PageAllocator* alloc, PAddr node,
   }
   mem_->ZeroPage(page->perm);
   PAddr child = page->ptr;
+  // averif-lint: allow(hot-path-alloc) — allocates only when an intermediate node is first needed; steady-state walks hit existing nodes
   node_perms_.emplace(child, std::move(page->perm));
   node_info_.set(child, PtNodeInfo{.level = child_level, .va_base = child_base});
   // Intermediate entries carry maximal rights; effective rights come from
@@ -180,6 +182,7 @@ std::uint64_t PageTable::FreshNodesFor(VAddr va, PageSize size,
     std::uint64_t child_span = EntrySpan(level - 1) * kPtEntriesPerNode;
     std::uint64_t key = (static_cast<std::uint64_t>(level - 1) << 52) | (va / child_span);
     if (below_fresh) {
+      // averif-lint: allow(hot-path-alloc) — per-call scratch set for fresh-node charge accounting on map ops; bounded by the dynamic AllocProbe gate
       if (virtual_nodes == nullptr || virtual_nodes->insert(key).second) {
         ++fresh;
       }
@@ -188,6 +191,7 @@ std::uint64_t PageTable::FreshNodesFor(VAddr va, PageSize size,
     std::uint64_t pte = mem_->HwReadU64(node + VaIndex(va, level) * 8);
     if ((pte & kPtePresent) == 0) {
       below_fresh = true;
+      // averif-lint: allow(hot-path-alloc) — same per-call charge-accounting scratch set
       if (virtual_nodes == nullptr || virtual_nodes->insert(key).second) {
         ++fresh;
       }
@@ -389,6 +393,7 @@ PageTable PageTable::CloneForVerification(PhysMem* mem) const {
   }
   out.node_perms_.clear();
   for (const auto& [addr, perm] : node_perms_) {
+    // averif-lint: allow(hot-path-alloc) — fresh-clone path runs only on first capture; steady state uses CloneForVerificationInto over pooled state
     out.node_perms_.emplace(addr, perm.CloneForVerification());
   }
   out.node_info_ = node_info_;
@@ -416,6 +421,7 @@ void PageTable::CloneForVerificationInto(PageTable* out, PhysMem* mem) const {
       dit->second = perm.CloneForVerification();
       ++dit;
     } else {
+      // averif-lint: allow(hot-path-alloc) — emplace_hint refills recycled page-table nodes; allocation only on growth past the pooled high-water mark
       out->node_perms_.emplace_hint(dit, addr, perm.CloneForVerification());
     }
   }

@@ -122,6 +122,7 @@ void PageAllocator::NoteFreed(std::uint64_t frame, PageSize size) {
     std::uint64_t group = frame / kFramesPer2M;
     if (++free_in_2m_[group] == kFramesPer2M && !in_mergeable_2m_[group]) {
       in_mergeable_2m_[group] = 1;
+      // averif-lint: allow(hot-path-alloc) — mergeable-group heap grows only when a 2M group first becomes fully free; vector capacity is retained
       mergeable_2m_.push_back(group);
       std::push_heap(mergeable_2m_.begin(), mergeable_2m_.end(), std::greater<>());
     }
@@ -131,6 +132,7 @@ void PageAllocator::NoteFreed(std::uint64_t frame, PageSize size) {
   }
   if (free_eq_1g_[region] == kFramesPer1G && !in_mergeable_1g_[region]) {
     in_mergeable_1g_[region] = 1;
+    // averif-lint: allow(hot-path-alloc) — mergeable-region heap grows only when a 1G region first becomes fully free; vector capacity is retained
     mergeable_1g_.push_back(region);
     std::push_heap(mergeable_1g_.begin(), mergeable_1g_.end(), std::greater<>());
   }

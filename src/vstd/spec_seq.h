@@ -59,6 +59,7 @@ class SpecSeq {
 
   SpecSeq push(const T& t) const {
     SpecSeq out = *this;
+    // averif-lint: allow(hot-path-alloc) — reached only via SysNewContainer (cold spawn); checker-side pushes run under ArenaScope and land in the SpecArena
     out.rep_.push_back(t);
     return out;
   }

@@ -51,6 +51,7 @@ class SpecSet {
     if (contains(t)) {
       return;
     }
+    // averif-lint: allow(hot-path-alloc) — reached only via SysNewContainer (cold spawn); checker-side inserts run under ArenaScope and land in the SpecArena
     Detach().insert(t);
   }
   void erase(const T& t) {

@@ -35,6 +35,14 @@
 #define ATMO_RETURN_CAPABILITY(x) ATMO_THREAD_ANNOTATION(lock_returned(x))
 #define ATMO_NO_THREAD_SAFETY_ANALYSIS ATMO_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// Hot-path root marker for averif-lint's interprocedural purity rules
+// (hot-path-alloc, payload-copy — DESIGN.md §16). Expands to nothing: the
+// compiler ignores it, the lint treats the annotated function as a
+// reachability root for the named rule. Place it between the parameter list
+// and the body, like the thread-safety attributes:
+//   SyscallRet ExecBatch(ThrdPtr t, const Syscall& call) ATMO_HOT_PATH(hot-path-alloc) { ... }
+#define ATMO_HOT_PATH(rule)
+
 namespace atmo {
 
 // std::mutex with the capability attribute, so members can be GUARDED_BY it

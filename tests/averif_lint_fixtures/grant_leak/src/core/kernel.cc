@@ -1,0 +1,50 @@
+// Seeded violation for the grant-lifetime rule: BeginBorrow records a page
+// borrow and teardown (DestroyAddressSpace) can revoke it, but the
+// kGrantReturn handler only acknowledges the return — no path from it
+// reaches `borrows_.erase`/`clear`, so a cooperative return leaks the
+// borrow record until the process dies.
+
+#include <set>
+
+namespace atmo {
+
+enum class SysOp { kGrantBegin, kGrantReturn, kExit };
+
+class VmManager {
+ public:
+  void BeginBorrow(unsigned long page) {
+    borrows_.emplace(page);  // seeded: recorded, unreachable from kGrantReturn
+  }
+
+  void NoteGrantReturn(unsigned long page) {
+    last_returned_ = page;  // acknowledges the return without revoking
+  }
+
+  void DestroyAddressSpace() { borrows_.clear(); }
+
+ private:
+  std::set<unsigned long> borrows_;
+  unsigned long last_returned_ = 0;
+};
+
+class Kernel {
+ public:
+  int Exec(SysOp op) {
+    switch (op) {
+      case SysOp::kGrantBegin:
+        vm_.BeginBorrow(1);
+        return 0;
+      case SysOp::kGrantReturn:
+        vm_.NoteGrantReturn(1);
+        return 0;
+      case SysOp::kExit:
+        return 0;
+    }
+    return -1;
+  }
+
+ private:
+  VmManager vm_;
+};
+
+}  // namespace atmo

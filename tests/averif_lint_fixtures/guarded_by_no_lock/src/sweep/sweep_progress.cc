@@ -1,0 +1,35 @@
+// Seeded violations for the lock-discipline rule: a SweepProgress-shaped
+// class whose ATMO_GUARDED_BY counter is (a) touched without the mutex and
+// (b) read through an ATMO_REQUIRES accessor whose caller never takes the
+// lock — the interprocedural half Clang's per-function analysis can't see.
+// The locked mutator must NOT fire.
+
+#include "src/vstd/thread_annotations.h"
+
+namespace atmo {
+
+class SweepProgress {
+ public:
+  void BumpLocked() {
+    MutexLock lock(&mu_);
+    done_ += 1;  // held: must not fire
+  }
+
+  void BumpUnlocked() {
+    done_ += 1;  // seeded: touch without the mutex
+  }
+
+  unsigned long SnapshotLocked() ATMO_REQUIRES(mu_) {
+    return done_;  // contract moves the obligation to callers
+  }
+
+  unsigned long ReadRacy() {
+    return SnapshotLocked();  // seeded: REQUIRES callee, lock never taken
+  }
+
+ private:
+  Mutex mu_;
+  unsigned long done_ ATMO_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace atmo

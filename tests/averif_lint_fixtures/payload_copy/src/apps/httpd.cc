@@ -1,0 +1,29 @@
+// Seeded violation for the payload-copy rule: a splice-serve entry point
+// marked ATMO_HOT_PATH(payload-copy) that reaches both an injected memcpy
+// staging copy and a byte-copy loop (the static twin of a CopyProbe
+// regression on the zero-copy serve path).
+
+#include <cstring>
+
+#include "src/vstd/thread_annotations.h"
+
+namespace atmo {
+
+class Httpd {
+ public:
+  int HandleRequestSpliced(int len) ATMO_HOT_PATH(payload-copy) { return ServeFile(len); }
+
+ private:
+  int ServeFile(int len) {
+    unsigned char staged[256];
+    std::memcpy(staged, body_, 128);  // seeded: payload staged through memcpy
+    for (int i = 0; i < len; ++i) {
+      staged[i] = body_[i];  // seeded: byte-copy loop over the payload
+    }
+    return staged[0];
+  }
+
+  unsigned char body_[256] = {0};
+};
+
+}  // namespace atmo

@@ -6,11 +6,15 @@
 // absent files skip rules instead of failing).
 
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/obs/alloc_hook.h"
+#include "src/obs/copy_probe.h"
 #include "tools/averif_lint/lint.h"
 
 namespace atmo::lint {
@@ -177,6 +181,192 @@ TEST(AverifLintTest, ErrorPathFiresAndHonoursWaiver) {
 }
 
 // ---------------------------------------------------------------------------
+// Interprocedural rules (call graph + ATMO_HOT_PATH roots).
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, HotPathAllocFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("hot_path_alloc"));
+  std::vector<Finding> hits = WithRule(findings, "hot-path-alloc");
+  // Only the uncovered helper fires; the ArenaScope-covered allocation in
+  // Capture and the covered call site around AppendSpec must not.
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/verif/refinement_checker.cc");
+  EXPECT_NE(hits[0].message.find("RefinementChecker::BuildScratch"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("RefinementChecker::Step -> RefinementChecker::BuildScratch"),
+            std::string::npos)
+      << hits[0].message;
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("hot_path_alloc")), 1);
+}
+
+TEST(AverifLintTest, PayloadCopyFiresOnMemcpyAndByteLoop) {
+  std::vector<Finding> findings = Lint(FixtureRoot("payload_copy"));
+  std::vector<Finding> hits = WithRule(findings, "payload-copy");
+  ASSERT_EQ(hits.size(), 2u) << ToText(findings, false);
+  bool saw_memcpy = false;
+  bool saw_loop = false;
+  for (const Finding& f : hits) {
+    EXPECT_EQ(f.file, "src/apps/httpd.cc");
+    EXPECT_NE(f.message.find("Httpd::HandleRequestSpliced -> Httpd::ServeFile"),
+              std::string::npos)
+        << f.message;
+    saw_memcpy = saw_memcpy || f.message.find("(memcpy)") != std::string::npos;
+    saw_loop = saw_loop || f.message.find("(byte-copy loop)") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_memcpy) << ToText(findings, false);
+  EXPECT_TRUE(saw_loop) << ToText(findings, false);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("payload_copy")), 1);
+}
+
+TEST(AverifLintTest, LockDisciplineFiresDirectAndInterprocedural) {
+  std::vector<Finding> findings = Lint(FixtureRoot("guarded_by_no_lock"));
+  std::vector<Finding> hits = WithRule(findings, "lock-discipline");
+  // Two seeded violations: the bare unlocked touch, and the REQUIRES callee
+  // invoked by a caller that never takes the lock. The MutexLock-covered
+  // mutator must not fire.
+  ASSERT_EQ(hits.size(), 2u) << ToText(findings, false);
+  bool direct = false;
+  bool contract = false;
+  for (const Finding& f : hits) {
+    EXPECT_EQ(f.file, "src/sweep/sweep_progress.cc");
+    direct = direct ||
+             f.message.find("SweepProgress::BumpUnlocked touches it without acquiring") !=
+                 std::string::npos;
+    contract = contract ||
+               f.message.find("SweepProgress::ReadRacy calls it without holding") !=
+                   std::string::npos;
+  }
+  EXPECT_TRUE(direct) << ToText(findings, false);
+  EXPECT_TRUE(contract) << ToText(findings, false);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("guarded_by_no_lock")), 1);
+}
+
+TEST(AverifLintTest, GrantLeakOnReturnPathFires) {
+  std::vector<Finding> findings = Lint(FixtureRoot("grant_leak"));
+  std::vector<Finding> hits = WithRule(findings, "grant-lifetime");
+  // Teardown (DestroyAddressSpace -> borrows_.clear) satisfies the teardown
+  // obligation, so only the unreachable-from-kGrantReturn finding remains.
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/core/kernel.cc");
+  EXPECT_NE(hits[0].message.find("VmManager::BeginBorrow"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("kGrantReturn handling cannot reach a release site"),
+            std::string::npos);
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("grant_leak")), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Static/dynamic twin agreement: the same injected regression the fixtures
+// seed statically is caught at runtime by the obs probes. hot-path-alloc is
+// AllocProbe's twin, payload-copy is CopyProbe's.
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, HotPathAllocAgreesWithAllocProbe) {
+  std::vector<Finding> hits =
+      WithRule(Lint(FixtureRoot("hot_path_alloc")), "hot-path-alloc");
+  ASSERT_EQ(hits.size(), 1u);  // static half: the injected push_back is flagged
+  if (!obs::HeapCountingActive()) {
+    GTEST_SKIP() << "ATMO_OBS_DISABLED build: no runtime twin to compare";
+  }
+  obs::AllocProbe probe;
+  std::vector<int> scratch;
+  scratch.push_back(42);  // dynamic half: the same injected allocation
+  EXPECT_GT(probe.allocs(), 0u)
+      << "AllocProbe missed the allocation the lint flagged statically";
+}
+
+TEST(AverifLintTest, PayloadCopyAgreesWithCopyProbe) {
+  std::vector<Finding> hits = WithRule(Lint(FixtureRoot("payload_copy")), "payload-copy");
+  ASSERT_EQ(hits.size(), 2u);  // static half: memcpy + byte loop flagged
+  if (!obs::PayloadCountingActive()) {
+    GTEST_SKIP() << "ATMO_OBS_DISABLED build: no runtime twin to compare";
+  }
+  obs::CopyProbe probe;
+  unsigned char dst[64];
+  unsigned char src[64] = {1};
+  obs::CopyPayload(dst, src, sizeof(dst));  // dynamic half: the staged copy
+  EXPECT_EQ(probe.copies(), 1u);
+  EXPECT_EQ(probe.bytes(), sizeof(dst));
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic output and baseline diffing.
+// ---------------------------------------------------------------------------
+
+TEST(AverifLintTest, JsonOutputIsDeterministicSortedAndGolden) {
+  std::vector<Finding> first = Lint(FixtureRoot("payload_copy"));
+  std::vector<Finding> second = Lint(FixtureRoot("payload_copy"));
+  EXPECT_EQ(ToJson(first), ToJson(second));
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(std::tie(first[i - 1].file, first[i - 1].line, first[i - 1].rule),
+              std::tie(first[i].file, first[i].line, first[i].rule));
+  }
+  const std::string golden =
+      "[\n"
+      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 19, \"rule\": \"payload-copy\", "
+      "\"message\": \"payload copy (memcpy) in Httpd::ServeFile is reachable from hot "
+      "path: Httpd::HandleRequestSpliced -> Httpd::ServeFile\"},\n"
+      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 21, \"rule\": \"payload-copy\", "
+      "\"message\": \"payload copy (byte-copy loop) in Httpd::ServeFile is reachable "
+      "from hot path: Httpd::HandleRequestSpliced -> Httpd::ServeFile\"}\n"
+      "]\n";
+  EXPECT_EQ(ToJson(first), golden);
+}
+
+TEST(AverifLintTest, ParseFindingsJsonRoundTrips) {
+  std::vector<Finding> findings = Lint(FixtureRoot("payload_copy"));
+  ASSERT_FALSE(findings.empty());
+  std::optional<std::vector<Finding>> parsed = ParseFindingsJson(ToJson(findings));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].file, findings[i].file);
+    EXPECT_EQ((*parsed)[i].line, findings[i].line);
+    EXPECT_EQ((*parsed)[i].rule, findings[i].rule);
+    EXPECT_EQ((*parsed)[i].message, findings[i].message);
+  }
+  EXPECT_TRUE(ParseFindingsJson("[]\n").has_value());
+  EXPECT_FALSE(ParseFindingsJson("not json").has_value());
+  EXPECT_FALSE(ParseFindingsJson("{\"file\": \"x\"}").has_value());
+}
+
+TEST(AverifLintTest, BaselineSubtractionIgnoresLineDrift) {
+  std::vector<Finding> findings = Lint(FixtureRoot("payload_copy"));
+  ASSERT_EQ(findings.size(), 2u);
+  // The full set as baseline leaves nothing.
+  EXPECT_TRUE(SubtractBaseline(findings, findings).empty());
+  // Line numbers drift when unrelated code is edited above a known finding;
+  // the diff keys on (file, rule, message) so drift alone is not "new".
+  std::vector<Finding> shifted = findings;
+  for (Finding& f : shifted) {
+    f.line += 7;
+  }
+  EXPECT_TRUE(SubtractBaseline(findings, shifted).empty());
+  // A partial baseline leaves exactly the unbaselined finding.
+  std::vector<Finding> one(1, findings[0]);
+  std::vector<Finding> left = SubtractBaseline(findings, one);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].message, findings[1].message);
+}
+
+TEST(AverifLintTest, BaselineFlagGatesExitCode) {
+  std::string root = FixtureRoot("payload_copy");
+  std::vector<Finding> findings = Lint(root);
+  ASSERT_FALSE(findings.empty());
+  std::string path = ::testing::TempDir() + "averif_lint_baseline.json";
+  {
+    std::ofstream out(path);
+    out << ToJson(findings);
+  }
+  EXPECT_EQ(BinaryExit("--root " + root), 1);
+  EXPECT_EQ(BinaryExit("--root " + root + " --baseline " + path), 0);
+  // An unreadable or malformed baseline is a usage error, not a clean run.
+  EXPECT_EQ(BinaryExit("--root " + root + " --baseline /nonexistent/baseline.json"), 2);
+}
+
+// ---------------------------------------------------------------------------
 // Report formats.
 // ---------------------------------------------------------------------------
 
@@ -192,7 +382,27 @@ TEST(AverifLintTest, JsonReportIsMachineReadable) {
 TEST(AverifLintTest, FixSuggestionsPrintSkeletons) {
   std::vector<Finding> findings = Lint(FixtureRoot("missing_spec_case"));
   std::string text = ToText(findings, /*fix_suggestions=*/true);
-  EXPECT_NE(text.find("fix: add `case SysOp::kExit:`"), std::string::npos);
+  EXPECT_NE(
+      text.find("fix: add `case SysOp::kExit: return ExitSpec(pre, post, t, call, ret);`"),
+      std::string::npos)
+      << text;
+}
+
+TEST(AverifLintTest, FixSuggestionsCoverRingAndGrantTables) {
+  // Ring op missing from the spec dispatcher: the skeleton names the ring
+  // spec function, not just a bare case label.
+  std::string ring = ToText(Lint(FixtureRoot("ring_missing_spec_case")), true);
+  EXPECT_NE(ring.find("return RingEnterSpec(pre, post, t, call, ret);"), std::string::npos)
+      << ring;
+  // Grant op missing from both the dispatcher and the frame-profile table:
+  // one skeleton per hole, the frame one asking for the op's frame profile.
+  std::string grant = ToText(Lint(FixtureRoot("grant_missing_spec_case")), true);
+  EXPECT_NE(grant.find("return GrantReturnSpec(pre, post, t, call, ret);"),
+            std::string::npos)
+      << grant;
+  EXPECT_NE(grant.find("returning a FrameProfile that lists every component kGrantReturn"),
+            std::string::npos)
+      << grant;
 }
 
 // Strict mode turns missing rule inputs into findings instead of silently

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/alloc_hook.h"
+#include "src/obs/copy_probe.h"
 #include "src/obs/exporters.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/json_writer.h"
@@ -430,6 +432,43 @@ TEST(ExportersTest, MetricsJsonShape) {
   EXPECT_NE(json.find("\"le\":0"), std::string::npos);
   EXPECT_NE(json.find("\"le\":15"), std::string::npos);
   EXPECT_EQ(json.find("\"le\":1,"), std::string::npos);
+}
+
+// --- Probe shells under ATMO_OBS_DISABLED -----------------------------------
+
+// One test body for both build modes: with counting compiled in, the probes
+// observe the injected allocation/copy; in an ATMO_OBS_DISABLED build the
+// shells still link, CopyPayload still moves the bytes, and every counter
+// reads zero. CI compiles the disabled configuration to keep both halves
+// honest (ci/run_tests.sh).
+TEST(ProbeShellTest, ProbesCountWhenActiveAndReadZeroWhenDisabled) {
+  AllocProbe heap;
+  std::vector<int> scratch;
+  scratch.push_back(1);
+  if (HeapCountingActive()) {
+    EXPECT_GT(heap.allocs(), 0u);
+    EXPECT_GT(heap.bytes(), 0u);
+  } else {
+    EXPECT_EQ(heap.allocs(), 0u);
+    EXPECT_EQ(heap.bytes(), 0u);
+    EXPECT_EQ(HeapAllocCount(), 0u);
+    EXPECT_EQ(HeapFreeCount(), 0u);
+  }
+
+  CopyProbe copies;
+  unsigned char dst[16];
+  unsigned char src[16] = {7};
+  CopyPayload(dst, src, sizeof(dst));
+  EXPECT_EQ(dst[0], src[0]);  // the copy itself happens in both builds
+  if (PayloadCountingActive()) {
+    EXPECT_EQ(copies.copies(), 1u);
+    EXPECT_EQ(copies.bytes(), sizeof(dst));
+  } else {
+    EXPECT_EQ(copies.copies(), 0u);
+    EXPECT_EQ(copies.bytes(), 0u);
+    EXPECT_EQ(PayloadCopyCount(), 0u);
+    EXPECT_EQ(PayloadBytesCopied(), 0u);
+  }
 }
 
 }  // namespace

@@ -1,1140 +1,36 @@
+// Driver: builds the project model once, runs every rule pass, and owns the
+// deterministic ordering contract (sort + dedupe) plus the report formats
+// and baseline diffing.
+
 #include "tools/averif_lint/lint.h"
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <optional>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <tuple>
-#include <utility>
+
+#include "tools/averif_lint/callgraph.h"
+#include "tools/averif_lint/rules.h"
+#include "tools/averif_lint/source.h"
 
 namespace atmo::lint {
 
-namespace {
-
-namespace fs = std::filesystem;
-
-// ---------------------------------------------------------------------------
-// Source model: raw text + a comment/string-blanked shadow for structural
-// scans (brace matching, identifier search), with position -> line mapping.
-// Suppression comments are looked up in the raw text.
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  std::string rel_path;
-  std::string raw;
-  std::string code;  // same length as raw; comments and literals blanked
-  std::vector<std::size_t> line_starts;
-  bool ok = false;
-
-  std::size_t LineOf(std::size_t pos) const {
-    auto it = std::upper_bound(line_starts.begin(), line_starts.end(), pos);
-    return static_cast<std::size_t>(it - line_starts.begin());
-  }
-
-  std::string Line(std::size_t line) const {  // 1-based
-    if (line == 0 || line > line_starts.size()) {
-      return std::string();
-    }
-    std::size_t begin = line_starts[line - 1];
-    std::size_t end = line < line_starts.size() ? line_starts[line] : raw.size();
-    return raw.substr(begin, end - begin);
-  }
-
-  bool SuppressedAt(std::size_t line, const std::string& rule) const {
-    std::string needle = "averif-lint: allow(" + rule + ")";
-    std::size_t first = line > 4 ? line - 4 : 1;
-    for (std::size_t l = first; l <= line && l <= line_starts.size(); ++l) {
-      if (Line(l).find(needle) != std::string::npos) {
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-std::string StripCommentsAndStrings(const std::string& in) {
-  std::string out = in;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar } state = State::kCode;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    char c = in[i];
-    char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < in.size() && in[i + 1] != '\n') {
-            out[i + 1] = ' ';
-          }
-          ++i;
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < in.size() && in[i + 1] != '\n') {
-            out[i + 1] = ' ';
-          }
-          ++i;
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-SourceFile LoadFile(const std::string& root, const std::string& rel_path) {
-  SourceFile f;
-  f.rel_path = rel_path;
-  std::ifstream in(fs::path(root) / rel_path, std::ios::binary);
-  if (!in) {
-    return f;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  f.raw = buf.str();
-  f.code = StripCommentsAndStrings(f.raw);
-  f.line_starts.push_back(0);
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    if (f.raw[i] == '\n' && i + 1 < f.raw.size()) {
-      f.line_starts.push_back(i + 1);
-    }
-  }
-  f.ok = true;
-  return f;
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Position just past the matching '}' for the '{' at `open`, or npos.
-std::size_t MatchBrace(const std::string& code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == '{') {
-      ++depth;
-    } else if (code[i] == '}') {
-      if (--depth == 0) {
-        return i + 1;
-      }
-    }
-  }
-  return std::string::npos;
-}
-
-std::size_t MatchParen(const std::string& code, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < code.size(); ++i) {
-    if (code[i] == '(') {
-      ++depth;
-    } else if (code[i] == ')') {
-      if (--depth == 0) {
-        return i + 1;
-      }
-    }
-  }
-  return std::string::npos;
-}
-
-std::size_t SkipWs(const std::string& code, std::size_t i) {
-  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) {
-    ++i;
-  }
-  return i;
-}
-
-// Whole-identifier search: occurrences of `ident` in code[range) that are not
-// part of a longer identifier.
-std::vector<std::size_t> FindIdent(const std::string& code, const std::string& ident,
-                                   std::size_t begin = 0,
-                                   std::size_t end = std::string::npos) {
-  std::vector<std::size_t> out;
-  end = std::min(end, code.size());
-  std::size_t pos = begin;
-  while ((pos = code.find(ident, pos)) != std::string::npos && pos < end) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    std::size_t after = pos + ident.size();
-    bool right_ok = after >= code.size() || !IsIdentChar(code[after]);
-    if (left_ok && right_ok) {
-      out.push_back(pos);
-    }
-    pos = after;
-  }
-  return out;
-}
-
-bool ContainsIdent(const std::string& code, const std::string& ident,
-                   std::size_t begin = 0, std::size_t end = std::string::npos) {
-  return !FindIdent(code, ident, begin, end).empty();
-}
-
-// [begin, end) of the body of `class name { ... }`, or nullopt.
-struct Range {
-  std::size_t begin = 0;
-  std::size_t end = 0;
-};
-
-std::optional<Range> ClassBody(const SourceFile& f, const std::string& name) {
-  for (std::size_t pos : FindIdent(f.code, name)) {
-    // Must follow the `class`/`struct` keyword to be the definition.
-    std::size_t before = pos;
-    while (before > 0 &&
-           std::isspace(static_cast<unsigned char>(f.code[before - 1])) != 0) {
-      --before;
-    }
-    std::size_t kw_end = before;
-    while (before > 0 && IsIdentChar(f.code[before - 1])) {
-      --before;
-    }
-    std::string kw = f.code.substr(before, kw_end - before);
-    if (kw != "class" && kw != "struct") {
-      continue;
-    }
-    // Scan forward past an optional base-clause to '{'; a ';' first means a
-    // forward declaration.
-    std::size_t i = pos + name.size();
-    while (i < f.code.size() && f.code[i] != '{' && f.code[i] != ';') {
-      ++i;
-    }
-    if (i >= f.code.size() || f.code[i] != '{') {
-      continue;
-    }
-    std::size_t close = MatchBrace(f.code, i);
-    if (close == std::string::npos) {
-      continue;
-    }
-    return Range{i + 1, close - 1};
-  }
-  return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
-// Method model for the dirty-log rule.
-// ---------------------------------------------------------------------------
-
-struct Method {
-  std::string name;
-  bool is_public = false;
-  bool is_const = false;
-  bool is_static = false;
-  std::size_t decl_line = 0;
-  std::string body;  // inline body if any
-};
-
-const std::set<std::string>& Keywords() {
-  static const std::set<std::string> kw = {
-      "if", "for", "while", "switch", "return", "sizeof", "catch", "new",
-      "delete", "throw", "static_cast", "const_cast", "reinterpret_cast",
-      "dynamic_cast", "decltype", "alignof", "noexcept", "assert"};
-  return kw;
-}
-
-// Collects method declarations at depth 0 of a class body, tracking access
-// sections. `struct_default_public` matters only for structs.
-std::vector<Method> ParseMethods(const SourceFile& f, Range body, bool default_public) {
-  std::vector<Method> out;
-  const std::string& code = f.code;
-  bool is_public = default_public;
-  std::size_t stmt_start = body.begin;  // start of the current declaration
-  for (std::size_t i = body.begin; i < body.end; ++i) {
-    char c = code[i];
-    if (c == '{') {
-      // Either a nested type/initializer or an inline method body; the
-      // method path handles its own brace below, so a '{' seen here at
-      // depth 0 belongs to a nested struct/enum/initializer. Skip it whole.
-      std::size_t close = MatchBrace(code, i);
-      if (close == std::string::npos) {
-        break;
-      }
-      i = close - 1;
-      stmt_start = close;
-      continue;
-    }
-    if (c == ';' || c == '}') {
-      stmt_start = i + 1;
-      continue;
-    }
-    if (c == ':' && i > body.begin) {
-      // Access specifier? Look back for public/private/protected.
-      std::size_t before = i;
-      while (before > body.begin &&
-             std::isspace(static_cast<unsigned char>(code[before - 1])) != 0) {
-        --before;
-      }
-      std::size_t id_end = before;
-      while (before > body.begin && IsIdentChar(code[before - 1])) {
-        --before;
-      }
-      std::string word = code.substr(before, id_end - before);
-      if (word == "public") {
-        is_public = true;
-        stmt_start = i + 1;
-      } else if (word == "private" || word == "protected") {
-        is_public = false;
-        stmt_start = i + 1;
-      }
-      continue;
-    }
-    if (c != '(') {
-      continue;
-    }
-    // Candidate method: identifier directly before '('.
-    std::size_t id_end = i;
-    while (id_end > stmt_start &&
-           std::isspace(static_cast<unsigned char>(code[id_end - 1])) != 0) {
-      --id_end;
-    }
-    std::size_t id_begin = id_end;
-    while (id_begin > stmt_start && IsIdentChar(code[id_begin - 1])) {
-      --id_begin;
-    }
-    std::string name = code.substr(id_begin, id_end - id_begin);
-    std::size_t close = MatchParen(code, i);
-    if (close == std::string::npos || close > body.end) {
-      break;
-    }
-    std::string decl_head = code.substr(stmt_start, i - stmt_start);
-    bool skip = name.empty() || Keywords().count(name) != 0 ||
-                (id_begin > stmt_start && code[id_begin - 1] == '~') ||
-                decl_head.find("operator") != std::string::npos ||
-                decl_head.find("using") != std::string::npos ||
-                decl_head.find("friend") != std::string::npos ||
-                decl_head.find("typedef") != std::string::npos;
-    bool is_static = decl_head.find("static") != std::string::npos;
-    // Constructor: name equals the class-scope type being declared — caller
-    // filters by comparing to the class name; here we mark it via callback.
-    // (Handled by caller via Method::name comparison.)
-    // Scan the trailer for const / = default / = delete / body.
-    std::size_t j = close;
-    bool is_const = false;
-    bool deleted = false;
-    std::string trailer;
-    while (j < body.end) {
-      j = SkipWs(code, j);
-      if (j >= body.end) {
-        break;
-      }
-      if (code[j] == '{' || code[j] == ';') {
-        break;
-      }
-      if (code[j] == '=') {
-        deleted = true;  // = default / = delete / = 0 — nothing to check
-        // skip to ';'
-        while (j < body.end && code[j] != ';') {
-          ++j;
-        }
-        break;
-      }
-      if (IsIdentChar(code[j])) {
-        std::size_t w = j;
-        while (w < body.end && IsIdentChar(code[w])) {
-          ++w;
-        }
-        std::string word = code.substr(j, w - j);
-        if (word == "const") {
-          is_const = true;
-        }
-        trailer += word + " ";
-        j = w;
-        continue;
-      }
-      if (code[j] == '(') {  // noexcept(...)
-        std::size_t pc = MatchParen(code, j);
-        if (pc == std::string::npos) {
-          break;
-        }
-        j = pc;
-        continue;
-      }
-      if (code[j] == '-' || code[j] == '>') {  // trailing return type
-        ++j;
-        continue;
-      }
-      ++j;
-    }
-    Method m;
-    m.name = name;
-    m.is_public = is_public;
-    m.is_const = is_const;
-    m.is_static = is_static;
-    m.decl_line = f.LineOf(id_begin);
-    if (j < body.end && code[j] == '{') {
-      std::size_t bclose = MatchBrace(code, j);
-      if (bclose == std::string::npos || bclose > body.end + 1) {
-        break;
-      }
-      m.body = code.substr(j, bclose - j);
-      i = bclose - 1;
-      stmt_start = bclose;
-    } else {
-      i = j;
-      stmt_start = j + 1;
-    }
-    if (!skip && !deleted) {
-      out.push_back(std::move(m));
-    }
-  }
-  return out;
-}
-
-// Bodies of out-of-line definitions `Class::Method(...) ... { ... }` in a
-// source file, keyed by method name (overload bodies concatenated).
-std::map<std::string, std::string> OutOfLineBodies(const SourceFile& f,
-                                                   const std::string& class_name) {
-  std::map<std::string, std::string> out;
-  const std::string& code = f.code;
-  for (std::size_t pos : FindIdent(code, class_name)) {
-    std::size_t i = pos + class_name.size();
-    if (i + 1 >= code.size() || code[i] != ':' || code[i + 1] != ':') {
-      continue;
-    }
-    i += 2;
-    std::size_t id_begin = i;
-    while (i < code.size() && IsIdentChar(code[i])) {
-      ++i;
-    }
-    std::string name = code.substr(id_begin, i - id_begin);
-    i = SkipWs(code, i);
-    if (name.empty() || i >= code.size() || code[i] != '(') {
-      continue;
-    }
-    std::size_t close = MatchParen(code, i);
-    if (close == std::string::npos) {
-      continue;
-    }
-    // Definition if the trailer reaches '{' before ';'.
-    std::size_t j = close;
-    while (j < code.size() && code[j] != '{' && code[j] != ';') {
-      ++j;
-    }
-    if (j >= code.size() || code[j] != '{') {
-      continue;
-    }
-    std::size_t bclose = MatchBrace(code, j);
-    if (bclose == std::string::npos) {
-      continue;
-    }
-    out[name] += code.substr(j, bclose - j);
-  }
-  return out;
-}
-
-// True when `body` contains a plausible unqualified (or this->) call of
-// `callee`: an identifier match followed by '(', not reached through a
-// member/scope qualifier of some other object.
-bool CallsSameClass(const std::string& body, const std::string& callee) {
-  for (std::size_t pos : FindIdent(body, callee)) {
-    std::size_t after = SkipWs(body, pos + callee.size());
-    if (after >= body.size() || body[after] != '(') {
-      continue;
-    }
-    if (pos == 0) {
-      return true;
-    }
-    char prev = body[pos - 1];
-    if (prev == '.' || prev == ':') {
-      continue;  // other.callee() / Other::callee()
-    }
-    if (prev == '>') {
-      // allow this->callee(), reject other->callee()
-      if (pos >= 6 && body.compare(pos - 6, 6, "this->") == 0) {
-        return true;
-      }
-      continue;
-    }
-    return true;
-  }
-  return false;
-}
-
-// Function body lookup: definition of `func` in `f` (first match whose
-// parameter list is followed by '{'). Works for free functions and
-// qualified definitions (searches the unqualified name).
-std::optional<Range> FunctionBody(const SourceFile& f, const std::string& func) {
-  const std::string& code = f.code;
-  for (std::size_t pos : FindIdent(code, func)) {
-    std::size_t i = SkipWs(code, pos + func.size());
-    if (i >= code.size() || code[i] != '(') {
-      continue;
-    }
-    std::size_t close = MatchParen(code, i);
-    if (close == std::string::npos) {
-      continue;
-    }
-    std::size_t j = close;
-    while (j < code.size() && code[j] != '{' && code[j] != ';') {
-      if (code[j] == '(') {  // noexcept(...) etc.
-        std::size_t pc = MatchParen(code, j);
-        if (pc == std::string::npos) {
-          break;
-        }
-        j = pc;
-        continue;
-      }
-      ++j;
-    }
-    if (j >= code.size() || code[j] != '{') {
-      continue;
-    }
-    std::size_t bclose = MatchBrace(code, j);
-    if (bclose == std::string::npos) {
-      continue;
-    }
-    return Range{j, bclose};
-  }
-  return std::nullopt;
-}
-
-// ---------------------------------------------------------------------------
-// Rule configuration
-// ---------------------------------------------------------------------------
-
-struct Subsystem {
-  std::string class_name;
-  std::string header;
-  std::string source;                       // may be empty
-  std::vector<std::string> mark_tokens;     // substrings counting as a direct mark
-  std::vector<std::string> allow_methods;   // infrastructure methods (drains etc.)
-  std::vector<std::string> index_members;   // extra lockstep members beyond *_index_
-  std::vector<std::string> wf_methods;      // cross-check predicate names
-  bool logged_by_caller = false;            // class-level dirty-log exemption
-};
-
-const std::vector<Subsystem>& Subsystems() {
-  static const std::vector<Subsystem> subsystems = {
-      {"PageAllocator",
-       "src/pmem/page_allocator.h",
-       "src/pmem/page_allocator.cc",
-       {"dirty_.Mark", "dirty_.DrainInto"},
-       {"DrainDirtyInto"},
-       {},
-       {"Wf"},
-       false},
-      {"VmManager",
-       "src/core/vm_manager.h",
-       "src/core/vm_manager.cc",
-       {"dirty_.Mark", "dirty_.DrainInto"},
-       {"DrainDirtyInto"},
-       {},
-       {"Wf"},
-       false},
-      {"IommuManager",
-       "src/iommu/iommu_manager.h",
-       "src/iommu/iommu_manager.cc",
-       {"dirty_.Mark", "dirty_.DrainInto"},
-       {"DrainDirtyInto"},
-       {"owner_overrides_"},
-       {"Wf"},
-       false},
-      // PageTable has no log of its own: every mutation happens under a
-      // VmManager/IommuManager call that logs the owning proc/domain (the
-      // "logged-by-caller" pattern, see vm_manager.h). Its lockstep index
-      // (va_index_) is still checked.
-      {"PageTable",
-       "src/pagetable/page_table.h",
-       "src/pagetable/page_table.cc",
-       {},
-       {},
-       {},
-       {"StructureWf"},
-       true},
-      {"ProcessManager",
-       "src/proc/process_manager.h",
-       "src/proc/process_manager.cc",
-       // PermissionMap's GetMut/Insert/Remove log into the per-map dirty
-       // sets; scheduler state is covered by sched_dirty_.
-       {".GetMut(", ".Insert(", ".Remove(", "sched_dirty_ = true", ".DrainInto"},
-       {"DrainDirty"},
-       {},
-       {"Wf"},
-       false},
-      {"SyscallRingTable",
-       "src/core/syscall_ring.h",
-       "src/core/syscall_ring.cc",
-       {"dirty_.Mark", "dirty_.DrainInto"},
-       {"DrainDirtyInto"},
-       {},
-       {"Wf"},
-       false},
-  };
-  return subsystems;
-}
-
-struct SpecLocation {
-  std::string file;
-  std::string function;  // empty = whole file
-};
-
-const std::vector<SpecLocation>& SpecCoverageLocations() {
-  static const std::vector<SpecLocation> locations = {
-      {"src/spec/syscall_specs.cc", "SyscallSpec"},
-      {"src/core/kernel.cc", "SysOpName"},
-      {"src/core/kernel.cc", "Exec"},
-      {"src/spec/frame_profile.h", "FrameProfileFor"},
-  };
-  return locations;
-}
-
-void AddFinding(std::vector<Finding>* findings, const SourceFile& f, std::size_t line,
-                const std::string& rule, std::string message, std::string suggestion) {
-  if (f.ok && f.SuppressedAt(line, rule)) {
-    return;
-  }
-  findings->push_back(
-      Finding{f.rel_path, line, rule, std::move(message), std::move(suggestion)});
-}
-
-void MissingFile(std::vector<Finding>* findings, const Options& options,
-                 const std::string& rel_path, const std::string& rule) {
-  if (options.strict) {
-    findings->push_back(Finding{rel_path, 0, rule,
-                                "required input file is missing or unreadable", ""});
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: spec-coverage
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> ParseEnumerators(const SourceFile& f, const std::string& enum_name) {
-  std::vector<std::string> out;
-  for (std::size_t pos : FindIdent(f.code, enum_name)) {
-    // `enum class SysOp ... {`
-    std::size_t i = pos + enum_name.size();
-    while (i < f.code.size() && f.code[i] != '{' && f.code[i] != ';') {
-      ++i;
-    }
-    if (i >= f.code.size() || f.code[i] != '{') {
-      continue;
-    }
-    std::size_t close = MatchBrace(f.code, i);
-    if (close == std::string::npos) {
-      continue;
-    }
-    // Enumerators: identifiers that start each comma-separated item.
-    std::size_t item_start = i + 1;
-    for (std::size_t j = i + 1; j < close; ++j) {
-      if (f.code[j] == ',' || f.code[j] == '}') {
-        std::size_t k = SkipWs(f.code, item_start);
-        std::size_t e = k;
-        while (e < j && IsIdentChar(f.code[e])) {
-          ++e;
-        }
-        if (e > k) {
-          out.push_back(f.code.substr(k, e - k));
-        }
-        item_start = j + 1;
-      }
-    }
-    if (!out.empty()) {
-      return out;
-    }
-  }
-  return out;
-}
-
-// Shared engine for the SysOp-totality rules (`spec-coverage` and
-// `trace-op-name`): every SysOp enumerator must be mentioned as
-// `SysOp::<op>` inside each listed location.
-void CheckSysOpCoverage(const Options& options, std::vector<Finding>* findings,
-                        const std::string& rule,
-                        const std::vector<SpecLocation>& locations) {
-  SourceFile syscall_h = LoadFile(options.root, "src/core/syscall.h");
-  if (!syscall_h.ok) {
-    MissingFile(findings, options, "src/core/syscall.h", rule);
-    return;
-  }
-  std::vector<std::string> ops = ParseEnumerators(syscall_h, "SysOp");
-  if (ops.empty()) {
-    MissingFile(findings, options, "src/core/syscall.h", rule);
-    return;
-  }
-  std::map<std::string, SourceFile> files;
-  for (const SpecLocation& loc : locations) {
-    if (files.find(loc.file) == files.end()) {
-      files.emplace(loc.file, LoadFile(options.root, loc.file));
-    }
-    const SourceFile& f = files.at(loc.file);
-    if (!f.ok) {
-      MissingFile(findings, options, loc.file, rule);
-      continue;
-    }
-    Range range{0, f.code.size()};
-    if (!loc.function.empty()) {
-      std::optional<Range> body = FunctionBody(f, loc.function);
-      if (!body) {
-        MissingFile(findings, options, loc.file, rule);
-        continue;
-      }
-      range = *body;
-    }
-    for (const std::string& op : ops) {
-      // A covering mention is `SysOp::<op>` inside the location; the
-      // compiler already guarantees any such mention in a switch is a case
-      // label or comparison that handles the op.
-      bool covered = false;
-      for (std::size_t pos : FindIdent(f.code, op, range.begin, range.end)) {
-        if (pos >= 7 && f.code.compare(pos - 7, 7, "SysOp::") == 0) {
-          covered = true;
-          break;
-        }
-      }
-      if (!covered) {
-        std::string where = loc.function.empty() ? loc.file : loc.function;
-        AddFinding(findings, f, f.LineOf(range.begin), rule,
-                   "SysOp::" + op + " is not handled in " + where,
-                   "add `case SysOp::" + op + ":` to " + where + " in " + loc.file);
-      }
-    }
-  }
-}
-
-void RuleSpecCoverage(const Options& options, std::vector<Finding>* findings) {
-  CheckSysOpCoverage(options, findings, "spec-coverage", SpecCoverageLocations());
-}
-
-// ---------------------------------------------------------------------------
-// Rule: trace-op-name
-// ---------------------------------------------------------------------------
-//
-// The observability layer names every syscall span via TraceOpLabel
-// (src/obs/op_names.h). A SysOp enumerator missing from that table traces
-// as "sys.unknown" and silently vanishes from per-op timelines, so the
-// table must stay total exactly like the spec/frame tables.
-
-void RuleTraceOpName(const Options& options, std::vector<Finding>* findings) {
-  static const std::vector<SpecLocation> locations = {
-      {"src/obs/op_names.h", "TraceOpLabel"},
-  };
-  CheckSysOpCoverage(options, findings, "trace-op-name", locations);
-}
-
-// ---------------------------------------------------------------------------
-// Rule: dirty-log
-// ---------------------------------------------------------------------------
-
-void RuleDirtyLog(const Options& options, std::vector<Finding>* findings) {
-  for (const Subsystem& sub : Subsystems()) {
-    if (sub.logged_by_caller) {
-      continue;
-    }
-    SourceFile header = LoadFile(options.root, sub.header);
-    if (!header.ok) {
-      MissingFile(findings, options, sub.header, "dirty-log");
-      continue;
-    }
-    std::optional<Range> body = ClassBody(header, sub.class_name);
-    if (!body) {
-      MissingFile(findings, options, sub.header, "dirty-log");
-      continue;
-    }
-    std::vector<Method> methods = ParseMethods(header, *body, false);
-    // Drop constructors (name == class name).
-    methods.erase(std::remove_if(methods.begin(), methods.end(),
-                                 [&](const Method& m) { return m.name == sub.class_name; }),
-                  methods.end());
-    std::map<std::string, std::string> bodies;
-    for (const Method& m : methods) {
-      bodies[m.name] += m.body;
-    }
-    if (!sub.source.empty()) {
-      SourceFile source = LoadFile(options.root, sub.source);
-      if (source.ok) {
-        for (auto& [name, text] : OutOfLineBodies(source, sub.class_name)) {
-          bodies[name] += text;
-        }
-      } else {
-        MissingFile(findings, options, sub.source, "dirty-log");
-      }
-    }
-    // Fixpoint: a method marks if its body has a mark token or it calls a
-    // same-class method that marks.
-    std::set<std::string> marks;
-    for (const auto& [name, text] : bodies) {
-      for (const std::string& token : sub.mark_tokens) {
-        if (text.find(token) != std::string::npos) {
-          marks.insert(name);
-          break;
-        }
-      }
-    }
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (const auto& [name, text] : bodies) {
-        if (marks.count(name) != 0) {
-          continue;
-        }
-        for (const std::string& callee : marks) {
-          if (CallsSameClass(text, callee)) {
-            marks.insert(name);
-            changed = true;
-            break;
-          }
-        }
-      }
-    }
-    for (const Method& m : methods) {
-      if (!m.is_public || m.is_const || m.is_static) {
-        continue;
-      }
-      if (std::find(sub.allow_methods.begin(), sub.allow_methods.end(), m.name) !=
-          sub.allow_methods.end()) {
-        continue;
-      }
-      if (marks.count(m.name) != 0) {
-        continue;
-      }
-      AddFinding(findings, header, m.decl_line, "dirty-log",
-                 sub.class_name + "::" + m.name +
-                     " is a public mutating method with no dirty-log record on any path",
-                 "record the mutation (e.g. `" +
-                     (sub.mark_tokens.empty() ? std::string("dirty_.Mark(...)")
-                                              : sub.mark_tokens.front() + "...)") +
-                     "`) or waive with `// averif-lint: allow(dirty-log) — <why>`");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: lockstep-index
-// ---------------------------------------------------------------------------
-
-void RuleLockstepIndex(const Options& options, std::vector<Finding>* findings) {
-  for (const Subsystem& sub : Subsystems()) {
-    SourceFile header = LoadFile(options.root, sub.header);
-    if (!header.ok) {
-      MissingFile(findings, options, sub.header, "lockstep-index");
-      continue;
-    }
-    std::optional<Range> body = ClassBody(header, sub.class_name);
-    if (!body) {
-      MissingFile(findings, options, sub.header, "lockstep-index");
-      continue;
-    }
-    // Index members: declared members whose name ends in `_index_`, plus the
-    // per-class extras.
-    std::set<std::string> members;
-    for (std::size_t i = body->begin; i < body->end; ++i) {
-      if (!IsIdentChar(header.code[i]) || (i > 0 && IsIdentChar(header.code[i - 1]))) {
-        continue;
-      }
-      std::size_t e = i;
-      while (e < body->end && IsIdentChar(header.code[e])) {
-        ++e;
-      }
-      std::string ident = header.code.substr(i, e - i);
-      if (ident.size() > 7 && ident.compare(ident.size() - 7, 7, "_index_") == 0) {
-        members.insert(ident);
-      }
-      i = e;
-    }
-    for (const std::string& extra : sub.index_members) {
-      if (ContainsIdent(header.code, extra, body->begin, body->end)) {
-        members.insert(extra);
-      }
-    }
-    if (members.empty()) {
-      continue;
-    }
-    SourceFile source = sub.source.empty() ? SourceFile{} : LoadFile(options.root, sub.source);
-    auto search_all = [&](const std::string& func, const std::string& member) {
-      // The predicate/rebuild may live inline in the header or in the .cc.
-      for (const SourceFile* f : {&header, source.ok ? &source : nullptr}) {
-        if (f == nullptr) {
-          continue;
-        }
-        std::optional<Range> fb = FunctionBody(*f, func);
-        if (fb && ContainsIdent(f->code, member, fb->begin, fb->end)) {
-          return true;
-        }
-      }
-      return false;
-    };
-    // Pooled refills rebuild the clone in place (DESIGN.md §14); an index
-    // the refill forgets would leave the pooled clone verifying through
-    // stale pointers, so wherever the Into variant exists it must rebuild
-    // every index the fresh-clone path does. FindIdent matches whole
-    // identifiers, so this is independent of the CloneForVerification check.
-    bool has_into = false;
-    for (const SourceFile* f : {&header, source.ok ? &source : nullptr}) {
-      if (f != nullptr && FunctionBody(*f, "CloneForVerificationInto")) {
-        has_into = true;
-      }
-    }
-    for (const std::string& member : members) {
-      std::size_t decl_line = 0;
-      for (std::size_t pos : FindIdent(header.code, member, body->begin, body->end)) {
-        decl_line = header.LineOf(pos);
-        break;
-      }
-      bool wf_ok = false;
-      for (const std::string& wf : sub.wf_methods) {
-        if (search_all(wf, member)) {
-          wf_ok = true;
-          break;
-        }
-      }
-      if (!wf_ok) {
-        AddFinding(findings, header, decl_line, "lockstep-index",
-                   sub.class_name + "::" + member +
-                       " has no cross-check clause in " + sub.wf_methods.front() + "()",
-                   "add a clause to " + sub.class_name + "::" + sub.wf_methods.front() +
-                       " proving " + member + " mirrors its ground-truth container");
-      }
-      if (!search_all("CloneForVerification", member)) {
-        AddFinding(findings, header, decl_line, "lockstep-index",
-                   sub.class_name + "::" + member +
-                       " is not rebuilt in CloneForVerification()",
-                   "rebuild or copy " + member + " in " + sub.class_name +
-                       "::CloneForVerification so clones verify the same state");
-      }
-      if (has_into && !search_all("CloneForVerificationInto", member)) {
-        AddFinding(findings, header, decl_line, "lockstep-index",
-                   sub.class_name + "::" + member +
-                       " is not rebuilt in CloneForVerificationInto()",
-                   "rebuild " + member + " against the reused nodes in " + sub.class_name +
-                       "::CloneForVerificationInto so pooled refills verify the same state");
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: sysop-switch-default
-// ---------------------------------------------------------------------------
-
-void RuleSysOpSwitchDefault(const SourceFile& f, std::vector<Finding>* findings) {
-  const std::string& code = f.code;
-  struct Switch {
-    Range block;
-  };
-  std::vector<Switch> switches;
-  for (std::size_t pos : FindIdent(code, "switch")) {
-    std::size_t i = SkipWs(code, pos + 6);
-    if (i >= code.size() || code[i] != '(') {
-      continue;
-    }
-    std::size_t pclose = MatchParen(code, i);
-    if (pclose == std::string::npos) {
-      continue;
-    }
-    std::size_t open = SkipWs(code, pclose);
-    if (open >= code.size() || code[open] != '{') {
-      continue;
-    }
-    std::size_t bclose = MatchBrace(code, open);
-    if (bclose == std::string::npos) {
-      continue;
-    }
-    switches.push_back(Switch{Range{open, bclose}});
-  }
-  auto innermost_of = [&](std::size_t pos) -> const Switch* {
-    const Switch* best = nullptr;
-    for (const Switch& s : switches) {
-      if (pos > s.block.begin && pos < s.block.end) {
-        if (best == nullptr ||
-            s.block.end - s.block.begin < best->block.end - best->block.begin) {
-          best = &s;
-        }
-      }
-    }
-    return best;
-  };
-  for (std::size_t pos : FindIdent(code, "default")) {
-    std::size_t i = SkipWs(code, pos + 7);
-    if (i >= code.size() || code[i] != ':' ||
-        (i + 1 < code.size() && code[i + 1] == ':')) {
-      continue;  // not a label (e.g. `= default;` or scope qualifier)
-    }
-    const Switch* sw = innermost_of(pos);
-    if (sw == nullptr) {
-      continue;
-    }
-    // The default belongs to a SysOp switch if a `case SysOp::` lives in the
-    // same switch at the same nesting (i.e. not inside a deeper switch).
-    bool over_sysop = false;
-    for (std::size_t cpos : FindIdent(code, "case", sw->block.begin, sw->block.end)) {
-      std::size_t a = SkipWs(code, cpos + 4);
-      if (code.compare(a, 7, "SysOp::") != 0) {
-        continue;
-      }
-      if (innermost_of(cpos) == sw) {
-        over_sysop = true;
-        break;
-      }
-    }
-    if (over_sysop && innermost_of(pos) == sw) {
-      AddFinding(findings, f, f.LineOf(pos), "sysop-switch-default",
-                 "`default:` in a switch over SysOp hides unhandled operations from "
-                 "-Wswitch; enumerate every case",
-                 "replace `default:` with explicit `case SysOp::k...:` labels (a "
-                 "fallthrough return after the switch keeps hostile casts safe)");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: error-path
-// ---------------------------------------------------------------------------
-
-void RuleErrorPath(const SourceFile& f, std::vector<Finding>* findings) {
-  const std::string& code = f.code;
-  for (std::size_t pos : FindIdent(code, "SpecResult")) {
-    // Definition pattern: `SpecResult <name>(params) {` with a SyscallRet
-    // parameter.
-    std::size_t i = SkipWs(code, pos + 10);
-    std::size_t id_begin = i;
-    while (i < code.size() && IsIdentChar(code[i])) {
-      ++i;
-    }
-    std::string name = code.substr(id_begin, i - id_begin);
-    i = SkipWs(code, i);
-    if (name.empty() || i >= code.size() || code[i] != '(') {
-      continue;
-    }
-    std::size_t pclose = MatchParen(code, i);
-    if (pclose == std::string::npos) {
-      continue;
-    }
-    std::string params = code.substr(i, pclose - i);
-    std::size_t open = SkipWs(code, pclose);
-    if (open >= code.size() || code[open] != '{') {
-      continue;  // declaration, not definition
-    }
-    std::size_t bclose = MatchBrace(code, open);
-    if (bclose == std::string::npos) {
-      continue;
-    }
-    if (params.find("SyscallRet") == std::string::npos) {
-      continue;  // helpers and ret-less predicates are out of scope
-    }
-    std::string body = code.substr(open, bclose - open);
-    std::size_t first_fail = body.find("Fail(");
-    if (first_fail == std::string::npos) {
-      continue;  // cannot reject — nothing to order
-    }
-    std::size_t atomicity = body.find("CheckFailureAtomicity");
-    if (atomicity == std::string::npos || atomicity > first_fail) {
-      AddFinding(findings, f, f.LineOf(id_begin), "error-path",
-                 name + " can Fail(...) before establishing failure atomicity; error "
-                 "returns must be proven to precede state mutation",
-                 "start the predicate with `if (auto atomic = CheckFailureAtomicity(pre, "
-                 "post, ret)) { return *atomic; }` or waive with `// averif-lint: "
-                 "allow(error-path) — <why>`");
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> TreeFiles(const Options& options) {
-  std::vector<std::string> out;
-  fs::path src = fs::path(options.root) / "src";
-  std::error_code ec;
-  for (fs::recursive_directory_iterator it(src, ec), end; !ec && it != end;
-       it.increment(ec)) {
-    if (!it->is_regular_file()) {
-      continue;
-    }
-    std::string ext = it->path().extension().string();
-    if (ext == ".cc" || ext == ".h") {
-      out.push_back(fs::relative(it->path(), options.root).generic_string());
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::string JsonEscape(const std::string& in) {
-  std::string out;
-  for (char c : in) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::vector<Finding> RunAllRules(const Options& options) {
   std::vector<Finding> findings;
+  Project project = Project::Load(options.root);
   RuleSpecCoverage(options, &findings);
   RuleTraceOpName(options, &findings);
-  RuleDirtyLog(options, &findings);
+  RuleDirtyLog(options, project, &findings);
   RuleLockstepIndex(options, &findings);
-  for (const std::string& rel : TreeFiles(options)) {
-    SourceFile f = LoadFile(options.root, rel);
-    if (!f.ok) {
-      MissingFile(&findings, options, rel, "sysop-switch-default");
-      continue;
-    }
+  RuleHotPathAlloc(options, project, &findings);
+  RulePayloadCopy(options, project, &findings);
+  RuleLockDiscipline(options, project, &findings);
+  RuleGrantLifetime(options, project, &findings);
+  for (const SourceFile& f : project.files()) {
     RuleSysOpSwitchDefault(f, &findings);
+    const std::string& rel = f.rel_path;
     if (rel.rfind("src/spec/", 0) == 0 && rel.size() > 3 &&
         rel.compare(rel.size() - 3, 3, ".cc") == 0) {
       RuleErrorPath(f, &findings);
@@ -1144,6 +40,15 @@ std::vector<Finding> RunAllRules(const Options& options) {
     return std::tie(a.file, a.line, a.rule, a.message) <
            std::tie(b.file, b.line, b.rule, b.message);
   });
+  // Two passes can land on the same site (e.g. a may-call edge reached from
+  // two roots); identical findings collapse so reports and baselines stay
+  // stable.
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return std::tie(a.file, a.line, a.rule, a.message) ==
+                                      std::tie(b.file, b.line, b.rule, b.message);
+                             }),
+                 findings.end());
   return findings;
 }
 
@@ -1171,6 +76,144 @@ std::string ToText(const std::vector<Finding>& findings, bool fix_suggestions) {
   }
   out << findings.size() << " finding" << (findings.size() == 1 ? "" : "s") << "\n";
   return out.str();
+}
+
+std::optional<std::vector<Finding>> ParseFindingsJson(const std::string& text) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string* out) -> bool {
+    if (i >= text.size() || text[i] != '"') {
+      return false;
+    }
+    ++i;
+    out->clear();
+    while (i < text.size() && text[i] != '"') {
+      char c = text[i];
+      if (c == '\\' && i + 1 < text.size()) {
+        ++i;
+        char e = text[i];
+        if (e == 'n') {
+          *out += '\n';
+        } else if (e == 't') {
+          *out += '\t';
+        } else if (e == 'u' && i + 4 < text.size()) {
+          *out += static_cast<char>(
+              std::strtol(text.substr(i + 1, 4).c_str(), nullptr, 16));
+          i += 4;
+        } else {
+          *out += e;
+        }
+      } else {
+        *out += c;
+      }
+      ++i;
+    }
+    if (i >= text.size()) {
+      return false;
+    }
+    ++i;
+    return true;
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '[') {
+    return std::nullopt;
+  }
+  ++i;
+  std::vector<Finding> out;
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) {
+      return std::nullopt;
+    }
+    if (text[i] == ']') {
+      return out;
+    }
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] != '{') {
+      return std::nullopt;
+    }
+    ++i;
+    Finding f;
+    while (true) {
+      skip_ws();
+      if (i >= text.size()) {
+        return std::nullopt;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      std::string key;
+      if (!parse_string(&key)) {
+        return std::nullopt;
+      }
+      skip_ws();
+      if (i >= text.size() || text[i] != ':') {
+        return std::nullopt;
+      }
+      ++i;
+      skip_ws();
+      if (i < text.size() && text[i] == '"') {
+        std::string val;
+        if (!parse_string(&val)) {
+          return std::nullopt;
+        }
+        if (key == "file") {
+          f.file = val;
+        } else if (key == "rule") {
+          f.rule = val;
+        } else if (key == "message") {
+          f.message = val;
+        } else if (key == "suggestion") {
+          f.suggestion = val;
+        }
+      } else {
+        std::size_t e = i;
+        while (e < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[e])) != 0) {
+          ++e;
+        }
+        if (e == i) {
+          return std::nullopt;
+        }
+        if (key == "line") {
+          f.line = static_cast<std::size_t>(
+              std::strtoull(text.substr(i, e - i).c_str(), nullptr, 10));
+        }
+        i = e;
+      }
+    }
+    out.push_back(std::move(f));
+  }
+}
+
+std::vector<Finding> SubtractBaseline(const std::vector<Finding>& findings,
+                                      const std::vector<Finding>& baseline) {
+  std::multiset<std::tuple<std::string, std::string, std::string>> known;
+  for (const Finding& f : baseline) {
+    known.insert({f.file, f.rule, f.message});
+  }
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    auto it = known.find({f.file, f.rule, f.message});
+    if (it != known.end()) {
+      known.erase(it);
+      continue;
+    }
+    out.push_back(f);
+  }
+  return out;
 }
 
 }  // namespace atmo::lint

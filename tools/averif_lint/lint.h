@@ -3,7 +3,7 @@
 // The refinement harness only catches discipline drift at runtime, and only
 // on traces that happen to hit it. This tool checks the pairing rules the
 // codebase relies on *statically*, the way Verus's linear ghost types make
-// spec/impl drift a compile error. Rules (DESIGN.md §11):
+// spec/impl drift a compile error. Per-function rules (DESIGN.md §11):
 //
 //   spec-coverage        every SysOp enumerator has a case in the spec
 //                        dispatcher, the kernel dispatch, SysOpName and the
@@ -13,12 +13,27 @@
 //                        traces as "sys.unknown"
 //   dirty-log            every public mutating method of the logged
 //                        subsystems records into its dirty log, directly or
-//                        via a same-class callee that does
+//                        via a callee that does (call-graph transitive)
 //   lockstep-index       every hashed index member has a Wf cross-check
 //                        clause and a CloneForVerification rebuild
 //   sysop-switch-default no `default:` label in a switch over SysOp
 //   error-path           spec predicates taking the syscall return value
 //                        establish failure atomicity before any Fail(...)
+//
+// Interprocedural rules over the project call graph (DESIGN.md §16):
+//
+//   hot-path-alloc       nothing reachable from an ATMO_HOT_PATH(
+//                        hot-path-alloc) root may allocate outside an
+//                        ArenaScope — the static twin of obs::AllocProbe
+//   payload-copy         no memcpy/memmove/byte-loop copy is reachable from
+//                        an ATMO_HOT_PATH(payload-copy) root — the static
+//                        twin of obs::CopyProbe
+//   lock-discipline      ATMO_GUARDED_BY fields are only touched under
+//                        their mutex; ATMO_REQUIRES contracts are enforced
+//                        at every call site across functions
+//   grant-lifetime       recorded page borrows (`borrows_`) stay revocable:
+//                        the kGrantReturn path and a teardown path must
+//                        both reach a `borrows_.erase`
 //
 // The parser is deliberately AST-lite: comment/string stripping, brace
 // matching and identifier scanning over the real source files — no LLVM
@@ -31,6 +46,7 @@
 #define ATMO_TOOLS_AVERIF_LINT_LINT_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,8 +68,8 @@ struct Options {
   bool strict = false;
 };
 
-// Runs every rule over the tree at options.root. Findings are ordered by
-// (file, line, rule) so output is deterministic.
+// Runs every rule over the tree at options.root. Findings are sorted by
+// (file, line, rule, message) and deduplicated, so output is deterministic.
 std::vector<Finding> RunAllRules(const Options& options);
 
 // Machine-readable report: a JSON array of {file, line, rule, message}.
@@ -62,6 +78,16 @@ std::string ToJson(const std::vector<Finding>& findings);
 // Human-readable report, one "file:line: [rule] message" per finding; with
 // fix_suggestions, each finding is followed by its skeleton when available.
 std::string ToText(const std::vector<Finding>& findings, bool fix_suggestions);
+
+// Parses a findings JSON produced by ToJson (the only accepted shape).
+// Returns nullopt when the text is not a findings array.
+std::optional<std::vector<Finding>> ParseFindingsJson(const std::string& text);
+
+// Baseline diff: drops findings whose (file, rule, message) triple appears
+// in the baseline, so a checked-in findings file gates only *new* findings.
+// Line numbers are ignored on purpose — unrelated edits move them.
+std::vector<Finding> SubtractBaseline(const std::vector<Finding>& findings,
+                                      const std::vector<Finding>& baseline);
 
 }  // namespace atmo::lint
 

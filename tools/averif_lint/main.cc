@@ -1,9 +1,13 @@
 // averif_lint CLI. Usage:
 //   averif_lint [--root <dir>] [--json] [--fix-suggestions] [--strict]
-// Exits 0 when the tree is clean, 1 on any finding, 2 on usage errors.
+//               [--baseline <findings.json>]
+// Exits 0 when the tree is clean (after baseline subtraction, if any),
+// 1 on any finding, 2 on usage errors or an unreadable baseline.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "tools/averif_lint/lint.h"
@@ -12,6 +16,7 @@ int main(int argc, char** argv) {
   atmo::lint::Options options;
   bool json = false;
   bool fix_suggestions = false;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       options.root = argv[++i];
@@ -21,9 +26,11 @@ int main(int argc, char** argv) {
       fix_suggestions = true;
     } else if (std::strcmp(argv[i], "--strict") == 0) {
       options.strict = true;
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::cout << "usage: averif_lint [--root <dir>] [--json] [--fix-suggestions] "
-                   "[--strict]\n";
+                   "[--strict] [--baseline <findings.json>]\n";
       return 0;
     } else {
       std::cerr << "averif_lint: unknown argument " << argv[i] << "\n";
@@ -31,6 +38,22 @@ int main(int argc, char** argv) {
     }
   }
   std::vector<atmo::lint::Finding> findings = atmo::lint::RunAllRules(options);
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "averif_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto baseline = atmo::lint::ParseFindingsJson(buf.str());
+    if (!baseline) {
+      std::cerr << "averif_lint: baseline " << baseline_path
+                << " is not a findings JSON array\n";
+      return 2;
+    }
+    findings = atmo::lint::SubtractBaseline(findings, *baseline);
+  }
   if (json) {
     std::cout << atmo::lint::ToJson(findings);
   } else {

@@ -1,0 +1,271 @@
+// Flow rules over the call graph: lock-discipline (ATMO_GUARDED_BY fields
+// are only touched under their mutex, with ATMO_REQUIRES contracts checked
+// at every call site — interprocedural, unlike Clang's per-function
+// -Wthread-safety) and grant-lifetime (recorded page borrows must be
+// revocable via the kGrantReturn path and via teardown).
+
+#include <deque>
+#include <set>
+
+#include "tools/averif_lint/rules.h"
+
+namespace atmo::lint {
+
+namespace {
+
+// Mutex names compare by leaf identifier: `&mu_`, `progress_.mu_` and `mu_`
+// all name the same capability for this codebase's single-owner mutexes.
+std::string MutexLeaf(const std::string& name) {
+  std::size_t b = name.size();
+  while (b > 0 && IsIdentChar(name[b - 1])) {
+    --b;
+  }
+  return name.substr(b);
+}
+
+bool SameMutex(const std::string& a, const std::string& b) {
+  return MutexLeaf(a) == MutexLeaf(b);
+}
+
+bool HoldsAt(const FunctionInfo& fn, std::size_t pos, const std::string& mutex) {
+  for (const GuardExtent& e : fn.lock_extents) {
+    if (e.Covers(pos) && SameMutex(e.what, mutex)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool HasContract(const FunctionInfo& fn, const std::string& mutex) {
+  for (const std::string& mu : fn.requires_locks) {
+    if (SameMutex(mu, mutex)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsCtorOrDtor(const FunctionInfo& fn) {
+  return !fn.cls.empty() && (fn.name == fn.cls || fn.name == "~" + fn.cls);
+}
+
+std::set<int> ReachableFrom(const Project& project, const std::set<int>& seeds) {
+  std::set<int> seen = seeds;
+  std::deque<int> queue(seeds.begin(), seeds.end());
+  while (!queue.empty()) {
+    int fi = queue.front();
+    queue.pop_front();
+    for (const CallSite& site : project.functions()[static_cast<std::size_t>(fi)].calls) {
+      for (int target : site.targets) {
+        if (seen.insert(target).second) {
+          queue.push_back(target);
+        }
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+void RuleLockDiscipline(const Options& options, const Project& project,
+                        std::vector<Finding>* findings) {
+  (void)options;
+  for (const GuardedMember& gm : project.guarded_members()) {
+    for (int fi : project.MethodsOf(gm.cls)) {
+      const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(fi)];
+      // Construction and destruction are single-threaded by convention;
+      // ATMO_NO_THREAD_SAFETY_ANALYSIS opts a function out wholesale.
+      if (fn.no_thread_safety || IsCtorOrDtor(fn)) {
+        continue;
+      }
+      if (HasContract(fn, gm.mutex)) {
+        continue;  // the contract moves the obligation to every caller
+      }
+      const SourceFile& f = project.file_of(fn);
+      for (std::size_t pos :
+           FindIdent(f.code, gm.member, fn.body_begin + 1, fn.body_end - 1)) {
+        if (HoldsAt(fn, pos, gm.mutex)) {
+          continue;
+        }
+        AddFinding(findings, f, f.LineOf(pos), "lock-discipline",
+                   gm.cls + "::" + gm.member + " is guarded by " + MutexLeaf(gm.mutex) +
+                       " but " + fn.Id() + " touches it without acquiring the mutex",
+                   "acquire `MutexLock lock(&" + MutexLeaf(gm.mutex) + ");` before the "
+                   "access, or annotate " + fn.Id() + " with ATMO_REQUIRES(" +
+                       MutexLeaf(gm.mutex) + ") and lock in every caller");
+        break;  // one finding per function per member
+      }
+    }
+  }
+  // Contract propagation: every call into an ATMO_REQUIRES(mu) function must
+  // happen with mu held (lexically or via the caller's own contract). Chains
+  // terminate because each contract-carrying caller is itself checked here.
+  for (int fi = 0; fi < static_cast<int>(project.functions().size()); ++fi) {
+    const FunctionInfo& callee = project.functions()[static_cast<std::size_t>(fi)];
+    if (callee.requires_locks.empty()) {
+      continue;
+    }
+    const std::vector<int>* callers = project.CallersOf(fi);
+    if (callers == nullptr) {
+      continue;
+    }
+    for (int ci : *callers) {
+      const FunctionInfo& caller = project.functions()[static_cast<std::size_t>(ci)];
+      if (caller.no_thread_safety || IsCtorOrDtor(caller)) {
+        continue;
+      }
+      for (const CallSite& site : caller.calls) {
+        bool hits = false;
+        for (int target : site.targets) {
+          if (target == fi) {
+            hits = true;
+            break;
+          }
+        }
+        if (!hits) {
+          continue;
+        }
+        for (const std::string& mu : callee.requires_locks) {
+          if (HoldsAt(caller, site.pos, mu) || HasContract(caller, mu)) {
+            continue;
+          }
+          const SourceFile& f = project.file_of(caller);
+          AddFinding(findings, f, site.line, "lock-discipline",
+                     callee.Id() + " requires " + MutexLeaf(mu) + " but " + caller.Id() +
+                         " calls it without holding the mutex",
+                     "acquire `MutexLock lock(&" + MutexLeaf(mu) + ");` around the call "
+                     "or propagate ATMO_REQUIRES(" + MutexLeaf(mu) + ") to " +
+                         caller.Id());
+        }
+      }
+    }
+  }
+}
+
+void RuleGrantLifetime(const Options& options, const Project& project,
+                       std::vector<Finding>* findings) {
+  (void)options;
+  // The concrete rep of the spec's AbsPageBorrows is the `borrows_` map:
+  // emplace/insert records a borrow, erase/clear revokes it.
+  struct Site {
+    int fn = -1;
+    std::size_t pos = 0;
+    std::size_t line = 0;
+  };
+  std::vector<Site> records;
+  std::set<int> release_fns;
+  for (int fi = 0; fi < static_cast<int>(project.functions().size()); ++fi) {
+    const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(fi)];
+    const SourceFile& f = project.file_of(fn);
+    for (std::size_t pos :
+         FindIdent(f.code, "borrows_", fn.body_begin + 1, fn.body_end - 1)) {
+      std::size_t dot = pos + 8;
+      if (dot >= f.code.size() || f.code[dot] != '.') {
+        continue;
+      }
+      std::size_t m = dot + 1;
+      std::size_t e = m;
+      while (e < f.code.size() && IsIdentChar(f.code[e])) {
+        ++e;
+      }
+      std::string method = f.code.substr(m, e - m);
+      if (method == "emplace" || method == "insert" || method == "emplace_hint") {
+        records.push_back(Site{fi, pos, f.LineOf(pos)});
+      } else if (method == "erase" || method == "clear") {
+        release_fns.insert(fi);
+      }
+    }
+  }
+  if (records.empty()) {
+    return;  // no borrow rep in this tree — rule inert
+  }
+  if (release_fns.empty()) {
+    for (const Site& r : records) {
+      const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(r.fn)];
+      AddFinding(findings, project.file_of(fn), r.line, "grant-lifetime",
+                 fn.Id() + " records a page borrow but no release site "
+                 "(`borrows_.erase`) exists anywhere in the tree",
+                 "erase the borrow record on the grant-return and teardown paths");
+    }
+    return;
+  }
+  // (1) Cooperative return: some `case SysOp::kGrantReturn:` handler must
+  // reach a release. The seeds are the calls made between the label and the
+  // next case label in the same function.
+  bool have_label = false;
+  bool return_reaches = false;
+  for (int fi = 0; fi < static_cast<int>(project.functions().size()); ++fi) {
+    const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(fi)];
+    const SourceFile& f = project.file_of(fn);
+    for (std::size_t pos :
+         FindIdent(f.code, "kGrantReturn", fn.body_begin, fn.body_end)) {
+      if (pos < 7 || f.code.compare(pos - 7, 7, "SysOp::") != 0) {
+        continue;
+      }
+      std::size_t case_pos = pos >= 12 ? f.code.rfind("case", pos) : std::string::npos;
+      if (case_pos == std::string::npos || pos - case_pos > 12) {
+        continue;  // a comparison or spec-table mention, not a case label
+      }
+      have_label = true;
+      std::size_t limit = fn.body_end;
+      for (std::size_t next : FindIdent(f.code, "case", pos, fn.body_end)) {
+        limit = next;
+        break;
+      }
+      std::set<int> seeds;
+      for (const CallSite& site : fn.calls) {
+        if (site.pos > pos && site.pos < limit) {
+          seeds.insert(site.targets.begin(), site.targets.end());
+        }
+      }
+      std::set<int> reach = ReachableFrom(project, seeds);
+      for (int r : release_fns) {
+        if (reach.count(r) != 0) {
+          return_reaches = true;
+          break;
+        }
+      }
+    }
+  }
+  // (2) Teardown revocation: a Destroy*/Kill*/Teardown* function must reach
+  // a release, so borrows die with their process even without a cooperative
+  // return.
+  std::set<int> teardown_seeds;
+  for (int fi = 0; fi < static_cast<int>(project.functions().size()); ++fi) {
+    const std::string& name =
+        project.functions()[static_cast<std::size_t>(fi)].name;
+    if (name.rfind("Destroy", 0) == 0 || name.rfind("Kill", 0) == 0 ||
+        name.rfind("Teardown", 0) == 0) {
+      teardown_seeds.insert(fi);
+    }
+  }
+  std::set<int> teardown_reach = ReachableFrom(project, teardown_seeds);
+  bool teardown_reaches = false;
+  for (int r : release_fns) {
+    if (teardown_reach.count(r) != 0) {
+      teardown_reaches = true;
+      break;
+    }
+  }
+  for (const Site& r : records) {
+    const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(r.fn)];
+    if (have_label && !return_reaches) {
+      AddFinding(findings, project.file_of(fn), r.line, "grant-lifetime",
+                 "borrow recorded in " + fn.Id() +
+                     " but kGrantReturn handling cannot reach a release site",
+                 "make the kGrantReturn handler unmap the borrowed page so "
+                 "`borrows_.erase` runs on the cooperative return path");
+    }
+    if (!teardown_reaches) {
+      AddFinding(findings, project.file_of(fn), r.line, "grant-lifetime",
+                 "borrow recorded in " + fn.Id() +
+                     " but no teardown path (Destroy*/Kill*/Teardown*) reaches a "
+                     "release site",
+                 "revoke outstanding borrows from the address-space teardown so "
+                 "killed processes cannot leak grants");
+    }
+  }
+}
+
+}  // namespace atmo::lint

@@ -1,0 +1,133 @@
+// Hot-path purity rules: hot-path-alloc and payload-copy. Both are
+// reachability scans over the project call graph from ATMO_HOT_PATH roots —
+// the static twins of the runtime obs::AllocProbe and obs::CopyProbe gates.
+// The dynamic gates prove the benched path clean; these rules prove every
+// statically reachable path clean, including ones no bench drives.
+
+#include <deque>
+#include <set>
+#include <tuple>
+
+#include "tools/averif_lint/rules.h"
+
+namespace atmo::lint {
+
+namespace {
+
+// Rebuilds the call chain root -> ... -> state for the finding message.
+std::string Chain(const Project& project, const std::map<int, int>& parent, int state) {
+  std::vector<int> rev;
+  for (int s = state; s != -1;) {
+    rev.push_back(s / 2);
+    auto it = parent.find(s);
+    s = it == parent.end() ? -1 : it->second;
+  }
+  std::string out;
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    if (!out.empty()) {
+      out += " -> ";
+    }
+    out += project.functions()[static_cast<std::size_t>(*it)].Id();
+  }
+  return out;
+}
+
+// BFS over (function, covered) states. `covered` means an ArenaScope was
+// alive at every call on the path, so allocations in the callee land in the
+// arena; it only applies when `arena_exempts` (hot-path-alloc). States are
+// visited at most twice per function (once per coverage), so the scan is
+// linear in call edges.
+void ScanHotRule(const Options& options, const Project& project,
+                 std::vector<Finding>* findings, const std::string& rule,
+                 bool arena_exempts, std::vector<PrimSite> FunctionInfo::*sites,
+                 const std::string& what_phrase, const std::string& suggestion) {
+  std::vector<int> roots = project.HotRoots(rule);
+  if (roots.empty()) {
+    if (options.strict) {
+      findings->push_back(
+          Finding{"src/vstd/thread_annotations.h", 0, rule,
+                  "no ATMO_HOT_PATH(" + rule + ") root markers found in the tree",
+                  "annotate the hot-path entry points with ATMO_HOT_PATH(" + rule + ")"});
+    }
+    return;
+  }
+  std::map<int, int> parent;
+  std::deque<int> queue;
+  std::set<int> visited;
+  for (int r : roots) {
+    int s = r * 2;
+    if (visited.insert(s).second) {
+      parent[s] = -1;
+      queue.push_back(s);
+    }
+  }
+  std::set<std::pair<int, std::size_t>> reported;  // (file, line)
+  while (!queue.empty()) {
+    int s = queue.front();
+    queue.pop_front();
+    int fi = s / 2;
+    bool covered = (s % 2) != 0;
+    const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(fi)];
+    if (!(arena_exempts && covered)) {
+      for (const PrimSite& site : fn.*sites) {
+        if (arena_exempts) {
+          bool local = false;
+          for (const GuardExtent& e : fn.arena_extents) {
+            if (e.Covers(site.pos)) {
+              local = true;
+              break;
+            }
+          }
+          if (local) {
+            continue;
+          }
+        }
+        if (!reported.insert({fn.file, site.line}).second) {
+          continue;
+        }
+        AddFinding(findings, project.file_of(fn), site.line, rule,
+                   what_phrase + " (" + site.what + ") in " + fn.Id() +
+                       " is reachable from hot path: " + Chain(project, parent, s),
+                   suggestion);
+      }
+    }
+    for (const CallSite& call : fn.calls) {
+      bool child_covered = covered;
+      if (arena_exempts && !child_covered) {
+        for (const GuardExtent& e : fn.arena_extents) {
+          if (e.Covers(call.pos)) {
+            child_covered = true;
+            break;
+          }
+        }
+      }
+      for (int target : call.targets) {
+        int ns = target * 2 + (child_covered ? 1 : 0);
+        if (visited.insert(ns).second) {
+          parent[ns] = s;
+          queue.push_back(ns);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RuleHotPathAlloc(const Options& options, const Project& project,
+                      std::vector<Finding>* findings) {
+  ScanHotRule(options, project, findings, "hot-path-alloc",
+              /*arena_exempts=*/true, &FunctionInfo::allocs, "heap allocation",
+              "hoist the allocation off the hot path, cover it with an ArenaScope, or "
+              "waive with `// averif-lint: allow(hot-path-alloc) — <why>`");
+}
+
+void RulePayloadCopy(const Options& options, const Project& project,
+                     std::vector<Finding>* findings) {
+  ScanHotRule(options, project, findings, "payload-copy",
+              /*arena_exempts=*/false, &FunctionInfo::copies, "payload copy",
+              "serve payload bytes by reference (splice views over granted pages), or "
+              "waive with `// averif-lint: allow(payload-copy) — <why>`");
+}
+
+}  // namespace atmo::lint

@@ -1,0 +1,235 @@
+// SysOp-totality and spec-shape rules: spec-coverage, trace-op-name,
+// sysop-switch-default, error-path. All four are per-function/per-file
+// checks; the totality rules share one engine.
+
+#include <map>
+#include <optional>
+
+#include "tools/averif_lint/rules.h"
+
+namespace atmo::lint {
+
+namespace {
+
+const std::vector<SpecLocation>& SpecCoverageLocations() {
+  static const std::vector<SpecLocation> locations = {
+      {"src/spec/syscall_specs.cc", "SyscallSpec"},
+      {"src/core/kernel.cc", "SysOpName"},
+      {"src/core/kernel.cc", "Exec"},
+      {"src/spec/frame_profile.h", "FrameProfileFor"},
+  };
+  return locations;
+}
+
+}  // namespace
+
+// Shared engine for the SysOp-totality rules (`spec-coverage` and
+// `trace-op-name`): every SysOp enumerator must be mentioned as
+// `SysOp::<op>` inside each listed location.
+void CheckSysOpCoverage(const Options& options, std::vector<Finding>* findings,
+                        const std::string& rule,
+                        const std::vector<SpecLocation>& locations) {
+  SourceFile syscall_h = LoadFile(options.root, "src/core/syscall.h");
+  if (!syscall_h.ok) {
+    MissingFile(findings, options, "src/core/syscall.h", rule);
+    return;
+  }
+  std::vector<std::string> ops = ParseEnumerators(syscall_h, "SysOp");
+  if (ops.empty()) {
+    MissingFile(findings, options, "src/core/syscall.h", rule);
+    return;
+  }
+  std::map<std::string, SourceFile> files;
+  for (const SpecLocation& loc : locations) {
+    if (files.find(loc.file) == files.end()) {
+      files.emplace(loc.file, LoadFile(options.root, loc.file));
+    }
+    const SourceFile& f = files.at(loc.file);
+    if (!f.ok) {
+      MissingFile(findings, options, loc.file, rule);
+      continue;
+    }
+    Range range{0, f.code.size()};
+    if (!loc.function.empty()) {
+      std::optional<Range> body = FunctionBody(f, loc.function);
+      if (!body) {
+        MissingFile(findings, options, loc.file, rule);
+        continue;
+      }
+      range = *body;
+    }
+    for (const std::string& op : ops) {
+      // A covering mention is `SysOp::<op>` inside the location; the
+      // compiler already guarantees any such mention in a switch is a case
+      // label or comparison that handles the op.
+      bool covered = false;
+      for (std::size_t pos : FindIdent(f.code, op, range.begin, range.end)) {
+        if (pos >= 7 && f.code.compare(pos - 7, 7, "SysOp::") == 0) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        std::string where = loc.function.empty() ? loc.file : loc.function;
+        // Location-aware skeletons: the spec dispatcher names the per-op spec
+        // function (ring and grant ops included: kRingEnter -> RingEnterSpec,
+        // kGrantReturn -> GrantReturnSpec), the frame table asks for the op's
+        // frame profile, everything else gets the generic case label.
+        std::string spec_fn =
+            (op.size() > 1 && op[0] == 'k') ? op.substr(1) + "Spec" : op + "Spec";
+        std::string suggestion;
+        if (loc.function == "SyscallSpec") {
+          suggestion = "add `case SysOp::" + op + ": return " + spec_fn +
+                       "(pre, post, t, call, ret);` to SyscallSpec in " + loc.file;
+        } else if (loc.function == "FrameProfileFor") {
+          suggestion = "add `case SysOp::" + op + ":` to FrameProfileFor in " + loc.file +
+                       " returning a FrameProfile that lists every component " + op +
+                       " may touch (out-of-frame changes fail the checker)";
+        } else if (loc.function == "TraceOpLabel") {
+          suggestion = "add `case SysOp::" + op + ":` to TraceOpLabel in " + loc.file +
+                       " returning a \"sys.*\" label so the op's spans stay visible "
+                       "in traces";
+        } else {
+          suggestion = "add `case SysOp::" + op + ":` to " + where + " in " + loc.file;
+        }
+        AddFinding(findings, f, f.LineOf(range.begin), rule,
+                   "SysOp::" + op + " is not handled in " + where, suggestion);
+      }
+    }
+  }
+}
+
+void RuleSpecCoverage(const Options& options, std::vector<Finding>* findings) {
+  CheckSysOpCoverage(options, findings, "spec-coverage", SpecCoverageLocations());
+}
+
+// The observability layer names every syscall span via TraceOpLabel
+// (src/obs/op_names.h). A SysOp enumerator missing from that table traces
+// as "sys.unknown" and silently vanishes from per-op timelines, so the
+// table must stay total exactly like the spec/frame tables.
+void RuleTraceOpName(const Options& options, std::vector<Finding>* findings) {
+  static const std::vector<SpecLocation> locations = {
+      {"src/obs/op_names.h", "TraceOpLabel"},
+  };
+  CheckSysOpCoverage(options, findings, "trace-op-name", locations);
+}
+
+void RuleSysOpSwitchDefault(const SourceFile& f, std::vector<Finding>* findings) {
+  const std::string& code = f.code;
+  struct Switch {
+    Range block;
+  };
+  std::vector<Switch> switches;
+  for (std::size_t pos : FindIdent(code, "switch")) {
+    std::size_t i = SkipWs(code, pos + 6);
+    if (i >= code.size() || code[i] != '(') {
+      continue;
+    }
+    std::size_t pclose = MatchParen(code, i);
+    if (pclose == std::string::npos) {
+      continue;
+    }
+    std::size_t open = SkipWs(code, pclose);
+    if (open >= code.size() || code[open] != '{') {
+      continue;
+    }
+    std::size_t bclose = MatchBrace(code, open);
+    if (bclose == std::string::npos) {
+      continue;
+    }
+    switches.push_back(Switch{Range{open, bclose}});
+  }
+  auto innermost_of = [&](std::size_t pos) -> const Switch* {
+    const Switch* best = nullptr;
+    for (const Switch& s : switches) {
+      if (pos > s.block.begin && pos < s.block.end) {
+        if (best == nullptr ||
+            s.block.end - s.block.begin < best->block.end - best->block.begin) {
+          best = &s;
+        }
+      }
+    }
+    return best;
+  };
+  for (std::size_t pos : FindIdent(code, "default")) {
+    std::size_t i = SkipWs(code, pos + 7);
+    if (i >= code.size() || code[i] != ':' ||
+        (i + 1 < code.size() && code[i + 1] == ':')) {
+      continue;  // not a label (e.g. `= default;` or scope qualifier)
+    }
+    const Switch* sw = innermost_of(pos);
+    if (sw == nullptr) {
+      continue;
+    }
+    // The default belongs to a SysOp switch if a `case SysOp::` lives in the
+    // same switch at the same nesting (i.e. not inside a deeper switch).
+    bool over_sysop = false;
+    for (std::size_t cpos : FindIdent(code, "case", sw->block.begin, sw->block.end)) {
+      std::size_t a = SkipWs(code, cpos + 4);
+      if (code.compare(a, 7, "SysOp::") != 0) {
+        continue;
+      }
+      if (innermost_of(cpos) == sw) {
+        over_sysop = true;
+        break;
+      }
+    }
+    if (over_sysop && innermost_of(pos) == sw) {
+      AddFinding(findings, f, f.LineOf(pos), "sysop-switch-default",
+                 "`default:` in a switch over SysOp hides unhandled operations from "
+                 "-Wswitch; enumerate every case",
+                 "replace `default:` with explicit `case SysOp::k...:` labels (a "
+                 "fallthrough return after the switch keeps hostile casts safe)");
+    }
+  }
+}
+
+void RuleErrorPath(const SourceFile& f, std::vector<Finding>* findings) {
+  const std::string& code = f.code;
+  for (std::size_t pos : FindIdent(code, "SpecResult")) {
+    // Definition pattern: `SpecResult <name>(params) {` with a SyscallRet
+    // parameter.
+    std::size_t i = SkipWs(code, pos + 10);
+    std::size_t id_begin = i;
+    while (i < code.size() && IsIdentChar(code[i])) {
+      ++i;
+    }
+    std::string name = code.substr(id_begin, i - id_begin);
+    i = SkipWs(code, i);
+    if (name.empty() || i >= code.size() || code[i] != '(') {
+      continue;
+    }
+    std::size_t pclose = MatchParen(code, i);
+    if (pclose == std::string::npos) {
+      continue;
+    }
+    std::string params = code.substr(i, pclose - i);
+    std::size_t open = SkipWs(code, pclose);
+    if (open >= code.size() || code[open] != '{') {
+      continue;  // declaration, not definition
+    }
+    std::size_t bclose = MatchBrace(code, open);
+    if (bclose == std::string::npos) {
+      continue;
+    }
+    if (params.find("SyscallRet") == std::string::npos) {
+      continue;  // helpers and ret-less predicates are out of scope
+    }
+    std::string body = code.substr(open, bclose - open);
+    std::size_t first_fail = body.find("Fail(");
+    if (first_fail == std::string::npos) {
+      continue;  // cannot reject — nothing to order
+    }
+    std::size_t atomicity = body.find("CheckFailureAtomicity");
+    if (atomicity == std::string::npos || atomicity > first_fail) {
+      AddFinding(findings, f, f.LineOf(id_begin), "error-path",
+                 name + " can Fail(...) before establishing failure atomicity; error "
+                 "returns must be proven to precede state mutation",
+                 "start the predicate with `if (auto atomic = CheckFailureAtomicity(pre, "
+                 "post, ret)) { return *atomic; }` or waive with `// averif-lint: "
+                 "allow(error-path) — <why>`");
+    }
+  }
+}
+
+}  // namespace atmo::lint
