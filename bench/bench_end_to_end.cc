@@ -18,10 +18,14 @@
 // is enforced via the exit code; quick mode (CI) reports the numbers and
 // ci/run_tests.sh enforces absolute floors from ci/perf_floors.json.
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "bench/end_to_end.h"
 #include "src/obs/alloc_hook.h"
+#include "src/obs/exporters.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/sampler.h"
 
 int main() {
   using namespace atmo::bench;
@@ -54,10 +58,65 @@ int main() {
   run("batched-b32-syscall-submit", target, 32, false);
   run("batched-b32", target, 32, true);
   run("batched-b256", target, 256, true);
+
   // Zero-copy splice path: responses transmitted in place from pre-rendered
   // DMA slices, kernel work as one borrow-grant rendezvous per RX burst
   // (DESIGN.md §15). bytes_copied_per_request must be exactly 0.
-  run("splice", target, 0, true, /*splice=*/true);
+  //
+  // Measured in both modes: with causal tracing live (token-bucket sampler
+  // at its runtime period + a flight recorder on the serving thread — this
+  // is the reported "splice" row and the source of the OBS trace artifact)
+  // and with observability off (sampler period 0, no recorder). Always-on
+  // sampled tracing must cost <=3% req/s: the obs_overhead CI gate. One
+  // discarded warmup run, then the modes alternate — first-run cache
+  // warming and slow drift (thermal, scheduler) hit both sides equally
+  // instead of biasing whichever mode runs first — and each side reports
+  // its best of three so one hiccup doesn't decide the ratio.
+  std::uint64_t sample_period = atmo::obs::TraceSamplePeriod();
+  if (sample_period == 0) {
+    sample_period = 64;  // tracing off via env: still measure the default cost
+  }
+  E2EOptions splice_opt;
+  splice_opt.requests = target;
+  splice_opt.batch = 0;
+  splice_opt.splice = true;
+  atmo::obs::FlightRecorder recorder(1 << 15, atmo::obs::ClockMode::kReal, 0);
+  // Always-on tracing keeps only the request-stage stamps; the checker's
+  // per-step spans skip the ring store (one compare) so sampled tracing
+  // stays inside the 3% budget.
+  recorder.SetCategoryFilter(atmo::obs::kCatRequest);
+  E2EResult splice_traced;
+  std::vector<atmo::obs::TraceEvent> trace_events;
+  double traced_best = -1.0;
+  double untraced_best = -1.0;
+  atmo::obs::SetEnabled(false);
+  atmo::obs::SetTraceSamplePeriod(0);
+  RunEndToEnd("splice-warmup", splice_opt);
+  for (int rep = 0; rep < 6; ++rep) {
+    if (rep % 2 == 0) {
+      atmo::obs::SetEnabled(true);
+      atmo::obs::SetTraceSamplePeriod(sample_period);
+      recorder.Clear();
+      atmo::obs::ScopedThreadRecorder install(&recorder);
+      E2EResult r = RunEndToEnd("splice", splice_opt);
+      if (r.row.ops_per_sec > traced_best) {
+        traced_best = r.row.ops_per_sec;
+        splice_traced = r;
+        trace_events = recorder.Snapshot();
+      }
+    } else {
+      atmo::obs::SetEnabled(false);
+      atmo::obs::SetTraceSamplePeriod(0);
+      E2EResult r = RunEndToEnd("splice-untraced", splice_opt);
+      untraced_best = std::max(untraced_best, r.row.ops_per_sec);
+    }
+  }
+  atmo::obs::SetEnabled(false);
+  atmo::obs::SetTraceSamplePeriod(sample_period);
+  json.Record(splice_traced.row, "K");
+  results.push_back(splice_traced);
+  double obs_overhead_pct =
+      untraced_best > 0 ? (1.0 - traced_best / untraced_best) * 100.0 : 0.0;
 
   // Syscall-only amortization microbench: the >=5x gate's numbers.
   std::uint64_t micro_ops = ScaledOps(400000);
@@ -112,6 +171,17 @@ int main() {
               static_cast<unsigned long long>(splice.row.ops),
               static_cast<unsigned long long>(splice.bytes_copied),
               splice_zero_copy ? "(PASS: zero-copy)" : "(FAIL)");
+  std::printf("observability: traced %.0f vs untraced %.0f req/s -> %.2f%% overhead "
+              "(1/%llu sampling, %zu trace events)\n",
+              traced_best, untraced_best, obs_overhead_pct,
+              static_cast<unsigned long long>(sample_period), trace_events.size());
+  for (const auto& stage : splice.stage_breakdown) {
+    std::printf("  stage %-10s p50 %8llu ns  p95 %8llu ns  p99 %8llu ns  (%llu samples)\n",
+                stage.stage.c_str(), static_cast<unsigned long long>(stage.p50_ns),
+                static_cast<unsigned long long>(stage.p95_ns),
+                static_cast<unsigned long long>(stage.p99_ns),
+                static_cast<unsigned long long>(stage.count));
+  }
 
   json.Write([&](atmo::obs::JsonWriter* w) {
     w->KV("clients", std::uint64_t{1} << 20);
@@ -130,6 +200,17 @@ int main() {
       w->KV("bytes_copied", r.bytes_copied);
       w->KV("bytes_copied_per_request", r.bytes_copied_per_request, "%.2f");
       w->KV("spliced_responses", r.spliced_responses);
+      w->KV("sampled_requests", r.sampled_requests);
+      w->Key("stage_breakdown").BeginObject();
+      for (const auto& stage : r.stage_breakdown) {
+        w->Key(stage.stage.c_str()).BeginObject();
+        w->KV("count", stage.count);
+        w->KV("p50_ns", stage.p50_ns);
+        w->KV("p95_ns", stage.p95_ns);
+        w->KV("p99_ns", stage.p99_ns);
+        w->EndObject();
+      }
+      w->EndObject();
       w->KV("all_ok", r.all_ok);
       w->EndObject();
     }
@@ -143,8 +224,20 @@ int main() {
     w->KV("noarena_heap_allocs_per_checked_step", noarena_allocs_per_step, "%.2f");
     w->KV("alloc_reduction_vs_noarena", alloc_reduction, "%.2f");
     w->KV("splice_zero_copy", splice_zero_copy);
+    w->KV("splice_traced_req_per_sec", traced_best, "%.1f");
+    w->KV("splice_untraced_req_per_sec", untraced_best, "%.1f");
+    w->KV("obs_overhead_pct", obs_overhead_pct, "%.3f");
+    w->KV("trace_sample_period", sample_period);
+    w->KV("trace_events_recorded", std::uint64_t{trace_events.size()});
     w->KV("all_ok", all_ok);
   });
+
+  // Causal-trace artifact: the traced splice run's flight-recorder events,
+  // stitched into per-request tracks with flow arrows (loads in Perfetto).
+  std::string trace_doc = atmo::obs::StitchedRequestTraceJson(trace_events, "end_to_end");
+  if (atmo::obs::WriteTextFile("OBS_end_to_end.trace.json", trace_doc + "\n")) {
+    std::printf("wrote OBS_end_to_end.trace.json\n");
+  }
 
   if (!all_ok) {
     std::fprintf(stderr, "end_to_end: a configuration finished with total_wf not ok\n");

@@ -12,6 +12,7 @@
 #include "src/core/syscall_ring.h"
 #include "src/drivers/ixgbe_driver.h"
 #include "src/obs/copy_probe.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/verif/trace_gen.h"
 #include "src/vstd/check.h"
@@ -37,6 +38,30 @@ std::uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// Raw stage timestamps of one sampled request, captured on the fly and
+// resolved into durations once the request's certification point is known
+// (per-call: its Step; batched: its batch's drain; splice: its burst's
+// grant return).
+struct SampleTs {
+  std::uint64_t trace_id = 0;
+  std::uint64_t t_burst = 0;  // burst peek started
+  std::uint64_t t0 = 0;       // this view's processing started
+  std::uint64_t t_app = 0;    // application handler returned
+  std::uint64_t t_tx = 0;     // TX descriptor queued
+};
+
+// Exact percentile over raw ns samples (the breakdown is computed from a
+// few thousand sampled requests, so no bucketing is needed). Takes a copy:
+// nth_element reorders.
+std::uint64_t ExactPercentile(std::vector<std::uint64_t> v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx), v.end());
+  return v[idx];
 }
 
 // The i-th request's kernel work: map a page into the rotating window, then
@@ -210,10 +235,18 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
   RxView views[32];
   MacAddr my_mac{0x02, 0, 0, 0, 0, 0x02};
 
+  // Stage-attribution samples (sampled requests only). s_wait is the
+  // config's waiting stage: ring_drain (batched) or deliver (splice).
+  std::vector<std::uint64_t> s_rx, s_app, s_tx, s_wait, s_check, s_e2e;
+  std::vector<SampleTs> pending_sampled;  // batched: resolved at the drain
+  std::vector<SampleTs> burst_sampled;    // splice: resolved at grant return
+
   auto drain_batch = [&] {
+    std::uint64_t drain_start = NowNs();
     SyscallRet enter = checker.Step(t, RingEnterCall(ring));
     ATMO_CHECK(enter.ok(), "end-to-end batch drain failed");
     ATMO_CHECK(enter.value == pending_ts.size(), "end-to-end drain came up short");
+    std::uint64_t check_end = NowNs();
     std::size_t reaped = f.kernel.RingReap(t, ring, cqes.data(), cqes.size());
     ATMO_CHECK(reaped == pending_ts.size(), "end-to-end reap came up short");
     for (std::size_t i = 0; i < reaped; ++i) {
@@ -223,6 +256,15 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     for (std::uint64_t ts : pending_ts) {
       latency.Observe(now - ts);
     }
+    for (const SampleTs& s : pending_sampled) {
+      s_rx.push_back(s.t0 - s.t_burst);
+      s_app.push_back(s.t_app - s.t0);
+      s_tx.push_back(s.t_tx - s.t_app);
+      s_wait.push_back(drain_start - s.t_tx);  // queued in the SQ
+      s_check.push_back(check_end - drain_start);
+      s_e2e.push_back(check_end - s.t_burst);
+    }
+    pending_sampled.clear();
     result.inner_syscalls += pending_ts.size();
     pending_ts.clear();
   };
@@ -240,6 +282,7 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     // payload where the NIC wrote it, build the response directly in a
     // claimed TX buffer, then release the whole burst under one doorbell
     // (DESIGN.md §14). No frame bytes are copied on the request path.
+    std::uint64_t t_burst = NowNs();
     std::uint32_t burst = driver.RxPeekBurst(views, 32);
     std::uint32_t queued = 0;
     if (options.splice && burst > 0) {
@@ -254,6 +297,15 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
       Syscall grant;
       grant.op = SysOp::kSend;
       grant.edpt_idx = 0;
+      // The rendezvous covers the whole burst; tag the message with the
+      // burst's first sampled trace id so the kernel's "stage.deliver"
+      // stamp joins that request's causal chain across the process switch.
+      for (std::uint32_t i = 0; i < burst; ++i) {
+        if (views[i].trace_id != 0) {
+          grant.payload.trace_id = views[i].trace_id;
+          break;
+        }
+      }
       grant.payload.page =
           PageGrant{.page = kGrantSlotVa,
                     .size = PageSize::k4K,
@@ -265,6 +317,7 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     }
     for (std::uint32_t v = 0; v < burst && done < options.requests; ++v) {
       std::uint64_t t0 = NowNs();
+      std::uint64_t tid = views[v].trace_id;  // 0 = unsampled
       auto parsed = ParseUdpFrame(views[v].data, views[v].len);
       if (!parsed.has_value() || lb.Lookup(parsed->flow) < 0) {
         continue;
@@ -275,16 +328,21 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
         // are written; no payload bytes move.
         std::optional<SpliceSlice> slice =
             parsed->flow.dst_port == 80
-                ? httpd.HandleRequestSpliced(parsed->payload, parsed->payload_len)
-                : store.HandleRequestSpliced(parsed->payload, parsed->payload_len);
+                ? httpd.HandleRequestSpliced(parsed->payload, parsed->payload_len, tid)
+                : store.HandleRequestSpliced(parsed->payload, parsed->payload_len, tid);
         if (slice.has_value()) {
+          std::uint64_t t_app = tid != 0 ? NowNs() : 0;
           FiveTuple reply{.src_ip = parsed->flow.dst_ip, .dst_ip = parsed->flow.src_ip,
                           .src_port = parsed->flow.dst_port,
                           .dst_port = parsed->flow.src_port};
           std::size_t flen =
               FinishUdpFrame(slice->frame, my_mac, parsed->src_mac, reply, slice->resp_len);
-          if (!driver.TxInPlaceDeferred(slice->iova, static_cast<std::uint16_t>(flen))) {
+          if (!driver.TxInPlaceDeferred(slice->iova, static_cast<std::uint16_t>(flen),
+                                        slice->trace_id)) {
             continue;  // TX ring full: drop, like the claim path
+          }
+          if (tid != 0) {
+            burst_sampled.push_back(SampleTs{tid, t_burst, t0, t_app, NowNs()});
           }
           ++(parsed->flow.dst_port == 80 ? result.httpd_responses : result.kv_responses);
           ++result.spliced_responses;
@@ -312,17 +370,22 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
         rlen = store.HandleRequest(parsed->payload, parsed->payload_len, resp);
         ++result.kv_responses;
       }
+      std::uint64_t t_app = tid != 0 ? NowNs() : 0;
       FiveTuple reply{.src_ip = parsed->flow.dst_ip, .dst_ip = parsed->flow.src_ip,
                       .src_port = parsed->flow.dst_port,
                       .dst_port = parsed->flow.src_port};
       std::size_t chunk = std::min<std::size_t>(rlen, 1400);
       std::size_t flen = FinishUdpFrame(tx, my_mac, parsed->src_mac, reply, chunk);
-      driver.TxCommitDeferred(static_cast<std::uint16_t>(flen));
+      driver.TxCommitDeferred(static_cast<std::uint16_t>(flen), tid);
+      std::uint64_t t_tx = tid != 0 ? NowNs() : 0;
       ++queued;
 
       if (options.splice) {
         // The burst's grant rendezvous already covers this request's kernel
         // work; latency is certified at the burst's GrantReturn.
+        if (tid != 0) {
+          burst_sampled.push_back(SampleTs{tid, t_burst, t0, t_app, t_tx});
+        }
         splice_t0[splice_inflight++] = t0;
         ++done;
         continue;
@@ -333,13 +396,24 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
         SyscallRet ret = checker.Step(t, call);
         ATMO_CHECK(ret.ok(), "end-to-end per-call syscall failed");
         ++result.inner_syscalls;
-        latency.Observe(NowNs() - t0);
+        std::uint64_t now = NowNs();
+        latency.Observe(now - t0);
+        if (tid != 0) {
+          s_rx.push_back(t0 - t_burst);
+          s_app.push_back(t_app - t0);
+          s_tx.push_back(t_tx - t_app);
+          s_check.push_back(now - t_tx);
+          s_e2e.push_back(now - t_burst);
+        }
       } else {
         Syscall submit = AsSubmit(ring, call, done);
         SyscallRet s = options.shm_submit ? f.kernel.RingPushDirect(t, submit)
                                           : checker.Step(t, submit);
         ATMO_CHECK(s.ok(), "end-to-end ring submit failed");
         pending_ts.push_back(t0);
+        if (tid != 0) {
+          pending_sampled.push_back(SampleTs{tid, t_burst, t0, t_app, t_tx});
+        }
         if (pending_ts.size() >= options.batch) {
           drain_batch();
         }
@@ -353,6 +427,7 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
     if (options.splice && burst > 0) {
       // Return the loan: the lender's write access comes back and the
       // burst's requests are certified.
+      std::uint64_t gret_start = NowNs();
       Syscall gret;
       gret.op = SysOp::kGrantReturn;
       gret.va_range = VaRange{kGrantDestVa, 1, PageSize::k4K};
@@ -363,6 +438,18 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
         latency.Observe(now - splice_t0[i]);
       }
       splice_inflight = 0;
+      for (const SampleTs& s : burst_sampled) {
+        s_rx.push_back(s.t0 - s.t_burst);
+        s_app.push_back(s.t_app - s.t0);
+        s_tx.push_back(s.t_tx - s.t_app);
+        s_wait.push_back(gret_start - s.t_tx);  // waiting for the burst's return
+        s_check.push_back(now - gret_start);
+        s_e2e.push_back(now - s.t_burst);
+        // Close the request's flight-recorder chain at its certification
+        // point; Perfetto's flow arrow lands on the grant-return stamp.
+        ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.check", "trace_id", s.trace_id);
+      }
+      burst_sampled.clear();
     }
     m.nic.ProcessTx(32);
   }
@@ -384,6 +471,25 @@ E2EResult RunEndToEnd(const std::string& config_name, const E2EOptions& options)
   result.bytes_copied = copy_probe.bytes();
   result.bytes_copied_per_request =
       done > 0 ? static_cast<double>(result.bytes_copied) / static_cast<double>(done) : 0.0;
+  auto add_stage = [&](const char* name, const std::vector<std::uint64_t>& samples) {
+    if (samples.empty()) {
+      return;
+    }
+    E2EResult::StageStats s;
+    s.stage = name;
+    s.count = samples.size();
+    s.p50_ns = ExactPercentile(samples, 0.50);
+    s.p95_ns = ExactPercentile(samples, 0.95);
+    s.p99_ns = ExactPercentile(samples, 0.99);
+    result.stage_breakdown.push_back(std::move(s));
+  };
+  add_stage("rx", s_rx);
+  add_stage("app", s_app);
+  add_stage("tx", s_tx);
+  add_stage(options.splice ? "deliver" : "ring_drain", s_wait);
+  add_stage("check", s_check);
+  add_stage("e2e", s_e2e);
+  result.sampled_requests = s_e2e.size();
   // The harness only reaches this point if every checked transition passed
   // (a violation aborts); the final total_wf seals the run.
   result.all_ok = f.kernel.TotalWf().ok;

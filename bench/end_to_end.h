@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bench/pipeline.h"
 #include "src/verif/refinement_checker.h"
@@ -66,6 +67,24 @@ struct E2EResult {
   // Splice config only: responses transmitted in place from pre-rendered
   // slices (the remainder fell back to the TxClaim copy path).
   std::uint64_t spliced_responses = 0;
+  // Per-stage latency attribution from the sampled trace ids (requests
+  // whose RxView drew a nonzero id from the obs sampler). The stage
+  // timestamps partition [burst peek, certification] exactly, so per
+  // request the stage durations sum to its "e2e" entry by construction:
+  //   percall : rx -> app -> tx -> check
+  //   batched : rx -> app -> tx -> ring_drain -> check
+  //   splice  : rx -> app -> tx -> deliver -> check
+  // Exact-ns percentiles over the samples (not bucketed), plus the "e2e"
+  // reference row computed over the same sampled population.
+  struct StageStats {
+    std::string stage;
+    std::uint64_t count = 0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p95_ns = 0;
+    std::uint64_t p99_ns = 0;
+  };
+  std::vector<StageStats> stage_breakdown;
+  std::uint64_t sampled_requests = 0;
   bool all_ok = false;
 };
 

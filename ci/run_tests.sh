@@ -101,9 +101,13 @@ cmake -B build-ci-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
-cmake --build build-ci-tsan -j "$JOBS" --target parallel_sweep_test kernel_test
+cmake --build build-ci-tsan -j "$JOBS" --target parallel_sweep_test kernel_test obs_test
 ./build-ci-tsan/tests/parallel_sweep_test
 ./build-ci-tsan/tests/kernel_test --gtest_filter='*SuiteParallelRunMatchesSerial*'
+# The obs concurrency surface: 8 shard-like threads on the thread-local
+# CopyProbe/AllocProbe counters, 8 threads racing the trace-id sampler's
+# shared relaxed atomics.
+./build-ci-tsan/tests/obs_test --gtest_filter='ProbeConcurrencyTest.*:SamplerTest.*'
 
 echo "=== ATMO_OBS_DISABLED compile check + probe shells ==="
 # The observability kill switch must keep compiling: probes become shells
@@ -112,7 +116,9 @@ echo "=== ATMO_OBS_DISABLED compile check + probe shells ==="
 # asserts the zero-counter contract from the disabled side.
 cmake -B build-ci-obsoff -S . -DCMAKE_CXX_FLAGS="-DATMO_OBS_DISABLED" >/dev/null
 cmake --build build-ci-obsoff -j "$JOBS" --target obs_test
-./build-ci-obsoff/tests/obs_test --gtest_filter='ProbeShellTest.*'
+# SamplerTest shares one body with the enabled build: here it asserts the
+# disabled shells return zeros (no ids, no counts).
+./build-ci-obsoff/tests/obs_test --gtest_filter='ProbeShellTest.*:SamplerTest.*'
 
 echo "=== bench smoke (scaled down) ==="
 ATMO_BENCH_QUICK=1 ./build-ci/bench/bench_incremental_refinement
@@ -189,6 +195,36 @@ else:
             f"copied per request (max {cap}: the splice path must be zero-copy)")
     if splice["spliced_responses"] == 0:
         failures.append("splice: no responses actually took the splice path")
+# Observability overhead gate (DESIGN.md §17): always-on sampled tracing
+# (1/N token-bucket sampler + category-filtered flight recorder) must cost
+# at most max_obs_overhead_pct of splice req/s vs tracing disabled. The
+# bench discards a warmup run and alternates traced/untraced reps
+# (best-of-3 per mode) so warmup and drift cannot bias the ratio.
+overhead = report["obs_overhead_pct"]
+if overhead > floors["max_obs_overhead_pct"]:
+    failures.append(
+        f"sampled tracing costs {overhead:.2f}% req/s > "
+        f'{floors["max_obs_overhead_pct"]}% budget '
+        f'(traced {report["splice_traced_req_per_sec"]:.0f} vs untraced '
+        f'{report["splice_untraced_req_per_sec"]:.0f} req/s, '
+        f'period 1/{report["trace_sample_period"]})')
+# Latency attribution must account for the whole request: the splice
+# config's per-stage p50s (rx/app/tx/deliver/check partition the sampled
+# request exactly) must sum to within tolerance of the end-to-end p50.
+if splice is not None:
+    breakdown = splice["stage_breakdown"]
+    stage_sum = sum(s["p50_ns"] for name, s in breakdown.items() if name != "e2e")
+    e2e_p50 = breakdown.get("e2e", {}).get("p50_ns", 0)
+    if e2e_p50 <= 0:
+        failures.append("splice stage_breakdown lacks a usable e2e p50")
+    else:
+        drift = abs(stage_sum - e2e_p50) / e2e_p50 * 100.0
+        if drift > floors["stage_p50_sum_tolerance_pct"]:
+            failures.append(
+                f"splice stage p50s sum to {stage_sum} ns vs e2e p50 "
+                f"{e2e_p50} ns ({drift:.1f}% apart, max "
+                f'{floors["stage_p50_sum_tolerance_pct"]}%: stages no longer '
+                f"partition the request)")
 if not report["all_ok"]:
     failures.append("a configuration finished with total_wf not ok")
 
@@ -249,7 +285,8 @@ with open("traced_sweep_trace.json") as f:
 events = trace["traceEvents"]
 assert isinstance(events, list) and events, "empty traceEvents"
 for e in events:
-    assert e["ph"] in ("B", "E", "i", "C", "M"), f"bad phase: {e}"
+    # s/t/f are the Chrome flow phases the stitched request exporter emits.
+    assert e["ph"] in ("B", "E", "i", "C", "M", "s", "t", "f"), f"bad phase: {e}"
     required = {"name", "ph", "pid"} if e["ph"] == "M" else {"name", "ph", "ts", "pid", "tid"}
     assert required <= e.keys(), f"bad event: {e}"
 phases = {e["ph"] for e in events}
@@ -273,5 +310,11 @@ assert any(e["ph"] == "B" and e["name"] == failing for e in tail), \
     f"no matching enter event for {failing}"
 print(f"obs smoke OK ({len(events)} trace events, failing span {failing})")
 EOF
+
+echo "=== bench + trace schema check ==="
+# Every BENCH_*.json summary and OBS_*.json trace the run produced must
+# match its schema (strict JSON, per-config stage breakdowns, Perfetto-
+# loadable flow events); see tools/bench_schema_check.
+./tools/bench_schema_check
 
 echo "CI OK"

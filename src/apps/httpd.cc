@@ -5,6 +5,7 @@
 #include <iterator>
 
 #include "src/obs/copy_probe.h"
+#include "src/obs/flight_recorder.h"
 #include "src/vstd/check.h"
 #include "src/vstd/thread_annotations.h"
 
@@ -160,8 +161,12 @@ void Httpd::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom) 
 }
 
 std::optional<SpliceSlice> Httpd::HandleRequestSpliced(const std::uint8_t* req,
-                                                       std::size_t req_len)
+                                                       std::size_t req_len,
+                                                       std::uint64_t trace_id)
     ATMO_HOT_PATH(payload-copy) {
+  if (trace_id != 0) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.app", "trace_id", trace_id);
+  }
   HttpRequest parsed;
   std::string_view text(reinterpret_cast<const char*>(req), req_len);
   if (!ParseRequest(text, &parsed) || parsed.method != "GET") {
@@ -173,7 +178,9 @@ std::optional<SpliceSlice> Httpd::HandleRequestSpliced(const std::uint8_t* req,
   }
   Page& page = it->second;
   ++served_;
-  return page.slices[page.next_slice++ % page.slices.size()];
+  SpliceSlice slice = page.slices[page.next_slice++ % page.slices.size()];
+  slice.trace_id = trace_id;
+  return slice;
 }
 
 std::size_t Httpd::HandleRequest(const std::uint8_t* req, std::size_t req_len,

@@ -69,8 +69,11 @@ class Httpd {
   // Zero-copy fast path: a GET for a known document returns the next
   // pre-rendered replica (no bytes written). Anything else — parse errors,
   // HEAD, unknown paths — returns nullopt and the caller falls back to
-  // HandleRequest, which also does the error accounting.
-  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len);
+  // HandleRequest, which also does the error accounting. A nonzero
+  // `trace_id` (from the RX view) stamps a "stage.app" instant and rides the
+  // returned slice into the in-place TX commit.
+  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len,
+                                                  std::uint64_t trace_id = 0);
 
   std::uint64_t requests_served() const { return served_; }
   std::uint64_t errors() const { return errors_; }

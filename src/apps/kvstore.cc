@@ -1,6 +1,7 @@
 #include "src/apps/kvstore.h"
 
 #include "src/obs/copy_probe.h"
+#include "src/obs/flight_recorder.h"
 #include "src/vstd/check.h"
 #include "src/vstd/thread_annotations.h"
 
@@ -118,8 +119,12 @@ void KvStore::AddSplicePage(std::uint8_t* base, VAddr iova, std::size_t headroom
 }
 
 std::optional<SpliceSlice> KvStore::HandleRequestSpliced(const std::uint8_t* req,
-                                                         std::size_t req_len)
+                                                         std::size_t req_len,
+                                                         std::uint64_t trace_id)
     ATMO_HOT_PATH(payload-copy) {
+  if (trace_id != 0) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.app", "trace_id", trace_id);
+  }
   constexpr std::size_t kPerPage = 4096 / kSpliceStride;
   if (req_len < 3 || req[0] != kKvGet) {
     return std::nullopt;
@@ -134,7 +139,9 @@ std::optional<SpliceSlice> KvStore::HandleRequestSpliced(const std::uint8_t* req
       index / kPerPage >= splice_bases_.size()) {
     return std::nullopt;  // miss or uncovered slot: HandleRequest path
   }
-  return SlotSlice(index);
+  SpliceSlice slice = SlotSlice(index);
+  slice.trace_id = trace_id;
+  return slice;
 }
 
 std::optional<std::string_view> KvStore::Get(std::string_view key) const {

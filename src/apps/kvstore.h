@@ -78,8 +78,10 @@ class KvStore {
 
   // Zero-copy fast path: a GET that hits a slab-covered slot returns its
   // pre-rendered slice. Everything else returns nullopt (caller falls back
-  // to HandleRequest).
-  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len);
+  // to HandleRequest). A nonzero `trace_id` (from the RX view) stamps a
+  // "stage.app" instant and rides the returned slice into the TX commit.
+  std::optional<SpliceSlice> HandleRequestSpliced(const std::uint8_t* req, std::size_t req_len,
+                                                  std::uint64_t trace_id = 0);
 
   // Builds a request datagram (client side / workload generator).
   static std::size_t BuildRequest(std::uint8_t* buf, std::uint8_t op, std::string_view key,

@@ -26,6 +26,10 @@ struct SpliceSlice {
   std::uint8_t* frame = nullptr;
   VAddr iova = 0;
   std::size_t resp_len = 0;  // response payload bytes (after the headroom)
+  // Causal trace id of the request this slice answers (0 = unsampled),
+  // threaded from the RX view through HandleRequestSpliced so the in-place
+  // TX commit can close the chain with its "stage.tx" instant.
+  std::uint64_t trace_id = 0;
 };
 
 }  // namespace atmo

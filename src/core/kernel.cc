@@ -6,6 +6,7 @@
 
 #include "src/obs/flight_recorder.h"
 #include "src/obs/op_names.h"
+#include "src/obs/sampler.h"
 #include "src/pagetable/refinement.h"
 #include "src/vstd/check.h"
 #include "src/vstd/thread_annotations.h"
@@ -62,6 +63,8 @@ const char* SysOpName(SysOp op) {
       return "ring_enter";
     case SysOp::kGrantReturn:
       return "grant_return";
+    case SysOp::kObsQuery:
+      return "obs_query";
   }
   return "?";
 }
@@ -238,6 +241,8 @@ SyscallRet Kernel::Exec(ThrdPtr t, const Syscall& call) {
       return ExecBatch(t, call);
     case SysOp::kGrantReturn:
       return SysGrantReturn(t, call);
+    case SysOp::kObsQuery:
+      return SysObsQuery(t, call);
   }
   return Err(SysError::kInvalid);
 }
@@ -603,6 +608,9 @@ void Kernel::Deliver(const IpcPayload& payload, ThrdPtr sender, ThrdPtr receiver
   Thread& r = pm_.MutableThread(receiver);
   r.ipc_buf = payload;
   r.has_inbound = true;
+  if (payload.trace_id != 0) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.deliver", "trace_id", payload.trace_id);
+  }
 }
 
 bool Kernel::DeliverResolved(const IpcPayload& resolved, ThrdPtr sender, ThrdPtr receiver,
@@ -738,6 +746,43 @@ SyscallRet Kernel::SysGrantReturn(ThrdPtr t, const Syscall& call) {
   std::optional<VmManager::UnmapResult> un = vm_.Unmap(&alloc_, proc, va);
   ATMO_CHECK(un.has_value() && !un->released, "pre-validated grant return failed");
   return Ok();
+}
+
+SyscallRet Kernel::SysObsQuery(ThrdPtr t, const Syscall& call) {
+  ProcPtr proc = pm_.GetThread(t).owning_proc;
+  VAddr va = call.va_range.base;
+  std::optional<MapEntry> entry = vm_.Resolve(proc, va);
+  if (!entry.has_value() || (va & (PageBytes(entry->size) - 1)) != 0) {
+    // Unmapped, or an interior address: the destination must be a mapping
+    // base so the spec can name the touched slot in Ψ.
+    return Err(SysError::kInvalid);
+  }
+  if (!entry->perm.writable || !entry->perm.user) {
+    return Err(SysError::kDenied);
+  }
+  // Compose the snapshot on the stack — this runs inside ExecBatch's
+  // hot-path-alloc closure, so no containers may be built here.
+  ObsQueryRecord rec;
+  rec.magic = kObsQueryMagic;
+  rec.version = kObsQueryVersion;
+  rec.mapped_pages = vm_.TableOf(proc).MappingCount();
+  for (const auto& kv : vm_.borrows()) {
+    if (kv.second.lender == proc) {
+      ++rec.borrows_lent;
+    }
+    if (kv.second.borrower == proc) {
+      ++rec.borrows_held;
+    }
+  }
+  for (const auto& kv : rings_.rings()) {
+    if (kv.second.owner_proc() == proc) {
+      rec.ring_sq_depth += kv.second.SqSize();
+      rec.ring_cq_depth += kv.second.CqSize();
+    }
+  }
+  rec.dropped_samples = obs::SamplerDroppedCount();
+  mem_->HwWriteBytes(entry->addr, &rec, sizeof(rec));
+  return Ok(sizeof(rec));
 }
 
 // ---------------------------------------------------------------------------
@@ -1088,6 +1133,10 @@ SyscallRet Kernel::ExecBatch(ThrdPtr t, const Syscall& call)
     }
     atomic = ring.atomic();
   }
+  // One drain-stage stamp per batch (not per entry): the ring amortizes the
+  // kernel crossing, so the causal chain of every request whose syscall was
+  // queued in this SQ shares this drain point.
+  ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.ring_drain", "batch", n);
   // Batch-level failure atomicity (kRingDrainAtomic): snapshot the whole
   // kernel and restore it if any entry fails. The restored clone has fresh
   // (empty) dirty logs, which is exactly right under the checker's

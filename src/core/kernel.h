@@ -154,6 +154,7 @@ class Kernel {
   SyscallRet SysRingSetup(ThrdPtr t, const Syscall& call);
   SyscallRet SysRingSubmit(ThrdPtr t, const Syscall& call);
   SyscallRet SysGrantReturn(ThrdPtr t, const Syscall& call);
+  SyscallRet SysObsQuery(ThrdPtr t, const Syscall& call);
   // Shared body of kSend (is_call = false) and kCall (is_call = true):
   // resolve the outbound payload, then deliver to a waiting receiver or
   // stage-and-block on the endpoint.

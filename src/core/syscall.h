@@ -41,9 +41,32 @@ enum class SysOp : std::uint8_t {
   kRingSubmit,  // enqueue one deferred syscall onto a ring's SQ
   kRingEnter,   // drain the SQ: execute entries back-to-back, fill the CQ
   kGrantReturn, // return a borrowed page (va_range.base = borrower VA)
+  kObsQuery,    // snapshot the caller's obs counters into a writable page
+                // (va_range.base = destination VA, must be a mapping base)
 };
 
 const char* SysOpName(SysOp op);
+
+// Record layout kObsQuery writes at the destination VA. Plain u64 words so
+// user code (and the differential test) can read it back with HwReadBytes
+// without any packing concerns. The snapshot is advisory telemetry — it is
+// *about* the kernel, not part of Ψ, which is exactly why ObsQuerySpec can
+// demand Ψ' == Ψ (the abstraction carries no memory byte contents).
+struct ObsQueryRecord {
+  std::uint64_t magic = 0;            // kObsQueryMagic
+  std::uint64_t version = 0;          // kObsQueryVersion
+  std::uint64_t mapped_pages = 0;     // mappings in the caller's address space
+  std::uint64_t borrows_lent = 0;     // outstanding loans where caller is lender
+  std::uint64_t borrows_held = 0;     // outstanding loans where caller is borrower
+  std::uint64_t ring_sq_depth = 0;    // queued submissions across caller-owned rings
+  std::uint64_t ring_cq_depth = 0;    // unreaped completions across caller-owned rings
+  std::uint64_t dropped_samples = 0;  // trace requests the obs sampler declined
+
+  friend bool operator==(const ObsQueryRecord&, const ObsQueryRecord&) = default;
+};
+
+inline constexpr std::uint64_t kObsQueryMagic = 0x4154'4d4f'4f42'5351ull;  // "ATMOOBSQ"
+inline constexpr std::uint64_t kObsQueryVersion = 1;
 
 // Contiguous virtual range of `count` pages of uniform size (VaRange4K in
 // the paper generalized over page sizes).

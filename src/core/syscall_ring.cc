@@ -29,6 +29,10 @@ bool RingSubmittable(SysOp op) {
     case SysOp::kRingSetup:
     case SysOp::kRingSubmit:
     case SysOp::kRingEnter:
+    case SysOp::kObsQuery:
+      // Snapshot semantics stay synchronous: a deferred query would report
+      // counters as of an unpredictable drain point, which defeats its
+      // purpose and would entangle the ring spec with observability state.
       return false;
   }
   return false;

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/obs/copy_probe.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/sampler.h"
 #include "src/vstd/check.h"
 #include "src/vstd/thread_annotations.h"
 
@@ -59,11 +61,19 @@ std::uint32_t IxgbeDriver::RxPeekBurst(RxView* out, std::uint32_t n) const
     out[got].data = rx_buf_[index];
     out[got].iova = rx_buf_base_ + index * kIxgbeBufBytes;
     out[got].len = static_cast<std::uint16_t>(meta & kNicDescLenMask);
+    // Packet arrival is where a request's causal chain starts: the sampler
+    // decides here, once, and every later stage keys off the id in the view.
+    out[got].trace_id = obs::NextTraceId();
+    if (out[got].trace_id != 0) {
+      ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.rx", "trace_id", out[got].trace_id);
+    }
     ++got;
   }
   return got;
 }
 
+// averif-lint: allow(trace-stage-coverage) — descriptor housekeeping; the
+// burst's requests were already stamped "stage.rx" at peek time.
 void IxgbeDriver::RxReleaseBurst(std::uint32_t n) ATMO_HOT_PATH(hot-path-alloc) {
   for (std::uint32_t i = 0; i < n; ++i) {
     rx_desc_[rx_next_ % entries_][1] = 0;  // re-arm
@@ -76,6 +86,8 @@ void IxgbeDriver::RxReleaseBurst(std::uint32_t n) ATMO_HOT_PATH(hot-path-alloc) 
   }
 }
 
+// averif-lint: allow(trace-stage-coverage) — slot acquisition only; the
+// request is stamped "stage.tx" when the descriptor is committed.
 std::uint8_t* IxgbeDriver::TxClaim() ATMO_HOT_PATH(hot-path-alloc) {
   if (tx_next_ - tx_clean_ >= entries_) {
     ReclaimTx();
@@ -86,7 +98,8 @@ std::uint8_t* IxgbeDriver::TxClaim() ATMO_HOT_PATH(hot-path-alloc) {
   return tx_buf_[tx_next_ % entries_];
 }
 
-void IxgbeDriver::TxCommitDeferred(std::uint16_t len) ATMO_HOT_PATH(hot-path-alloc) {
+void IxgbeDriver::TxCommitDeferred(std::uint16_t len, std::uint64_t trace_id)
+    ATMO_HOT_PATH(hot-path-alloc) {
   ATMO_CHECK(tx_next_ - tx_clean_ < entries_, "TxCommitDeferred without a claimed slot");
   ATMO_CHECK(len <= kIxgbeBufBytes, "frame exceeds TX buffer");
   std::uint32_t index = tx_next_ % entries_;
@@ -94,6 +107,9 @@ void IxgbeDriver::TxCommitDeferred(std::uint16_t len) ATMO_HOT_PATH(hot-path-all
   tx_desc_[index][1] = len & kNicDescLenMask;
   ++tx_next_;
   ++tx_frames_;
+  if (trace_id != 0) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.tx", "trace_id", trace_id);
+  }
 }
 
 std::uint32_t IxgbeDriver::RxBurst(RxFrame* out, std::uint32_t n) {
@@ -134,7 +150,7 @@ std::uint32_t IxgbeDriver::TxBurst(const TxFrame* frames, std::uint32_t n) {
   return sent;
 }
 
-bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len)
+bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len, std::uint64_t trace_id)
     ATMO_HOT_PATH(hot-path-alloc) {
   if (tx_next_ - tx_clean_ >= entries_) {
     ReclaimTx();
@@ -147,9 +163,14 @@ bool IxgbeDriver::TxInPlaceDeferred(VAddr iova, std::uint16_t len)
   tx_desc_[index][1] = len & kNicDescLenMask;
   ++tx_next_;
   ++tx_frames_;
+  if (trace_id != 0) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.tx", "trace_id", trace_id);
+  }
   return true;
 }
 
+// averif-lint: allow(trace-stage-coverage) — a doorbell write covering many
+// requests; each was already stamped "stage.tx" at descriptor commit.
 void IxgbeDriver::TxFlush() ATMO_HOT_PATH(hot-path-alloc) { nic_->SetTxTail(tx_next_); }
 
 bool IxgbeDriver::TxInPlace(VAddr iova, std::uint16_t len) {

@@ -33,6 +33,11 @@ struct RxView {
   const std::uint8_t* data = nullptr;
   VAddr iova = 0;
   std::uint16_t len = 0;
+  // Causal trace id assigned at peek time by the token-bucket sampler
+  // (src/obs/sampler.h). 0 = unsampled; nonzero ids flow through the app
+  // and back into the TX commit so the flight recorder can stitch the
+  // request's stages into one track.
+  std::uint64_t trace_id = 0;
 };
 
 // A frame to transmit.
@@ -83,10 +88,11 @@ class IxgbeDriver {
 
   // Descriptor-burst, fully zero-copy RX (DESIGN.md §14): fills up to `n`
   // views from completed descriptors WITHOUT re-arming — the payloads stay
-  // in the DMA arena, borrowed by the caller. Idempotent (no state change);
-  // the caller processes the views in place, then returns the oldest `k`
-  // buffers with RxReleaseBurst(k), which re-arms them all under ONE tail
-  // doorbell write.
+  // in the DMA arena, borrowed by the caller. No driver state changes (the
+  // only side effect is drawing trace-id decisions from the obs sampler, so
+  // peek once per burst); the caller processes the views in place, then
+  // returns the oldest `k` buffers with RxReleaseBurst(k), which re-arms
+  // them all under ONE tail doorbell write.
   std::uint32_t RxPeekBurst(RxView* out, std::uint32_t n) const;
   void RxReleaseBurst(std::uint32_t n);
 
@@ -96,7 +102,7 @@ class IxgbeDriver {
   // claimed buffer as a queued frame — descriptor write only, no doorbell;
   // TxFlush() rings it once per batch.
   std::uint8_t* TxClaim();
-  void TxCommitDeferred(std::uint16_t len);
+  void TxCommitDeferred(std::uint16_t len, std::uint64_t trace_id = 0);
 
   // Queues up to `n` frames for transmission (copies into TX buffers, bumps
   // the device tail). Returns frames queued (ring-full limits it).
@@ -105,8 +111,9 @@ class IxgbeDriver {
   // path): points the next TX descriptor at `iova` directly.
   bool TxInPlace(VAddr iova, std::uint16_t len);
   // Batched variant: queues the descriptor without ringing the doorbell;
-  // TxFlush() rings it once for the whole batch.
-  bool TxInPlaceDeferred(VAddr iova, std::uint16_t len);
+  // TxFlush() rings it once for the whole batch. A nonzero `trace_id`
+  // stamps a "stage.tx" instant, closing the sampled request's chain.
+  bool TxInPlaceDeferred(VAddr iova, std::uint16_t len, std::uint64_t trace_id = 0);
   void TxFlush();
 
   // Reclaims completed TX descriptors; returns how many.

@@ -69,6 +69,11 @@ struct IpcPayload {
   std::optional<PageGrant> page;
   std::optional<EndpointGrant> endpoint;
   std::optional<IommuGrant> iommu;
+  // Causal trace id riding along with the message (0 = unsampled). Copied
+  // verbatim into the receiver's buffer at Deliver, where the kernel stamps
+  // the "stage.deliver" instant — this is how a sampled request's chain
+  // crosses an IPC rendezvous into another process.
+  std::uint64_t trace_id = 0;
 
   friend bool operator==(const IpcPayload&, const IpcPayload&) = default;
 };

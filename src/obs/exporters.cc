@@ -1,5 +1,10 @@
 #include "src/obs/exporters.h"
 
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
 namespace atmo::obs {
 
 void AppendTraceEvent(JsonWriter* w, const TraceEvent& event) {
@@ -11,6 +16,14 @@ void AppendTraceEvent(JsonWriter* w, const TraceEvent& event) {
   w->KV("ts", event.ts);
   w->KV("pid", std::uint64_t{0});
   w->KV("tid", std::uint64_t{event.tid});
+  if (event.ph == 's' || event.ph == 't' || event.ph == 'f') {
+    // Flow events carry the chain id at top level; step/end bind to the
+    // enclosing slice ("bp":"e") so viewers draw the arrow at this ts.
+    w->KV("id", event.arg);
+    if (event.ph != 's') {
+      w->KV("bp", "e");
+    }
+  }
   bool has_arg = event.arg_name != nullptr;
   bool has_sarg = event.sarg_name != nullptr && event.sarg != nullptr;
   if (has_arg || has_sarg) {
@@ -46,6 +59,71 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
   return w.str();
 }
 
+std::string StitchedRequestTraceJson(const std::vector<TraceEvent>& events,
+                                     const std::string& process_name) {
+  // Group the request-stage stamps by trace id, chains ordered by first
+  // appearance, events within a chain by recording order (they come from
+  // per-thread rings, so a chain's cross-thread order is by ts below).
+  std::vector<std::pair<std::uint64_t, std::vector<TraceEvent>>> chains;
+  std::unordered_map<std::uint64_t, std::size_t> chain_index;
+  for (const TraceEvent& event : events) {
+    // Only id-stamped stage instants chain; per-batch stamps like
+    // stage.ring_drain carry a count, not an id, and stay un-stitched.
+    if (event.cat != kCatRequest || event.ph != 'i' || event.arg == 0 ||
+        event.arg_name == nullptr || std::strcmp(event.arg_name, "trace_id") != 0) {
+      continue;
+    }
+    auto [it, fresh] = chain_index.try_emplace(event.arg, chains.size());
+    if (fresh) {
+      chains.emplace_back(event.arg, std::vector<TraceEvent>{});
+    }
+    chains[it->second].second.push_back(event);
+  }
+  for (auto& chain_pair : chains) {
+    std::stable_sort(chain_pair.second.begin(), chain_pair.second.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.ts < b.ts; });
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents").BeginArray();
+  w.BeginObject();
+  w.KV("name", "process_name");
+  w.KV("ph", "M");
+  w.KV("pid", std::uint64_t{0});
+  w.Key("args").BeginObject().KV("name", process_name).EndObject();
+  w.EndObject();
+  for (const TraceEvent& event : events) {
+    AppendTraceEvent(&w, event);
+  }
+  for (std::size_t k = 0; k < chains.size(); ++k) {
+    const auto& [id, chain] = chains[k];
+    std::uint32_t track = kRequestTrackBase + static_cast<std::uint32_t>(k);
+    // Name the synthetic per-request track.
+    w.BeginObject();
+    w.KV("name", "thread_name");
+    w.KV("ph", "M");
+    w.KV("pid", std::uint64_t{0});
+    w.KV("tid", std::uint64_t{track});
+    w.Key("args").BeginObject().KV("name", "req " + std::to_string(id)).EndObject();
+    w.EndObject();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      // Flow arrow segment on the lane the stage actually ran on.
+      TraceEvent flow = chain[i];
+      flow.name = "request";
+      flow.ph = i == 0 ? 's' : (i + 1 == chain.size() ? 'f' : 't');
+      AppendTraceEvent(&w, flow);
+      // Copy of the stage stamp on the per-request track.
+      TraceEvent copy = chain[i];
+      copy.tid = track;
+      AppendTraceEvent(&w, copy);
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
 namespace {
 
 void AppendHistogram(JsonWriter* w, const Histogram& h) {
@@ -59,7 +137,9 @@ void AppendHistogram(JsonWriter* w, const Histogram& h) {
   w->KV("p95", h.Percentile(0.95));
   w->KV("p99", h.Percentile(0.99));
   w->Key("buckets").BeginArray();
-  for (int b = 0; b < Histogram::kBuckets; ++b) {
+  // The overflow bucket has no honest "le" bound; it is surfaced as its own
+  // key below instead of masquerading as a bounded bucket.
+  for (int b = 0; b < Histogram::kOverflowBucket; ++b) {
     if (h.bucket_count(b) == 0) {
       continue;
     }
@@ -69,6 +149,7 @@ void AppendHistogram(JsonWriter* w, const Histogram& h) {
     w->EndObject();
   }
   w->EndArray();
+  w->KV("overflow", h.overflow_count());
   w->EndObject();
 }
 

@@ -23,13 +23,31 @@
 
 namespace atmo::obs {
 
-// Appends one event as a Chrome trace-event object to an open array.
+// Appends one event as a Chrome trace-event object to an open array. Flow
+// phases ('s' start / 't' step / 'f' end) additionally get their integer
+// argument exported as the top-level flow "id", with "bp":"e" on step/end so
+// the arrow binds to the enclosing event — the Chrome flow-event convention.
 void AppendTraceEvent(JsonWriter* w, const TraceEvent& event);
 
 // Full trace document for `events`. `process_name` labels pid 0 via a
 // process_name metadata event (shows up as the track group in Perfetto).
 std::string ChromeTraceJson(const std::vector<TraceEvent>& events,
                             const std::string& process_name = "atmosphere");
+
+// Synthetic tid base for the per-request tracks StitchedRequestTraceJson
+// appends below the real recorder lanes.
+inline constexpr std::uint32_t kRequestTrackBase = 1000;
+
+// Causal-tracing export: everything ChromeTraceJson emits, plus — for every
+// request chain (kCatRequest events sharing a nonzero "trace_id" argument) —
+//   * flow events ('s'/'t'/'f' with id = trace id) at each stage stamp, so
+//     Perfetto draws arrows across the recorder lanes the stages ran on, and
+//   * a per-request track (tid = kRequestTrackBase + k, thread_name
+//     "req <id>") holding a copy of the chain's stage instants, so one
+//     request's life is readable top-to-bottom without chasing arrows.
+// Chains are ordered by first appearance; events within a chain by ts.
+std::string StitchedRequestTraceJson(const std::vector<TraceEvent>& events,
+                                     const std::string& process_name = "atmosphere");
 
 // Metrics snapshot document: {"counters": {...}, "gauges": {...},
 // "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,

@@ -25,6 +25,9 @@ std::uint64_t FlightRecorder::Now() {
 }
 
 void FlightRecorder::Record(TraceEvent event) {
+  if (cat_filter_ != nullptr && event.cat != cat_filter_) {
+    return;
+  }
   event.ts = Now();
   event.tid = tid_;
   ring_[recorded_ % ring_.size()] = event;

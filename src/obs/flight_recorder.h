@@ -37,6 +37,14 @@ class FlightRecorder {
   // Stamps ts/tid and stores the event, overwriting the oldest once full.
   void Record(TraceEvent event);
 
+  // Restricts recording to events of exactly one category (pointer match
+  // against the kCat* constant; nullptr = record everything, the default).
+  // Lets an always-on bench recorder keep only the sampled request-stage
+  // stamps while the checker's per-step spans skip the ring store — the
+  // filtered-out case costs one load and one compare.
+  void SetCategoryFilter(const char* cat) { cat_filter_ = cat; }
+  const char* category_filter() const { return cat_filter_; }
+
   // Events in recording order, oldest first (at most `capacity` of them).
   std::vector<TraceEvent> Snapshot() const;
   // The most recent `n` events, oldest first.
@@ -56,6 +64,7 @@ class FlightRecorder {
   std::uint64_t Now();
 
   std::vector<TraceEvent> ring_;
+  const char* cat_filter_ = nullptr;
   std::uint64_t recorded_ = 0;
   std::uint64_t virtual_now_ = 0;
   ClockMode mode_;

@@ -49,10 +49,13 @@ std::uint64_t Histogram::Percentile(double p) const {
   for (int b = 0; b < kBuckets; ++b) {
     cumulative += buckets_[b];
     if (cumulative >= rank) {
-      return BucketUpperBound(b);
+      // Overflow samples have no meaningful bucket bound (it would be ~0,
+      // over-reporting by orders of magnitude); the observed max is the
+      // tightest honest answer for them.
+      return b == kOverflowBucket ? max_ : BucketUpperBound(b);
     }
   }
-  return BucketUpperBound(kBuckets - 1);
+  return max_;
 }
 
 }  // namespace atmo::obs

@@ -46,6 +46,12 @@ class Gauge {
 class Histogram {
  public:
   static constexpr int kBuckets = 65;  // bucket 0 (value 0) + one per bit width
+  // The last bucket spans [2^63, 2^64) — half the u64 range. Any sample
+  // landing there is treated as overflow: Percentile reports the observed
+  // max instead of the bucket's formal upper bound (~0 would over-report by
+  // orders of magnitude), and the exporter surfaces the count separately
+  // under "overflow" rather than as a bounded bucket.
+  static constexpr int kOverflowBucket = kBuckets - 1;
 
   void Observe(std::uint64_t value);
 
@@ -56,7 +62,8 @@ class Histogram {
   static std::uint64_t BucketUpperBound(int b);
 
   // Upper bound of the bucket containing the p-quantile (p in [0, 1]); 0
-  // when empty. p = 0 reports the first non-empty bucket's bound.
+  // when empty. p = 0 reports the first non-empty bucket's bound. When the
+  // quantile lands in kOverflowBucket the observed max is reported instead.
   std::uint64_t Percentile(double p) const;
 
   std::uint64_t count() const { return count_; }
@@ -65,6 +72,8 @@ class Histogram {
   std::uint64_t max() const { return max_; }
   double Mean() const { return count_ > 0 ? static_cast<double>(sum_) / count_ : 0.0; }
   std::uint64_t bucket_count(int b) const { return buckets_[b]; }
+  // Samples too large for any bounded bucket (value >= 2^63).
+  std::uint64_t overflow_count() const { return buckets_[kOverflowBucket]; }
 
  private:
   std::uint64_t buckets_[kBuckets] = {};

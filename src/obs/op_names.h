@@ -68,6 +68,8 @@ constexpr const char* TraceOpLabel(SysOp op) {
       return "sys.ring_enter";
     case SysOp::kGrantReturn:
       return "sys.grant_return";
+    case SysOp::kObsQuery:
+      return "sys.obs_query";
   }
   return "sys.unknown";
 }

@@ -1,0 +1,75 @@
+#include "src/obs/sampler.h"
+
+#if !defined(ATMO_OBS_DISABLED)
+
+#include <atomic>
+#include <cstdlib>
+
+namespace atmo::obs {
+
+namespace {
+
+// ~0 marks "not yet configured": the first reader parses ATMO_TRACE_SAMPLE.
+constexpr std::uint64_t kPeriodUnset = ~0ull;
+constexpr std::uint64_t kDefaultPeriod = 64;
+
+std::atomic<std::uint64_t> g_period{kPeriodUnset};
+std::atomic<std::uint64_t> g_next_id{1};
+std::atomic<std::uint64_t> g_sampled{0};
+std::atomic<std::uint64_t> g_dropped{0};
+
+// Requests until this thread's next token. Starts at 0 = sample immediately.
+thread_local std::uint64_t t_until_token = 0;
+
+std::uint64_t LoadPeriod() {
+  std::uint64_t p = g_period.load(std::memory_order_relaxed);
+  if (p != kPeriodUnset) {
+    return p;
+  }
+  std::uint64_t parsed = kDefaultPeriod;
+  if (const char* env = std::getenv("ATMO_TRACE_SAMPLE")) {
+    parsed = std::strtoull(env, nullptr, 10);
+  }
+  // Losing the race just means another thread stored the same env value.
+  g_period.compare_exchange_strong(p, parsed, std::memory_order_relaxed);
+  return g_period.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetTraceSamplePeriod(std::uint64_t n) {
+  g_period.store(n, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSamplePeriod() { return LoadPeriod(); }
+
+std::uint64_t NextTraceId() {
+  std::uint64_t period = LoadPeriod();
+  if (period == 0) {
+    return 0;
+  }
+  if (t_until_token == 0) {
+    t_until_token = period - 1;
+    g_sampled.fetch_add(1, std::memory_order_relaxed);
+    return g_next_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  --t_until_token;
+  g_dropped.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+std::uint64_t SamplerSampledCount() { return g_sampled.load(std::memory_order_relaxed); }
+
+std::uint64_t SamplerDroppedCount() { return g_dropped.load(std::memory_order_relaxed); }
+
+void ResetSamplerForTest() {
+  g_period.store(kPeriodUnset, std::memory_order_relaxed);
+  g_next_id.store(1, std::memory_order_relaxed);
+  g_sampled.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  t_until_token = 0;
+}
+
+}  // namespace atmo::obs
+
+#endif  // !ATMO_OBS_DISABLED

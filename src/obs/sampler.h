@@ -1,0 +1,57 @@
+// Request sampler for causal tracing (DESIGN.md §17): hands a fresh
+// process-unique nonzero 64-bit trace id to one request in N and counts the
+// rest as dropped. The period is a runtime knob (ATMO_TRACE_SAMPLE, default
+// 64; 0 turns sampling off entirely), so always-on builds can dial tracing
+// cost without recompiling — the CI `obs_overhead` floor holds the enabled
+// configuration to within a few percent of the disabled one.
+//
+// Token-bucket shape: each thread owns a bucket refilled with one token
+// every `period` requests. The off-sample fast path is one thread-local
+// decrement plus one relaxed atomic add (the dropped counter is exact —
+// kObsQuery snapshots it, and tests assert it under TSan).
+//
+// Under ATMO_OBS_DISABLED the entire surface compiles to zeros, matching
+// the alloc_hook/copy_probe shells.
+
+#ifndef ATMO_SRC_OBS_SAMPLER_H_
+#define ATMO_SRC_OBS_SAMPLER_H_
+
+#include <cstdint>
+
+namespace atmo::obs {
+
+#if defined(ATMO_OBS_DISABLED)
+
+inline void SetTraceSamplePeriod(std::uint64_t) {}
+inline std::uint64_t TraceSamplePeriod() { return 0; }
+inline std::uint64_t NextTraceId() { return 0; }
+inline std::uint64_t SamplerSampledCount() { return 0; }
+inline std::uint64_t SamplerDroppedCount() { return 0; }
+inline void ResetSamplerForTest() {}
+
+#else
+
+// Sets the sampling period: one request in `n` is traced. 0 disables
+// sampling (NextTraceId() always returns 0 and nothing counts as dropped).
+// When never called, the first NextTraceId() reads ATMO_TRACE_SAMPLE.
+void SetTraceSamplePeriod(std::uint64_t n);
+std::uint64_t TraceSamplePeriod();
+
+// Returns a process-unique nonzero trace id when this request is sampled,
+// else 0. The first request on each thread is always sampled (the bucket
+// starts with a token), so short tests and cold threads still trace.
+std::uint64_t NextTraceId();
+
+// Process-wide totals across all threads.
+std::uint64_t SamplerSampledCount();
+std::uint64_t SamplerDroppedCount();
+
+// Zeroes the counters, re-arms the calling thread's bucket and re-reads
+// ATMO_TRACE_SAMPLE on next use.
+void ResetSamplerForTest();
+
+#endif  // ATMO_OBS_DISABLED
+
+}  // namespace atmo::obs
+
+#endif  // ATMO_SRC_OBS_SAMPLER_H_

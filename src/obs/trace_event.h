@@ -23,6 +23,10 @@ inline constexpr const char* kCatSyscall = "syscall";
 inline constexpr const char* kCatCheck = "check";
 inline constexpr const char* kCatAlloc = "alloc";
 inline constexpr const char* kCatSweep = "sweep";
+// Causal request tracing: stage-stamped instants ("stage.rx", "stage.app",
+// "stage.tx", ...) carrying the sampled trace id as their integer argument.
+// The stitched exporter groups these by trace id into per-request tracks.
+inline constexpr const char* kCatRequest = "request";
 
 struct TraceEvent {
   const char* name = nullptr;  // static string; never null for a live event

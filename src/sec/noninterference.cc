@@ -41,6 +41,7 @@ bool ReturnsObjectPointer(SysOp op) {
     case SysOp::kRingSubmit:
     case SysOp::kRingEnter:
     case SysOp::kGrantReturn:
+    case SysOp::kObsQuery:  // returns sizeof(ObsQueryRecord): a constant
       return false;
   }
   return false;

@@ -126,6 +126,11 @@ constexpr FrameProfile FrameProfileFor(SysOp op) {
       // page's borrow relabeling. The lender still maps the frame, so the
       // return can never release it — no container charge or free-set edge.
       return {.address_spaces = true, .pages = true};
+    case SysOp::kObsQuery:
+      // The tightest profile in the table: the snapshot lands in page byte
+      // contents, which Ψ does not model, so at abstract level the syscall
+      // touches nothing at all. Any component drift is out-of-frame.
+      return {};
   }
   // Unreachable for in-range enumerators; a hostile cast lands on the
   // widest profile so the runtime check never under-approximates.

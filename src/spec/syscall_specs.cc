@@ -1018,6 +1018,50 @@ SpecResult GrantReturnSpec(const AbstractKernel& pre, const AbstractKernel& post
   return SpecResult{};
 }
 
+// The introspection syscall (DESIGN.md §17): the kernel writes a counter
+// snapshot into a page the caller already maps writable. Ψ carries no page
+// byte contents, so "Ψ' == Ψ modulo the written page" collapses to exact
+// equality of every abstract component — the strongest frame any syscall
+// carries. Success additionally requires the evidence the kernel claims to
+// have checked: a writable, user-accessible mapping based at the
+// destination VA in the *pre* state.
+SpecResult ObsQuerySpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                        const Syscall& call, const SyscallRet& ret) {
+  if (auto atomic = CheckFailureAtomicity(pre, post, ret)) {
+    return *atomic;
+  }
+  if (ret.error == SysError::kBlocked) {
+    return Fail("obs query never blocks");
+  }
+  ProcPtr proc = pre.get_thread(t).proc;
+  VAddr va = call.va_range.base;
+  const SpecMap<VAddr, MapEntry>& space = pre.get_address_space(proc);
+  if (!space.contains(va)) {
+    return Fail("obs query succeeded without a mapping based at the destination");
+  }
+  const MapEntry& dest = space.at(va);
+  if (!dest.perm.writable || !dest.perm.user) {
+    return Fail("obs query succeeded through a non-writable or kernel-only mapping");
+  }
+  if (ret.value != sizeof(ObsQueryRecord)) {
+    return Fail("obs query did not report the snapshot record size");
+  }
+  if (!ThreadsUnchangedExcept(pre, post, {}) || !ProcsUnchangedExcept(pre, post, {}) ||
+      !ContainersUnchangedExcept(pre, post, {}) ||
+      !EndpointsUnchangedExcept(pre, post, {}) ||
+      !AddressSpacesUnchangedExcept(pre, post, {}) ||
+      !PagesUnchangedExcept(pre, post, {}) || !IommuUnchanged(pre, post) ||
+      !RingsUnchangedExcept(pre, post, {}) || !SchedulerUnchanged(pre, post)) {
+    return Fail("obs query changed abstract kernel state");
+  }
+  if (!(pre.free_pages_4k == post.free_pages_4k) ||
+      !(pre.free_pages_2m == post.free_pages_2m) ||
+      !(pre.free_pages_1g == post.free_pages_1g)) {
+    return Fail("obs query changed the free sets");
+  }
+  return SpecResult{};
+}
+
 // ---------------------------------------------------------------------------
 // Exit / kill (property-style: exact removal sets + survivor framing)
 // ---------------------------------------------------------------------------
@@ -1419,6 +1463,7 @@ SpecResult IommuSpec(const AbstractKernel& pre, const AbstractKernel& post, Thrd
     case SysOp::kRingSubmit:
     case SysOp::kRingEnter:
     case SysOp::kGrantReturn:
+    case SysOp::kObsQuery:
       return Fail("not an IOMMU operation");
   }
   return Fail("not an IOMMU operation");
@@ -1637,6 +1682,8 @@ SpecResult SyscallSpec(const AbstractKernel& pre, const AbstractKernel& post, Th
       return RingEnterSpec(pre, post, t, call, ret);
     case SysOp::kGrantReturn:
       return GrantReturnSpec(pre, post, t, call, ret);
+    case SysOp::kObsQuery:
+      return ObsQuerySpec(pre, post, t, call, ret);
   }
   return Fail("unknown syscall");
 }

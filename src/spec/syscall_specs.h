@@ -88,6 +88,12 @@ SpecResult RingEnterSpec(const AbstractKernel& pre, const AbstractKernel& post, 
 SpecResult GrantReturnSpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
                            const Syscall& call, const SyscallRet& ret);
 
+// kObsQuery: counter snapshot into a caller-mapped page. Ψ does not model
+// page byte contents, so success requires Ψ' == Ψ exactly, plus a
+// writable/user mapping based at the destination VA in the pre state.
+SpecResult ObsQuerySpec(const AbstractKernel& pre, const AbstractKernel& post, ThrdPtr t,
+                        const Syscall& call, const SyscallRet& ret);
+
 }  // namespace atmo
 
 #endif  // ATMO_SRC_SPEC_SYSCALL_SPECS_H_

@@ -163,6 +163,7 @@ ShardResult SweepHarness::RunShard(std::uint64_t shard, bool force_trace) const 
   TraceGen gen(result.seed);
   gen.ring_ops = options_.ring_ops;
   gen.grant_ops = options_.grant_ops;
+  gen.obs_ops = options_.obs_ops;
 
   std::uint64_t step = 0;
   try {

@@ -35,7 +35,7 @@
 namespace atmo {
 
 inline constexpr std::size_t kSysOpCount =
-    static_cast<std::size_t>(SysOp::kGrantReturn) + 1;
+    static_cast<std::size_t>(SysOp::kObsQuery) + 1;
 inline constexpr std::size_t kSysErrorCount =
     static_cast<std::size_t>(SysError::kWouldFault) + 1;
 
@@ -161,6 +161,9 @@ class SweepHarness {
     // Mix zero-copy page-grant ops (borrow/move grant sends, kGrantReturn)
     // into the generated traces; same golden-stability opt-in as ring_ops.
     bool grant_ops = false;
+    // Mix kObsQuery introspection calls (mixed-validity destination VAs)
+    // into the generated traces; same golden-stability opt-in as ring_ops.
+    bool obs_ops = false;
     // Optional external progress tracker: workers record each completed
     // shard into it, so another thread can poll TakeSnapshot() while the
     // sweep runs. Run() also maintains an internal one to derive

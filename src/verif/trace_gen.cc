@@ -72,13 +72,41 @@ TraceGen::Cmd TraceGen::Gen(const TraceFixture& f) {
 
     Syscall c;
     // The classic distribution is 16-way and must stay bit-identical for
-    // the goldens; ring mode widens it to 19 and grant mode adds 2 more
-    // ways on top — each remaps every r, so the widened traces are
-    // separate families, not supersets.
-    const std::uint64_t ways = (ring_ops ? 19 : 16) + (grant_ops ? 2 : 0);
+    // the goldens; ring mode widens it to 19, grant mode adds 2 more ways
+    // and obs mode 1 more on top — each remaps every r, so the widened
+    // traces are separate families, not supersets.
+    const std::uint64_t ways =
+        (ring_ops ? 19 : 16) + (grant_ops ? 2 : 0) + (obs_ops ? 1 : 0);
     const std::uint64_t sel = r % ways;
-    if (grant_ops && sel >= ways - 2) {
-      if (sel == ways - 2) {
+    if (obs_ops && sel == ways - 1) {
+      // Introspection snapshot with a mixed-validity destination: usually a
+      // churned-window slot (unmapped → kInvalid, read-only → kDenied),
+      // sometimes the thread's DMA donor (always writable → kOk), the grant
+      // window (live borrows are read-only → kDenied), or an unaligned
+      // interior address (→ kInvalid).
+      c.op = SysOp::kObsQuery;
+      VAddr va;
+      switch ((r >> 8) % 8) {
+        case 0:
+          va = TraceFixture::kDmaVaBase + static_cast<VAddr>(ti) * kPageSize4K;
+          break;
+        case 1:
+          va = TraceFixture::kGrantVaBase + ((r >> 20) % 16) * kPageSize4K;
+          break;
+        case 2:
+          va = 0x100000ull * (ti + 1) + ((r >> 12) % 48) * kPageSize4K + 0x40;
+          break;
+        default:
+          va = 0x100000ull * (ti + 1) + ((r >> 12) % 48) * kPageSize4K;
+          break;
+      }
+      c.va_range = VaRange{va, 1, PageSize::k4K};
+      return Cmd{ti, c};
+    }
+    // Grant mode owns the two ways below the (optional) obs way.
+    const std::uint64_t grant_base = ways - (obs_ops ? 1 : 0) - 2;
+    if (grant_ops && sel >= grant_base) {
+      if (sel == grant_base) {
         // Send carrying a page grant from the churned mmap window. Mixed
         // validity by construction: the source VA may be unmapped
         // (kInvalid), already on loan (kDenied), multiply mapped

@@ -109,6 +109,13 @@ struct TraceGen {
   // default for the same golden-stability reason as ring_ops; widens the
   // distribution by 2 more ways. Composes with ring_ops.
   bool grant_ops = false;
+  // Mix kObsQuery introspection calls into the trace: destinations cycle
+  // through the churned mmap window (hit-or-miss, read-only slots give
+  // kDenied), the DMA donors, the grant window and unmapped holes, so the
+  // sweep exercises every error edge of ObsQuerySpec. Off by default for
+  // the same golden-stability reason; widens the distribution by 1 way.
+  // Composes with ring_ops and grant_ops.
+  bool obs_ops = false;
   std::vector<IommuDomainId> domains;
   std::vector<std::uint64_t> disposable;  // child containers to kill later
   // (owner thread idx, ring id) for every ring this trace created; submit

@@ -20,6 +20,7 @@ class ArenaScope {
 
 class RefinementChecker {
  public:
+  // averif-lint: allow(trace-stage-coverage) — fixture isolates hot-path-alloc
   int Step(int t) ATMO_HOT_PATH(hot-path-alloc) {
     int pre = Capture();
     {

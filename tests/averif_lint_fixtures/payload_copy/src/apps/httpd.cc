@@ -11,6 +11,7 @@ namespace atmo {
 
 class Httpd {
  public:
+  // averif-lint: allow(trace-stage-coverage) — fixture isolates payload-copy
   int HandleRequestSpliced(int len) ATMO_HOT_PATH(payload-copy) { return ServeFile(len); }
 
  private:

@@ -1,0 +1,37 @@
+// Seeded violation for the trace-stage-coverage rule: four hot-path roots.
+// One stamps its stage directly, one reaches a stamp through a helper, one
+// carries a waiver — none of those may fire. TxFlush neither stamps nor
+// reaches a stamp nor waives: sampled requests pass through it invisibly,
+// and the rule must fire exactly there.
+
+#include "src/vstd/thread_annotations.h"
+
+namespace atmo {
+
+class IxgbeDriver {
+ public:
+  unsigned RxPeekBurst(unsigned n) ATMO_HOT_PATH(hot-path-alloc) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.rx", "trace_id", n);  // direct stamp
+    return n;
+  }
+
+  void TxCommitDeferred(unsigned len) ATMO_HOT_PATH(hot-path-alloc) {
+    StampTx(len);  // stamp reached through a helper: must not fire
+  }
+
+  void TxFlush() ATMO_HOT_PATH(hot-path-alloc) { tail_ = rx_; }  // seeded: no stamp
+
+  // averif-lint: allow(trace-stage-coverage) — housekeeping, no request
+  // passes through here.
+  void RxReleaseBurst(unsigned n) ATMO_HOT_PATH(hot-path-alloc) { rx_ += n; }
+
+ private:
+  void StampTx(unsigned len) {
+    ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "stage.tx", "trace_id", len);
+  }
+
+  unsigned rx_ = 0;
+  unsigned tail_ = 0;
+};
+
+}  // namespace atmo

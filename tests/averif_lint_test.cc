@@ -219,6 +219,20 @@ TEST(AverifLintTest, PayloadCopyFiresOnMemcpyAndByteLoop) {
   EXPECT_EQ(BinaryExit("--root " + FixtureRoot("payload_copy")), 1);
 }
 
+TEST(AverifLintTest, TraceStageCoverageFiresOnlyOnUnstampedRoot) {
+  std::vector<Finding> findings = Lint(FixtureRoot("trace_stage"));
+  std::vector<Finding> hits = WithRule(findings, "trace-stage-coverage");
+  // Only TxFlush fires: RxPeekBurst stamps its stage directly,
+  // TxCommitDeferred reaches a stamp through StampTx, and RxReleaseBurst
+  // carries a waiver comment.
+  ASSERT_EQ(hits.size(), 1u) << ToText(findings, false);
+  EXPECT_EQ(hits[0].file, "src/drivers/ixgbe_driver.cc");
+  EXPECT_NE(hits[0].message.find("IxgbeDriver::TxFlush"), std::string::npos)
+      << hits[0].message;
+  EXPECT_EQ(findings.size(), hits.size()) << ToText(findings, false);
+  EXPECT_EQ(BinaryExit("--root " + FixtureRoot("trace_stage")), 1);
+}
+
 TEST(AverifLintTest, LockDisciplineFiresDirectAndInterprocedural) {
   std::vector<Finding> findings = Lint(FixtureRoot("guarded_by_no_lock"));
   std::vector<Finding> hits = WithRule(findings, "lock-discipline");
@@ -305,10 +319,10 @@ TEST(AverifLintTest, JsonOutputIsDeterministicSortedAndGolden) {
   }
   const std::string golden =
       "[\n"
-      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 19, \"rule\": \"payload-copy\", "
+      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 20, \"rule\": \"payload-copy\", "
       "\"message\": \"payload copy (memcpy) in Httpd::ServeFile is reachable from hot "
       "path: Httpd::HandleRequestSpliced -> Httpd::ServeFile\"},\n"
-      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 21, \"rule\": \"payload-copy\", "
+      "  {\"file\": \"src/apps/httpd.cc\", \"line\": 22, \"rule\": \"payload-copy\", "
       "\"message\": \"payload copy (byte-copy loop) in Httpd::ServeFile is reachable "
       "from hot path: Httpd::HandleRequestSpliced -> Httpd::ServeFile\"}\n"
       "]\n";

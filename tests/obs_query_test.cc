@@ -1,0 +1,182 @@
+// kObsQuery differential tests: the introspection syscall must write an
+// accurate counter snapshot into the caller's page while leaving Ψ exactly
+// unchanged (the abstraction carries no byte contents), and every error arm
+// must be failure-atomic. Each step runs under the refinement checker, so
+// ObsQuerySpec and the all-false frame profile are evaluated on the spot.
+
+#include <gtest/gtest.h>
+
+#include "src/core/kernel.h"
+#include "src/obs/sampler.h"
+#include "src/verif/refinement_checker.h"
+#include "src/verif/sweep_harness.h"
+#include "src/verif/trace_gen.h"
+
+namespace atmo {
+namespace {
+
+constexpr VAddr kSnapVa = 0x500000;
+constexpr VAddr kRoVa = 0x501000;
+
+Syscall MmapCall(VAddr va, bool writable) {
+  Syscall mm;
+  mm.op = SysOp::kMmap;
+  mm.va_range = VaRange{va, 1, PageSize::k4K};
+  mm.map_perm = MapEntryPerm{.writable = writable, .user = true, .no_execute = true};
+  return mm;
+}
+
+Syscall ObsQueryCall(VAddr va) {
+  Syscall q;
+  q.op = SysOp::kObsQuery;
+  q.va_range = VaRange{va, 1, PageSize::k4K};
+  return q;
+}
+
+ObsQueryRecord ReadSnapshot(const Kernel& kernel, ProcPtr proc, VAddr va) {
+  std::optional<MapEntry> entry = kernel.vm().Resolve(proc, va);
+  EXPECT_TRUE(entry.has_value());
+  ObsQueryRecord rec;
+  kernel.mem().HwReadBytes(entry->addr, &rec, sizeof(rec));
+  return rec;
+}
+
+TEST(ObsQueryTest, SnapshotMatchesCountersAndLeavesPsiUnchanged) {
+  obs::ResetSamplerForTest();
+  obs::SetTraceSamplePeriod(0);  // no sampling noise in dropped_samples
+
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel);
+  f.SetupIpcAndDma();
+  ASSERT_TRUE(checker.Step(f.thrds[0], MmapCall(kSnapVa, true)).ok());
+
+  // Give the caller a ring with two queued submissions so sq_depth is
+  // nontrivial.
+  Syscall rs;
+  rs.op = SysOp::kRingSetup;
+  rs.ring_entries = 8;
+  SyscallRet ring = checker.Step(f.thrds[0], rs);
+  ASSERT_TRUE(ring.ok());
+  for (int i = 0; i < 2; ++i) {
+    Syscall sub;
+    sub.op = SysOp::kRingSubmit;
+    sub.ring_id = ring.value;
+    sub.ring_op = SysOp::kNewThread;
+    ASSERT_TRUE(checker.Step(f.thrds[0], sub).ok());
+  }
+
+  AbstractKernel pre = f.kernel.Abstract();
+  std::size_t expected_mappings = f.kernel.vm().TableOf(f.procs[0]).MappingCount();
+
+  SyscallRet ret = checker.Step(f.thrds[0], ObsQueryCall(kSnapVa));
+  ASSERT_TRUE(ret.ok());
+  EXPECT_EQ(ret.value, sizeof(ObsQueryRecord));
+
+  // Ψ' == Ψ modulo the written page — and Ψ has no page contents, so the
+  // abstraction must be *exactly* unchanged.
+  AbstractKernel post = f.kernel.Abstract();
+  EXPECT_TRUE(pre == post);
+
+  ObsQueryRecord rec = ReadSnapshot(f.kernel, f.procs[0], kSnapVa);
+  EXPECT_EQ(rec.magic, kObsQueryMagic);
+  EXPECT_EQ(rec.version, kObsQueryVersion);
+  EXPECT_EQ(rec.mapped_pages, expected_mappings);
+  EXPECT_EQ(rec.borrows_lent, 0u);
+  EXPECT_EQ(rec.borrows_held, 0u);
+  EXPECT_EQ(rec.ring_sq_depth, 2u);
+  EXPECT_EQ(rec.ring_cq_depth, 0u);
+  EXPECT_EQ(rec.dropped_samples, 0u);
+}
+
+TEST(ObsQueryTest, SnapshotSeesBorrowsAndDroppedSamples) {
+  obs::ResetSamplerForTest();
+  obs::SetTraceSamplePeriod(4);
+  // One sampled (the first), three dropped.
+  for (int i = 0; i < 4; ++i) {
+    obs::NextTraceId();
+  }
+
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel);
+  f.SetupIpcAndDma();
+  // Lender page in procs[0], snapshot pages on both sides.
+  ASSERT_TRUE(checker.Step(f.thrds[0], MmapCall(kSnapVa, true)).ok());
+  ASSERT_TRUE(checker.Step(f.thrds[2], MmapCall(kSnapVa, true)).ok());
+  ASSERT_TRUE(checker.Step(f.thrds[0], MmapCall(0x600000, true)).ok());
+
+  // Borrow-grant 0x600000 from procs[0] to procs[1] over the bound endpoint.
+  Syscall recv;
+  recv.op = SysOp::kRecv;
+  recv.edpt_idx = 0;
+  SyscallRet blocked = checker.Step(f.thrds[2], recv);
+  ASSERT_EQ(blocked.error, SysError::kBlocked);
+  Syscall send;
+  send.op = SysOp::kSend;
+  send.edpt_idx = 0;
+  send.payload.page = PageGrant{.page = 0x600000,
+                                .size = PageSize::k4K,
+                                .dest_va = TraceFixture::kGrantVaBase,
+                                .perm = MapEntryPerm{.writable = false, .user = true,
+                                                     .no_execute = true},
+                                .mode = GrantMode::kBorrow};
+  ASSERT_TRUE(checker.Step(f.thrds[0], send).ok());
+
+  ASSERT_TRUE(checker.Step(f.thrds[0], ObsQueryCall(kSnapVa)).ok());
+  ObsQueryRecord lender = ReadSnapshot(f.kernel, f.procs[0], kSnapVa);
+  EXPECT_EQ(lender.borrows_lent, 1u);
+  EXPECT_EQ(lender.borrows_held, 0u);
+  EXPECT_EQ(lender.dropped_samples, 3u);
+
+  ASSERT_TRUE(checker.Step(f.thrds[2], ObsQueryCall(kSnapVa)).ok());
+  ObsQueryRecord borrower = ReadSnapshot(f.kernel, f.procs[1], kSnapVa);
+  EXPECT_EQ(borrower.borrows_lent, 0u);
+  EXPECT_EQ(borrower.borrows_held, 1u);
+
+  obs::ResetSamplerForTest();
+}
+
+TEST(ObsQueryTest, ErrorArmsAreFailureAtomic) {
+  TraceFixture f = TraceFixture::Boot();
+  RefinementChecker checker(&f.kernel);
+  f.SetupIpcAndDma();
+  ASSERT_TRUE(checker.Step(f.thrds[0], MmapCall(kRoVa, false)).ok());
+
+  AbstractKernel pre = f.kernel.Abstract();
+
+  // Unmapped destination.
+  EXPECT_EQ(checker.Step(f.thrds[0], ObsQueryCall(0x700000)).error, SysError::kInvalid);
+  // Interior (non-base) destination.
+  EXPECT_EQ(checker.Step(f.thrds[0], ObsQueryCall(kRoVa + 0x40)).error,
+            SysError::kInvalid);
+  // Read-only mapping.
+  EXPECT_EQ(checker.Step(f.thrds[0], ObsQueryCall(kRoVa)).error, SysError::kDenied);
+
+  AbstractKernel post = f.kernel.Abstract();
+  EXPECT_TRUE(pre == post);
+}
+
+// TraceGen coverage: an obs-mode sweep is clean under the checker and
+// actually exercises the op's success and error arms.
+TEST(ObsQueryTest, ObsSweepIsCleanWithCoverage) {
+  SweepHarness::Options options;
+  options.master_seed = 0x0b5;
+  options.shards = 4;
+  options.steps_per_shard = 600;
+  options.workers = 2;
+  options.obs_ops = true;
+  options.grant_ops = true;  // loans populate the borrow counters
+  SweepReport report = SweepHarness(options).Run();
+  EXPECT_TRUE(report.AllOk())
+      << (report.shards.empty() ? "" : report.shards[0].failure);
+
+  auto count = [&](SysError err) {
+    return report.coverage.counts[static_cast<std::size_t>(SysOp::kObsQuery)]
+                                 [static_cast<std::size_t>(err)];
+  };
+  EXPECT_GT(count(SysError::kOk), 0u);
+  EXPECT_GT(count(SysError::kInvalid), 0u);
+  EXPECT_GT(count(SysError::kDenied), 0u);
+}
+
+}  // namespace
+}  // namespace atmo

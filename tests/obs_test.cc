@@ -4,9 +4,12 @@
 // histogram bucket boundaries and percentile extraction, the JSON writer,
 // and the Chrome-trace / metrics exporters.
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -17,6 +20,7 @@
 #include "src/obs/flight_recorder.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampler.h"
 #include "src/obs/trace_event.h"
 
 namespace atmo::obs {
@@ -309,6 +313,24 @@ TEST(HistogramTest, SingleValuePercentiles) {
   }
 }
 
+TEST(HistogramTest, OverflowReportsObservedMaxNotBucketBound) {
+  Histogram h;
+  const std::uint64_t big = (std::uint64_t{1} << 63) + 12345;
+  h.Observe(10);
+  h.Observe(big);
+  EXPECT_EQ(Histogram::BucketOf(big), Histogram::kOverflowBucket);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  // Bounded buckets keep reporting their upper bound...
+  EXPECT_EQ(h.Percentile(0.5), 15u);
+  // ...but a quantile landing in the overflow bucket reports the observed
+  // max, not the bucket's formal ~0 bound (which would over-report the
+  // sample by nine orders of magnitude here).
+  EXPECT_EQ(h.Percentile(1.0), big);
+  h.Observe(~std::uint64_t{0});
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.Percentile(1.0), ~std::uint64_t{0});
+}
+
 // --- MetricsRegistry ---------------------------------------------------------
 
 TEST(MetricsRegistryTest, ResolvesByNameAndAccumulates) {
@@ -432,6 +454,172 @@ TEST(ExportersTest, MetricsJsonShape) {
   EXPECT_NE(json.find("\"le\":0"), std::string::npos);
   EXPECT_NE(json.find("\"le\":15"), std::string::npos);
   EXPECT_EQ(json.find("\"le\":1,"), std::string::npos);
+  // The overflow count is always surfaced, zero here.
+  EXPECT_NE(json.find("\"overflow\":0"), std::string::npos);
+}
+
+TEST(ExportersTest, HistogramOverflowSurfacedSeparately) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  const std::uint64_t big = (std::uint64_t{1} << 63) + 7;
+  h.Observe(3);
+  for (int i = 0; i < 3; ++i) {
+    h.Observe(big);
+  }
+  std::string json = MetricsJson(reg);
+  EXPECT_NE(json.find("\"overflow\":3"), std::string::npos);
+  // The overflow bucket does not masquerade as a bounded bucket with
+  // le = 2^64 - 1 ...
+  EXPECT_EQ(json.find("\"le\":18446744073709551615"), std::string::npos);
+  // ... and percentiles landing in it report the observed max.
+  EXPECT_NE(json.find("\"p99\":" + std::to_string(big)), std::string::npos);
+}
+
+// --- Sampler -----------------------------------------------------------------
+
+// One body for both build modes, like ProbeShellTest below: with the sampler
+// compiled in, one request in N gets a fresh nonzero id; under
+// ATMO_OBS_DISABLED the shells return zeros and count nothing.
+TEST(SamplerTest, OneInNWithFirstRequestSampled) {
+  ResetSamplerForTest();
+  SetTraceSamplePeriod(4);
+  if (TraceSamplePeriod() == 0) {
+    // ATMO_OBS_DISABLED shell: every entry point reads zero.
+    EXPECT_EQ(NextTraceId(), 0u);
+    EXPECT_EQ(SamplerSampledCount(), 0u);
+    EXPECT_EQ(SamplerDroppedCount(), 0u);
+    return;
+  }
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(NextTraceId());
+  }
+  // The bucket starts with a token, so requests 0 and 4 are the sampled ones.
+  EXPECT_NE(ids[0], 0u);
+  EXPECT_NE(ids[4], 0u);
+  EXPECT_NE(ids[0], ids[4]);
+  for (int i : {1, 2, 3, 5, 6, 7}) {
+    EXPECT_EQ(ids[i], 0u) << "i=" << i;
+  }
+  EXPECT_EQ(SamplerSampledCount(), 2u);
+  EXPECT_EQ(SamplerDroppedCount(), 6u);
+  ResetSamplerForTest();
+}
+
+TEST(SamplerTest, PeriodZeroTurnsSamplingOff) {
+  ResetSamplerForTest();
+  SetTraceSamplePeriod(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(NextTraceId(), 0u);
+  }
+  EXPECT_EQ(SamplerSampledCount(), 0u);
+  // Off is not "dropping": nothing counts as dropped either.
+  EXPECT_EQ(SamplerDroppedCount(), 0u);
+  ResetSamplerForTest();
+}
+
+#if !defined(ATMO_OBS_DISABLED)
+TEST(SamplerTest, EnvConfiguresPeriodLazily) {
+  ::setenv("ATMO_TRACE_SAMPLE", "3", 1);
+  ResetSamplerForTest();  // the next period read re-parses the environment
+  EXPECT_EQ(TraceSamplePeriod(), 3u);
+  ::unsetenv("ATMO_TRACE_SAMPLE");
+  ResetSamplerForTest();
+  EXPECT_EQ(TraceSamplePeriod(), 64u);  // unset -> compiled-in default
+  ResetSamplerForTest();
+}
+
+TEST(SamplerTest, EveryThreadsFirstRequestIsSampledConcurrently) {
+  // Eight threads race the sampler. Each thread's bucket starts with a
+  // token (first request sampled), ids stay process-unique, and the shared
+  // sampled/dropped totals stay exact — this is the test the tsan CI job
+  // leans on for the sampler's relaxed atomics.
+  ResetSamplerForTest();
+  SetTraceSamplePeriod(1u << 20);  // only first requests get tokens
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::uint64_t> first(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&first, t] {
+      first[static_cast<std::size_t>(t)] = NextTraceId();
+      for (int i = 1; i < kPerThread; ++i) {
+        NextTraceId();
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  std::sort(first.begin(), first.end());
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_NE(first[static_cast<std::size_t>(t)], 0u) << "t=" << t;
+    if (t > 0) {
+      EXPECT_NE(first[static_cast<std::size_t>(t)],
+                first[static_cast<std::size_t>(t - 1)]);
+    }
+  }
+  EXPECT_EQ(SamplerSampledCount(), static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(SamplerDroppedCount(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread - 1));
+  ResetSamplerForTest();
+}
+#endif  // !ATMO_OBS_DISABLED
+
+// --- Probe concurrency -------------------------------------------------------
+
+// Eight shard-like threads hammer CopyProbe/AllocProbe concurrently. The
+// counters are thread-local by design, so each shard must see exactly its
+// own work and nothing from its neighbours; the tsan CI job runs this to
+// verify there is no shared mutable state behind the probes.
+TEST(ProbeConcurrencyTest, EightShardsCountIndependently) {
+  constexpr int kShards = 8;
+  constexpr int kIters = 256;
+  constexpr std::size_t kCopyBytes = 64;
+  std::vector<std::uint64_t> copies(kShards, ~0ull);
+  std::vector<std::uint64_t> bytes(kShards, ~0ull);
+  std::vector<std::uint64_t> allocs(kShards, ~0ull);
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    threads.emplace_back([&, s] {
+      std::size_t shard = static_cast<std::size_t>(s);
+      CopyProbe copy_probe;
+      AllocProbe heap_probe;
+      unsigned char dst[kCopyBytes];
+      unsigned char src[kCopyBytes] = {static_cast<unsigned char>(s + 1)};
+      for (int i = 0; i < kIters; ++i) {
+        CopyPayload(dst, src, kCopyBytes);
+        std::vector<int> scratch(4, i);  // guaranteed heap traffic per iteration
+        ASSERT_EQ(scratch[0], i);
+      }
+      ASSERT_EQ(dst[0], src[0]);
+      copies[shard] = copy_probe.copies();
+      bytes[shard] = copy_probe.bytes();
+      allocs[shard] = heap_probe.allocs();
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  for (std::size_t s = 0; s < kShards; ++s) {
+    if (PayloadCountingActive()) {
+      EXPECT_EQ(copies[s], static_cast<std::uint64_t>(kIters)) << "shard " << s;
+      EXPECT_EQ(bytes[s], static_cast<std::uint64_t>(kIters) * kCopyBytes)
+          << "shard " << s;
+    } else {
+      EXPECT_EQ(copies[s], 0u) << "shard " << s;
+      EXPECT_EQ(bytes[s], 0u) << "shard " << s;
+    }
+    if (HeapCountingActive()) {
+      // At least one allocation per scratch vector, none leaked across shards
+      // (a shared counter would let a neighbour's traffic inflate this).
+      EXPECT_GE(allocs[s], static_cast<std::uint64_t>(kIters)) << "shard " << s;
+    } else {
+      EXPECT_EQ(allocs[s], 0u) << "shard " << s;
+    }
+  }
 }
 
 // --- Probe shells under ATMO_OBS_DISABLED -----------------------------------

@@ -26,6 +26,7 @@ std::vector<Finding> RunAllRules(const Options& options) {
   RuleLockstepIndex(options, &findings);
   RuleHotPathAlloc(options, project, &findings);
   RulePayloadCopy(options, project, &findings);
+  RuleTraceStageCoverage(options, project, &findings);
   RuleLockDiscipline(options, project, &findings);
   RuleGrantLifetime(options, project, &findings);
   for (const SourceFile& f : project.files()) {

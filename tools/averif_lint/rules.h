@@ -88,6 +88,8 @@ void RuleHotPathAlloc(const Options& options, const Project& project,
                       std::vector<Finding>* findings);
 void RulePayloadCopy(const Options& options, const Project& project,
                      std::vector<Finding>* findings);
+void RuleTraceStageCoverage(const Options& options, const Project& project,
+                            std::vector<Finding>* findings);
 void RuleLockDiscipline(const Options& options, const Project& project,
                         std::vector<Finding>* findings);
 void RuleGrantLifetime(const Options& options, const Project& project,

@@ -1,10 +1,13 @@
-// Hot-path purity rules: hot-path-alloc and payload-copy. Both are
-// reachability scans over the project call graph from ATMO_HOT_PATH roots —
-// the static twins of the runtime obs::AllocProbe and obs::CopyProbe gates.
-// The dynamic gates prove the benched path clean; these rules prove every
-// statically reachable path clean, including ones no bench drives.
+// Hot-path rules anchored at ATMO_HOT_PATH roots: the purity scans
+// (hot-path-alloc, payload-copy) and the observability scan
+// (trace-stage-coverage). All are reachability passes over the project call
+// graph — the static twins of the runtime obs::AllocProbe / obs::CopyProbe /
+// flight-recorder gates. The dynamic gates prove the benched path clean and
+// traced; these rules prove every statically reachable path so, including
+// ones no bench drives.
 
 #include <deque>
+#include <map>
 #include <set>
 #include <tuple>
 
@@ -128,6 +131,93 @@ void RulePayloadCopy(const Options& options, const Project& project,
               /*arena_exempts=*/false, &FunctionInfo::copies, "payload copy",
               "serve payload bytes by reference (splice views over granted pages), or "
               "waive with `// averif-lint: allow(payload-copy) — <why>`");
+}
+
+namespace {
+
+// Does this function's body contain a flight-recorder emission site? Spans
+// and instants count (macro or direct ObsSpan use); counters don't — a
+// counter is a metric sample, not a point on a request's causal chain.
+bool EmitsStageEvent(const Project& project, int fi) {
+  static const char* const kEmitters[] = {"ATMO_OBS_SPAN", "ATMO_OBS_SPAN_ARG",
+                                          "ATMO_OBS_INSTANT", "ATMO_OBS_INSTANT_ARG",
+                                          "ObsSpan"};
+  const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(fi)];
+  const SourceFile& f = project.file_of(fn);
+  for (const char* ident : kEmitters) {
+    if (ContainsIdent(f.code, ident, fn.body_begin, fn.body_end)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void RuleTraceStageCoverage(const Options& options, const Project& project,
+                            std::vector<Finding>* findings) {
+  // Every ATMO_HOT_PATH root is a stage boundary on the request path, and
+  // the causal-tracing story (DESIGN.md §17) is only as complete as its
+  // stage stamps: a root that neither records a flight-recorder event nor
+  // reaches one through a callee is a blind spot — sampled requests pass
+  // through it without leaving a stamp. Reachability uses the same
+  // conservative call graph as the purity rules, so delegating the stamp to
+  // a helper (or to an existing checker ObsSpan) satisfies the rule.
+  std::vector<int> roots;
+  for (std::size_t i = 0; i < project.functions().size(); ++i) {
+    if (!project.functions()[i].hot_rules.empty()) {
+      roots.push_back(static_cast<int>(i));
+    }
+  }
+  if (roots.empty()) {
+    if (options.strict) {
+      findings->push_back(
+          Finding{"src/vstd/thread_annotations.h", 0, "trace-stage-coverage",
+                  "no ATMO_HOT_PATH root markers found in the tree",
+                  "annotate the hot-path entry points with ATMO_HOT_PATH(<rule>)"});
+    }
+    return;
+  }
+  std::map<int, bool> emits_cache;
+  auto emits = [&](int fi) {
+    auto [it, fresh] = emits_cache.try_emplace(fi, false);
+    if (fresh) {
+      it->second = EmitsStageEvent(project, fi);
+    }
+    return it->second;
+  };
+  for (int root : roots) {
+    std::set<int> visited{root};
+    std::deque<int> queue{root};
+    bool covered = false;
+    while (!queue.empty()) {
+      int fi = queue.front();
+      queue.pop_front();
+      if (emits(fi)) {
+        covered = true;
+        break;
+      }
+      for (const CallSite& call :
+           project.functions()[static_cast<std::size_t>(fi)].calls) {
+        for (int target : call.targets) {
+          if (visited.insert(target).second) {
+            queue.push_back(target);
+          }
+        }
+      }
+    }
+    if (covered) {
+      continue;
+    }
+    const FunctionInfo& fn = project.functions()[static_cast<std::size_t>(root)];
+    AddFinding(findings, project.file_of(fn), fn.decl_line, "trace-stage-coverage",
+               "hot-path root " + fn.Id() +
+                   " emits no flight-recorder stage event (and reaches none): sampled "
+                   "requests pass through it without a causal-trace stamp",
+               "stamp the stage with ATMO_OBS_INSTANT_ARG(obs::kCatRequest, "
+               "\"stage.<name>\", \"trace_id\", id) or an ObsSpan, or waive with "
+               "`// averif-lint: allow(trace-stage-coverage) — <why>`");
+  }
 }
 
 }  // namespace atmo::lint
